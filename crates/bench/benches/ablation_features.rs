@@ -1,0 +1,29 @@
+//! Ablations: isolate the runtime features the paper credits — container
+//! reuse (§4.2), dynamic partition pruning (§3.5), broadcast joins (§5.2),
+//! and slow-start shuffle overlap (§3.4).
+
+use tez_bench::{ablation_features, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = ablation_features(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, on, off)| {
+            vec![
+                name.clone(),
+                table::secs(*on),
+                table::secs(*off),
+                format!("{:+.0}%", (*off as f64 / (*on).max(1) as f64 - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    println!("Feature ablations on TPC-DS q3 (all features on vs one disabled)");
+    println!(
+        "{}",
+        table::render(&["feature", "on (s)", "off (s)", "cost of disabling"], &table_rows)
+    );
+    for (name, on, off) in &rows {
+        assert!(off >= on, "{name}: disabling must not speed things up ({off} < {on})");
+    }
+}

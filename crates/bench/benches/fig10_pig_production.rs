@@ -1,0 +1,25 @@
+//! Figure 10: Pig production ETL workloads on a busy (65% utilized)
+//! cluster. Paper expectation: 1.5–2x over MapReduce.
+
+use tez_bench::{fig10_pig_production, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = fig10_pig_production(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                table::secs(r.tez_ms),
+                table::secs(r.mr_ms),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!("Figure 10 — Pig production workloads (cluster at ~65% background utilization)");
+    println!("{}", table::render(&["script", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
+    println!("mean speedup: {mean:.1}x (paper: 1.5x to 2x keeping configuration identical)");
+    assert!(rows.iter().all(|r| r.speedup() >= 1.0));
+}

@@ -1,0 +1,25 @@
+//! Figure 11: Pig K-means iteration workload (10/50/100 iterations,
+//! 10,000-row input, single node). Sessions + container reuse amortize
+//! startup; the benefit grows with iteration count.
+
+use tez_bench::{fig11_pig_kmeans, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = fig11_pig_kmeans(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                table::secs(r.tez_ms),
+                table::secs(r.mr_ms),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!("Figure 11 — Pig K-means iterations (10,000 rows, single node)");
+    println!("{}", table::render(&["workload", "tez session (s)", "mr (s)", "speedup"], &table_rows));
+    println!("(paper: session/reuse advantage grows with the number of iterations)");
+    assert!(rows.windows(2).all(|w| w[1].speedup() >= w[0].speedup() * 0.9));
+}

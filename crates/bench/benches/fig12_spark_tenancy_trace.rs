@@ -1,0 +1,34 @@
+//! Figure 12: sharing a cluster across concurrent Spark jobs — allocated
+//! capacity over time per tenant, service-executor model vs Tez model.
+
+use tez_bench::fig12_tenancy_traces;
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let (service, tez) = fig12_tenancy_traces(quick);
+    for (label, res) in [("service-based", &service), ("tez-based", &tez)] {
+        println!("== {label} ==");
+        for &(app, submit, finish) in &res.apps {
+            let series = res.trace.allocation_series(app);
+            let peak = series.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            let mean = res.trace.mean_allocation(
+                app,
+                tez_yarn::SimTime(submit),
+                tez_yarn::SimTime(finish),
+            );
+            println!(
+                "  app {:>2}: submit {:>6.1}s finish {:>7.1}s latency {:>7.1}s peak {:>3} vcores, mean {:>5.1}",
+                app.0,
+                submit as f64 / 1000.0,
+                finish as f64 / 1000.0,
+                (finish - submit) as f64 / 1000.0,
+                peak,
+                mean
+            );
+        }
+        println!("  mean latency: {:.1}s", res.mean_latency_ms() / 1000.0);
+    }
+    println!("(paper: the Tez model releases idle resources that speed up the other jobs;");
+    println!(" the service model holds resources for the life of the service)");
+    assert!(tez.mean_latency_ms() < service.mean_latency_ms());
+}

@@ -1,0 +1,26 @@
+//! Figure 13: Spark multi-tenancy latency across warehouse scale factors.
+
+use tez_bench::{fig13_tenancy_latency, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = fig13_tenancy_latency(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, s, t)| {
+            vec![
+                label.clone(),
+                table::secs(*s),
+                table::secs(*t),
+                format!("{:.1}x", *s as f64 / (*t).max(1) as f64),
+            ]
+        })
+        .collect();
+    println!("Figure 13 — Spark multi-tenancy mean latency per scale factor");
+    println!(
+        "{}",
+        table::render(&["scale", "service (s)", "tez (s)", "improvement"], &table_rows)
+    );
+    println!("(paper: Tez-based implementation wins at every scale factor)");
+    assert!(rows.iter().all(|(_, s, t)| t < s));
+}

@@ -1,0 +1,25 @@
+//! Figure 8: Hive TPC-DS derived workload (30 TB scale), Tez vs MapReduce.
+//! Set TEZ_BENCH_FULL=1 for paper-scale parameters.
+
+use tez_bench::{fig8_hive_tpcds, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = fig8_hive_tpcds(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                table::secs(r.tez_ms),
+                table::secs(r.mr_ms),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!("Figure 8 — Hive TPC-DS derived workload ({} scale)", if quick { "quick" } else { "30TB" });
+    println!("{}", table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
+    println!("mean speedup: {mean:.1}x (paper: Tez substantially outperforms MR, up to ~10x on short queries)");
+    assert!(rows.iter().all(|r| r.speedup() >= 1.0), "Tez must win every query");
+}

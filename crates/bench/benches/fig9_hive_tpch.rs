@@ -1,0 +1,25 @@
+//! Figure 9: Hive TPC-H derived workload at Yahoo (10 TB, 350 nodes).
+//! Set TEZ_BENCH_FULL=1 for paper-scale parameters.
+
+use tez_bench::{fig9_hive_tpch, table};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let rows = fig9_hive_tpch(quick);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                table::secs(r.tez_ms),
+                table::secs(r.mr_ms),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!("Figure 9 — Hive TPC-H derived workload ({})", if quick { "quick" } else { "10TB, 350 nodes" });
+    println!("{}", table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
+    println!("mean speedup: {mean:.1}x (paper: Tez outperforms MR at large cluster scale)");
+    assert!(rows.iter().all(|r| r.speedup() >= 1.0), "Tez must win every query");
+}

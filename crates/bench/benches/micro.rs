@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the performance-critical data structures:
+//! the order-preserving codec, the external sorter, the k-way merge, DAG
+//! expansion and the RM scheduling pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use tez_dag::{expand, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, Vertex};
+use tez_shuffle::codec::{encode_kv, KvCursor};
+use tez_shuffle::{Combiner, ExternalSorter, KeyBuilder, MergingCursor, Partitioner};
+use tez_yarn::{ContainerRequest, QueueSpec, Resource, Rm, RmConfig, SimTime};
+
+fn bench_codec(c: &mut Criterion) {
+    c.bench_function("codec/composite_key_encode", |b| {
+        b.iter(|| {
+            let mut kb = KeyBuilder::new();
+            kb.push_i64(black_box(123456789))
+                .push_str(black_box("hello-world-key"))
+                .push_f64(black_box(2.71828));
+            black_box(kb.finish())
+        })
+    });
+    let mut frame = Vec::new();
+    for i in 0..1000u64 {
+        encode_kv(&mut frame, &i.to_be_bytes(), b"value-bytes-here");
+    }
+    let frame = bytes::Bytes::from(frame);
+    c.bench_function("codec/kv_cursor_scan_1k", |b| {
+        b.iter(|| {
+            let mut cur = KvCursor::new(frame.clone());
+            let mut n = 0;
+            while let Some((k, _)) = cur.next() {
+                n += k.len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_sorter(c: &mut Criterion) {
+    c.bench_function("sorter/10k_rows_4_partitions", |b| {
+        b.iter_batched(
+            || ExternalSorter::new(4, Partitioner::Hash, Combiner::None, 1 << 20),
+            |mut s| {
+                for i in 0..10_000u64 {
+                    s.insert(&(i * 2654435761 % 10_000).to_be_bytes(), b"v");
+                }
+                black_box(s.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let runs: Vec<bytes::Bytes> = (0..8)
+        .map(|r| {
+            let mut buf = Vec::new();
+            for i in 0..1_000u64 {
+                encode_kv(&mut buf, &(i * 8 + r).to_be_bytes(), b"v");
+            }
+            bytes::Bytes::from(buf)
+        })
+        .collect();
+    c.bench_function("merge/8_way_8k_rows", |b| {
+        b.iter(|| {
+            let cursors = runs.iter().map(|r| KvCursor::new(r.clone())).collect();
+            let mut m = MergingCursor::new(cursors);
+            let mut n = 0usize;
+            while m.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let prop = |m| EdgeProperty::new(m, NamedDescriptor::new("O"), NamedDescriptor::new("I"));
+    let dag = DagBuilder::new("bench")
+        .add_vertex(Vertex::new("a", NamedDescriptor::new("P")).with_parallelism(200))
+        .add_vertex(Vertex::new("b", NamedDescriptor::new("P")).with_parallelism(200))
+        .add_vertex(Vertex::new("c", NamedDescriptor::new("P")).with_parallelism(100))
+        .add_edge("a", "c", prop(DataMovement::ScatterGather))
+        .add_edge("b", "c", prop(DataMovement::ScatterGather))
+        .build()
+        .unwrap();
+    c.bench_function("dag/expand_200x200x100", |b| {
+        b.iter(|| black_box(expand(&dag, &[200, 200, 100], &HashMap::new())))
+    });
+}
+
+fn bench_rm(c: &mut Criterion) {
+    c.bench_function("rm/schedule_100_requests_50_nodes", |b| {
+        b.iter_batched(
+            || {
+                let nodes: Vec<(Resource, u32)> =
+                    (0..50).map(|i| (Resource::new(8192, 8), i / 10)).collect();
+                let mut rm = Rm::new(nodes, vec![QueueSpec::new("q", 1.0)], RmConfig::default());
+                rm.register_app(tez_yarn::AppId(0), "q");
+                for _ in 0..100 {
+                    rm.add_request(
+                        tez_yarn::AppId(0),
+                        ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                        SimTime::ZERO,
+                    );
+                }
+                rm
+            },
+            |mut rm| black_box(rm.schedule(SimTime::ZERO)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_sorter, bench_merge, bench_expansion, bench_rm);
+criterion_main!(benches);

@@ -1,0 +1,452 @@
+//! The experiment harnesses, one per paper figure.
+//!
+//! Every function takes `quick` — `true` shrinks data/cluster for CI and
+//! the integration suite; `false` approximates the paper's scales (within
+//! simulation tractability).
+
+use tez_core::{DagReport, TezClient, TezConfig};
+use tez_hive::{tpcds, tpch, HiveEngine, HiveOpts};
+use tez_pig::kmeans::{generate_points, run_kmeans};
+use tez_pig::workloads::{event_catalog, production_scripts};
+use tez_pig::{PigEngine, PigOpts};
+use tez_spark::tenancy::{run_tenancy, ExecutionModel, TenancyResult, TenancySpec};
+use tez_yarn::{ClusterSpec, CostModel};
+
+/// One Tez-vs-MapReduce comparison row.
+#[derive(Clone, Debug)]
+pub struct BackendRow {
+    /// Workload name.
+    pub name: String,
+    /// Tez runtime (ms).
+    pub tez_ms: u64,
+    /// MapReduce runtime (ms).
+    pub mr_ms: u64,
+}
+
+impl BackendRow {
+    /// MR / Tez speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.mr_ms as f64 / self.tez_ms.max(1) as f64
+    }
+}
+
+/// Cost model used by the figure harnesses: calibrated so scan-dominated
+/// queries at the paper's declared scales land in the paper's
+/// seconds-to-minutes range (~4M rows/s/core, ~150 MB/s disk).
+pub fn bench_cost() -> CostModel {
+    CostModel {
+        cpu_ns_per_record: 200,
+        cpu_ns_per_byte: 2,
+        straggler_prob: 0.01,
+        ..CostModel::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — session container reuse trace
+// ---------------------------------------------------------------------------
+
+/// Two DAGs in one Tez session; the Gantt shows containers re-used within
+/// and across DAGs (paper Figure 7).
+pub fn fig7_session_trace() -> (String, Vec<DagReport>) {
+    let catalog = tpcds::generate(1_000, 8, 7);
+    let engine = HiveEngine::new(catalog);
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q52")
+        .unwrap()
+        .1;
+    let opts = HiveOpts {
+        byte_scale: 100_000.0,
+        reducers: 4,
+        ..HiveOpts::default()
+    };
+    let config = TezConfig {
+        session: true,
+        prewarm_containers: 2,
+        byte_scale: opts.byte_scale,
+        min_split_bytes: 8 << 20,
+        max_split_bytes: 64 << 20,
+        ..TezConfig::default()
+    };
+    // Build two DAGs of the same query under different names and run them
+    // in one session.
+    let mut registry = tez_core::standard_registry();
+    let popts = tez_hive::physical::PhysicalOpts {
+        reducers: opts.reducers,
+        broadcast_joins: true,
+        dpp: false,
+    };
+    let sp = tez_hive::physical::build_stages(&q.plan, &engine.catalog, &popts);
+    let dag1 = tez_hive::compile_tez::build_tez_dag(
+        "dagA",
+        &sp,
+        &engine.catalog,
+        &mut registry,
+        "/results/dagA",
+        &config,
+    );
+    let dag2 = tez_hive::compile_tez::build_tez_dag(
+        "dagB",
+        &sp,
+        &engine.catalog,
+        &mut registry,
+        "/results/dagB",
+        &config,
+    );
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 4096, 4)).with_cost(bench_cost());
+    let scale = opts.byte_scale;
+    let run = client.run_session(vec![dag1, dag2], registry, config, |hdfs| {
+        hdfs.set_stat_scale(scale);
+        engine.catalog.load_hdfs(hdfs, scale);
+    });
+    (run.trace().render_gantt(100), run.reports)
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8 & 9 — Hive on Tez vs Hive on MapReduce
+// ---------------------------------------------------------------------------
+
+fn hive_suite(
+    engine: &HiveEngine,
+    queries: Vec<(&'static str, tez_hive::Q)>,
+    client: &TezClient,
+    opts: &HiveOpts,
+) -> Vec<BackendRow> {
+    queries
+        .into_iter()
+        .map(|(name, q)| {
+            let tez = engine.run_tez(client, name, &q.plan, opts);
+            assert!(tez.success(), "{name} tez failed");
+            let mr = engine.run_mr(client, name, &q.plan, opts);
+            assert!(mr.success(), "{name} mr failed");
+            BackendRow {
+                name: name.to_string(),
+                tez_ms: tez.runtime_ms(),
+                mr_ms: mr.runtime_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: TPC-DS-derived Hive workload, 30 TB scale, 20-node cluster
+/// (16 cores, 256 GB each).
+pub fn fig8_hive_tpcds(quick: bool) -> Vec<BackendRow> {
+    let (nodes, rows, blocks, scale) = if quick {
+        (8, 1_200, 16, 100_000.0)
+    } else {
+        // Declared fact bytes ≈ rows x ~45 B x scale ≈ 22 TB.
+        (20, 4_000, 64, 120_000_000.0)
+    };
+    let engine = HiveEngine::new(tpcds::generate(rows, blocks, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(nodes, 256 * 1024, 16))
+        .with_cost(bench_cost());
+    let opts = HiveOpts {
+        reducers: if quick { 8 } else { 64 },
+        byte_scale: scale,
+        ..HiveOpts::default()
+    };
+    hive_suite(&engine, tpcds::queries(&engine.catalog), &client, &opts)
+}
+
+/// Figure 9: TPC-H-derived Hive workload at Yahoo scale — 10 TB on a
+/// 350-node research cluster (16 cores, 24 GB each).
+pub fn fig9_hive_tpch(quick: bool) -> Vec<BackendRow> {
+    let (nodes, rows, blocks, scale) = if quick {
+        (10, 1_000, 8, 100_000.0)
+    } else {
+        // Declared lineitem bytes ≈ rows x ~90 B x scale ≈ 7 TB (+ orders).
+        (350, 8_000, 128, 10_000_000.0)
+    };
+    let engine = HiveEngine::new(tpch::generate(rows, blocks, 7));
+    let client =
+        TezClient::new(ClusterSpec::homogeneous(nodes, 24 * 1024, 16)).with_cost(bench_cost());
+    let opts = HiveOpts {
+        reducers: if quick { 8 } else { 128 },
+        byte_scale: scale,
+        ..HiveOpts::default()
+    };
+    hive_suite(&engine, tpch::queries(&engine.catalog), &client, &opts)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — Pig production workloads on a busy cluster
+// ---------------------------------------------------------------------------
+
+/// Figure 10: production-style Pig ETL scripts on a cluster running at
+/// 60-70% background utilization (the Yahoo setting). Expect 1.5–2x.
+pub fn fig10_pig_production(quick: bool) -> Vec<BackendRow> {
+    let (nodes, rows, blocks, scale) = if quick {
+        (8, 600, 8, 100_000.0)
+    } else {
+        (60, 2_000, 48, 20_000_000.0)
+    };
+    let engine = PigEngine::new(event_catalog(rows, blocks, 7));
+    let slots = nodes * 8;
+    let background = (slots as f64 * 0.65) as usize;
+    let opts = PigOpts {
+        reducers: if quick { 4 } else { 32 },
+        byte_scale: scale,
+        ..PigOpts::default()
+    };
+    let client = TezClient::new(ClusterSpec::homogeneous(nodes, 8192, 8))
+        .with_cost(bench_cost())
+        .with_background_load(background);
+    production_scripts()
+        .into_iter()
+        .map(|(name, script)| {
+            let tez = engine.run_tez(&client, &script, &opts);
+            assert!(tez.success(), "{name} tez failed");
+            let mr = engine.run_mr(&client, &script, &opts);
+            assert!(mr.success(), "{name} mr failed");
+            BackendRow {
+                name: name.to_string(),
+                tez_ms: tez.runtime_ms(),
+                mr_ms: mr.runtime_ms(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — Pig K-means iterations
+// ---------------------------------------------------------------------------
+
+/// Figure 11: K-means for 10/50/100 iterations over a 10,000-row input on
+/// a single node; Tez sessions amortize container launches and cache the
+/// points.
+pub fn fig11_pig_kmeans(quick: bool) -> Vec<BackendRow> {
+    let iteration_counts: Vec<usize> = if quick {
+        vec![5, 10, 20]
+    } else {
+        vec![10, 50, 100]
+    };
+    let points = generate_points(10_000, 4, 7);
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 8192, 8)).with_cost(bench_cost());
+    iteration_counts
+        .into_iter()
+        .map(|iters| {
+            let session = TezConfig {
+                session: true,
+                prewarm_containers: 4,
+                ..TezConfig::default()
+            };
+            let tez = run_kmeans(&client, &points, 4, iters, session, 4);
+            let mr = run_kmeans(
+                &client,
+                &points,
+                4,
+                iters,
+                TezConfig::mapreduce_baseline(),
+                4,
+            );
+            assert!(tez.reports.iter().all(|r| r.status.is_success()));
+            assert!(mr.reports.iter().all(|r| r.status.is_success()));
+            BackendRow {
+                name: format!("{iters} iterations"),
+                tez_ms: tez.total_ms,
+                mr_ms: mr.total_ms,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12 & 13 — Spark multi-tenancy
+// ---------------------------------------------------------------------------
+
+/// The paper's 5-user tenancy spec over a 20-node cluster.
+pub fn tenancy_spec(quick: bool, byte_scale: f64) -> TenancySpec {
+    if quick {
+        TenancySpec {
+            cluster: ClusterSpec::homogeneous(2, 8192, 8),
+            cost: bench_cost(),
+            users: 3,
+            rows: 600,
+            blocks: 8,
+            partitions: 2,
+            byte_scale,
+            stagger_ms: 2_000,
+            seed: 9,
+        }
+    } else {
+        TenancySpec {
+            cluster: ClusterSpec::homogeneous(20, 256 * 1024, 16),
+            cost: bench_cost(),
+            users: 5,
+            rows: 4_000,
+            blocks: 64,
+            partitions: 32,
+            byte_scale,
+            stagger_ms: 5_000,
+            seed: 9,
+        }
+    }
+}
+
+/// Figure 12: capacity-vs-time per tenant under both models.
+pub fn fig12_tenancy_traces(quick: bool) -> (TenancyResult, TenancyResult) {
+    let spec = tenancy_spec(quick, if quick { 50_000.0 } else { 2_000_000.0 });
+    let executors = if quick { 8 } else { 64 };
+    let service = run_tenancy(&spec, ExecutionModel::ServiceBased { executors });
+    let tez = run_tenancy(&spec, ExecutionModel::TezBased);
+    (service, tez)
+}
+
+/// Figure 13: mean latency per warehouse scale factor under both models.
+/// Returns `(scale label, service ms, tez ms)`.
+pub fn fig13_tenancy_latency(quick: bool) -> Vec<(String, u64, u64)> {
+    // 100 GB … 1 TB: the declared byte scale maps the fixed real dataset
+    // onto each warehouse scale factor.
+    let scales: &[(&str, f64)] = if quick {
+        &[("100GB", 25_000.0), ("200GB", 50_000.0)]
+    } else {
+        &[
+            ("100GB", 500_000.0),
+            ("200GB", 1_000_000.0),
+            ("500GB", 2_500_000.0),
+            ("1TB", 5_000_000.0),
+        ]
+    };
+    let executors = if quick { 8 } else { 64 };
+    scales
+        .iter()
+        .map(|(label, s)| {
+            let spec = tenancy_spec(quick, *s);
+            let service = run_tenancy(&spec, ExecutionModel::ServiceBased { executors });
+            let tez = run_tenancy(&spec, ExecutionModel::TezBased);
+            (
+                label.to_string(),
+                service.mean_latency_ms() as u64,
+                tez.mean_latency_ms() as u64,
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (§3.4, §3.5, §4.2)
+// ---------------------------------------------------------------------------
+
+/// Feature ablations on a representative Hive query: each row is
+/// `(feature, on ms, off ms)` — turning the feature off should not help.
+pub fn ablation_features(quick: bool) -> Vec<(String, u64, u64)> {
+    let (nodes, rows, blocks, scale) = if quick {
+        (2, 1_000, 16, 200_000.0)
+    } else {
+        (8, 2_000, 32, 2_000_000.0)
+    };
+    let engine = HiveEngine::new(tpcds::generate(rows, blocks, 7));
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q3")
+        .unwrap()
+        .1;
+    let client =
+        TezClient::new(ClusterSpec::homogeneous(nodes, 8192, 8)).with_cost(bench_cost());
+    let base_opts = HiveOpts {
+        reducers: 8,
+        byte_scale: scale,
+        ..HiveOpts::default()
+    };
+    let run = |opts: &HiveOpts, config: TezConfig, tag: &str| {
+        let r = engine.run_tez_with(&client, &format!("q3-{tag}"), &q.plan, opts, config);
+        assert!(r.success(), "{tag} failed");
+        r.runtime_ms()
+    };
+
+    let mut rows_out = Vec::new();
+    let on = run(&base_opts, TezConfig::default(), "base");
+
+    rows_out.push((
+        "container reuse".to_string(),
+        on,
+        run(
+            &base_opts,
+            TezConfig {
+                container_reuse: false,
+                ..TezConfig::default()
+            },
+            "noreuse",
+        ),
+    ));
+    rows_out.push((
+        "dynamic partition pruning".to_string(),
+        on,
+        run(
+            &HiveOpts {
+                dpp: false,
+                ..base_opts.clone()
+            },
+            TezConfig::default(),
+            "nodpp",
+        ),
+    ));
+    rows_out.push((
+        "broadcast joins".to_string(),
+        on,
+        run(
+            &HiveOpts {
+                broadcast_joins: false,
+                dpp: false,
+                ..base_opts.clone()
+            },
+            TezConfig::default(),
+            "nobcast",
+        ),
+    ));
+    rows_out.push((
+        "slow-start overlap".to_string(),
+        on,
+        run(
+            &base_opts,
+            TezConfig {
+                slowstart_min_fraction: 1.0,
+                slowstart_max_fraction: 1.0,
+                ..TezConfig::default()
+            },
+            "noslowstart",
+        ),
+    ));
+    rows_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_gantt_shows_cross_dag_reuse() {
+        let (gantt, reports) = fig7_session_trace();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.status.is_success()));
+        // Some container row hosts tasks of both DAGs (A… and B…).
+        assert!(
+            gantt.lines().any(|l| l.contains('A') && l.contains('B')),
+            "expected cross-DAG reuse in:\n{gantt}"
+        );
+    }
+
+    #[test]
+    fn fig11_speedup_grows_with_iterations() {
+        let rows = fig11_pig_kmeans(true);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.speedup() > 1.0, "{}: {}", r.name, r.speedup());
+        }
+        assert!(
+            rows.last().unwrap().speedup() >= rows.first().unwrap().speedup(),
+            "session benefit should grow with iteration count"
+        );
+    }
+
+    #[test]
+    fn fig13_service_model_is_worse_at_every_scale() {
+        for (label, service, tez) in fig13_tenancy_latency(true) {
+            assert!(
+                tez < service,
+                "{label}: tez {tez} should beat service {service}"
+            );
+        }
+    }
+}

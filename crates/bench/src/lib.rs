@@ -1,0 +1,18 @@
+//! # tez-bench — harnesses regenerating every figure in the paper
+//!
+//! The Tez paper's quantitative evaluation is Figures 7–13 (there are no
+//! numbered tables). Each figure has a `cargo bench` target here that
+//! re-runs the corresponding experiment on the simulated cluster and
+//! prints the same rows/series the paper plots. Absolute numbers differ
+//! from the authors' testbeds (see DESIGN.md); the *shape* — who wins, by
+//! roughly what factor, where the crossovers are — is the reproduction
+//! target, recorded in EXPERIMENTS.md.
+//!
+//! The harness logic lives in this library so the integration suite can
+//! assert the shapes programmatically while the bench binaries print them.
+
+pub mod figs;
+pub mod load;
+pub mod table;
+
+pub use figs::*;

@@ -1,0 +1,49 @@
+//! Background cluster load: models the paper's Figure 10 setting, where
+//! the Yahoo production clusters were "already running regular jobs with
+//! average utilization of 60-70%".
+
+use tez_yarn::{
+    AppContext, AppEvent, ContainerRequest, Resource, YarnApp,
+};
+
+/// An app that grabs `containers` containers at start and holds them for
+/// the whole simulation (steady background utilization).
+pub struct BackgroundLoad {
+    /// Containers to hold.
+    pub containers: usize,
+}
+
+impl YarnApp for BackgroundLoad {
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+        if let AppEvent::Start = event {
+            for _ in 0..self.containers {
+                ctx.request_container(ContainerRequest::anywhere(0, Resource::default()));
+            }
+        }
+        // Containers are held forever; the load app never finishes.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tez_yarn::{ClusterSpec, CostModel, FaultPlan, RmConfig, SimTime, Simulation};
+
+    #[test]
+    fn background_load_holds_capacity() {
+        let mut sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 8192, 8),
+            CostModel::default(),
+            vec![],
+            RmConfig::default(),
+            FaultPlan::none(),
+            1,
+        );
+        let id = sim.add_app(Box::new(BackgroundLoad { containers: 10 }), "default", SimTime::ZERO);
+        sim.run();
+        let mean = sim
+            .trace()
+            .mean_allocation(id, SimTime(6_000), SimTime(7_000));
+        assert!((mean - 10.0).abs() < 1e-9, "holds 10 vcores, got {mean}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Plain-text table rendering for bench output.
+
+/// Render rows as an aligned table with a header.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format milliseconds as seconds with one decimal.
+pub fn secs(ms: u64) -> String {
+    format!("{:.1}", ms as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            &["query", "tez (s)", "mr (s)"],
+            &[
+                vec!["q1".into(), "10.0".into(), "55.2".into()],
+                vec!["q99".into(), "3.5".into(), "7.0".into()],
+            ],
+        );
+        assert!(t.contains("query"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(10_500), "10.5");
+    }
+}

@@ -1,0 +1,2427 @@
+//! The DAG ApplicationMaster (paper §4.1): the YARN app that orchestrates
+//! DAG execution.
+//!
+//! One `DagAppMaster` executes a sequence of DAGs (a *session*, §4.2),
+//! driving for each: input initialization and split calculation, vertex
+//! manager callbacks, locality-aware container acquisition with reuse and
+//! pre-warming, task-attempt execution over the real data plane, event
+//! routing, speculation, deadlock detection, and fault tolerance by task
+//! re-execution with `InputReadError` back-tracking (§4.3).
+//!
+//! The AM is a deterministic event-driven state machine over
+//! [`tez_yarn::AppEvent`]s. Task IPO pipelines run synchronously at launch
+//! time against the real data plane; the simulator charges their cost and
+//! delivers completion later, so failure semantics (killed containers, lost
+//! nodes, injected faults) discard not-yet-published outputs exactly like a
+//! real mid-flight task failure would.
+
+use crate::config::TezConfig;
+use crate::executor::run_task;
+use crate::objreg::RegistryState;
+use crate::report::{DagReport, DagStatus, VertexReport};
+use crate::vertex_managers::{producer_stats_payload, vm_kinds};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use tez_dag::{Dag, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
+use tez_runtime::{
+    ComponentRegistry, Counters, Dfs, InitializerContext, InitializerResult, InputInitializer,
+    InputSource, InputSpec, InputSplit, OutboundEvent, OutputSpec, SecurityToken, ShardLocator,
+    SinkArtifact, SourceKind, SourceTaskAttempt, TaskEnv, TaskError, TaskMeta, TaskOutcome,
+    TaskSpec, VertexManager, VertexManagerContext,
+};
+use tez_shuffle::{SharedDataService, SplitPayload};
+use tez_yarn::{
+    AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId, ContainerRequest,
+    NodeId, RequestId, SimTime, WorkCost, WorkId, WorkOutcome, YarnApp,
+};
+
+const TIMER_SPECULATION: u64 = 1;
+const TIMER_DEADLOCK: u64 = 2;
+const TIMER_IDLE_SWEEP: u64 = 3;
+const TIMER_AM_FAIL: u64 = 4;
+const TIMER_AM_RESTART: u64 = 5;
+const TIMER_NEXT_DAG: u64 = 6;
+
+/// One DAG queued on the AM.
+pub struct DagSubmission {
+    /// The validated DAG.
+    pub dag: Dag,
+}
+
+/// Results shared back to the client after the simulation runs.
+#[derive(Default)]
+pub struct SessionOutput {
+    /// One report per completed DAG, in submission order.
+    pub reports: Vec<DagReport>,
+}
+
+/// Shared handle to [`SessionOutput`].
+pub type SharedSessionOutput = Arc<Mutex<SessionOutput>>;
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum AState {
+    /// Waiting for a container (either a pending RM request or the pool).
+    Requesting(Option<RequestId>),
+    /// Holding a container, waiting for input shards (slow-start overlap).
+    WaitingInputs { container: ContainerId, since: SimTime },
+    /// Work launched in the simulator; outputs held until completion.
+    Running {
+        container: ContainerId,
+        work: WorkId,
+        outcome: Box<TaskOutcome>,
+    },
+    /// Terminal (success, failure or kill).
+    Done,
+}
+
+struct AttemptRt {
+    state: AState,
+    started_at: SimTime,
+}
+
+struct TaskRt {
+    scheduled: bool,
+    done: bool,
+    attempts: Vec<AttemptRt>,
+    /// Routed input locators, one slot per in-edge (in `in_edge_indices`
+    /// order), each sized to the edge manager's physical input count.
+    inputs: Vec<Vec<Option<ShardLocator>>>,
+    /// Splits per data source (root vertices), in data-source order.
+    splits: Vec<InputSplit>,
+    /// `(edge index, node, output id)` of published outputs.
+    published: Vec<(usize, u32, u64)>,
+    failures: usize,
+}
+
+struct InitSlot {
+    source: String,
+    init: Option<Box<dyn InputInitializer>>,
+    splits: Option<Vec<InputSplit>>,
+}
+
+struct VertexRt {
+    name: String,
+    parallelism: Option<usize>,
+    stats_scale: Option<f64>,
+    vm: Option<Box<dyn VertexManager>>,
+    vm_initialized: bool,
+    started: bool,
+    initializers: Vec<InitSlot>,
+    tasks: Vec<TaskRt>,
+    completed: usize,
+    /// Sum/count of completed attempt durations (speculation baseline).
+    duration_sum: u64,
+    duration_count: u64,
+    attempts_total: usize,
+    failed_attempts: usize,
+    first_launch: Option<SimTime>,
+    last_finish: Option<SimTime>,
+}
+
+struct DagRun {
+    dag: Dag,
+    submitted: SimTime,
+    vertices: Vec<VertexRt>,
+    edge_managers: Vec<Arc<dyn EdgeManagerPlugin>>,
+    /// Published locators per edge: `src_task -> partition -> locator`.
+    publications: Vec<HashMap<usize, Vec<ShardLocator>>>,
+    sink_artifacts: Vec<SinkArtifact>,
+    counters: Counters,
+    containers_allocated: usize,
+    warm_starts: usize,
+    speculative_attempts: usize,
+    reexecuted_tasks: usize,
+    failed: Option<String>,
+}
+
+struct ContainerRt {
+    node: NodeId,
+    idle_since: Option<SimTime>,
+}
+
+/// The DAG ApplicationMaster.
+pub struct DagAppMaster {
+    config: TezConfig,
+    registry: ComponentRegistry,
+    service: SharedDataService,
+    objreg: Arc<RegistryState>,
+    token: SecurityToken,
+    output: SharedSessionOutput,
+    pending_dags: VecDeque<DagSubmission>,
+    dag_index: usize,
+    run: Option<DagRun>,
+    containers: HashMap<ContainerId, ContainerRt>,
+    request_map: HashMap<RequestId, (usize, usize, usize)>,
+    work_map: HashMap<WorkId, (usize, usize, usize)>,
+    /// Producer identity of every published output id.
+    output_registry: HashMap<u64, (usize, usize)>,
+    prewarm_outstanding: usize,
+    prewarm_requested: usize,
+    speculation_timer_armed: bool,
+    deadlock_timer_armed: bool,
+    idle_timer_armed: bool,
+    am_failed: bool,
+    am_recovering: bool,
+    finished: bool,
+}
+
+impl DagAppMaster {
+    /// Build an AM over the shared services, queuing the given DAGs.
+    pub fn new(
+        config: TezConfig,
+        registry: ComponentRegistry,
+        service: SharedDataService,
+        token: SecurityToken,
+        dags: Vec<DagSubmission>,
+        output: SharedSessionOutput,
+    ) -> Self {
+        service.register_token(token);
+        DagAppMaster {
+            config,
+            registry,
+            service,
+            objreg: RegistryState::new(),
+            token,
+            output,
+            pending_dags: dags.into(),
+            dag_index: 0,
+            run: None,
+            containers: HashMap::new(),
+            request_map: HashMap::new(),
+            work_map: HashMap::new(),
+            output_registry: HashMap::new(),
+            prewarm_outstanding: 0,
+            prewarm_requested: 0,
+            speculation_timer_armed: false,
+            deadlock_timer_armed: false,
+            idle_timer_armed: false,
+            am_failed: false,
+            am_recovering: false,
+            finished: false,
+        }
+    }
+
+    /// Effective statistics scale of a vertex (pinned or the global one).
+    fn vertex_scale(run: &DagRun, config: &TezConfig, vidx: usize) -> f64 {
+        run.vertices[vidx].stats_scale.unwrap_or(config.byte_scale)
+    }
+
+    // -- vertex-manager plumbing -------------------------------------------
+
+    fn pick_builtin_vm(dag: &Dag, vidx: usize) -> &'static str {
+        let v = dag.vertex(vidx);
+        if v.data_sources.iter().any(|s| s.initializer.is_some()) {
+            return vm_kinds::ROOT_INPUT;
+        }
+        let mut has_sg = false;
+        for &e in dag.in_edge_indices(vidx) {
+            match dag.edge(e).property.movement {
+                DataMovement::OneToOne => return vm_kinds::ONE_TO_ONE,
+                DataMovement::ScatterGather | DataMovement::Custom { .. } => has_sg = true,
+                DataMovement::Broadcast => {}
+            }
+        }
+        if has_sg {
+            vm_kinds::SHUFFLE
+        } else if dag.in_edge_indices(vidx).is_empty() {
+            vm_kinds::IMMEDIATE
+        } else {
+            // Broadcast-only consumers behave like shuffle consumers with
+            // no slow-start sources: they wait for the broadcast to finish.
+            vm_kinds::SHUFFLE
+        }
+    }
+
+    fn source_kind(dag: &Dag, vidx: usize, source: &str) -> Option<SourceKind> {
+        for &e in dag.in_edge_indices(vidx) {
+            let edge = dag.edge(e);
+            if edge.src == source {
+                return Some(match edge.property.movement {
+                    DataMovement::OneToOne => SourceKind::OneToOne,
+                    DataMovement::Broadcast => SourceKind::Broadcast,
+                    DataMovement::ScatterGather => SourceKind::ScatterGather,
+                    DataMovement::Custom { .. } => SourceKind::Custom,
+                });
+            }
+        }
+        None
+    }
+
+    // -- DAG lifecycle ------------------------------------------------------
+
+    fn start_next_dag(&mut self, ctx: &mut AppContext<'_>) {
+        let Some(submission) = self.pending_dags.pop_front() else {
+            self.finish_session(ctx);
+            return;
+        };
+        let dag = submission.dag;
+        let mut edge_managers = Vec::with_capacity(dag.edges().len());
+        for e in dag.edges() {
+            let mgr = match &e.property.movement {
+                DataMovement::Custom { manager } => self
+                    .registry
+                    .create_edge_manager(&manager.kind, &manager.payload)
+                    .expect("custom edge manager not registered"),
+                m => tez_dag::edge::builtin_edge_manager(m).expect("builtin"),
+            };
+            edge_managers.push(mgr);
+        }
+        let mut vertices = Vec::with_capacity(dag.num_vertices());
+        for (vidx, v) in dag.vertices().iter().enumerate() {
+            let vm_desc = v.vertex_manager.clone().unwrap_or_else(|| {
+                let kind = Self::pick_builtin_vm(&dag, vidx);
+                if kind == vm_kinds::SHUFFLE {
+                    // Auto-reduction changes this vertex's parallelism; a
+                    // one-to-one consumer pins it, so disable shrinking.
+                    let pinned = dag.out_edge_indices(vidx).iter().any(|&e| {
+                        matches!(dag.edge(e).property.movement, DataMovement::OneToOne)
+                    });
+                    // Wire the orchestrator config into the default manager.
+                    let payload = crate::vertex_managers::ShuffleVertexManagerConfig {
+                        auto_parallelism: self.config.auto_parallelism && !pinned,
+                        desired_bytes_per_task: self.config.desired_bytes_per_reducer,
+                        stats_fraction: self.config.auto_parallelism_stats_fraction,
+                        slowstart_min: self.config.slowstart_min_fraction,
+                        slowstart_max: self.config.slowstart_max_fraction,
+                    }
+                    .to_payload();
+                    tez_dag::NamedDescriptor::with_payload(kind, payload)
+                } else {
+                    tez_dag::NamedDescriptor::new(kind)
+                }
+            });
+            let vm = self
+                .registry
+                .create_vertex_manager(&vm_desc.kind, &vm_desc.payload)
+                .expect("vertex manager not registered");
+            let initializers = v
+                .data_sources
+                .iter()
+                .filter_map(|s| {
+                    s.initializer.as_ref().map(|d| InitSlot {
+                        source: s.name.clone(),
+                        init: Some(
+                            self.registry
+                                .create_initializer(&d.kind, &d.payload)
+                                .expect("initializer not registered"),
+                        ),
+                        splits: None,
+                    })
+                })
+                .collect();
+            vertices.push(VertexRt {
+                name: v.name.clone(),
+                parallelism: v.parallelism.fixed(),
+                stats_scale: v.stats_scale,
+                vm: Some(vm),
+                vm_initialized: false,
+                started: false,
+                initializers,
+                tasks: Vec::new(),
+                completed: 0,
+                duration_sum: 0,
+                duration_count: 0,
+                attempts_total: 0,
+                failed_attempts: 0,
+                first_launch: None,
+                last_finish: None,
+            });
+        }
+        let publications = vec![HashMap::new(); dag.edges().len()];
+        self.run = Some(DagRun {
+            dag,
+            submitted: ctx.now(),
+            vertices,
+            edge_managers,
+            publications,
+            sink_artifacts: Vec::new(),
+            counters: Counters::new(),
+            containers_allocated: 0,
+            warm_starts: 0,
+            speculative_attempts: 0,
+            reexecuted_tasks: 0,
+            failed: None,
+        });
+        self.run_initializers(ctx);
+        self.resolve_vertices(ctx);
+        self.arm_timers(ctx);
+    }
+
+    fn arm_timers(&mut self, ctx: &mut AppContext<'_>) {
+        if self.config.speculation && !self.speculation_timer_armed {
+            self.speculation_timer_armed = true;
+            ctx.set_timer(self.config.speculation_interval_ms, TIMER_SPECULATION);
+        }
+        if !self.deadlock_timer_armed {
+            self.deadlock_timer_armed = true;
+            ctx.set_timer(self.config.deadlock_check_ms, TIMER_DEADLOCK);
+        }
+    }
+
+    fn run_initializers(&mut self, ctx: &mut AppContext<'_>) {
+        let run = self.run.as_mut().expect("active dag");
+        let total_slots = ctx.total_slots(&self.config.task_resource());
+        let nodes = ctx.alive_nodes();
+        for v in &mut run.vertices {
+            for slot in &mut v.initializers {
+                if slot.splits.is_some() {
+                    continue;
+                }
+                let mut init = slot.init.take().expect("initializer present");
+                let result = {
+                    let mut ictx = InitCtx {
+                        dfs: ctx.hdfs(),
+                        nodes,
+                        slots: total_slots,
+                        vertex: &v.name,
+                        counters: &mut run.counters,
+                    };
+                    init.initialize(&mut ictx)
+                };
+                slot.init = Some(init);
+                match result {
+                    Ok(InitializerResult::Ready(splits)) => slot.splits = Some(splits),
+                    Ok(InitializerResult::Waiting) => {}
+                    Err(e) => {
+                        run.failed = Some(format!("initializer for {}: {e}", v.name));
+                    }
+                }
+            }
+        }
+        if let Some(reason) = run.failed.clone() {
+            self.fail_dag(ctx, reason);
+        }
+    }
+
+    /// Fixpoint vertex resolution: run VM `initialize`/root-splits
+    /// callbacks until no vertex changes, creating task arrays and starting
+    /// vertices as their parallelism resolves.
+    fn resolve_vertices(&mut self, ctx: &mut AppContext<'_>) {
+        loop {
+            let Some(run) = self.run.as_ref() else { return };
+            let mut action: Option<(usize, VmCall)> = None;
+            for vidx in run.dag.topological_order().to_vec() {
+                let v = &run.vertices[vidx];
+                if !v.vm_initialized {
+                    action = Some((vidx, VmCall::Initialize));
+                    break;
+                }
+                if v.parallelism.is_none() {
+                    // Root splits ready but not yet reported to the VM?
+                    if v.initializers.iter().any(|s| s.splits.is_some()) {
+                        if !v.initializers.iter().all(|s| s.splits.is_some()) {
+                            continue; // waiting on a pruning event
+                        }
+                        action = Some((vidx, VmCall::RootSplits));
+                        break;
+                    }
+                    // Otherwise retry initialize (o2o chains resolve late).
+                    action = Some((vidx, VmCall::Initialize));
+                    break;
+                }
+                if !v.started {
+                    action = Some((vidx, VmCall::Start));
+                    break;
+                }
+            }
+            let Some((vidx, call)) = action else { return };
+            let before = self.vertex_fingerprint(vidx);
+            match call {
+                VmCall::Initialize => {
+                    self.with_vm(ctx, vidx, |vm, vmctx| vm.initialize(vmctx));
+                    self.run.as_mut().unwrap().vertices[vidx].vm_initialized = true;
+                }
+                VmCall::RootSplits => {
+                    let reports: Vec<(String, usize)> = {
+                        let v = &self.run.as_ref().unwrap().vertices[vidx];
+                        v.initializers
+                            .iter()
+                            .map(|s| (s.source.clone(), s.splits.as_ref().unwrap().len()))
+                            .collect()
+                    };
+                    for (source, n) in reports {
+                        self.with_vm(ctx, vidx, |vm, vmctx| {
+                            vm.on_root_input_initialized(&source, n, vmctx)
+                        });
+                    }
+                    // If the VM didn't decide (custom manager), parallelism
+                    // falls back to the split count.
+                    let v = &mut self.run.as_mut().unwrap().vertices[vidx];
+                    if v.parallelism.is_none() {
+                        let n = v
+                            .initializers
+                            .iter()
+                            .map(|s| s.splits.as_ref().unwrap().len())
+                            .max()
+                            .unwrap_or(1)
+                            .max(1);
+                        v.parallelism = Some(n);
+                    }
+                }
+                VmCall::Start => {
+                    self.materialize_tasks(vidx);
+                    self.run.as_mut().unwrap().vertices[vidx].started = true;
+                    self.with_vm(ctx, vidx, |vm, vmctx| vm.on_vertex_started(vmctx));
+                    self.check_vertex_complete(ctx, vidx);
+                }
+            }
+            if self.run.is_none() {
+                return;
+            }
+            // Guard against livelock: an initialize that changed nothing on
+            // an unresolved vertex must not spin. `vm_initialized` flips on
+            // the first pass; later no-op passes break out here.
+            if before == self.vertex_fingerprint(vidx)
+                && matches!(call, VmCall::Initialize)
+                && self.run.as_ref().unwrap().vertices[vidx].parallelism.is_none()
+            {
+                // Try other vertices; if nothing else progresses we are
+                // waiting on runtime events (DPP, o2o source), so stop.
+                if !self.any_other_progress(ctx, vidx) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn vertex_fingerprint(&self, vidx: usize) -> (bool, Option<usize>, bool) {
+        let v = &self.run.as_ref().unwrap().vertices[vidx];
+        (v.vm_initialized, v.parallelism, v.started)
+    }
+
+    /// One sweep over the other vertices; returns whether any progressed.
+    fn any_other_progress(&mut self, ctx: &mut AppContext<'_>, skip: usize) -> bool {
+        let order = self.run.as_ref().unwrap().dag.topological_order().to_vec();
+        for vidx in order {
+            if vidx == skip {
+                continue;
+            }
+            let v = &self.run.as_ref().unwrap().vertices[vidx];
+            if !v.vm_initialized {
+                self.with_vm(ctx, vidx, |vm, vmctx| vm.initialize(vmctx));
+                self.run.as_mut().unwrap().vertices[vidx].vm_initialized = true;
+                return true;
+            }
+            if v.parallelism.is_some() && !v.started {
+                self.materialize_tasks(vidx);
+                self.run.as_mut().unwrap().vertices[vidx].started = true;
+                self.with_vm(ctx, vidx, |vm, vmctx| vm.on_vertex_started(vmctx));
+                self.check_vertex_complete(ctx, vidx);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Create task runtimes and input routing arrays for a resolved vertex.
+    fn materialize_tasks(&mut self, vidx: usize) {
+        let run = self.run.as_mut().expect("active dag");
+        let n = run.vertices[vidx]
+            .parallelism
+            .expect("materialize requires resolved parallelism");
+        let in_edges = run.dag.in_edge_indices(vidx).to_vec();
+        let mut tasks = Vec::with_capacity(n);
+        for t in 0..n {
+            let mut inputs = Vec::with_capacity(in_edges.len());
+            for &e in &in_edges {
+                let edge = run.dag.edge(e);
+                let src = run.dag.vertex_index(&edge.src).unwrap();
+                let src_n = run.vertices[src].parallelism.unwrap_or(0);
+                let ctx = EdgeRoutingContext {
+                    num_src_tasks: src_n,
+                    num_dst_tasks: n,
+                };
+                let cnt = if src_n == 0 {
+                    0
+                } else {
+                    run.edge_managers[e].num_physical_inputs(&ctx, t)
+                };
+                inputs.push(vec![None; cnt]);
+            }
+            // Splits for root data sources.
+            let v = run.dag.vertex(vidx);
+            let mut splits = Vec::new();
+            for slot in &run.vertices[vidx].initializers {
+                let ss = slot.splits.as_ref().expect("splits ready before start");
+                if let Some(s) = ss.get(t) {
+                    splits.push(s.clone());
+                } else {
+                    splits.push(InputSplit {
+                        payload: SplitPayload {
+                            path: String::new(),
+                            blocks: vec![],
+                        }
+                        .encode(),
+                        hosts: vec![],
+                        bytes: 0,
+                        records: 0,
+                    });
+                }
+            }
+            let _ = v;
+            tasks.push(TaskRt {
+                scheduled: false,
+                done: false,
+                attempts: Vec::new(),
+                inputs,
+                splits,
+                published: Vec::new(),
+                failures: 0,
+            });
+        }
+        run.vertices[vidx].tasks = tasks;
+        // Replay locators producers already published (recovery path and
+        // late-resolved vertices).
+        for &e in &in_edges {
+            self.replay_edge_routing(e);
+        }
+        // Consumers that materialized while this vertex was still
+        // unresolved (e.g. gated behind dynamic partition pruning) sized
+        // this edge's input slot to zero; resize them now.
+        self.resize_consumer_inputs(vidx);
+    }
+
+    /// Re-size consumers' input arrays for edges leaving `vidx` after its
+    /// parallelism resolved late.
+    fn resize_consumer_inputs(&mut self, vidx: usize) {
+        let out_edges = {
+            let run = self.run.as_ref().expect("active dag");
+            run.dag.out_edge_indices(vidx).to_vec()
+        };
+        for &e in &out_edges {
+            {
+                let run = self.run.as_mut().expect("active dag");
+                let src_n = run.vertices[vidx].parallelism.expect("resolved");
+                let dst = run.dag.vertex_index(&run.dag.edge(e).dst).unwrap();
+                let Some(dst_n) = run.vertices[dst].parallelism else {
+                    continue;
+                };
+                if run.vertices[dst].tasks.is_empty() {
+                    continue;
+                }
+                let slot = run
+                    .dag
+                    .in_edge_indices(dst)
+                    .iter()
+                    .position(|&x| x == e)
+                    .unwrap();
+                let rctx = EdgeRoutingContext {
+                    num_src_tasks: src_n,
+                    num_dst_tasks: dst_n,
+                };
+                let mgr = run.edge_managers[e].clone();
+                for t in 0..dst_n {
+                    let want = mgr.num_physical_inputs(&rctx, t);
+                    let have = &mut run.vertices[dst].tasks[t].inputs[slot];
+                    if have.len() != want {
+                        have.resize(want, None);
+                    }
+                }
+            }
+            self.replay_edge_routing(e);
+        }
+    }
+
+    fn replay_edge_routing(&mut self, edge_idx: usize) {
+        let run = self.run.as_mut().expect("active dag");
+        let edge = run.dag.edge(edge_idx).clone();
+        let src = run.dag.vertex_index(&edge.src).unwrap();
+        let dst = run.dag.vertex_index(&edge.dst).unwrap();
+        let (Some(src_n), Some(dst_n)) = (
+            run.vertices[src].parallelism,
+            run.vertices[dst].parallelism,
+        ) else {
+            return;
+        };
+        if run.vertices[dst].tasks.is_empty() {
+            return;
+        }
+        let rctx = EdgeRoutingContext {
+            num_src_tasks: src_n,
+            num_dst_tasks: dst_n,
+        };
+        let slot = run
+            .dag
+            .in_edge_indices(dst)
+            .iter()
+            .position(|&x| x == edge_idx)
+            .unwrap();
+        let mgr = run.edge_managers[edge_idx].clone();
+        let pubs: Vec<(usize, Vec<ShardLocator>)> = run.publications[edge_idx]
+            .iter()
+            .map(|(&t, locs)| (t, locs.clone()))
+            .collect();
+        for (src_task, locs) in pubs {
+            for (p, loc) in locs.iter().enumerate() {
+                for route in mgr.route(&rctx, src_task, p) {
+                    run.vertices[dst].tasks[route.dst_task].inputs[slot][route.dst_input_index] =
+                        Some(*loc);
+                }
+            }
+        }
+    }
+
+    // -- VM context ---------------------------------------------------------
+
+    fn with_vm<F>(&mut self, ctx: &mut AppContext<'_>, vidx: usize, f: F)
+    where
+        F: FnOnce(&mut dyn VertexManager, &mut dyn VertexManagerContext),
+    {
+        let Some(run) = self.run.as_mut() else { return };
+        let mut vm = match run.vertices[vidx].vm.take() {
+            Some(vm) => vm,
+            None => return, // re-entrant VM call; skip
+        };
+        let view = {
+            let dag = &run.dag;
+            let v = &run.vertices[vidx];
+            VmView {
+                vertex: v.name.clone(),
+                parallelism: v.parallelism,
+                scheduled: v.tasks.iter().filter(|t| t.scheduled).count(),
+                sources: dag
+                    .in_edge_indices(vidx)
+                    .iter()
+                    .map(|&e| {
+                        let edge = dag.edge(e);
+                        let sidx = dag.vertex_index(&edge.src).unwrap();
+                        SourceView {
+                            name: edge.src.clone(),
+                            kind: Self::source_kind(dag, vidx, &edge.src)
+                                .expect("edge source"),
+                            parallelism: run.vertices[sidx].parallelism,
+                            completed: run.vertices[sidx].completed,
+                        }
+                    })
+                    .collect(),
+                splits: run.vertices[vidx]
+                    .initializers
+                    .iter()
+                    .map(|s| (s.source.clone(), s.splits.as_ref().map(Vec::len)))
+                    .collect(),
+                slots: ctx.total_slots(&self.config.task_resource()),
+            }
+        };
+        let mut vmctx = VmCtx {
+            view,
+            actions: Vec::new(),
+        };
+        f(vm.as_mut(), &mut vmctx);
+        let VmCtx { view, actions } = vmctx;
+        let _ = view;
+        self.run.as_mut().unwrap().vertices[vidx].vm = Some(vm);
+        for action in actions {
+            match action {
+                VmAction::Reconfigure {
+                    parallelism,
+                    routing,
+                } => self.apply_reconfigure(vidx, parallelism, routing),
+                VmAction::Schedule(tasks) => {
+                    for t in tasks {
+                        self.schedule_task(ctx, vidx, t, false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_reconfigure(
+        &mut self,
+        vidx: usize,
+        parallelism: usize,
+        routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
+    ) {
+        let run = self.run.as_mut().expect("active dag");
+        let v = &mut run.vertices[vidx];
+        assert!(
+            v.tasks.iter().all(|t| !t.scheduled),
+            "reconfigure after scheduling on {}",
+            v.name
+        );
+        v.parallelism = Some(parallelism);
+        let in_edges = run.dag.in_edge_indices(vidx).to_vec();
+        for (src_name, mgr) in routing {
+            for &e in &in_edges {
+                if run.dag.edge(e).src == src_name {
+                    run.edge_managers[e] = mgr.clone();
+                }
+            }
+        }
+        if run.vertices[vidx].started || !run.vertices[vidx].tasks.is_empty() {
+            self.materialize_tasks(vidx);
+        }
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    fn task_locality(&self, vidx: usize, task: usize) -> Vec<NodeId> {
+        let run = self.run.as_ref().expect("active dag");
+        let t = &run.vertices[vidx].tasks[task];
+        let mut nodes = Vec::new();
+        for split in &t.splits {
+            for host in &split.hosts {
+                if let Some(n) = ClusterSpec::parse_host(host) {
+                    nodes.push(n);
+                }
+            }
+        }
+        // One-to-one edges: co-locate with the source task's output.
+        for (slot, &e) in run.dag.in_edge_indices(vidx).iter().enumerate() {
+            if matches!(run.dag.edge(e).property.movement, DataMovement::OneToOne) {
+                if let Some(Some(loc)) = t.inputs.get(slot).and_then(|v| v.first().map(|x| *x)) {
+                    nodes.push(NodeId(loc.node));
+                }
+            }
+        }
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    fn schedule_task(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        vidx: usize,
+        task: usize,
+        speculative: bool,
+    ) {
+        {
+            let run = self.run.as_mut().expect("active dag");
+            let t = &mut run.vertices[vidx].tasks[task];
+            if t.done || (t.scheduled && !speculative) {
+                return;
+            }
+            t.scheduled = true;
+            if speculative {
+                run.speculative_attempts += 1;
+            }
+        }
+        let attempt_idx = {
+            let run = self.run.as_mut().unwrap();
+            let v = &mut run.vertices[vidx];
+            v.attempts_total += 1;
+            let t = &mut v.tasks[task];
+            let _ = speculative;
+            t.attempts.push(AttemptRt {
+                state: AState::Requesting(None),
+                started_at: ctx.now(),
+            });
+            t.attempts.len() - 1
+        };
+        // Prefer an idle (warm) container — but never at the cost of data
+        // locality: a task with placement preferences only reuses a
+        // container on one of its preferred nodes.
+        let locality = self.task_locality(vidx, task);
+        if self.config.container_reuse {
+            let pick = self
+                .containers
+                .iter()
+                .filter(|(_, c)| {
+                    c.idle_since.is_some()
+                        && (locality.is_empty() || locality.contains(&c.node))
+                })
+                .min_by_key(|(id, _)| id.0)
+                .map(|(&id, _)| id);
+            if let Some(cid) = pick {
+                self.containers.get_mut(&cid).unwrap().idle_since = None;
+                if let Some(run) = self.run.as_mut() {
+                    run.warm_starts += 1;
+                }
+                self.assign_container(ctx, cid, vidx, task, attempt_idx);
+                return;
+            }
+        }
+        if let Some(cap) = self.config.max_containers {
+            let in_flight =
+                self.containers.len() + self.request_map.len() + self.prewarm_requested;
+            if self.config.container_reuse && in_flight >= cap {
+                // Service-executor model: never grow past the fleet size;
+                // the attempt waits for a pooled executor.
+                return;
+            }
+        }
+        let depth = self.run.as_ref().unwrap().dag.depth(vidx) as u32;
+        let req = ContainerRequest {
+            priority: depth,
+            resource: self.config.task_resource(),
+            nodes: locality,
+            racks: vec![],
+            relax_locality: true,
+        };
+        let rid = ctx.request_container(req);
+        self.request_map.insert(rid, (vidx, task, attempt_idx));
+        let run = self.run.as_mut().unwrap();
+        run.vertices[vidx].tasks[task].attempts[attempt_idx].state =
+            AState::Requesting(Some(rid));
+    }
+
+    fn assign_container(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        container: ContainerId,
+        vidx: usize,
+        task: usize,
+        attempt: usize,
+    ) {
+        {
+            let run = self.run.as_mut().expect("active dag");
+            let v = &mut run.vertices[vidx];
+            v.first_launch.get_or_insert(ctx.now());
+            let a = &mut v.tasks[task].attempts[attempt];
+            a.state = AState::WaitingInputs {
+                container,
+                since: ctx.now(),
+            };
+        }
+        self.try_execute(ctx, vidx, task, attempt);
+    }
+
+    fn inputs_ready(&self, vidx: usize, task: usize) -> bool {
+        let run = self.run.as_ref().expect("active dag");
+        run.vertices[vidx].tasks[task]
+            .inputs
+            .iter()
+            .all(|edge| edge.iter().all(Option::is_some))
+    }
+
+    fn try_execute(&mut self, ctx: &mut AppContext<'_>, vidx: usize, task: usize, attempt: usize) {
+        {
+            let run = self.run.as_ref().expect("active dag");
+            let t = &run.vertices[vidx].tasks[task];
+            if t.done {
+                return;
+            }
+            match t.attempts[attempt].state {
+                AState::WaitingInputs { .. } => {}
+                _ => return,
+            }
+        }
+        if !self.inputs_ready(vidx, task) {
+            return;
+        }
+        let (container, wait_since) = {
+            let run = self.run.as_ref().unwrap();
+            match run.vertices[vidx].tasks[task].attempts[attempt].state {
+                AState::WaitingInputs { container, since } => (container, since),
+                _ => unreachable!(),
+            }
+        };
+        let Some(node) = ctx.container_node(container) else {
+            // Container vanished between assignment and execution.
+            self.attempt_failed(ctx, vidx, task, attempt, false);
+            return;
+        };
+        let spec = self.build_task_spec(vidx, task, attempt);
+        let works_run = ctx.container_works_run(container).unwrap_or(0);
+        if works_run > 0 {
+            if let Some(run) = self.run.as_mut() {
+                run.warm_starts += 1;
+            }
+        }
+
+        // Execute the IPO pipeline against the real data plane.
+        let fetcher = NodeFetcher {
+            service: self.service.clone(),
+            node: node.0,
+        };
+        let objreg = self.objreg.for_container(container.0);
+        let outcome = {
+            let mut dfs = HdfsView { hdfs: ctx.hdfs() };
+            let mut env = TaskEnv {
+                fetcher: &fetcher,
+                dfs: &mut dfs,
+                registry: &objreg,
+                token: self.token,
+            };
+            run_task(&spec, &mut env, &self.registry)
+        };
+        match outcome {
+            Ok(outcome) => {
+                let cost = self.work_cost(ctx, vidx, task, &spec, &outcome, node, wait_since);
+                let label = {
+                    let run = self.run.as_ref().unwrap();
+                    format!(
+                        "{}:{}[{}]",
+                        (b'A' + (self.dag_index % 26) as u8) as char,
+                        run.vertices[vidx].name,
+                        task
+                    )
+                };
+                let work = ctx.start_work(container, label, cost);
+                self.work_map.insert(work, (vidx, task, attempt));
+                let run = self.run.as_mut().unwrap();
+                run.counters.merge(&outcome.counters);
+                run.vertices[vidx].tasks[task].attempts[attempt].state = AState::Running {
+                    container,
+                    work,
+                    outcome: Box::new(outcome),
+                };
+            }
+            Err(TaskError::InputRead(errors)) => {
+                // Lost intermediate data: regenerate producers (§4.3). The
+                // attempt keeps its container and waits for fresh inputs.
+                {
+                    let run = self.run.as_mut().unwrap();
+                    run.vertices[vidx].tasks[task].attempts[attempt].state =
+                        AState::WaitingInputs {
+                            container,
+                            since: ctx.now(),
+                        };
+                }
+                self.handle_input_read_errors(ctx, errors);
+            }
+            Err(e) if e.is_retriable() => {
+                if std::env::var("TEZ_DEBUG").is_ok() {
+                    eprintln!(
+                        "[tez] attempt {}[{}].{} failed: {e}",
+                        spec.meta.vertex, task, attempt
+                    );
+                }
+                self.attempt_failed(ctx, vidx, task, attempt, true);
+            }
+            Err(e) => {
+                self.fail_dag(ctx, format!("fatal task error in {}: {e}", spec.meta.vertex));
+            }
+        }
+    }
+
+    fn build_task_spec(&self, vidx: usize, task: usize, attempt: usize) -> TaskSpec {
+        let run = self.run.as_ref().expect("active dag");
+        let dag = &run.dag;
+        let v = dag.vertex(vidx);
+        let vrt = &run.vertices[vidx];
+        let trt = &vrt.tasks[task];
+        let n = vrt.parallelism.unwrap();
+
+        let mut inputs = Vec::new();
+        // Root data sources first (stable order), then edges.
+        for (i, src) in v.data_sources.iter().enumerate() {
+            let split = trt
+                .splits
+                .get(i)
+                .map(|s| s.payload.clone())
+                .unwrap_or_else(|| {
+                    SplitPayload {
+                        path: String::new(),
+                        blocks: vec![],
+                    }
+                    .encode()
+                });
+            inputs.push(InputSpec {
+                name: src.name.clone(),
+                descriptor: src.input.clone(),
+                source: InputSource::Split(split),
+            });
+        }
+        for (slot, &e) in dag.in_edge_indices(vidx).iter().enumerate() {
+            let edge = dag.edge(e);
+            let shards: Vec<ShardLocator> = trt.inputs[slot]
+                .iter()
+                .map(|s| s.expect("inputs ready"))
+                .collect();
+            inputs.push(InputSpec {
+                name: edge.src.clone(),
+                descriptor: edge.property.dst_input.clone(),
+                source: InputSource::Shards(shards),
+            });
+        }
+
+        let mut outputs = Vec::new();
+        for &e in dag.out_edge_indices(vidx) {
+            let edge = dag.edge(e);
+            let dst = dag.vertex_index(&edge.dst).unwrap();
+            // Broadcast/one-to-one partition counts don't depend on the
+            // consumer's width, so producers may run before a DPP-gated
+            // consumer resolves.
+            let dst_n = match run.vertices[dst].parallelism {
+                Some(n) => n,
+                None => match edge.property.movement {
+                    DataMovement::Broadcast | DataMovement::OneToOne => 1,
+                    _ => panic!(
+                        "scatter-gather consumer {} unresolved while producer runs",
+                        edge.dst
+                    ),
+                },
+            };
+            let rctx = EdgeRoutingContext {
+                num_src_tasks: n,
+                num_dst_tasks: dst_n,
+            };
+            outputs.push(OutputSpec {
+                name: edge.dst.clone(),
+                descriptor: edge.property.src_output.clone(),
+                num_partitions: run.edge_managers[e].num_physical_outputs(&rctx, task),
+                is_sink: false,
+                task_index: task,
+                vertex: v.name.clone(),
+            });
+        }
+        for sink in &v.data_sinks {
+            outputs.push(OutputSpec {
+                name: sink.name.clone(),
+                descriptor: sink.output.clone(),
+                num_partitions: 1,
+                is_sink: true,
+                task_index: task,
+                vertex: v.name.clone(),
+            });
+        }
+
+        TaskSpec {
+            meta: TaskMeta {
+                dag: dag.name().to_string(),
+                vertex: v.name.clone(),
+                task_index: task,
+                num_tasks: n,
+                attempt,
+            },
+            processor: v.processor.clone(),
+            inputs,
+            outputs,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn work_cost(
+        &self,
+        ctx: &AppContext<'_>,
+        vidx: usize,
+        task: usize,
+        spec: &TaskSpec,
+        outcome: &TaskOutcome,
+        node: NodeId,
+        wait_since: SimTime,
+    ) -> WorkCost {
+        let run = self.run.as_ref().expect("active dag");
+        let trt = &run.vertices[vidx].tasks[task];
+        // Statistics scales: this vertex's outputs use its own scale;
+        // fetched shards use their *producer's* scale (so broadcasts from
+        // pinned dimension scans stay cheap).
+        let own = Self::vertex_scale(run, &self.config, vidx);
+        let scale = |b: u64| (b as f64 * own) as u64;
+        let mut src_scale: HashMap<String, f64> = HashMap::new();
+        for &e in run.dag.in_edge_indices(vidx) {
+            let edge = run.dag.edge(e);
+            let sidx = run.dag.vertex_index(&edge.src).unwrap();
+            src_scale.insert(edge.src.clone(), Self::vertex_scale(run, &self.config, sidx));
+        }
+
+        // Root splits: declared (already scaled) bytes; local when the
+        // container landed on a replica host.
+        let host = ClusterSpec::host_name(node);
+        let (mut local_read, mut remote_read) = (0u64, 0u64);
+        let mut cpu_records = 0u64;
+        for split in &trt.splits {
+            if split.hosts.iter().any(|h| h == &host) {
+                local_read += split.bytes;
+            } else {
+                remote_read += split.bytes;
+            }
+            cpu_records += (split.records as f64 * 1.0) as u64;
+        }
+        // Edge shards: real locator bytes, scaled.
+        let mut shard_count = 0usize;
+        for input in &spec.inputs {
+            if let InputSource::Shards(shards) = &input.source {
+                let in_scale = src_scale.get(&input.name).copied().unwrap_or(own);
+                let sc = |b: u64| (b as f64 * in_scale) as u64;
+                for s in shards {
+                    shard_count += 1;
+                    if s.node == node.0 {
+                        local_read += sc(s.bytes);
+                    } else {
+                        remote_read += sc(s.bytes);
+                    }
+                    cpu_records += sc(s.records);
+                }
+            }
+        }
+        // Outputs: partition bytes to local disk, sink bytes to the DFS.
+        let (mut local_write, mut dfs_write) = (0u64, 0u64);
+        let mut out_records = 0u64;
+        for (_, commit) in &outcome.outputs {
+            let pbytes: u64 = commit.partitions.iter().map(|p| p.data.len() as u64).sum();
+            local_write += scale(pbytes) + scale(commit.spilled_bytes);
+            if let Some(sink) = &commit.sink {
+                dfs_write += scale(sink.blocks.iter().map(|(d, _)| d.len() as u64).sum());
+            }
+            out_records += scale(commit.total_records());
+        }
+
+        // Slow-start overlap credit: while the attempt held its container
+        // waiting for the last producers, it prefetched available shards.
+        // All but (roughly) the final shard's fetch can be hidden by the
+        // wait window.
+        let wait_ms = ctx.now().since(wait_since);
+        let overlapped = if shard_count > 1 && wait_ms > 0 {
+            let fetch_ms = ctx.cost_model().remote_read_ms(remote_read);
+            let hideable = fetch_ms.saturating_sub(fetch_ms / shard_count as u64);
+            hideable.min(wait_ms)
+        } else {
+            0
+        };
+
+        WorkCost {
+            cpu_records: cpu_records + out_records,
+            cpu_bytes: local_read + remote_read,
+            local_read_bytes: local_read,
+            remote_read_bytes: remote_read,
+            local_write_bytes: local_write,
+            dfs_write_bytes: dfs_write,
+            setup_ms: 0,
+            overlapped_fetch_ms: overlapped,
+        }
+    }
+
+    // -- completion paths ---------------------------------------------------
+
+    fn on_work_completed(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        work: WorkId,
+        container: ContainerId,
+        outcome: WorkOutcome,
+    ) {
+        let Some((vidx, task, attempt)) = self.work_map.remove(&work) else {
+            // Pre-warm work or stale completion.
+            if self.prewarm_outstanding > 0 {
+                self.prewarm_outstanding -= 1;
+            }
+            self.return_to_pool(ctx, container);
+            return;
+        };
+        let Some(run) = self.run.as_mut() else { return };
+        let Some(vrt) = run.vertices.get_mut(vidx) else {
+            return;
+        };
+        let task_done_already = vrt.tasks[task].done;
+        let a = &mut vrt.tasks[task].attempts[attempt];
+        let task_outcome = match std::mem::replace(&mut a.state, AState::Done) {
+            AState::Running { outcome, .. } => Some(outcome),
+            _ => None,
+        };
+        match outcome {
+            WorkOutcome::Succeeded if !task_done_already => {
+                let started = a.started_at;
+                vrt.duration_sum += ctx.now().since(started);
+                vrt.duration_count += 1;
+                vrt.last_finish = Some(ctx.now());
+                let out = task_outcome.expect("running attempt holds its outcome");
+                self.task_succeeded(ctx, vidx, task, attempt, *out, container);
+            }
+            WorkOutcome::Succeeded => {
+                // A sibling attempt already completed the task.
+                self.return_to_pool(ctx, container);
+            }
+            WorkOutcome::Killed => {
+                self.return_to_pool(ctx, container);
+            }
+            WorkOutcome::InjectedFailure => {
+                if !task_done_already {
+                    self.run.as_mut().unwrap().vertices[vidx].failed_attempts += 1;
+                    self.retry_task(ctx, vidx, task);
+                }
+                self.return_to_pool(ctx, container);
+            }
+            WorkOutcome::ContainerLost => {
+                if !task_done_already {
+                    self.run.as_mut().unwrap().vertices[vidx].failed_attempts += 1;
+                    self.retry_task(ctx, vidx, task);
+                }
+            }
+        }
+    }
+
+    fn task_succeeded(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        vidx: usize,
+        task: usize,
+        attempt: usize,
+        outcome: TaskOutcome,
+        container: ContainerId,
+    ) {
+        let node = ctx
+            .container_node(container)
+            .expect("succeeded work implies live container");
+        // Kill sibling attempts (speculation losers).
+        let siblings: Vec<WorkId> = {
+            let run = self.run.as_ref().unwrap();
+            run.vertices[vidx].tasks[task]
+                .attempts
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != attempt)
+                .filter_map(|(_, a)| match a.state {
+                    AState::Running { work, .. } => Some(work),
+                    _ => None,
+                })
+                .collect()
+        };
+        for w in siblings {
+            ctx.kill_work(w);
+        }
+        // Cancel sibling container requests and free waiting siblings'
+        // containers.
+        let mut sibling_reqs: Vec<RequestId> = Vec::new();
+        let mut sibling_containers: Vec<ContainerId> = Vec::new();
+        {
+            let run = self.run.as_mut().unwrap();
+            for (i, a) in run.vertices[vidx].tasks[task].attempts.iter_mut().enumerate() {
+                if i == attempt {
+                    continue;
+                }
+                match std::mem::replace(&mut a.state, AState::Done) {
+                    AState::Requesting(Some(r)) => sibling_reqs.push(r),
+                    AState::WaitingInputs { container, .. } => sibling_containers.push(container),
+                    s @ AState::Running { .. } => a.state = s, // killed above; pool on completion
+                    _ => {}
+                }
+            }
+        }
+        for r in sibling_reqs {
+            ctx.cancel_request(r);
+            self.request_map.remove(&r);
+        }
+        for c in sibling_containers {
+            self.return_to_pool(ctx, c);
+        }
+
+        // Publish edge outputs, collect sink artifacts, route events.
+        let dag_out_edges: Vec<usize> = {
+            let run = self.run.as_ref().unwrap();
+            run.dag.out_edge_indices(vidx).to_vec()
+        };
+        let mut edge_outputs: HashMap<String, usize> = HashMap::new();
+        {
+            let run = self.run.as_ref().unwrap();
+            for &e in &dag_out_edges {
+                edge_outputs.insert(run.dag.edge(e).dst.clone(), e);
+            }
+        }
+        let mut stats_by_consumer: Vec<(usize, u64)> = Vec::new();
+        for (name, commit) in outcome.outputs {
+            if let Some(&edge_idx) = edge_outputs.get(&name) {
+                let oid = self.service.new_output_id();
+                let locators = self.service.publish(node.0, oid, commit.partitions);
+                self.output_registry.insert(oid, (vidx, task));
+                let vscale = {
+                    let run = self.run.as_ref().unwrap();
+                    Self::vertex_scale(run, &self.config, vidx)
+                };
+                let total_scaled: u64 = locators
+                    .iter()
+                    .map(|l| (l.bytes as f64 * vscale) as u64)
+                    .sum();
+                {
+                    let run = self.run.as_mut().unwrap();
+                    run.publications[edge_idx].insert(task, locators.clone());
+                    run.vertices[vidx].tasks[task]
+                        .published
+                        .push((edge_idx, node.0, oid));
+                }
+                self.route_locators(ctx, edge_idx, task, &locators);
+                let run = self.run.as_ref().unwrap();
+                if matches!(
+                    run.dag.edge(edge_idx).property.movement,
+                    DataMovement::ScatterGather | DataMovement::Custom { .. }
+                ) {
+                    let dst = run.dag.vertex_index(&run.dag.edge(edge_idx).dst).unwrap();
+                    stats_by_consumer.push((dst, total_scaled));
+                }
+            } else if let Some(sink) = commit.sink {
+                self.run.as_mut().unwrap().sink_artifacts.push(sink);
+            }
+        }
+        // Auto statistics to shuffle managers (paper Figure 6).
+        let src_attempt = SourceTaskAttempt {
+            vertex: self.run.as_ref().unwrap().vertices[vidx].name.clone(),
+            task,
+        };
+        for (dst, bytes) in stats_by_consumer {
+            let payload = producer_stats_payload(bytes);
+            let sa = src_attempt.clone();
+            self.with_vm(ctx, dst, |vm, vmctx| vm.on_event(&sa, &payload, vmctx));
+        }
+        // Processor-emitted control-plane events.
+        for event in outcome.events {
+            self.route_outbound_event(ctx, event);
+        }
+
+        // Mark done, notify consumer VMs, wake waiting consumer attempts.
+        let consumers: Vec<usize> = {
+            let run = self.run.as_mut().unwrap();
+            run.vertices[vidx].tasks[task].done = true;
+            run.vertices[vidx].completed += 1;
+            run.dag.consumers(vidx)
+        };
+        for c in &consumers {
+            let sa = src_attempt.clone();
+            self.with_vm(ctx, *c, |vm, vmctx| {
+                vm.on_source_task_completed(&sa, vmctx)
+            });
+        }
+        self.wake_waiting_consumers(ctx, &consumers);
+        self.return_to_pool(ctx, container);
+        self.check_vertex_complete(ctx, vidx);
+    }
+
+    fn wake_waiting_consumers(&mut self, ctx: &mut AppContext<'_>, consumers: &[usize]) {
+        for &c in consumers {
+            let Some(run) = self.run.as_ref() else { return };
+            let Some(vrt) = run.vertices.get(c) else {
+                continue;
+            };
+            let waiting: Vec<(usize, usize)> = vrt
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .flat_map(|(ti, t)| {
+                    t.attempts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| matches!(a.state, AState::WaitingInputs { .. }))
+                        .map(move |(ai, _)| (ti, ai))
+                })
+                .collect();
+            for (ti, ai) in waiting {
+                self.try_execute(ctx, c, ti, ai);
+            }
+        }
+    }
+
+    fn route_locators(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        edge_idx: usize,
+        src_task: usize,
+        locators: &[ShardLocator],
+    ) {
+        let run = self.run.as_mut().expect("active dag");
+        let edge = run.dag.edge(edge_idx);
+        let src = run.dag.vertex_index(&edge.src).unwrap();
+        let dst = run.dag.vertex_index(&edge.dst).unwrap();
+        let (Some(src_n), Some(dst_n)) = (
+            run.vertices[src].parallelism,
+            run.vertices[dst].parallelism,
+        ) else {
+            return; // consumer unresolved; replay happens at materialize
+        };
+        if run.vertices[dst].tasks.is_empty() {
+            return;
+        }
+        let rctx = EdgeRoutingContext {
+            num_src_tasks: src_n,
+            num_dst_tasks: dst_n,
+        };
+        let slot = run
+            .dag
+            .in_edge_indices(dst)
+            .iter()
+            .position(|&x| x == edge_idx)
+            .unwrap();
+        let mgr = run.edge_managers[edge_idx].clone();
+        for (p, loc) in locators.iter().enumerate() {
+            for route in mgr.route(&rctx, src_task, p) {
+                run.vertices[dst].tasks[route.dst_task].inputs[slot][route.dst_input_index] =
+                    Some(*loc);
+            }
+        }
+        let _ = ctx;
+    }
+
+    fn route_outbound_event(&mut self, ctx: &mut AppContext<'_>, event: OutboundEvent) {
+        match event {
+            OutboundEvent::VertexManager {
+                target_vertex,
+                payload,
+            } => {
+                let Some(run) = self.run.as_ref() else { return };
+                let Some(dst) = run.dag.vertex_index(&target_vertex) else {
+                    return;
+                };
+                let sa = SourceTaskAttempt {
+                    vertex: String::new(),
+                    task: 0,
+                };
+                self.with_vm(ctx, dst, |vm, vmctx| vm.on_event(&sa, &payload, vmctx));
+            }
+            OutboundEvent::InputInitializer {
+                target_vertex,
+                source,
+                payload,
+            } => {
+                self.deliver_initializer_event(ctx, &target_vertex, &source, &payload);
+            }
+        }
+    }
+
+    fn deliver_initializer_event(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        target_vertex: &str,
+        source: &str,
+        payload: &[u8],
+    ) {
+        let total_slots = ctx.total_slots(&self.config.task_resource());
+        let nodes = ctx.alive_nodes();
+        let mut failed = None;
+        {
+            let Some(run) = self.run.as_mut() else { return };
+            let Some(vidx) = run.dag.vertex_index(target_vertex) else {
+                return;
+            };
+            let vname = run.vertices[vidx].name.clone();
+            let Some(slot) = run.vertices[vidx]
+                .initializers
+                .iter_mut()
+                .find(|s| s.source == source)
+            else {
+                return;
+            };
+            let mut init = slot.init.take().expect("initializer present");
+            let result = {
+                let mut ictx = InitCtx {
+                    dfs: ctx.hdfs(),
+                    nodes,
+                    slots: total_slots,
+                    vertex: &vname,
+                    counters: &mut run.counters,
+                };
+                init.on_event(payload, &mut ictx)
+            };
+            slot.init = Some(init);
+            match result {
+                Ok(InitializerResult::Ready(splits)) => slot.splits = Some(splits),
+                Ok(InitializerResult::Waiting) => {}
+                Err(e) => failed = Some(format!("initializer event on {target_vertex}: {e}")),
+            }
+        }
+        if let Some(reason) = failed {
+            self.fail_dag(ctx, reason);
+            return;
+        }
+        // Newly-ready splits may unblock vertex resolution (DPP).
+        self.resolve_vertices(ctx);
+    }
+
+    fn check_vertex_complete(&mut self, ctx: &mut AppContext<'_>, vidx: usize) {
+        let all_done = {
+            let Some(run) = self.run.as_ref() else { return };
+            let v = &run.vertices[vidx];
+            v.started && v.tasks.iter().all(|t| t.done)
+        };
+        if !all_done {
+            return;
+        }
+        self.objreg.evict_scope(tez_runtime::ObjectScope::Vertex);
+        let dag_done = {
+            let run = self.run.as_ref().unwrap();
+            run.vertices
+                .iter()
+                .all(|v| v.started && v.tasks.iter().all(|t| t.done))
+        };
+        if dag_done {
+            self.complete_dag(ctx);
+        }
+    }
+
+    fn complete_dag(&mut self, ctx: &mut AppContext<'_>) {
+        // Commit sinks exactly once (paper §3.1).
+        let commit_result = {
+            let run = self.run.as_ref().unwrap();
+            let mut plans: Vec<(String, tez_dag::UserPayload)> = Vec::new();
+            for v in run.dag.vertices() {
+                for sink in &v.data_sinks {
+                    if let Some(c) = &sink.committer {
+                        plans.push((c.kind.clone(), c.payload.clone()));
+                    }
+                }
+            }
+            plans
+        };
+        let artifacts = std::mem::take(&mut self.run.as_mut().unwrap().sink_artifacts);
+        let mut commit_err = None;
+        for (kind, payload) in commit_result {
+            match self.registry.create_committer(&kind, &payload) {
+                Ok(mut committer) => {
+                    let mut dfs = HdfsView { hdfs: ctx.hdfs() };
+                    let mut env = tez_runtime::CommitEnv { dfs: &mut dfs };
+                    if let Err(e) = committer.commit(&artifacts, &mut env) {
+                        commit_err = Some(format!("commit failed: {e}"));
+                    }
+                }
+                Err(e) => commit_err = Some(format!("committer missing: {e}")),
+            }
+        }
+        if let Some(reason) = commit_err {
+            self.fail_dag(ctx, reason);
+            return;
+        }
+        self.finish_dag(ctx, DagStatus::Succeeded);
+    }
+
+    fn fail_dag(&mut self, ctx: &mut AppContext<'_>, reason: String) {
+        if self.run.is_some() {
+            self.finish_dag(ctx, DagStatus::Failed(reason));
+        }
+    }
+
+    fn finish_dag(&mut self, ctx: &mut AppContext<'_>, status: DagStatus) {
+        let run = self.run.take().expect("active dag");
+        // Kill any leftover work / cancel requests.
+        let mut leftover_works = Vec::new();
+        for v in &run.vertices {
+            for t in &v.tasks {
+                for a in &t.attempts {
+                    match a.state {
+                        AState::Running { work, .. } => leftover_works.push(work),
+                        AState::Requesting(Some(r)) => {
+                            ctx.cancel_request(r);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for w in leftover_works {
+            ctx.kill_work(w);
+            self.work_map.remove(&w);
+        }
+        let report = DagReport {
+            name: run.dag.name().to_string(),
+            submitted: run.submitted,
+            finished: ctx.now(),
+            status,
+            counters: run.counters.clone(),
+            vertices: run
+                .dag
+                .topological_order()
+                .iter()
+                .map(|&vi| {
+                    let v = &run.vertices[vi];
+                    VertexReport {
+                        name: v.name.clone(),
+                        tasks: v.tasks.len(),
+                        attempts: v.attempts_total,
+                        failed_attempts: v.failed_attempts,
+                        first_launch: v.first_launch,
+                        last_finish: v.last_finish,
+                    }
+                })
+                .collect(),
+            containers_allocated: run.containers_allocated,
+            warm_starts: run.warm_starts,
+            speculative_attempts: run.speculative_attempts,
+            reexecuted_tasks: run.reexecuted_tasks,
+        };
+        self.output.lock().reports.push(report);
+        self.objreg.evict_scope(tez_runtime::ObjectScope::Dag);
+        self.dag_index += 1;
+
+        if !self.config.session {
+            // Release every container between DAGs.
+            let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+            for id in ids {
+                self.containers.remove(&id);
+                self.objreg.drop_container(id.0);
+                ctx.release_container(id);
+            }
+        }
+        if self.config.per_dag_am_penalty_ms > 0 && !self.pending_dags.is_empty() {
+            // Classic chains launch a fresh AM per job.
+            ctx.set_timer(self.config.per_dag_am_penalty_ms, TIMER_NEXT_DAG);
+        } else {
+            self.start_next_dag(ctx);
+        }
+    }
+
+    fn finish_session(&mut self, ctx: &mut AppContext<'_>) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.objreg.evict_scope(tez_runtime::ObjectScope::Session);
+        self.service.revoke_token(self.token);
+        let any_failed = self
+            .output
+            .lock()
+            .reports
+            .iter()
+            .any(|r| !r.status.is_success());
+        ctx.finish(if any_failed {
+            AppStatus::Failed("one or more DAGs failed".into())
+        } else {
+            AppStatus::Succeeded
+        });
+    }
+
+    // -- failure handling ---------------------------------------------------
+
+    fn retry_task(&mut self, ctx: &mut AppContext<'_>, vidx: usize, task: usize) {
+        let give_up = {
+            let run = self.run.as_mut().unwrap();
+            let t = &mut run.vertices[vidx].tasks[task];
+            if t.done {
+                return;
+            }
+            t.failures += 1;
+            // Only retry when no other attempt is still alive.
+            let alive = t
+                .attempts
+                .iter()
+                .any(|a| !matches!(a.state, AState::Done));
+            if alive {
+                return;
+            }
+            t.failures > self.config.max_task_attempts
+        };
+        if give_up {
+            let name = self.run.as_ref().unwrap().vertices[vidx].name.clone();
+            self.fail_dag(
+                ctx,
+                format!("task {name}[{task}] exhausted its attempts"),
+            );
+            return;
+        }
+        {
+            let run = self.run.as_mut().unwrap();
+            run.vertices[vidx].tasks[task].scheduled = false;
+        }
+        self.schedule_task(ctx, vidx, task, false);
+    }
+
+    fn handle_input_read_errors(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        errors: Vec<tez_runtime::InputReadError>,
+    ) {
+        let mut producers: Vec<(usize, usize)> = Vec::new();
+        for err in &errors {
+            if let Some(&(pv, pt)) = self.output_registry.get(&err.locator.output_id) {
+                if !producers.contains(&(pv, pt)) {
+                    producers.push((pv, pt));
+                }
+            }
+        }
+        for (pv, pt) in producers {
+            self.reexecute_producer(ctx, pv, pt);
+        }
+    }
+
+    /// Re-execute a completed producer task to regenerate lost output
+    /// (paper §4.3). Drops its stale publications, clears routed locators
+    /// at consumers, and re-schedules it.
+    fn reexecute_producer(&mut self, ctx: &mut AppContext<'_>, vidx: usize, task: usize) {
+        let reschedule = {
+            let run = self.run.as_mut().unwrap();
+            let published = {
+                let t = &mut run.vertices[vidx].tasks[task];
+                if !t.done {
+                    return; // already being regenerated
+                }
+                t.done = false;
+                t.scheduled = false;
+                std::mem::take(&mut t.published)
+            };
+            run.vertices[vidx].completed = run.vertices[vidx].completed.saturating_sub(1);
+            run.reexecuted_tasks += 1;
+            for &(edge_idx, node, oid) in &published {
+                self.service.drop_output(node, oid);
+                self.output_registry.remove(&oid);
+                run.publications[edge_idx].remove(&task);
+            }
+            // Clear routed locators pointing at the dropped outputs.
+            let cleared: Vec<usize> = published.iter().map(|&(e, _, _)| e).collect();
+            for &edge_idx in &cleared {
+                let dst = run
+                    .dag
+                    .vertex_index(&run.dag.edge(edge_idx).dst)
+                    .unwrap();
+                let oids: Vec<u64> = published
+                    .iter()
+                    .filter(|&&(e, _, _)| e == edge_idx)
+                    .map(|&(_, _, o)| o)
+                    .collect();
+                for t2 in &mut run.vertices[dst].tasks {
+                    for slot in &mut t2.inputs {
+                        for loc in slot.iter_mut() {
+                            if let Some(l) = loc {
+                                if oids.contains(&l.output_id) {
+                                    *loc = None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            true
+        };
+        if reschedule {
+            self.schedule_task(ctx, vidx, task, false);
+        }
+    }
+
+    fn attempt_failed(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        vidx: usize,
+        task: usize,
+        attempt: usize,
+        release_container: bool,
+    ) {
+        let container = {
+            let run = self.run.as_mut().unwrap();
+            run.vertices[vidx].failed_attempts += 1;
+            let a = &mut run.vertices[vidx].tasks[task].attempts[attempt];
+            match std::mem::replace(&mut a.state, AState::Done) {
+                AState::WaitingInputs { container, .. } => Some(container),
+                AState::Running { container, .. } => Some(container),
+                _ => None,
+            }
+        };
+        if release_container {
+            if let Some(c) = container {
+                self.return_to_pool(ctx, c);
+            }
+        }
+        self.retry_task(ctx, vidx, task);
+    }
+
+    // -- container pool -----------------------------------------------------
+
+    fn return_to_pool(&mut self, ctx: &mut AppContext<'_>, container: ContainerId) {
+        if !self.containers.contains_key(&container) {
+            return; // already lost/released
+        }
+        if ctx.container_node(container).is_none() {
+            self.containers.remove(&container);
+            self.objreg.drop_container(container.0);
+            return;
+        }
+        // Find the best Requesting attempt: lowest vertex depth first
+        // (producers before consumers — this is also how deadlock
+        // preemption hands containers back), then task order.
+        let pick = {
+            let Some(run) = self.run.as_ref() else {
+                // Between DAGs in session mode: park the container.
+                self.park_or_release(ctx, container);
+                return;
+            };
+            let mut best: Option<(usize, usize, usize, usize)> = None; // (depth, v, t, a)
+            for (vi, v) in run.vertices.iter().enumerate() {
+                let depth = run.dag.depth(vi);
+                for (ti, t) in v.tasks.iter().enumerate() {
+                    if t.done {
+                        continue;
+                    }
+                    for (ai, a) in t.attempts.iter().enumerate() {
+                        if matches!(a.state, AState::Requesting(_)) {
+                            let cand = (depth, vi, ti, ai);
+                            if best.map_or(true, |b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        };
+        match pick {
+            Some((_, vi, ti, ai)) if self.config.container_reuse => {
+                // Cancel the pending RM request and reuse the container.
+                let req = {
+                    let run = self.run.as_mut().unwrap();
+                    let a = &mut run.vertices[vi].tasks[ti].attempts[ai];
+                    match std::mem::replace(&mut a.state, AState::Done) {
+                        AState::Requesting(r) => r,
+                        s => {
+                            a.state = s;
+                            None
+                        }
+                    }
+                };
+                if let Some(r) = req {
+                    ctx.cancel_request(r);
+                    self.request_map.remove(&r);
+                }
+                if let Some(run) = self.run.as_mut() {
+                    run.warm_starts += 1;
+                }
+                self.assign_container(ctx, container, vi, ti, ai);
+            }
+            _ => self.park_or_release(ctx, container),
+        }
+    }
+
+    fn park_or_release(&mut self, ctx: &mut AppContext<'_>, container: ContainerId) {
+        let keep = self.config.container_reuse
+            && (self.run.is_some() || (self.config.session && !self.pending_dags.is_empty()));
+        if keep {
+            if let Some(c) = self.containers.get_mut(&container) {
+                c.idle_since = Some(ctx.now());
+            }
+            if self.config.reuse_idle_ms == u64::MAX {
+                return; // hold for the app's lifetime (service model)
+            }
+            if !self.idle_timer_armed {
+                self.idle_timer_armed = true;
+                ctx.set_timer(self.config.reuse_idle_ms, TIMER_IDLE_SWEEP);
+            }
+        } else {
+            self.containers.remove(&container);
+            self.objreg.drop_container(container.0);
+            ctx.release_container(container);
+        }
+    }
+
+    fn sweep_idle(&mut self, ctx: &mut AppContext<'_>) {
+        self.idle_timer_armed = false;
+        let now = ctx.now();
+        let expired: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|(_, c)| {
+                c.idle_since
+                    .is_some_and(|t| now.since(t) >= self.config.reuse_idle_ms)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.containers.remove(&id);
+            self.objreg.drop_container(id.0);
+            ctx.release_container(id);
+        }
+        let any_idle = self.containers.values().any(|c| c.idle_since.is_some());
+        if any_idle {
+            self.idle_timer_armed = true;
+            ctx.set_timer(self.config.reuse_idle_ms, TIMER_IDLE_SWEEP);
+        }
+    }
+
+    // -- speculation & deadlock ---------------------------------------------
+
+    fn run_speculator(&mut self, ctx: &mut AppContext<'_>) {
+        let candidates: Vec<(usize, usize)> = {
+            let Some(run) = self.run.as_ref() else {
+                return;
+            };
+            let mut out = Vec::new();
+            for (vi, v) in run.vertices.iter().enumerate() {
+                if v.duration_count < self.config.speculation_min_completed as u64 {
+                    continue;
+                }
+                let mean = v.duration_sum as f64 / v.duration_count as f64;
+                for (ti, t) in v.tasks.iter().enumerate() {
+                    if t.done || t.attempts.len() != 1 {
+                        continue; // never more than one backup
+                    }
+                    if let AState::Running { work, .. } = t.attempts[0].state {
+                        let progress = ctx.work_progress(work).max(0.02);
+                        let elapsed = ctx.now().since(t.attempts[0].started_at) as f64;
+                        let projected = elapsed / progress;
+                        if projected > mean * self.config.speculation_slowdown
+                            && elapsed > mean * 0.5
+                        {
+                            out.push((vi, ti));
+                        }
+                    }
+                }
+            }
+            out
+        };
+        for (vi, ti) in candidates {
+            self.schedule_task(ctx, vi, ti, true);
+        }
+    }
+
+    /// Out-of-order scheduling can deadlock a constrained cluster: waiting
+    /// consumer attempts hold every container while their producers starve.
+    /// Detect and preempt (paper §3.4 "Tez has built-in deadlock detection
+    /// and preemption").
+    fn run_deadlock_detector(&mut self, ctx: &mut AppContext<'_>) {
+        if std::env::var("TEZ_DEBUG_STALL").is_ok() {
+            if let Some(run) = self.run.as_ref() {
+                let summary: Vec<String> = run
+                    .vertices
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{}:{}/{}{}",
+                            v.name,
+                            v.completed,
+                            v.tasks.len(),
+                            if v.started { "" } else { "!unstarted" }
+                        )
+                    })
+                    .collect();
+                eprintln!("[stall {}] {}", ctx.now(), summary.join(" "));
+            }
+        }
+        let victim = {
+            let Some(run) = self.run.as_ref() else {
+                return;
+            };
+            // A producer is starving if some attempt has an unfulfilled
+            // container request at depth d…
+            let min_starving_depth = run
+                .vertices
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| {
+                    v.tasks.iter().any(|t| {
+                        !t.done
+                            && t.attempts
+                                .iter()
+                                .any(|a| matches!(a.state, AState::Requesting(Some(_))))
+                    })
+                })
+                .map(|(vi, _)| run.dag.depth(vi))
+                .min();
+            let Some(d) = min_starving_depth else {
+                return;
+            };
+            // …and a consumer at depth > d is holding a container waiting
+            // for inputs. Preempt the deepest, youngest waiter.
+            run.vertices
+                .iter()
+                .enumerate()
+                .filter(|(vi, _)| run.dag.depth(*vi) > d)
+                .flat_map(|(vi, v)| {
+                    v.tasks.iter().enumerate().flat_map(move |(ti, t)| {
+                        t.attempts.iter().enumerate().filter_map(move |(ai, a)| {
+                            match a.state {
+                                AState::WaitingInputs { container, since } => {
+                                    Some((since, vi, ti, ai, container))
+                                }
+                                _ => None,
+                            }
+                        })
+                    })
+                })
+                .max_by_key(|&(since, vi, ti, _, _)| (since, vi, ti))
+        };
+        if let Some((_, vi, ti, ai, container)) = victim {
+            {
+                let run = self.run.as_mut().unwrap();
+                let a = &mut run.vertices[vi].tasks[ti].attempts[ai];
+                a.state = AState::Done;
+                run.vertices[vi].tasks[ti].scheduled = false;
+            }
+            // The container goes back to the pool, which hands it to the
+            // lowest-depth requesting attempt (the starving producer), and
+            // the preempted task is re-scheduled behind it.
+            self.return_to_pool(ctx, container);
+            self.schedule_task(ctx, vi, ti, false);
+        }
+    }
+
+    // -- AM failure / recovery ----------------------------------------------
+
+    fn inject_am_failure(&mut self, ctx: &mut AppContext<'_>) {
+        if self.am_failed {
+            return;
+        }
+        self.am_failed = true;
+        self.am_recovering = true;
+        // Everything volatile dies with the AM; completed-task state and
+        // published shard data survive (checkpoint + shuffle service).
+        let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        for id in ids {
+            self.containers.remove(&id);
+            self.objreg.drop_container(id.0);
+            ctx.release_container(id);
+        }
+        let mut dead_requests = Vec::new();
+        if let Some(run) = self.run.as_mut() {
+            for v in &mut run.vertices {
+                for t in &mut v.tasks {
+                    if t.done {
+                        continue;
+                    }
+                    t.scheduled = false;
+                    for a in &mut t.attempts {
+                        match std::mem::replace(&mut a.state, AState::Done) {
+                            AState::Requesting(Some(r)) => dead_requests.push(r),
+                            AState::Running { work, .. } => {
+                                self.work_map.remove(&work);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        for r in dead_requests {
+            ctx.cancel_request(r);
+            self.request_map.remove(&r);
+        }
+        ctx.set_timer(self.config.am_restart_ms, TIMER_AM_RESTART);
+    }
+
+    fn recover_from_checkpoint(&mut self, ctx: &mut AppContext<'_>) {
+        self.am_recovering = false;
+        // Re-drive scheduling for every unfinished task. Vertex managers
+        // survived in-memory here (we model recovery at the task level);
+        // completed tasks and their publications are intact, so consumers
+        // resume exactly where the checkpoint left them.
+        let pending: Vec<(usize, usize)> = {
+            let Some(run) = self.run.as_ref() else { return };
+            let mut out = Vec::new();
+            for (vi, v) in run.vertices.iter().enumerate() {
+                if !v.started {
+                    continue;
+                }
+                for (ti, t) in v.tasks.iter().enumerate() {
+                    // Re-schedule anything the VM had already scheduled.
+                    if !t.done && !t.attempts.is_empty() {
+                        out.push((vi, ti));
+                    }
+                }
+            }
+            out
+        };
+        for (vi, ti) in pending {
+            self.schedule_task(ctx, vi, ti, false);
+        }
+    }
+
+    // -- node loss ----------------------------------------------------------
+
+    fn on_node_lost(&mut self, ctx: &mut AppContext<'_>, node: NodeId) {
+        self.service.drop_node(node.0);
+        if !self.config.proactive_reexecution {
+            return;
+        }
+        // Proactively regenerate outputs whose consumers still need them
+        // (paper §4.3).
+        let victims: Vec<(usize, usize)> = {
+            let Some(run) = self.run.as_ref() else { return };
+            let mut out = Vec::new();
+            for (vi, v) in run.vertices.iter().enumerate() {
+                let consumers = run.dag.consumers(vi);
+                let all_consumers_done = consumers.iter().all(|&c| {
+                    let cv = &run.vertices[c];
+                    cv.started && cv.tasks.iter().all(|t| t.done)
+                });
+                if all_consumers_done && !consumers.is_empty() {
+                    continue;
+                }
+                for (ti, t) in v.tasks.iter().enumerate() {
+                    if t.done && t.published.iter().any(|&(_, n, _)| n == node.0) {
+                        out.push((vi, ti));
+                    }
+                }
+            }
+            out
+        };
+        for (vi, ti) in victims {
+            self.reexecute_producer(ctx, vi, ti);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// YarnApp implementation
+// ---------------------------------------------------------------------------
+
+impl YarnApp for DagAppMaster {
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+        if self.finished {
+            return;
+        }
+        match event {
+            AppEvent::Start => {
+                if let Some(at) = self.config.am_fail_at_ms {
+                    ctx.set_timer(at, TIMER_AM_FAIL);
+                }
+                if self.config.session && self.config.prewarm_containers > 0 {
+                    for _ in 0..self.config.prewarm_containers {
+                        let rid = ctx.request_container(ContainerRequest::anywhere(
+                            0,
+                            self.config.task_resource(),
+                        ));
+                        // Not mapped to a task: allocation becomes a warm
+                        // container immediately.
+                        let _ = rid;
+                        self.prewarm_outstanding += 1;
+                        self.prewarm_requested += 1;
+                    }
+                }
+                self.start_next_dag(ctx);
+            }
+            AppEvent::ContainerAllocated(Container { id, node, request, .. }) => {
+                self.containers.insert(
+                    id,
+                    ContainerRt {
+                        node,
+                        idle_since: None,
+                    },
+                );
+                if let Some(run) = self.run.as_mut() {
+                    run.containers_allocated += 1;
+                }
+                match self.request_map.remove(&request) {
+                    Some((vi, ti, ai)) => {
+                        let stale = {
+                            let run = self.run.as_ref();
+                            run.is_none_or(|r| {
+                                r.vertices
+                                    .get(vi)
+                                    .and_then(|v| v.tasks.get(ti))
+                                    .and_then(|t| t.attempts.get(ai))
+                                    .is_none_or(|a| !matches!(a.state, AState::Requesting(_)))
+                            })
+                        };
+                        if stale {
+                            self.return_to_pool(ctx, id);
+                        } else {
+                            self.assign_container(ctx, id, vi, ti, ai);
+                        }
+                    }
+                    None => {
+                        // Pre-warm container: run the warm-up payload
+                        // (paper §4.2) so the JIT model kicks in.
+                        self.prewarm_requested = self.prewarm_requested.saturating_sub(1);
+                        let cost = WorkCost {
+                            cpu_records: 1,
+                            ..WorkCost::default()
+                        };
+                        let work = ctx.start_work(id, "w:prewarm".into(), cost);
+                        let _ = work; // completes into the pool
+                    }
+                }
+            }
+            AppEvent::ContainerCompleted { container, .. } => {
+                self.containers.remove(&container);
+                self.objreg.drop_container(container.0);
+                // Attempts on it: running works got their own ContainerLost
+                // completion; waiting attempts must be failed here.
+                let waiting: Vec<(usize, usize, usize)> = {
+                    let Some(run) = self.run.as_ref() else { return };
+                    run.vertices
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(vi, v)| {
+                            v.tasks.iter().enumerate().flat_map(move |(ti, t)| {
+                                t.attempts.iter().enumerate().filter_map(move |(ai, a)| {
+                                    match a.state {
+                                        AState::WaitingInputs { container: c, .. }
+                                            if c == container =>
+                                        {
+                                            Some((vi, ti, ai))
+                                        }
+                                        _ => None,
+                                    }
+                                })
+                            })
+                        })
+                        .collect()
+                };
+                for (vi, ti, ai) in waiting {
+                    self.attempt_failed(ctx, vi, ti, ai, false);
+                }
+            }
+            AppEvent::WorkCompleted {
+                work,
+                container,
+                outcome,
+            } => self.on_work_completed(ctx, work, container, outcome),
+            AppEvent::Timer { tag } => match tag {
+                TIMER_SPECULATION => {
+                    self.speculation_timer_armed = false;
+                    if self.run.is_some() && !self.am_recovering {
+                        self.run_speculator(ctx);
+                        self.speculation_timer_armed = true;
+                        ctx.set_timer(self.config.speculation_interval_ms, TIMER_SPECULATION);
+                    }
+                }
+                TIMER_DEADLOCK => {
+                    self.deadlock_timer_armed = false;
+                    if self.run.is_some() && !self.am_recovering {
+                        self.run_deadlock_detector(ctx);
+                        self.deadlock_timer_armed = true;
+                        ctx.set_timer(self.config.deadlock_check_ms, TIMER_DEADLOCK);
+                    }
+                }
+                TIMER_IDLE_SWEEP => self.sweep_idle(ctx),
+                TIMER_AM_FAIL => self.inject_am_failure(ctx),
+                TIMER_AM_RESTART => self.recover_from_checkpoint(ctx),
+                TIMER_NEXT_DAG => self.start_next_dag(ctx),
+                _ => {}
+            },
+            AppEvent::NodeLost { node } => self.on_node_lost(ctx, node),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Context adapters
+// ---------------------------------------------------------------------------
+
+enum VmCall {
+    Initialize,
+    RootSplits,
+    Start,
+}
+
+struct SourceView {
+    name: String,
+    kind: SourceKind,
+    parallelism: Option<usize>,
+    completed: usize,
+}
+
+struct VmView {
+    vertex: String,
+    parallelism: Option<usize>,
+    scheduled: usize,
+    sources: Vec<SourceView>,
+    splits: Vec<(String, Option<usize>)>,
+    slots: usize,
+}
+
+enum VmAction {
+    Reconfigure {
+        parallelism: usize,
+        routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
+    },
+    Schedule(Vec<usize>),
+}
+
+struct VmCtx {
+    view: VmView,
+    actions: Vec<VmAction>,
+}
+
+impl VertexManagerContext for VmCtx {
+    fn vertex_name(&self) -> &str {
+        &self.view.vertex
+    }
+    fn parallelism(&self) -> Option<usize> {
+        self.view.parallelism
+    }
+    fn source_vertices(&self) -> Vec<String> {
+        self.view.sources.iter().map(|s| s.name.clone()).collect()
+    }
+    fn source_parallelism(&self, vertex: &str) -> Option<usize> {
+        self.view
+            .sources
+            .iter()
+            .find(|s| s.name == vertex)
+            .and_then(|s| s.parallelism)
+    }
+    fn completed_source_tasks(&self, vertex: &str) -> usize {
+        self.view
+            .sources
+            .iter()
+            .find(|s| s.name == vertex)
+            .map_or(0, |s| s.completed)
+    }
+    fn source_edge_kind(&self, vertex: &str) -> Option<SourceKind> {
+        self.view
+            .sources
+            .iter()
+            .find(|s| s.name == vertex)
+            .map(|s| s.kind)
+    }
+    fn root_input_splits(&self, source: &str) -> Option<usize> {
+        self.view
+            .splits
+            .iter()
+            .find(|(s, _)| s == source)
+            .and_then(|(_, n)| *n)
+    }
+    fn reconfigure(
+        &mut self,
+        parallelism: usize,
+        routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
+    ) {
+        self.view.parallelism = Some(parallelism);
+        self.actions.push(VmAction::Reconfigure {
+            parallelism,
+            routing,
+        });
+    }
+    fn schedule_tasks(&mut self, tasks: Vec<usize>) {
+        self.view.scheduled += tasks.len();
+        self.actions.push(VmAction::Schedule(tasks));
+    }
+    fn scheduled_tasks(&self) -> usize {
+        self.view.scheduled
+    }
+    fn total_slots(&self) -> usize {
+        self.view.slots
+    }
+}
+
+struct InitCtx<'a> {
+    dfs: &'a tez_yarn::SimHdfs,
+    nodes: usize,
+    slots: usize,
+    vertex: &'a str,
+    counters: &'a mut Counters,
+}
+
+impl<'a> InitializerContext for InitCtx<'a> {
+    fn dfs(&self) -> &dyn Dfs {
+        self.dfs
+    }
+    fn cluster_nodes(&self) -> usize {
+        self.nodes
+    }
+    fn total_slots(&self) -> usize {
+        self.slots
+    }
+    fn vertex_name(&self) -> &str {
+        self.vertex
+    }
+    fn counters(&mut self) -> &mut Counters {
+        self.counters
+    }
+}
+
+/// Fetcher adapter binding a task to its container's node.
+struct NodeFetcher {
+    service: SharedDataService,
+    node: u32,
+}
+
+impl tez_runtime::DataFetcher for NodeFetcher {
+    fn fetch(
+        &self,
+        locator: &ShardLocator,
+        token: SecurityToken,
+    ) -> Result<tez_runtime::FetchedShard, tez_runtime::FetchError> {
+        self.service.fetch_from(self.node, locator, token)
+    }
+}
+
+/// Mutable DFS view over the simulator's HDFS.
+struct HdfsView<'a> {
+    hdfs: &'a mut tez_yarn::SimHdfs,
+}
+
+impl<'a> Dfs for HdfsView<'a> {
+    fn list_blocks(&self, path: &str) -> Option<Vec<tez_runtime::BlockInfo>> {
+        self.hdfs.list_blocks(path)
+    }
+    fn read_block(&self, path: &str, index: usize) -> Option<bytes::Bytes> {
+        self.hdfs.read_block(path, index)
+    }
+    fn write_file(&mut self, path: &str, blocks: Vec<(bytes::Bytes, u64)>) -> u64 {
+        self.hdfs.write_file(path, blocks)
+    }
+    fn delete(&mut self, path: &str) {
+        Dfs::delete(self.hdfs, path)
+    }
+    fn exists(&self, path: &str) -> bool {
+        Dfs::exists(self.hdfs, path)
+    }
+}

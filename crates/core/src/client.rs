@@ -1,0 +1,177 @@
+//! [`TezClient`]: the high-level entry point used by engines, examples and
+//! benches — build a simulated cluster, populate HDFS, submit one DAG or a
+//! session of DAGs, run to completion, and collect reports.
+
+use crate::am::{DagAppMaster, DagSubmission, SessionOutput, SharedSessionOutput};
+use crate::config::TezConfig;
+use crate::report::DagReport;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tez_dag::Dag;
+use tez_runtime::{ComponentRegistry, SecurityToken};
+use tez_shuffle::{DataService, SharedDataService};
+use tez_yarn::{
+    ClusterSpec, CostModel, FaultPlan, QueueSpec, RmConfig, SimHdfs, SimTime, Simulation, Trace,
+};
+
+/// Client for running DAGs on a simulated cluster.
+pub struct TezClient {
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Scheduler queues (empty → one default queue).
+    pub queues: Vec<QueueSpec>,
+    /// RM tunables.
+    pub rm_config: RmConfig,
+    /// Fault schedule.
+    pub fault: FaultPlan,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Containers held by a synthetic background tenant for the whole run
+    /// (models a busy production cluster, e.g. the paper's 60-70%
+    /// utilization Yahoo setting of §6.3).
+    pub background_containers: usize,
+}
+
+/// Synthetic tenant holding capacity for the whole simulation.
+struct BackgroundTenant {
+    containers: usize,
+}
+
+impl tez_yarn::YarnApp for BackgroundTenant {
+    fn on_event(&mut self, event: tez_yarn::AppEvent, ctx: &mut tez_yarn::AppContext<'_>) {
+        if let tez_yarn::AppEvent::Start = event {
+            for _ in 0..self.containers {
+                ctx.request_container(tez_yarn::ContainerRequest::anywhere(
+                    0,
+                    tez_yarn::Resource::default(),
+                ));
+            }
+        }
+    }
+}
+
+/// Everything a finished run exposes.
+pub struct TezRun {
+    /// One report per DAG, in submission order.
+    pub reports: Vec<DagReport>,
+    sim: Simulation,
+}
+
+impl TezRun {
+    /// The cluster filesystem after the run (read committed outputs).
+    pub fn hdfs(&self) -> &SimHdfs {
+        self.sim.hdfs()
+    }
+
+    /// The execution trace (Gantt spans, allocation series).
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace()
+    }
+
+    /// The first (often only) DAG report.
+    pub fn report(&self) -> &DagReport {
+        &self.reports[0]
+    }
+}
+
+impl TezClient {
+    /// Client over a cluster with default cost model and scheduler, no
+    /// faults, fixed seed.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        TezClient {
+            cluster,
+            cost: CostModel::default(),
+            queues: Vec::new(),
+            rm_config: RmConfig::default(),
+            fault: FaultPlan::none(),
+            seed: 0x7e2,
+            background_containers: 0,
+        }
+    }
+
+    /// Hold `containers` cluster containers in a synthetic background
+    /// tenant for the whole run.
+    pub fn with_background_load(mut self, containers: usize) -> Self {
+        self.background_containers = containers;
+        self
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the bare simulation (multi-app experiments drive it manually).
+    pub fn build_simulation(&self) -> Simulation {
+        Simulation::new(
+            self.cluster.clone(),
+            self.cost.clone(),
+            self.queues.clone(),
+            self.rm_config.clone(),
+            self.fault.clone(),
+            self.seed,
+        )
+    }
+
+    /// Run one DAG. `setup` populates HDFS before execution.
+    pub fn run_dag(
+        &self,
+        dag: Dag,
+        registry: ComponentRegistry,
+        config: TezConfig,
+        setup: impl FnOnce(&mut SimHdfs),
+    ) -> TezRun {
+        self.run_session(vec![dag], registry, config, setup)
+    }
+
+    /// Run a sequence of DAGs on one AM (a session when
+    /// `config.session`).
+    pub fn run_session(
+        &self,
+        dags: Vec<Dag>,
+        registry: ComponentRegistry,
+        config: TezConfig,
+        setup: impl FnOnce(&mut SimHdfs),
+    ) -> TezRun {
+        let mut sim = self.build_simulation();
+        setup(sim.hdfs_mut());
+        if self.background_containers > 0 {
+            sim.add_app(
+                Box::new(BackgroundTenant {
+                    containers: self.background_containers,
+                }),
+                "default",
+                SimTime::ZERO,
+            );
+        }
+        let service: SharedDataService = DataService::new();
+        let output: SharedSessionOutput = Arc::new(Mutex::new(SessionOutput::default()));
+        let am = DagAppMaster::new(
+            config,
+            registry,
+            service,
+            SecurityToken(0xA11CE),
+            dags.into_iter().map(|dag| DagSubmission { dag }).collect(),
+            Arc::clone(&output),
+        );
+        sim.add_app(Box::new(am), "default", SimTime::ZERO);
+        sim.run();
+        let reports = std::mem::take(&mut output.lock().reports);
+        TezRun { reports, sim }
+    }
+}

@@ -1,0 +1,171 @@
+//! Orchestrator configuration: every §4.2/§4.3 feature has a switch so the
+//! ablation benches can isolate its contribution.
+
+/// Tez execution configuration.
+#[derive(Clone, Debug)]
+pub struct TezConfig {
+    /// Re-use containers for subsequent tasks instead of releasing after
+    /// every task (paper §4.2 "Container Reuse").
+    pub container_reuse: bool,
+    /// How long an idle container is held for re-use before being returned
+    /// to YARN.
+    pub reuse_idle_ms: u64,
+    /// Session mode: containers (and the object registry) survive across
+    /// DAGs submitted to the same AM (paper §4.2 "Session").
+    pub session: bool,
+    /// Containers to pre-warm at session start (paper: "a session can be
+    /// pre-warmed ... these pre-warmed containers can execute some
+    /// pre-determined code to allow JVM optimizations to kick in").
+    pub prewarm_containers: usize,
+    /// Enable speculative execution of stragglers (paper §4.2).
+    pub speculation: bool,
+    /// Speculator evaluation period.
+    pub speculation_interval_ms: u64,
+    /// An attempt is speculatable when its projected runtime exceeds the
+    /// vertex mean by this factor.
+    pub speculation_slowdown: f64,
+    /// Completed tasks required in a vertex before speculation engages.
+    pub speculation_min_completed: usize,
+    /// Slow-start window for shuffle consumers: start scheduling when this
+    /// fraction of producer tasks finished…
+    pub slowstart_min_fraction: f64,
+    /// …and have all consumers scheduled at this fraction.
+    pub slowstart_max_fraction: f64,
+    /// Enable automatic partition-cardinality estimation (paper §3.4,
+    /// Figure 6).
+    pub auto_parallelism: bool,
+    /// Target (scaled) bytes per consumer task for auto-parallelism.
+    pub desired_bytes_per_reducer: u64,
+    /// Fraction of producer statistics required before re-estimating.
+    pub auto_parallelism_stats_fraction: f64,
+    /// Min/max split sizes (scaled bytes) for split calculation.
+    pub min_split_bytes: u64,
+    /// Maximum split size (scaled bytes); larger blocks are not grouped.
+    pub max_split_bytes: u64,
+    /// Maximum attempts per task before failing the DAG.
+    pub max_task_attempts: usize,
+    /// Deadlock detector period (out-of-order scheduling can deadlock a
+    /// constrained cluster; Tez detects and preempts, paper §3.4).
+    pub deadlock_check_ms: u64,
+    /// Proactively re-execute completed tasks whose outputs lived on a
+    /// failed node (paper §4.3).
+    pub proactive_reexecution: bool,
+    /// Inject an AM failure at this time; the AM restarts and recovers from
+    /// its checkpoint (paper §4.3 "The Tez AM periodically checkpoints its
+    /// state").
+    pub am_fail_at_ms: Option<u64>,
+    /// AM restart cost after a failure.
+    pub am_restart_ms: u64,
+    /// Delay inserted between DAGs of one submission sequence, modelling a
+    /// fresh AM launch per job (the classic-MapReduce chain behaviour; 0
+    /// for Tez, which keeps one AM for the whole session).
+    pub per_dag_am_penalty_ms: u64,
+    /// Hard cap on concurrently-held containers (the service-executor
+    /// model of §6.5 pre-allocates a fixed executor fleet; `None` = grow
+    /// and shrink with demand, the Tez model).
+    pub max_containers: Option<usize>,
+    /// Per-task container resource.
+    pub task_memory_mb: u64,
+    /// Per-task vcores.
+    pub task_vcores: u32,
+    /// Multiplier converting real data-plane bytes/records into the
+    /// *declared* scale charged by the cost model (see DESIGN.md §4;
+    /// 1.0 for correctness tests).
+    pub byte_scale: f64,
+}
+
+impl Default for TezConfig {
+    fn default() -> Self {
+        TezConfig {
+            container_reuse: true,
+            reuse_idle_ms: 3_000,
+            session: false,
+            prewarm_containers: 0,
+            speculation: true,
+            speculation_interval_ms: 2_000,
+            speculation_slowdown: 2.0,
+            speculation_min_completed: 3,
+            slowstart_min_fraction: 0.25,
+            slowstart_max_fraction: 0.75,
+            auto_parallelism: true,
+            desired_bytes_per_reducer: 256 << 20,
+            auto_parallelism_stats_fraction: 0.5,
+            min_split_bytes: 64 << 20,
+            max_split_bytes: 256 << 20,
+            max_task_attempts: 4,
+            deadlock_check_ms: 5_000,
+            proactive_reexecution: true,
+            am_fail_at_ms: None,
+            am_restart_ms: 8_000,
+            per_dag_am_penalty_ms: 0,
+            max_containers: None,
+            task_memory_mb: 1024,
+            task_vcores: 1,
+            byte_scale: 1.0,
+        }
+    }
+}
+
+impl TezConfig {
+    /// The classic-MapReduce baseline personality: no container reuse, no
+    /// session, no speculation beyond MR defaults, fixed parallelism, no
+    /// late-binding optimizations. Used by `tez-mapreduce`'s baseline
+    /// runtime so both systems share one orchestrator implementation while
+    /// exercising different feature sets.
+    pub fn mapreduce_baseline() -> Self {
+        TezConfig {
+            container_reuse: false,
+            session: false,
+            prewarm_containers: 0,
+            auto_parallelism: false,
+            // MR also slow-starts its reducers (mapreduce.job.reduce.slowstart).
+            slowstart_min_fraction: 0.8,
+            slowstart_max_fraction: 0.95,
+            // Every job in a chain launches its own AM.
+            per_dag_am_penalty_ms: 5_000,
+            ..TezConfig::default()
+        }
+    }
+
+    /// Scale factor applied to a real byte count.
+    pub fn scale_bytes(&self, real: u64) -> u64 {
+        (real as f64 * self.byte_scale) as u64
+    }
+
+    /// The per-task YARN resource.
+    pub fn task_resource(&self) -> tez_yarn::Resource {
+        tez_yarn::Resource::new(self.task_memory_mb, self.task_vcores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_tez_features() {
+        let c = TezConfig::default();
+        assert!(c.container_reuse);
+        assert!(c.auto_parallelism);
+        assert!(c.speculation);
+        assert_eq!(c.byte_scale, 1.0);
+    }
+
+    #[test]
+    fn baseline_disables_tez_features() {
+        let c = TezConfig::mapreduce_baseline();
+        assert!(!c.container_reuse);
+        assert!(!c.auto_parallelism);
+        assert!(!c.session);
+        assert!(c.slowstart_min_fraction > 0.5);
+    }
+
+    #[test]
+    fn byte_scaling() {
+        let c = TezConfig {
+            byte_scale: 1000.0,
+            ..TezConfig::default()
+        };
+        assert_eq!(c.scale_bytes(1024), 1_024_000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Edge managers used by runtime re-configuration.
+
+use tez_dag::{EdgeManagerPlugin, EdgeRoutingContext, Route};
+
+/// Scatter-gather routing after automatic parallelism reduction (paper
+/// Figure 6): producers still emit `orig_partitions` partitions, but the
+/// consumer vertex now has fewer tasks, each gathering a contiguous range
+/// of partitions from every producer.
+///
+/// Partition ranges are split as evenly as possible; consumer task `j`
+/// reads partitions `[start_j, end_j)` from each of the `S` producers, at
+/// input indices `src * width_j + offset`.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupedScatterGatherEdgeManager {
+    /// Partition count the producers were configured with.
+    pub orig_partitions: usize,
+}
+
+impl GroupedScatterGatherEdgeManager {
+    /// Range of original partitions consumed by `dst_task` among
+    /// `num_dst` consumer tasks.
+    pub fn partition_range(&self, dst_task: usize, num_dst: usize) -> (usize, usize) {
+        let n = self.orig_partitions;
+        let base = n / num_dst;
+        let extra = n % num_dst;
+        // First `extra` tasks get `base + 1` partitions.
+        let start = if dst_task < extra {
+            dst_task * (base + 1)
+        } else {
+            extra * (base + 1) + (dst_task - extra) * base
+        };
+        let width = if dst_task < extra { base + 1 } else { base };
+        (start, start + width)
+    }
+
+    fn dst_of_partition(&self, partition: usize, num_dst: usize) -> usize {
+        let n = self.orig_partitions;
+        let base = n / num_dst;
+        let extra = n % num_dst;
+        let boundary = extra * (base + 1);
+        if partition < boundary {
+            partition / (base + 1)
+        } else {
+            extra + (partition - boundary) / base.max(1)
+        }
+    }
+}
+
+impl EdgeManagerPlugin for GroupedScatterGatherEdgeManager {
+    fn num_physical_outputs(&self, _ctx: &EdgeRoutingContext, _src_task: usize) -> usize {
+        self.orig_partitions
+    }
+
+    fn num_physical_inputs(&self, ctx: &EdgeRoutingContext, dst_task: usize) -> usize {
+        let (start, end) = self.partition_range(dst_task, ctx.num_dst_tasks);
+        ctx.num_src_tasks * (end - start)
+    }
+
+    fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route> {
+        let dst = self.dst_of_partition(partition, ctx.num_dst_tasks);
+        let (start, end) = self.partition_range(dst, ctx.num_dst_tasks);
+        let width = end - start;
+        vec![Route {
+            dst_task: dst,
+            dst_input_index: src_task * width + (partition - start),
+        }]
+    }
+
+    fn name(&self) -> &str {
+        "grouped-scatter-gather"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ranges_cover_all_partitions() {
+        for (orig, dst) in [(10usize, 3usize), (7, 7), (12, 5), (5, 1)] {
+            let m = GroupedScatterGatherEdgeManager {
+                orig_partitions: orig,
+            };
+            let mut covered = Vec::new();
+            for j in 0..dst {
+                let (s, e) = m.partition_range(j, dst);
+                covered.extend(s..e);
+            }
+            assert_eq!(covered, (0..orig).collect::<Vec<_>>(), "orig={orig} dst={dst}");
+        }
+    }
+
+    #[test]
+    fn routing_is_consistent_with_ranges_and_unique() {
+        let m = GroupedScatterGatherEdgeManager { orig_partitions: 10 };
+        let ctx = EdgeRoutingContext {
+            num_src_tasks: 4,
+            num_dst_tasks: 3,
+        };
+        let mut seen = HashSet::new();
+        for src in 0..4 {
+            assert_eq!(m.num_physical_outputs(&ctx, src), 10);
+            for p in 0..10 {
+                let routes = m.route(&ctx, src, p);
+                assert_eq!(routes.len(), 1);
+                let r = routes[0];
+                let (s, e) = m.partition_range(r.dst_task, 3);
+                assert!(p >= s && p < e);
+                assert!(r.dst_input_index < m.num_physical_inputs(&ctx, r.dst_task));
+                assert!(seen.insert((r.dst_task, r.dst_input_index)));
+            }
+        }
+        // Total inputs = sum over dst of num_physical_inputs = 4 * 10.
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn single_consumer_takes_everything() {
+        let m = GroupedScatterGatherEdgeManager { orig_partitions: 6 };
+        let ctx = EdgeRoutingContext {
+            num_src_tasks: 2,
+            num_dst_tasks: 1,
+        };
+        assert_eq!(m.num_physical_inputs(&ctx, 0), 12);
+        assert_eq!(m.route(&ctx, 1, 5)[0].dst_task, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The task runner: instantiates and drives one task's IPO pipeline.
+//!
+//! Mirrors the task runtime of paper §3.2: the framework creates the
+//! inputs, processor and outputs from their descriptors, configures them
+//! with their opaque payloads, starts the inputs, runs the processor, and
+//! closes the outputs. Data plane errors surface as
+//! [`TaskError::InputRead`] so the AM can regenerate producers (§4.3).
+
+use tez_runtime::{
+    counter_names, ComponentRegistry, Counters, NamedInput, NamedOutput, ProcessorContext,
+    TaskEnv, TaskError, TaskOutcome, TaskSpec,
+};
+
+/// Run one task attempt to completion against the given environment.
+///
+/// On success, returns the outputs (not yet published — the AM publishes
+/// them only when the simulated work completes successfully, preserving
+/// failure semantics), the counters, and any control-plane events the
+/// processor emitted.
+pub fn run_task(
+    spec: &TaskSpec,
+    env: &mut TaskEnv<'_>,
+    registry: &ComponentRegistry,
+) -> Result<TaskOutcome, TaskError> {
+    let mut counters = Counters::new();
+    let mut events = Vec::new();
+
+    // Instantiate IPOs from descriptors.
+    let mut inputs: Vec<NamedInput> = Vec::with_capacity(spec.inputs.len());
+    for ispec in &spec.inputs {
+        inputs.push(NamedInput {
+            name: ispec.name.clone(),
+            input: registry.create_input(ispec)?,
+        });
+    }
+    let mut outputs: Vec<NamedOutput> = Vec::with_capacity(spec.outputs.len());
+    for ospec in &spec.outputs {
+        outputs.push(NamedOutput {
+            name: ospec.name.clone(),
+            output: registry.create_output(ospec)?,
+        });
+    }
+    let mut processor = registry.create_processor(&spec.processor.kind, &spec.processor.payload)?;
+
+    // Start inputs (fetch phase). InputRead errors get the consumer
+    // identity stamped here.
+    for input in &mut inputs {
+        if let Err(e) = input.input.start(env) {
+            return Err(stamp_consumer(e, spec));
+        }
+    }
+    for input in &inputs {
+        counters.add(counter_names::BYTES_READ, input.input.bytes_read());
+        counters.add(counter_names::REMOTE_BYTES, input.input.remote_bytes());
+        counters.add(counter_names::RECORDS_IN, input.input.records_read());
+    }
+
+    // Run the processor.
+    {
+        let mut ctx = ProcessorContext {
+            meta: &spec.meta,
+            inputs: &mut inputs,
+            outputs: &mut outputs,
+            env,
+            counters: &mut counters,
+            events: &mut events,
+        };
+        processor.run(&mut ctx).map_err(|e| stamp_consumer(e, spec))?;
+    }
+
+    // Close outputs.
+    let mut commits = Vec::with_capacity(outputs.len());
+    for output in &mut outputs {
+        let commit = output.output.close(env)?;
+        counters.add(counter_names::BYTES_WRITTEN, commit.total_bytes());
+        counters.add(counter_names::RECORDS_OUT, commit.total_records());
+        counters.add(counter_names::SPILLED_BYTES, commit.spilled_bytes);
+        commits.push((output.name.clone(), commit));
+    }
+
+    Ok(TaskOutcome {
+        outputs: commits,
+        counters,
+        events,
+    })
+}
+
+fn stamp_consumer(e: TaskError, spec: &TaskSpec) -> TaskError {
+    match e {
+        TaskError::InputRead(mut errs) => {
+            for err in &mut errs {
+                err.consumer_vertex = spec.meta.vertex.clone();
+                err.consumer_task = spec.meta.task_index;
+            }
+            TaskError::InputRead(errs)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tez_dag::NamedDescriptor;
+    use tez_runtime::{
+        InputSource, InputSpec, MemDfs, NullObjectRegistry, OutputSpec, Processor, SecurityToken,
+        ShardLocator, TaskMeta,
+    };
+    use tez_shuffle::io::kinds;
+    use tez_shuffle::{Combiner, DataService, Partitioner};
+
+    /// Word-count tokenizer: reads text values, emits (word, 1).
+    struct Tokenizer;
+    impl Processor for Tokenizer {
+        fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+            let mut reader = ctx.reader("src")?.into_kv()?;
+            let mut pairs = Vec::new();
+            while let Some((_, v)) = reader.next() {
+                for word in String::from_utf8_lossy(&v).split_whitespace() {
+                    pairs.push(word.to_string());
+                }
+            }
+            for w in pairs {
+                ctx.write("sum", w.as_bytes(), &1u64.to_le_bytes())?;
+            }
+            Ok(())
+        }
+    }
+
+    fn registry() -> ComponentRegistry {
+        let mut r = ComponentRegistry::new();
+        tez_shuffle::register_builtins(&mut r);
+        r.register_processor("Tokenizer", |_| Box::new(Tokenizer));
+        r
+    }
+
+    struct Fetcher(tez_shuffle::SharedDataService);
+    impl tez_runtime::DataFetcher for Fetcher {
+        fn fetch(
+            &self,
+            locator: &ShardLocator,
+            token: SecurityToken,
+        ) -> Result<tez_runtime::FetchedShard, tez_runtime::FetchError> {
+            self.0.fetch_from(0, locator, token)
+        }
+    }
+
+    #[test]
+    fn tokenizer_task_end_to_end() {
+        let svc = DataService::new();
+        let token = SecurityToken(1);
+        svc.register_token(token);
+
+        // Stage input data in the service as a one-to-one style shard.
+        let mut buf = Vec::new();
+        tez_shuffle::codec::encode_kv(&mut buf, b"", b"the quick the");
+        let oid = svc.new_output_id();
+        let locs = svc.publish(
+            0,
+            oid,
+            vec![tez_runtime::PartitionBuf {
+                data: Bytes::from(buf),
+                records: 1,
+                sorted: false,
+            }],
+        );
+
+        let spec = TaskSpec {
+            meta: TaskMeta {
+                dag: "wc".into(),
+                vertex: "tok".into(),
+                task_index: 0,
+                num_tasks: 1,
+                attempt: 0,
+            },
+            processor: NamedDescriptor::new("Tokenizer"),
+            inputs: vec![InputSpec {
+                name: "src".into(),
+                descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
+                source: InputSource::Shards(locs),
+            }],
+            outputs: vec![OutputSpec {
+                name: "sum".into(),
+                descriptor: NamedDescriptor::with_payload(
+                    kinds::ORDERED_OUT,
+                    tez_shuffle::io::output_payload(&Partitioner::Single, Combiner::SumU64),
+                ),
+                num_partitions: 1,
+                is_sink: false,
+                task_index: 0,
+                vertex: "tok".into(),
+            }],
+        };
+
+        let fetcher = Fetcher(svc);
+        let mut dfs = MemDfs::new();
+        let reg = NullObjectRegistry;
+        let mut env = TaskEnv {
+            fetcher: &fetcher,
+            dfs: &mut dfs,
+            registry: &reg,
+            token,
+        };
+        let outcome = run_task(&spec, &mut env, &registry()).unwrap();
+        assert_eq!(outcome.outputs.len(), 1);
+        let commit = &outcome.outputs[0].1;
+        // Combined: "the"->2, "quick"->1.
+        assert_eq!(commit.partitions[0].records, 2);
+        assert_eq!(outcome.counters.get(counter_names::RECORDS_OUT), 2);
+        assert!(outcome.counters.get(counter_names::BYTES_READ) > 0);
+    }
+
+    #[test]
+    fn unknown_processor_fails_fatally() {
+        let spec = TaskSpec {
+            meta: TaskMeta {
+                dag: "d".into(),
+                vertex: "v".into(),
+                task_index: 0,
+                num_tasks: 1,
+                attempt: 0,
+            },
+            processor: NamedDescriptor::new("Nope"),
+            inputs: vec![],
+            outputs: vec![],
+        };
+        let svc = DataService::new();
+        let fetcher = Fetcher(svc);
+        let mut dfs = MemDfs::new();
+        let reg = NullObjectRegistry;
+        let mut env = TaskEnv {
+            fetcher: &fetcher,
+            dfs: &mut dfs,
+            registry: &reg,
+            token: SecurityToken(1),
+        };
+        let err = run_task(&spec, &mut env, &registry()).unwrap_err();
+        assert!(!err.is_retriable());
+    }
+
+    #[test]
+    fn fetch_failure_is_stamped_with_consumer() {
+        let svc = DataService::new();
+        let token = SecurityToken(1);
+        svc.register_token(token);
+        let missing = ShardLocator {
+            node: 0,
+            output_id: 999,
+            partition: 0,
+            bytes: 10,
+            records: 1,
+            sorted: false,
+        };
+        let spec = TaskSpec {
+            meta: TaskMeta {
+                dag: "d".into(),
+                vertex: "consumer".into(),
+                task_index: 7,
+                num_tasks: 8,
+                attempt: 0,
+            },
+            processor: NamedDescriptor::new("Tokenizer"),
+            inputs: vec![InputSpec {
+                name: "src".into(),
+                descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
+                source: InputSource::Shards(vec![missing]),
+            }],
+            outputs: vec![],
+        };
+        let fetcher = Fetcher(svc);
+        let mut dfs = MemDfs::new();
+        let reg = NullObjectRegistry;
+        let mut env = TaskEnv {
+            fetcher: &fetcher,
+            dfs: &mut dfs,
+            registry: &reg,
+            token,
+        };
+        match run_task(&spec, &mut env, &registry()).unwrap_err() {
+            TaskError::InputRead(errs) => {
+                assert_eq!(errs[0].consumer_vertex, "consumer");
+                assert_eq!(errs[0].consumer_task, 7);
+                assert_eq!(errs[0].locator.output_id, 999);
+            }
+            other => panic!("expected InputRead, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Input initializers (paper §3.5): split calculation and dynamic
+//! partition pruning.
+
+use tez_dag::{NamedDescriptor, PayloadReader, PayloadWriter, UserPayload};
+use tez_runtime::{
+    counter_names, InitializerContext, InitializerResult, InputInitializer, InputSplit, TaskError,
+};
+use tez_shuffle::SplitPayload;
+
+/// Split calculation over a DFS file: groups blocks into splits respecting
+/// min/max split sizes and block locality, capped so the split count never
+/// exceeds a multiple of the cluster's task slots ("considers the data
+/// distribution, data locality and available compute capacity to determine
+/// the number of splits", §3.1).
+///
+/// With `wait_for_pruning`, the initializer defers until a pruning event
+/// (see [`prune_event_payload`]) arrives with the set of relevant partition
+/// keys — Hive's dynamic partition pruning. Files are expected to expose
+/// one partition key per block group via the pruning column encoding of the
+/// sender; here the pruning event simply carries the block indices to keep.
+pub struct HdfsSplitInitializer {
+    path: String,
+    min_split_bytes: u64,
+    max_split_bytes: u64,
+    wait_for_pruning: bool,
+    keep_blocks: Option<Vec<usize>>,
+}
+
+/// Payload: `path`, `min_split`, `max_split`, `wait_for_pruning` flag.
+pub fn hdfs_split_initializer(
+    path: &str,
+    min_split_bytes: u64,
+    max_split_bytes: u64,
+    wait_for_pruning: bool,
+) -> NamedDescriptor {
+    let mut w = PayloadWriter::new();
+    w.put_str(path)
+        .put_u64(min_split_bytes)
+        .put_u64(max_split_bytes)
+        .put_u64(u64::from(wait_for_pruning));
+    NamedDescriptor::with_payload(kinds::HDFS_SPLITS, w.finish())
+}
+
+/// Kinds registered by this module.
+pub mod kinds {
+    /// The DFS split initializer.
+    pub const HDFS_SPLITS: &str = "tez.HdfsSplitInitializer";
+}
+
+impl HdfsSplitInitializer {
+    /// Decode from a descriptor payload (see [`hdfs_split_initializer`]).
+    pub fn from_payload(payload: &UserPayload) -> Self {
+        let mut r = PayloadReader::new(payload.as_bytes());
+        let path = r.get_str().to_string();
+        let min_split_bytes = r.get_u64();
+        let max_split_bytes = r.get_u64();
+        let wait_for_pruning = r.get_u64() != 0;
+        HdfsSplitInitializer {
+            path,
+            min_split_bytes,
+            max_split_bytes,
+            wait_for_pruning,
+            keep_blocks: None,
+        }
+    }
+
+    fn compute_splits(
+        &self,
+        ctx: &mut dyn InitializerContext,
+    ) -> Result<Vec<InputSplit>, TaskError> {
+        let blocks = ctx
+            .dfs()
+            .list_blocks(&self.path)
+            .ok_or_else(|| TaskError::fatal(format!("input {:?} not found", self.path)))?;
+        let total_blocks = blocks.len();
+        let kept: Vec<_> = match &self.keep_blocks {
+            Some(keep) => blocks
+                .into_iter()
+                .filter(|b| keep.contains(&b.index))
+                .collect(),
+            None => blocks,
+        };
+        if let Some(keep) = &self.keep_blocks {
+            ctx.counters().add(
+                counter_names::PRUNED_SPLITS,
+                (total_blocks - keep.len().min(total_blocks)) as u64,
+            );
+        }
+
+        // Cap split count at 3 waves over the cluster slots by raising the
+        // effective minimum split size.
+        let total_bytes: u64 = kept.iter().map(|b| b.bytes).sum();
+        let max_splits = (ctx.total_slots() * 3).max(1) as u64;
+        let min_split = self
+            .min_split_bytes
+            .max(total_bytes / max_splits.max(1))
+            .max(1);
+
+        let mut splits = Vec::new();
+        let mut cur_blocks: Vec<usize> = Vec::new();
+        let mut cur_bytes = 0u64;
+        let mut cur_records = 0u64;
+        let mut cur_hosts: Vec<String> = Vec::new();
+        for b in &kept {
+            if !cur_blocks.is_empty()
+                && (cur_bytes + b.bytes > self.max_split_bytes || cur_bytes >= min_split)
+            {
+                splits.push(make_split(&self.path, &cur_blocks, cur_bytes, cur_records, &cur_hosts));
+                cur_blocks.clear();
+                cur_bytes = 0;
+                cur_records = 0;
+                cur_hosts.clear();
+            }
+            if cur_blocks.is_empty() {
+                cur_hosts = b.hosts.clone();
+            } else {
+                // Locality of a grouped split: hosts common to its blocks,
+                // falling back to the first block's hosts.
+                cur_hosts.retain(|h| b.hosts.contains(h));
+            }
+            cur_blocks.push(b.index);
+            cur_bytes += b.bytes;
+            cur_records += b.records;
+        }
+        if !cur_blocks.is_empty() {
+            splits.push(make_split(&self.path, &cur_blocks, cur_bytes, cur_records, &cur_hosts));
+        }
+        if splits.is_empty() {
+            // Empty input (e.g. a fully-filtered intermediate result):
+            // still run one task over zero blocks so downstream stages see
+            // a well-formed, empty stream.
+            splits.push(make_split(&self.path, &[], 0, 0, &[]));
+        }
+        Ok(splits)
+    }
+}
+
+fn make_split(
+    path: &str,
+    blocks: &[usize],
+    bytes: u64,
+    records: u64,
+    hosts: &[String],
+) -> InputSplit {
+    InputSplit {
+        payload: SplitPayload {
+            path: path.to_string(),
+            blocks: blocks.to_vec(),
+        }
+        .encode(),
+        hosts: hosts.to_vec(),
+        bytes,
+        records,
+    }
+}
+
+impl InputInitializer for HdfsSplitInitializer {
+    fn initialize(
+        &mut self,
+        ctx: &mut dyn InitializerContext,
+    ) -> Result<InitializerResult, TaskError> {
+        if self.wait_for_pruning && self.keep_blocks.is_none() {
+            return Ok(InitializerResult::Waiting);
+        }
+        Ok(InitializerResult::Ready(self.compute_splits(ctx)?))
+    }
+
+    fn on_event(
+        &mut self,
+        payload: &[u8],
+        ctx: &mut dyn InitializerContext,
+    ) -> Result<InitializerResult, TaskError> {
+        self.keep_blocks = Some(decode_prune_event(payload));
+        Ok(InitializerResult::Ready(self.compute_splits(ctx)?))
+    }
+}
+
+/// Encode a pruning event: the block indices the reader should keep.
+pub fn prune_event_payload(keep_blocks: &[usize]) -> bytes::Bytes {
+    let mut w = PayloadWriter::new();
+    w.put_u64(keep_blocks.len() as u64);
+    for &b in keep_blocks {
+        w.put_u64(b as u64);
+    }
+    w.finish_bytes()
+}
+
+/// Decode a pruning event.
+pub fn decode_prune_event(payload: &[u8]) -> Vec<usize> {
+    let mut r = PayloadReader::new(payload);
+    let n = r.get_u64() as usize;
+    (0..n).map(|_| r.get_u64() as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tez_runtime::{Counters, Dfs, MemDfs};
+
+    struct Ctx {
+        dfs: MemDfs,
+        slots: usize,
+        counters: Counters,
+    }
+
+    impl InitializerContext for Ctx {
+        fn dfs(&self) -> &dyn Dfs {
+            &self.dfs
+        }
+        fn cluster_nodes(&self) -> usize {
+            4
+        }
+        fn total_slots(&self) -> usize {
+            self.slots
+        }
+        fn vertex_name(&self) -> &str {
+            "v"
+        }
+        fn counters(&mut self) -> &mut Counters {
+            &mut self.counters
+        }
+    }
+
+    fn ctx_with_blocks(n: usize, bytes_per_block: u64) -> Ctx {
+        let mut dfs = MemDfs::new();
+        let blocks: Vec<(Bytes, u64)> = (0..n)
+            .map(|_| (Bytes::from(vec![0u8; bytes_per_block as usize]), 10))
+            .collect();
+        dfs.write_file("/data", blocks);
+        Ctx {
+            dfs,
+            slots: 100,
+            counters: Counters::new(),
+        }
+    }
+
+    fn init(min: u64, max: u64, wait: bool) -> HdfsSplitInitializer {
+        let d = hdfs_split_initializer("/data", min, max, wait);
+        HdfsSplitInitializer::from_payload(&d.payload)
+    }
+
+    #[test]
+    fn one_split_per_block_when_blocks_are_large() {
+        let mut ctx = ctx_with_blocks(5, 1000);
+        let mut i = init(500, 1000, false);
+        match i.initialize(&mut ctx).unwrap() {
+            InitializerResult::Ready(splits) => {
+                assert_eq!(splits.len(), 5);
+                assert_eq!(splits[0].bytes, 1000);
+                assert_eq!(splits[0].records, 10);
+            }
+            _ => panic!("expected ready"),
+        }
+    }
+
+    #[test]
+    fn small_blocks_are_grouped_up_to_min_split() {
+        let mut ctx = ctx_with_blocks(10, 100);
+        let mut i = init(250, 10_000, false);
+        match i.initialize(&mut ctx).unwrap() {
+            InitializerResult::Ready(splits) => {
+                // 10 blocks of 100 bytes grouped at >=250 → groups of 3.
+                assert_eq!(splits.len(), 4);
+                let total: u64 = splits.iter().map(|s| s.bytes).sum();
+                assert_eq!(total, 1000);
+            }
+            _ => panic!("expected ready"),
+        }
+    }
+
+    #[test]
+    fn slot_cap_limits_split_count() {
+        let mut ctx = ctx_with_blocks(100, 100);
+        ctx.slots = 2; // 3 waves x 2 slots = at most ~6 splits
+        let mut i = init(1, 100_000, false);
+        match i.initialize(&mut ctx).unwrap() {
+            InitializerResult::Ready(splits) => {
+                assert!(splits.len() <= 7, "got {}", splits.len());
+            }
+            _ => panic!("expected ready"),
+        }
+    }
+
+    #[test]
+    fn pruning_waits_then_filters() {
+        let mut ctx = ctx_with_blocks(8, 1000);
+        let mut i = init(500, 1000, true);
+        assert!(matches!(
+            i.initialize(&mut ctx).unwrap(),
+            InitializerResult::Waiting
+        ));
+        let ev = prune_event_payload(&[1, 5]);
+        match i.on_event(&ev, &mut ctx).unwrap() {
+            InitializerResult::Ready(splits) => {
+                assert_eq!(splits.len(), 2);
+                assert_eq!(ctx.counters.get(counter_names::PRUNED_SPLITS), 6);
+                let p = SplitPayload::decode(&splits[0].payload);
+                assert_eq!(p.blocks, vec![1]);
+            }
+            _ => panic!("expected ready"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_fatal() {
+        let mut ctx = Ctx {
+            dfs: MemDfs::new(),
+            slots: 4,
+            counters: Counters::new(),
+        };
+        let mut i = init(1, 10, false);
+        let err = match i.initialize(&mut ctx) {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(!err.is_retriable());
+    }
+
+    #[test]
+    fn prune_event_roundtrip() {
+        let ev = prune_event_payload(&[0, 3, 17]);
+        assert_eq!(decode_prune_event(&ev), vec![0, 3, 17]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tez-core — the orchestration framework
+//!
+//! This crate is the Tez library proper: the **DAG ApplicationMaster**
+//! (paper §4.1) that executes a logical DAG on a (simulated) YARN cluster,
+//! together with the built-in runtime-optimization components of §3.4–3.5
+//! and the production-readiness machinery of §4.2–4.3:
+//!
+//! * [`DagAppMaster`] — vertex/task/attempt state machines, event routing,
+//!   and the YARN protocol (container requests, work launching).
+//! * [`run_task`](executor::run_task) — executes one task's IPO pipeline
+//!   (inputs → processor → outputs) against the real data plane.
+//! * Built-in [`VertexManager`](tez_runtime::VertexManager)s — root-input,
+//!   one-to-one, immediate-start, and the **ShuffleVertexManager** with
+//!   slow-start scheduling and automatic partition-cardinality estimation
+//!   (paper Figure 6).
+//! * [`HdfsSplitInitializer`] — split
+//!   calculation from block locations with min/max split sizes, plus
+//!   event-driven **dynamic partition pruning** (paper §3.5).
+//! * Scheduling: locality-aware container requests with delay-scheduling
+//!   relaxation (via `tez-yarn`), **container reuse**, **sessions** with
+//!   pre-warming, **speculation**, deadlock detection with preemption.
+//! * Fault tolerance: task re-execution, `InputReadError` back-tracking to
+//!   regenerate lost intermediate data, proactive re-execution on node
+//!   loss, and AM checkpoint/recovery.
+//! * [`TezClient`] — the high-level entry point: run one DAG or a session
+//!   of DAGs on a simulated cluster and collect [`DagReport`]s.
+
+pub mod client;
+pub mod config;
+pub mod edge_managers;
+pub mod executor;
+pub mod initializers;
+pub mod objreg;
+pub mod report;
+pub mod vertex_managers;
+
+mod am;
+
+pub use am::{DagAppMaster, DagSubmission, SessionOutput, SharedSessionOutput};
+pub use client::TezClient;
+pub use config::TezConfig;
+pub use edge_managers::GroupedScatterGatherEdgeManager;
+pub use initializers::{hdfs_split_initializer, prune_event_payload, HdfsSplitInitializer};
+pub use objreg::{ContainerObjectRegistry, RegistryState};
+pub use report::{DagReport, DagStatus, VertexReport};
+pub use vertex_managers::{standard_registry, vm_kinds, ShuffleVertexManagerConfig};

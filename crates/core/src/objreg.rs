@@ -1,0 +1,148 @@
+//! The shared object registry (paper §4.2): a per-container in-memory
+//! cache whose entries live for a vertex, a DAG, or the whole session.
+//!
+//! "It can be used to avoid re-computing results when possible. E.g. Apache
+//! Hive populates the hash table for the smaller side of a map join …
+//! once a hash table has been constructed by a join task, other join tasks
+//! don't need to re-compute it."
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tez_runtime::{ObjectRegistry, ObjectScope};
+
+#[derive(Default)]
+struct Slot {
+    entries: HashMap<String, (ObjectScope, Arc<dyn Any + Send + Sync>)>,
+}
+
+/// Registry state shared across containers of one AM; each container gets
+/// its own namespace (objects are JVM-local in real Tez).
+#[derive(Default)]
+pub struct RegistryState {
+    containers: Mutex<HashMap<u64, Slot>>,
+}
+
+impl RegistryState {
+    /// Fresh state.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// View of one container's registry.
+    pub fn for_container(self: &Arc<Self>, container: u64) -> ContainerObjectRegistry {
+        ContainerObjectRegistry {
+            state: Arc::clone(self),
+            container,
+        }
+    }
+
+    /// Drop a container's whole cache (container released/lost).
+    pub fn drop_container(&self, container: u64) {
+        self.containers.lock().remove(&container);
+    }
+
+    /// Evict entries at or below the given scope everywhere: `Vertex`
+    /// evicts only vertex-scoped entries, `Dag` evicts vertex- and
+    /// DAG-scoped, `Session` evicts everything.
+    pub fn evict_scope(&self, scope: ObjectScope) {
+        let rank = scope_rank(scope);
+        let mut g = self.containers.lock();
+        for slot in g.values_mut() {
+            slot.entries.retain(|_, (s, _)| scope_rank(*s) > rank);
+        }
+    }
+
+    /// Total cached entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.containers.lock().values().map(|s| s.entries.len()).sum()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn scope_rank(s: ObjectScope) -> u8 {
+    match s {
+        ObjectScope::Vertex => 0,
+        ObjectScope::Dag => 1,
+        ObjectScope::Session => 2,
+    }
+}
+
+/// The [`ObjectRegistry`] handed to tasks: scoped to one container.
+pub struct ContainerObjectRegistry {
+    state: Arc<RegistryState>,
+    container: u64,
+}
+
+impl ObjectRegistry for ContainerObjectRegistry {
+    fn get(&self, key: &str) -> Option<Arc<dyn Any + Send + Sync>> {
+        let g = self.state.containers.lock();
+        g.get(&self.container)
+            .and_then(|s| s.entries.get(key))
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    fn put(&self, scope: ObjectScope, key: &str, value: Arc<dyn Any + Send + Sync>) {
+        let mut g = self.state.containers.lock();
+        g.entry(self.container)
+            .or_default()
+            .entries
+            .insert(key.to_string(), (scope, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_container_isolation() {
+        let state = RegistryState::new();
+        let a = state.for_container(1);
+        let b = state.for_container(2);
+        a.put(ObjectScope::Dag, "table", Arc::new(42u32));
+        assert!(a.get("table").is_some());
+        assert!(b.get("table").is_none(), "objects are container-local");
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let state = RegistryState::new();
+        let r = state.for_container(1);
+        r.put(ObjectScope::Session, "x", Arc::new(vec![1u64, 2, 3]));
+        let v = r.get("x").unwrap();
+        let v = v.downcast_ref::<Vec<u64>>().unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn scope_eviction_order() {
+        let state = RegistryState::new();
+        let r = state.for_container(1);
+        r.put(ObjectScope::Vertex, "v", Arc::new(1u8));
+        r.put(ObjectScope::Dag, "d", Arc::new(1u8));
+        r.put(ObjectScope::Session, "s", Arc::new(1u8));
+        state.evict_scope(ObjectScope::Vertex);
+        assert!(r.get("v").is_none());
+        assert!(r.get("d").is_some());
+        state.evict_scope(ObjectScope::Dag);
+        assert!(r.get("d").is_none());
+        assert!(r.get("s").is_some());
+        state.evict_scope(ObjectScope::Session);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn drop_container_clears_cache() {
+        let state = RegistryState::new();
+        let r = state.for_container(9);
+        r.put(ObjectScope::Session, "k", Arc::new(5i32));
+        state.drop_container(9);
+        assert!(r.get("k").is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Execution reports: what the client gets back from a DAG run.
+
+use tez_runtime::Counters;
+use tez_yarn::SimTime;
+
+/// Terminal status of a DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagStatus {
+    /// All vertices succeeded and sinks committed.
+    Succeeded,
+    /// The DAG failed (task exhausted attempts, fatal error, …).
+    Failed(String),
+}
+
+impl DagStatus {
+    /// Whether the DAG succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, DagStatus::Succeeded)
+    }
+}
+
+/// Per-vertex execution statistics.
+#[derive(Clone, Debug)]
+pub struct VertexReport {
+    /// Vertex name.
+    pub name: String,
+    /// Resolved parallelism.
+    pub tasks: usize,
+    /// Total attempts launched (tasks + retries + speculation).
+    pub attempts: usize,
+    /// Attempts that failed or were killed.
+    pub failed_attempts: usize,
+    /// First task launch time.
+    pub first_launch: Option<SimTime>,
+    /// Last task completion time.
+    pub last_finish: Option<SimTime>,
+}
+
+/// Everything a DAG run produced.
+#[derive(Clone, Debug)]
+pub struct DagReport {
+    /// DAG name.
+    pub name: String,
+    /// When the DAG was submitted to the AM.
+    pub submitted: SimTime,
+    /// When the DAG finished.
+    pub finished: SimTime,
+    /// Terminal status.
+    pub status: DagStatus,
+    /// Aggregated counters across all tasks.
+    pub counters: Counters,
+    /// Per-vertex statistics, in topological order.
+    pub vertices: Vec<VertexReport>,
+    /// Containers newly allocated while this DAG ran (session reuse shows
+    /// up as a smaller number here).
+    pub containers_allocated: usize,
+    /// Task attempts that ran in a re-used (warm) container.
+    pub warm_starts: usize,
+    /// Speculative attempts launched.
+    pub speculative_attempts: usize,
+    /// Tasks re-executed to regenerate lost intermediate data.
+    pub reexecuted_tasks: usize,
+}
+
+impl DagReport {
+    /// Wall-clock runtime of the DAG (submission to finish).
+    pub fn runtime_ms(&self) -> u64 {
+        self.finished.since(self.submitted)
+    }
+
+    /// Runtime in seconds.
+    pub fn runtime_s(&self) -> f64 {
+        self.runtime_ms() as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_math() {
+        let r = DagReport {
+            name: "d".into(),
+            submitted: SimTime(1_000),
+            finished: SimTime(11_500),
+            status: DagStatus::Succeeded,
+            counters: Counters::new(),
+            vertices: vec![],
+            containers_allocated: 0,
+            warm_starts: 0,
+            speculative_attempts: 0,
+            reexecuted_tasks: 0,
+        };
+        assert_eq!(r.runtime_ms(), 10_500);
+        assert!((r.runtime_s() - 10.5).abs() < 1e-9);
+        assert!(r.status.is_success());
+    }
+}

@@ -1,0 +1,657 @@
+//! Built-in vertex managers (paper §3.4).
+//!
+//! "Using the same API, Tez comes with some built-in VertexManagers. If a
+//! VertexManager is not specified in the DAG, then Tez will pick one of
+//! these built-in implementations based on the vertex characteristics."
+//!
+//! * [`RootInputVertexManager`] — parallelism from split calculation;
+//!   schedules everything once splits are known.
+//! * [`OneToOneVertexManager`] — parallelism copied from the one-to-one
+//!   source; task *i* is scheduled when source task *i* completes.
+//! * [`ImmediateStartVertexManager`] — fixed parallelism, schedule all at
+//!   start.
+//! * [`ShuffleVertexManager`] — the paper's flagship (Figure 6): gathers
+//!   producer output-size statistics via VertexManager events, shrinks the
+//!   partition cardinality to match the observed data volume, and applies
+//!   **slow-start** scheduling so consumer fetches overlap the tail of the
+//!   producer wave.
+
+use crate::edge_managers::GroupedScatterGatherEdgeManager;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tez_dag::{EdgeManagerPlugin, PayloadReader, PayloadWriter, UserPayload};
+use tez_runtime::{
+    ComponentRegistry, SourceKind, SourceTaskAttempt, VertexManager, VertexManagerContext,
+};
+
+/// Registry kinds of the built-in vertex managers.
+pub mod vm_kinds {
+    /// Root-input vertex manager.
+    pub const ROOT_INPUT: &str = "tez.RootInputVertexManager";
+    /// One-to-one vertex manager.
+    pub const ONE_TO_ONE: &str = "tez.OneToOneVertexManager";
+    /// Immediate-start vertex manager.
+    pub const IMMEDIATE: &str = "tez.ImmediateStartVertexManager";
+    /// Shuffle vertex manager.
+    pub const SHUFFLE: &str = "tez.ShuffleVertexManager";
+}
+
+/// Parallelism from root splits; schedule all tasks at vertex start.
+#[derive(Default)]
+pub struct RootInputVertexManager {
+    splits: HashMap<String, usize>,
+}
+
+impl VertexManager for RootInputVertexManager {
+    fn initialize(&mut self, _ctx: &mut dyn VertexManagerContext) {}
+
+    fn on_root_input_initialized(
+        &mut self,
+        source: &str,
+        num_splits: usize,
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        self.splits.insert(source.to_string(), num_splits);
+        if ctx.parallelism().is_none() {
+            // Parallelism is the largest split count across sources; tasks
+            // of narrower sources read nothing beyond their split range.
+            let n = self.splits.values().copied().max().unwrap_or(1).max(1);
+            ctx.reconfigure(n, Vec::new());
+        }
+    }
+
+    fn on_vertex_started(&mut self, ctx: &mut dyn VertexManagerContext) {
+        let n = ctx.parallelism().expect("started implies resolved");
+        ctx.schedule_tasks((0..n).collect());
+    }
+}
+
+/// Copies the one-to-one source's parallelism; schedules task `i` when
+/// source task `i` completes (preserving data locality on the 1-1 edge).
+#[derive(Default)]
+pub struct OneToOneVertexManager;
+
+impl VertexManager for OneToOneVertexManager {
+    fn initialize(&mut self, ctx: &mut dyn VertexManagerContext) {
+        if ctx.parallelism().is_some() {
+            return;
+        }
+        let src = ctx
+            .source_vertices()
+            .into_iter()
+            .find(|s| ctx.source_edge_kind(s) == Some(SourceKind::OneToOne));
+        if let Some(src) = src {
+            if let Some(n) = ctx.source_parallelism(&src) {
+                ctx.reconfigure(n, Vec::new());
+            }
+        }
+    }
+
+    fn on_source_task_completed(
+        &mut self,
+        src: &SourceTaskAttempt,
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        if ctx.source_edge_kind(&src.vertex) == Some(SourceKind::OneToOne) {
+            ctx.schedule_tasks(vec![src.task]);
+        }
+    }
+}
+
+/// Fixed parallelism; schedule everything as soon as the vertex starts.
+#[derive(Default)]
+pub struct ImmediateStartVertexManager;
+
+impl VertexManager for ImmediateStartVertexManager {
+    fn initialize(&mut self, _ctx: &mut dyn VertexManagerContext) {}
+
+    fn on_vertex_started(&mut self, ctx: &mut dyn VertexManagerContext) {
+        let n = ctx.parallelism().expect("immediate-start vertex needs fixed parallelism");
+        ctx.schedule_tasks((0..n).collect());
+    }
+}
+
+/// Configuration of the [`ShuffleVertexManager`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffleVertexManagerConfig {
+    /// Enable automatic partition-cardinality estimation.
+    pub auto_parallelism: bool,
+    /// Target (scaled) bytes per consumer task.
+    pub desired_bytes_per_task: u64,
+    /// Fraction of producers that must report statistics before estimating.
+    pub stats_fraction: f64,
+    /// Slow-start: begin scheduling at this completed-producer fraction.
+    pub slowstart_min: f64,
+    /// Slow-start: everything scheduled at this fraction.
+    pub slowstart_max: f64,
+}
+
+impl Default for ShuffleVertexManagerConfig {
+    fn default() -> Self {
+        ShuffleVertexManagerConfig {
+            auto_parallelism: true,
+            desired_bytes_per_task: 256 << 20,
+            stats_fraction: 0.5,
+            slowstart_min: 0.25,
+            slowstart_max: 0.75,
+        }
+    }
+}
+
+impl ShuffleVertexManagerConfig {
+    /// Encode as a descriptor payload.
+    pub fn to_payload(&self) -> UserPayload {
+        let mut w = PayloadWriter::new();
+        w.put_u64(u64::from(self.auto_parallelism))
+            .put_u64(self.desired_bytes_per_task)
+            .put_f64(self.stats_fraction)
+            .put_f64(self.slowstart_min)
+            .put_f64(self.slowstart_max);
+        w.finish()
+    }
+
+    /// Decode from a descriptor payload (empty payload → defaults).
+    pub fn from_payload(p: &UserPayload) -> Self {
+        if p.is_empty() {
+            return Self::default();
+        }
+        let mut r = PayloadReader::new(p.as_bytes());
+        ShuffleVertexManagerConfig {
+            auto_parallelism: r.get_u64() != 0,
+            desired_bytes_per_task: r.get_u64(),
+            stats_fraction: r.get_f64(),
+            slowstart_min: r.get_f64(),
+            slowstart_max: r.get_f64(),
+        }
+    }
+}
+
+/// The shuffle vertex manager (paper §3.4 and Figure 6).
+pub struct ShuffleVertexManager {
+    config: ShuffleVertexManagerConfig,
+    /// Scaled output bytes reported per producer task (deduplicated).
+    stats: HashMap<(String, usize), u64>,
+    reconfigured: bool,
+    started: bool,
+}
+
+impl ShuffleVertexManager {
+    /// New manager with the given config.
+    pub fn new(config: ShuffleVertexManagerConfig) -> Self {
+        ShuffleVertexManager {
+            config,
+            stats: HashMap::new(),
+            reconfigured: false,
+            started: false,
+        }
+    }
+
+    fn sg_sources(&self, ctx: &dyn VertexManagerContext) -> Vec<String> {
+        ctx.source_vertices()
+            .into_iter()
+            .filter(|s| ctx.source_edge_kind(s) == Some(SourceKind::ScatterGather))
+            .collect()
+    }
+
+    fn blocking_sources(&self, ctx: &dyn VertexManagerContext) -> Vec<String> {
+        ctx.source_vertices()
+            .into_iter()
+            .filter(|s| {
+                !matches!(ctx.source_edge_kind(s), Some(SourceKind::ScatterGather))
+            })
+            .collect()
+    }
+
+    fn total_sg_tasks(&self, ctx: &dyn VertexManagerContext) -> Option<usize> {
+        let mut total = 0;
+        for s in self.sg_sources(ctx) {
+            total += ctx.source_parallelism(&s)?;
+        }
+        Some(total)
+    }
+
+    fn maybe_auto_reduce(&mut self, ctx: &mut dyn VertexManagerContext) {
+        if !self.config.auto_parallelism || self.reconfigured || ctx.scheduled_tasks() > 0 {
+            return;
+        }
+        let Some(total_src) = self.total_sg_tasks(ctx) else {
+            return;
+        };
+        if total_src == 0 {
+            return;
+        }
+        // Estimate per source vertex: extrapolating from whichever side
+        // reported first would bias the estimate badly when a small
+        // dimension side finishes long before the fact side.
+        let mut estimated_total = 0u64;
+        for src in self.sg_sources(ctx) {
+            let Some(n) = ctx.source_parallelism(&src) else {
+                return;
+            };
+            if n == 0 {
+                continue;
+            }
+            let reports: Vec<u64> = self
+                .stats
+                .iter()
+                .filter(|((v, _), _)| *v == src)
+                .map(|(_, &b)| b)
+                .collect();
+            let needed = (((n as f64) * self.config.stats_fraction).ceil() as usize).max(1);
+            if reports.len() < needed {
+                return; // wait for this source's share of statistics
+            }
+            let observed: u64 = reports.iter().sum();
+            estimated_total +=
+                (observed as f64 * n as f64 / reports.len() as f64) as u64;
+        }
+        let desired = (estimated_total / self.config.desired_bytes_per_task.max(1)).max(1) as usize;
+        if std::env::var("TEZ_DEBUG_AUTO").is_ok() {
+            eprintln!(
+                "[auto {}] stats={} est={} desired_per_task={} desired={} current={:?}",
+                ctx.vertex_name(),
+                self.stats.len(),
+                estimated_total,
+                self.config.desired_bytes_per_task,
+                desired,
+                ctx.parallelism()
+            );
+        }
+        let current = ctx.parallelism().expect("shuffle vertex has parallelism");
+        if desired < current {
+            // Producers keep emitting `current` partitions; fewer consumer
+            // tasks each gather a contiguous range.
+            let routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)> = self
+                .sg_sources(ctx)
+                .into_iter()
+                .map(|s| {
+                    (
+                        s,
+                        Arc::new(GroupedScatterGatherEdgeManager {
+                            orig_partitions: current,
+                        }) as Arc<dyn EdgeManagerPlugin>,
+                    )
+                })
+                .collect();
+            ctx.reconfigure(desired, routing);
+            self.reconfigured = true;
+        } else {
+            // Enough data for the current width; stop re-evaluating.
+            self.reconfigured = true;
+        }
+    }
+
+    fn maybe_schedule(&mut self, ctx: &mut dyn VertexManagerContext) {
+        if !self.started {
+            return;
+        }
+        // Auto-parallelism must settle before the first schedule: once a
+        // task is scheduled, reconfiguration is illegal. Hold scheduling
+        // until enough statistics arrived (or every producer finished, at
+        // which point whatever exists must do).
+        if self.config.auto_parallelism && !self.reconfigured && ctx.scheduled_tasks() == 0 {
+            self.maybe_auto_reduce(ctx);
+            if !self.reconfigured {
+                let all_done = self.sg_sources(ctx).iter().all(|s| {
+                    ctx.source_parallelism(s)
+                        .is_some_and(|n| ctx.completed_source_tasks(s) >= n)
+                });
+                if !all_done {
+                    return; // wait for more producer statistics
+                }
+                self.reconfigured = true; // proceed at current width
+            }
+        }
+        // Blocking (broadcast/custom/1-1) sources must be fully complete.
+        for s in self.blocking_sources(ctx) {
+            match ctx.source_parallelism(&s) {
+                Some(n) if ctx.completed_source_tasks(&s) >= n => {}
+                _ => return,
+            }
+        }
+        let Some(total) = self.total_sg_tasks(ctx) else {
+            return;
+        };
+        let n = ctx.parallelism().expect("resolved");
+        let target = if total == 0 {
+            n
+        } else {
+            let completed: usize = self
+                .sg_sources(ctx)
+                .iter()
+                .map(|s| ctx.completed_source_tasks(s))
+                .sum();
+            let frac = completed as f64 / total as f64;
+            if frac + 1e-9 < self.config.slowstart_min {
+                0
+            } else if frac + 1e-9 >= self.config.slowstart_max {
+                n
+            } else {
+                let span = (self.config.slowstart_max - self.config.slowstart_min).max(1e-9);
+                let t = (frac - self.config.slowstart_min) / span;
+                // At least one task starts as soon as the window opens.
+                ((n as f64 * t).ceil() as usize).clamp(1, n)
+            }
+        };
+        let already = ctx.scheduled_tasks();
+        if target > already {
+            ctx.schedule_tasks((already..target).collect());
+        }
+    }
+}
+
+impl VertexManager for ShuffleVertexManager {
+    fn initialize(&mut self, ctx: &mut dyn VertexManagerContext) {
+        if ctx.parallelism().is_some() {
+            return;
+        }
+        // Heuristic default when the DAG left parallelism open: one task
+        // per source task, capped at twice the cluster slots.
+        if let Some(total) = self.total_sg_tasks(ctx) {
+            let cap = (ctx.total_slots() * 2).max(1);
+            ctx.reconfigure(total.clamp(1, cap), Vec::new());
+        }
+    }
+
+    fn on_vertex_started(&mut self, ctx: &mut dyn VertexManagerContext) {
+        self.started = true;
+        self.maybe_schedule(ctx);
+    }
+
+    fn on_source_task_completed(
+        &mut self,
+        _src: &SourceTaskAttempt,
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        self.maybe_schedule(ctx);
+    }
+
+    fn on_event(
+        &mut self,
+        src: &SourceTaskAttempt,
+        payload: &[u8],
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        // Producer output statistics: total scaled bytes of its partitions.
+        let mut r = PayloadReader::new(payload);
+        let bytes = r.get_u64();
+        self.stats.insert((src.vertex.clone(), src.task), bytes);
+        self.maybe_auto_reduce(ctx);
+    }
+}
+
+/// Encode a producer-statistics event payload for the shuffle manager.
+pub fn producer_stats_payload(total_bytes: u64) -> bytes::Bytes {
+    let mut w = PayloadWriter::new();
+    w.put_u64(total_bytes);
+    w.finish_bytes()
+}
+
+/// A registry with every built-in component: shuffle IOs, vertex managers,
+/// and the split initializer. Engines extend this with their processors.
+pub fn standard_registry() -> ComponentRegistry {
+    let mut r = ComponentRegistry::new();
+    tez_shuffle::register_builtins(&mut r);
+    r.register_vertex_manager(vm_kinds::ROOT_INPUT, |_p| {
+        Box::<RootInputVertexManager>::default()
+    });
+    r.register_vertex_manager(vm_kinds::ONE_TO_ONE, |_p| {
+        Box::<OneToOneVertexManager>::default()
+    });
+    r.register_vertex_manager(vm_kinds::IMMEDIATE, |_p| {
+        Box::<ImmediateStartVertexManager>::default()
+    });
+    r.register_vertex_manager(vm_kinds::SHUFFLE, |p| {
+        Box::new(ShuffleVertexManager::new(
+            ShuffleVertexManagerConfig::from_payload(p),
+        ))
+    });
+    r.register_initializer(crate::initializers::kinds::HDFS_SPLITS, |p| {
+        Box::new(crate::initializers::HdfsSplitInitializer::from_payload(p))
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scripted mock context.
+    struct MockCtx {
+        parallelism: Option<usize>,
+        sources: Vec<(String, SourceKind, usize, usize)>, // name, kind, tasks, completed
+        scheduled: Vec<usize>,
+        reconfigured_to: Option<usize>,
+        slots: usize,
+    }
+
+    impl MockCtx {
+        fn new(parallelism: usize) -> Self {
+            MockCtx {
+                parallelism: Some(parallelism),
+                sources: vec![],
+                scheduled: vec![],
+                reconfigured_to: None,
+                slots: 100,
+            }
+        }
+
+        fn with_source(mut self, name: &str, kind: SourceKind, tasks: usize) -> Self {
+            self.sources.push((name.into(), kind, tasks, 0));
+            self
+        }
+
+        fn complete(&mut self, name: &str, n: usize) {
+            for s in &mut self.sources {
+                if s.0 == name {
+                    s.3 = n;
+                }
+            }
+        }
+    }
+
+    impl VertexManagerContext for MockCtx {
+        fn vertex_name(&self) -> &str {
+            "v"
+        }
+        fn parallelism(&self) -> Option<usize> {
+            self.parallelism
+        }
+        fn source_vertices(&self) -> Vec<String> {
+            self.sources.iter().map(|s| s.0.clone()).collect()
+        }
+        fn source_parallelism(&self, vertex: &str) -> Option<usize> {
+            self.sources.iter().find(|s| s.0 == vertex).map(|s| s.2)
+        }
+        fn completed_source_tasks(&self, vertex: &str) -> usize {
+            self.sources
+                .iter()
+                .find(|s| s.0 == vertex)
+                .map_or(0, |s| s.3)
+        }
+        fn source_edge_kind(&self, vertex: &str) -> Option<SourceKind> {
+            self.sources.iter().find(|s| s.0 == vertex).map(|s| s.1)
+        }
+        fn root_input_splits(&self, _source: &str) -> Option<usize> {
+            None
+        }
+        fn reconfigure(
+            &mut self,
+            parallelism: usize,
+            _routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
+        ) {
+            assert!(self.scheduled.is_empty(), "reconfigure after scheduling");
+            self.parallelism = Some(parallelism);
+            self.reconfigured_to = Some(parallelism);
+        }
+        fn schedule_tasks(&mut self, tasks: Vec<usize>) {
+            self.scheduled.extend(tasks);
+        }
+        fn scheduled_tasks(&self) -> usize {
+            self.scheduled.len()
+        }
+        fn total_slots(&self) -> usize {
+            self.slots
+        }
+    }
+
+    fn src(task: usize) -> SourceTaskAttempt {
+        SourceTaskAttempt {
+            vertex: "map".into(),
+            task,
+        }
+    }
+
+    #[test]
+    fn root_manager_sets_parallelism_from_splits_and_schedules() {
+        let mut ctx = MockCtx::new(0);
+        ctx.parallelism = None;
+        let mut vm = RootInputVertexManager::default();
+        vm.initialize(&mut ctx);
+        vm.on_root_input_initialized("in", 7, &mut ctx);
+        assert_eq!(ctx.parallelism, Some(7));
+        vm.on_vertex_started(&mut ctx);
+        assert_eq!(ctx.scheduled.len(), 7);
+    }
+
+    #[test]
+    fn one_to_one_copies_parallelism_and_follows_completions() {
+        let mut ctx = MockCtx::new(0).with_source("map", SourceKind::OneToOne, 4);
+        ctx.parallelism = None;
+        let mut vm = OneToOneVertexManager;
+        vm.initialize(&mut ctx);
+        assert_eq!(ctx.parallelism, Some(4));
+        vm.on_source_task_completed(&src(2), &mut ctx);
+        assert_eq!(ctx.scheduled, vec![2]);
+    }
+
+    #[test]
+    fn shuffle_slow_start_window() {
+        let cfg = ShuffleVertexManagerConfig {
+            auto_parallelism: false,
+            slowstart_min: 0.25,
+            slowstart_max: 0.75,
+            ..Default::default()
+        };
+        let mut ctx = MockCtx::new(10).with_source("map", SourceKind::ScatterGather, 100);
+        let mut vm = ShuffleVertexManager::new(cfg);
+        vm.initialize(&mut ctx);
+        vm.on_vertex_started(&mut ctx);
+        assert!(ctx.scheduled.is_empty(), "0% complete: nothing scheduled");
+
+        ctx.complete("map", 24);
+        vm.on_source_task_completed(&src(0), &mut ctx);
+        assert!(ctx.scheduled.is_empty(), "below min fraction");
+
+        ctx.complete("map", 50);
+        vm.on_source_task_completed(&src(1), &mut ctx);
+        let mid = ctx.scheduled.len();
+        assert!(mid > 0 && mid < 10, "partial schedule at 50%: {mid}");
+
+        ctx.complete("map", 75);
+        vm.on_source_task_completed(&src(2), &mut ctx);
+        assert_eq!(ctx.scheduled.len(), 10, "everything at max fraction");
+    }
+
+    #[test]
+    fn shuffle_waits_for_broadcast_sources() {
+        let cfg = ShuffleVertexManagerConfig {
+            auto_parallelism: false,
+            slowstart_min: 0.0,
+            slowstart_max: 0.0,
+            ..Default::default()
+        };
+        let mut ctx = MockCtx::new(4)
+            .with_source("map", SourceKind::ScatterGather, 10)
+            .with_source("dim", SourceKind::Broadcast, 2);
+        let mut vm = ShuffleVertexManager::new(cfg);
+        vm.initialize(&mut ctx);
+        ctx.complete("map", 10);
+        vm.on_vertex_started(&mut ctx);
+        assert!(ctx.scheduled.is_empty(), "broadcast source incomplete");
+        ctx.complete("dim", 2);
+        vm.on_source_task_completed(
+            &SourceTaskAttempt {
+                vertex: "dim".into(),
+                task: 1,
+            },
+            &mut ctx,
+        );
+        assert_eq!(ctx.scheduled.len(), 4);
+    }
+
+    #[test]
+    fn auto_parallelism_shrinks_from_stats() {
+        let cfg = ShuffleVertexManagerConfig {
+            auto_parallelism: true,
+            desired_bytes_per_task: 1000,
+            stats_fraction: 0.5,
+            slowstart_min: 1.0,
+            slowstart_max: 1.0,
+        };
+        // 100 initial partitions, 4 producers each emitting ~500 bytes:
+        // total ≈ 2000 → 2 tasks desired.
+        let mut ctx = MockCtx::new(100).with_source("map", SourceKind::ScatterGather, 4);
+        let mut vm = ShuffleVertexManager::new(cfg);
+        vm.initialize(&mut ctx);
+        vm.on_vertex_started(&mut ctx);
+        vm.on_event(&src(0), &producer_stats_payload(500), &mut ctx);
+        assert!(ctx.reconfigured_to.is_none(), "not enough stats yet");
+        vm.on_event(&src(1), &producer_stats_payload(500), &mut ctx);
+        assert_eq!(ctx.reconfigured_to, Some(2));
+        assert_eq!(ctx.parallelism, Some(2));
+    }
+
+    #[test]
+    fn auto_parallelism_never_grows() {
+        let cfg = ShuffleVertexManagerConfig {
+            auto_parallelism: true,
+            desired_bytes_per_task: 1,
+            stats_fraction: 0.25,
+            ..Default::default()
+        };
+        let mut ctx = MockCtx::new(2).with_source("map", SourceKind::ScatterGather, 4);
+        let mut vm = ShuffleVertexManager::new(cfg);
+        vm.initialize(&mut ctx);
+        vm.on_event(&src(0), &producer_stats_payload(1_000_000), &mut ctx);
+        assert!(ctx.reconfigured_to.is_none(), "desired > current keeps width");
+        assert_eq!(ctx.parallelism, Some(2));
+    }
+
+    #[test]
+    fn shuffle_default_parallelism_heuristic() {
+        let mut ctx = MockCtx::new(0).with_source("map", SourceKind::ScatterGather, 40);
+        ctx.parallelism = None;
+        ctx.slots = 8;
+        let mut vm = ShuffleVertexManager::new(ShuffleVertexManagerConfig::default());
+        vm.initialize(&mut ctx);
+        // min(40, 2*8) = 16.
+        assert_eq!(ctx.parallelism, Some(16));
+    }
+
+    #[test]
+    fn config_payload_roundtrip() {
+        let cfg = ShuffleVertexManagerConfig {
+            auto_parallelism: false,
+            desired_bytes_per_task: 12345,
+            stats_fraction: 0.33,
+            slowstart_min: 0.1,
+            slowstart_max: 0.9,
+        };
+        let decoded = ShuffleVertexManagerConfig::from_payload(&cfg.to_payload());
+        assert_eq!(decoded.auto_parallelism, cfg.auto_parallelism);
+        assert_eq!(decoded.desired_bytes_per_task, 12345);
+        assert!((decoded.stats_fraction - 0.33).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_registry_has_builtins() {
+        let r = standard_registry();
+        assert!(r
+            .create_vertex_manager(vm_kinds::SHUFFLE, &UserPayload::empty())
+            .is_ok());
+        assert!(r
+            .create_vertex_manager(vm_kinds::ROOT_INPUT, &UserPayload::empty())
+            .is_ok());
+    }
+}

@@ -1,0 +1,343 @@
+//! [`DagBuilder`]: assembles vertices and edges into a validated [`Dag`].
+//!
+//! "Using well-known concepts of vertices and edges the DAG API enables a
+//! clear and concise description of the structure of the computation"
+//! (paper §3.1). Validation catches structural mistakes at build time
+//! rather than at execution time.
+
+use crate::edge::{DataMovement, Edge, EdgeProperty};
+use crate::error::DagError;
+use crate::graph::{topo_sort, Dag};
+use crate::vertex::{Parallelism, Vertex};
+use std::collections::{HashMap, HashSet};
+
+/// Builder for [`Dag`]. See crate docs for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    name: String,
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+}
+
+impl DagBuilder {
+    /// Start a DAG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DagBuilder {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a vertex.
+    pub fn add_vertex(mut self, vertex: Vertex) -> Self {
+        self.vertices.push(vertex);
+        self
+    }
+
+    /// Add an edge from `src` to `dst`.
+    pub fn add_edge(
+        mut self,
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        property: EdgeProperty,
+    ) -> Self {
+        self.edges.push(Edge::new(src, dst, property));
+        self
+    }
+
+    /// Validate and build the DAG.
+    pub fn build(self) -> Result<Dag, DagError> {
+        if self.vertices.is_empty() {
+            return Err(DagError::EmptyDag);
+        }
+
+        // Unique vertex names.
+        let mut index = HashMap::with_capacity(self.vertices.len());
+        for (i, v) in self.vertices.iter().enumerate() {
+            if index.insert(v.name.clone(), i).is_some() {
+                return Err(DagError::DuplicateVertex(v.name.clone()));
+            }
+        }
+
+        // Per-vertex IO name uniqueness and parallelism sanity.
+        for v in &self.vertices {
+            let mut io = HashSet::new();
+            for s in &v.data_sources {
+                if !io.insert(s.name.as_str()) {
+                    return Err(DagError::DuplicateIo {
+                        vertex: v.name.clone(),
+                        name: s.name.clone(),
+                    });
+                }
+            }
+            for s in &v.data_sinks {
+                if !io.insert(s.name.as_str()) {
+                    return Err(DagError::DuplicateIo {
+                        vertex: v.name.clone(),
+                        name: s.name.clone(),
+                    });
+                }
+            }
+            if v.parallelism == Parallelism::Fixed(0) {
+                return Err(DagError::ZeroParallelism(v.name.clone()));
+            }
+        }
+
+        // Edge endpoints exist; no self loops; no duplicate (src, dst).
+        let mut seen_edges = HashSet::new();
+        let mut in_edges = vec![Vec::new(); self.vertices.len()];
+        let mut out_edges = vec![Vec::new(); self.vertices.len()];
+        for (ei, e) in self.edges.iter().enumerate() {
+            let s = *index
+                .get(&e.src)
+                .ok_or_else(|| DagError::UnknownVertex(e.src.clone()))?;
+            let d = *index
+                .get(&e.dst)
+                .ok_or_else(|| DagError::UnknownVertex(e.dst.clone()))?;
+            if s == d {
+                return Err(DagError::SelfLoop(e.src.clone()));
+            }
+            if !seen_edges.insert((s, d)) {
+                return Err(DagError::DuplicateEdge {
+                    src: e.src.clone(),
+                    dst: e.dst.clone(),
+                });
+            }
+            out_edges[s].push(ei);
+            in_edges[d].push(ei);
+        }
+
+        // One-to-one edges need matching fixed parallelism when both are
+        // statically known. (When either side is Auto the orchestrator
+        // enforces the match at runtime.)
+        for e in &self.edges {
+            if matches!(e.property.movement, DataMovement::OneToOne) {
+                let s = &self.vertices[index[&e.src]];
+                let d = &self.vertices[index[&e.dst]];
+                if let (Some(sn), Some(dn)) = (s.parallelism.fixed(), d.parallelism.fixed()) {
+                    if sn != dn {
+                        return Err(DagError::OneToOneParallelismMismatch {
+                            src: e.src.clone(),
+                            dst: e.dst.clone(),
+                            src_tasks: sn,
+                            dst_tasks: dn,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Auto-parallelism vertices must have a way to decide parallelism:
+        // an incoming edge (vertex manager decides) or a root input with an
+        // initializer (split calculation decides).
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.parallelism == Parallelism::Auto
+                && in_edges[i].is_empty()
+                && !v.data_sources.iter().any(|s| s.initializer.is_some())
+            {
+                return Err(DagError::UndecidableParallelism(v.name.clone()));
+            }
+        }
+
+        let names: Vec<String> = self.vertices.iter().map(|v| v.name.clone()).collect();
+        let (topo, depth) = topo_sort(
+            self.vertices.len(),
+            &in_edges,
+            &out_edges,
+            &self.edges,
+            &index,
+            &names,
+        )?;
+
+        Ok(Dag {
+            name: self.name,
+            vertices: self.vertices,
+            edges: self.edges,
+            index,
+            in_edges,
+            out_edges,
+            topo,
+            depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::NamedDescriptor;
+
+    fn p() -> NamedDescriptor {
+        NamedDescriptor::new("P")
+    }
+
+    fn sg() -> EdgeProperty {
+        EdgeProperty::new(
+            DataMovement::ScatterGather,
+            NamedDescriptor::new("O"),
+            NamedDescriptor::new("I"),
+        )
+    }
+
+    fn o2o() -> EdgeProperty {
+        EdgeProperty::new(
+            DataMovement::OneToOne,
+            NamedDescriptor::new("O"),
+            NamedDescriptor::new("I"),
+        )
+    }
+
+    #[test]
+    fn empty_dag_rejected() {
+        assert_eq!(DagBuilder::new("d").build().unwrap_err(), DagError::EmptyDag);
+    }
+
+    #[test]
+    fn duplicate_vertex_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::DuplicateVertex("a".into()));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .add_edge("a", "ghost", sg())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::UnknownVertex("ghost".into()));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .add_edge("a", "a", sg())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::SelfLoop("a".into()));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .add_vertex(Vertex::new("b", p()).with_parallelism(1))
+            .add_edge("a", "b", sg())
+            .add_edge("a", "b", sg())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(1))
+            .add_vertex(Vertex::new("b", p()).with_parallelism(1))
+            .add_vertex(Vertex::new("c", p()).with_parallelism(1))
+            .add_edge("a", "b", sg())
+            .add_edge("b", "c", sg())
+            .add_edge("c", "a", sg())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::ZeroParallelism("a".into()));
+    }
+
+    #[test]
+    fn one_to_one_mismatch_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(2))
+            .add_vertex(Vertex::new("b", p()).with_parallelism(3))
+            .add_edge("a", "b", o2o())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::OneToOneParallelismMismatch { .. }));
+    }
+
+    #[test]
+    fn one_to_one_with_auto_side_allowed() {
+        let d = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(2))
+            .add_vertex(Vertex::new("b", p())) // Auto, decided at runtime
+            .add_edge("a", "b", o2o())
+            .build()
+            .unwrap();
+        assert_eq!(d.num_vertices(), 2);
+    }
+
+    #[test]
+    fn undecidable_auto_parallelism_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p())) // Auto, no inputs, no initializer
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DagError::UndecidableParallelism("a".into()));
+    }
+
+    #[test]
+    fn auto_with_initializer_allowed() {
+        let d = DagBuilder::new("d")
+            .add_vertex(Vertex::new("a", p()).with_data_source(
+                "in",
+                NamedDescriptor::new("HdfsInput"),
+                Some(NamedDescriptor::new("SplitInitializer")),
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(d.num_vertices(), 1);
+    }
+
+    #[test]
+    fn duplicate_io_name_rejected() {
+        let err = DagBuilder::new("d")
+            .add_vertex(
+                Vertex::new("a", p())
+                    .with_parallelism(1)
+                    .with_data_source("x", NamedDescriptor::new("I"), None)
+                    .with_data_sink("x", NamedDescriptor::new("O"), None),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DagError::DuplicateIo { .. }));
+    }
+
+    #[test]
+    fn wordcount_shape_builds() {
+        // The canonical WordCount from paper Figure 4: tokenizer -> summer.
+        let d = DagBuilder::new("wordcount")
+            .add_vertex(
+                Vertex::new("tokenizer", NamedDescriptor::new("TokenProcessor"))
+                    .with_data_source(
+                        "in",
+                        NamedDescriptor::new("TextInput"),
+                        Some(NamedDescriptor::new("SplitInitializer")),
+                    ),
+            )
+            .add_vertex(
+                Vertex::new("summer", NamedDescriptor::new("SumProcessor"))
+                    .with_parallelism(2)
+                    .with_data_sink("out", NamedDescriptor::new("TextOutput"), None),
+            )
+            .add_edge("tokenizer", "summer", sg())
+            .build()
+            .unwrap();
+        assert_eq!(d.num_vertices(), 2);
+        assert_eq!(d.roots().len(), 1);
+        assert_eq!(d.leaves().len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! Edge definitions: connection patterns, transports, and the pluggable
+//! [`EdgeManagerPlugin`] routing API (paper §3.1, "Edge").
+//!
+//! An edge has a *logical* aspect — the connection pattern between producer
+//! and consumer tasks, expressed by an edge manager's routing table — and a
+//! *physical* aspect — the transport mechanism, implemented by a compatible
+//! pair of output/input classes referenced by descriptors.
+
+use crate::payload::NamedDescriptor;
+use std::sync::Arc;
+
+/// Built-in connection patterns (paper Figure 3) plus custom routing.
+#[derive(Clone, Debug)]
+pub enum DataMovement {
+    /// Task *i* of the producer feeds task *i* of the consumer.
+    OneToOne,
+    /// Every producer task feeds every consumer task with its whole output.
+    Broadcast,
+    /// Every producer task partitions its output; consumer task *j* gathers
+    /// partition *j* from every producer (the classic shuffle).
+    ScatterGather,
+    /// Application-defined routing via a custom [`EdgeManagerPlugin`]
+    /// registered under `manager.kind` (e.g. Hive's dynamically partitioned
+    /// hash join, §5.2).
+    Custom {
+        /// Descriptor of the custom edge manager.
+        manager: NamedDescriptor,
+    },
+}
+
+impl DataMovement {
+    /// Short label used in traces and DOT output.
+    pub fn label(&self) -> &str {
+        match self {
+            DataMovement::OneToOne => "one-to-one",
+            DataMovement::Broadcast => "broadcast",
+            DataMovement::ScatterGather => "scatter-gather",
+            DataMovement::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// Physical transport of an edge: where intermediate data lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Producer-local main memory; consumers fetch over the network.
+    Memory,
+    /// Producer-local disk served by the shuffle service; consumers fetch
+    /// over the network. This is the default, fault-tolerant choice.
+    LocalDisk,
+    /// Replicated distributed storage; survives producer node loss and acts
+    /// as a barrier to cascading re-execution (paper §4.3).
+    Reliable,
+}
+
+/// When consumer tasks become schedulable relative to producers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulingKind {
+    /// Consumers start only after producers complete (possibly overlapped by
+    /// a vertex manager's slow-start policy).
+    Sequential,
+    /// Consumers run concurrently with producers (streamed edges).
+    Concurrent,
+}
+
+/// The full property set of a logical edge.
+#[derive(Clone, Debug)]
+pub struct EdgeProperty {
+    /// Logical connection pattern.
+    pub movement: DataMovement,
+    /// Physical transport.
+    pub transport: Transport,
+    /// Scheduling dependency.
+    pub scheduling: SchedulingKind,
+    /// Output class instantiated in producer tasks for this edge.
+    pub src_output: NamedDescriptor,
+    /// Input class instantiated in consumer tasks for this edge.
+    pub dst_input: NamedDescriptor,
+}
+
+impl EdgeProperty {
+    /// Property with the given movement and IO classes, defaulting to
+    /// local-disk transport and sequential scheduling.
+    pub fn new(
+        movement: DataMovement,
+        src_output: NamedDescriptor,
+        dst_input: NamedDescriptor,
+    ) -> Self {
+        EdgeProperty {
+            movement,
+            transport: Transport::LocalDisk,
+            scheduling: SchedulingKind::Sequential,
+            src_output,
+            dst_input,
+        }
+    }
+
+    /// Override the transport.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Override the scheduling kind.
+    pub fn with_scheduling(mut self, scheduling: SchedulingKind) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+}
+
+/// A logical edge between two vertices, identified by their names.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Producer vertex name.
+    pub src: String,
+    /// Consumer vertex name.
+    pub dst: String,
+    /// Edge properties.
+    pub property: EdgeProperty,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    pub fn new(src: impl Into<String>, dst: impl Into<String>, property: EdgeProperty) -> Self {
+        Edge {
+            src: src.into(),
+            dst: dst.into(),
+            property,
+        }
+    }
+}
+
+/// Context handed to an [`EdgeManagerPlugin`]: the physical parallelism of
+/// both endpoints of the edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRoutingContext {
+    /// Number of producer tasks.
+    pub num_src_tasks: usize,
+    /// Number of consumer tasks.
+    pub num_dst_tasks: usize,
+}
+
+/// One physical routing entry: a producer partition is delivered to
+/// `(dst_task, dst_input_index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination task index within the consumer vertex.
+    pub dst_task: usize,
+    /// Physical input index on the destination task that receives the data.
+    pub dst_input_index: usize,
+}
+
+/// The pluggable routing table of an edge.
+///
+/// "This routing table must be specified by implementing a pluggable
+/// EdgeManagerPlugin API" (paper §3.1). The orchestrator uses it to route
+/// data-movement events from producer outputs to the correct consumer
+/// inputs, and to expand the logical DAG into the physical task DAG.
+///
+/// Implementations must be pure functions of their inputs: routing is
+/// consulted both during expansion and during event routing, and the two
+/// must agree.
+pub trait EdgeManagerPlugin: Send + Sync {
+    /// Number of physical output partitions each producer task generates on
+    /// this edge.
+    fn num_physical_outputs(&self, ctx: &EdgeRoutingContext, src_task: usize) -> usize;
+
+    /// Number of physical inputs each consumer task consumes on this edge.
+    fn num_physical_inputs(&self, ctx: &EdgeRoutingContext, dst_task: usize) -> usize;
+
+    /// Route one physical output `(src_task, partition)` to its consumers.
+    fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route>;
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Routing for [`DataMovement::ScatterGather`]: producer task `s` emits one
+/// partition per consumer task; consumer task `d` gathers partition `d` from
+/// every producer, at input index `s`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScatterGatherEdgeManager;
+
+impl EdgeManagerPlugin for ScatterGatherEdgeManager {
+    fn num_physical_outputs(&self, ctx: &EdgeRoutingContext, _src_task: usize) -> usize {
+        ctx.num_dst_tasks
+    }
+
+    fn num_physical_inputs(&self, ctx: &EdgeRoutingContext, _dst_task: usize) -> usize {
+        ctx.num_src_tasks
+    }
+
+    fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route> {
+        debug_assert!(partition < ctx.num_dst_tasks);
+        vec![Route {
+            dst_task: partition,
+            dst_input_index: src_task,
+        }]
+    }
+
+    fn name(&self) -> &str {
+        "scatter-gather"
+    }
+}
+
+/// Routing for [`DataMovement::Broadcast`]: each producer emits a single
+/// partition consumed by every consumer task.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BroadcastEdgeManager;
+
+impl EdgeManagerPlugin for BroadcastEdgeManager {
+    fn num_physical_outputs(&self, _ctx: &EdgeRoutingContext, _src_task: usize) -> usize {
+        1
+    }
+
+    fn num_physical_inputs(&self, ctx: &EdgeRoutingContext, _dst_task: usize) -> usize {
+        ctx.num_src_tasks
+    }
+
+    fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route> {
+        debug_assert_eq!(partition, 0);
+        (0..ctx.num_dst_tasks)
+            .map(|d| Route {
+                dst_task: d,
+                dst_input_index: src_task,
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "broadcast"
+    }
+}
+
+/// Routing for [`DataMovement::OneToOne`]: task `i` feeds task `i`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OneToOneEdgeManager;
+
+impl EdgeManagerPlugin for OneToOneEdgeManager {
+    fn num_physical_outputs(&self, _ctx: &EdgeRoutingContext, _src_task: usize) -> usize {
+        1
+    }
+
+    fn num_physical_inputs(&self, _ctx: &EdgeRoutingContext, _dst_task: usize) -> usize {
+        1
+    }
+
+    fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route> {
+        debug_assert_eq!(partition, 0);
+        debug_assert!(src_task < ctx.num_dst_tasks, "one-to-one parallelism mismatch");
+        vec![Route {
+            dst_task: src_task,
+            dst_input_index: 0,
+        }]
+    }
+
+    fn name(&self) -> &str {
+        "one-to-one"
+    }
+}
+
+/// Resolve the built-in edge manager for a movement pattern, if any.
+/// `Custom` movements are resolved through the component registry by the
+/// orchestrator instead.
+pub fn builtin_edge_manager(movement: &DataMovement) -> Option<Arc<dyn EdgeManagerPlugin>> {
+    match movement {
+        DataMovement::OneToOne => Some(Arc::new(OneToOneEdgeManager)),
+        DataMovement::Broadcast => Some(Arc::new(BroadcastEdgeManager)),
+        DataMovement::ScatterGather => Some(Arc::new(ScatterGatherEdgeManager)),
+        DataMovement::Custom { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(s: usize, d: usize) -> EdgeRoutingContext {
+        EdgeRoutingContext {
+            num_src_tasks: s,
+            num_dst_tasks: d,
+        }
+    }
+
+    #[test]
+    fn scatter_gather_routing() {
+        let m = ScatterGatherEdgeManager;
+        let c = ctx(3, 4);
+        assert_eq!(m.num_physical_outputs(&c, 0), 4);
+        assert_eq!(m.num_physical_inputs(&c, 2), 3);
+        assert_eq!(
+            m.route(&c, 1, 2),
+            vec![Route {
+                dst_task: 2,
+                dst_input_index: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn broadcast_routing() {
+        let m = BroadcastEdgeManager;
+        let c = ctx(2, 3);
+        assert_eq!(m.num_physical_outputs(&c, 0), 1);
+        assert_eq!(m.num_physical_inputs(&c, 0), 2);
+        let routes = m.route(&c, 1, 0);
+        assert_eq!(routes.len(), 3);
+        assert!(routes.iter().all(|r| r.dst_input_index == 1));
+        assert_eq!(
+            routes.iter().map(|r| r.dst_task).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn one_to_one_routing() {
+        let m = OneToOneEdgeManager;
+        let c = ctx(3, 3);
+        assert_eq!(m.num_physical_outputs(&c, 0), 1);
+        assert_eq!(m.num_physical_inputs(&c, 0), 1);
+        assert_eq!(
+            m.route(&c, 2, 0),
+            vec![Route {
+                dst_task: 2,
+                dst_input_index: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert!(builtin_edge_manager(&DataMovement::OneToOne).is_some());
+        assert!(builtin_edge_manager(&DataMovement::Broadcast).is_some());
+        assert!(builtin_edge_manager(&DataMovement::ScatterGather).is_some());
+        assert!(builtin_edge_manager(&DataMovement::Custom {
+            manager: NamedDescriptor::new("x")
+        })
+        .is_none());
+    }
+
+    /// Every (src, partition) routed by scatter-gather lands on a distinct
+    /// consumer input — the invariant the event router relies on.
+    #[test]
+    fn scatter_gather_covers_all_inputs_exactly_once() {
+        let m = ScatterGatherEdgeManager;
+        let c = ctx(5, 7);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..5 {
+            for p in 0..m.num_physical_outputs(&c, s) {
+                for r in m.route(&c, s, p) {
+                    assert!(seen.insert((r.dst_task, r.dst_input_index)));
+                }
+            }
+        }
+        // 7 consumer tasks x 5 inputs each.
+        assert_eq!(seen.len(), 35);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for DAG construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The DAG has no vertices.
+    EmptyDag,
+    /// Two vertices share a name.
+    DuplicateVertex(String),
+    /// An edge references a vertex name that is not part of the DAG.
+    UnknownVertex(String),
+    /// An edge connects a vertex to itself.
+    SelfLoop(String),
+    /// Two edges connect the same (source, destination) pair.
+    DuplicateEdge { src: String, dst: String },
+    /// The graph contains a cycle; the payload is one vertex on the cycle.
+    Cycle(String),
+    /// A vertex declared `Parallelism::Fixed(0)`.
+    ZeroParallelism(String),
+    /// A one-to-one edge connects vertices whose fixed parallelisms differ.
+    OneToOneParallelismMismatch {
+        src: String,
+        dst: String,
+        src_tasks: usize,
+        dst_tasks: usize,
+    },
+    /// A root input or leaf output name collides with another on the vertex.
+    DuplicateIo { vertex: String, name: String },
+    /// A vertex with `Parallelism::Auto` has neither an incoming edge nor a
+    /// root input initializer able to decide its parallelism.
+    UndecidableParallelism(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::EmptyDag => write!(f, "DAG contains no vertices"),
+            DagError::DuplicateVertex(v) => write!(f, "duplicate vertex name {v:?}"),
+            DagError::UnknownVertex(v) => write!(f, "edge references unknown vertex {v:?}"),
+            DagError::SelfLoop(v) => write!(f, "self-loop on vertex {v:?}"),
+            DagError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src:?} -> {dst:?}")
+            }
+            DagError::Cycle(v) => write!(f, "cycle detected through vertex {v:?}"),
+            DagError::ZeroParallelism(v) => {
+                write!(f, "vertex {v:?} declares fixed parallelism of 0")
+            }
+            DagError::OneToOneParallelismMismatch {
+                src,
+                dst,
+                src_tasks,
+                dst_tasks,
+            } => write!(
+                f,
+                "one-to-one edge {src:?} -> {dst:?} connects mismatched parallelisms \
+                 {src_tasks} vs {dst_tasks}"
+            ),
+            DagError::DuplicateIo { vertex, name } => {
+                write!(f, "vertex {vertex:?} has duplicate input/output name {name:?}")
+            }
+            DagError::UndecidableParallelism(v) => write!(
+                f,
+                "vertex {v:?} has Auto parallelism but no incoming edge or root input \
+                 initializer to decide it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}

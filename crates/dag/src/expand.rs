@@ -1,0 +1,257 @@
+//! Expansion of the logical DAG into the physical task DAG (paper Figure 2).
+//!
+//! "Vertex parallelism and the edge properties can be used by Tez to expand
+//! the logical DAG to the real physical task execution DAG during
+//! execution." The orchestrator performs this incrementally and lazily; this
+//! module provides the eager whole-graph expansion used for planning
+//! estimates, visualisation and tests.
+
+use crate::edge::{builtin_edge_manager, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
+use crate::graph::Dag;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a physical task: (vertex index, task index within vertex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysicalTaskId {
+    /// Index of the vertex in the logical DAG.
+    pub vertex: usize,
+    /// Task index within the vertex (0-based).
+    pub task: usize,
+}
+
+/// A physical data transfer between two tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhysicalTransfer {
+    /// Producer task.
+    pub src: PhysicalTaskId,
+    /// Partition index of the producer output.
+    pub partition: usize,
+    /// Consumer task.
+    pub dst: PhysicalTaskId,
+    /// Physical input index on the consumer.
+    pub dst_input_index: usize,
+    /// Index of the logical edge this transfer belongs to.
+    pub edge: usize,
+}
+
+/// The physical task DAG produced by expanding a logical DAG.
+#[derive(Clone, Debug)]
+pub struct PhysicalDag {
+    /// Task count per vertex, indexed by vertex index.
+    pub parallelism: Vec<usize>,
+    /// Every physical transfer, in deterministic order.
+    pub transfers: Vec<PhysicalTransfer>,
+}
+
+impl PhysicalDag {
+    /// Total number of physical tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.parallelism.iter().sum()
+    }
+
+    /// Transfers arriving at one task.
+    pub fn inputs_of(&self, task: PhysicalTaskId) -> Vec<&PhysicalTransfer> {
+        self.transfers.iter().filter(|t| t.dst == task).collect()
+    }
+
+    /// Transfers leaving one task.
+    pub fn outputs_of(&self, task: PhysicalTaskId) -> Vec<&PhysicalTransfer> {
+        self.transfers.iter().filter(|t| t.src == task).collect()
+    }
+
+    /// Render the physical DAG in Graphviz DOT format, clustered per vertex
+    /// as in paper Figure 2's "actual execution" panel.
+    pub fn to_dot(&self, dag: &Dag) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}-physical\" {{", dag.name());
+        for (vi, v) in dag.vertices().iter().enumerate() {
+            let _ = writeln!(s, "  subgraph cluster_{vi} {{ label={:?};", v.name);
+            for t in 0..self.parallelism[vi] {
+                let _ = writeln!(s, "    t_{vi}_{t} [shape=ellipse,label=\"{}[{t}]\"];", v.name);
+            }
+            s.push_str("  }\n");
+        }
+        for tr in &self.transfers {
+            let _ = writeln!(
+                s,
+                "  t_{}_{} -> t_{}_{};",
+                tr.src.vertex, tr.src.task, tr.dst.vertex, tr.dst.task
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Expand `dag` into its physical task DAG using the given resolved
+/// parallelisms and custom edge managers.
+///
+/// * `parallelism` — resolved task counts per vertex (every `Auto` must be
+///   resolved by the caller; the orchestrator resolves them at runtime).
+/// * `custom_managers` — edge-manager implementations for edges whose
+///   movement is [`DataMovement::Custom`], keyed by logical edge index.
+///
+/// # Panics
+/// Panics if a custom edge lacks a manager, or one-to-one parallelisms
+/// mismatch — both indicate orchestrator bugs rather than user errors.
+pub fn expand(
+    dag: &Dag,
+    parallelism: &[usize],
+    custom_managers: &HashMap<usize, Arc<dyn EdgeManagerPlugin>>,
+) -> PhysicalDag {
+    assert_eq!(parallelism.len(), dag.num_vertices());
+    let mut transfers = Vec::new();
+    for (ei, e) in dag.edges().iter().enumerate() {
+        let s = dag.vertex_index(&e.src).expect("validated");
+        let d = dag.vertex_index(&e.dst).expect("validated");
+        let ctx = EdgeRoutingContext {
+            num_src_tasks: parallelism[s],
+            num_dst_tasks: parallelism[d],
+        };
+        let mgr: Arc<dyn EdgeManagerPlugin> = match builtin_edge_manager(&e.property.movement) {
+            Some(m) => m,
+            None => custom_managers
+                .get(&ei)
+                .unwrap_or_else(|| panic!("no edge manager for custom edge {}->{}", e.src, e.dst))
+                .clone(),
+        };
+        if matches!(e.property.movement, DataMovement::OneToOne) {
+            assert_eq!(
+                ctx.num_src_tasks, ctx.num_dst_tasks,
+                "one-to-one edge {}->{} parallelism mismatch at expansion",
+                e.src, e.dst
+            );
+        }
+        for st in 0..ctx.num_src_tasks {
+            for p in 0..mgr.num_physical_outputs(&ctx, st) {
+                for r in mgr.route(&ctx, st, p) {
+                    transfers.push(PhysicalTransfer {
+                        src: PhysicalTaskId { vertex: s, task: st },
+                        partition: p,
+                        dst: PhysicalTaskId {
+                            vertex: d,
+                            task: r.dst_task,
+                        },
+                        dst_input_index: r.dst_input_index,
+                        edge: ei,
+                    });
+                }
+            }
+        }
+    }
+    PhysicalDag {
+        parallelism: parallelism.to_vec(),
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::edge::{DataMovement, EdgeProperty};
+    use crate::payload::NamedDescriptor;
+    use crate::vertex::Vertex;
+
+    fn p() -> NamedDescriptor {
+        NamedDescriptor::new("P")
+    }
+
+    fn prop(m: DataMovement) -> EdgeProperty {
+        EdgeProperty::new(m, NamedDescriptor::new("O"), NamedDescriptor::new("I"))
+    }
+
+    /// The Figure 2 DAG: filter1/filter2 feed join via scatter-gather;
+    /// filter1 also feeds agg one-to-one; agg feeds join scatter-gather.
+    /// (A representative shape exercising all three built-in patterns.)
+    fn figure2() -> Dag {
+        DagBuilder::new("fig2")
+            .add_vertex(Vertex::new("filter1", p()).with_parallelism(3))
+            .add_vertex(Vertex::new("filter2", p()).with_parallelism(3))
+            .add_vertex(Vertex::new("agg", p()).with_parallelism(3))
+            .add_vertex(Vertex::new("join", p()).with_parallelism(2))
+            .add_edge("filter1", "agg", prop(DataMovement::OneToOne))
+            .add_edge("agg", "join", prop(DataMovement::ScatterGather))
+            .add_edge("filter2", "join", prop(DataMovement::ScatterGather))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expansion_counts() {
+        let d = figure2();
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        assert_eq!(phys.num_tasks(), 11);
+        // one-to-one: 3 transfers; each scatter-gather: 3 src x 2 dst = 6.
+        assert_eq!(phys.transfers.len(), 3 + 6 + 6);
+    }
+
+    #[test]
+    fn one_to_one_connects_same_index() {
+        let d = figure2();
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let f1 = d.vertex_index("filter1").unwrap();
+        let agg = d.vertex_index("agg").unwrap();
+        for t in phys.transfers.iter().filter(|t| t.src.vertex == f1) {
+            assert_eq!(t.dst.vertex, agg);
+            assert_eq!(t.src.task, t.dst.task);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_inputs_complete() {
+        let d = figure2();
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let join = d.vertex_index("join").unwrap();
+        for jt in 0..2 {
+            let ins = phys.inputs_of(PhysicalTaskId {
+                vertex: join,
+                task: jt,
+            });
+            // 3 from agg + 3 from filter2.
+            assert_eq!(ins.len(), 6);
+        }
+    }
+
+    #[test]
+    fn broadcast_expansion() {
+        let d = DagBuilder::new("b")
+            .add_vertex(Vertex::new("small", p()).with_parallelism(2))
+            .add_vertex(Vertex::new("big", p()).with_parallelism(5))
+            .add_edge("small", "big", prop(DataMovement::Broadcast))
+            .build()
+            .unwrap();
+        let phys = expand(&d, &[2, 5], &HashMap::new());
+        assert_eq!(phys.transfers.len(), 10);
+        for t in 0..5 {
+            assert_eq!(
+                phys.inputs_of(PhysicalTaskId { vertex: 1, task: t }).len(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn physical_dot_renders() {
+        let d = figure2();
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let dot = phys.to_dot(&d);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("t_0_0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism mismatch")]
+    fn one_to_one_mismatch_panics_at_expansion() {
+        let d = DagBuilder::new("m")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(2))
+            .add_vertex(Vertex::new("b", p())) // Auto
+            .add_edge("a", "b", prop(DataMovement::OneToOne))
+            .build()
+            .unwrap();
+        // Caller resolves Auto wrongly to 3.
+        expand(&d, &[2, 3], &HashMap::new());
+    }
+}

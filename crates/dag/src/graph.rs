@@ -1,0 +1,328 @@
+//! The validated [`Dag`] structure and graph utilities: adjacency,
+//! topological order, depth (used as scheduling priority), and DOT output.
+
+use crate::edge::Edge;
+use crate::error::DagError;
+use crate::vertex::Vertex;
+use std::collections::HashMap;
+
+/// A validated directed acyclic graph of vertices and edges.
+///
+/// Construct through [`crate::DagBuilder`], which enforces the invariants
+/// every consumer of this type relies on: unique vertex names, edges that
+/// reference existing vertices, no self loops or duplicate edges, and
+/// acyclicity.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    pub(crate) name: String,
+    pub(crate) vertices: Vec<Vertex>,
+    pub(crate) edges: Vec<Edge>,
+    /// vertex name -> index in `vertices`
+    pub(crate) index: HashMap<String, usize>,
+    /// incoming edge indices per vertex
+    pub(crate) in_edges: Vec<Vec<usize>>,
+    /// outgoing edge indices per vertex
+    pub(crate) out_edges: Vec<Vec<usize>>,
+    /// vertex indices in a topological order
+    pub(crate) topo: Vec<usize>,
+    /// longest-path distance from any root (0 for roots)
+    pub(crate) depth: Vec<usize>,
+}
+
+impl Dag {
+    /// DAG name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All vertices, in insertion order.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Look up a vertex index by name.
+    pub fn vertex_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Vertex by index.
+    pub fn vertex(&self, idx: usize) -> &Vertex {
+        &self.vertices[idx]
+    }
+
+    /// Vertex by name; panics if absent (builder guarantees edges resolve).
+    pub fn vertex_by_name(&self, name: &str) -> &Vertex {
+        &self.vertices[self.index[name]]
+    }
+
+    /// Indices of edges entering `vertex_idx`.
+    pub fn in_edge_indices(&self, vertex_idx: usize) -> &[usize] {
+        &self.in_edges[vertex_idx]
+    }
+
+    /// Indices of edges leaving `vertex_idx`.
+    pub fn out_edge_indices(&self, vertex_idx: usize) -> &[usize] {
+        &self.out_edges[vertex_idx]
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, idx: usize) -> &Edge {
+        &self.edges[idx]
+    }
+
+    /// Vertex indices in a deterministic topological order.
+    pub fn topological_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Longest-path distance of a vertex from the roots. Used by the
+    /// orchestrator as scheduling priority (rootward vertices first), like
+    /// Tez's `distanceFromRoot`.
+    pub fn depth(&self, vertex_idx: usize) -> usize {
+        self.depth[vertex_idx]
+    }
+
+    /// Maximum depth over all vertices.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Vertices with no incoming edges.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.vertices.len())
+            .filter(|&v| self.in_edges[v].is_empty())
+            .collect()
+    }
+
+    /// Vertices with no outgoing edges.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.vertices.len())
+            .filter(|&v| self.out_edges[v].is_empty())
+            .collect()
+    }
+
+    /// Direct upstream (producer) vertex indices of `vertex_idx`.
+    pub fn producers(&self, vertex_idx: usize) -> Vec<usize> {
+        self.in_edges[vertex_idx]
+            .iter()
+            .map(|&e| self.index[&self.edges[e].src])
+            .collect()
+    }
+
+    /// Direct downstream (consumer) vertex indices of `vertex_idx`.
+    pub fn consumers(&self, vertex_idx: usize) -> Vec<usize> {
+        self.out_edges[vertex_idx]
+            .iter()
+            .map(|&e| self.index[&self.edges[e].dst])
+            .collect()
+    }
+
+    /// All transitive ancestors of `vertex_idx` (excluding itself).
+    pub fn ancestors(&self, vertex_idx: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = self.producers(vertex_idx);
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            if !seen[v] {
+                seen[v] = true;
+                out.push(v);
+                stack.extend(self.producers(v));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All transitive descendants of `vertex_idx` (excluding itself).
+    pub fn descendants(&self, vertex_idx: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = self.consumers(vertex_idx);
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            if !seen[v] {
+                seen[v] = true;
+                out.push(v);
+                stack.extend(self.consumers(v));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Render the logical DAG in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {:?} {{", self.name);
+        let _ = writeln!(s, "  rankdir=TB;");
+        for v in &self.vertices {
+            let par = match v.parallelism {
+                crate::Parallelism::Fixed(n) => n.to_string(),
+                crate::Parallelism::Auto => "auto".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  {:?} [shape=box,label=\"{}\\n{} x{}\"];",
+                v.name, v.name, v.processor.kind, par
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                s,
+                "  {:?} -> {:?} [label=\"{}\"];",
+                e.src,
+                e.dst,
+                e.property.movement.label()
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Kahn's algorithm; returns topo order + longest-path depths, or the name
+/// of a vertex on a cycle.
+pub(crate) fn topo_sort(
+    num_vertices: usize,
+    in_edges: &[Vec<usize>],
+    out_edges: &[Vec<usize>],
+    edges: &[Edge],
+    index: &HashMap<String, usize>,
+    names: &[String],
+) -> Result<(Vec<usize>, Vec<usize>), DagError> {
+    let mut indeg: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+    let mut depth = vec![0usize; num_vertices];
+    // Deterministic: process ready vertices in index order using a sorted
+    // worklist (small graphs; O(V^2) worst case is fine here).
+    let mut ready: Vec<usize> = (0..num_vertices).filter(|&v| indeg[v] == 0).collect();
+    ready.reverse();
+    let mut topo = Vec::with_capacity(num_vertices);
+    while let Some(v) = ready.pop() {
+        topo.push(v);
+        for &e in &out_edges[v] {
+            let w = index[&edges[e].dst];
+            depth[w] = depth[w].max(depth[v] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                // Insert keeping `ready` sorted descending for determinism.
+                let pos = ready.partition_point(|&x| x > w);
+                ready.insert(pos, w);
+            }
+        }
+    }
+    if topo.len() != num_vertices {
+        let on_cycle = (0..num_vertices)
+            .find(|&v| indeg[v] > 0)
+            .expect("cycle implies positive in-degree remains");
+        return Err(DagError::Cycle(names[on_cycle].clone()));
+    }
+    Ok((topo, depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DagBuilder;
+    use crate::edge::{DataMovement, EdgeProperty};
+    use crate::payload::NamedDescriptor;
+    use crate::vertex::Vertex;
+
+    fn proc() -> NamedDescriptor {
+        NamedDescriptor::new("P")
+    }
+
+    fn sg() -> EdgeProperty {
+        EdgeProperty::new(
+            DataMovement::ScatterGather,
+            NamedDescriptor::new("O"),
+            NamedDescriptor::new("I"),
+        )
+    }
+
+    /// Diamond: a -> {b, c} -> d
+    fn diamond() -> crate::Dag {
+        DagBuilder::new("diamond")
+            .add_vertex(Vertex::new("a", proc()).with_parallelism(2))
+            .add_vertex(Vertex::new("b", proc()).with_parallelism(2))
+            .add_vertex(Vertex::new("c", proc()).with_parallelism(2))
+            .add_vertex(Vertex::new("d", proc()).with_parallelism(1))
+            .add_edge("a", "b", sg())
+            .add_edge("a", "c", sg())
+            .add_edge("b", "d", sg())
+            .add_edge("c", "d", sg())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = diamond();
+        let order = d.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for e in d.edges() {
+            let s = d.vertex_index(&e.src).unwrap();
+            let t = d.vertex_index(&e.dst).unwrap();
+            assert!(pos[s] < pos[t], "{} before {}", e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn depths_are_longest_paths() {
+        let d = diamond();
+        assert_eq!(d.depth(d.vertex_index("a").unwrap()), 0);
+        assert_eq!(d.depth(d.vertex_index("b").unwrap()), 1);
+        assert_eq!(d.depth(d.vertex_index("c").unwrap()), 1);
+        assert_eq!(d.depth(d.vertex_index("d").unwrap()), 2);
+        assert_eq!(d.max_depth(), 2);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let d = diamond();
+        assert_eq!(d.roots(), vec![d.vertex_index("a").unwrap()]);
+        assert_eq!(d.leaves(), vec![d.vertex_index("d").unwrap()]);
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let d = diamond();
+        let a = d.vertex_index("a").unwrap();
+        let dd = d.vertex_index("d").unwrap();
+        assert_eq!(d.ancestors(dd).len(), 3);
+        assert_eq!(d.descendants(a).len(), 3);
+        assert!(d.ancestors(a).is_empty());
+        assert!(d.descendants(dd).is_empty());
+    }
+
+    #[test]
+    fn producers_consumers() {
+        let d = diamond();
+        let b = d.vertex_index("b").unwrap();
+        assert_eq!(d.producers(b), vec![d.vertex_index("a").unwrap()]);
+        assert_eq!(d.consumers(b), vec![d.vertex_index("d").unwrap()]);
+    }
+
+    #[test]
+    fn dot_render_contains_vertices_and_edges() {
+        let d = diamond();
+        let dot = d.to_dot();
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.contains("scatter-gather"));
+        assert!(dot.starts_with("digraph"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # tez-dag — the DAG API
+//!
+//! This crate implements the *DAG API* of the Tez paper (§3.1): a concise,
+//! engine-agnostic way to describe the **structure** of a data-flow
+//! computation, without attaching any data-plane semantics to it.
+//!
+//! The central types are:
+//!
+//! * [`Dag`] / [`DagBuilder`] — a validated directed acyclic graph of named
+//!   [`Vertex`]es connected by [`Edge`]s.
+//! * [`NamedDescriptor`] — an opaque *(kind, payload)* reference to
+//!   user-supplied code (processor, input, output, vertex manager, …). This
+//!   mirrors Java Tez, where entities are referenced by class name plus an
+//!   opaque binary payload and instantiated at runtime; here the `kind` is
+//!   resolved through a component registry in `tez-runtime`.
+//! * [`EdgeProperty`] — the logical *connection pattern* ([`DataMovement`])
+//!   plus the physical *transport* ([`Transport`]) of an edge, together with
+//!   the input/output classes that implement the actual data transfer.
+//! * [`EdgeManagerPlugin`] — the pluggable routing table that expands a
+//!   logical edge into physical task-to-task connections. One-to-one,
+//!   broadcast and scatter-gather come built in; engines may supply custom
+//!   routing (e.g. Hive's dynamically partitioned hash join).
+//! * [`expand`](expand::expand) — expansion of the logical DAG into the
+//!   physical task DAG, as visualised in Figure 2 of the paper.
+//!
+//! The crate deliberately knows nothing about execution: scheduling, fault
+//! tolerance and the event control plane live in `tez-core`, and the data
+//! plane lives in `tez-shuffle`. Keeping this separation is the paper's key
+//! design point ("Tez specifies no data format and is not part of the data
+//! plane").
+
+pub mod builder;
+pub mod edge;
+pub mod error;
+pub mod expand;
+pub mod graph;
+pub mod payload;
+pub mod vertex;
+
+pub use builder::DagBuilder;
+pub use edge::{
+    BroadcastEdgeManager, DataMovement, Edge, EdgeManagerPlugin, EdgeProperty,
+    EdgeRoutingContext, OneToOneEdgeManager, Route, ScatterGatherEdgeManager, SchedulingKind,
+    Transport,
+};
+pub use error::DagError;
+pub use expand::{expand, PhysicalDag, PhysicalTaskId};
+pub use graph::Dag;
+pub use payload::{NamedDescriptor, PayloadReader, PayloadWriter, UserPayload};
+pub use vertex::{LeafOutput, Parallelism, Resource, RootInput, TaskLocationHint, Vertex};

@@ -1,0 +1,252 @@
+//! Opaque user payloads and named component descriptors.
+//!
+//! Every application-specific entity in Tez — processors, inputs, outputs,
+//! vertex managers, input initializers, committers, edge managers — is
+//! configured through an **opaque binary payload** (paper §3.2, "IPO
+//! Configuration"). The framework never interprets it; only the component
+//! that owns it does. This module provides the payload wrapper plus a small
+//! deterministic binary codec used by the built-in components.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// An opaque binary payload attached to a descriptor.
+///
+/// Cheap to clone (backed by [`Bytes`]).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct UserPayload(Bytes);
+
+impl UserPayload {
+    /// The empty payload.
+    pub fn empty() -> Self {
+        UserPayload(Bytes::new())
+    }
+
+    /// Wrap raw bytes.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Self {
+        UserPayload(bytes.into())
+    }
+
+    /// Payload containing a UTF-8 string.
+    pub fn from_str(s: &str) -> Self {
+        UserPayload(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    /// Raw bytes of the payload.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Whether the payload carries any bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of bytes in the payload.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Start a [`PayloadReader`] over this payload.
+    pub fn reader(&self) -> PayloadReader<'_> {
+        PayloadReader { buf: &self.0 }
+    }
+}
+
+impl fmt::Debug for UserPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UserPayload({} bytes)", self.0.len())
+    }
+}
+
+impl From<Bytes> for UserPayload {
+    fn from(b: Bytes) -> Self {
+        UserPayload(b)
+    }
+}
+
+impl From<Vec<u8>> for UserPayload {
+    fn from(v: Vec<u8>) -> Self {
+        UserPayload(Bytes::from(v))
+    }
+}
+
+/// A reference to user-supplied code: a component *kind* (resolved through
+/// the component registry at runtime, like a Java class name) plus its
+/// configuration payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedDescriptor {
+    /// Registry key of the component implementation.
+    pub kind: String,
+    /// Opaque configuration handed to the component when instantiated.
+    pub payload: UserPayload,
+}
+
+impl NamedDescriptor {
+    /// Descriptor with an empty payload.
+    pub fn new(kind: impl Into<String>) -> Self {
+        NamedDescriptor {
+            kind: kind.into(),
+            payload: UserPayload::empty(),
+        }
+    }
+
+    /// Descriptor with a payload.
+    pub fn with_payload(kind: impl Into<String>, payload: UserPayload) -> Self {
+        NamedDescriptor {
+            kind: kind.into(),
+            payload,
+        }
+    }
+}
+
+/// Little-endian, length-prefixed binary writer used by built-in components
+/// to encode their payloads and control-plane event bodies deterministically.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an unsigned 64-bit integer.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a signed 64-bit integer.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Finish and produce a payload.
+    pub fn finish(self) -> UserPayload {
+        UserPayload(Bytes::from(self.buf))
+    }
+
+    /// Finish and produce raw bytes.
+    pub fn finish_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Companion reader for [`PayloadWriter`]-encoded payloads.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Reader over raw bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.buf.len() >= n,
+            "payload underflow: need {n} bytes, have {}",
+            self.buf.len()
+        );
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> &'a [u8] {
+        let len = self.get_u64() as usize;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> &'a str {
+        std::str::from_utf8(self.get_bytes()).expect("payload string is not valid UTF-8")
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut w = PayloadWriter::new();
+        w.put_u64(42).put_i64(-7).put_f64(2.5).put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        let p = w.finish();
+        let mut r = p.reader();
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.get_i64(), -7);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.get_str(), "hello");
+        assert_eq!(r.get_bytes(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = UserPayload::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.reader().is_exhausted());
+    }
+
+    #[test]
+    fn descriptor_holds_kind_and_payload() {
+        let d = NamedDescriptor::with_payload("my.Processor", UserPayload::from_str("cfg"));
+        assert_eq!(d.kind, "my.Processor");
+        assert_eq!(d.payload.as_bytes(), b"cfg");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reader_underflow_panics() {
+        let p = UserPayload::from_bytes(vec![1u8, 2, 3]);
+        let mut r = p.reader();
+        r.get_u64();
+    }
+}

@@ -1,0 +1,246 @@
+//! Vertex definitions: processors, parallelism, resources, locality hints,
+//! root inputs (data sources) and leaf outputs (data sinks).
+
+use crate::payload::NamedDescriptor;
+
+/// Task parallelism of a vertex.
+///
+/// The paper (§3.1): "The task parallelism of a vertex may be defined
+/// statically during DAG definition but is typically determined dynamically
+/// at runtime" — `Auto` defers the decision to an input initializer (for
+/// root vertices) or a vertex manager (for intermediate ones, e.g. the
+/// ShuffleVertexManager's automatic partition-cardinality estimation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Fixed number of tasks, decided at DAG definition time.
+    Fixed(usize),
+    /// Decided at runtime by an initializer or vertex manager.
+    Auto,
+}
+
+impl Parallelism {
+    /// The fixed task count, if statically known.
+    pub fn fixed(&self) -> Option<usize> {
+        match self {
+            Parallelism::Fixed(n) => Some(*n),
+            Parallelism::Auto => None,
+        }
+    }
+}
+
+/// Per-task resource ask, matching YARN's container resource model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resource {
+    /// Memory in megabytes.
+    pub memory_mb: u32,
+    /// Virtual cores.
+    pub vcores: u32,
+}
+
+impl Resource {
+    /// Convenience constructor.
+    pub fn new(memory_mb: u32, vcores: u32) -> Self {
+        Resource { memory_mb, vcores }
+    }
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Resource {
+            memory_mb: 1024,
+            vcores: 1,
+        }
+    }
+}
+
+/// Static locality hint for one task of a vertex.
+///
+/// Tasks reading initial input typically get hints from their data source;
+/// intermediate task locality is inferred at runtime from source tasks and
+/// edge connections (paper §4.2, "Locality Aware Scheduling").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskLocationHint {
+    /// Preferred nodes (host names).
+    pub nodes: Vec<String>,
+    /// Preferred racks.
+    pub racks: Vec<String>,
+}
+
+impl TaskLocationHint {
+    /// A hint preferring the given nodes.
+    pub fn nodes(nodes: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        TaskLocationHint {
+            nodes: nodes.into_iter().map(Into::into).collect(),
+            racks: Vec::new(),
+        }
+    }
+
+    /// Whether the hint expresses no preference.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.racks.is_empty()
+    }
+}
+
+/// A *data source* attached to a vertex: the input class that reads it plus
+/// an optional [`DataSourceInitializer`](crate::NamedDescriptor) invoked at
+/// runtime to decide the optimal reading pattern (split calculation,
+/// dynamic partition pruning — paper §3.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootInput {
+    /// Name of this input on the vertex (unique per vertex).
+    pub name: String,
+    /// Input class reading the source.
+    pub input: NamedDescriptor,
+    /// Optional initializer deciding splits/parallelism at runtime.
+    pub initializer: Option<NamedDescriptor>,
+}
+
+/// A *data sink* attached to a vertex: the output class that writes it plus
+/// an optional committer invoked exactly once on success to make the output
+/// visible to external observers (paper §3.1, "Data Sources and Sinks").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafOutput {
+    /// Name of this output on the vertex (unique per vertex).
+    pub name: String,
+    /// Output class writing the sink.
+    pub output: NamedDescriptor,
+    /// Optional committer making the output visible on success.
+    pub committer: Option<NamedDescriptor>,
+}
+
+/// A logical step of processing: user code (the processor) plus parallelism,
+/// resources, locality and attached sources/sinks.
+#[derive(Clone, Debug)]
+pub struct Vertex {
+    /// Unique name within the DAG.
+    pub name: String,
+    /// The processor executed by every task of this vertex.
+    pub processor: NamedDescriptor,
+    /// Task parallelism.
+    pub parallelism: Parallelism,
+    /// Per-task resource ask.
+    pub resource: Resource,
+    /// Static per-task locality hints (may be empty, or shorter than the
+    /// task count; missing entries mean "no preference").
+    pub location_hints: Vec<TaskLocationHint>,
+    /// Optional vertex manager controlling runtime re-configuration
+    /// (paper §3.4). When absent, `tez-core` picks a built-in manager based
+    /// on the vertex characteristics.
+    pub vertex_manager: Option<NamedDescriptor>,
+    /// Data sources feeding this vertex from outside the DAG.
+    pub data_sources: Vec<RootInput>,
+    /// Data sinks written by this vertex to outside the DAG.
+    pub data_sinks: Vec<LeafOutput>,
+    /// Statistics scale override for this vertex's data volumes. The
+    /// orchestrator charges `byte_scale` on every vertex by default;
+    /// engines pin absolutely-small inputs (dimension tables) to their
+    /// true scale so broadcasts are not inflated (see DESIGN.md).
+    pub stats_scale: Option<f64>,
+}
+
+impl Vertex {
+    /// New vertex with defaults (auto parallelism, default resource).
+    pub fn new(name: impl Into<String>, processor: NamedDescriptor) -> Self {
+        Vertex {
+            name: name.into(),
+            processor,
+            parallelism: Parallelism::Auto,
+            resource: Resource::default(),
+            location_hints: Vec::new(),
+            vertex_manager: None,
+            data_sources: Vec::new(),
+            data_sinks: Vec::new(),
+            stats_scale: None,
+        }
+    }
+
+    /// Pin this vertex's statistics scale (see [`Vertex::stats_scale`]).
+    pub fn with_stats_scale(mut self, scale: f64) -> Self {
+        self.stats_scale = Some(scale);
+        self
+    }
+
+    /// Set fixed parallelism.
+    pub fn with_parallelism(mut self, tasks: usize) -> Self {
+        self.parallelism = Parallelism::Fixed(tasks);
+        self
+    }
+
+    /// Set the resource ask.
+    pub fn with_resource(mut self, resource: Resource) -> Self {
+        self.resource = resource;
+        self
+    }
+
+    /// Set static location hints.
+    pub fn with_location_hints(mut self, hints: Vec<TaskLocationHint>) -> Self {
+        self.location_hints = hints;
+        self
+    }
+
+    /// Attach a custom vertex manager.
+    pub fn with_vertex_manager(mut self, vm: NamedDescriptor) -> Self {
+        self.vertex_manager = Some(vm);
+        self
+    }
+
+    /// Attach a data source.
+    pub fn with_data_source(
+        mut self,
+        name: impl Into<String>,
+        input: NamedDescriptor,
+        initializer: Option<NamedDescriptor>,
+    ) -> Self {
+        self.data_sources.push(RootInput {
+            name: name.into(),
+            input,
+            initializer,
+        });
+        self
+    }
+
+    /// Attach a data sink.
+    pub fn with_data_sink(
+        mut self,
+        name: impl Into<String>,
+        output: NamedDescriptor,
+        committer: Option<NamedDescriptor>,
+    ) -> Self {
+        self.data_sinks.push(LeafOutput {
+            name: name.into(),
+            output,
+            committer,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_builder_chain() {
+        let v = Vertex::new("map", NamedDescriptor::new("MapProcessor"))
+            .with_parallelism(4)
+            .with_resource(Resource::new(2048, 2))
+            .with_data_source("in", NamedDescriptor::new("HdfsInput"), None)
+            .with_data_sink("out", NamedDescriptor::new("HdfsOutput"), None);
+        assert_eq!(v.parallelism, Parallelism::Fixed(4));
+        assert_eq!(v.resource.memory_mb, 2048);
+        assert_eq!(v.data_sources.len(), 1);
+        assert_eq!(v.data_sinks.len(), 1);
+    }
+
+    #[test]
+    fn parallelism_fixed_accessor() {
+        assert_eq!(Parallelism::Fixed(3).fixed(), Some(3));
+        assert_eq!(Parallelism::Auto.fixed(), None);
+    }
+
+    #[test]
+    fn location_hint_emptiness() {
+        assert!(TaskLocationHint::default().is_empty());
+        assert!(!TaskLocationHint::nodes(["n1"]).is_empty());
+    }
+}

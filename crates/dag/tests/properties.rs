@@ -1,0 +1,129 @@
+//! Property-based tests of DAG invariants: random layered DAGs always
+//! validate, topological order respects every edge, and physical expansion
+//! routing is consistent with the edge managers' declared input counts.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tez_dag::{
+    expand, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, Vertex,
+};
+
+/// Strategy: a random layered DAG description — per-layer vertex counts
+/// plus an edge-density seed. Layered construction guarantees acyclicity,
+/// which the builder must then confirm.
+fn layered_dag() -> impl Strategy<Value = (Vec<usize>, u64)> {
+    (
+        proptest::collection::vec(1usize..4, 2..5),
+        any::<u64>(),
+    )
+}
+
+fn build(layers: &[usize], seed: u64) -> Option<tez_dag::Dag> {
+    let mut builder = DagBuilder::new("prop");
+    let mut names: Vec<Vec<String>> = Vec::new();
+    for (li, &width) in layers.iter().enumerate() {
+        let mut layer = Vec::new();
+        for v in 0..width {
+            let name = format!("l{li}v{v}");
+            builder = builder
+                .add_vertex(Vertex::new(&name, NamedDescriptor::new("P")).with_parallelism(1 + (seed as usize + li + v) % 4));
+            layer.push(name);
+        }
+        names.push(layer);
+    }
+    // Edges between consecutive layers, choice driven by the seed. Ensure
+    // every non-root vertex has at least one incoming edge.
+    let mut rng = seed;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        rng >> 33
+    };
+    for li in 1..names.len() {
+        for dst in 0..names[li].len() {
+            let mut any_edge = false;
+            for src in 0..names[li - 1].len() {
+                if next() % 2 == 0 || (!any_edge && src + 1 == names[li - 1].len()) {
+                    let movement = match next() % 3 {
+                        0 => DataMovement::Broadcast,
+                        _ => DataMovement::ScatterGather,
+                    };
+                    builder = builder.add_edge(
+                        names[li - 1][src].clone(),
+                        names[li][dst].clone(),
+                        EdgeProperty::new(
+                            movement,
+                            NamedDescriptor::new("O"),
+                            NamedDescriptor::new("I"),
+                        ),
+                    );
+                    any_edge = true;
+                }
+            }
+        }
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    /// Layered construction always yields a valid DAG whose topological
+    /// order respects every edge, and whose depths are consistent.
+    #[test]
+    fn layered_dags_validate((layers, seed) in layered_dag()) {
+        let Some(dag) = build(&layers, seed) else {
+            // Only duplicate-edge collisions can fail; that's fine.
+            return Ok(());
+        };
+        let order = dag.topological_order();
+        let mut pos = vec![0usize; dag.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for e in dag.edges() {
+            let s = dag.vertex_index(&e.src).unwrap();
+            let d = dag.vertex_index(&e.dst).unwrap();
+            prop_assert!(pos[s] < pos[d]);
+            prop_assert!(dag.depth(s) < dag.depth(d));
+        }
+        // Ancestors/descendants are consistent inverses.
+        for v in 0..dag.num_vertices() {
+            for &a in &dag.ancestors(v) {
+                prop_assert!(dag.descendants(a).contains(&v));
+            }
+        }
+    }
+
+    /// Physical expansion: every consumer task receives exactly the number
+    /// of physical inputs its edge managers declare, with no duplicate
+    /// (task, input-index) deliveries.
+    #[test]
+    fn expansion_covers_declared_inputs((layers, seed) in layered_dag()) {
+        let Some(dag) = build(&layers, seed) else { return Ok(()); };
+        let parallelism: Vec<usize> = dag
+            .vertices()
+            .iter()
+            .map(|v| v.parallelism.fixed().unwrap())
+            .collect();
+        let phys = expand(&dag, &parallelism, &HashMap::new());
+        // Count inputs per (vertex, task, edge).
+        let mut seen: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
+        for t in &phys.transfers {
+            let entry = seen.entry((t.dst.vertex, t.dst.task, t.edge)).or_default();
+            prop_assert!(!entry.contains(&t.dst_input_index), "duplicate delivery");
+            entry.push(t.dst_input_index);
+        }
+        for (ei, e) in dag.edges().iter().enumerate() {
+            let d = dag.vertex_index(&e.dst).unwrap();
+            let s = dag.vertex_index(&e.src).unwrap();
+            let ctx = tez_dag::EdgeRoutingContext {
+                num_src_tasks: parallelism[s],
+                num_dst_tasks: parallelism[d],
+            };
+            let mgr = tez_dag::edge::builtin_edge_manager(&e.property.movement).unwrap();
+            for task in 0..parallelism[d] {
+                let declared = mgr.num_physical_inputs(&ctx, task);
+                let got = seen.get(&(d, task, ei)).map_or(0, Vec::len);
+                prop_assert_eq!(got, declared, "vertex {} task {} edge {}", e.dst.clone(), task, ei);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The warehouse catalog: in-memory tables, their HDFS layout, and the
+//! block statistics the planner uses (clustering ranges for dynamic
+//! partition pruning).
+
+use crate::types::{row_bytes, Datum, Row, Schema};
+use bytes::Bytes;
+use std::collections::HashMap;
+use tez_shuffle::codec::encode_kv;
+use tez_yarn::SimHdfs;
+
+/// One table: schema, rows, and physical layout config.
+pub struct TableData {
+    /// Column schema.
+    pub schema: Schema,
+    /// Rows (clustered tables keep rows sorted by the cluster column).
+    pub rows: Vec<Row>,
+    /// Number of HDFS blocks the table is written as.
+    pub blocks: usize,
+    /// Column the physical layout is clustered by (enables DPP).
+    pub cluster_by: Option<usize>,
+    /// Declared-scale override: absolutely-small tables (dimensions) keep
+    /// their true size instead of growing with the warehouse scale factor.
+    pub scale_override: Option<f64>,
+}
+
+/// The warehouse.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableData>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table. Clustered tables are sorted by the cluster column so
+    /// block ranges are tight.
+    pub fn add_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        mut rows: Vec<Row>,
+        blocks: usize,
+        cluster_by: Option<usize>,
+    ) {
+        if let Some(c) = cluster_by {
+            rows.sort_by(|a, b| a[c].cmp_sql(&b[c]));
+        }
+        self.tables.insert(
+            name.to_string(),
+            TableData {
+                schema,
+                rows,
+                blocks: blocks.max(1),
+                cluster_by,
+                scale_override: None,
+            },
+        );
+    }
+
+    /// Pin a table's declared scale (see [`TableData::scale_override`]).
+    pub fn set_scale_override(&mut self, name: &str, scale: f64) {
+        self.tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown table {name:?}"))
+            .scale_override = Some(scale);
+    }
+
+    /// Declared-scale override of a table, if pinned.
+    pub fn scale_override(&self, name: &str) -> Option<f64> {
+        self.tables.get(name).and_then(|t| t.scale_override)
+    }
+
+    /// Table accessor.
+    pub fn table(&self, name: &str) -> &TableData {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown table {name:?}"))
+    }
+
+    /// Schema accessor.
+    pub fn schema(&self, name: &str) -> &Schema {
+        &self.table(name).schema
+    }
+
+    /// Cluster column of a table, if any.
+    pub fn cluster_column(&self, name: &str) -> Option<usize> {
+        self.tables.get(name).and_then(|t| t.cluster_by)
+    }
+
+    /// Warehouse path of a table.
+    pub fn table_path(name: &str) -> String {
+        format!("/warehouse/{name}")
+    }
+
+    /// Tables as reference-executor input.
+    pub fn reference_tables(&self) -> HashMap<String, Vec<Row>> {
+        self.tables
+            .iter()
+            .map(|(n, t)| (n.clone(), t.rows.clone()))
+            .collect()
+    }
+
+    /// Row ranges per block (deterministic split of rows into blocks).
+    fn block_row_ranges(rows: usize, blocks: usize) -> Vec<(usize, usize)> {
+        let blocks = blocks.max(1);
+        let base = rows / blocks;
+        let extra = rows % blocks;
+        let mut out = Vec::with_capacity(blocks);
+        let mut start = 0;
+        for b in 0..blocks {
+            let n = base + usize::from(b < extra);
+            out.push((start, start + n));
+            start += n;
+        }
+        out
+    }
+
+    /// `(min, max)` of an `i64` column per block — the planner metadata
+    /// behind dynamic partition pruning.
+    pub fn block_ranges(&self, name: &str, col: usize) -> Vec<(i64, i64)> {
+        let t = self.table(name);
+        Self::block_row_ranges(t.rows.len(), t.blocks)
+            .into_iter()
+            .map(|(s, e)| {
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for r in &t.rows[s..e] {
+                    if let Datum::I64(v) = r[col] {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    /// Write every table to HDFS as key-value framed row blocks. Declared
+    /// block sizes are multiplied by `byte_scale`, so split calculation and
+    /// the cost model see paper-scale volumes while real rows stay small.
+    pub fn load_hdfs(&self, hdfs: &mut SimHdfs, byte_scale: f64) {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        for name in names {
+            let t = &self.tables[name];
+            let scale = t.scale_override.unwrap_or(byte_scale);
+            let ranges = Self::block_row_ranges(t.rows.len(), t.blocks);
+            let blocks: Vec<(Bytes, u64, u64)> = ranges
+                .into_iter()
+                .map(|(s, e)| {
+                    let mut buf = Vec::new();
+                    for r in &t.rows[s..e] {
+                        encode_kv(&mut buf, b"", &row_bytes(r));
+                    }
+                    let real = buf.len() as u64;
+                    let declared = ((real as f64) * scale).max(1.0) as u64;
+                    let records = (((e - s) as f64) * scale).max(1.0) as u64;
+                    (Bytes::from(buf), declared, records)
+                })
+                .collect();
+            hdfs.put_file_scaled(&Catalog::table_path(name), blocks);
+        }
+    }
+
+    /// Total rows across tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ColType;
+    use tez_runtime::Dfs;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "f",
+            Schema::new(vec![("d", ColType::I64), ("v", ColType::I64)]),
+            vec![
+                vec![Datum::I64(3), Datum::I64(30)],
+                vec![Datum::I64(1), Datum::I64(10)],
+                vec![Datum::I64(2), Datum::I64(20)],
+                vec![Datum::I64(1), Datum::I64(11)],
+            ],
+            2,
+            Some(0),
+        );
+        c
+    }
+
+    #[test]
+    fn clustered_table_sorts_rows() {
+        let c = catalog();
+        let rows = &c.table("f").rows;
+        let ds: Vec<i64> = rows.iter().map(|r| r[0].as_i64()).collect();
+        assert_eq!(ds, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn block_ranges_are_tight() {
+        let c = catalog();
+        let ranges = c.block_ranges("f", 0);
+        assert_eq!(ranges, vec![(1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn load_hdfs_declares_scaled_bytes() {
+        let c = catalog();
+        let mut hdfs = SimHdfs::new(4, 1);
+        c.load_hdfs(&mut hdfs, 1000.0);
+        let blocks = tez_runtime::Dfs::list_blocks(&hdfs, "/warehouse/f").unwrap();
+        assert_eq!(blocks.len(), 2);
+        let real = hdfs.read_block("/warehouse/f", 0).unwrap().len() as u64;
+        assert_eq!(blocks[0].bytes, real * 1000);
+    }
+
+    #[test]
+    fn reference_tables_expose_rows() {
+        let c = catalog();
+        assert_eq!(c.reference_tables()["f"].len(), 4);
+        assert_eq!(c.total_rows(), 4);
+    }
+}

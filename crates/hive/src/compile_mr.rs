@@ -1,0 +1,256 @@
+//! The classic-MapReduce backend: slice the stage graph into a chain of
+//! jobs, one per shuffle, materializing every intermediate result to the
+//! replicated DFS.
+//!
+//! This is Hive-on-MR, the baseline of paper §6.1–6.2: the same operator
+//! code, but (a) one AM launch per job, (b) inter-job I/O through HDFS at
+//! replication cost, (c) no broadcast edges or shared registry (map joins
+//! degrade to shuffle joins), (d) fixed reducer counts, and (e) identity
+//! re-read maps re-emitting the shuffle of the next stage.
+
+use crate::catalog::Catalog;
+use crate::physical::{
+    resolve_out, ExecKind, ExecOut, HiveStageProcessor, StageExec, StageKind, StageLink,
+    StagePlan, StageOut,
+};
+use tez_core::{hdfs_split_initializer, TezConfig};
+use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_runtime::ComponentRegistry;
+use tez_shuffle::io::{kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+
+fn temp_path(query: &str, stage: usize) -> String {
+    format!("/tmp/{query}/s{stage}")
+}
+
+/// Compile a stage graph into a chain of MapReduce jobs (one DAG each).
+/// The stage graph must come from [`crate::physical::rewrite_for_mr`]'d
+/// plans (no broadcast links).
+pub fn build_mr_dags(
+    query: &str,
+    sp: &StagePlan,
+    catalog: &Catalog,
+    registry: &mut ComponentRegistry,
+    result_path: &str,
+    config: &TezConfig,
+) -> Vec<Dag> {
+    let mut dags = Vec::new();
+    let mut job_idx = 0;
+
+    for stage in &sp.stages {
+        debug_assert!(
+            !stage
+                .links
+                .iter()
+                .any(|l| matches!(l, StageLink::Broadcast(_))),
+            "MR stage graphs must be broadcast-free"
+        );
+        let is_reduce = !matches!(stage.kind, StageKind::Map);
+        let is_map_sink = matches!(stage.kind, StageKind::Map)
+            && matches!(stage.out, StageOut::Sink);
+        if !is_reduce && !is_map_sink {
+            continue; // map stages are folded into their consumer's job
+        }
+
+        let job_name = format!("{query}-job{job_idx}");
+        let sink_path = match sp.consumer_of(stage.id) {
+            Some(_) => temp_path(query, stage.id),
+            None => result_path.to_string(),
+        };
+        let mut builder = DagBuilder::new(&job_name);
+
+        if is_map_sink {
+            // Single map-only job: scan → sink.
+            let table = match &stage.links[0] {
+                StageLink::Table(t) => t.clone(),
+                other => panic!("map sink without table link: {other:?}"),
+            };
+            let exec = StageExec {
+                kind: ExecKind::MapRows {
+                    inputs: vec!["scan".into()],
+                },
+                ops: stage.ops.clone(),
+                outs: vec![ExecOut::Rows { out: "out".into() }],
+            };
+            let kind_name = format!("hive.{job_name}.map");
+            registry.register_processor(&kind_name, move |_p| {
+                Box::new(HiveStageProcessor::new(exec.clone()))
+            });
+            builder = builder.add_vertex(
+                Vertex::new("map", NamedDescriptor::new(&kind_name))
+                    .with_data_source(
+                        "scan",
+                        NamedDescriptor::new(kinds::DFS_IN),
+                        Some(hdfs_split_initializer(
+                            &Catalog::table_path(&table),
+                            config.min_split_bytes,
+                            config.max_split_bytes,
+                            false,
+                        )),
+                    )
+                    .with_data_sink(
+                        "out",
+                        NamedDescriptor::with_payload(
+                            kinds::DFS_OUT,
+                            UserPayload::from_str(&sink_path),
+                        ),
+                        Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+                    ),
+            );
+            dags.push(builder.build().expect("map-only job"));
+            job_idx += 1;
+            continue;
+        }
+
+        // Map vertices: one per shuffle link producer.
+        let mut map_names = Vec::new();
+        for link in &stage.links {
+            let StageLink::Shuffle(p) = link else { continue };
+            let producer = &sp.stages[*p];
+            let map_name = format!("m{p}");
+            let (source_path, ops, pin) = match (&producer.kind, producer.links.first()) {
+                (StageKind::Map, Some(StageLink::Table(t))) => {
+                    let _ = catalog.table(t);
+                    (
+                        Catalog::table_path(t),
+                        producer.ops.clone(),
+                        catalog.scale_override(t),
+                    )
+                }
+                // Producer was the reduce of an earlier job: identity
+                // re-read of its materialized temp table (its ops already
+                // ran there); only the shuffle emission happens here.
+                _ => (temp_path(query, *p), Vec::new(), None),
+            };
+            let exec = StageExec {
+                kind: ExecKind::MapRows {
+                    inputs: vec!["scan".into()],
+                },
+                ops,
+                outs: vec![resolve_out(&producer.out, "r")],
+            };
+            let kind_name = format!("hive.{job_name}.{map_name}");
+            registry.register_processor(&kind_name, move |_p| {
+                Box::new(HiveStageProcessor::new(exec.clone()))
+            });
+            let mut map_vertex = Vertex::new(&map_name, NamedDescriptor::new(&kind_name))
+                .with_data_source(
+                    "scan",
+                    NamedDescriptor::new(kinds::DFS_IN),
+                    Some(hdfs_split_initializer(
+                        &source_path,
+                        config.min_split_bytes,
+                        config.max_split_bytes,
+                        false,
+                    )),
+                );
+            if let Some(pin) = pin {
+                map_vertex = map_vertex.with_stats_scale(pin);
+            }
+            builder = builder.add_vertex(map_vertex);
+            map_names.push((map_name, *p));
+        }
+
+        // Reduce vertex.
+        let reduce_kind = match &stage.kind {
+            StageKind::Join { left, right } => ExecKind::Join {
+                left: left
+                    .iter()
+                    .map(|&i| match &stage.links[i] {
+                        StageLink::Shuffle(p) => format!("m{p}"),
+                        other => panic!("join link {other:?}"),
+                    })
+                    .collect(),
+                right: right
+                    .iter()
+                    .map(|&i| match &stage.links[i] {
+                        StageLink::Shuffle(p) => format!("m{p}"),
+                        other => panic!("join link {other:?}"),
+                    })
+                    .collect(),
+            },
+            StageKind::FinalAgg { group_cols, aggs } => ExecKind::FinalAgg {
+                inputs: map_names.iter().map(|(n, _)| n.clone()).collect(),
+                group_cols: *group_cols,
+                aggs: aggs.clone(),
+            },
+            StageKind::FinalOrdered { limit } => ExecKind::FinalOrdered {
+                inputs: map_names.iter().map(|(n, _)| n.clone()).collect(),
+                limit: *limit,
+            },
+            StageKind::Map => unreachable!("handled above"),
+        };
+        let exec = StageExec {
+            kind: reduce_kind,
+            ops: stage.ops.clone(),
+            outs: vec![ExecOut::Rows { out: "out".into() }],
+        };
+        let kind_name = format!("hive.{job_name}.r");
+        registry.register_processor(&kind_name, move |_p| {
+            Box::new(HiveStageProcessor::new(exec.clone()))
+        });
+        builder = builder.add_vertex(
+            Vertex::new("r", NamedDescriptor::new(&kind_name))
+                .with_parallelism(stage.parallelism.unwrap_or(1))
+                .with_data_sink(
+                    "out",
+                    NamedDescriptor::with_payload(
+                        kinds::DFS_OUT,
+                        UserPayload::from_str(&sink_path),
+                    ),
+                    Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+                ),
+        );
+        for (m, _) in &map_names {
+            builder = builder.add_edge(m.clone(), "r", scatter_gather_edge(Combiner::None));
+        }
+        dags.push(builder.build().expect("mr job compiles"));
+        job_idx += 1;
+    }
+    dags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{build_stages, rewrite_for_mr, PhysicalOpts};
+    use crate::plan::{AggExpr, Plan};
+    use crate::types::{ColType, Datum, Schema};
+    use tez_core::standard_registry;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for t in ["a", "b"] {
+            c.add_table(
+                t,
+                Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
+                (0..4).map(|i| vec![Datum::I64(i % 2), Datum::I64(i)]).collect(),
+                1,
+                None,
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn join_then_agg_becomes_two_jobs() {
+        let cat = catalog();
+        let plan = Plan::scan("a")
+            .broadcast_join(Plan::scan("b"), vec![0], vec![0])
+            .aggregate(vec![0], vec![AggExpr::CountStar]);
+        let mr_plan = rewrite_for_mr(&plan);
+        let opts = PhysicalOpts {
+            broadcast_joins: false,
+            dpp: false,
+            ..Default::default()
+        };
+        let sp = build_stages(&mr_plan, &cat, &opts);
+        let mut registry = standard_registry();
+        let dags = build_mr_dags("q", &sp, &cat, &mut registry, "/results/q", &TezConfig::default());
+        assert_eq!(dags.len(), 2, "join job + aggregate job");
+        // Job 1: two maps + reduce.
+        assert_eq!(dags[0].num_vertices(), 3);
+        // Job 2: identity map over the join temp + final agg reduce.
+        assert_eq!(dags[1].num_vertices(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Tez backend: wire a stage graph into a single Tez DAG.
+//!
+//! Scans become root vertices with split initializers (pruning-gated for
+//! DPP fact scans), shuffle links become scatter-gather edges, broadcast
+//! links become broadcast edges, and sink stages write the query result
+//! committed once at DAG success.
+
+use crate::catalog::Catalog;
+use crate::physical::{
+    resolve_out, ExecKind, HiveStageProcessor, Stage, StageExec, StageKind, StageLink, StagePlan,
+    StageOut,
+};
+use tez_core::{hdfs_split_initializer, TezConfig};
+use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_runtime::ComponentRegistry;
+use tez_shuffle::io::{broadcast_edge, kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+
+fn link_stage(link: &StageLink) -> Option<usize> {
+    match link {
+        StageLink::Shuffle(p) | StageLink::Broadcast(p) => Some(*p),
+        StageLink::Table(_) => None,
+    }
+}
+
+fn shuffle_input_names(sp: &StagePlan, stage: &Stage) -> Vec<String> {
+    stage
+        .links
+        .iter()
+        .filter_map(|l| match l {
+            StageLink::Shuffle(p) => Some(sp.stages[*p].vertex_name()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Build the StageExec for one stage, its output aimed at `out_name`.
+pub fn stage_exec(sp: &StagePlan, stage: &Stage, out_name: &str) -> StageExec {
+    let kind = match &stage.kind {
+        StageKind::Map => ExecKind::MapRows {
+            inputs: vec!["scan".to_string()],
+        },
+        StageKind::Join { left, right } => ExecKind::Join {
+            left: left
+                .iter()
+                .map(|&i| sp.stages[link_stage(&stage.links[i]).unwrap()].vertex_name())
+                .collect(),
+            right: right
+                .iter()
+                .map(|&i| sp.stages[link_stage(&stage.links[i]).unwrap()].vertex_name())
+                .collect(),
+        },
+        StageKind::FinalAgg { group_cols, aggs } => ExecKind::FinalAgg {
+            inputs: shuffle_input_names(sp, stage),
+            group_cols: *group_cols,
+            aggs: aggs.clone(),
+        },
+        StageKind::FinalOrdered { limit } => ExecKind::FinalOrdered {
+            inputs: shuffle_input_names(sp, stage),
+            limit: *limit,
+        },
+    };
+    StageExec {
+        kind,
+        ops: stage.ops.clone(),
+        outs: vec![resolve_out(&stage.out, out_name)],
+    }
+}
+
+/// Compile a stage graph into one Tez DAG, registering the stage
+/// processors under `hive.{query}.*` kinds.
+pub fn build_tez_dag(
+    query: &str,
+    sp: &StagePlan,
+    catalog: &Catalog,
+    registry: &mut ComponentRegistry,
+    result_path: &str,
+    config: &TezConfig,
+) -> Dag {
+    let mut builder = DagBuilder::new(query);
+    for stage in &sp.stages {
+        let vname = stage.vertex_name();
+        let out_name = match sp.consumer_of(stage.id) {
+            Some(c) => sp.stages[c].vertex_name(),
+            None => "out".to_string(),
+        };
+        let exec = stage_exec(sp, stage, &out_name);
+        let kind_name = format!("hive.{query}.{vname}");
+        registry.register_processor(&kind_name, move |_p| {
+            Box::new(HiveStageProcessor::new(exec.clone()))
+        });
+
+        let mut vertex = Vertex::new(&vname, NamedDescriptor::new(&kind_name));
+        if let Some(n) = stage.parallelism {
+            vertex = vertex.with_parallelism(n);
+        }
+        // Root scan.
+        if let Some(StageLink::Table(table)) = stage
+            .links
+            .iter()
+            .find(|l| matches!(l, StageLink::Table(_)))
+        {
+            let path = Catalog::table_path(table);
+            let _ = catalog.table(table); // validate existence at compile time
+            if let Some(pin) = catalog.scale_override(table) {
+                vertex = vertex.with_stats_scale(pin);
+            }
+            let (min_split, max_split) = if stage.parallelism == Some(1) {
+                // Forced single task (DPP dimension side).
+                (u64::MAX / 4, u64::MAX / 2)
+            } else {
+                (config.min_split_bytes, config.max_split_bytes)
+            };
+            vertex = vertex.with_data_source(
+                "scan",
+                NamedDescriptor::new(kinds::DFS_IN),
+                Some(hdfs_split_initializer(
+                    &path,
+                    min_split,
+                    max_split,
+                    stage.pruned_scan,
+                )),
+            );
+        }
+        // Sink.
+        if matches!(stage.out, StageOut::Sink) {
+            vertex = vertex.with_data_sink(
+                "out",
+                NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str(result_path)),
+                Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+            );
+        }
+        builder = builder.add_vertex(vertex);
+    }
+    // Edges.
+    for stage in &sp.stages {
+        for link in &stage.links {
+            match link {
+                StageLink::Shuffle(p) => {
+                    builder = builder.add_edge(
+                        sp.stages[*p].vertex_name(),
+                        stage.vertex_name(),
+                        scatter_gather_edge(Combiner::None),
+                    );
+                }
+                StageLink::Broadcast(p) => {
+                    builder = builder.add_edge(
+                        sp.stages[*p].vertex_name(),
+                        stage.vertex_name(),
+                        broadcast_edge(),
+                    );
+                }
+                StageLink::Table(_) => {}
+            }
+        }
+    }
+    builder.build().expect("stage graph compiles to a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{build_stages, PhysicalOpts};
+    use crate::plan::{AggExpr, Plan};
+    use crate::types::{ColType, Datum, Schema};
+    use tez_core::standard_registry;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
+            (0..6).map(|i| vec![Datum::I64(i % 2), Datum::I64(i)]).collect(),
+            2,
+            None,
+        );
+        c
+    }
+
+    #[test]
+    fn scan_agg_dag_shape() {
+        let cat = catalog();
+        let plan = Plan::scan("t").aggregate(vec![0], vec![AggExpr::CountStar]);
+        let sp = build_stages(&plan, &cat, &PhysicalOpts::default());
+        let mut registry = standard_registry();
+        let dag = build_tez_dag(
+            "q",
+            &sp,
+            &cat,
+            &mut registry,
+            "/results/q",
+            &TezConfig::default(),
+        );
+        assert_eq!(dag.num_vertices(), 2);
+        assert_eq!(dag.edges().len(), 1);
+        assert!(registry.has_processor("hive.q.s0"));
+        assert!(registry.has_processor("hive.q.s1"));
+        // Scan vertex has the split initializer; agg vertex has the sink.
+        let scan = dag.vertex_by_name("s0");
+        assert_eq!(scan.data_sources.len(), 1);
+        let agg = dag.vertex_by_name("s1");
+        assert_eq!(agg.data_sinks.len(), 1);
+    }
+}

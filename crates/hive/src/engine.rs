@@ -1,0 +1,160 @@
+//! The engine facade: run a query on the Tez backend, the classic
+//! MapReduce backend, or the in-memory reference executor.
+
+use crate::catalog::Catalog;
+use crate::compile_mr::build_mr_dags;
+use crate::compile_tez::build_tez_dag;
+use crate::physical::{build_stages, rewrite_for_mr, PhysicalOpts};
+use crate::plan::{execute_reference, Plan};
+use crate::types::{decode_row, Row};
+use tez_core::{standard_registry, DagReport, TezClient, TezConfig};
+use tez_runtime::Dfs;
+use tez_shuffle::KvCursor;
+use tez_yarn::SimHdfs;
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct HiveOpts {
+    /// Reducer count for shuffle stages (Tez shrinks it automatically when
+    /// auto-parallelism is on).
+    pub reducers: usize,
+    /// Allow broadcast (map) joins on the Tez backend.
+    pub broadcast_joins: bool,
+    /// Allow dynamic partition pruning on the Tez backend.
+    pub dpp: bool,
+    /// Declared-scale multiplier (see DESIGN.md).
+    pub byte_scale: f64,
+}
+
+impl Default for HiveOpts {
+    fn default() -> Self {
+        HiveOpts {
+            reducers: 8,
+            broadcast_joins: true,
+            dpp: true,
+            byte_scale: 1.0,
+        }
+    }
+}
+
+/// A finished query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Result rows (sink file order).
+    pub rows: Vec<Row>,
+    /// One report per DAG (Tez: one; MR: one per job).
+    pub reports: Vec<DagReport>,
+}
+
+impl QueryResult {
+    /// End-to-end runtime: first submission to last finish.
+    pub fn runtime_ms(&self) -> u64 {
+        let start = self.reports.first().map(|r| r.submitted.millis()).unwrap_or(0);
+        let end = self.reports.last().map(|r| r.finished.millis()).unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Whether every DAG succeeded.
+    pub fn success(&self) -> bool {
+        !self.reports.is_empty() && self.reports.iter().all(|r| r.status.is_success())
+    }
+}
+
+/// The Hive engine: a catalog plus compilation backends.
+pub struct HiveEngine {
+    /// The warehouse.
+    pub catalog: Catalog,
+}
+
+impl HiveEngine {
+    /// Engine over a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        HiveEngine { catalog }
+    }
+
+    /// In-memory reference execution (ground truth for tests).
+    pub fn reference(&self, plan: &Plan) -> Vec<Row> {
+        execute_reference(plan, &self.catalog.reference_tables())
+    }
+
+    fn result_path(name: &str) -> String {
+        format!("/results/{name}")
+    }
+
+    /// Run on the Tez backend with a custom base config.
+    pub fn run_tez_with(
+        &self,
+        client: &TezClient,
+        name: &str,
+        plan: &Plan,
+        opts: &HiveOpts,
+        mut config: TezConfig,
+    ) -> QueryResult {
+        config.byte_scale = opts.byte_scale;
+        let popts = PhysicalOpts {
+            reducers: opts.reducers,
+            broadcast_joins: opts.broadcast_joins,
+            dpp: opts.dpp,
+        };
+        let sp = build_stages(plan, &self.catalog, &popts);
+        let mut registry = standard_registry();
+        let result_path = Self::result_path(name);
+        let dag = build_tez_dag(name, &sp, &self.catalog, &mut registry, &result_path, &config);
+        let scale = opts.byte_scale;
+        let run = client.run_dag(dag, registry, config, |hdfs| {
+            hdfs.set_stat_scale(scale);
+            self.catalog.load_hdfs(hdfs, scale);
+        });
+        QueryResult {
+            rows: read_rows(run.hdfs(), &result_path),
+            reports: run.reports,
+        }
+    }
+
+    /// Run on the Tez backend with default Tez configuration.
+    pub fn run_tez(&self, client: &TezClient, name: &str, plan: &Plan, opts: &HiveOpts) -> QueryResult {
+        self.run_tez_with(client, name, plan, opts, TezConfig::default())
+    }
+
+    /// Run on the classic MapReduce backend.
+    pub fn run_mr(&self, client: &TezClient, name: &str, plan: &Plan, opts: &HiveOpts) -> QueryResult {
+        let mut config = TezConfig::mapreduce_baseline();
+        config.byte_scale = opts.byte_scale;
+        let popts = PhysicalOpts {
+            reducers: opts.reducers,
+            broadcast_joins: false,
+            dpp: false,
+        };
+        let mr_plan = rewrite_for_mr(plan);
+        let sp = build_stages(&mr_plan, &self.catalog, &popts);
+        let mut registry = standard_registry();
+        let result_path = Self::result_path(name);
+        let dags = build_mr_dags(name, &sp, &self.catalog, &mut registry, &result_path, &config);
+        let scale = opts.byte_scale;
+        let run = client.run_session(dags, registry, config, |hdfs| {
+            hdfs.set_stat_scale(scale);
+            self.catalog.load_hdfs(hdfs, scale);
+        });
+        QueryResult {
+            rows: read_rows(run.hdfs(), &result_path),
+            reports: run.reports,
+        }
+    }
+}
+
+/// Read result rows from a committed sink path.
+pub fn read_rows(hdfs: &SimHdfs, path: &str) -> Vec<Row> {
+    let Some(blocks) = hdfs.list_blocks(path) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for b in blocks {
+        if let Some(data) = hdfs.read_block(path, b.index) {
+            let mut c = KvCursor::new(data);
+            while let Some((_, v)) = c.next() {
+                rows.push(decode_row(&v));
+            }
+        }
+    }
+    rows
+}

@@ -1,0 +1,300 @@
+//! Scalar expressions over rows.
+
+use crate::types::{Datum, Row};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A scalar expression tree.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Column reference by index.
+    Col(usize),
+    /// Literal.
+    Lit(Datum),
+    /// Binary operation.
+    Bin(BinOp, Arc<Expr>, Arc<Expr>),
+    /// `NOT e`.
+    Not(Arc<Expr>),
+    /// `e IN (lits…)`.
+    InList(Arc<Expr>, Vec<Datum>),
+    /// `e BETWEEN lo AND hi` (inclusive).
+    Between(Arc<Expr>, Datum, Datum),
+    /// `e LIKE '%substr%'` (contains-substring semantics).
+    Contains(Arc<Expr>, String),
+    /// `e IS NULL`.
+    IsNull(Arc<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn lit_i64(v: i64) -> Expr {
+        Expr::Lit(Datum::I64(v))
+    }
+
+    /// Float literal.
+    pub fn lit_f64(v: f64) -> Expr {
+        Expr::Lit(Datum::F64(v))
+    }
+
+    /// String literal.
+    pub fn lit_str(s: &str) -> Expr {
+        Expr::Lit(Datum::str(s))
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Arc::new(a), Arc::new(b))
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, other)
+    }
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, other)
+    }
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, other)
+    }
+    /// `self + other`
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, other)
+    }
+    /// `self - other`
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, other)
+    }
+    /// `self * other`
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, other)
+    }
+    /// `self IN (values…)`
+    pub fn in_list(self, values: Vec<Datum>) -> Expr {
+        Expr::InList(Arc::new(self), values)
+    }
+    /// `self BETWEEN lo AND hi`
+    pub fn between(self, lo: Datum, hi: Datum) -> Expr {
+        Expr::Between(Arc::new(self), lo, hi)
+    }
+    /// `self LIKE '%s%'`
+    pub fn contains(self, s: &str) -> Expr {
+        Expr::Contains(Arc::new(self), s.to_string())
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Datum {
+        match self {
+            Expr::Col(i) => row[*i].clone(),
+            Expr::Lit(d) => d.clone(),
+            Expr::Not(e) => match e.eval(row) {
+                Datum::Null => Datum::Null,
+                d => Datum::I64(i64::from(!truthy(&d))),
+            },
+            Expr::IsNull(e) => Datum::I64(i64::from(e.eval(row).is_null())),
+            Expr::InList(e, list) => {
+                let v = e.eval(row);
+                if v.is_null() {
+                    return Datum::Null;
+                }
+                Datum::I64(i64::from(list.iter().any(|l| l == &v)))
+            }
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(row);
+                if v.is_null() {
+                    return Datum::Null;
+                }
+                Datum::I64(i64::from(
+                    v.cmp_sql(lo) != Ordering::Less && v.cmp_sql(hi) != Ordering::Greater,
+                ))
+            }
+            Expr::Contains(e, s) => {
+                let v = e.eval(row);
+                if v.is_null() {
+                    return Datum::Null;
+                }
+                Datum::I64(i64::from(v.as_str().contains(s.as_str())))
+            }
+            Expr::Bin(op, a, b) => {
+                let (va, vb) = (a.eval(row), b.eval(row));
+                if va.is_null() || vb.is_null() {
+                    return Datum::Null;
+                }
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &va, &vb),
+                    BinOp::Eq => Datum::I64(i64::from(va.cmp_sql(&vb) == Ordering::Equal)),
+                    BinOp::Ne => Datum::I64(i64::from(va.cmp_sql(&vb) != Ordering::Equal)),
+                    BinOp::Lt => Datum::I64(i64::from(va.cmp_sql(&vb) == Ordering::Less)),
+                    BinOp::Le => Datum::I64(i64::from(va.cmp_sql(&vb) != Ordering::Greater)),
+                    BinOp::Gt => Datum::I64(i64::from(va.cmp_sql(&vb) == Ordering::Greater)),
+                    BinOp::Ge => Datum::I64(i64::from(va.cmp_sql(&vb) != Ordering::Less)),
+                    BinOp::And => Datum::I64(i64::from(truthy(&va) && truthy(&vb))),
+                    BinOp::Or => Datum::I64(i64::from(truthy(&va) || truthy(&vb))),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate (NULL → false).
+    pub fn matches(&self, row: &Row) -> bool {
+        truthy(&self.eval(row))
+    }
+}
+
+fn truthy(d: &Datum) -> bool {
+    match d {
+        Datum::Null => false,
+        Datum::I64(v) => *v != 0,
+        Datum::F64(v) => *v != 0.0,
+        Datum::Str(s) => !s.is_empty(),
+    }
+}
+
+fn arith(op: BinOp, a: &Datum, b: &Datum) -> Datum {
+    if let (Datum::I64(x), Datum::I64(y)) = (a, b) {
+        return match op {
+            BinOp::Add => Datum::I64(x + y),
+            BinOp::Sub => Datum::I64(x - y),
+            BinOp::Mul => Datum::I64(x * y),
+            BinOp::Div => {
+                if *y == 0 {
+                    Datum::Null
+                } else {
+                    Datum::I64(x / y)
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (x, y) = (a.as_f64(), b.as_f64());
+    match op {
+        BinOp::Add => Datum::F64(x + y),
+        BinOp::Sub => Datum::F64(x - y),
+        BinOp::Mul => Datum::F64(x * y),
+        BinOp::Div => {
+            if y == 0.0 {
+                Datum::Null
+            } else {
+                Datum::F64(x / y)
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Datum::I64(10), Datum::F64(2.5), Datum::str("widget"), Datum::Null]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::col(0).add(Expr::lit_i64(5));
+        assert_eq!(e.eval(&row()), Datum::I64(15));
+        let e = Expr::col(0).mul(Expr::col(1));
+        assert_eq!(e.eval(&row()), Datum::F64(25.0));
+        assert!(Expr::col(0).ge(Expr::lit_i64(10)).matches(&row()));
+        assert!(!Expr::col(0).lt(Expr::lit_i64(10)).matches(&row()));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let e = Expr::col(3).add(Expr::lit_i64(1));
+        assert!(e.eval(&row()).is_null());
+        assert!(!Expr::col(3).eq(Expr::col(3)).matches(&row()), "NULL = NULL is not true");
+        assert!(Expr::IsNull(Arc::new(Expr::col(3))).matches(&row()));
+    }
+
+    #[test]
+    fn in_between_contains() {
+        assert!(Expr::col(0)
+            .in_list(vec![Datum::I64(1), Datum::I64(10)])
+            .matches(&row()));
+        assert!(Expr::col(0)
+            .between(Datum::I64(5), Datum::I64(10))
+            .matches(&row()));
+        assert!(!Expr::col(0)
+            .between(Datum::I64(11), Datum::I64(20))
+            .matches(&row()));
+        assert!(Expr::col(2).contains("dge").matches(&row()));
+        assert!(!Expr::col(2).contains("nope").matches(&row()));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let p = Expr::col(0)
+            .gt(Expr::lit_i64(5))
+            .and(Expr::col(2).eq(Expr::lit_str("widget")));
+        assert!(p.matches(&row()));
+        let q = Expr::col(0).lt(Expr::lit_i64(5)).or(p);
+        assert!(q.matches(&row()));
+        assert!(!Expr::Not(Arc::new(q)).matches(&row()));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = Expr::Bin(
+            BinOp::Div,
+            Arc::new(Expr::lit_i64(1)),
+            Arc::new(Expr::lit_i64(0)),
+        );
+        assert!(e.eval(&row()).is_null());
+    }
+}

@@ -1,0 +1,38 @@
+//! # tez-hive — a mini SQL engine on rtez
+//!
+//! Stands in for Apache Hive in the paper's evaluation (§5.2, §6.1, §6.2):
+//! a declarative query engine whose runtime was rewritten on Tez. The crate
+//! provides:
+//!
+//! * A typed row model ([`types`]), expressions ([`expr`]) and logical
+//!   plans ([`plan`]) with a single-process **reference executor** used by
+//!   tests to validate both distributed backends.
+//! * A **Tez backend** ([`compile_tez`]): one DAG per query, with
+//!   broadcast (map) joins backed by the shared object registry,
+//!   map-side partial aggregation, top-k order-by, automatic reducer
+//!   parallelism, and **dynamic partition pruning** (§3.5).
+//! * A **classic MapReduce backend** ([`compile_mr`]): the same operator
+//!   code compiled into a chain of 2-vertex jobs that materialize
+//!   intermediates to the replicated DFS — Hive-on-MR, the paper's
+//!   baseline.
+//! * TPC-H-derived ([`tpch`]) and TPC-DS-derived ([`tpcds`]) schemas, data
+//!   generators and query suites driving Figures 8 and 9.
+
+pub mod catalog;
+pub mod compile_mr;
+pub mod compile_tez;
+pub mod engine;
+pub mod expr;
+pub mod physical;
+pub mod plan;
+pub mod query;
+pub mod tpcds;
+pub mod tpch;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use engine::{HiveEngine, HiveOpts, QueryResult};
+pub use expr::Expr;
+pub use plan::{AggExpr, Plan};
+pub use query::Q;
+pub use types::{Datum, Row, Schema};

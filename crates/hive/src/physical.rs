@@ -1,0 +1,1264 @@
+//! Physical planning shared by both backends: the **stage graph** (one
+//! stage per shuffle boundary) and the generic stage processor that
+//! executes a stage's operators inside a Tez task.
+//!
+//! The same stage graph is wired either into one Tez DAG
+//! ([`crate::compile_tez`]) or into a chain of MapReduce jobs
+//! ([`crate::compile_mr`]) — the operator code is identical, exactly as
+//! Hive's operator pipeline was reused when its runtime moved to Tez
+//! (paper §5.2: "allows existing applications like Hive or Pig to leverage
+//! Tez without significant changes in their core operator pipelines").
+
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::plan::{row_to_state, state_to_row, AggExpr, AggState, Plan};
+use crate::types::{decode_key, decode_row, encode_key, row_bytes, Datum, Row};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use tez_runtime::{
+    counter_names, ObjectScope, OutboundEvent, Processor, ProcessorContext, TaskError,
+};
+
+/// Counter: rows a map-join build phase had to hash (registry miss).
+pub const MAPJOIN_BUILD_ROWS: &str = "MAPJOIN_BUILD_ROWS";
+
+// ---------------------------------------------------------------------------
+// Stage graph
+// ---------------------------------------------------------------------------
+
+/// Row-level operators applied inside a stage after its kind-specific
+/// input handling.
+#[derive(Clone, Debug)]
+pub enum RowOp {
+    /// Drop rows failing the predicate.
+    Filter(Expr),
+    /// Replace the row with evaluated expressions.
+    Project(Vec<Expr>),
+    /// Map join: probe a hash table built from a broadcast input (cached in
+    /// the shared object registry, paper §4.2).
+    MapJoin {
+        /// Broadcast input name (producer vertex).
+        input: String,
+        /// Probe key columns of the streamed row.
+        left_keys: Vec<usize>,
+        /// Build key columns of the broadcast rows.
+        right_keys: Vec<usize>,
+        /// Object-registry cache key.
+        registry_key: String,
+    },
+    /// Collect distinct `i64` join-key values and send a pruning event to
+    /// the target vertex's input initializer (dynamic partition pruning,
+    /// paper §3.5).
+    EmitPrune {
+        /// Vertex whose data source gets pruned.
+        target_vertex: String,
+        /// Data source name on that vertex.
+        source: String,
+        /// Key column of the streamed rows.
+        key_col: usize,
+        /// `(min, max)` of the pruning column per fact block.
+        block_ranges: Vec<(i64, i64)>,
+    },
+}
+
+/// How a stage receives its data.
+#[derive(Clone, Debug)]
+pub enum StageLink {
+    /// Root scan of a catalog table.
+    Table(String),
+    /// Scatter-gather edge from another stage.
+    Shuffle(usize),
+    /// Broadcast edge from another stage (consumed by a
+    /// [`RowOp::MapJoin`]).
+    Broadcast(usize),
+}
+
+/// Kind-specific input handling of a stage.
+#[derive(Clone, Debug)]
+pub enum StageKind {
+    /// Flat rows from table blocks (or materialized temp tables in the MR
+    /// backend).
+    Map,
+    /// Shuffle join: build from the right links, probe the left links.
+    Join {
+        /// Indices into `links` forming the probe side.
+        left: Vec<usize>,
+        /// Indices into `links` forming the build side.
+        right: Vec<usize>,
+    },
+    /// Final aggregation over partial states.
+    FinalAgg {
+        /// Number of group-key fields in the shuffle key.
+        group_cols: usize,
+        /// The aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Final ordered merge (top-k when `limit` is set, full sort when not).
+    FinalOrdered {
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+}
+
+/// Where a stage's rows go.
+#[derive(Clone, Debug)]
+pub enum StageOut {
+    /// Shuffle `(key(cols), row)` toward a join.
+    ShuffleRows {
+        /// Key columns.
+        key_cols: Vec<usize>,
+    },
+    /// Map-side partial aggregation, then shuffle `(groupkey, state-row)`.
+    ShuffleForAgg {
+        /// Group columns.
+        group: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Map-side top-k, then shuffle `(sortkey, row)` to one partition.
+    ShuffleForTopK {
+        /// `(column, descending)` sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Limit.
+        limit: usize,
+    },
+    /// Shuffle `(sortkey, row)` for a full sort.
+    ShuffleSort {
+        /// `(column, descending)` sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Broadcast rows (map-join small side).
+    Broadcast,
+    /// Write rows to the query result (or an MR temp table).
+    Sink,
+}
+
+/// One stage of the physical plan.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Stage id (vertex name `s{id}`).
+    pub id: usize,
+    /// Inputs.
+    pub links: Vec<StageLink>,
+    /// Kind-specific input handling.
+    pub kind: StageKind,
+    /// Operators applied after the kind.
+    pub ops: Vec<RowOp>,
+    /// Output direction (set by the consuming side during build).
+    pub out: StageOut,
+    /// Fixed parallelism (None = decided by split calculation).
+    pub parallelism: Option<usize>,
+    /// Whether this stage's root input waits for a pruning event.
+    pub pruned_scan: bool,
+}
+
+impl Stage {
+    /// Canonical vertex name.
+    pub fn vertex_name(&self) -> String {
+        format!("s{}", self.id)
+    }
+}
+
+/// The complete stage graph of one query.
+#[derive(Clone, Debug)]
+pub struct StagePlan {
+    /// Stages, indexed by id.
+    pub stages: Vec<Stage>,
+}
+
+impl StagePlan {
+    /// Stages whose `out` is [`StageOut::Sink`] (query results).
+    pub fn sink_stages(&self) -> Vec<usize> {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s.out, StageOut::Sink))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The stage consuming `id` via a shuffle/broadcast link, if any.
+    pub fn consumer_of(&self, id: usize) -> Option<usize> {
+        self.stages.iter().find_map(|s| {
+            s.links
+                .iter()
+                .any(|l| matches!(l, StageLink::Shuffle(p) | StageLink::Broadcast(p) if *p == id))
+                .then_some(s.id)
+        })
+    }
+}
+
+/// Physical planning options.
+#[derive(Clone, Debug)]
+pub struct PhysicalOpts {
+    /// Reducer count for shuffle stages (Tez shrinks it automatically).
+    pub reducers: usize,
+    /// Allow broadcast (map) joins.
+    pub broadcast_joins: bool,
+    /// Allow dynamic partition pruning.
+    pub dpp: bool,
+}
+
+impl Default for PhysicalOpts {
+    fn default() -> Self {
+        PhysicalOpts {
+            reducers: 8,
+            broadcast_joins: true,
+            dpp: true,
+        }
+    }
+}
+
+/// Build the stage graph for a logical plan.
+pub fn build_stages(plan: &Plan, catalog: &Catalog, opts: &PhysicalOpts) -> StagePlan {
+    let mut b = Builder {
+        catalog,
+        opts,
+        stages: Vec::new(),
+    };
+    let roots = b.compile(plan);
+    for id in roots {
+        b.stages[id].out = StageOut::Sink;
+    }
+    StagePlan { stages: b.stages }
+}
+
+struct Builder<'a> {
+    catalog: &'a Catalog,
+    opts: &'a PhysicalOpts,
+    stages: Vec<Stage>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_stage(&mut self, links: Vec<StageLink>, kind: StageKind, parallelism: Option<usize>) -> usize {
+        let id = self.stages.len();
+        self.stages.push(Stage {
+            id,
+            links,
+            kind,
+            ops: Vec::new(),
+            out: StageOut::Sink, // placeholder; overwritten by consumer
+            parallelism,
+            pruned_scan: false,
+        });
+        id
+    }
+
+    /// Compile a plan node; returns the stages currently producing the
+    /// stream (multiple for unions).
+    fn compile(&mut self, plan: &Plan) -> Vec<usize> {
+        match plan {
+            Plan::Scan {
+                table,
+                filter,
+                project,
+            } => {
+                let id = self.new_stage(vec![StageLink::Table(table.clone())], StageKind::Map, None);
+                if let Some(f) = filter {
+                    self.stages[id].ops.push(RowOp::Filter(f.clone()));
+                }
+                if let Some(cols) = project {
+                    self.stages[id]
+                        .ops
+                        .push(RowOp::Project(cols.iter().map(|&c| Expr::Col(c)).collect()));
+                }
+                vec![id]
+            }
+            Plan::Filter { input, predicate } => {
+                let ids = self.compile(input);
+                for &id in &ids {
+                    self.stages[id].ops.push(RowOp::Filter(predicate.clone()));
+                }
+                ids
+            }
+            Plan::Project { input, exprs } => {
+                let ids = self.compile(input);
+                for &id in &ids {
+                    self.stages[id].ops.push(RowOp::Project(exprs.clone()));
+                }
+                ids
+            }
+            Plan::BroadcastJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } if self.opts.broadcast_joins => {
+                let lids = self.compile(left);
+                let rids = self.compile(right);
+                assert_eq!(rids.len(), 1, "broadcast side must be a single stream");
+                let rid = rids[0];
+                self.stages[rid].out = StageOut::Broadcast;
+
+                // Dynamic partition pruning: probe side is a bare scan of a
+                // table clustered by the single join key.
+                if self.opts.dpp && left_keys.len() == 1 && lids.len() == 1 {
+                    let lid = lids[0];
+                    let fact_ok = matches!(self.stages[lid].kind, StageKind::Map)
+                        && !self.stages[lid]
+                            .ops
+                            .iter()
+                            .any(|op| matches!(op, RowOp::Project(_)));
+                    if fact_ok {
+                        if let Some(StageLink::Table(t)) = self.stages[lid].links.first() {
+                            let table = t.clone();
+                            if self.catalog.cluster_column(&table) == Some(left_keys[0]) {
+                                let ranges = self.catalog.block_ranges(&table, left_keys[0]);
+                                let target = self.stages[lid].vertex_name();
+                                self.stages[lid].pruned_scan = true;
+                                // The dim side must be a single task so one
+                                // event carries the complete key set.
+                                self.stages[rid].parallelism = Some(1);
+                                let key_col = right_keys[0];
+                                self.stages[rid].ops.push(RowOp::EmitPrune {
+                                    target_vertex: target,
+                                    source: "scan".into(),
+                                    key_col,
+                                    block_ranges: ranges,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                let rname = self.stages[rid].vertex_name();
+                for (i, &lid) in lids.iter().enumerate() {
+                    self.stages[lid].links.push(StageLink::Broadcast(rid));
+                    self.stages[lid].ops.push(RowOp::MapJoin {
+                        input: rname.clone(),
+                        left_keys: left_keys.clone(),
+                        right_keys: right_keys.clone(),
+                        registry_key: format!("mapjoin:{rname}:{i}"),
+                    });
+                }
+                lids
+            }
+            Plan::BroadcastJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                // Broadcast disabled: degrade to a shuffle join.
+                let demoted = Plan::HashJoin {
+                    left: left.clone(),
+                    right: right.clone(),
+                    left_keys: left_keys.clone(),
+                    right_keys: right_keys.clone(),
+                };
+                self.compile(&demoted)
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let lids = self.compile(left);
+                let rids = self.compile(right);
+                for &id in &lids {
+                    self.stages[id].out = StageOut::ShuffleRows {
+                        key_cols: left_keys.clone(),
+                    };
+                }
+                for &id in &rids {
+                    self.stages[id].out = StageOut::ShuffleRows {
+                        key_cols: right_keys.clone(),
+                    };
+                }
+                let mut links = Vec::new();
+                let mut lidx = Vec::new();
+                let mut ridx = Vec::new();
+                for &id in &lids {
+                    lidx.push(links.len());
+                    links.push(StageLink::Shuffle(id));
+                }
+                for &id in &rids {
+                    ridx.push(links.len());
+                    links.push(StageLink::Shuffle(id));
+                }
+                let id = self.new_stage(
+                    links,
+                    StageKind::Join {
+                        left: lidx,
+                        right: ridx,
+                    },
+                    Some(self.opts.reducers),
+                );
+                vec![id]
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let ids = self.compile(input);
+                for &id in &ids {
+                    self.stages[id].out = StageOut::ShuffleForAgg {
+                        group: group_by.clone(),
+                        aggs: aggs.clone(),
+                    };
+                }
+                let parallelism = if group_by.is_empty() {
+                    Some(1) // global aggregate
+                } else {
+                    Some(self.opts.reducers)
+                };
+                let id = self.new_stage(
+                    ids.iter().map(|&i| StageLink::Shuffle(i)).collect(),
+                    StageKind::FinalAgg {
+                        group_cols: group_by.len(),
+                        aggs: aggs.clone(),
+                    },
+                    parallelism,
+                );
+                vec![id]
+            }
+            Plan::OrderBy { input, keys, limit } => {
+                let ids = self.compile(input);
+                for &id in &ids {
+                    self.stages[id].out = match limit {
+                        Some(n) => StageOut::ShuffleForTopK {
+                            keys: keys.clone(),
+                            limit: *n,
+                        },
+                        None => StageOut::ShuffleSort { keys: keys.clone() },
+                    };
+                }
+                let id = self.new_stage(
+                    ids.iter().map(|&i| StageLink::Shuffle(i)).collect(),
+                    StageKind::FinalOrdered { limit: *limit },
+                    Some(1),
+                );
+                vec![id]
+            }
+            Plan::Union { inputs } => inputs.iter().flat_map(|p| self.compile(p)).collect(),
+        }
+    }
+}
+
+/// Rewrite a plan for the MapReduce backend: broadcast joins become shuffle
+/// joins (no broadcast edges or shared registry in classic MR).
+pub fn rewrite_for_mr(plan: &Plan) -> Plan {
+    match plan {
+        Plan::BroadcastJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => Plan::HashJoin {
+            left: Arc::new(rewrite_for_mr(left)),
+            right: Arc::new(rewrite_for_mr(right)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => Plan::HashJoin {
+            left: Arc::new(rewrite_for_mr(left)),
+            right: Arc::new(rewrite_for_mr(right)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+        },
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Arc::new(rewrite_for_mr(input)),
+            predicate: predicate.clone(),
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: Arc::new(rewrite_for_mr(input)),
+            exprs: exprs.clone(),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Arc::new(rewrite_for_mr(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        Plan::OrderBy { input, keys, limit } => Plan::OrderBy {
+            input: Arc::new(rewrite_for_mr(input)),
+            keys: keys.clone(),
+            limit: *limit,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs.iter().map(|p| Arc::new(rewrite_for_mr(p))).collect(),
+        },
+        Plan::Scan { .. } => plan.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage executor (the processor)
+// ---------------------------------------------------------------------------
+
+/// Runtime description of one vertex's work, handed to
+/// [`HiveStageProcessor`] by the backend compilers.
+#[derive(Clone, Debug)]
+pub struct StageExec {
+    /// Kind-specific input handling, with resolved input names.
+    pub kind: ExecKind,
+    /// Row operators.
+    pub ops: Vec<RowOp>,
+    /// Output handling, one entry per consumer (vertices may feed several
+    /// downstream vertices — Pig's multi-output operators, paper §5.3).
+    pub outs: Vec<ExecOut>,
+}
+
+/// Resolved input handling.
+#[derive(Clone, Debug)]
+pub enum ExecKind {
+    /// Read flat rows from the named inputs.
+    MapRows {
+        /// Input names (root sources or flat edges).
+        inputs: Vec<String>,
+    },
+    /// Shuffle join.
+    Join {
+        /// Probe-side input names.
+        left: Vec<String>,
+        /// Build-side input names.
+        right: Vec<String>,
+    },
+    /// Final aggregation.
+    FinalAgg {
+        /// Grouped input names.
+        inputs: Vec<String>,
+        /// Group-key field count.
+        group_cols: usize,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Ordered merge with optional limit.
+    FinalOrdered {
+        /// Grouped input names.
+        inputs: Vec<String>,
+        /// Optional limit.
+        limit: Option<usize>,
+    },
+    /// Deduplicate grouped inputs (Pig DISTINCT): one row per group.
+    FinalDistinct {
+        /// Grouped input names.
+        inputs: Vec<String>,
+    },
+    /// Quantile sampler (Pig ORDER BY / skew join, paper §5.3): collects
+    /// sampled keys from flat inputs and emits `bounds` range boundaries
+    /// as raw keys on its single output.
+    Sampler {
+        /// Flat inputs carrying `(encoded key, empty)` pairs.
+        inputs: Vec<String>,
+        /// Number of boundaries to emit (consumer partitions - 1).
+        bounds: usize,
+    },
+}
+
+/// Resolved output handling.
+#[derive(Clone, Debug)]
+pub enum ExecOut {
+    /// `(key(cols), row)` to `out`.
+    ShuffleRows {
+        /// Output name.
+        out: String,
+        /// Key columns.
+        key_cols: Vec<usize>,
+    },
+    /// Partial aggregation, then `(groupkey, state)` to `out`.
+    ShuffleForAgg {
+        /// Output name.
+        out: String,
+        /// Group columns.
+        group: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Local top-k, then `(sortkey, row)` to `out`.
+    ShuffleForTopK {
+        /// Output name.
+        out: String,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Limit.
+        limit: usize,
+    },
+    /// `(sortkey, row)` to `out`.
+    ShuffleSort {
+        /// Output name.
+        out: String,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Rows (empty key) to `out` — broadcast edges and sinks alike.
+    Rows {
+        /// Output name.
+        out: String,
+    },
+    /// Every `every`-th row's sort key, as `(encoded key, empty)` pairs —
+    /// feeds a [`ExecKind::Sampler`].
+    SampleRows {
+        /// Output name.
+        out: String,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Sampling period (1 = every row).
+        every: usize,
+    },
+    /// Range-partitioned `(sortkey, row)` shuffle: the output's
+    /// partitioner is **reconfigured at runtime** with boundaries computed
+    /// by a sampler (the late-binding IPO configuration hook of §3.2).
+    RangeShuffle {
+        /// Output name.
+        out: String,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Where the boundaries come from.
+        bounds: BoundsSource,
+    },
+}
+
+/// Where runtime range boundaries come from.
+#[derive(Clone, Debug)]
+pub enum BoundsSource {
+    /// A broadcast input carrying `(bound, empty)` pairs (Tez backend).
+    Input(String),
+    /// A DFS file written by an earlier job (classic MapReduce backend:
+    /// "create histograms based on the samples on the client machine",
+    /// paper §5.3).
+    DfsFile(String),
+}
+
+/// Translate a stage's `out` into an exec out aimed at `out_name`.
+pub fn resolve_out(out: &StageOut, out_name: &str) -> ExecOut {
+    match out {
+        StageOut::ShuffleRows { key_cols } => ExecOut::ShuffleRows {
+            out: out_name.to_string(),
+            key_cols: key_cols.clone(),
+        },
+        StageOut::ShuffleForAgg { group, aggs } => ExecOut::ShuffleForAgg {
+            out: out_name.to_string(),
+            group: group.clone(),
+            aggs: aggs.clone(),
+        },
+        StageOut::ShuffleForTopK { keys, limit } => ExecOut::ShuffleForTopK {
+            out: out_name.to_string(),
+            keys: keys.clone(),
+            limit: *limit,
+        },
+        StageOut::ShuffleSort { keys } => ExecOut::ShuffleSort {
+            out: out_name.to_string(),
+            keys: keys.clone(),
+        },
+        StageOut::Broadcast | StageOut::Sink => ExecOut::Rows {
+            out: out_name.to_string(),
+        },
+    }
+}
+
+/// The generic Hive stage processor.
+pub struct HiveStageProcessor {
+    exec: StageExec,
+}
+
+impl HiveStageProcessor {
+    /// New processor for a stage exec.
+    pub fn new(exec: StageExec) -> Self {
+        HiveStageProcessor { exec }
+    }
+}
+
+/// Prepared (stateful) operators for one task run.
+enum PreparedOp {
+    Filter(Expr),
+    Project(Vec<Expr>),
+    MapJoin {
+        table: Arc<HashMap<Vec<u8>, Vec<Row>>>,
+        left_keys: Vec<usize>,
+    },
+    EmitPrune {
+        target_vertex: String,
+        source: String,
+        key_col: usize,
+        block_ranges: Vec<(i64, i64)>,
+        seen: HashSet<i64>,
+    },
+}
+
+fn prepare_ops(
+    ops: &[RowOp],
+    ctx: &mut ProcessorContext<'_, '_>,
+) -> Result<Vec<PreparedOp>, TaskError> {
+    let mut prepared = Vec::with_capacity(ops.len());
+    for op in ops {
+        prepared.push(match op {
+            RowOp::Filter(e) => PreparedOp::Filter(e.clone()),
+            RowOp::Project(es) => PreparedOp::Project(es.clone()),
+            RowOp::MapJoin {
+                input,
+                left_keys,
+                right_keys,
+                registry_key,
+            } => {
+                // The shared object registry avoids rebuilding the hash
+                // table for every task in the container (paper §4.2).
+                let cached = ctx.env.registry.get(registry_key);
+                let table = match cached {
+                    Some(any) => {
+                        ctx.counters.inc(counter_names::REGISTRY_HITS);
+                        any.downcast::<HashMap<Vec<u8>, Vec<Row>>>()
+                            .map_err(|_| TaskError::fatal("registry type mismatch"))?
+                    }
+                    None => {
+                        let mut reader = ctx.reader(input)?.into_kv()?;
+                        let mut map: HashMap<Vec<u8>, Vec<Row>> = HashMap::new();
+                        let mut built = 0u64;
+                        while let Some((_, v)) = reader.next() {
+                            let row = decode_row(&v);
+                            if right_keys.iter().any(|&k| row[k].is_null()) {
+                                continue;
+                            }
+                            let key = encode_key(&row, right_keys, &[]);
+                            map.entry(key).or_default().push(row);
+                            built += 1;
+                        }
+                        ctx.counters.add(MAPJOIN_BUILD_ROWS, built);
+                        let arc = Arc::new(map);
+                        ctx.env.registry.put(
+                            ObjectScope::Dag,
+                            registry_key,
+                            arc.clone() as Arc<dyn std::any::Any + Send + Sync>,
+                        );
+                        arc
+                    }
+                };
+                PreparedOp::MapJoin {
+                    table,
+                    left_keys: left_keys.clone(),
+                }
+            }
+            RowOp::EmitPrune {
+                target_vertex,
+                source,
+                key_col,
+                block_ranges,
+            } => PreparedOp::EmitPrune {
+                target_vertex: target_vertex.clone(),
+                source: source.clone(),
+                key_col: *key_col,
+                block_ranges: block_ranges.clone(),
+                seen: HashSet::new(),
+            },
+        });
+    }
+    Ok(prepared)
+}
+
+fn apply_ops(ops: &mut [PreparedOp], row: Row, out: &mut Vec<Row>) {
+    fn rec(ops: &mut [PreparedOp], row: Row, out: &mut Vec<Row>) {
+        let Some((op, rest)) = ops.split_first_mut() else {
+            out.push(row);
+            return;
+        };
+        match op {
+            PreparedOp::Filter(e) => {
+                if e.matches(&row) {
+                    rec(rest, row, out);
+                }
+            }
+            PreparedOp::Project(es) => {
+                let projected = es.iter().map(|e| e.eval(&row)).collect();
+                rec(rest, projected, out);
+            }
+            PreparedOp::MapJoin { table, left_keys } => {
+                if left_keys.iter().any(|&k| row[k].is_null()) {
+                    return;
+                }
+                let key = encode_key(&row, left_keys, &[]);
+                if let Some(matches) = table.get(&key) {
+                    for m in matches {
+                        let mut joined = row.clone();
+                        joined.extend(m.iter().cloned());
+                        rec(rest, joined, out);
+                    }
+                }
+            }
+            PreparedOp::EmitPrune { key_col, seen, .. } => {
+                if let Datum::I64(v) = &row[*key_col] {
+                    seen.insert(*v);
+                }
+                rec(rest, row, out);
+            }
+        }
+    }
+    rec(ops, row, out);
+}
+
+fn finish_ops(ops: Vec<PreparedOp>, ctx: &mut ProcessorContext<'_, '_>) {
+    for op in ops {
+        if let PreparedOp::EmitPrune {
+            target_vertex,
+            source,
+            block_ranges,
+            seen,
+            ..
+        } = op
+        {
+            let keep: Vec<usize> = block_ranges
+                .iter()
+                .enumerate()
+                .filter(|(_, &(lo, hi))| seen.iter().any(|&v| v >= lo && v <= hi))
+                .map(|(i, _)| i)
+                .collect();
+            ctx.emit(OutboundEvent::InputInitializer {
+                target_vertex,
+                source,
+                payload: tez_core::prune_event_payload(&keep),
+            });
+        }
+    }
+}
+
+/// Output accumulator.
+enum OutAcc {
+    Direct,
+    Agg {
+        groups: BTreeMap<Vec<u8>, Vec<AggState>>,
+    },
+    TopK {
+        rows: Vec<(Vec<u8>, Row)>,
+    },
+    Sample {
+        count: usize,
+    },
+}
+
+impl Processor for HiveStageProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let exec = self.exec.clone();
+        let mut ops = prepare_ops(&exec.ops, ctx)?;
+
+        // Gather the stage's input rows according to its kind.
+        let mut rows: Vec<Row> = Vec::new();
+        match &exec.kind {
+            ExecKind::MapRows { inputs } => {
+                for name in inputs {
+                    let mut reader = ctx.reader(name)?.into_kv()?;
+                    while let Some((_, v)) = reader.next() {
+                        rows.push(decode_row(&v));
+                    }
+                }
+            }
+            ExecKind::Join { left, right } => {
+                let mut build: HashMap<Vec<u8>, Vec<Row>> = HashMap::new();
+                for name in right {
+                    let mut reader = ctx.reader(name)?.into_grouped()?;
+                    while let Some(g) = reader.next_group() {
+                        let entry = build.entry(g.key.to_vec()).or_default();
+                        for v in g.values {
+                            entry.push(decode_row(&v));
+                        }
+                    }
+                }
+                for name in left {
+                    let mut reader = ctx.reader(name)?.into_grouped()?;
+                    while let Some(g) = reader.next_group() {
+                        if let Some(matches) = build.get(g.key.as_ref()) {
+                            for v in g.values {
+                                let lrow = decode_row(&v);
+                                for m in matches {
+                                    let mut joined = lrow.clone();
+                                    joined.extend(m.iter().cloned());
+                                    rows.push(joined);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ExecKind::FinalAgg {
+                inputs,
+                group_cols,
+                aggs,
+            } => {
+                let mut groups: BTreeMap<Vec<u8>, Vec<AggState>> = BTreeMap::new();
+                for name in inputs {
+                    let mut reader = ctx.reader(name)?.into_grouped()?;
+                    while let Some(g) = reader.next_group() {
+                        let entry = groups
+                            .entry(g.key.to_vec())
+                            .or_insert_with(|| aggs.iter().map(AggExpr::init).collect());
+                        for v in g.values {
+                            let partial = row_to_state(aggs, &decode_row(&v));
+                            for (a, (s, p)) in
+                                aggs.iter().zip(entry.iter_mut().zip(partial.iter()))
+                            {
+                                a.merge(s, p);
+                            }
+                        }
+                    }
+                }
+                if *group_cols == 0 && groups.is_empty() {
+                    groups.insert(Vec::new(), aggs.iter().map(AggExpr::init).collect());
+                }
+                for (key, states) in groups {
+                    let mut row = if *group_cols > 0 {
+                        decode_key(&key, *group_cols)
+                    } else {
+                        Vec::new()
+                    };
+                    row.extend(aggs.iter().zip(states).map(|(a, s)| a.finish(s)));
+                    rows.push(row);
+                }
+            }
+            ExecKind::FinalDistinct { inputs } => {
+                let mut seen: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+                let mut uniq: Vec<Row> = Vec::new();
+                for name in inputs {
+                    let mut reader = ctx.reader(name)?.into_grouped()?;
+                    while let Some(g) = reader.next_group() {
+                        if seen.insert(g.key.to_vec()) {
+                            uniq.push(decode_row(&g.values[0]));
+                        }
+                    }
+                }
+                rows.extend(uniq);
+            }
+            ExecKind::Sampler { inputs, bounds } => {
+                // Collect sampled keys, pick evenly-spaced quantiles, and
+                // emit them as raw boundary keys (paper §5.3: "the samples
+                // are collected in a histogram vertex that calculates the
+                // histogram").
+                let mut keys: Vec<Vec<u8>> = Vec::new();
+                for name in inputs {
+                    // Samples arrive flat (unordered edges) or grouped
+                    // (ordered edges in the MR job chain); accept both.
+                    for (k, _) in ctx.reader(name)?.collect_pairs() {
+                        keys.push(k.to_vec());
+                    }
+                }
+                keys.sort();
+                let outs: Vec<String> = exec
+                    .outs
+                    .iter()
+                    .map(|o| match o {
+                        ExecOut::Rows { out } => Ok(out.clone()),
+                        other => Err(TaskError::fatal(format!(
+                            "sampler needs Rows outputs, got {other:?}"
+                        ))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if !keys.is_empty() {
+                    let mut emitted: Vec<Vec<u8>> = Vec::new();
+                    for i in 1..=*bounds {
+                        let idx = (i * keys.len()) / (bounds + 1);
+                        emitted.push(keys[idx.min(keys.len() - 1)].clone());
+                    }
+                    emitted.dedup();
+                    for b in emitted {
+                        for out in &outs {
+                            ctx.write(out, &b, b"")?;
+                        }
+                    }
+                }
+                return Ok(());
+            }
+            ExecKind::FinalOrdered { inputs, limit } => {
+                let mut keyed: Vec<(Vec<u8>, Row)> = Vec::new();
+                for name in inputs {
+                    let mut reader = ctx.reader(name)?.into_grouped()?;
+                    while let Some(g) = reader.next_group() {
+                        for v in g.values {
+                            keyed.push((g.key.to_vec(), decode_row(&v)));
+                        }
+                    }
+                }
+                keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                if let Some(n) = limit {
+                    keyed.truncate(*n);
+                }
+                rows.extend(keyed.into_iter().map(|(_, r)| r));
+            }
+        }
+
+        // Apply operators.
+        let mut processed = Vec::with_capacity(rows.len());
+        for row in rows {
+            apply_ops(&mut ops, row, &mut processed);
+        }
+        finish_ops(ops, ctx);
+
+        // Pre-pass: range-partitioned outputs must be reconfigured with
+        // their runtime boundaries before the first write (§3.2 IPO
+        // configuration).
+        for out in &exec.outs {
+            if let ExecOut::RangeShuffle { out, bounds, .. } = out {
+                let boundary_keys = read_bounds(bounds, ctx)?;
+                let payload = tez_shuffle::io::output_payload(
+                    &tez_shuffle::Partitioner::Range(boundary_keys),
+                    tez_shuffle::Combiner::None,
+                );
+                ctx.reconfigure_output(out, payload.as_bytes())?;
+            }
+        }
+
+        // Emit to every output.
+        let mut accs: Vec<OutAcc> = exec
+            .outs
+            .iter()
+            .map(|o| match o {
+                ExecOut::ShuffleForAgg { .. } => OutAcc::Agg {
+                    groups: BTreeMap::new(),
+                },
+                ExecOut::ShuffleForTopK { .. } => OutAcc::TopK { rows: Vec::new() },
+                ExecOut::SampleRows { .. } => OutAcc::Sample { count: 0 },
+                _ => OutAcc::Direct,
+            })
+            .collect();
+        for row in processed {
+            for (out, acc) in exec.outs.iter().zip(accs.iter_mut()) {
+                match (out, acc) {
+                    (ExecOut::Rows { out }, _) => {
+                        ctx.write(out, b"", &row_bytes(&row))?;
+                    }
+                    (ExecOut::ShuffleRows { out, key_cols }, _) => {
+                        if key_cols.iter().any(|&k| row[k].is_null()) {
+                            continue; // inner join: null keys never match
+                        }
+                        let key = encode_key(&row, key_cols, &[]);
+                        ctx.write(out, &key, &row_bytes(&row))?;
+                    }
+                    (ExecOut::ShuffleForAgg { group, aggs, .. }, OutAcc::Agg { groups }) => {
+                        let key = encode_key(&row, group, &[]);
+                        let entry = groups
+                            .entry(key)
+                            .or_insert_with(|| aggs.iter().map(AggExpr::init).collect());
+                        for (a, s) in aggs.iter().zip(entry.iter_mut()) {
+                            a.update(s, &row);
+                        }
+                    }
+                    (ExecOut::ShuffleForTopK { keys, .. }, OutAcc::TopK { rows }) => {
+                        rows.push((encode_key(&row, &cols(keys), &descs(keys)), row.clone()));
+                    }
+                    (ExecOut::ShuffleSort { out, keys }, _)
+                    | (ExecOut::RangeShuffle { out, keys, .. }, _) => {
+                        let key = encode_key(&row, &cols(keys), &descs(keys));
+                        ctx.write(out, &key, &row_bytes(&row))?;
+                    }
+                    (ExecOut::SampleRows { out, keys, every }, OutAcc::Sample { count }) => {
+                        if *count % every.max(&1) == 0 {
+                            let key = encode_key(&row, &cols(keys), &descs(keys));
+                            ctx.write(out, &key, b"")?;
+                        }
+                        *count += 1;
+                    }
+                    _ => unreachable!("accumulator matches out kind"),
+                }
+            }
+        }
+        for (out, acc) in exec.outs.iter().zip(accs) {
+            match (out, acc) {
+                (ExecOut::ShuffleForAgg { out, .. }, OutAcc::Agg { groups }) => {
+                    for (key, states) in groups {
+                        ctx.write(out, &key, &row_bytes(&state_to_row(&states)))?;
+                    }
+                }
+                (ExecOut::ShuffleForTopK { out, limit, .. }, OutAcc::TopK { mut rows }) => {
+                    rows.sort_by(|a, b| a.0.cmp(&b.0));
+                    rows.truncate(*limit);
+                    for (key, row) in rows {
+                        ctx.write(out, &key, &row_bytes(&row))?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read range boundaries from their source.
+fn read_bounds(
+    bounds: &BoundsSource,
+    ctx: &mut ProcessorContext<'_, '_>,
+) -> Result<Vec<Vec<u8>>, TaskError> {
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    match bounds {
+        BoundsSource::Input(name) => {
+            let mut reader = ctx.reader(name)?.into_kv()?;
+            while let Some((k, _)) = reader.next() {
+                keys.push(k.to_vec());
+            }
+        }
+        BoundsSource::DfsFile(path) => {
+            let blocks = ctx.env.dfs.list_blocks(path).ok_or_else(|| {
+                TaskError::failed(format!("bounds file {path:?} not found"))
+            })?;
+            for b in blocks {
+                if let Some(data) = ctx.env.dfs.read_block(path, b.index) {
+                    let mut c = tez_shuffle::KvCursor::new(data);
+                    while let Some((k, _)) = c.next() {
+                        keys.push(k.to_vec());
+                    }
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    Ok(keys)
+}
+
+fn cols(keys: &[(usize, bool)]) -> Vec<usize> {
+    keys.iter().map(|&(c, _)| c).collect()
+}
+
+fn descs(keys: &[(usize, bool)]) -> Vec<bool> {
+    keys.iter().map(|&(_, d)| d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::types::{ColType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
+            (0..10).map(|i| vec![Datum::I64(i % 3), Datum::I64(i)]).collect(),
+            2,
+            None,
+        );
+        c.add_table(
+            "d",
+            Schema::new(vec![("k", ColType::I64)]),
+            vec![vec![Datum::I64(0)], vec![Datum::I64(1)]],
+            1,
+            None,
+        );
+        c
+    }
+
+    #[test]
+    fn scan_agg_produces_two_stages() {
+        let plan = Plan::scan("t").aggregate(vec![0], vec![AggExpr::CountStar]);
+        let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());
+        assert_eq!(sp.stages.len(), 2);
+        assert!(matches!(sp.stages[0].kind, StageKind::Map));
+        assert!(matches!(sp.stages[0].out, StageOut::ShuffleForAgg { .. }));
+        assert!(matches!(sp.stages[1].kind, StageKind::FinalAgg { .. }));
+        assert_eq!(sp.sink_stages(), vec![1]);
+        assert_eq!(sp.consumer_of(0), Some(1));
+    }
+
+    #[test]
+    fn hash_join_wires_left_right() {
+        let plan = Plan::scan("t").hash_join(Plan::scan("d"), vec![0], vec![0]);
+        let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());
+        assert_eq!(sp.stages.len(), 3);
+        match &sp.stages[2].kind {
+            StageKind::Join { left, right } => {
+                assert_eq!(left.len(), 1);
+                assert_eq!(right.len(), 1);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_join_fuses_into_probe_stage() {
+        let plan = Plan::scan("t").broadcast_join(Plan::scan("d"), vec![0], vec![0]);
+        let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());
+        // Only two stages: the probe map (with MapJoin op) and the dim.
+        assert_eq!(sp.stages.len(), 2);
+        assert!(sp.stages[0]
+            .ops
+            .iter()
+            .any(|op| matches!(op, RowOp::MapJoin { .. })));
+        assert!(matches!(sp.stages[1].out, StageOut::Broadcast));
+        assert!(matches!(sp.stages[0].out, StageOut::Sink));
+    }
+
+    #[test]
+    fn broadcast_disabled_degrades_to_shuffle_join() {
+        let plan = Plan::scan("t").broadcast_join(Plan::scan("d"), vec![0], vec![0]);
+        let opts = PhysicalOpts {
+            broadcast_joins: false,
+            ..Default::default()
+        };
+        let sp = build_stages(&plan, &catalog(), &opts);
+        assert_eq!(sp.stages.len(), 3);
+        assert!(matches!(sp.stages[2].kind, StageKind::Join { .. }));
+    }
+
+    #[test]
+    fn dpp_marks_clustered_fact_scan() {
+        let mut c = catalog();
+        c.add_table(
+            "fact",
+            Schema::new(vec![("date", ColType::I64), ("x", ColType::I64)]),
+            (0..20)
+                .map(|i| vec![Datum::I64(i / 5), Datum::I64(i)])
+                .collect(),
+            4,
+            Some(0),
+        );
+        let plan = Plan::scan("fact").broadcast_join(Plan::scan("d"), vec![0], vec![0]);
+        let sp = build_stages(&plan, &c, &PhysicalOpts::default());
+        assert!(sp.stages[0].pruned_scan);
+        assert_eq!(sp.stages[1].parallelism, Some(1));
+        assert!(sp.stages[1]
+            .ops
+            .iter()
+            .any(|op| matches!(op, RowOp::EmitPrune { .. })));
+    }
+
+    #[test]
+    fn mr_rewrite_removes_broadcast() {
+        let plan = Plan::scan("t")
+            .broadcast_join(Plan::scan("d"), vec![0], vec![0])
+            .aggregate(vec![0], vec![AggExpr::CountStar]);
+        let rewritten = rewrite_for_mr(&plan);
+        fn has_broadcast(p: &Plan) -> bool {
+            match p {
+                Plan::BroadcastJoin { .. } => true,
+                Plan::HashJoin { left, right, .. } => has_broadcast(left) || has_broadcast(right),
+                Plan::Aggregate { input, .. }
+                | Plan::Filter { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::OrderBy { input, .. } => has_broadcast(input),
+                Plan::Union { inputs } => inputs.iter().any(|p| has_broadcast(p)),
+                Plan::Scan { .. } => false,
+            }
+        }
+        assert!(!has_broadcast(&rewritten));
+    }
+
+    #[test]
+    fn union_under_aggregate_fans_in() {
+        let plan = Plan::Union {
+            inputs: vec![
+                Arc::new(Plan::scan("t")),
+                Arc::new(Plan::scan("t")),
+            ],
+        }
+        .aggregate(vec![0], vec![AggExpr::CountStar]);
+        let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());
+        assert_eq!(sp.stages.len(), 3);
+        assert_eq!(sp.stages[2].links.len(), 2);
+    }
+
+    #[test]
+    fn order_by_limit_is_topk() {
+        let plan = Plan::scan("t").order_by(vec![(1, true)], Some(5));
+        let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());
+        assert!(matches!(
+            sp.stages[0].out,
+            StageOut::ShuffleForTopK { limit: 5, .. }
+        ));
+        assert_eq!(sp.stages[1].parallelism, Some(1));
+    }
+}

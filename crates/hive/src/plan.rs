@@ -1,0 +1,642 @@
+//! Logical query plans and the single-process reference executor.
+//!
+//! The reference executor defines the semantics both distributed backends
+//! must reproduce; integration tests compare all three.
+
+use crate::expr::Expr;
+use crate::types::{Datum, Row};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Aggregate functions.
+#[derive(Clone, Debug)]
+pub enum AggExpr {
+    /// `COUNT(*)`
+    CountStar,
+    /// `SUM(e)`
+    Sum(Expr),
+    /// `MIN(e)`
+    Min(Expr),
+    /// `MAX(e)`
+    Max(Expr),
+    /// `AVG(e)`
+    Avg(Expr),
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Table scan with pushed-down filter and projection.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicate.
+        filter: Option<Expr>,
+        /// Pushed-down projection (column indices), `None` = all.
+        project: Option<Vec<usize>>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Projection (arbitrary expressions).
+    Project {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Inner equi-join via shuffle on the keys.
+    HashJoin {
+        /// Left (probe) input.
+        left: Arc<Plan>,
+        /// Right (build) input.
+        right: Arc<Plan>,
+        /// Left key column indices.
+        left_keys: Vec<usize>,
+        /// Right key column indices.
+        right_keys: Vec<usize>,
+    },
+    /// Inner equi-join broadcasting the (small) right side to every task of
+    /// the left — Hive's map join, cached in the shared object registry.
+    BroadcastJoin {
+        /// Big (streamed) input.
+        left: Arc<Plan>,
+        /// Small (broadcast) input.
+        right: Arc<Plan>,
+        /// Left key column indices.
+        left_keys: Vec<usize>,
+        /// Right key column indices.
+        right_keys: Vec<usize>,
+    },
+    /// Group-by aggregation. Output columns: group keys then aggregates.
+    Aggregate {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Grouping columns (may be empty: global aggregate).
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Sort with optional limit (top-k when limited).
+    OrderBy {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// `(column, descending)` sort keys.
+        keys: Vec<(usize, bool)>,
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+    /// Concatenation of same-schema inputs.
+    Union {
+        /// Inputs.
+        inputs: Vec<Arc<Plan>>,
+    },
+}
+
+impl Plan {
+    /// Scan helper.
+    pub fn scan(table: &str) -> Plan {
+        Plan::Scan {
+            table: table.to_string(),
+            filter: None,
+            project: None,
+        }
+    }
+
+    /// Scan with filter.
+    pub fn scan_where(table: &str, filter: Expr) -> Plan {
+        Plan::Scan {
+            table: table.to_string(),
+            filter: Some(filter),
+            project: None,
+        }
+    }
+
+    /// Filter helper.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Arc::new(self),
+            predicate,
+        }
+    }
+
+    /// Project helper.
+    pub fn project(self, exprs: Vec<Expr>) -> Plan {
+        Plan::Project {
+            input: Arc::new(self),
+            exprs,
+        }
+    }
+
+    /// Shuffle join helper.
+    pub fn hash_join(self, right: Plan, left_keys: Vec<usize>, right_keys: Vec<usize>) -> Plan {
+        Plan::HashJoin {
+            left: Arc::new(self),
+            right: Arc::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Broadcast join helper.
+    pub fn broadcast_join(
+        self,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    ) -> Plan {
+        Plan::BroadcastJoin {
+            left: Arc::new(self),
+            right: Arc::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Aggregate helper.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggregate {
+            input: Arc::new(self),
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Order-by helper.
+    pub fn order_by(self, keys: Vec<(usize, bool)>, limit: Option<usize>) -> Plan {
+        Plan::OrderBy {
+            input: Arc::new(self),
+            keys,
+            limit,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation state (shared with the distributed backends)
+// ---------------------------------------------------------------------------
+
+/// Running state of one aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggState {
+    /// COUNT accumulator.
+    Count(i64),
+    /// SUM accumulator (None until a non-null value arrives).
+    Sum(Option<Datum>),
+    /// MIN accumulator.
+    Min(Option<Datum>),
+    /// MAX accumulator.
+    Max(Option<Datum>),
+    /// AVG accumulator: (sum, count).
+    Avg(f64, i64),
+}
+
+impl AggExpr {
+    /// Fresh accumulator.
+    pub fn init(&self) -> AggState {
+        match self {
+            AggExpr::CountStar => AggState::Count(0),
+            AggExpr::Sum(_) => AggState::Sum(None),
+            AggExpr::Min(_) => AggState::Min(None),
+            AggExpr::Max(_) => AggState::Max(None),
+            AggExpr::Avg(_) => AggState::Avg(0.0, 0),
+        }
+    }
+
+    /// Fold one row in.
+    pub fn update(&self, state: &mut AggState, row: &Row) {
+        match (self, state) {
+            (AggExpr::CountStar, AggState::Count(c)) => *c += 1,
+            (AggExpr::Sum(e), AggState::Sum(acc)) => {
+                let v = e.eval(row);
+                if !v.is_null() {
+                    *acc = Some(match acc.take() {
+                        None => v,
+                        Some(Datum::I64(a)) if matches!(v, Datum::I64(_)) => {
+                            Datum::I64(a + v.as_i64())
+                        }
+                        Some(a) => Datum::F64(a.as_f64() + v.as_f64()),
+                    });
+                }
+            }
+            (AggExpr::Min(e), AggState::Min(acc)) => {
+                let v = e.eval(row);
+                if !v.is_null()
+                    && acc
+                        .as_ref()
+                        .is_none_or(|a| v.cmp_sql(a) == Ordering::Less)
+                {
+                    *acc = Some(v);
+                }
+            }
+            (AggExpr::Max(e), AggState::Max(acc)) => {
+                let v = e.eval(row);
+                if !v.is_null()
+                    && acc
+                        .as_ref()
+                        .is_none_or(|a| v.cmp_sql(a) == Ordering::Greater)
+                {
+                    *acc = Some(v);
+                }
+            }
+            (AggExpr::Avg(e), AggState::Avg(s, c)) => {
+                let v = e.eval(row);
+                if !v.is_null() {
+                    *s += v.as_f64();
+                    *c += 1;
+                }
+            }
+            _ => panic!("aggregate/state mismatch"),
+        }
+    }
+
+    /// Merge a partial state (map-side combine) into an accumulator.
+    pub fn merge(&self, state: &mut AggState, other: &AggState) {
+        match (state, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => {
+                if let Some(bv) = b {
+                    *a = Some(match a.take() {
+                        None => bv.clone(),
+                        Some(Datum::I64(x)) if matches!(bv, Datum::I64(_)) => {
+                            Datum::I64(x + bv.as_i64())
+                        }
+                        Some(x) => Datum::F64(x.as_f64() + bv.as_f64()),
+                    });
+                }
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|x| bv.cmp_sql(x) == Ordering::Less) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a
+                        .as_ref()
+                        .is_none_or(|x| bv.cmp_sql(x) == Ordering::Greater)
+                    {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Avg(s, c), AggState::Avg(s2, c2)) => {
+                *s += s2;
+                *c += c2;
+            }
+            _ => panic!("aggregate/state mismatch in merge"),
+        }
+    }
+
+    /// Finish into an output datum.
+    pub fn finish(&self, state: AggState) -> Datum {
+        match state {
+            AggState::Count(c) => Datum::I64(c),
+            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Datum::Null),
+            AggState::Avg(_, 0) => Datum::Null,
+            AggState::Avg(s, c) => Datum::F64(s / c as f64),
+        }
+    }
+}
+
+/// Encode aggregate state as a row (for map-side partial shuffles).
+pub fn state_to_row(states: &[AggState]) -> Row {
+    states
+        .iter()
+        .flat_map(|s| match s {
+            AggState::Count(c) => vec![Datum::I64(*c)],
+            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => {
+                vec![v.clone().unwrap_or(Datum::Null)]
+            }
+            AggState::Avg(s, c) => vec![Datum::F64(*s), Datum::I64(*c)],
+        })
+        .collect()
+}
+
+/// Decode aggregate state from a row (inverse of [`state_to_row`]).
+pub fn row_to_state(aggs: &[AggExpr], row: &Row) -> Vec<AggState> {
+    let mut pos = 0;
+    aggs.iter()
+        .map(|a| {
+            let s = match a {
+                AggExpr::CountStar => AggState::Count(row[pos].as_i64()),
+                AggExpr::Sum(_) => AggState::Sum(nullable(&row[pos])),
+                AggExpr::Min(_) => AggState::Min(nullable(&row[pos])),
+                AggExpr::Max(_) => AggState::Max(nullable(&row[pos])),
+                AggExpr::Avg(_) => {
+                    let s = AggState::Avg(row[pos].as_f64(), row[pos + 1].as_i64());
+                    pos += 1;
+                    s
+                }
+            };
+            pos += 1;
+            s
+        })
+        .collect()
+}
+
+fn nullable(d: &Datum) -> Option<Datum> {
+    if d.is_null() {
+        None
+    } else {
+        Some(d.clone())
+    }
+}
+
+/// Number of row columns one aggregate's state occupies.
+pub fn state_width(aggs: &[AggExpr]) -> usize {
+    aggs.iter()
+        .map(|a| if matches!(a, AggExpr::Avg(_)) { 2 } else { 1 })
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Reference executor
+// ---------------------------------------------------------------------------
+
+/// Execute a plan in memory over the given tables. Defines the semantics
+/// the distributed backends are tested against.
+pub fn execute_reference(plan: &Plan, tables: &HashMap<String, Vec<Row>>) -> Vec<Row> {
+    match plan {
+        Plan::Scan {
+            table,
+            filter,
+            project,
+        } => {
+            let rows = tables
+                .get(table)
+                .unwrap_or_else(|| panic!("unknown table {table:?}"));
+            rows.iter()
+                .filter(|r| filter.as_ref().is_none_or(|f| f.matches(r)))
+                .map(|r| match project {
+                    Some(cols) => cols.iter().map(|&c| r[c].clone()).collect(),
+                    None => r.clone(),
+                })
+                .collect()
+        }
+        Plan::Filter { input, predicate } => execute_reference(input, tables)
+            .into_iter()
+            .filter(|r| predicate.matches(r))
+            .collect(),
+        Plan::Project { input, exprs } => execute_reference(input, tables)
+            .into_iter()
+            .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
+            .collect(),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        }
+        | Plan::BroadcastJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let lrows = execute_reference(left, tables);
+            let rrows = execute_reference(right, tables);
+            let mut build: HashMap<Vec<u8>, Vec<&Row>> = HashMap::new();
+            for r in &rrows {
+                if right_keys.iter().any(|&k| r[k].is_null()) {
+                    continue;
+                }
+                build
+                    .entry(crate::types::encode_key(r, right_keys, &[]))
+                    .or_default()
+                    .push(r);
+            }
+            let mut out = Vec::new();
+            for l in &lrows {
+                if left_keys.iter().any(|&k| l[k].is_null()) {
+                    continue;
+                }
+                let key = crate::types::encode_key(l, left_keys, &[]);
+                if let Some(matches) = build.get(&key) {
+                    for r in matches {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+            out
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = execute_reference(input, tables);
+            let mut groups: Vec<(Vec<u8>, Row, Vec<AggState>)> = Vec::new();
+            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+            for r in rows {
+                let key = crate::types::encode_key(&r, group_by, &[]);
+                let idx = *index.entry(key.clone()).or_insert_with(|| {
+                    let keys: Row = group_by.iter().map(|&c| r[c].clone()).collect();
+                    groups.push((key.clone(), keys, aggs.iter().map(AggExpr::init).collect()));
+                    groups.len() - 1
+                });
+                for (a, s) in aggs.iter().zip(groups[idx].2.iter_mut()) {
+                    a.update(s, &r);
+                }
+            }
+            if group_by.is_empty() && groups.is_empty() {
+                // Global aggregate over zero rows still yields one row.
+                groups.push((
+                    Vec::new(),
+                    Vec::new(),
+                    aggs.iter().map(AggExpr::init).collect(),
+                ));
+            }
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+            groups
+                .into_iter()
+                .map(|(_, mut keys, states)| {
+                    keys.extend(
+                        aggs.iter()
+                            .zip(states)
+                            .map(|(a, s)| a.finish(s)),
+                    );
+                    keys
+                })
+                .collect()
+        }
+        Plan::OrderBy { input, keys, limit } => {
+            let mut rows = execute_reference(input, tables);
+            rows.sort_by(|a, b| compare_rows(a, b, keys));
+            if let Some(n) = limit {
+                rows.truncate(*n);
+            }
+            rows
+        }
+        Plan::Union { inputs } => inputs
+            .iter()
+            .flat_map(|p| execute_reference(p, tables))
+            .collect(),
+    }
+}
+
+/// Row comparison by `(column, descending)` keys.
+pub fn compare_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> Ordering {
+    for &(c, desc) in keys {
+        let ord = a[c].cmp_sql(&b[c]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> HashMap<String, Vec<Row>> {
+        let mut t = HashMap::new();
+        t.insert(
+            "orders".to_string(),
+            vec![
+                vec![Datum::I64(1), Datum::I64(100), Datum::str("A")],
+                vec![Datum::I64(2), Datum::I64(200), Datum::str("B")],
+                vec![Datum::I64(3), Datum::I64(50), Datum::str("A")],
+                vec![Datum::I64(4), Datum::Null, Datum::str("C")],
+            ],
+        );
+        t.insert(
+            "customers".to_string(),
+            vec![
+                vec![Datum::str("A"), Datum::str("alice")],
+                vec![Datum::str("B"), Datum::str("bob")],
+            ],
+        );
+        t
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let p = Plan::scan_where("orders", Expr::col(1).ge(Expr::lit_i64(100)))
+            .project(vec![Expr::col(0)]);
+        let rows = execute_reference(&p, &tables());
+        assert_eq!(rows, vec![vec![Datum::I64(1)], vec![Datum::I64(2)]]);
+    }
+
+    #[test]
+    fn join_drops_null_keys_and_unmatched() {
+        let p = Plan::scan("orders").hash_join(Plan::scan("customers"), vec![2], vec![0]);
+        let rows = execute_reference(&p, &tables());
+        // Orders 1,2,3 match; order 4 ("C") has no customer.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 5);
+    }
+
+    #[test]
+    fn broadcast_join_equals_hash_join() {
+        let h = Plan::scan("orders").hash_join(Plan::scan("customers"), vec![2], vec![0]);
+        let b = Plan::scan("orders").broadcast_join(Plan::scan("customers"), vec![2], vec![0]);
+        let mut rh = execute_reference(&h, &tables());
+        let mut rb = execute_reference(&b, &tables());
+        rh.sort_by(|a, b| compare_rows(a, b, &[(0, false)]));
+        rb.sort_by(|a, b| compare_rows(a, b, &[(0, false)]));
+        assert_eq!(rh, rb);
+    }
+
+    #[test]
+    fn aggregate_with_groups() {
+        let p = Plan::scan("orders").aggregate(
+            vec![2],
+            vec![
+                AggExpr::CountStar,
+                AggExpr::Sum(Expr::col(1)),
+                AggExpr::Avg(Expr::col(1)),
+            ],
+        );
+        let rows = execute_reference(&p, &tables());
+        assert_eq!(rows.len(), 3);
+        // Group "A": 2 rows, sum 150, avg 75.
+        let a = rows.iter().find(|r| r[0] == Datum::str("A")).unwrap();
+        assert_eq!(a[1], Datum::I64(2));
+        assert_eq!(a[2], Datum::I64(150));
+        assert_eq!(a[3], Datum::F64(75.0));
+        // Group "C": sum over only NULL is NULL, count is 1.
+        let c = rows.iter().find(|r| r[0] == Datum::str("C")).unwrap();
+        assert_eq!(c[1], Datum::I64(1));
+        assert!(c[2].is_null());
+        assert!(c[3].is_null());
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let p = Plan::scan_where("orders", Expr::lit_i64(0))
+            .aggregate(vec![], vec![AggExpr::CountStar, AggExpr::Sum(Expr::col(1))]);
+        let rows = execute_reference(&p, &tables());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Datum::I64(0));
+        assert!(rows[0][1].is_null());
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let p = Plan::scan("orders").order_by(vec![(1, true)], Some(2));
+        let rows = execute_reference(&p, &tables());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Datum::I64(200));
+        assert_eq!(rows[1][1], Datum::I64(100));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let p = Plan::Union {
+            inputs: vec![Arc::new(Plan::scan("customers")), Arc::new(Plan::scan("customers"))],
+        };
+        assert_eq!(execute_reference(&p, &tables()).len(), 4);
+    }
+
+    #[test]
+    fn agg_state_row_roundtrip() {
+        let aggs = vec![
+            AggExpr::CountStar,
+            AggExpr::Sum(Expr::col(0)),
+            AggExpr::Avg(Expr::col(0)),
+            AggExpr::Min(Expr::col(0)),
+        ];
+        let mut states: Vec<AggState> = aggs.iter().map(AggExpr::init).collect();
+        let row: Row = vec![Datum::I64(5)];
+        for (a, s) in aggs.iter().zip(states.iter_mut()) {
+            a.update(s, &row);
+            a.update(s, &vec![Datum::I64(3)]);
+        }
+        let encoded = state_to_row(&states);
+        assert_eq!(encoded.len(), state_width(&aggs));
+        let decoded = row_to_state(&aggs, &encoded);
+        assert_eq!(decoded, states);
+    }
+
+    #[test]
+    fn agg_merge_equals_update_all() {
+        let agg = AggExpr::Sum(Expr::col(0));
+        let rows: Vec<Row> = (1..=10).map(|i| vec![Datum::I64(i)]).collect();
+        let mut all = agg.init();
+        for r in &rows {
+            agg.update(&mut all, r);
+        }
+        let mut a = agg.init();
+        let mut b = agg.init();
+        for r in &rows[..5] {
+            agg.update(&mut a, r);
+        }
+        for r in &rows[5..] {
+            agg.update(&mut b, r);
+        }
+        agg.merge(&mut a, &b);
+        assert_eq!(agg.finish(a), agg.finish(all));
+    }
+}

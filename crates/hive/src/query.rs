@@ -1,0 +1,160 @@
+//! A small named-column query builder (dataframe style) on top of
+//! [`Plan`], used by the TPC-H/TPC-DS suites so join/group column indices
+//! are derived from names instead of hand-counted offsets.
+
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::plan::{AggExpr, Plan};
+
+/// A plan under construction together with its output column names.
+#[derive(Clone, Debug)]
+pub struct Q {
+    /// The logical plan so far.
+    pub plan: Plan,
+    /// Output column names, in order.
+    pub cols: Vec<String>,
+}
+
+impl Q {
+    /// Start from a full table scan.
+    pub fn scan(catalog: &Catalog, table: &str) -> Q {
+        Q {
+            plan: Plan::scan(table),
+            cols: catalog
+                .schema(table)
+                .columns
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect(),
+        }
+    }
+
+    /// Index of a named column.
+    pub fn col(&self, name: &str) -> usize {
+        self.cols
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name:?} in {:?}", self.cols))
+    }
+
+    /// Column-reference expression by name.
+    pub fn c(&self, name: &str) -> Expr {
+        Expr::Col(self.col(name))
+    }
+
+    /// Filter rows.
+    pub fn filter(mut self, predicate: Expr) -> Q {
+        self.plan = self.plan.filter(predicate);
+        self
+    }
+
+    /// Project to named expressions.
+    pub fn select(mut self, exprs: Vec<(Expr, &str)>) -> Q {
+        self.cols = exprs.iter().map(|(_, n)| n.to_string()).collect();
+        self.plan = self.plan.project(exprs.into_iter().map(|(e, _)| e).collect());
+        self
+    }
+
+    /// Inner equi-join (shuffle).
+    pub fn join(self, right: Q, on: &[(&str, &str)]) -> Q {
+        let lk = on.iter().map(|(l, _)| self.col(l)).collect();
+        let rk = on.iter().map(|(_, r)| right.col(r)).collect();
+        let mut cols = self.cols.clone();
+        cols.extend(right.cols.iter().cloned());
+        Q {
+            plan: self.plan.hash_join(right.plan, lk, rk),
+            cols,
+        }
+    }
+
+    /// Inner equi-join broadcasting the (small) right side.
+    pub fn broadcast_join(self, right: Q, on: &[(&str, &str)]) -> Q {
+        let lk = on.iter().map(|(l, _)| self.col(l)).collect();
+        let rk = on.iter().map(|(_, r)| right.col(r)).collect();
+        let mut cols = self.cols.clone();
+        cols.extend(right.cols.iter().cloned());
+        Q {
+            plan: self.plan.broadcast_join(right.plan, lk, rk),
+            cols,
+        }
+    }
+
+    /// Group by named columns with named aggregates.
+    pub fn group(self, keys: &[&str], aggs: Vec<(AggExpr, &str)>) -> Q {
+        let key_idx: Vec<usize> = keys.iter().map(|k| self.col(k)).collect();
+        let mut cols: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+        cols.extend(aggs.iter().map(|(_, n)| n.to_string()));
+        Q {
+            plan: self
+                .plan
+                .aggregate(key_idx, aggs.into_iter().map(|(a, _)| a).collect()),
+            cols,
+        }
+    }
+
+    /// Order by named `(column, descending)` keys with optional limit.
+    pub fn order(mut self, keys: &[(&str, bool)], limit: Option<usize>) -> Q {
+        let k: Vec<(usize, bool)> = keys.iter().map(|(n, d)| (self.col(n), *d)).collect();
+        self.plan = self.plan.order_by(k, limit);
+        self
+    }
+
+    /// Union with another query of the same shape.
+    pub fn union(self, other: Q) -> Q {
+        Q {
+            cols: self.cols.clone(),
+            plan: Plan::Union {
+                inputs: vec![std::sync::Arc::new(self.plan), std::sync::Arc::new(other.plan)],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ColType, Datum, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "t",
+            Schema::new(vec![("a", ColType::I64), ("b", ColType::Str)]),
+            vec![vec![Datum::I64(1), Datum::str("x")]],
+            1,
+            None,
+        );
+        c.add_table(
+            "u",
+            Schema::new(vec![("a", ColType::I64), ("c", ColType::I64)]),
+            vec![vec![Datum::I64(1), Datum::I64(9)]],
+            1,
+            None,
+        );
+        c
+    }
+
+    #[test]
+    fn join_extends_columns() {
+        let cat = catalog();
+        let q = Q::scan(&cat, "t").join(Q::scan(&cat, "u"), &[("a", "a")]);
+        assert_eq!(q.cols, vec!["a", "b", "a", "c"]);
+        // First "a" wins positional lookup; use the right-side name "c".
+        assert_eq!(q.col("c"), 3);
+    }
+
+    #[test]
+    fn group_renames_columns() {
+        let cat = catalog();
+        let q = Q::scan(&cat, "t").group(&["b"], vec![(AggExpr::CountStar, "n")]);
+        assert_eq!(q.cols, vec!["b", "n"]);
+        assert_eq!(q.col("n"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let cat = catalog();
+        Q::scan(&cat, "t").col("zzz");
+    }
+}

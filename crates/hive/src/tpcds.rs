@@ -1,0 +1,277 @@
+//! TPC-DS-derived star schema, data generator, and query suite (paper
+//! §6.1: the Hive 0.14 comparison of Figure 8 runs a TPC-DS derived
+//! workload at 30 TB scale).
+//!
+//! The fact table is **clustered by sold-date**, so the dimension-first
+//! broadcast joins enable Hive's dynamic partition pruning (§3.5) on the
+//! Tez backend.
+
+use crate::catalog::Catalog;
+use crate::plan::AggExpr;
+use crate::query::Q;
+use crate::types::{ColType, Datum, Row, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CATEGORIES: &[&str] = &["Books", "Electronics", "Home", "Music", "Shoes", "Sports"];
+const STATES: &[&str] = &["CA", "NY", "TX", "WA", "IL"];
+
+/// Generate a TPC-DS-derived catalog. `fact_rows` sets the store_sales
+/// size; `blocks` its HDFS block count (pruning granularity).
+pub fn generate(fact_rows: usize, blocks: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd5);
+    let mut cat = Catalog::new();
+
+    // Three years of dates at 3 sample days per month: dimensions must
+    // stay small relative to the fact table, since the declared byte
+    // scale multiplies every table uniformly.
+    let mut dates: Vec<Row> = Vec::new();
+    let mut sk = 0i64;
+    for year in 1999..=2001 {
+        for moy in 1..=12 {
+            for dom in 1..=3 {
+                dates.push(vec![
+                    Datum::I64(sk),
+                    Datum::I64(year),
+                    Datum::I64(moy),
+                    Datum::I64(dom % 7),
+                ]);
+                sk += 1;
+            }
+        }
+    }
+    let num_dates = dates.len();
+    cat.add_table(
+        "date_dim",
+        Schema::new(vec![
+            ("d_date_sk", ColType::I64),
+            ("d_year", ColType::I64),
+            ("d_moy", ColType::I64),
+            ("d_dow", ColType::I64),
+        ]),
+        dates,
+        1,
+        None,
+    );
+
+    let num_items = (fact_rows / 50).clamp(10, 2000);
+    cat.add_table(
+        "item",
+        Schema::new(vec![
+            ("i_item_sk", ColType::I64),
+            ("i_brand_id", ColType::I64),
+            ("i_category", ColType::Str),
+            ("i_manager_id", ColType::I64),
+            ("i_current_price", ColType::F64),
+        ]),
+        (0..num_items)
+            .map(|i| {
+                vec![
+                    Datum::I64(i as i64),
+                    Datum::I64(rng.random_range(1..=100)),
+                    Datum::str(CATEGORIES[rng.random_range(0..CATEGORIES.len())]),
+                    Datum::I64(rng.random_range(1..=40)),
+                    Datum::F64(rng.random_range(0.5..300.0)),
+                ]
+            })
+            .collect(),
+        1,
+        None,
+    );
+
+    let num_stores = 12;
+    cat.add_table(
+        "store",
+        Schema::new(vec![
+            ("s_store_sk", ColType::I64),
+            ("s_store_name", ColType::Str),
+            ("s_state", ColType::Str),
+        ]),
+        (0..num_stores)
+            .map(|i| {
+                vec![
+                    Datum::I64(i as i64),
+                    Datum::str(format!("store{i:02}")),
+                    Datum::str(STATES[rng.random_range(0..STATES.len())]),
+                ]
+            })
+            .collect(),
+        1,
+        None,
+    );
+
+    // Fact table clustered by sold-date (the DPP partition column).
+    let sales: Vec<Row> = (0..fact_rows.max(100))
+        .map(|_| {
+            let qty = rng.random_range(1..=20) as i64;
+            let price = rng.random_range(1.0..150.0);
+            vec![
+                Datum::I64(rng.random_range(0..num_dates) as i64),
+                Datum::I64(rng.random_range(0..num_items) as i64),
+                Datum::I64(rng.random_range(0..num_stores) as i64),
+                Datum::I64(qty),
+                Datum::F64(price),
+                Datum::F64(price * qty as f64),
+                Datum::F64(price * qty as f64 * rng.random_range(-0.2..0.4)),
+            ]
+        })
+        .collect();
+    cat.add_table(
+        "store_sales",
+        Schema::new(vec![
+            ("ss_sold_date_sk", ColType::I64),
+            ("ss_item_sk", ColType::I64),
+            ("ss_store_sk", ColType::I64),
+            ("ss_quantity", ColType::I64),
+            ("ss_sales_price", ColType::F64),
+            ("ss_ext_sales_price", ColType::F64),
+            ("ss_net_profit", ColType::F64),
+        ]),
+        sales,
+        blocks,
+        Some(0),
+    );
+    // Dimensions are absolutely small regardless of warehouse scale.
+    for dim in ["date_dim", "item", "store"] {
+        cat.set_scale_override(dim, 1.0);
+    }
+    cat
+}
+
+/// Helper: fact scan ⋈ filtered date_dim (DPP-eligible broadcast join).
+fn sales_in(cat: &Catalog, year: i64, moy: Option<i64>) -> Q {
+    use crate::expr::Expr as E;
+    let d = Q::scan(cat, "date_dim");
+    let mut p = d.c("d_year").eq(E::lit_i64(year));
+    if let Some(m) = moy {
+        p = p.and(d.c("d_moy").eq(E::lit_i64(m)));
+    }
+    let d = d.filter(p);
+    Q::scan(cat, "store_sales").broadcast_join(d, &[("ss_sold_date_sk", "d_date_sk")])
+}
+
+/// The derived query suite: `(name, builder)` pairs.
+pub fn queries(cat: &Catalog) -> Vec<(&'static str, Q)> {
+
+    vec![
+        // Q3: brand revenue for one month.
+        ("q3", {
+            let s = sales_in(cat, 2000, Some(11));
+            let i = Q::scan(cat, "item");
+            let mg = i.c("i_manager_id");
+            let i = i.filter(mg.between(Datum::I64(1), Datum::I64(10)));
+            let j = s.broadcast_join(i, &[("ss_item_sk", "i_item_sk")]);
+            let rev = j.c("ss_ext_sales_price");
+            j.group(
+                &["d_year", "i_brand_id"],
+                vec![(AggExpr::Sum(rev), "sum_agg")],
+            )
+            .order(&[("sum_agg", true), ("i_brand_id", false)], Some(100))
+        }),
+        // Q19: brand revenue by manager for one month, ordered by profit.
+        ("q19", {
+            let s = sales_in(cat, 1999, Some(2));
+            let i = Q::scan(cat, "item");
+            let mg = i.c("i_manager_id");
+            let i = i.filter(mg.between(Datum::I64(1), Datum::I64(20)));
+            let j = s.broadcast_join(i, &[("ss_item_sk", "i_item_sk")]);
+            let rev = j.c("ss_ext_sales_price");
+            j.group(
+                &["i_brand_id", "i_manager_id"],
+                vec![(AggExpr::Sum(rev), "ext_price")],
+            )
+            .order(&[("ext_price", true)], Some(100))
+        }),
+        // Q27: state-level quantity/price averages for one year.
+        ("q27", {
+            let s = sales_in(cat, 2001, None);
+            let st = Q::scan(cat, "store");
+            let j = s.broadcast_join(st, &[("ss_store_sk", "s_store_sk")]);
+            let q = j.c("ss_quantity");
+            let p = j.c("ss_sales_price");
+            j.group(
+                &["s_state"],
+                vec![
+                    (AggExpr::Avg(q), "avg_qty"),
+                    (AggExpr::Avg(p), "avg_price"),
+                    (AggExpr::CountStar, "cnt"),
+                ],
+            )
+            .order(&[("s_state", false)], Some(100))
+        }),
+        // Q42: category revenue for one month.
+        ("q42", {
+            let s = sales_in(cat, 2000, Some(12));
+            let i = Q::scan(cat, "item");
+            let j = s.broadcast_join(i, &[("ss_item_sk", "i_item_sk")]);
+            let rev = j.c("ss_ext_sales_price");
+            j.group(
+                &["d_year", "i_category"],
+                vec![(AggExpr::Sum(rev), "sum_sales")],
+            )
+            .order(&[("sum_sales", true)], Some(100))
+        }),
+        // Q52: brand revenue for one month (ordered by brand).
+        ("q52", {
+            let s = sales_in(cat, 2000, Some(11));
+            let i = Q::scan(cat, "item");
+            let j = s.broadcast_join(i, &[("ss_item_sk", "i_item_sk")]);
+            let rev = j.c("ss_ext_sales_price");
+            j.group(
+                &["d_year", "i_brand_id"],
+                vec![(AggExpr::Sum(rev), "ext_price")],
+            )
+            .order(&[("d_year", false), ("ext_price", true)], Some(100))
+        }),
+        // Q55: brand revenue for one manager cohort.
+        ("q55", {
+            let s = sales_in(cat, 1999, Some(11));
+            let i = Q::scan(cat, "item");
+            let mg = i.c("i_manager_id");
+            let i = i.filter(mg.between(Datum::I64(20), Datum::I64(40)));
+            let j = s.broadcast_join(i, &[("ss_item_sk", "i_item_sk")]);
+            let rev = j.c("ss_ext_sales_price");
+            j.group(&["i_brand_id"], vec![(AggExpr::Sum(rev), "ext_price")])
+                .order(&[("ext_price", true), ("i_brand_id", false)], Some(100))
+        }),
+        // Q65-ish: store/item revenue via two joins and a shuffle join on
+        // the (large) aggregate — exercises the multi-job MR path hard.
+        ("q65", {
+            let s = sales_in(cat, 2000, None);
+            let agg = s.group(
+                &["ss_store_sk", "ss_item_sk"],
+                vec![(AggExpr::Sum(Q::scan(cat, "store_sales").c("ss_sales_price")), "revenue")],
+            );
+            let st = Q::scan(cat, "store");
+            let j = agg.broadcast_join(st, &[("ss_store_sk", "s_store_sk")]);
+            j.order(&[("revenue", true)], Some(50))
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_table_is_date_clustered() {
+        let cat = generate(500, 8, 3);
+        assert_eq!(cat.cluster_column("store_sales"), Some(0));
+        let ranges = cat.block_ranges("store_sales", 0);
+        assert_eq!(ranges.len(), 8);
+        // Clustered: ranges are non-overlapping and increasing.
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn all_queries_run_on_reference() {
+        let cat = generate(600, 8, 3);
+        let tables = cat.reference_tables();
+        for (name, q) in queries(&cat) {
+            let rows = crate::plan::execute_reference(&q.plan, &tables);
+            assert!(!rows.is_empty(), "{name} returned no rows");
+        }
+    }
+}

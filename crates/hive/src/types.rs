@@ -1,0 +1,350 @@
+//! Typed rows: datums, schemas, and the binary row/key codecs.
+//!
+//! Rows travel the data plane as the *value* of key-value frames; shuffle
+//! *keys* use order-preserving encoding (`tez-shuffle::codec`) so byte
+//! comparison equals typed comparison, letting the generic sorted shuffle
+//! sort and group typed data without knowing the types.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+use tez_shuffle::codec::{KeyBuilder, KeyReader};
+
+/// A single value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Datum {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer (also used for dates as `yyyymmdd`).
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// UTF-8 string (cheaply clonable).
+    Str(Arc<str>),
+}
+
+impl Datum {
+    /// String datum.
+    pub fn str(s: impl AsRef<str>) -> Datum {
+        Datum::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Whether NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Integer value (panics on mismatch — engine-internal invariants).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Datum::I64(v) => *v,
+            other => panic!("expected I64, found {other:?}"),
+        }
+    }
+
+    /// Float value, coercing integers.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Datum::F64(v) => *v,
+            Datum::I64(v) => *v as f64,
+            other => panic!("expected numeric, found {other:?}"),
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Datum::Str(s) => s,
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// SQL comparison: NULL sorts first; numeric types coerce.
+    pub fn cmp_sql(&self, other: &Datum) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (I64(a), I64(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::I64(v) => write!(f, "{v}"),
+            Datum::F64(v) => write!(f, "{v:.4}"),
+            Datum::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A row of datums.
+pub type Row = Vec<Datum>;
+
+/// Column types (for schema documentation; execution is dynamically typed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColType {
+    /// Integer / date.
+    I64,
+    /// Float.
+    F64,
+    /// String.
+    Str,
+}
+
+/// A named, typed column list.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    /// `(name, type)` per column.
+    pub columns: Vec<(String, ColType)>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new(columns: Vec<(&str, ColType)>) -> Self {
+        Schema {
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no column {name:?} in schema"))
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row codec (value side of kv frames)
+// ---------------------------------------------------------------------------
+
+/// Encode a row into `buf`.
+pub fn encode_row(buf: &mut Vec<u8>, row: &Row) {
+    buf.push(row.len() as u8);
+    for d in row {
+        match d {
+            Datum::Null => buf.push(0),
+            Datum::I64(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::F64(v) => {
+                buf.push(2);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            Datum::Str(s) => {
+                buf.push(3);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Encode a row into fresh bytes.
+pub fn row_bytes(row: &Row) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 * row.len());
+    encode_row(&mut buf, row);
+    buf
+}
+
+/// Decode a row.
+pub fn decode_row(data: &[u8]) -> Row {
+    let n = data[0] as usize;
+    let mut pos = 1;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = data[pos];
+        pos += 1;
+        row.push(match tag {
+            0 => Datum::Null,
+            1 => {
+                let v = i64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                Datum::I64(v)
+            }
+            2 => {
+                let v = f64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                Datum::F64(v)
+            }
+            3 => {
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += 4;
+                let s = std::str::from_utf8(&data[pos..pos + len]).expect("row string utf8");
+                pos += len;
+                Datum::str(s)
+            }
+            t => panic!("bad datum tag {t}"),
+        });
+    }
+    row
+}
+
+/// Decode a row from shared bytes.
+pub fn decode_row_bytes(data: &Bytes) -> Row {
+    decode_row(data)
+}
+
+// ---------------------------------------------------------------------------
+// Key codec (order-preserving, for shuffle keys)
+// ---------------------------------------------------------------------------
+
+/// Encode selected columns of a row into an order-preserving key.
+///
+/// `desc[i]` inverts every byte of field `i`, reversing its order (and
+/// placing NULLs last, matching descending SQL sorts). Descending fields
+/// cannot be decoded back — they exist only for comparison; group-by keys
+/// are always ascending.
+pub fn encode_key(row: &Row, cols: &[usize], desc: &[bool]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cols.len() * 10);
+    for (i, &c) in cols.iter().enumerate() {
+        let mut kb = KeyBuilder::new();
+        match &row[c] {
+            Datum::Null => {
+                kb.push_tag(0);
+            }
+            Datum::I64(v) => {
+                kb.push_tag(1);
+                kb.push_i64(*v);
+            }
+            Datum::F64(v) => {
+                kb.push_tag(2);
+                kb.push_f64(*v);
+            }
+            Datum::Str(s) => {
+                kb.push_tag(3);
+                kb.push_str(s);
+            }
+        }
+        let field = kb.finish();
+        if desc.get(i).copied().unwrap_or(false) {
+            out.extend(field.iter().map(|b| !b));
+        } else {
+            out.extend_from_slice(&field);
+        }
+    }
+    out
+}
+
+/// Decode the datum fields of a key produced by [`encode_key`] with no
+/// descending fields.
+pub fn decode_key(key: &[u8], fields: usize) -> Row {
+    let mut r = KeyReader::new(key);
+    let mut out = Vec::with_capacity(fields);
+    for _ in 0..fields {
+        match r.read_tag() {
+            0 => out.push(Datum::Null),
+            1 => out.push(Datum::I64(r.read_i64())),
+            2 => out.push(Datum::F64(r.read_f64())),
+            3 => out.push(Datum::str(r.read_str())),
+            t => panic!("bad key tag {t}"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datum_sql_ordering() {
+        assert_eq!(Datum::Null.cmp_sql(&Datum::I64(0)), Ordering::Less);
+        assert_eq!(Datum::I64(2).cmp_sql(&Datum::F64(2.5)), Ordering::Less);
+        assert_eq!(
+            Datum::str("a").cmp_sql(&Datum::str("b")),
+            Ordering::Less
+        );
+        assert_eq!(Datum::Null.cmp_sql(&Datum::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn row_codec_roundtrip() {
+        let row: Row = vec![
+            Datum::Null,
+            Datum::I64(-42),
+            Datum::F64(2.75),
+            Datum::str("hello \u{1F980}"),
+        ];
+        assert_eq!(decode_row(&row_bytes(&row)), row);
+    }
+
+    #[test]
+    fn empty_row_roundtrip() {
+        let row: Row = vec![];
+        assert_eq!(decode_row(&row_bytes(&row)), row);
+    }
+
+    #[test]
+    fn key_encoding_orders_like_sql() {
+        let rows: Vec<Row> = vec![
+            vec![Datum::Null],
+            vec![Datum::I64(-5)],
+            vec![Datum::I64(3)],
+            vec![Datum::I64(100)],
+        ];
+        let keys: Vec<Vec<u8>> = rows.iter().map(|r| encode_key(r, &[0], &[])).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn composite_key_roundtrip() {
+        let row: Row = vec![Datum::I64(7), Datum::str("x"), Datum::Null, Datum::F64(1.5)];
+        let key = encode_key(&row, &[0, 1, 2, 3], &[]);
+        assert_eq!(decode_key(&key, 4), row);
+    }
+
+    #[test]
+    fn descending_key_reverses_order() {
+        let a = encode_key(&vec![Datum::I64(1)], &[0], &[true]);
+        let b = encode_key(&vec![Datum::I64(2)], &[0], &[true]);
+        assert!(b < a, "descending: larger value sorts first");
+        let s1 = encode_key(&vec![Datum::str("ab")], &[0], &[true]);
+        let s2 = encode_key(&vec![Datum::str("abc")], &[0], &[true]);
+        assert!(s2 < s1, "descending strings: longer prefix first");
+        // NULLs last under descending order.
+        let n = encode_key(&vec![Datum::Null], &[0], &[true]);
+        assert!(n > a);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![("a", ColType::I64), ("b", ColType::Str)]);
+        assert_eq!(s.col("b"), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn schema_missing_column_panics() {
+        Schema::new(vec![("a", ColType::I64)]).col("z");
+    }
+}

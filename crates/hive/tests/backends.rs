@@ -1,0 +1,173 @@
+//! Backend equivalence: for every TPC-H- and TPC-DS-derived query, the Tez
+//! backend, the classic MapReduce backend, and the in-memory reference
+//! executor must produce identical results — and Tez must not be slower.
+
+use tez_hive::plan::compare_rows;
+use tez_hive::types::{Datum, Row};
+use tez_hive::{tpcds, tpch, HiveEngine, HiveOpts, Plan};
+use tez_core::TezClient;
+use tez_runtime::counter_names;
+use tez_yarn::{ClusterSpec, CostModel};
+
+fn client() -> TezClient {
+    TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(CostModel {
+        straggler_prob: 0.0,
+        ..CostModel::default()
+    })
+}
+
+/// Order rows canonically for comparison. Ordered queries (limit) are
+/// compared as-is.
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let keys: Vec<(usize, bool)> = (0..width).map(|i| (i, false)).collect();
+    rows.sort_by(|a, b| compare_rows(a, b, &keys));
+    rows
+}
+
+/// Floats accumulate in different orders across backends; compare with a
+/// tolerance.
+fn rows_equal(a: &[Row], b: &[Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                (Datum::F64(p), Datum::F64(q)) => {
+                    (p - q).abs() <= 1e-6 * (1.0 + p.abs().max(q.abs()))
+                }
+                _ => x == y,
+            })
+    })
+}
+
+fn is_ordered_query(plan: &Plan) -> bool {
+    matches!(plan, Plan::OrderBy { limit: Some(_), .. })
+}
+
+fn check_suite(queries: Vec<(&'static str, tez_hive::Q)>, engine: &HiveEngine) {
+    let client = client();
+    let opts = HiveOpts::default();
+    for (name, q) in queries {
+        eprintln!("== {name}");
+        let expected = engine.reference(&q.plan);
+        let tez = engine.run_tez(&client, name, &q.plan, &opts);
+        assert!(tez.success(), "{name} tez failed: {:?}", tez.reports);
+        let mr = engine.run_mr(&client, name, &q.plan, &opts);
+        assert!(mr.success(), "{name} mr failed: {:?}", mr.reports);
+
+        let (e, t, m) = if is_ordered_query(&q.plan) {
+            (expected, tez.rows.clone(), mr.rows.clone())
+        } else {
+            (canon(expected), canon(tez.rows.clone()), canon(mr.rows.clone()))
+        };
+        assert!(
+            rows_equal(&e, &t),
+            "{name}: tez mismatch\nexpected {:?}\n     got {:?}",
+            e.iter().take(3).collect::<Vec<_>>(),
+            t.iter().take(3).collect::<Vec<_>>()
+        );
+        assert!(
+            rows_equal(&e, &m),
+            "{name}: mr mismatch\nexpected {:?}\n     got {:?}",
+            e.iter().take(3).collect::<Vec<_>>(),
+            m.iter().take(3).collect::<Vec<_>>()
+        );
+        assert!(
+            tez.runtime_ms() <= mr.runtime_ms(),
+            "{name}: tez ({}) slower than mr ({})",
+            tez.runtime_ms(),
+            mr.runtime_ms()
+        );
+    }
+}
+
+#[test]
+fn tpch_suite_backends_agree() {
+    let catalog = tpch::generate(600, 4, 7);
+    let engine = HiveEngine::new(catalog);
+    let queries = tpch::queries(&engine.catalog);
+    check_suite(queries, &engine);
+}
+
+#[test]
+fn tpcds_suite_backends_agree() {
+    let catalog = tpcds::generate(800, 8, 7);
+    let engine = HiveEngine::new(catalog);
+    let queries = tpcds::queries(&engine.catalog);
+    check_suite(queries, &engine);
+}
+
+#[test]
+fn dpp_prunes_fact_blocks_on_tez() {
+    let catalog = tpcds::generate(800, 16, 7);
+    let engine = HiveEngine::new(catalog);
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q3")
+        .unwrap()
+        .1;
+    let client = client();
+    let with_dpp = engine.run_tez(&client, "q3dpp", &q.plan, &HiveOpts::default());
+    assert!(with_dpp.success());
+    let pruned = with_dpp.reports[0].counters.get(counter_names::PRUNED_SPLITS);
+    assert!(pruned > 0, "q3 (one month of three years) must prune blocks");
+
+    let no_dpp = engine.run_tez(
+        &client,
+        "q3nodpp",
+        &q.plan,
+        &HiveOpts {
+            dpp: false,
+            ..HiveOpts::default()
+        },
+    );
+    assert!(no_dpp.success());
+    assert_eq!(no_dpp.reports[0].counters.get(counter_names::PRUNED_SPLITS), 0);
+    assert!(rows_equal(
+        &canon(with_dpp.rows.clone()),
+        &canon(no_dpp.rows.clone())
+    ));
+    assert!(
+        with_dpp.runtime_ms() <= no_dpp.runtime_ms(),
+        "pruning must not slow the query ({} vs {})",
+        with_dpp.runtime_ms(),
+        no_dpp.runtime_ms()
+    );
+}
+
+#[test]
+fn broadcast_join_uses_object_registry() {
+    let catalog = tpcds::generate(800, 8, 7);
+    let engine = HiveEngine::new(catalog);
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q42")
+        .unwrap()
+        .1;
+    // A small cluster forces several tasks through each container, so the
+    // second task in a container finds the hash table cached.
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 2048, 2)).with_cost(CostModel {
+        straggler_prob: 0.0,
+        ..CostModel::default()
+    });
+    // One split per block so the probe vertex runs several tasks.
+    let config = tez_core::TezConfig {
+        min_split_bytes: 1,
+        max_split_bytes: 1,
+        ..tez_core::TezConfig::default()
+    };
+    // DPP off: all fact blocks scan, so the probe vertex runs many tasks.
+    let opts = HiveOpts {
+        dpp: false,
+        ..HiveOpts::default()
+    };
+    let res = engine.run_tez_with(&client, "q42", &q.plan, &opts, config);
+    assert!(res.success());
+    // With container reuse, later tasks find the hash table cached.
+    assert!(
+        res.reports[0].counters.get(counter_names::REGISTRY_HITS) > 0,
+        "map-join hash tables should be re-used across tasks in a container"
+    );
+}

@@ -1,0 +1,456 @@
+//! # tez-mapreduce — MapReduce on Tez, plus the classic baseline
+//!
+//! Paper §5.1: "MapReduce can be easily written as a Tez based application
+//! and, in fact, the Tez project comes with a built-in implementation of
+//! MapReduce. … At its core, it is a simple 2 vertex connected graph."
+//!
+//! This crate provides:
+//!
+//! * The [`Mapper`]/[`Reducer`] programming interface and the
+//!   [`MapProcessor`]/[`ReduceProcessor`] adapters hosting user code inside
+//!   Tez IPO tasks.
+//! * [`MrJob`] — a job description, compiled by [`mr_dag`] into the
+//!   canonical map→(scatter-gather)→reduce Tez DAG.
+//! * [`run_job_chain`] — the **classic MapReduce baseline**: each job runs
+//!   with [`TezConfig::mapreduce_baseline`] semantics (fresh AM per job, no
+//!   container reuse, fixed reducer count, late reducer slow-start) and
+//!   materializes its output to the replicated DFS, which the next job
+//!   re-reads. Engines compare their Tez backend against chains built from
+//!   these jobs, exactly as the paper compares Hive/Pig-on-Tez against
+//!   Hive/Pig-on-MR.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use tez_core::{hdfs_split_initializer, DagReport, TezClient, TezConfig};
+use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_runtime::{ComponentRegistry, Processor, ProcessorContext, TaskError};
+use tez_shuffle::io::{kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+use tez_yarn::SimHdfs;
+
+/// Emits key-value pairs from user code.
+pub trait MrEmitter {
+    /// Emit one pair.
+    fn emit(&mut self, key: &[u8], value: &[u8]);
+}
+
+/// The map side of a MapReduce job.
+pub trait Mapper: Send {
+    /// Called once per input record.
+    fn map(&mut self, key: &[u8], value: &[u8], out: &mut dyn MrEmitter);
+}
+
+/// The reduce side of a MapReduce job.
+pub trait Reducer: Send {
+    /// Called once per key group, values in merge order.
+    fn reduce(&mut self, key: &[u8], values: &[Bytes], out: &mut dyn MrEmitter);
+}
+
+/// Factory types for user code (registered once per kind, like class names).
+pub type MapperFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn Mapper> + Send + Sync>;
+/// Factory for reducers.
+pub type ReducerFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn Reducer> + Send + Sync>;
+
+struct VecEmitter(Vec<(Vec<u8>, Vec<u8>)>);
+impl MrEmitter for VecEmitter {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.0.push((key.to_vec(), value.to_vec()));
+    }
+}
+
+/// Hosts a [`Mapper`] in a Tez task: reads every input flat, writes every
+/// emitted pair to the single output.
+pub struct MapProcessor {
+    mapper: Box<dyn Mapper>,
+}
+
+impl Processor for MapProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let mut emitter = VecEmitter(Vec::new());
+        for name in ctx.input_names() {
+            let mut reader = ctx.reader(&name)?.into_kv()?;
+            while let Some((k, v)) = reader.next() {
+                self.mapper.map(&k, &v, &mut emitter);
+            }
+        }
+        let out = ctx
+            .output_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| TaskError::fatal("map vertex has no output"))?;
+        for (k, v) in emitter.0 {
+            ctx.write(&out, &k, &v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Hosts a [`Reducer`] in a Tez task: reads the grouped shuffle input,
+/// writes every emitted pair to the single output.
+pub struct ReduceProcessor {
+    reducer: Box<dyn Reducer>,
+}
+
+impl Processor for ReduceProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let input = ctx
+            .input_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| TaskError::fatal("reduce vertex has no input"))?;
+        let mut reader = ctx.reader(&input)?.into_grouped()?;
+        let mut emitter = VecEmitter(Vec::new());
+        while let Some(g) = reader.next_group() {
+            self.reducer.reduce(&g.key, &g.values, &mut emitter);
+        }
+        let out = ctx
+            .output_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| TaskError::fatal("reduce vertex has no output"))?;
+        for (k, v) in emitter.0 {
+            ctx.write(&out, &k, &v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Register a mapper kind; it becomes usable as a processor kind in DAGs.
+pub fn register_mapper<F>(registry: &mut ComponentRegistry, kind: &str, factory: F)
+where
+    F: Fn(&UserPayload) -> Box<dyn Mapper> + Send + Sync + 'static,
+{
+    registry.register_processor(kind, move |p| {
+        Box::new(MapProcessor { mapper: factory(p) })
+    });
+}
+
+/// Register a reducer kind; it becomes usable as a processor kind in DAGs.
+pub fn register_reducer<F>(registry: &mut ComponentRegistry, kind: &str, factory: F)
+where
+    F: Fn(&UserPayload) -> Box<dyn Reducer> + Send + Sync + 'static,
+{
+    registry.register_processor(kind, move |p| {
+        Box::new(ReduceProcessor { reducer: factory(p) })
+    });
+}
+
+/// One MapReduce job.
+#[derive(Clone, Debug)]
+pub struct MrJob {
+    /// Job (and DAG) name.
+    pub name: String,
+    /// Input DFS path.
+    pub input: String,
+    /// Output DFS path.
+    pub output: String,
+    /// Registered mapper processor kind + payload.
+    pub mapper: NamedDescriptor,
+    /// Registered reducer processor kind + payload (`None` = map-only job).
+    pub reducer: Option<NamedDescriptor>,
+    /// Reducer count (MapReduce's fixed, user-guessed number — the problem
+    /// §3.4 solves).
+    pub reducers: usize,
+    /// Shuffle combiner.
+    pub combiner: Combiner,
+}
+
+impl MrJob {
+    /// A map+reduce job.
+    pub fn new(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+        mapper: NamedDescriptor,
+        reducer: NamedDescriptor,
+        reducers: usize,
+    ) -> Self {
+        MrJob {
+            name: name.into(),
+            input: input.into(),
+            output: output.into(),
+            mapper,
+            reducer: Some(reducer),
+            reducers: reducers.max(1),
+            combiner: Combiner::None,
+        }
+    }
+
+    /// Set the combiner.
+    pub fn with_combiner(mut self, combiner: Combiner) -> Self {
+        self.combiner = combiner;
+        self
+    }
+}
+
+/// Compile a job into the canonical 2-vertex Tez DAG (paper §5.1).
+pub fn mr_dag(job: &MrJob, min_split: u64, max_split: u64) -> Dag {
+    let sink = |v: Vertex| {
+        v.with_data_sink(
+            "out",
+            NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str(&job.output)),
+            Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+        )
+    };
+    let map = Vertex::new("map", job.mapper.clone()).with_data_source(
+        "in",
+        NamedDescriptor::new(kinds::DFS_IN),
+        Some(hdfs_split_initializer(&job.input, min_split, max_split, false)),
+    );
+    let builder = DagBuilder::new(&job.name);
+    match &job.reducer {
+        Some(reducer) => builder
+            .add_vertex(map)
+            .add_vertex(sink(
+                Vertex::new("reduce", reducer.clone()).with_parallelism(job.reducers),
+            ))
+            .add_edge("map", "reduce", scatter_gather_edge(job.combiner))
+            .build()
+            .expect("mr dag is structurally valid"),
+        None => builder.add_vertex(sink(map)).build().expect("map-only dag"),
+    }
+}
+
+/// Run a chain of jobs under **classic MapReduce semantics**: per-job AM
+/// launch, no container reuse, fixed reducers, late slow-start, inter-job
+/// materialization through the replicated DFS. This is the baseline every
+/// engine compares its Tez backend against.
+pub fn run_job_chain(
+    client: &TezClient,
+    jobs: &[MrJob],
+    registry: ComponentRegistry,
+    byte_scale: f64,
+    setup: impl FnOnce(&mut SimHdfs),
+) -> Vec<DagReport> {
+    let config = TezConfig {
+        byte_scale,
+        ..TezConfig::mapreduce_baseline()
+    };
+    run_job_chain_with(client, jobs, registry, config, setup)
+}
+
+/// [`run_job_chain`] with a custom base config (tests/ablations).
+pub fn run_job_chain_with(
+    client: &TezClient,
+    jobs: &[MrJob],
+    registry: ComponentRegistry,
+    config: TezConfig,
+    setup: impl FnOnce(&mut SimHdfs),
+) -> Vec<DagReport> {
+    let dags = jobs
+        .iter()
+        .map(|j| mr_dag(j, config.min_split_bytes, config.max_split_bytes))
+        .collect();
+    let run = client.run_session(dags, registry, config, setup);
+    run.reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tez_core::standard_registry;
+    use tez_runtime::Dfs;
+    use tez_shuffle::codec::{encode_kv, KvCursor};
+    use tez_yarn::{ClusterSpec, CostModel};
+
+    struct WordSplit;
+    impl Mapper for WordSplit {
+        fn map(&mut self, _k: &[u8], v: &[u8], out: &mut dyn MrEmitter) {
+            for w in String::from_utf8_lossy(v).split_whitespace() {
+                out.emit(w.as_bytes(), &1u64.to_le_bytes());
+            }
+        }
+    }
+
+    struct Sum;
+    impl Reducer for Sum {
+        fn reduce(&mut self, key: &[u8], values: &[Bytes], out: &mut dyn MrEmitter) {
+            let total: u64 = values
+                .iter()
+                .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+                .sum();
+            out.emit(key, &total.to_le_bytes());
+        }
+    }
+
+    /// Second job: keep only words with count >= 2.
+    struct Threshold;
+    impl Mapper for Threshold {
+        fn map(&mut self, k: &[u8], v: &[u8], out: &mut dyn MrEmitter) {
+            if u64::from_le_bytes(v[..8].try_into().unwrap()) >= 2 {
+                out.emit(k, v);
+            }
+        }
+    }
+
+    struct Identity;
+    impl Reducer for Identity {
+        fn reduce(&mut self, key: &[u8], values: &[Bytes], out: &mut dyn MrEmitter) {
+            for v in values {
+                out.emit(key, v);
+            }
+        }
+    }
+
+    fn registry() -> ComponentRegistry {
+        let mut r = standard_registry();
+        register_mapper(&mut r, "WordSplit", |_| Box::new(WordSplit));
+        register_reducer(&mut r, "Sum", |_| Box::new(Sum));
+        register_mapper(&mut r, "Threshold", |_| Box::new(Threshold));
+        register_reducer(&mut r, "Identity", |_| Box::new(Identity));
+        r
+    }
+
+    fn corpus(hdfs: &mut SimHdfs) {
+        let lines = ["a b a", "c a b", "d"];
+        let blocks = lines
+            .iter()
+            .map(|l| {
+                let mut buf = Vec::new();
+                encode_kv(&mut buf, b"", l.as_bytes());
+                (Bytes::from(buf), 1u64)
+            })
+            .collect();
+        hdfs.put_file("/in", blocks);
+    }
+
+    fn client() -> TezClient {
+        TezClient::new(ClusterSpec::homogeneous(2, 8192, 8)).with_cost(CostModel {
+            straggler_prob: 0.0,
+            ..CostModel::default()
+        })
+    }
+
+    fn read_kv(hdfs: &SimHdfs, path: &str) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for b in hdfs.list_blocks(path).expect("output exists") {
+            let mut c = KvCursor::new(hdfs.read_block(path, b.index).unwrap());
+            while let Some((k, v)) = c.next() {
+                out.push((
+                    String::from_utf8(k.to_vec()).unwrap(),
+                    u64::from_le_bytes(v[..8].try_into().unwrap()),
+                ));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn two_job_chain_produces_correct_output() {
+        let jobs = vec![
+            MrJob::new(
+                "wordcount",
+                "/in",
+                "/wc",
+                NamedDescriptor::new("WordSplit"),
+                NamedDescriptor::new("Sum"),
+                2,
+            )
+            .with_combiner(Combiner::SumU64),
+            MrJob::new(
+                "threshold",
+                "/wc",
+                "/final",
+                NamedDescriptor::new("Threshold"),
+                NamedDescriptor::new("Identity"),
+                1,
+            ),
+        ];
+        let c = client();
+        let reports = run_job_chain(&c, &jobs, registry(), 1.0, corpus);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.status.is_success()));
+
+        // Re-run to inspect HDFS (run_job_chain consumes its run).
+        let run = c.run_session(
+            jobs.iter().map(|j| mr_dag(j, 1, 1 << 30)).collect(),
+            registry(),
+            TezConfig::mapreduce_baseline(),
+            corpus,
+        );
+        assert_eq!(
+            read_kv(run.hdfs(), "/final"),
+            vec![("a".to_string(), 3), ("b".to_string(), 2)]
+        );
+        // Intermediate output materialized to the DFS, as MR must.
+        assert!(run.hdfs().exists("/wc"));
+    }
+
+    #[test]
+    fn map_only_job() {
+        let job = MrJob {
+            name: "ident".into(),
+            input: "/in".into(),
+            output: "/copy".into(),
+            mapper: NamedDescriptor::new("WordSplit"),
+            reducer: None,
+            reducers: 1,
+            combiner: Combiner::None,
+        };
+        let c = client();
+        let run = c.run_dag(
+            mr_dag(&job, 1, 1 << 30),
+            registry(),
+            TezConfig::mapreduce_baseline(),
+            corpus,
+        );
+        assert!(run.report().status.is_success());
+        let words = read_kv(run.hdfs(), "/copy");
+        assert_eq!(words.len(), 7, "one record per word occurrence");
+    }
+
+    #[test]
+    fn baseline_is_slower_than_tez_config_on_same_job() {
+        let job = MrJob::new(
+            "wc",
+            "/in",
+            "/out",
+            NamedDescriptor::new("WordSplit"),
+            NamedDescriptor::new("Sum"),
+            2,
+        );
+        let c = client();
+        let mr = c
+            .run_dag(
+                mr_dag(&job, 1, 1 << 30),
+                registry(),
+                TezConfig::mapreduce_baseline(),
+                corpus,
+            )
+            .report()
+            .clone();
+        let tez = c
+            .run_dag(
+                mr_dag(&job, 1, 1 << 30),
+                registry(),
+                TezConfig::default(),
+                corpus,
+            )
+            .report()
+            .clone();
+        assert!(mr.status.is_success() && tez.status.is_success());
+        assert!(
+            tez.runtime_ms() <= mr.runtime_ms(),
+            "tez {} vs mr {}",
+            tez.runtime_ms(),
+            mr.runtime_ms()
+        );
+    }
+
+    #[test]
+    fn mr_dag_shape_matches_paper() {
+        let job = MrJob::new(
+            "wc",
+            "/in",
+            "/out",
+            NamedDescriptor::new("WordSplit"),
+            NamedDescriptor::new("Sum"),
+            4,
+        );
+        let dag = mr_dag(&job, 1, 1 << 30);
+        assert_eq!(dag.num_vertices(), 2);
+        assert_eq!(dag.edges().len(), 1);
+        assert_eq!(dag.edges()[0].property.movement.label(), "scatter-gather");
+    }
+}

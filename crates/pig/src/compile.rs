@@ -1,0 +1,992 @@
+//! Compile Pig scripts to Tez DAGs and classic MapReduce job chains.
+//!
+//! The Tez backend (paper §5.3) exploits what MapReduce cannot express:
+//! vertices with **multiple outputs** (SPLIT-style scripts), broadcast
+//! (`replicated`) joins, and the **sampler → boundaries → range-partition**
+//! sub-graph for `ORDER BY` and skewed joins, with the partitioner
+//! installed at runtime through IPO reconfiguration.
+//!
+//! The MapReduce backend reproduces the historical behaviour: one job per
+//! blocking operator, map chains **re-computed per consumer branch**,
+//! sampling as a separate job whose histogram travels through HDFS, and
+//! every intermediate materialized at replication cost.
+
+use crate::script::{JoinStrategy, NodeId, PigOp, PigScript};
+use std::collections::HashMap;
+use tez_core::{hdfs_split_initializer, TezConfig};
+use tez_dag::{Dag, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, UserPayload, Vertex};
+use tez_hive::catalog::Catalog;
+use tez_hive::physical::{
+    BoundsSource, ExecKind, ExecOut, HiveStageProcessor, RowOp, StageExec,
+};
+use tez_runtime::ComponentRegistry;
+use tez_shuffle::io::{
+    broadcast_edge, kinds, one_to_one_edge, output_payload, scatter_gather_edge,
+};
+use tez_shuffle::{Combiner, Partitioner};
+
+/// Pig execution options.
+#[derive(Clone, Debug)]
+pub struct PigOpts {
+    /// Reducer count for blocking operators.
+    pub reducers: usize,
+    /// Sampling period for order-by/skew-join samplers (every Nth row).
+    pub sample_every: usize,
+    /// Declared-scale multiplier.
+    pub byte_scale: f64,
+}
+
+impl Default for PigOpts {
+    fn default() -> Self {
+        PigOpts {
+            reducers: 4,
+            sample_every: 5,
+            byte_scale: 1.0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tez backend
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EdgeKind {
+    Sg,
+    SgUnordered,
+    Broadcast,
+    OneToOne,
+}
+
+struct VertexDef {
+    name: String,
+    kind: ExecKind,
+    ops: Vec<RowOp>,
+    outs: Vec<ExecOut>,
+    table: Option<String>,
+    parallelism: Option<usize>,
+    sinks: Vec<(String, String)>,
+    edges_in: Vec<(String, EdgeKind)>,
+}
+
+/// Which vertices currently carry a node's stream.
+#[derive(Clone, Debug)]
+enum Streams {
+    One(usize),
+    Many(Vec<usize>),
+}
+
+impl Streams {
+    fn all(&self) -> Vec<usize> {
+        match self {
+            Streams::One(v) => vec![*v],
+            Streams::Many(v) => v.clone(),
+        }
+    }
+    fn single(&self, what: &str) -> usize {
+        match self {
+            Streams::One(v) => *v,
+            Streams::Many(_) => panic!("{what} cannot consume a union directly"),
+        }
+    }
+}
+
+struct TezCompiler<'a> {
+    script: &'a PigScript,
+    opts: &'a PigOpts,
+    widths: Vec<usize>,
+    consumers: Vec<usize>,
+    vertices: Vec<VertexDef>,
+    streams: HashMap<NodeId, Streams>,
+}
+
+impl<'a> TezCompiler<'a> {
+    fn new_vertex(&mut self, kind: ExecKind) -> usize {
+        let id = self.vertices.len();
+        self.vertices.push(VertexDef {
+            name: format!("v{id}"),
+            kind,
+            ops: Vec::new(),
+            outs: Vec::new(),
+            table: None,
+            parallelism: None,
+            sinks: Vec::new(),
+            edges_in: Vec::new(),
+        });
+        id
+    }
+
+    fn vname(&self, v: usize) -> String {
+        self.vertices[v].name.clone()
+    }
+
+    /// Vertex carrying `node`'s stream, with a fresh branch vertex (via a
+    /// one-to-one edge) when the stream is shared and the consumer needs to
+    /// append operators or sampling outputs.
+    fn stream_vertex_for_ops(&mut self, node: NodeId) -> usize {
+        let streams = self.streams[&node].clone();
+        let v = streams.single("an operator chain");
+        if self.consumers[node.0] <= 1 {
+            return v;
+        }
+        // Shared stream: branch through a one-to-one vertex so per-branch
+        // operators don't leak into sibling consumers.
+        let src = self.vname(v);
+        let b = self.new_vertex(ExecKind::MapRows {
+            inputs: vec![src.clone()],
+        });
+        let b_name = self.vname(b);
+        self.vertices[v].outs.push(ExecOut::Rows { out: b_name });
+        self.vertices[b].edges_in.push((src, EdgeKind::OneToOne));
+        b
+    }
+
+    fn asc(keys: &[usize]) -> Vec<(usize, bool)> {
+        keys.iter().map(|&k| (k, false)).collect()
+    }
+
+    /// Attach the sampler + range-partition sub-graph for `node`'s stream
+    /// (paper §5.3). Returns the partition vertex whose `RangeShuffle`
+    /// output must be aimed at the consumer.
+    fn sampled_partitioner(&mut self, input: NodeId, keys: Vec<(usize, bool)>) -> usize {
+        let lv = self.stream_vertex_for_ops(input);
+        let lv_name = self.vname(lv);
+
+        let sampler = self.new_vertex(ExecKind::Sampler {
+            inputs: vec![lv_name.clone()],
+            bounds: self.opts.reducers.saturating_sub(1).max(1),
+        });
+        self.vertices[sampler].parallelism = Some(1);
+        let sampler_name = self.vname(sampler);
+        self.vertices[lv].outs.push(ExecOut::SampleRows {
+            out: sampler_name.clone(),
+            keys: keys.clone(),
+            every: self.opts.sample_every,
+        });
+        self.vertices[sampler]
+            .edges_in
+            .push((lv_name.clone(), EdgeKind::SgUnordered));
+
+        let part = self.new_vertex(ExecKind::MapRows {
+            inputs: vec![lv_name.clone()],
+        });
+        let part_name = self.vname(part);
+        self.vertices[lv].outs.push(ExecOut::Rows {
+            out: part_name.clone(),
+        });
+        self.vertices[part]
+            .edges_in
+            .push((lv_name, EdgeKind::OneToOne));
+        self.vertices[sampler].outs.push(ExecOut::Rows {
+            out: part_name.clone(),
+        });
+        self.vertices[part]
+            .edges_in
+            .push((sampler_name, EdgeKind::Broadcast));
+        part
+    }
+
+    fn compile(mut self) -> Vec<VertexDef> {
+        for idx in 0..self.script.nodes.len() {
+            let node = NodeId(idx);
+            let op = self.script.nodes[idx].op.clone();
+            let inputs = self.script.nodes[idx].inputs.clone();
+            match op {
+                PigOp::Load(table) => {
+                    let v = self.new_vertex(ExecKind::MapRows {
+                        inputs: vec!["scan".into()],
+                    });
+                    self.vertices[v].table = Some(table);
+                    self.streams.insert(node, Streams::One(v));
+                }
+                PigOp::Filter(p) => {
+                    let v = self.stream_vertex_for_ops(inputs[0]);
+                    self.vertices[v].ops.push(RowOp::Filter(p));
+                    self.streams.insert(node, Streams::One(v));
+                }
+                PigOp::Foreach(exprs) => {
+                    let v = self.stream_vertex_for_ops(inputs[0]);
+                    self.vertices[v].ops.push(RowOp::Project(exprs));
+                    self.streams.insert(node, Streams::One(v));
+                }
+                PigOp::GroupAgg { keys, aggs } => {
+                    let producers = self.streams[&inputs[0]].all();
+                    let agg = self.new_vertex(ExecKind::FinalAgg {
+                        inputs: producers.iter().map(|&p| self.vertices[p].name.clone()).collect(),
+                        group_cols: keys.len(),
+                        aggs: aggs.clone(),
+                    });
+                    self.vertices[agg].parallelism = Some(self.opts.reducers);
+                    let agg_name = self.vname(agg);
+                    for p in producers {
+                        self.vertices[p].outs.push(ExecOut::ShuffleForAgg {
+                            out: agg_name.clone(),
+                            group: keys.clone(),
+                            aggs: aggs.clone(),
+                        });
+                        let pn = self.vname(p);
+                        self.vertices[agg].edges_in.push((pn, EdgeKind::Sg));
+                    }
+                    self.streams.insert(node, Streams::One(agg));
+                }
+                PigOp::Distinct => {
+                    let width = self.widths[inputs[0].0];
+                    let producers = self.streams[&inputs[0]].all();
+                    let d = self.new_vertex(ExecKind::FinalDistinct {
+                        inputs: producers.iter().map(|&p| self.vertices[p].name.clone()).collect(),
+                    });
+                    self.vertices[d].parallelism = Some(self.opts.reducers);
+                    let d_name = self.vname(d);
+                    for p in producers {
+                        self.vertices[p].outs.push(ExecOut::ShuffleRows {
+                            out: d_name.clone(),
+                            key_cols: (0..width).collect(),
+                        });
+                        let pn = self.vname(p);
+                        self.vertices[d].edges_in.push((pn, EdgeKind::Sg));
+                    }
+                    self.streams.insert(node, Streams::One(d));
+                }
+                PigOp::Union => {
+                    let mut vs = Vec::new();
+                    for i in &inputs {
+                        vs.extend(self.streams[i].all());
+                    }
+                    self.streams.insert(node, Streams::Many(vs));
+                }
+                PigOp::Join {
+                    strategy: JoinStrategy::Replicated,
+                    left_keys,
+                    right_keys,
+                } => {
+                    let rv = self.streams[&inputs[1]].single("a replicated join");
+                    let lv = self.stream_vertex_for_ops(inputs[0]);
+                    let lv_name = self.vname(lv);
+                    let rv_name = self.vname(rv);
+                    self.vertices[rv].outs.push(ExecOut::Rows {
+                        out: lv_name.clone(),
+                    });
+                    self.vertices[lv]
+                        .edges_in
+                        .push((rv_name.clone(), EdgeKind::Broadcast));
+                    self.vertices[lv].ops.push(RowOp::MapJoin {
+                        input: rv_name.clone(),
+                        left_keys,
+                        right_keys,
+                        registry_key: format!("pig-mapjoin:{rv_name}:{lv_name}"),
+                    });
+                    self.streams.insert(node, Streams::One(lv));
+                }
+                PigOp::Join {
+                    strategy,
+                    left_keys,
+                    right_keys,
+                } => {
+                    let join = self.new_vertex(ExecKind::Join {
+                        left: vec![],
+                        right: vec![],
+                    });
+                    self.vertices[join].parallelism = Some(self.opts.reducers);
+                    let join_name = self.vname(join);
+                    let (mut lnames, mut rnames) = (Vec::new(), Vec::new());
+                    if strategy == JoinStrategy::Skewed {
+                        // Sample the (skewed) left side; range-partition
+                        // both sides with the same runtime boundaries.
+                        let part = self.sampled_partitioner(inputs[0], Self::asc(&left_keys));
+                        let part_name = self.vname(part);
+                        // The sampler broadcasts into `part`.
+                        let sampler_name = match &self.vertices[part].edges_in[..] {
+                            [.., (s, EdgeKind::Broadcast)] => s.clone(),
+                            other => panic!("partitioner edges: {other:?}"),
+                        };
+                        self.vertices[part].outs.push(ExecOut::RangeShuffle {
+                            out: join_name.clone(),
+                            keys: Self::asc(&left_keys),
+                            bounds: BoundsSource::Input(sampler_name.clone()),
+                        });
+                        self.vertices[join]
+                            .edges_in
+                            .push((part_name.clone(), EdgeKind::Sg));
+                        lnames.push(part_name);
+                        let rv = self.stream_vertex_for_ops(inputs[1]);
+                        let rv_name = self.vname(rv);
+                        self.vertices[rv]
+                            .edges_in
+                            .push((sampler_name.clone(), EdgeKind::Broadcast));
+                        // Find the sampler vertex to aim its broadcast here.
+                        let sampler_idx = self
+                            .vertices
+                            .iter()
+                            .position(|v| v.name == sampler_name)
+                            .expect("sampler exists");
+                        self.vertices[sampler_idx].outs.push(ExecOut::Rows {
+                            out: rv_name.clone(),
+                        });
+                        self.vertices[rv].outs.push(ExecOut::RangeShuffle {
+                            out: join_name.clone(),
+                            keys: Self::asc(&right_keys),
+                            bounds: BoundsSource::Input(sampler_name),
+                        });
+                        self.vertices[join]
+                            .edges_in
+                            .push((rv_name.clone(), EdgeKind::Sg));
+                        rnames.push(rv_name);
+                    } else {
+                        for (side, keys, names) in [
+                            (0usize, &left_keys, &mut lnames),
+                            (1, &right_keys, &mut rnames),
+                        ] {
+                            for p in self.streams[&inputs[side]].all() {
+                                let pn = self.vname(p);
+                                self.vertices[p].outs.push(ExecOut::ShuffleRows {
+                                    out: join_name.clone(),
+                                    key_cols: keys.clone(),
+                                });
+                                self.vertices[join]
+                                    .edges_in
+                                    .push((pn.clone(), EdgeKind::Sg));
+                                names.push(pn);
+                            }
+                        }
+                    }
+                    self.vertices[join].kind = ExecKind::Join {
+                        left: lnames,
+                        right: rnames,
+                    };
+                    self.streams.insert(node, Streams::One(join));
+                }
+                PigOp::OrderBy { keys, limit } => match limit {
+                    Some(n) => {
+                        let producers = self.streams[&inputs[0]].all();
+                        let f = self.new_vertex(ExecKind::FinalOrdered {
+                            inputs: producers
+                                .iter()
+                                .map(|&p| self.vertices[p].name.clone())
+                                .collect(),
+                            limit: Some(n),
+                        });
+                        self.vertices[f].parallelism = Some(1);
+                        let f_name = self.vname(f);
+                        for p in producers {
+                            self.vertices[p].outs.push(ExecOut::ShuffleForTopK {
+                                out: f_name.clone(),
+                                keys: keys.clone(),
+                                limit: n,
+                            });
+                            let pn = self.vname(p);
+                            self.vertices[f].edges_in.push((pn, EdgeKind::Sg));
+                        }
+                        self.streams.insert(node, Streams::One(f));
+                    }
+                    None => {
+                        // Full total-order sort: the paper's sampled
+                        // range-partition pattern, in parallel.
+                        let part = self.sampled_partitioner(inputs[0], keys.clone());
+                        let part_name = self.vname(part);
+                        let sampler_name = match &self.vertices[part].edges_in[..] {
+                            [.., (s, EdgeKind::Broadcast)] => s.clone(),
+                            _ => unreachable!(),
+                        };
+                        let f = self.new_vertex(ExecKind::FinalOrdered {
+                            inputs: vec![part_name.clone()],
+                            limit: None,
+                        });
+                        self.vertices[f].parallelism = Some(self.opts.reducers);
+                        let f_name = self.vname(f);
+                        self.vertices[part].outs.push(ExecOut::RangeShuffle {
+                            out: f_name.clone(),
+                            keys,
+                            bounds: BoundsSource::Input(sampler_name),
+                        });
+                        self.vertices[f].edges_in.push((part_name, EdgeKind::Sg));
+                        self.streams.insert(node, Streams::One(f));
+                    }
+                },
+                PigOp::Store(path) => {
+                    let sink_name = format!("store{idx}");
+                    for p in self.streams[&inputs[0]].all() {
+                        self.vertices[p].outs.push(ExecOut::Rows {
+                            out: sink_name.clone(),
+                        });
+                        self.vertices[p].sinks.push((sink_name.clone(), path.clone()));
+                    }
+                    self.streams.insert(node, Streams::One(0));
+                }
+            }
+        }
+        self.vertices
+    }
+}
+
+fn sg_unordered_edge() -> EdgeProperty {
+    EdgeProperty::new(
+        DataMovement::ScatterGather,
+        NamedDescriptor::with_payload(
+            kinds::UNORDERED_OUT,
+            output_payload(&Partitioner::Hash, Combiner::None),
+        ),
+        NamedDescriptor::new(kinds::UNORDERED_IN),
+    )
+}
+
+/// Compile a script into one Tez DAG.
+pub fn build_tez_dag(
+    script: &PigScript,
+    catalog: &Catalog,
+    opts: &PigOpts,
+    registry: &mut ComponentRegistry,
+    config: &TezConfig,
+) -> Dag {
+    let compiler = TezCompiler {
+        script,
+        opts,
+        widths: script.widths(catalog),
+        consumers: script.consumer_counts(),
+        vertices: Vec::new(),
+        streams: HashMap::new(),
+    };
+    let vertices = compiler.compile();
+
+    let mut builder = DagBuilder::new(&script.name);
+    for v in &vertices {
+        let exec = StageExec {
+            kind: v.kind.clone(),
+            ops: v.ops.clone(),
+            outs: v.outs.clone(),
+        };
+        let kind_name = format!("pig.{}.{}", script.name, v.name);
+        registry.register_processor(&kind_name, move |_p| {
+            Box::new(HiveStageProcessor::new(exec.clone()))
+        });
+        let mut vertex = Vertex::new(&v.name, NamedDescriptor::new(&kind_name));
+        if let Some(n) = v.parallelism {
+            vertex = vertex.with_parallelism(n);
+        }
+        if let Some(table) = &v.table {
+            vertex = vertex.with_data_source(
+                "scan",
+                NamedDescriptor::new(kinds::DFS_IN),
+                Some(hdfs_split_initializer(
+                    &Catalog::table_path(table),
+                    config.min_split_bytes,
+                    config.max_split_bytes,
+                    false,
+                )),
+            );
+            if let Some(pin) = catalog.scale_override(table) {
+                vertex = vertex.with_stats_scale(pin);
+            }
+        }
+        for (sink_name, path) in &v.sinks {
+            vertex = vertex.with_data_sink(
+                sink_name,
+                NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str(path)),
+                Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+            );
+        }
+        builder = builder.add_vertex(vertex);
+    }
+    for v in &vertices {
+        for (src, kind) in &v.edges_in {
+            let prop = match kind {
+                EdgeKind::Sg => scatter_gather_edge(Combiner::None),
+                EdgeKind::SgUnordered => sg_unordered_edge(),
+                EdgeKind::Broadcast => broadcast_edge(),
+                EdgeKind::OneToOne => one_to_one_edge(),
+            };
+            builder = builder.add_edge(src.clone(), v.name.clone(), prop);
+        }
+    }
+    builder.build().expect("pig script compiles to a valid DAG")
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce backend
+// ---------------------------------------------------------------------------
+
+/// A map input for one MR job: source path + recomputed chain ops.
+struct MapChain {
+    source: String,
+    ops: Vec<RowOp>,
+    pin: Option<f64>,
+}
+
+/// Walk up from `node` through non-blocking operators, re-collecting the
+/// chain ops (the paper's MR "workaround": shared chains are recomputed per
+/// consumer). Returns one chain per union branch.
+fn map_chains(script: &PigScript, node: NodeId, temp: &dyn Fn(usize) -> String) -> Vec<MapChain> {
+    let n = &script.nodes[node.0];
+    match &n.op {
+        PigOp::Load(t) => vec![MapChain {
+            source: Catalog::table_path(t),
+            ops: vec![],
+            pin: None,
+        }],
+        PigOp::Filter(p) => {
+            let mut chains = map_chains(script, n.inputs[0], temp);
+            for c in &mut chains {
+                c.ops.push(RowOp::Filter(p.clone()));
+            }
+            chains
+        }
+        PigOp::Foreach(exprs) => {
+            let mut chains = map_chains(script, n.inputs[0], temp);
+            for c in &mut chains {
+                c.ops.push(RowOp::Project(exprs.clone()));
+            }
+            chains
+        }
+        PigOp::Union => n
+            .inputs
+            .iter()
+            .flat_map(|i| map_chains(script, *i, temp))
+            .collect(),
+        // Blocking producers were materialized by their own job.
+        _ => vec![MapChain {
+            source: temp(node.0),
+            ops: vec![],
+            pin: None,
+        }],
+    }
+}
+
+struct MrJobSpec {
+    name: String,
+    maps: Vec<(String, MapChain, ExecOut)>,
+    reduce: Option<(ExecKind, Vec<RowOp>, usize)>,
+    sink_path: String,
+}
+
+fn build_job(
+    spec: MrJobSpec,
+    registry: &mut ComponentRegistry,
+    config: &TezConfig,
+) -> Dag {
+    let mut builder = DagBuilder::new(&spec.name);
+    let mut map_names = Vec::new();
+    for (mname, chain, out) in spec.maps {
+        let exec = StageExec {
+            kind: ExecKind::MapRows {
+                inputs: vec!["scan".into()],
+            },
+            ops: chain.ops,
+            outs: vec![out],
+        };
+        let kind_name = format!("pig.{}.{mname}", spec.name);
+        registry.register_processor(&kind_name, move |_p| {
+            Box::new(HiveStageProcessor::new(exec.clone()))
+        });
+        let pin = chain.pin;
+        let mut vertex = Vertex::new(&mname, NamedDescriptor::new(&kind_name)).with_data_source(
+            "scan",
+            NamedDescriptor::new(kinds::DFS_IN),
+            Some(hdfs_split_initializer(
+                &chain.source,
+                config.min_split_bytes,
+                config.max_split_bytes,
+                false,
+            )),
+        );
+        if let Some(pin) = pin {
+            vertex = vertex.with_stats_scale(pin);
+        }
+        if spec.reduce.is_none() {
+            vertex = vertex.with_data_sink(
+                "out",
+                NamedDescriptor::with_payload(
+                    kinds::DFS_OUT,
+                    UserPayload::from_str(&spec.sink_path),
+                ),
+                Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+            );
+        }
+        builder = builder.add_vertex(vertex);
+        map_names.push(mname);
+    }
+    if let Some((kind, ops, parallelism)) = spec.reduce {
+        let exec = StageExec {
+            kind,
+            ops,
+            outs: vec![ExecOut::Rows { out: "out".into() }],
+        };
+        let kind_name = format!("pig.{}.r", spec.name);
+        registry.register_processor(&kind_name, move |_p| {
+            Box::new(HiveStageProcessor::new(exec.clone()))
+        });
+        builder = builder.add_vertex(
+            Vertex::new("r", NamedDescriptor::new(&kind_name))
+                .with_parallelism(parallelism)
+                .with_data_sink(
+                    "out",
+                    NamedDescriptor::with_payload(
+                        kinds::DFS_OUT,
+                        UserPayload::from_str(&spec.sink_path),
+                    ),
+                    Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+                ),
+        );
+        for m in &map_names {
+            builder = builder.add_edge(m.clone(), "r", scatter_gather_edge(Combiner::None));
+        }
+    }
+    builder.build().expect("mr job compiles")
+}
+
+/// Compile a script into a chain of MapReduce jobs.
+pub fn build_mr_dags(
+    script: &PigScript,
+    catalog: &Catalog,
+    opts: &PigOpts,
+    registry: &mut ComponentRegistry,
+    config: &TezConfig,
+) -> Vec<Dag> {
+    let widths = script.widths(catalog);
+    let sname = script.name.clone();
+    let temp = move |n: usize| format!("/tmp/{sname}/n{n}");
+    let mut dags = Vec::new();
+    let mut job = 0usize;
+    let next_job_name = |job: &mut usize| {
+        let n = format!("{}-job{}", script.name, *job);
+        *job += 1;
+        n
+    };
+    let consumers = script.consumer_counts();
+
+    // A blocking node writes straight to its store path when its single
+    // consumer is that store.
+    let sink_for = |node: usize| -> String {
+        let only_store = consumers[node] == 1
+            && script.nodes.iter().any(|n| {
+                matches!(&n.op, PigOp::Store(_)) && n.inputs.first() == Some(&NodeId(node))
+            });
+        if only_store {
+            script
+                .nodes
+                .iter()
+                .find_map(|n| match &n.op {
+                    PigOp::Store(p) if n.inputs.first() == Some(&NodeId(node)) => Some(p.clone()),
+                    _ => None,
+                })
+                .expect("store found")
+        } else {
+            temp(node)
+        }
+    };
+
+    for (idx, n) in script.nodes.iter().enumerate() {
+        match &n.op {
+            PigOp::GroupAgg { keys, aggs } => {
+                let chains = map_chains(script, n.inputs[0], &temp);
+                let maps: Vec<(String, MapChain, ExecOut)> = chains
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        (
+                            format!("m{i}"),
+                            c,
+                            ExecOut::ShuffleForAgg {
+                                out: "r".into(),
+                                group: keys.clone(),
+                                aggs: aggs.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                let inputs = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                dags.push(build_job(
+                    MrJobSpec {
+                        name: next_job_name(&mut job),
+                        maps,
+                        reduce: Some((
+                            ExecKind::FinalAgg {
+                                inputs,
+                                group_cols: keys.len(),
+                                aggs: aggs.clone(),
+                            },
+                            vec![],
+                            opts.reducers,
+                        )),
+                        sink_path: sink_for(idx),
+                    },
+                    registry,
+                    config,
+                ));
+            }
+            PigOp::Distinct => {
+                let width = widths[n.inputs[0].0];
+                let chains = map_chains(script, n.inputs[0], &temp);
+                let maps: Vec<(String, MapChain, ExecOut)> = chains
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        (
+                            format!("m{i}"),
+                            c,
+                            ExecOut::ShuffleRows {
+                                out: "r".into(),
+                                key_cols: (0..width).collect(),
+                            },
+                        )
+                    })
+                    .collect();
+                let inputs = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                dags.push(build_job(
+                    MrJobSpec {
+                        name: next_job_name(&mut job),
+                        maps,
+                        reduce: Some((ExecKind::FinalDistinct { inputs }, vec![], opts.reducers)),
+                        sink_path: sink_for(idx),
+                    },
+                    registry,
+                    config,
+                ));
+            }
+            PigOp::Join {
+                strategy,
+                left_keys,
+                right_keys,
+            } => {
+                let bounds_path = format!("{}.bounds", temp(idx));
+                if *strategy == JoinStrategy::Skewed {
+                    // Job A: sample the left side; single reducer computes
+                    // the histogram, materialized to HDFS (paper §5.3's
+                    // historical workflow).
+                    let chains = map_chains(script, n.inputs[0], &temp);
+                    let maps: Vec<(String, MapChain, ExecOut)> = chains
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            (
+                                format!("m{i}"),
+                                c,
+                                ExecOut::SampleRows {
+                                    out: "r".into(),
+                                    keys: left_keys.iter().map(|&k| (k, false)).collect(),
+                                    every: opts.sample_every,
+                                },
+                            )
+                        })
+                        .collect();
+                    let inputs = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                    dags.push(build_job(
+                        MrJobSpec {
+                            name: next_job_name(&mut job),
+                            maps,
+                            reduce: Some((
+                                ExecKind::Sampler {
+                                    inputs,
+                                    bounds: opts.reducers.saturating_sub(1).max(1),
+                                },
+                                vec![],
+                                1,
+                            )),
+                            sink_path: bounds_path.clone(),
+                        },
+                        registry,
+                        config,
+                    ));
+                }
+                // Join job: left chains + right chains.
+                let mut maps = Vec::new();
+                let (mut lnames, mut rnames) = (Vec::new(), Vec::new());
+                for (side, keys, names) in [
+                    (0usize, left_keys, &mut lnames),
+                    (1, right_keys, &mut rnames),
+                ] {
+                    for c in map_chains(script, n.inputs[side], &temp) {
+                        let mname = format!("m{}", maps.len());
+                        let out = if *strategy == JoinStrategy::Skewed {
+                            ExecOut::RangeShuffle {
+                                out: "r".into(),
+                                keys: keys.iter().map(|&k| (k, false)).collect(),
+                                bounds: BoundsSource::DfsFile(bounds_path.clone()),
+                            }
+                        } else {
+                            ExecOut::ShuffleRows {
+                                out: "r".into(),
+                                key_cols: keys.clone(),
+                            }
+                        };
+                        names.push(mname.clone());
+                        maps.push((mname, c, out));
+                    }
+                }
+                dags.push(build_job(
+                    MrJobSpec {
+                        name: next_job_name(&mut job),
+                        maps,
+                        reduce: Some((
+                            ExecKind::Join {
+                                left: lnames,
+                                right: rnames,
+                            },
+                            vec![],
+                            opts.reducers,
+                        )),
+                        sink_path: sink_for(idx),
+                    },
+                    registry,
+                    config,
+                ));
+            }
+            PigOp::OrderBy { keys, limit } => {
+                if limit.is_none() {
+                    // Sample job first (histogram through HDFS).
+                    let bounds_path = format!("{}.bounds", temp(idx));
+                    let chains = map_chains(script, n.inputs[0], &temp);
+                    let maps: Vec<(String, MapChain, ExecOut)> = chains
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            (
+                                format!("m{i}"),
+                                c,
+                                ExecOut::SampleRows {
+                                    out: "r".into(),
+                                    keys: keys.clone(),
+                                    every: opts.sample_every,
+                                },
+                            )
+                        })
+                        .collect();
+                    let inputs = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                    dags.push(build_job(
+                        MrJobSpec {
+                            name: next_job_name(&mut job),
+                            maps,
+                            reduce: Some((
+                                ExecKind::Sampler {
+                                    inputs,
+                                    bounds: opts.reducers.saturating_sub(1).max(1),
+                                },
+                                vec![],
+                                1,
+                            )),
+                            sink_path: bounds_path.clone(),
+                        },
+                        registry,
+                        config,
+                    ));
+                    // Sort job re-computes the chains (the MR workaround).
+                    let chains = map_chains(script, n.inputs[0], &temp);
+                    let maps: Vec<(String, MapChain, ExecOut)> = chains
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            (
+                                format!("m{i}"),
+                                c,
+                                ExecOut::RangeShuffle {
+                                    out: "r".into(),
+                                    keys: keys.clone(),
+                                    bounds: BoundsSource::DfsFile(bounds_path.clone()),
+                                },
+                            )
+                        })
+                        .collect();
+                    let inputs: Vec<String> = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                    dags.push(build_job(
+                        MrJobSpec {
+                            name: next_job_name(&mut job),
+                            maps,
+                            reduce: Some((
+                                ExecKind::FinalOrdered {
+                                    inputs,
+                                    limit: None,
+                                },
+                                vec![],
+                                opts.reducers,
+                            )),
+                            sink_path: sink_for(idx),
+                        },
+                        registry,
+                        config,
+                    ));
+                } else {
+                    let chains = map_chains(script, n.inputs[0], &temp);
+                    let maps: Vec<(String, MapChain, ExecOut)> = chains
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| {
+                            (
+                                format!("m{i}"),
+                                c,
+                                ExecOut::ShuffleForTopK {
+                                    out: "r".into(),
+                                    keys: keys.clone(),
+                                    limit: limit.unwrap(),
+                                },
+                            )
+                        })
+                        .collect();
+                    let inputs = maps.iter().map(|(m, _, _)| m.clone()).collect();
+                    dags.push(build_job(
+                        MrJobSpec {
+                            name: next_job_name(&mut job),
+                            maps,
+                            reduce: Some((
+                                ExecKind::FinalOrdered {
+                                    inputs,
+                                    limit: *limit,
+                                },
+                                vec![],
+                                1,
+                            )),
+                            sink_path: sink_for(idx),
+                        },
+                        registry,
+                        config,
+                    ));
+                }
+            }
+            PigOp::Store(path) => {
+                let input = n.inputs[0];
+                let blocking = !matches!(
+                    script.nodes[input.0].op,
+                    PigOp::Load(_) | PigOp::Filter(_) | PigOp::Foreach(_) | PigOp::Union
+                );
+                if blocking && consumers[input.0] == 1 {
+                    continue; // the blocking job already wrote here
+                }
+                // Map-only copy job (re-computing the chain).
+                let chains = map_chains(script, input, &temp);
+                let maps: Vec<(String, MapChain, ExecOut)> = chains
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        (
+                            format!("m{i}"),
+                            c,
+                            ExecOut::Rows { out: "out".into() },
+                        )
+                    })
+                    .collect();
+                dags.push(build_job(
+                    MrJobSpec {
+                        name: next_job_name(&mut job),
+                        maps,
+                        reduce: None,
+                        sink_path: path.clone(),
+                    },
+                    registry,
+                    config,
+                ));
+            }
+            PigOp::Load(_) | PigOp::Filter(_) | PigOp::Foreach(_) | PigOp::Union => {}
+        }
+    }
+    dags
+}
+
+/// MR rewrite: replicated joins degrade to shuffle joins.
+pub fn rewrite_for_mr(script: &PigScript) -> PigScript {
+    let mut s = script.clone();
+    for n in &mut s.nodes {
+        if let PigOp::Join { strategy, .. } = &mut n.op {
+            if *strategy == JoinStrategy::Replicated {
+                *strategy = JoinStrategy::Hash;
+            }
+        }
+    }
+    s
+}

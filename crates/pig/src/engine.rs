@@ -1,0 +1,114 @@
+//! The Pig engine facade: run scripts on Tez, classic MapReduce, or the
+//! in-memory reference executor.
+
+use crate::compile::{build_mr_dags, build_tez_dag, rewrite_for_mr};
+pub use crate::compile::PigOpts;
+use crate::script::PigScript;
+use std::collections::HashMap;
+use tez_core::{standard_registry, DagReport, TezClient, TezConfig};
+use tez_hive::engine::read_rows;
+use tez_hive::types::Row;
+use tez_hive::Catalog;
+
+/// A finished script run.
+#[derive(Clone, Debug)]
+pub struct PigResult {
+    /// Rows per store path (sink file order — total order for sorted
+    /// stores).
+    pub outputs: HashMap<String, Vec<Row>>,
+    /// One report per DAG (Tez: one; MR: one per job).
+    pub reports: Vec<DagReport>,
+}
+
+impl PigResult {
+    /// End-to-end runtime.
+    pub fn runtime_ms(&self) -> u64 {
+        let start = self.reports.first().map(|r| r.submitted.millis()).unwrap_or(0);
+        let end = self.reports.last().map(|r| r.finished.millis()).unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Whether every DAG succeeded.
+    pub fn success(&self) -> bool {
+        !self.reports.is_empty() && self.reports.iter().all(|r| r.status.is_success())
+    }
+}
+
+/// The Pig engine.
+pub struct PigEngine {
+    /// The warehouse.
+    pub catalog: Catalog,
+}
+
+impl PigEngine {
+    /// Engine over a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        PigEngine { catalog }
+    }
+
+    /// In-memory reference execution.
+    pub fn reference(&self, script: &PigScript) -> HashMap<String, Vec<Row>> {
+        script.execute_reference(&self.catalog)
+    }
+
+    /// Run on Tez with a custom base config.
+    pub fn run_tez_with(
+        &self,
+        client: &TezClient,
+        script: &PigScript,
+        opts: &PigOpts,
+        mut config: TezConfig,
+    ) -> PigResult {
+        config.byte_scale = opts.byte_scale;
+        let mut registry = standard_registry();
+        let dag = build_tez_dag(script, &self.catalog, opts, &mut registry, &config);
+        let scale = opts.byte_scale;
+        let run = client.run_dag(dag, registry, config, |hdfs| {
+            hdfs.set_stat_scale(scale);
+            self.catalog.load_hdfs(hdfs, scale);
+        });
+        let outputs = script
+            .stores()
+            .into_iter()
+            .map(|(_, path)| {
+                let rows = read_rows(run.hdfs(), &path);
+                (path, rows)
+            })
+            .collect();
+        PigResult {
+            outputs,
+            reports: run.reports,
+        }
+    }
+
+    /// Run on Tez with defaults.
+    pub fn run_tez(&self, client: &TezClient, script: &PigScript, opts: &PigOpts) -> PigResult {
+        self.run_tez_with(client, script, opts, TezConfig::default())
+    }
+
+    /// Run on the classic MapReduce backend.
+    pub fn run_mr(&self, client: &TezClient, script: &PigScript, opts: &PigOpts) -> PigResult {
+        let mut config = TezConfig::mapreduce_baseline();
+        config.byte_scale = opts.byte_scale;
+        let mr_script = rewrite_for_mr(script);
+        let mut registry = standard_registry();
+        let dags = build_mr_dags(&mr_script, &self.catalog, opts, &mut registry, &config);
+        let scale = opts.byte_scale;
+        let run = client.run_session(dags, registry, config, |hdfs| {
+            hdfs.set_stat_scale(scale);
+            self.catalog.load_hdfs(hdfs, scale);
+        });
+        let outputs = script
+            .stores()
+            .into_iter()
+            .map(|(_, path)| {
+                let rows = read_rows(run.hdfs(), &path);
+                (path, rows)
+            })
+            .collect();
+        PigResult {
+            outputs,
+            reports: run.reports,
+        }
+    }
+}

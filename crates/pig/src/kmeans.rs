@@ -1,0 +1,255 @@
+//! Iterative K-means (paper §6.4, Figure 11).
+//!
+//! "Tez session and container-reuse features work in favor of fast
+//! iterative workloads, which require consecutive DAGs to execute over the
+//! same data-set." Each iteration is one assign→update DAG; all iterations
+//! are submitted to a single session AM, so containers stay warm, the JIT
+//! model amortizes, and the parsed point set is cached in the shared
+//! object registry across iterations (session scope).
+//!
+//! Pig expresses the centroid math through UDFs; here the UDF bodies are
+//! the two custom processors below.
+
+use std::sync::Arc;
+use tez_core::{hdfs_split_initializer, standard_registry, DagReport, TezClient, TezConfig};
+use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_hive::types::{decode_row, row_bytes, Datum, Row};
+use tez_runtime::{
+    ObjectScope, Processor, ProcessorContext, TaskError,
+};
+use tez_shuffle::codec::{enc_u64, encode_kv, KvCursor};
+use tez_shuffle::io::{kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+
+/// Centroids file path for one iteration.
+fn centroid_path(iter: usize) -> String {
+    format!("/kmeans/centroids_{iter}")
+}
+
+/// Read centroids from the DFS.
+fn read_centroids(dfs: &dyn tez_runtime::Dfs, iter: usize) -> Result<Vec<(f64, f64)>, TaskError> {
+    let path = centroid_path(iter);
+    let blocks = dfs
+        .list_blocks(&path)
+        .ok_or_else(|| TaskError::failed(format!("centroids {path:?} missing")))?;
+    let mut out = Vec::new();
+    for b in blocks {
+        if let Some(data) = dfs.read_block(&path, b.index) {
+            let mut c = KvCursor::new(data);
+            while let Some((_, v)) = c.next() {
+                let row = decode_row(&v);
+                out.push((row[1].as_f64(), row[2].as_f64()));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(out)
+}
+
+/// Assign each point to its nearest centroid, emitting partial sums
+/// `(centroid, (sum_x, sum_y, count))`. Points are cached in the shared
+/// object registry with session scope, so later iterations in a warm
+/// container skip re-parsing (paper §4.2).
+struct AssignProcessor {
+    iteration: usize,
+}
+
+impl Processor for AssignProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let cache_key = format!("kmeans:points:{}", ctx.meta.task_index);
+        let points: Arc<Vec<(f64, f64)>> = match ctx.env.registry.get(&cache_key) {
+            Some(any) => {
+                ctx.counters.inc(tez_runtime::counter_names::REGISTRY_HITS);
+                any.downcast().map_err(|_| TaskError::fatal("cache type"))?
+            }
+            None => {
+                let mut reader = ctx.reader("points")?.into_kv()?;
+                let mut pts = Vec::new();
+                while let Some((_, v)) = reader.next() {
+                    let row = decode_row(&v);
+                    pts.push((row[0].as_f64(), row[1].as_f64()));
+                }
+                let arc = Arc::new(pts);
+                ctx.env.registry.put(
+                    ObjectScope::Session,
+                    &cache_key,
+                    arc.clone() as Arc<dyn std::any::Any + Send + Sync>,
+                );
+                arc
+            }
+        };
+        let centroids = read_centroids(ctx.env.dfs, self.iteration)?;
+        let k = centroids.len();
+        let mut acc = vec![(0.0f64, 0.0f64, 0u64); k];
+        for &(x, y) in points.iter() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, &(cx, cy)) in centroids.iter().enumerate() {
+                let d = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            acc[best].0 += x;
+            acc[best].1 += y;
+            acc[best].2 += 1;
+        }
+        for (i, (sx, sy, n)) in acc.into_iter().enumerate() {
+            if n > 0 {
+                let row: Row = vec![Datum::F64(sx), Datum::F64(sy), Datum::I64(n as i64)];
+                ctx.write("update", &enc_u64(i as u64), &row_bytes(&row))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merge partial sums and write the next iteration's centroids.
+struct UpdateProcessor;
+
+impl Processor for UpdateProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let mut reader = ctx.reader("assign")?.into_grouped()?;
+        let mut out = Vec::new();
+        while let Some(g) = reader.next_group() {
+            let id = u64::from_be_bytes(g.key[..8].try_into().unwrap());
+            let (mut sx, mut sy, mut n) = (0.0, 0.0, 0i64);
+            for v in g.values {
+                let row = decode_row(&v);
+                sx += row[0].as_f64();
+                sy += row[1].as_f64();
+                n += row[2].as_i64();
+            }
+            out.push((id, sx / n as f64, sy / n as f64));
+        }
+        for (id, x, y) in out {
+            let row: Row = vec![Datum::I64(id as i64), Datum::F64(x), Datum::F64(y)];
+            ctx.write("out", &enc_u64(id), &row_bytes(&row))?;
+        }
+        Ok(())
+    }
+}
+
+fn iteration_dag(iter: usize) -> Dag {
+    DagBuilder::new(format!("kmeans-iter{iter}"))
+        .add_vertex(
+            Vertex::new("assign", NamedDescriptor::with_payload(
+                "pig.KmeansAssign",
+                UserPayload::from_bytes(iter.to_le_bytes().to_vec()),
+            ))
+            .with_data_source(
+                "points",
+                NamedDescriptor::new(kinds::DFS_IN),
+                Some(hdfs_split_initializer("/kmeans/points", 1, u64::MAX / 2, false)),
+            ),
+        )
+        .add_vertex(
+            Vertex::new("update", NamedDescriptor::new("pig.KmeansUpdate"))
+                .with_parallelism(1)
+                .with_data_sink(
+                    "out",
+                    NamedDescriptor::with_payload(
+                        kinds::DFS_OUT,
+                        UserPayload::from_str(&centroid_path(iter + 1)),
+                    ),
+                    Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+                ),
+        )
+        .add_edge("assign", "update", scatter_gather_edge(Combiner::None))
+        .build()
+        .expect("kmeans dag")
+}
+
+/// Result of a K-means run.
+#[derive(Clone, Debug)]
+pub struct KmeansResult {
+    /// Final centroids `(id, x, y)`.
+    pub centroids: Vec<(i64, f64, f64)>,
+    /// Per-iteration DAG reports.
+    pub reports: Vec<DagReport>,
+    /// Total runtime (first submit → last finish).
+    pub total_ms: u64,
+}
+
+/// Run K-means for `iterations` iterations over `points`, with the given
+/// base config (session on/off is the Figure 11 variable).
+pub fn run_kmeans(
+    client: &TezClient,
+    points: &[(f64, f64)],
+    k: usize,
+    iterations: usize,
+    config: TezConfig,
+    blocks: usize,
+) -> KmeansResult {
+    let mut registry = standard_registry();
+    registry.register_processor("pig.KmeansAssign", |p| {
+        let iteration = usize::from_le_bytes(p.as_bytes().try_into().expect("iter payload"));
+        Box::new(AssignProcessor { iteration })
+    });
+    registry.register_processor("pig.KmeansUpdate", |_| Box::new(UpdateProcessor));
+
+    let dags = (0..iterations).map(iteration_dag).collect();
+    let pts = points.to_vec();
+    let run = client.run_session(dags, registry, config, move |hdfs| {
+        // Points file.
+        let per = pts.len().div_ceil(blocks.max(1));
+        let blocks_data: Vec<(bytes::Bytes, u64)> = pts
+            .chunks(per.max(1))
+            .map(|chunk| {
+                let mut buf = Vec::new();
+                for &(x, y) in chunk {
+                    let row: Row = vec![Datum::F64(x), Datum::F64(y)];
+                    encode_kv(&mut buf, b"", &row_bytes(&row));
+                }
+                (bytes::Bytes::from(buf), chunk.len() as u64)
+            })
+            .collect();
+        hdfs.put_file("/kmeans/points", blocks_data);
+        // Initial centroids: first k points.
+        let mut buf = Vec::new();
+        for (i, &(x, y)) in pts.iter().take(k).enumerate() {
+            let row: Row = vec![Datum::I64(i as i64), Datum::F64(x), Datum::F64(y)];
+            encode_kv(&mut buf, &enc_u64(i as u64), &row_bytes(&row));
+        }
+        hdfs.put_file(&centroid_path(0), vec![(bytes::Bytes::from(buf), k as u64)]);
+    });
+
+    let centroids = {
+        let path = centroid_path(iterations);
+        tez_hive::engine::read_rows(run.hdfs(), &path)
+            .into_iter()
+            .map(|r| (r[0].as_i64(), r[1].as_f64(), r[2].as_f64()))
+            .collect()
+    };
+    let total_ms = run
+        .reports
+        .last()
+        .map(|r| r.finished.millis())
+        .unwrap_or(0)
+        .saturating_sub(run.reports.first().map(|r| r.submitted.millis()).unwrap_or(0));
+    KmeansResult {
+        centroids,
+        reports: run.reports,
+        total_ms,
+    }
+}
+
+/// Generate clustered 2-D points around `k` true centers.
+pub fn generate_points(n: usize, k: usize, seed: u64) -> Vec<(f64, f64)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..k)
+        .map(|i| (10.0 * i as f64, 10.0 * ((i * 7) % k) as f64))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let (cx, cy) = centers[rng.random_range(0..k)];
+            (
+                cx + rng.random_range(-1.0..1.0),
+                cy + rng.random_range(-1.0..1.0),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,29 @@
+//! # tez-pig — a mini ETL dataflow engine on rtez
+//!
+//! Stands in for Apache Pig in the paper's evaluation (§5.3, §6.3, §6.4):
+//! a procedural dataflow language whose runtime moved to Tez. The crate
+//! provides what distinguishes Pig from the SQL engine:
+//!
+//! * **Multi-output dataflow graphs** ([`script`]): a relation consumed by
+//!   several downstream operators becomes one Tez vertex with several
+//!   outputs ("being able to model multiple outputs explicitly via the Tez
+//!   APIs allows the planning and execution code in Pig to be clean"),
+//!   while the MapReduce backend re-reads or re-computes shared streams —
+//!   the paper's "creative workarounds".
+//! * **Sample → histogram → range-partition** execution of `ORDER BY` and
+//!   skewed joins (§5.3): on Tez this is a sampler vertex feeding
+//!   boundaries to the partitioning vertex at runtime (late-binding IPO
+//!   reconfiguration); on MapReduce it is the historical multi-job chain
+//!   through HDFS.
+//! * An iterative **K-means** driver ([`kmeans`]) exercising Tez sessions
+//!   (Figure 11) and a **production-style ETL workload generator**
+//!   ([`workloads`]) for the Yahoo comparison (Figure 10).
+
+pub mod compile;
+pub mod engine;
+pub mod kmeans;
+pub mod script;
+pub mod workloads;
+
+pub use engine::{PigEngine, PigOpts, PigResult};
+pub use script::{JoinStrategy, NodeId, PigScript};

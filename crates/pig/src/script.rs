@@ -1,0 +1,382 @@
+//! The PigLatin-like script model: a DAG of relational operators over
+//! positionally-addressed tuples, plus the in-memory reference executor.
+
+use std::collections::HashMap;
+use tez_hive::expr::Expr;
+use tez_hive::plan::{AggExpr, AggState, compare_rows};
+use tez_hive::types::{encode_key, Row};
+use tez_hive::Catalog;
+
+/// Join execution strategy (PigLatin's `USING` clause).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Default shuffle (reduce-side) join.
+    Hash,
+    /// `USING 'replicated'`: broadcast the small right side.
+    Replicated,
+    /// `USING 'skewed'`: sample the left side and range-partition both
+    /// (paper §5.3).
+    Skewed,
+}
+
+/// Handle to a relation in a script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One operator.
+#[derive(Clone, Debug)]
+pub enum PigOp {
+    /// `LOAD 'table'`.
+    Load(String),
+    /// `FILTER input BY predicate`.
+    Filter(Expr),
+    /// `FOREACH input GENERATE exprs`.
+    Foreach(Vec<Expr>),
+    /// `FOREACH (GROUP input BY keys) GENERATE group, aggs` — grouping
+    /// fused with aggregation, the dominant Pig idiom.
+    GroupAgg {
+        /// Group key columns.
+        keys: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// `DISTINCT input`.
+    Distinct,
+    /// `JOIN left BY lk, right BY rk [USING strategy]`.
+    Join {
+        /// Strategy.
+        strategy: JoinStrategy,
+        /// Left key columns.
+        left_keys: Vec<usize>,
+        /// Right key columns.
+        right_keys: Vec<usize>,
+    },
+    /// `UNION inputs`.
+    Union,
+    /// `ORDER input BY keys [LIMIT n]` — a full total-order sort when
+    /// `limit` is `None` (the sampled range-partition path).
+    OrderBy {
+        /// `(column, descending)` keys.
+        keys: Vec<(usize, bool)>,
+        /// Optional limit (top-k).
+        limit: Option<usize>,
+    },
+    /// `STORE input INTO 'path'`.
+    Store(String),
+}
+
+/// One node: operator + inputs.
+#[derive(Clone, Debug)]
+pub struct PigNode {
+    /// The operator.
+    pub op: PigOp,
+    /// Input nodes.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A complete script: a DAG of operators with one or more stores.
+#[derive(Clone, Debug)]
+pub struct PigScript {
+    /// Script name.
+    pub name: String,
+    /// Nodes, indexed by [`NodeId`].
+    pub nodes: Vec<PigNode>,
+}
+
+impl PigScript {
+    /// New empty script.
+    pub fn new(name: impl Into<String>) -> Self {
+        PigScript {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, op: PigOp, inputs: Vec<NodeId>) -> NodeId {
+        self.nodes.push(PigNode { op, inputs });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// `LOAD 'table'`.
+    pub fn load(&mut self, table: &str) -> NodeId {
+        self.push(PigOp::Load(table.to_string()), vec![])
+    }
+
+    /// `FILTER`.
+    pub fn filter(&mut self, input: NodeId, predicate: Expr) -> NodeId {
+        self.push(PigOp::Filter(predicate), vec![input])
+    }
+
+    /// `FOREACH … GENERATE`.
+    pub fn foreach(&mut self, input: NodeId, exprs: Vec<Expr>) -> NodeId {
+        self.push(PigOp::Foreach(exprs), vec![input])
+    }
+
+    /// `GROUP … BY` + aggregation.
+    pub fn group(&mut self, input: NodeId, keys: Vec<usize>, aggs: Vec<AggExpr>) -> NodeId {
+        self.push(PigOp::GroupAgg { keys, aggs }, vec![input])
+    }
+
+    /// `DISTINCT`.
+    pub fn distinct(&mut self, input: NodeId) -> NodeId {
+        self.push(PigOp::Distinct, vec![input])
+    }
+
+    /// `JOIN`.
+    pub fn join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        strategy: JoinStrategy,
+    ) -> NodeId {
+        self.push(
+            PigOp::Join {
+                strategy,
+                left_keys,
+                right_keys,
+            },
+            vec![left, right],
+        )
+    }
+
+    /// `UNION`.
+    pub fn union(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        self.push(PigOp::Union, inputs)
+    }
+
+    /// `ORDER BY` (full total order when `limit` is `None`).
+    pub fn order_by(
+        &mut self,
+        input: NodeId,
+        keys: Vec<(usize, bool)>,
+        limit: Option<usize>,
+    ) -> NodeId {
+        self.push(PigOp::OrderBy { keys, limit }, vec![input])
+    }
+
+    /// `STORE`.
+    pub fn store(&mut self, input: NodeId, path: &str) -> NodeId {
+        self.push(PigOp::Store(path.to_string()), vec![input])
+    }
+
+    /// Number of consumers of each node.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.nodes.len()];
+        for n in &self.nodes {
+            for i in &n.inputs {
+                counts[i.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Store nodes (script outputs).
+    pub fn stores(&self) -> Vec<(NodeId, String)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.op {
+                PigOp::Store(p) => Some((NodeId(i), p.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Output arity (column count) of each node.
+    pub fn widths(&self, catalog: &Catalog) -> Vec<usize> {
+        let mut w = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            w[i] = match &n.op {
+                PigOp::Load(t) => catalog.schema(t).len(),
+                PigOp::Filter(_) | PigOp::Distinct | PigOp::Store(_) | PigOp::OrderBy { .. } => {
+                    w[n.inputs[0].0]
+                }
+                PigOp::Foreach(exprs) => exprs.len(),
+                PigOp::GroupAgg { keys, aggs } => keys.len() + aggs.len(),
+                PigOp::Join { .. } => w[n.inputs[0].0] + w[n.inputs[1].0],
+                PigOp::Union => w[n.inputs[0].0],
+            };
+        }
+        w
+    }
+
+    /// Reference execution: evaluate every node in memory, returning rows
+    /// per store path.
+    pub fn execute_reference(&self, catalog: &Catalog) -> HashMap<String, Vec<Row>> {
+        let tables = catalog.reference_tables();
+        let mut memo: Vec<Option<Vec<Row>>> = vec![None; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let inputs: Vec<Vec<Row>> = self.nodes[i]
+                .inputs
+                .iter()
+                .map(|id| memo[id.0].clone().expect("topological order"))
+                .collect();
+            let rows = match &self.nodes[i].op {
+                PigOp::Load(t) => tables[t].clone(),
+                PigOp::Filter(p) => inputs[0]
+                    .iter()
+                    .filter(|r| p.matches(r))
+                    .cloned()
+                    .collect(),
+                PigOp::Foreach(exprs) => inputs[0]
+                    .iter()
+                    .map(|r| exprs.iter().map(|e| e.eval(r)).collect())
+                    .collect(),
+                PigOp::GroupAgg { keys, aggs } => {
+                    let mut groups: std::collections::BTreeMap<Vec<u8>, (Row, Vec<AggState>)> =
+                        Default::default();
+                    for r in &inputs[0] {
+                        let key = encode_key(r, keys, &[]);
+                        let entry = groups.entry(key).or_insert_with(|| {
+                            (
+                                keys.iter().map(|&k| r[k].clone()).collect(),
+                                aggs.iter().map(AggExpr::init).collect(),
+                            )
+                        });
+                        for (a, s) in aggs.iter().zip(entry.1.iter_mut()) {
+                            a.update(s, r);
+                        }
+                    }
+                    groups
+                        .into_values()
+                        .map(|(mut k, states)| {
+                            k.extend(aggs.iter().zip(states).map(|(a, s)| a.finish(s)));
+                            k
+                        })
+                        .collect()
+                }
+                PigOp::Distinct => {
+                    let mut seen = std::collections::BTreeMap::new();
+                    for r in &inputs[0] {
+                        let all: Vec<usize> = (0..r.len()).collect();
+                        seen.entry(encode_key(r, &all, &[])).or_insert_with(|| r.clone());
+                    }
+                    seen.into_values().collect()
+                }
+                PigOp::Join {
+                    left_keys,
+                    right_keys,
+                    ..
+                } => {
+                    let mut build: HashMap<Vec<u8>, Vec<&Row>> = HashMap::new();
+                    for r in &inputs[1] {
+                        if right_keys.iter().any(|&k| r[k].is_null()) {
+                            continue;
+                        }
+                        build
+                            .entry(encode_key(r, right_keys, &[]))
+                            .or_default()
+                            .push(r);
+                    }
+                    let mut out = Vec::new();
+                    for l in &inputs[0] {
+                        if left_keys.iter().any(|&k| l[k].is_null()) {
+                            continue;
+                        }
+                        if let Some(ms) = build.get(&encode_key(l, left_keys, &[])) {
+                            for m in ms {
+                                let mut row = l.clone();
+                                row.extend(m.iter().cloned());
+                                out.push(row);
+                            }
+                        }
+                    }
+                    out
+                }
+                PigOp::Union => inputs.into_iter().flatten().collect(),
+                PigOp::OrderBy { keys, limit } => {
+                    let mut rows = inputs[0].clone();
+                    rows.sort_by(|a, b| compare_rows(a, b, keys));
+                    if let Some(n) = limit {
+                        rows.truncate(*n);
+                    }
+                    rows
+                }
+                PigOp::Store(_) => inputs[0].clone(),
+            };
+            memo[i] = Some(rows);
+        }
+        self.stores()
+            .into_iter()
+            .map(|(id, path)| (path, memo[id.0].clone().expect("evaluated")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tez_hive::types::{ColType, Datum, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "events",
+            Schema::new(vec![
+                ("user", ColType::I64),
+                ("kind", ColType::Str),
+                ("amount", ColType::I64),
+            ]),
+            vec![
+                vec![Datum::I64(1), Datum::str("view"), Datum::I64(3)],
+                vec![Datum::I64(1), Datum::str("buy"), Datum::I64(10)],
+                vec![Datum::I64(2), Datum::str("buy"), Datum::I64(7)],
+                vec![Datum::I64(2), Datum::str("view"), Datum::I64(1)],
+                vec![Datum::I64(1), Datum::str("buy"), Datum::I64(5)],
+            ],
+            1,
+            None,
+        );
+        c
+    }
+
+    #[test]
+    fn multi_store_script_reference() {
+        let mut s = PigScript::new("split");
+        let e = s.load("events");
+        let buys = s.filter(e, Expr::col(1).eq(Expr::lit_str("buy")));
+        let views = s.filter(e, Expr::col(1).eq(Expr::lit_str("view")));
+        let per_user = s.group(buys, vec![0], vec![(AggExpr::Sum(Expr::col(2)))]);
+        s.store(per_user, "/buys");
+        s.store(views, "/views");
+        assert_eq!(s.consumer_counts()[e.0], 2, "e is multi-consumed");
+        let out = s.execute_reference(&catalog());
+        assert_eq!(out["/views"].len(), 2);
+        let buys_rows = &out["/buys"];
+        assert_eq!(buys_rows.len(), 2);
+        let u1 = buys_rows.iter().find(|r| r[0] == Datum::I64(1)).unwrap();
+        assert_eq!(u1[1], Datum::I64(15));
+    }
+
+    #[test]
+    fn distinct_union_order_reference() {
+        let mut s = PigScript::new("duo");
+        let e1 = s.load("events");
+        let e2 = s.load("events");
+        let u = s.union(vec![e1, e2]);
+        let d = s.distinct(u);
+        let o = s.order_by(d, vec![(2, true)], None);
+        s.store(o, "/out");
+        let out = s.execute_reference(&catalog());
+        let rows = &out["/out"];
+        assert_eq!(rows.len(), 5, "distinct removes the union duplicates");
+        assert_eq!(rows[0][2], Datum::I64(10), "descending by amount");
+    }
+
+    #[test]
+    fn widths_track_operators() {
+        let cat = catalog();
+        let mut s = PigScript::new("w");
+        let e = s.load("events");
+        let f = s.foreach(e, vec![Expr::col(0)]);
+        let g = s.group(e, vec![0, 1], vec![AggExpr::CountStar]);
+        let j = s.join(f, g, vec![0], vec![0], JoinStrategy::Hash);
+        let w = s.widths(&cat);
+        assert_eq!(w[e.0], 3);
+        assert_eq!(w[f.0], 1);
+        assert_eq!(w[g.0], 3);
+        assert_eq!(w[j.0], 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Production-style ETL workloads for the Figure 10 comparison.
+//!
+//! The paper's Yahoo tests ran "large production ETL pig jobs … with
+//! varying characteristics like terabytes of input, 100K+ tasks, complex
+//! DAGs with 20 to 50 vertices and doing a combination of various
+//! operations like group by, union, distinct, join, order by". These
+//! generators produce scripts mixing exactly those operations over a
+//! synthetic event warehouse.
+
+use crate::script::{JoinStrategy, PigScript};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tez_hive::expr::Expr;
+use tez_hive::plan::AggExpr;
+use tez_hive::types::{ColType, Datum, Row, Schema};
+use tez_hive::Catalog;
+
+const KINDS: &[&str] = &["view", "click", "buy", "share", "search"];
+
+/// Generate the event warehouse: two daily event tables (for unions), a
+/// users dimension, and a deliberately **skewed** clicks table.
+pub fn event_catalog(rows: usize, blocks: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe7);
+    let mut cat = Catalog::new();
+    let users = (rows / 20).max(10);
+
+    let event_schema = || {
+        Schema::new(vec![
+            ("user", ColType::I64),
+            ("kind", ColType::Str),
+            ("amount", ColType::I64),
+            ("ts", ColType::I64),
+        ])
+    };
+    for day in ["events_day1", "events_day2"] {
+        let data: Vec<Row> = (0..rows)
+            .map(|_| {
+                vec![
+                    Datum::I64(rng.random_range(0..users) as i64),
+                    Datum::str(KINDS[rng.random_range(0..KINDS.len())]),
+                    Datum::I64(rng.random_range(1..500)),
+                    Datum::I64(rng.random_range(0..86_400)),
+                ]
+            })
+            .collect();
+        cat.add_table(day, event_schema(), data, blocks, None);
+    }
+
+    cat.add_table(
+        "users",
+        Schema::new(vec![
+            ("uid", ColType::I64),
+            ("country", ColType::Str),
+            ("age", ColType::I64),
+        ]),
+        (0..users)
+            .map(|i| {
+                vec![
+                    Datum::I64(i as i64),
+                    Datum::str(["US", "DE", "IN", "BR", "JP"][rng.random_range(0..5)]),
+                    Datum::I64(rng.random_range(13..90)),
+                ]
+            })
+            .collect(),
+        1,
+        None,
+    );
+
+    // Zipf-ish skew: 40% of clicks hit user 0.
+    let clicks: Vec<Row> = (0..rows)
+        .map(|_| {
+            let user = if rng.random_range(0..10) < 4 {
+                0
+            } else {
+                rng.random_range(0..users) as i64
+            };
+            vec![
+                Datum::I64(user),
+                Datum::I64(rng.random_range(1..100)),
+            ]
+        })
+        .collect();
+    cat.add_table(
+        "clicks",
+        Schema::new(vec![("user", ColType::I64), ("weight", ColType::I64)]),
+        clicks,
+        blocks,
+        None,
+    );
+    // The users dimension is absolutely small.
+    cat.set_scale_override("users", 1.0);
+    cat
+}
+
+/// The Figure 10 script suite: `(name, script)` pairs mixing group-by,
+/// union, distinct, join and order-by, including multi-output scripts.
+pub fn production_scripts() -> Vec<(&'static str, PigScript)> {
+    let mut out = Vec::new();
+
+    // 1. Daily aggregate report: filter → group → top-k.
+    {
+        let mut s = PigScript::new("daily_report");
+        let e = s.load("events_day1");
+        let buys = s.filter(e, Expr::col(1).eq(Expr::lit_str("buy")));
+        let agg = s.group(
+            buys,
+            vec![0],
+            vec![AggExpr::CountStar, AggExpr::Sum(Expr::col(2))],
+        );
+        let top = s.order_by(agg, vec![(2, true)], Some(25));
+        s.store(top, "/out/daily_report");
+        out.push(("daily_report", s));
+    }
+
+    // 2. Enriched sessions: join events with users, two grouped outputs
+    //    from one shared stream (multi-output DAG).
+    {
+        let mut s = PigScript::new("session_enrich");
+        let e = s.load("events_day1");
+        let u = s.load("users");
+        let j = s.join(e, u, vec![0], vec![0], JoinStrategy::Replicated);
+        // j: user, kind, amount, ts, uid, country, age
+        let by_country = s.group(j, vec![5], vec![AggExpr::Sum(Expr::col(2))]);
+        let by_kind = s.group(j, vec![1], vec![AggExpr::CountStar]);
+        s.store(by_country, "/out/by_country");
+        s.store(by_kind, "/out/by_kind");
+        out.push(("session_enrich", s));
+    }
+
+    // 3. Cross-day dedup: union → distinct users → group.
+    {
+        let mut s = PigScript::new("cross_day_dedup");
+        let d1 = s.load("events_day1");
+        let d2 = s.load("events_day2");
+        let p1 = s.foreach(d1, vec![Expr::col(0), Expr::col(1)]);
+        let p2 = s.foreach(d2, vec![Expr::col(0), Expr::col(1)]);
+        let u = s.union(vec![p1, p2]);
+        let d = s.distinct(u);
+        let agg = s.group(d, vec![1], vec![AggExpr::CountStar]);
+        s.store(agg, "/out/dedup_kinds");
+        out.push(("cross_day_dedup", s));
+    }
+
+    // 4. Skewed click join + full total-order sort (the §5.3 patterns).
+    {
+        let mut s = PigScript::new("skewed_rank");
+        let c = s.load("clicks");
+        let u = s.load("users");
+        let j = s.join(c, u, vec![0], vec![0], JoinStrategy::Skewed);
+        // j: user, weight, uid, country, age
+        let agg = s.group(j, vec![3], vec![AggExpr::Sum(Expr::col(1))]);
+        let sorted = s.order_by(agg, vec![(1, true)], None);
+        s.store(sorted, "/out/skewed_rank");
+        out.push(("skewed_rank", s));
+    }
+
+    // 5. Multi-branch fan-out: one scan feeding three filtered aggregates
+    //    (a SPLIT-style script).
+    {
+        let mut s = PigScript::new("fanout");
+        let e = s.load("events_day1");
+        for (i, kind) in ["view", "click", "buy"].iter().enumerate() {
+            let f = s.filter(e, Expr::col(1).eq(Expr::lit_str(kind)));
+            let g = s.group(f, vec![0], vec![AggExpr::Sum(Expr::col(2))]);
+            let t = s.order_by(g, vec![(1, true)], Some(10));
+            s.store(t, &format!("/out/fanout_{i}"));
+        }
+        out.push(("fanout", s));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_skew() {
+        let cat = event_catalog(500, 4, 1);
+        let clicks = &cat.table("clicks").rows;
+        let user0 = clicks.iter().filter(|r| r[0] == Datum::I64(0)).count();
+        assert!(
+            user0 * 2 > clicks.len() / 2,
+            "user 0 should hold ~40% of clicks, got {user0}/{}",
+            clicks.len()
+        );
+    }
+
+    #[test]
+    fn scripts_run_on_reference() {
+        let cat = event_catalog(500, 4, 1);
+        for (name, s) in production_scripts() {
+            let outputs = s.execute_reference(&cat);
+            assert!(!outputs.is_empty(), "{name} has stores");
+            for (path, rows) in outputs {
+                assert!(!rows.is_empty(), "{name}: {path} is empty");
+            }
+        }
+    }
+}

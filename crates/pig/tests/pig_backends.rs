@@ -1,0 +1,163 @@
+//! Pig backend equivalence and the §5.3 mechanisms: multi-output scripts,
+//! sampled total-order sorts, skewed joins, and iterative K-means.
+
+use tez_core::{TezClient, TezConfig};
+use tez_hive::plan::compare_rows;
+use tez_hive::types::{Datum, Row};
+use tez_pig::kmeans::{generate_points, run_kmeans};
+use tez_pig::workloads::{event_catalog, production_scripts};
+use tez_pig::{PigEngine, PigOpts};
+use tez_yarn::{ClusterSpec, CostModel};
+
+fn client() -> TezClient {
+    TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(CostModel {
+        straggler_prob: 0.0,
+        ..CostModel::default()
+    })
+}
+
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let keys: Vec<(usize, bool)> = (0..width).map(|i| (i, false)).collect();
+    rows.sort_by(|a, b| compare_rows(a, b, &keys));
+    rows
+}
+
+fn rows_equal(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                (Datum::F64(p), Datum::F64(q)) => {
+                    (p - q).abs() <= 1e-6 * (1.0 + p.abs().max(q.abs()))
+                }
+                _ => x == y,
+            })
+        })
+}
+
+#[test]
+fn production_scripts_backends_agree() {
+    let engine = PigEngine::new(event_catalog(400, 4, 3));
+    let client = client();
+    let opts = PigOpts::default();
+    for (name, script) in production_scripts() {
+        eprintln!("== {name}");
+        let expected = engine.reference(&script);
+        let tez = engine.run_tez(&client, &script, &opts);
+        assert!(tez.success(), "{name} tez failed: {:?}", tez.reports);
+        let mr = engine.run_mr(&client, &script, &opts);
+        assert!(mr.success(), "{name} mr failed: {:?}", mr.reports);
+        for (path, exp) in &expected {
+            // Sorted stores (order-by outputs) compare in order; others
+            // canonically. Our order-by stores are either top-k (single
+            // task) or sampled sorts, both order-preserving in file order.
+            let is_sorted = name == "daily_report" || name == "skewed_rank" || name == "fanout";
+            let (e, t, m) = if is_sorted {
+                (
+                    exp.clone(),
+                    tez.outputs[path].clone(),
+                    mr.outputs[path].clone(),
+                )
+            } else {
+                (
+                    canon(exp.clone()),
+                    canon(tez.outputs[path].clone()),
+                    canon(mr.outputs[path].clone()),
+                )
+            };
+            assert!(
+                rows_equal(&e, &t),
+                "{name} {path}: tez mismatch ({} vs {} rows)\nexp {:?}\ngot {:?}",
+                e.len(),
+                t.len(),
+                e.iter().take(3).collect::<Vec<_>>(),
+                t.iter().take(3).collect::<Vec<_>>()
+            );
+            assert!(
+                rows_equal(&e, &m),
+                "{name} {path}: mr mismatch ({} vs {} rows)",
+                e.len(),
+                m.len()
+            );
+        }
+        assert!(
+            tez.runtime_ms() <= mr.runtime_ms(),
+            "{name}: tez {} > mr {}",
+            tez.runtime_ms(),
+            mr.runtime_ms()
+        );
+    }
+}
+
+#[test]
+fn full_sort_is_totally_ordered_across_partitions() {
+    let engine = PigEngine::new(event_catalog(400, 4, 3));
+    let client = client();
+    let mut s = tez_pig::PigScript::new("sortall");
+    let e = s.load("events_day1");
+    let o = s.order_by(e, vec![(2, false), (0, false), (3, false)], None);
+    s.store(o, "/out/sorted");
+    let res = engine.run_tez(&client, &s, &PigOpts::default());
+    assert!(res.success(), "{:?}", res.reports);
+    let rows = &res.outputs["/out/sorted"];
+    assert_eq!(rows.len(), 400);
+    for w in rows.windows(2) {
+        assert_ne!(
+            compare_rows(&w[0], &w[1], &[(2, false), (0, false), (3, false)]),
+            std::cmp::Ordering::Greater,
+            "sink must be globally sorted"
+        );
+    }
+}
+
+#[test]
+fn kmeans_converges_and_sessions_help() {
+    let points = generate_points(600, 3, 5);
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 4096, 4)).with_cost(CostModel {
+        straggler_prob: 0.0,
+        ..CostModel::default()
+    });
+    let iterations = 10;
+
+    let session_cfg = TezConfig {
+        session: true,
+        container_reuse: true,
+        prewarm_containers: 2,
+        ..TezConfig::default()
+    };
+    let tez = run_kmeans(&client, &points, 3, iterations, session_cfg, 4);
+    assert_eq!(tez.reports.len(), iterations);
+    assert!(tez.reports.iter().all(|r| r.status.is_success()));
+    assert_eq!(tez.centroids.len(), 3);
+    // Converged near the true centers (0,0), (10,10), (20,20).
+    for &(_, x, y) in &tez.centroids {
+        let near = [(0.0, 0.0), (10.0, 10.0), (20.0, 20.0)]
+            .iter()
+            .any(|&(cx, cy)| (x - cx).abs() < 1.5 && (y - cy).abs() < 1.5);
+        assert!(near, "centroid ({x:.2},{y:.2}) not near a true center");
+    }
+
+    let mr = run_kmeans(
+        &client,
+        &points,
+        3,
+        iterations,
+        TezConfig::mapreduce_baseline(),
+        4,
+    );
+    assert!(mr.reports.iter().all(|r| r.status.is_success()));
+    assert!(
+        tez.total_ms < mr.total_ms,
+        "session run {} must beat per-job AMs {}",
+        tez.total_ms,
+        mr.total_ms
+    );
+    // Later session iterations are faster than the first (warm containers,
+    // cached points).
+    let first = tez.reports[0].runtime_ms();
+    let later = tez.reports[iterations - 1].runtime_ms();
+    assert!(
+        later < first,
+        "warm iteration {later}ms should beat cold {first}ms"
+    );
+}

@@ -1,0 +1,30 @@
+//! Data-sink committers (paper §3.1): make final output visible to
+//! external observers, exactly once, after successful completion.
+
+use crate::env::Dfs;
+use crate::error::TaskError;
+use crate::io::SinkArtifact;
+
+/// Environment available during commit.
+pub struct CommitEnv<'a> {
+    /// The distributed filesystem receiving the output.
+    pub dfs: &'a mut dyn Dfs,
+}
+
+/// The DataSinkCommitter API. The orchestrator invokes [`commit`](Self::commit)
+/// once per sink when the DAG succeeds, with the artifacts of every
+/// successful task, and [`abort`](Self::abort) when it fails.
+pub trait OutputCommitter: Send {
+    /// Publish the artifacts (typically: concatenate part files into the
+    /// target path and make it visible).
+    fn commit(
+        &mut self,
+        artifacts: &[SinkArtifact],
+        env: &mut CommitEnv<'_>,
+    ) -> Result<(), TaskError>;
+
+    /// Discard any partial output.
+    fn abort(&mut self, env: &mut CommitEnv<'_>) {
+        let _ = env;
+    }
+}

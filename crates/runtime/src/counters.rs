@@ -1,0 +1,138 @@
+//! Task and DAG counters ("publishing metrics and statistics", paper §2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Well-known counter names used by the built-in components.
+pub mod counter_names {
+    /// Raw bytes read by all inputs of a task.
+    pub const BYTES_READ: &str = "BYTES_READ";
+    /// Raw bytes written by all outputs of a task.
+    pub const BYTES_WRITTEN: &str = "BYTES_WRITTEN";
+    /// Records consumed by the processor.
+    pub const RECORDS_IN: &str = "RECORDS_IN";
+    /// Records produced by the processor.
+    pub const RECORDS_OUT: &str = "RECORDS_OUT";
+    /// Bytes read over the (simulated) network.
+    pub const REMOTE_BYTES: &str = "REMOTE_BYTES";
+    /// Bytes spilled by the external sorter.
+    pub const SPILLED_BYTES: &str = "SPILLED_BYTES";
+    /// Number of sorted spill runs merged.
+    pub const MERGED_RUNS: &str = "MERGED_RUNS";
+    /// Shuffle fetch retries performed.
+    pub const FETCH_RETRIES: &str = "FETCH_RETRIES";
+    /// Records dropped by a combiner.
+    pub const COMBINED_RECORDS: &str = "COMBINED_RECORDS";
+    /// Splits pruned by dynamic partition pruning.
+    pub const PRUNED_SPLITS: &str = "PRUNED_SPLITS";
+    /// Objects served from the shared object registry.
+    pub const REGISTRY_HITS: &str = "REGISTRY_HITS";
+}
+
+/// A deterministic, mergeable bag of named `u64` counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if delta != 0 {
+            *self.values.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Increment `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 when never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterate counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no counter has been written.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:>24} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_inc() {
+        let mut c = Counters::new();
+        c.add(counter_names::BYTES_READ, 100);
+        c.inc(counter_names::RECORDS_IN);
+        c.inc(counter_names::RECORDS_IN);
+        assert_eq!(c.get(counter_names::BYTES_READ), 100);
+        assert_eq!(c.get(counter_names::RECORDS_IN), 2);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn zero_add_allocates_nothing() {
+        let mut c = Counters::new();
+        c.add("x", 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Counters::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.add("b", 1);
+        c.add("a", 1);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Abstract environment handed to tasks: data fetching, distributed
+//! storage, the shared object registry, and security tokens.
+//!
+//! These traits keep `tez-runtime` independent of the simulator: the
+//! orchestrator (`tez-core`) adapts the simulated cluster services of
+//! `tez-yarn` / `tez-shuffle` to these interfaces.
+
+use crate::error::TaskError;
+use crate::events::ShardLocator;
+use bytes::Bytes;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A fetched shard of intermediate data.
+#[derive(Clone, Debug)]
+pub struct FetchedShard {
+    /// Encoded key-value bytes (format owned by the input/output pair).
+    pub data: Bytes,
+    /// Record count.
+    pub records: u64,
+    /// Whether the shard is sorted by key.
+    pub sorted: bool,
+    /// Whether the fetch crossed the network (for counters/cost).
+    pub remote: bool,
+}
+
+/// Failure to fetch one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchError {
+    /// The locator that failed.
+    pub locator: ShardLocator,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Fetches intermediate data by locator (the consumer side of the shuffle
+/// service). Implementations validate the caller's [`SecurityToken`].
+pub trait DataFetcher {
+    /// Fetch one shard.
+    fn fetch(&self, locator: &ShardLocator, token: SecurityToken) -> Result<FetchedShard, FetchError>;
+}
+
+/// One block of a distributed-filesystem file.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Block index within the file.
+    pub index: usize,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Record count.
+    pub records: u64,
+    /// Host names holding replicas.
+    pub hosts: Vec<String>,
+}
+
+/// Minimal distributed-filesystem contract used by root inputs, leaf
+/// outputs, split initializers and the classic MapReduce baseline.
+pub trait Dfs {
+    /// Blocks of a file, or `None` if absent.
+    fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>>;
+    /// Read one block's data.
+    fn read_block(&self, path: &str, index: usize) -> Option<Bytes>;
+    /// Create (or replace) a file from blocks; returns total bytes written.
+    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64;
+    /// Delete a file if present.
+    fn delete(&mut self, path: &str);
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool;
+}
+
+/// Lifecycle scope of a shared-registry object (paper §4.2, "Shared Object
+/// Registry"): objects are evicted when their scope completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectScope {
+    /// Evicted when the owning vertex completes.
+    Vertex,
+    /// Evicted when the DAG completes.
+    Dag,
+    /// Evicted when the session ends.
+    Session,
+}
+
+/// Per-container in-memory cache shared by successive tasks running in the
+/// same container — e.g. Hive caches the broadcast-join hash table so later
+/// join tasks in the container skip rebuilding it.
+pub trait ObjectRegistry: Send {
+    /// Look up a cached object.
+    fn get(&self, key: &str) -> Option<Arc<dyn Any + Send + Sync>>;
+    /// Cache an object under the given lifecycle scope.
+    fn put(&self, scope: ObjectScope, key: &str, value: Arc<dyn Any + Send + Sync>);
+}
+
+/// Authentication token handed to tasks; the shuffle service validates it
+/// on every fetch (modelling YARN's token-based security, paper §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SecurityToken(pub u64);
+
+impl SecurityToken {
+    /// A deliberately-invalid token (for tests).
+    pub const INVALID: SecurityToken = SecurityToken(0);
+}
+
+/// Everything a task may touch while it runs. Lifetimes borrow from the
+/// executor that assembles the environment.
+pub struct TaskEnv<'a> {
+    /// Shuffle fetch service.
+    pub fetcher: &'a dyn DataFetcher,
+    /// Distributed filesystem.
+    pub dfs: &'a mut dyn Dfs,
+    /// Per-container shared object registry.
+    pub registry: &'a dyn ObjectRegistry,
+    /// This task's security token.
+    pub token: SecurityToken,
+}
+
+impl<'a> TaskEnv<'a> {
+    /// Fetch a shard with this task's token.
+    pub fn fetch(&self, locator: &ShardLocator) -> Result<FetchedShard, FetchError> {
+        self.fetcher.fetch(locator, self.token)
+    }
+}
+
+/// A no-op registry for contexts where sharing is disabled.
+pub struct NullObjectRegistry;
+
+impl ObjectRegistry for NullObjectRegistry {
+    fn get(&self, _key: &str) -> Option<Arc<dyn Any + Send + Sync>> {
+        None
+    }
+    fn put(&self, _scope: ObjectScope, _key: &str, _value: Arc<dyn Any + Send + Sync>) {}
+}
+
+/// In-memory [`Dfs`] for unit tests of inputs/outputs. The production-grade
+/// simulated HDFS (replication, locality, failure) lives in `tez-yarn`.
+#[derive(Default)]
+pub struct MemDfs {
+    files: std::collections::HashMap<String, Vec<(Bytes, u64)>>,
+}
+
+impl MemDfs {
+    /// Empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dfs for MemDfs {
+    fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>> {
+        self.files.get(path).map(|blocks| {
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, (data, records))| BlockInfo {
+                    index: i,
+                    bytes: data.len() as u64,
+                    records: *records,
+                    hosts: Vec::new(),
+                })
+                .collect()
+        })
+    }
+
+    fn read_block(&self, path: &str, index: usize) -> Option<Bytes> {
+        self.files.get(path)?.get(index).map(|(d, _)| d.clone())
+    }
+
+    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+        let bytes = blocks.iter().map(|(d, _)| d.len() as u64).sum();
+        self.files.insert(path.to_string(), blocks);
+        bytes
+    }
+
+    fn delete(&mut self, path: &str) {
+        self.files.remove(path);
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fetch of output {} partition {} on node {} failed: {}",
+            self.locator.output_id, self.locator.partition, self.locator.node, self.reason
+        )
+    }
+}
+
+impl From<FetchError> for TaskError {
+    fn from(e: FetchError) -> Self {
+        TaskError::Failed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_dfs_roundtrip() {
+        let mut dfs = MemDfs::new();
+        assert!(!dfs.exists("/t"));
+        let written = dfs.write_file(
+            "/t",
+            vec![(Bytes::from_static(b"abc"), 1), (Bytes::from_static(b"de"), 1)],
+        );
+        assert_eq!(written, 5);
+        assert!(dfs.exists("/t"));
+        let blocks = dfs.list_blocks("/t").unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].bytes, 3);
+        assert_eq!(&dfs.read_block("/t", 1).unwrap()[..], b"de");
+        dfs.delete("/t");
+        assert!(dfs.list_blocks("/t").is_none());
+    }
+
+    #[test]
+    fn null_registry_never_stores() {
+        let r = NullObjectRegistry;
+        r.put(ObjectScope::Dag, "k", Arc::new(5u32));
+        assert!(r.get("k").is_none());
+    }
+}

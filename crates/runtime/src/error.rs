@@ -1,0 +1,82 @@
+//! Task-level error type shared by processors, inputs and outputs.
+
+use crate::events::InputReadError;
+use std::fmt;
+
+/// Errors surfaced by application code or the data plane while a task runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Application logic failed; the attempt may be retried on another node.
+    Failed(String),
+    /// Application logic failed fatally; the task (and DAG) must not retry.
+    Fatal(String),
+    /// One or more input shards could not be fetched. The framework uses
+    /// the DAG dependency to re-execute the producers that generated the
+    /// missing data (paper §4.3).
+    InputRead(Vec<InputReadError>),
+    /// A component kind was not found in the registry.
+    UnknownComponent(String),
+    /// Data decoding failed (corrupt shard, wrong format pairing).
+    Corrupt(String),
+    /// Security token rejected by the shuffle service.
+    AccessDenied(String),
+}
+
+impl TaskError {
+    /// Convenience constructor for [`TaskError::Failed`].
+    pub fn failed(msg: impl Into<String>) -> Self {
+        TaskError::Failed(msg.into())
+    }
+
+    /// Convenience constructor for [`TaskError::Fatal`].
+    pub fn fatal(msg: impl Into<String>) -> Self {
+        TaskError::Fatal(msg.into())
+    }
+
+    /// Whether the error is retriable on a different attempt.
+    pub fn is_retriable(&self) -> bool {
+        !matches!(self, TaskError::Fatal(_) | TaskError::UnknownComponent(_))
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Failed(m) => write!(f, "task failed: {m}"),
+            TaskError::Fatal(m) => write!(f, "task failed fatally: {m}"),
+            TaskError::InputRead(errs) => {
+                write!(f, "failed to read {} input shard(s)", errs.len())
+            }
+            TaskError::UnknownComponent(k) => write!(f, "unknown component kind {k:?}"),
+            TaskError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            TaskError::AccessDenied(m) => write!(f, "access denied: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::ShardLocator;
+
+    #[test]
+    fn retriability() {
+        assert!(TaskError::failed("x").is_retriable());
+        assert!(!TaskError::fatal("x").is_retriable());
+        assert!(TaskError::InputRead(vec![InputReadError {
+            locator: ShardLocator::default(),
+            consumer_vertex: "v".into(),
+            consumer_task: 0,
+        }])
+        .is_retriable());
+        assert!(!TaskError::UnknownComponent("K".into()).is_retriable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TaskError::failed("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Data-source initializers (paper §3.5).
+//!
+//! "A data source in a DAG can be associated with a DataSourceInitializer
+//! that is invoked by the framework before running tasks for the vertex
+//! reading that data source. The initializer has the opportunity to use
+//! accurate information available at runtime to determine how to optimally
+//! read the input." Split calculation and Hive's dynamic partition pruning
+//! are the canonical uses.
+
+use crate::counters::Counters;
+use crate::env::Dfs;
+use crate::error::TaskError;
+use bytes::Bytes;
+
+/// One shard of root-input work assigned to a task.
+#[derive(Clone, Debug)]
+pub struct InputSplit {
+    /// Opaque payload interpreted by the input class (e.g. file + block
+    /// range).
+    pub payload: Bytes,
+    /// Preferred hosts (for locality-aware scheduling).
+    pub hosts: Vec<String>,
+    /// Estimated bytes covered by the split.
+    pub bytes: u64,
+    /// Estimated records covered by the split.
+    pub records: u64,
+}
+
+/// Outcome of an initializer step.
+#[derive(Debug)]
+pub enum InitializerResult {
+    /// Splits are decided; the vertex may configure its parallelism.
+    Ready(Vec<InputSplit>),
+    /// The initializer is waiting for runtime information delivered via
+    /// [`InputInitializer::on_event`] (e.g. pruning metadata from another
+    /// part of the DAG).
+    Waiting,
+}
+
+/// Runtime information available to an initializer: cluster state and the
+/// distributed filesystem ("it also has access to cluster information via
+/// its framework context object").
+pub trait InitializerContext {
+    /// The distributed filesystem.
+    fn dfs(&self) -> &dyn Dfs;
+    /// Number of live cluster nodes.
+    fn cluster_nodes(&self) -> usize;
+    /// Total concurrently-runnable task slots in the cluster.
+    fn total_slots(&self) -> usize;
+    /// The vertex this initializer belongs to.
+    fn vertex_name(&self) -> &str;
+    /// DAG-level counters for recording statistics (e.g. pruned splits).
+    fn counters(&mut self) -> &mut Counters;
+}
+
+/// The DataSourceInitializer API.
+pub trait InputInitializer: Send {
+    /// Compute splits, or declare that runtime events are needed first.
+    fn initialize(
+        &mut self,
+        ctx: &mut dyn InitializerContext,
+    ) -> Result<InitializerResult, TaskError>;
+
+    /// Receive an application event (opaque payload) routed to this
+    /// initializer; may now be able to produce (pruned) splits.
+    fn on_event(
+        &mut self,
+        payload: &[u8],
+        ctx: &mut dyn InitializerContext,
+    ) -> Result<InitializerResult, TaskError> {
+        let _ = (payload, ctx);
+        Ok(InitializerResult::Waiting)
+    }
+}

@@ -1,0 +1,313 @@
+//! The IPO task composition (paper §3.2): inputs, processor, outputs.
+//!
+//! "Tez defines each task as a composition of a set of inputs, a processor
+//! and a set of outputs (IPO). … The inputs and outputs hide details like
+//! the data transport, partitioning of data and/or aggregation of
+//! distributed shards."
+
+use crate::counters::Counters;
+use crate::env::TaskEnv;
+use crate::error::TaskError;
+use crate::events::{OutboundEvent, ShardLocator};
+use crate::kv::InputReader;
+use bytes::Bytes;
+use tez_dag::NamedDescriptor;
+
+/// Identity of one task attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskMeta {
+    /// DAG name.
+    pub dag: String,
+    /// Vertex name.
+    pub vertex: String,
+    /// Task index within the vertex.
+    pub task_index: usize,
+    /// Total tasks in the vertex (resolved parallelism).
+    pub num_tasks: usize,
+    /// Attempt number (0-based; >0 for retries and speculation).
+    pub attempt: usize,
+}
+
+/// Where a logical input's data comes from.
+#[derive(Clone, Debug)]
+pub enum InputSource {
+    /// Edge input: shards to fetch from the shuffle service, one per
+    /// physical input, in input-index order.
+    Shards(Vec<ShardLocator>),
+    /// Root input: the opaque split payload assigned by the initializer.
+    Split(Bytes),
+}
+
+/// One logical input of a task.
+#[derive(Clone, Debug)]
+pub struct InputSpec {
+    /// Logical name: the producing vertex name for edge inputs, or the data
+    /// source name for root inputs.
+    pub name: String,
+    /// Input class + configuration.
+    pub descriptor: NamedDescriptor,
+    /// The physical data.
+    pub source: InputSource,
+}
+
+/// One logical output of a task.
+#[derive(Clone, Debug)]
+pub struct OutputSpec {
+    /// Logical name: the consuming vertex name for edge outputs, or the
+    /// data sink name for leaf outputs.
+    pub name: String,
+    /// Output class + configuration.
+    pub descriptor: NamedDescriptor,
+    /// Number of physical partitions to produce (from the edge manager).
+    pub num_partitions: usize,
+    /// Whether this is a leaf (data sink) output.
+    pub is_sink: bool,
+    /// Index of the task this output belongs to (sink outputs use it for
+    /// part-file naming).
+    pub task_index: usize,
+    /// Name of the producing vertex (part-file names must be unique across
+    /// vertices writing the same sink path).
+    pub vertex: String,
+}
+
+/// Complete specification of one task attempt, assembled by the
+/// orchestrator and handed to the task executor.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Task identity.
+    pub meta: TaskMeta,
+    /// Processor class + configuration.
+    pub processor: NamedDescriptor,
+    /// Inputs in deterministic (edge declaration) order.
+    pub inputs: Vec<InputSpec>,
+    /// Outputs in deterministic order.
+    pub outputs: Vec<OutputSpec>,
+}
+
+/// A logical input: fetches/decodes its shards in [`start`](Self::start),
+/// then hands the processor a reader.
+pub trait LogicalInput: Send {
+    /// Fetch and prepare data. Fetch failures must be reported as
+    /// [`TaskError::InputRead`] so the framework can regenerate producers.
+    fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError>;
+
+    /// The reader over the prepared data. Consumes the prepared data; the
+    /// framework calls this at most once.
+    fn reader(&mut self) -> Result<InputReader, TaskError>;
+
+    /// Total bytes read (local + remote).
+    fn bytes_read(&self) -> u64;
+
+    /// Records read.
+    fn records_read(&self) -> u64;
+
+    /// Bytes fetched across the network (subset of [`bytes_read`](Self::bytes_read)).
+    fn remote_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// One materialized output partition, ready for the data service.
+#[derive(Clone, Debug)]
+pub struct PartitionBuf {
+    /// Encoded key-value data.
+    pub data: Bytes,
+    /// Record count.
+    pub records: u64,
+    /// Whether sorted by key.
+    pub sorted: bool,
+}
+
+/// A leaf-output artifact: a part-file destined for the DFS, made visible
+/// only by the committer after success (paper §3.1, "commit … is guaranteed
+/// to be done once").
+#[derive(Clone, Debug)]
+pub struct SinkArtifact {
+    /// Target file path.
+    pub path: String,
+    /// Part name (unique per task, e.g. `part-00003`).
+    pub part: String,
+    /// Data blocks with record counts.
+    pub blocks: Vec<(Bytes, u64)>,
+}
+
+/// Everything an output produced, returned from [`LogicalOutput::close`].
+#[derive(Clone, Debug, Default)]
+pub struct OutputCommit {
+    /// Edge output partitions to publish to the data service.
+    pub partitions: Vec<PartitionBuf>,
+    /// Leaf output artifact, if this was a sink.
+    pub sink: Option<SinkArtifact>,
+    /// Bytes spilled during sorting (for counters/cost model).
+    pub spilled_bytes: u64,
+}
+
+impl OutputCommit {
+    /// Total bytes across partitions and sink blocks.
+    pub fn total_bytes(&self) -> u64 {
+        let p: u64 = self.partitions.iter().map(|p| p.data.len() as u64).sum();
+        let s: u64 = self
+            .sink
+            .iter()
+            .flat_map(|s| s.blocks.iter())
+            .map(|(d, _)| d.len() as u64)
+            .sum();
+        p + s
+    }
+
+    /// Total records across partitions and sink blocks.
+    pub fn total_records(&self) -> u64 {
+        let p: u64 = self.partitions.iter().map(|p| p.records).sum();
+        let s: u64 = self.sink.iter().flat_map(|s| s.blocks.iter()).map(|(_, r)| r).sum();
+        p + s
+    }
+}
+
+/// A logical output: accepts writes from the processor, and on close
+/// produces the partitions/artifacts to publish.
+pub trait LogicalOutput: Send {
+    /// Write one key-value pair.
+    fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), TaskError>;
+
+    /// Finish: sort/spill/merge as needed and return the produced data.
+    fn close(&mut self, env: &mut TaskEnv<'_>) -> Result<OutputCommit, TaskError>;
+
+    /// Replace this output's configuration with a new opaque payload before
+    /// any write — the "IPO configuration" late-binding hook (paper §3.2).
+    /// E.g. a processor installs range-partition bounds computed at runtime
+    /// from a sampled histogram. Default: configuration is immutable.
+    fn reconfigure(&mut self, payload: &[u8]) -> Result<(), TaskError> {
+        let _ = payload;
+        Err(TaskError::Fatal("output does not support reconfiguration".into()))
+    }
+}
+
+/// An instantiated, named logical input.
+pub struct NamedInput {
+    /// Logical name (see [`InputSpec::name`]).
+    pub name: String,
+    /// The live input.
+    pub input: Box<dyn LogicalInput>,
+}
+
+/// An instantiated, named logical output.
+pub struct NamedOutput {
+    /// Logical name (see [`OutputSpec::name`]).
+    pub name: String,
+    /// The live output.
+    pub output: Box<dyn LogicalOutput>,
+}
+
+/// Context handed to a [`Processor::run`]: its IPOs, environment, counters
+/// and the outbound event channel.
+pub struct ProcessorContext<'a, 'b> {
+    /// Task identity.
+    pub meta: &'a TaskMeta,
+    /// Started inputs (ready to read).
+    pub inputs: &'a mut Vec<NamedInput>,
+    /// Open outputs.
+    pub outputs: &'a mut Vec<NamedOutput>,
+    /// Task environment.
+    pub env: &'a mut TaskEnv<'b>,
+    /// Task counters.
+    pub counters: &'a mut Counters,
+    /// Events to route after the task completes (control plane, §3.3).
+    pub events: &'a mut Vec<OutboundEvent>,
+}
+
+impl<'a, 'b> ProcessorContext<'a, 'b> {
+    /// Take the reader of the named input.
+    pub fn reader(&mut self, name: &str) -> Result<InputReader, TaskError> {
+        let input = self
+            .inputs
+            .iter_mut()
+            .find(|i| i.name == name)
+            .ok_or_else(|| TaskError::Corrupt(format!("no input named {name:?}")))?;
+        input.input.reader()
+    }
+
+    /// Write a pair to the named output.
+    pub fn write(&mut self, name: &str, key: &[u8], value: &[u8]) -> Result<(), TaskError> {
+        let output = self
+            .outputs
+            .iter_mut()
+            .find(|o| o.name == name)
+            .ok_or_else(|| TaskError::Corrupt(format!("no output named {name:?}")))?;
+        output.output.write(key, value)
+    }
+
+    /// Names of all inputs, in spec order.
+    pub fn input_names(&self) -> Vec<String> {
+        self.inputs.iter().map(|i| i.name.clone()).collect()
+    }
+
+    /// Names of all outputs, in spec order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.outputs.iter().map(|o| o.name.clone()).collect()
+    }
+
+    /// Emit a control-plane event.
+    pub fn emit(&mut self, event: OutboundEvent) {
+        self.events.push(event);
+    }
+
+    /// Reconfigure the named output with a new opaque payload (must happen
+    /// before writing to it).
+    pub fn reconfigure_output(&mut self, name: &str, payload: &[u8]) -> Result<(), TaskError> {
+        let output = self
+            .outputs
+            .iter_mut()
+            .find(|o| o.name == name)
+            .ok_or_else(|| TaskError::Corrupt(format!("no output named {name:?}")))?;
+        output.output.reconfigure(payload)
+    }
+}
+
+/// The user-supplied transformation logic of a vertex.
+pub trait Processor: Send {
+    /// Run the task: read from inputs, write to outputs. The framework
+    /// starts inputs before `run` and closes outputs after it.
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError>;
+}
+
+/// Everything a finished task attempt produced; assembled by the executor.
+#[derive(Debug, Default)]
+pub struct TaskOutcome {
+    /// Output name → commit, in output-spec order.
+    pub outputs: Vec<(String, OutputCommit)>,
+    /// Final counters.
+    pub counters: Counters,
+    /// Events emitted by the processor.
+    pub events: Vec<OutboundEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_commit_totals() {
+        let c = OutputCommit {
+            partitions: vec![
+                PartitionBuf {
+                    data: Bytes::from_static(b"abcd"),
+                    records: 2,
+                    sorted: true,
+                },
+                PartitionBuf {
+                    data: Bytes::from_static(b"ef"),
+                    records: 1,
+                    sorted: true,
+                },
+            ],
+            sink: Some(SinkArtifact {
+                path: "/out".into(),
+                part: "part-0".into(),
+                blocks: vec![(Bytes::from_static(b"xyz"), 3)],
+            }),
+            spilled_bytes: 0,
+        };
+        assert_eq!(c.total_bytes(), 9);
+        assert_eq!(c.total_records(), 6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Reader/writer interfaces between inputs/outputs and processors.
+//!
+//! These are interfaces only — the built-in key-value implementations live
+//! in `tez-shuffle`. Keys and values are opaque byte strings; engines encode
+//! typed data with order-preserving codecs when sort order matters.
+
+use crate::error::TaskError;
+use bytes::Bytes;
+
+/// A flat stream of key-value pairs.
+pub trait KvReader: Send {
+    /// Next pair, or `None` at end of stream. `Bytes` values are cheap
+    /// slices of the underlying shard buffers.
+    fn next(&mut self) -> Option<(Bytes, Bytes)>;
+}
+
+/// One key together with all its values (from a sorted, merged input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvGroup {
+    /// The group key.
+    pub key: Bytes,
+    /// All values sharing the key, in merge order.
+    pub values: Vec<Bytes>,
+}
+
+/// A stream of key groups, keys in ascending byte order.
+pub trait KvGroupReader: Send {
+    /// Next group, or `None` at end of stream.
+    fn next_group(&mut self) -> Option<KvGroup>;
+}
+
+/// The reader handed to a processor for one logical input.
+pub enum InputReader {
+    /// Flat pairs (unsorted edges, root inputs).
+    KeyValue(Box<dyn KvReader>),
+    /// Sorted groups (scatter-gather merged input).
+    Grouped(Box<dyn KvGroupReader>),
+}
+
+impl InputReader {
+    /// Unwrap as a flat reader; error if grouped.
+    pub fn into_kv(self) -> Result<Box<dyn KvReader>, TaskError> {
+        match self {
+            InputReader::KeyValue(r) => Ok(r),
+            InputReader::Grouped(_) => Err(TaskError::Corrupt(
+                "expected flat key-value reader, found grouped".into(),
+            )),
+        }
+    }
+
+    /// Unwrap as a grouped reader; error if flat.
+    pub fn into_grouped(self) -> Result<Box<dyn KvGroupReader>, TaskError> {
+        match self {
+            InputReader::Grouped(r) => Ok(r),
+            InputReader::KeyValue(_) => Err(TaskError::Corrupt(
+                "expected grouped reader, found flat key-value".into(),
+            )),
+        }
+    }
+
+    /// Drain all pairs into a vector (test/debug convenience; grouped
+    /// readers are flattened).
+    pub fn collect_pairs(self) -> Vec<(Bytes, Bytes)> {
+        match self {
+            InputReader::KeyValue(mut r) => {
+                let mut out = Vec::new();
+                while let Some(p) = r.next() {
+                    out.push(p);
+                }
+                out
+            }
+            InputReader::Grouped(mut r) => {
+                let mut out = Vec::new();
+                while let Some(g) = r.next_group() {
+                    for v in g.values {
+                        out.push((g.key.clone(), v));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The writer handed to a processor for one logical output.
+pub trait KvWriter: Send {
+    /// Write one pair. Partitioning/sorting happen behind this interface.
+    fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), TaskError>;
+}
+
+/// Simple in-memory reader over a pair vector (used by tests and by inputs
+/// that materialize small data, e.g. broadcast sides).
+pub struct VecKvReader {
+    pairs: std::vec::IntoIter<(Bytes, Bytes)>,
+}
+
+impl VecKvReader {
+    /// Reader over the given pairs.
+    pub fn new(pairs: Vec<(Bytes, Bytes)>) -> Self {
+        VecKvReader {
+            pairs: pairs.into_iter(),
+        }
+    }
+}
+
+impl KvReader for VecKvReader {
+    fn next(&mut self) -> Option<(Bytes, Bytes)> {
+        self.pairs.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn vec_reader_streams_pairs() {
+        let mut r = VecKvReader::new(vec![(b("k1"), b("v1")), (b("k2"), b("v2"))]);
+        assert_eq!(r.next(), Some((b("k1"), b("v1"))));
+        assert_eq!(r.next(), Some((b("k2"), b("v2"))));
+        assert_eq!(r.next(), None);
+    }
+
+    #[test]
+    fn into_kv_rejects_grouped() {
+        struct Empty;
+        impl KvGroupReader for Empty {
+            fn next_group(&mut self) -> Option<KvGroup> {
+                None
+            }
+        }
+        let r = InputReader::Grouped(Box::new(Empty));
+        assert!(r.into_kv().is_err());
+    }
+
+    #[test]
+    fn collect_pairs_flattens_groups() {
+        struct Two;
+        impl KvGroupReader for Two {
+            fn next_group(&mut self) -> Option<KvGroup> {
+                None
+            }
+        }
+        let flat = InputReader::KeyValue(Box::new(VecKvReader::new(vec![(b("a"), b("1"))])));
+        assert_eq!(flat.collect_pairs().len(), 1);
+        let grouped = InputReader::Grouped(Box::new(Two));
+        assert!(grouped.collect_pairs().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # tez-runtime — the Runtime API
+//!
+//! The DAG API (`tez-dag`) defines the *scaffolding structure* of the data
+//! processing; this crate defines the interfaces used to inject the actual
+//! application code that fills that scaffolding (paper §3.2):
+//!
+//! * [`Processor`], [`LogicalInput`], [`LogicalOutput`] — the **IPO** task
+//!   composition. A task is a set of inputs, one processor and a set of
+//!   outputs; the inputs and outputs hide data transport, partitioning and
+//!   aggregation, so the processor keeps a logical view of the computation.
+//! * [`events`] — the asynchronous, push-based **event control plane**
+//!   (§3.3) used for all communication: data-movement metadata from producer
+//!   outputs to consumer inputs, statistics to vertex managers, error
+//!   notifications to the framework.
+//! * [`VertexManager`] (§3.4) and [`InputInitializer`] (§3.5) — the
+//!   runtime-reconfiguration APIs enabling late-binding optimizations such
+//!   as automatic partition-cardinality estimation and dynamic partition
+//!   pruning.
+//! * [`ComponentRegistry`] — resolves the opaque `(kind, payload)`
+//!   descriptors of `tez-dag` into live components, playing the role that
+//!   class loading plays in the Java implementation.
+//!
+//! Tez is **not part of the data plane**: this crate defines no data format.
+//! The built-in key-value implementations live in `tez-shuffle`, and engines
+//! are free to plug in their own (as Flink does with its binary format,
+//! paper §5.5).
+
+pub mod committer;
+pub mod counters;
+pub mod env;
+pub mod error;
+pub mod events;
+pub mod initializer;
+pub mod io;
+pub mod kv;
+pub mod registry;
+pub mod vertex_manager;
+
+pub use committer::{CommitEnv, OutputCommitter};
+pub use counters::{counter_names, Counters};
+pub use env::{
+    BlockInfo, DataFetcher, Dfs, FetchError, FetchedShard, MemDfs, NullObjectRegistry,
+    ObjectRegistry, ObjectScope, SecurityToken, TaskEnv,
+};
+pub use error::TaskError;
+pub use events::{DataMovementEvent, InputReadError, OutboundEvent, ShardLocator};
+pub use initializer::{InitializerContext, InitializerResult, InputInitializer, InputSplit};
+pub use io::{
+    InputSource, InputSpec, LogicalInput, LogicalOutput, NamedInput, NamedOutput, OutputCommit,
+    OutputSpec, PartitionBuf, Processor, ProcessorContext, SinkArtifact, TaskMeta, TaskOutcome,
+    TaskSpec,
+};
+pub use kv::{InputReader, KvGroup, KvGroupReader, KvReader, KvWriter};
+pub use registry::ComponentRegistry;
+pub use vertex_manager::{SourceKind, SourceTaskAttempt, VertexManager, VertexManagerContext};

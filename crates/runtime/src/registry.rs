@@ -1,0 +1,248 @@
+//! The component registry: resolves `(kind, payload)` descriptors into live
+//! components, playing the role of class loading in Java Tez.
+//!
+//! Engines register their processors, inputs, outputs, edge managers,
+//! vertex managers, initializers and committers once; the orchestrator
+//! instantiates them per task/vertex from descriptors embedded in the DAG.
+
+use crate::committer::OutputCommitter;
+use crate::error::TaskError;
+use crate::initializer::InputInitializer;
+use crate::io::{InputSpec, LogicalInput, LogicalOutput, OutputSpec, Processor};
+use crate::vertex_manager::VertexManager;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tez_dag::{EdgeManagerPlugin, UserPayload};
+
+/// Factory for processors.
+pub type ProcessorFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn Processor> + Send + Sync>;
+/// Factory for logical inputs (receives the full input spec: payload plus
+/// physical sources).
+pub type InputFactory = Arc<dyn Fn(&InputSpec) -> Box<dyn LogicalInput> + Send + Sync>;
+/// Factory for logical outputs.
+pub type OutputFactory = Arc<dyn Fn(&OutputSpec) -> Box<dyn LogicalOutput> + Send + Sync>;
+/// Factory for custom edge managers.
+pub type EdgeManagerFactory =
+    Arc<dyn Fn(&UserPayload) -> Arc<dyn EdgeManagerPlugin> + Send + Sync>;
+/// Factory for vertex managers.
+pub type VertexManagerFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn VertexManager> + Send + Sync>;
+/// Factory for input initializers.
+pub type InitializerFactory =
+    Arc<dyn Fn(&UserPayload) -> Box<dyn InputInitializer> + Send + Sync>;
+/// Factory for output committers.
+pub type CommitterFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn OutputCommitter> + Send + Sync>;
+
+/// Maps component kinds to factories. Cheap to clone; registration returns
+/// `&mut Self` for chaining.
+#[derive(Clone, Default)]
+pub struct ComponentRegistry {
+    processors: HashMap<String, ProcessorFactory>,
+    inputs: HashMap<String, InputFactory>,
+    outputs: HashMap<String, OutputFactory>,
+    edge_managers: HashMap<String, EdgeManagerFactory>,
+    vertex_managers: HashMap<String, VertexManagerFactory>,
+    initializers: HashMap<String, InitializerFactory>,
+    committers: HashMap<String, CommitterFactory>,
+}
+
+impl ComponentRegistry {
+    /// Empty registry. Most callers should start from
+    /// `tez_shuffle::register_builtins` / `tez_core::standard_registry`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a processor kind.
+    pub fn register_processor<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&UserPayload) -> Box<dyn Processor> + Send + Sync + 'static,
+    {
+        self.processors.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register an input kind.
+    pub fn register_input<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&InputSpec) -> Box<dyn LogicalInput> + Send + Sync + 'static,
+    {
+        self.inputs.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register an output kind.
+    pub fn register_output<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&OutputSpec) -> Box<dyn LogicalOutput> + Send + Sync + 'static,
+    {
+        self.outputs.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register a custom edge-manager kind.
+    pub fn register_edge_manager<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&UserPayload) -> Arc<dyn EdgeManagerPlugin> + Send + Sync + 'static,
+    {
+        self.edge_managers.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register a vertex-manager kind.
+    pub fn register_vertex_manager<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&UserPayload) -> Box<dyn VertexManager> + Send + Sync + 'static,
+    {
+        self.vertex_managers.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register an input-initializer kind.
+    pub fn register_initializer<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&UserPayload) -> Box<dyn InputInitializer> + Send + Sync + 'static,
+    {
+        self.initializers.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Register a committer kind.
+    pub fn register_committer<F>(&mut self, kind: &str, f: F) -> &mut Self
+    where
+        F: Fn(&UserPayload) -> Box<dyn OutputCommitter> + Send + Sync + 'static,
+    {
+        self.committers.insert(kind.to_string(), Arc::new(f));
+        self
+    }
+
+    fn missing(kind: &str, what: &str) -> TaskError {
+        TaskError::UnknownComponent(format!("{what} {kind:?}"))
+    }
+
+    /// Instantiate a processor.
+    pub fn create_processor(
+        &self,
+        kind: &str,
+        payload: &UserPayload,
+    ) -> Result<Box<dyn Processor>, TaskError> {
+        self.processors
+            .get(kind)
+            .map(|f| f(payload))
+            .ok_or_else(|| Self::missing(kind, "processor"))
+    }
+
+    /// Instantiate a logical input.
+    pub fn create_input(&self, spec: &InputSpec) -> Result<Box<dyn LogicalInput>, TaskError> {
+        self.inputs
+            .get(&spec.descriptor.kind)
+            .map(|f| f(spec))
+            .ok_or_else(|| Self::missing(&spec.descriptor.kind, "input"))
+    }
+
+    /// Instantiate a logical output.
+    pub fn create_output(&self, spec: &OutputSpec) -> Result<Box<dyn LogicalOutput>, TaskError> {
+        self.outputs
+            .get(&spec.descriptor.kind)
+            .map(|f| f(spec))
+            .ok_or_else(|| Self::missing(&spec.descriptor.kind, "output"))
+    }
+
+    /// Instantiate a custom edge manager.
+    pub fn create_edge_manager(
+        &self,
+        kind: &str,
+        payload: &UserPayload,
+    ) -> Result<Arc<dyn EdgeManagerPlugin>, TaskError> {
+        self.edge_managers
+            .get(kind)
+            .map(|f| f(payload))
+            .ok_or_else(|| Self::missing(kind, "edge manager"))
+    }
+
+    /// Instantiate a vertex manager.
+    pub fn create_vertex_manager(
+        &self,
+        kind: &str,
+        payload: &UserPayload,
+    ) -> Result<Box<dyn VertexManager>, TaskError> {
+        self.vertex_managers
+            .get(kind)
+            .map(|f| f(payload))
+            .ok_or_else(|| Self::missing(kind, "vertex manager"))
+    }
+
+    /// Instantiate an input initializer.
+    pub fn create_initializer(
+        &self,
+        kind: &str,
+        payload: &UserPayload,
+    ) -> Result<Box<dyn InputInitializer>, TaskError> {
+        self.initializers
+            .get(kind)
+            .map(|f| f(payload))
+            .ok_or_else(|| Self::missing(kind, "initializer"))
+    }
+
+    /// Instantiate a committer.
+    pub fn create_committer(
+        &self,
+        kind: &str,
+        payload: &UserPayload,
+    ) -> Result<Box<dyn OutputCommitter>, TaskError> {
+        self.committers
+            .get(kind)
+            .map(|f| f(payload))
+            .ok_or_else(|| Self::missing(kind, "committer"))
+    }
+
+    /// Whether a processor kind is registered (for DAG pre-validation).
+    pub fn has_processor(&self, kind: &str) -> bool {
+        self.processors.contains_key(kind)
+    }
+}
+
+impl std::fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentRegistry")
+            .field("processors", &self.processors.len())
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .field("edge_managers", &self.edge_managers.len())
+            .field("vertex_managers", &self.vertex_managers.len())
+            .field("initializers", &self.initializers.len())
+            .field("committers", &self.committers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::ProcessorContext;
+
+    struct Nop;
+    impl Processor for Nop {
+        fn run(&mut self, _ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_and_create_processor() {
+        let mut r = ComponentRegistry::new();
+        r.register_processor("Nop", |_p| Box::new(Nop));
+        assert!(r.has_processor("Nop"));
+        assert!(r.create_processor("Nop", &UserPayload::empty()).is_ok());
+    }
+
+    #[test]
+    fn unknown_kind_is_error() {
+        let r = ComponentRegistry::new();
+        let err = match r.create_processor("Ghost", &UserPayload::empty()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(matches!(err, TaskError::UnknownComponent(_)));
+        assert!(!err.is_retriable());
+    }
+}

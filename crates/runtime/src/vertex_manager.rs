@@ -1,0 +1,126 @@
+//! The VertexManager API (paper §3.4): dynamically adapting the execution.
+//!
+//! "When constructing the DAG, each vertex can be associated with a
+//! VertexManager … responsible for vertex re-configuration during DAG
+//! execution." The manager observes state transitions through callbacks
+//! and acts through its context: changing parallelism, edge routing, and
+//! task scheduling.
+
+use std::sync::Arc;
+use tez_dag::EdgeManagerPlugin;
+
+/// Identifies a completed source task (producer side of an incoming edge).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceTaskAttempt {
+    /// Producer vertex name.
+    pub vertex: String,
+    /// Producer task index.
+    pub task: usize,
+}
+
+/// Connection pattern of an incoming edge, as seen by a vertex manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Scatter-gather (shuffle) source — slow-start applies.
+    ScatterGather,
+    /// Broadcast source — must complete before consumers can finish their
+    /// fetch phase.
+    Broadcast,
+    /// One-to-one source.
+    OneToOne,
+    /// Custom-routed source.
+    Custom,
+}
+
+/// The window through which a vertex manager observes and mutates its
+/// vertex. Implemented by the orchestrator.
+pub trait VertexManagerContext {
+    /// Name of the managed vertex.
+    fn vertex_name(&self) -> &str;
+
+    /// Resolved parallelism of the managed vertex, if decided.
+    fn parallelism(&self) -> Option<usize>;
+
+    /// Names of source (producer) vertices, in edge order.
+    fn source_vertices(&self) -> Vec<String>;
+
+    /// Resolved parallelism of a source vertex, if decided.
+    fn source_parallelism(&self, vertex: &str) -> Option<usize>;
+
+    /// Number of completed tasks of a source vertex.
+    fn completed_source_tasks(&self, vertex: &str) -> usize;
+
+    /// Connection pattern of the edge from a source vertex.
+    fn source_edge_kind(&self, vertex: &str) -> Option<SourceKind>;
+
+    /// Number of splits produced by the named root input initializer, if
+    /// this vertex has one and it has finished.
+    fn root_input_splits(&self, source: &str) -> Option<usize>;
+
+    /// Re-configure the vertex: set its parallelism, optionally replacing
+    /// the routing of incoming edges (keyed by source vertex name). Only
+    /// legal before any task of the vertex has been scheduled.
+    fn reconfigure(
+        &mut self,
+        parallelism: usize,
+        routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
+    );
+
+    /// Schedule the given task indices for execution.
+    fn schedule_tasks(&mut self, tasks: Vec<usize>);
+
+    /// Number of tasks already scheduled.
+    fn scheduled_tasks(&self) -> usize;
+
+    /// Total concurrently-runnable task slots in the cluster (for sizing
+    /// slow-start waves).
+    fn total_slots(&self) -> usize;
+}
+
+/// The VertexManager callback API.
+///
+/// Callbacks are invoked by the orchestrator's vertex state machine; the
+/// manager reacts by calling methods on the context. All callbacks default
+/// to no-ops so managers implement only what they need.
+pub trait VertexManager: Send {
+    /// The vertex is being initialized; decide parallelism if possible
+    /// (e.g. fixed parallelism, or copied from a one-to-one source).
+    fn initialize(&mut self, ctx: &mut dyn VertexManagerContext);
+
+    /// All root-input initializers of the vertex finished; `source` names
+    /// the input, `num_splits` its split count.
+    fn on_root_input_initialized(
+        &mut self,
+        source: &str,
+        num_splits: usize,
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        let _ = (source, num_splits, ctx);
+    }
+
+    /// The vertex has started (parallelism resolved, tasks can be
+    /// scheduled).
+    fn on_vertex_started(&mut self, ctx: &mut dyn VertexManagerContext) {
+        let _ = ctx;
+    }
+
+    /// A source task completed successfully.
+    fn on_source_task_completed(
+        &mut self,
+        src: &SourceTaskAttempt,
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        let _ = (src, ctx);
+    }
+
+    /// An application event was routed to this manager (opaque payload),
+    /// e.g. producer output-size statistics.
+    fn on_event(
+        &mut self,
+        src: &SourceTaskAttempt,
+        payload: &[u8],
+        ctx: &mut dyn VertexManagerContext,
+    ) {
+        let _ = (src, payload, ctx);
+    }
+}

@@ -1,0 +1,358 @@
+//! Order-preserving byte encodings and the key-value frame format.
+//!
+//! Byte-wise (`memcmp`) comparison of encoded keys must equal the natural
+//! ordering of the typed values, so the external sorter and merger never
+//! need type information — the property every built-in IO relies on.
+//!
+//! Encodings:
+//! * `u64` — big-endian.
+//! * `i64` — sign bit flipped, then big-endian.
+//! * `f64` — IEEE total order trick: positive floats get the sign bit set,
+//!   negative floats are bitwise inverted.
+//! * strings — raw bytes with `0x00 → 0x00 0x01` escaping, terminated by
+//!   `0x00 0x00`, so shorter prefixes sort first and composite keys remain
+//!   order-preserving.
+
+use bytes::Bytes;
+
+/// Encode a `u64`.
+pub fn enc_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decode a `u64`.
+pub fn dec_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes(b[..8].try_into().expect("u64 needs 8 bytes"))
+}
+
+/// Encode an `i64` order-preservingly.
+pub fn enc_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Decode an `i64`.
+pub fn dec_i64(b: &[u8]) -> i64 {
+    (u64::from_be_bytes(b[..8].try_into().expect("i64 needs 8 bytes")) ^ (1 << 63)) as i64
+}
+
+/// Encode an `f64` order-preservingly (NaN sorts above everything).
+pub fn enc_f64(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    };
+    flipped.to_be_bytes()
+}
+
+/// Decode an `f64`.
+pub fn dec_f64(b: &[u8]) -> f64 {
+    let flipped = u64::from_be_bytes(b[..8].try_into().expect("f64 needs 8 bytes"));
+    let bits = if flipped & (1 << 63) != 0 {
+        flipped & !(1 << 63)
+    } else {
+        !flipped
+    };
+    f64::from_bits(bits)
+}
+
+/// Builds composite order-preserving keys.
+#[derive(Default)]
+pub struct KeyBuilder {
+    buf: Vec<u8>,
+}
+
+impl KeyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u64` field.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&enc_u64(v));
+        self
+    }
+
+    /// Append an `i64` field.
+    pub fn push_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&enc_i64(v));
+        self
+    }
+
+    /// Append an `f64` field.
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&enc_f64(v));
+        self
+    }
+
+    /// Append an escaped, terminated string field.
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.push_bytes(s.as_bytes())
+    }
+
+    /// Append escaped, terminated raw bytes.
+    pub fn push_bytes(&mut self, b: &[u8]) -> &mut Self {
+        for &byte in b {
+            if byte == 0 {
+                self.buf.push(0);
+                self.buf.push(1);
+            } else {
+                self.buf.push(byte);
+            }
+        }
+        self.buf.push(0);
+        self.buf.push(0);
+        self
+    }
+
+    /// Append a raw tag byte (not escaped; callers must keep ordering
+    /// semantics in mind — used for null-ordering tags).
+    pub fn push_tag(&mut self, tag: u8) -> &mut Self {
+        self.buf.push(tag);
+        self
+    }
+
+    /// Finish into an owned key.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decodes composite keys written by [`KeyBuilder`].
+pub struct KeyReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> KeyReader<'a> {
+    /// Reader over an encoded key.
+    pub fn new(buf: &'a [u8]) -> Self {
+        KeyReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (h, t) = self.buf.split_at(n);
+        self.buf = t;
+        h
+    }
+
+    /// Read a `u64` field.
+    pub fn read_u64(&mut self) -> u64 {
+        dec_u64(self.take(8))
+    }
+
+    /// Read an `i64` field.
+    pub fn read_i64(&mut self) -> i64 {
+        dec_i64(self.take(8))
+    }
+
+    /// Read an `f64` field.
+    pub fn read_f64(&mut self) -> f64 {
+        dec_f64(self.take(8))
+    }
+
+    /// Read an escaped string field.
+    pub fn read_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        loop {
+            let b = self.buf[i];
+            if b == 0 {
+                let next = self.buf[i + 1];
+                i += 2;
+                if next == 0 {
+                    break;
+                }
+                out.push(0);
+            } else {
+                out.push(b);
+                i += 1;
+            }
+        }
+        self.buf = &self.buf[i..];
+        out
+    }
+
+    /// Read a string field.
+    pub fn read_str(&mut self) -> String {
+        String::from_utf8(self.read_bytes()).expect("key string is not UTF-8")
+    }
+
+    /// Read a tag byte.
+    pub fn read_tag(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Whether all bytes are consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Append one key-value frame: `[u32 klen][u32 vlen][key][value]`.
+pub fn encode_kv(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(value);
+}
+
+/// Streaming cursor over a key-value framed buffer. `Bytes` slices share
+/// the underlying allocation — iteration is allocation-free.
+#[derive(Clone)]
+pub struct KvCursor {
+    data: Bytes,
+    pos: usize,
+}
+
+impl KvCursor {
+    /// Cursor over an encoded buffer.
+    pub fn new(data: Bytes) -> Self {
+        KvCursor { data, pos: 0 }
+    }
+
+    /// Next pair.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Bytes, Bytes)> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let klen =
+            u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        let vlen =
+            u32::from_le_bytes(self.data[self.pos + 4..self.pos + 8].try_into().unwrap()) as usize;
+        let kstart = self.pos + 8;
+        let vstart = kstart + klen;
+        let end = vstart + vlen;
+        assert!(end <= self.data.len(), "truncated kv frame");
+        let k = self.data.slice(kstart..vstart);
+        let v = self.data.slice(vstart..end);
+        self.pos = end;
+        Some((k, v))
+    }
+
+    /// Peek the next key without consuming.
+    pub fn peek_key(&self) -> Option<Bytes> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let klen =
+            u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        Some(self.data.slice(self.pos + 8..self.pos + 8 + klen))
+    }
+
+    /// Whether the cursor is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_order_preserved() {
+        let vals = [0u64, 1, 7, 255, 256, u64::MAX / 2, u64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc_u64(w[0]) < enc_u64(w[1]));
+        }
+        for v in vals {
+            assert_eq!(dec_u64(&enc_u64(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc_i64(w[0]) < enc_i64(w[1]));
+        }
+        for v in vals {
+            assert_eq!(dec_i64(&enc_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(enc_f64(w[0]) <= enc_f64(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(dec_f64(&enc_f64(v)), v);
+        }
+    }
+
+    #[test]
+    fn string_escaping_roundtrip() {
+        let mut kb = KeyBuilder::new();
+        kb.push_bytes(b"a\x00b").push_str("tail");
+        let key = kb.finish();
+        let mut r = KeyReader::new(&key);
+        assert_eq!(r.read_bytes(), b"a\x00b");
+        assert_eq!(r.read_str(), "tail");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn string_prefix_sorts_first() {
+        let enc = |s: &str| {
+            let mut kb = KeyBuilder::new();
+            kb.push_str(s);
+            kb.finish()
+        };
+        assert!(enc("abc") < enc("abcd"));
+        assert!(enc("ab") < enc("b"));
+        assert!(enc("") < enc("a"));
+    }
+
+    #[test]
+    fn composite_key_orders_by_fields() {
+        let enc = |a: i64, b: &str| {
+            let mut kb = KeyBuilder::new();
+            kb.push_i64(a).push_str(b);
+            kb.finish()
+        };
+        assert!(enc(-5, "zzz") < enc(3, "aaa"));
+        assert!(enc(3, "aaa") < enc(3, "aab"));
+    }
+
+    #[test]
+    fn kv_frame_roundtrip() {
+        let mut buf = Vec::new();
+        encode_kv(&mut buf, b"k1", b"v1");
+        encode_kv(&mut buf, b"", b"only-value");
+        encode_kv(&mut buf, b"k3", b"");
+        let mut c = KvCursor::new(Bytes::from(buf));
+        assert_eq!(c.peek_key().as_deref(), Some(&b"k1"[..]));
+        assert_eq!(
+            c.next().map(|(k, v)| (k.to_vec(), v.to_vec())),
+            Some((b"k1".to_vec(), b"v1".to_vec()))
+        );
+        assert_eq!(c.next().unwrap().1.as_ref(), b"only-value");
+        assert_eq!(c.next().unwrap().0.as_ref(), b"k3");
+        assert!(c.next().is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,920 @@
+//! Built-in input/output implementations (the "runtime library" of §4.1).
+//!
+//! Pairings (compatibility is format + transport, paper §3.1):
+//!
+//! | edge pattern    | producer output                  | consumer input            |
+//! |-----------------|----------------------------------|---------------------------|
+//! | scatter-gather  | [`OrderedPartitionedKvOutput`]   | [`ShuffledMergedKvInput`] |
+//! | broadcast       | [`UnorderedKvOutput`]            | [`UnorderedKvInput`]      |
+//! | one-to-one      | [`UnorderedKvOutput`]            | [`UnorderedKvInput`]      |
+//! | root input      | —                                | [`DfsInput`]              |
+//! | leaf output     | [`DfsOutput`] (+ `DfsCommitter`) | —                         |
+
+use crate::codec::{encode_kv, KvCursor};
+use crate::merge::GroupedRunReader;
+use crate::sorter::{Combiner, ExternalSorter, Partitioner};
+use bytes::Bytes;
+use tez_dag::{
+    DataMovement, EdgeProperty, NamedDescriptor, PayloadReader, PayloadWriter, UserPayload,
+};
+use tez_runtime::{
+    CommitEnv, ComponentRegistry, InputReader, InputSource, InputSpec, LogicalInput,
+    LogicalOutput, OutputCommit, OutputCommitter, OutputSpec, PartitionBuf, ShardLocator,
+    SinkArtifact, TaskEnv, TaskError,
+};
+
+/// Registry kinds of the built-in components.
+pub mod kinds {
+    /// Sorted, partitioned edge output (scatter-gather producer side).
+    pub const ORDERED_OUT: &str = "tez.OrderedPartitionedKvOutput";
+    /// Merged, grouped edge input (scatter-gather consumer side).
+    pub const SHUFFLED_IN: &str = "tez.ShuffledMergedKvInput";
+    /// Unsorted partitioned edge output (broadcast / one-to-one producer).
+    pub const UNORDERED_OUT: &str = "tez.UnorderedKvOutput";
+    /// Flat edge input (broadcast / one-to-one consumer).
+    pub const UNORDERED_IN: &str = "tez.UnorderedKvInput";
+    /// Root input reading key-value framed DFS blocks.
+    pub const DFS_IN: &str = "tez.DfsInput";
+    /// Leaf output writing key-value framed part files to the DFS.
+    pub const DFS_OUT: &str = "tez.DfsOutput";
+    /// Committer concatenating part files into the target DFS path.
+    pub const DFS_COMMITTER: &str = "tez.DfsCommitter";
+}
+
+// ---------------------------------------------------------------------------
+// Output payload encoding
+// ---------------------------------------------------------------------------
+
+/// Encode the configuration of an ordered/unordered output.
+pub fn output_payload(partitioner: &Partitioner, combiner: Combiner) -> UserPayload {
+    let mut w = PayloadWriter::new();
+    match partitioner {
+        Partitioner::Hash => {
+            w.put_u64(0);
+        }
+        Partitioner::Range(bounds) => {
+            w.put_u64(1);
+            w.put_u64(bounds.len() as u64);
+            for b in bounds {
+                w.put_bytes(b);
+            }
+        }
+        Partitioner::Single => {
+            w.put_u64(2);
+        }
+    }
+    w.put_u64(match combiner {
+        Combiner::None => 0,
+        Combiner::SumU64 => 1,
+    });
+    w.finish()
+}
+
+/// Decode an output configuration payload; empty payload means hash
+/// partitioning with no combiner.
+pub fn parse_output_payload(payload: &[u8]) -> (Partitioner, Combiner) {
+    if payload.is_empty() {
+        return (Partitioner::Hash, Combiner::None);
+    }
+    let mut r = PayloadReader::new(payload);
+    let partitioner = match r.get_u64() {
+        0 => Partitioner::Hash,
+        1 => {
+            let n = r.get_u64() as usize;
+            let bounds = (0..n).map(|_| r.get_bytes().to_vec()).collect();
+            Partitioner::Range(bounds)
+        }
+        2 => Partitioner::Single,
+        t => panic!("unknown partitioner tag {t}"),
+    };
+    let combiner = match r.get_u64() {
+        0 => Combiner::None,
+        1 => Combiner::SumU64,
+        t => panic!("unknown combiner tag {t}"),
+    };
+    (partitioner, combiner)
+}
+
+// ---------------------------------------------------------------------------
+// Edge outputs
+// ---------------------------------------------------------------------------
+
+/// Default sorter memory budget per task (bytes of buffered pairs).
+pub const DEFAULT_SORT_MEM: usize = 8 << 20;
+
+/// Sorted, partitioned output: the scatter-gather producer side.
+pub struct OrderedPartitionedKvOutput {
+    sorter: Option<ExternalSorter>,
+    num_partitions: usize,
+    started_writing: bool,
+}
+
+impl OrderedPartitionedKvOutput {
+    /// Build from an output spec (payload via [`output_payload`]).
+    pub fn from_spec(spec: &OutputSpec) -> Self {
+        let (partitioner, combiner) = parse_output_payload(spec.descriptor.payload.as_bytes());
+        OrderedPartitionedKvOutput {
+            sorter: Some(ExternalSorter::new(
+                spec.num_partitions,
+                partitioner,
+                combiner,
+                DEFAULT_SORT_MEM,
+            )),
+            num_partitions: spec.num_partitions,
+            started_writing: false,
+        }
+    }
+}
+
+impl LogicalOutput for OrderedPartitionedKvOutput {
+    fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), TaskError> {
+        self.started_writing = true;
+        self.sorter
+            .as_mut()
+            .expect("write after close")
+            .insert(key, value);
+        Ok(())
+    }
+
+    fn close(&mut self, _env: &mut TaskEnv<'_>) -> Result<OutputCommit, TaskError> {
+        let (partitions, spilled_bytes) = self.sorter.take().expect("double close").finish();
+        Ok(OutputCommit {
+            partitions,
+            sink: None,
+            spilled_bytes,
+        })
+    }
+
+    fn reconfigure(&mut self, payload: &[u8]) -> Result<(), TaskError> {
+        if self.started_writing {
+            return Err(TaskError::Fatal(
+                "cannot reconfigure an output after writing to it".into(),
+            ));
+        }
+        let (partitioner, combiner) = parse_output_payload(payload);
+        self.sorter = Some(ExternalSorter::new(
+            self.num_partitions,
+            partitioner,
+            combiner,
+            DEFAULT_SORT_MEM,
+        ));
+        Ok(())
+    }
+}
+
+/// Unsorted partitioned output: broadcast and one-to-one producer side.
+pub struct UnorderedKvOutput {
+    partitioner: Partitioner,
+    buffers: Vec<Vec<u8>>,
+    records: Vec<u64>,
+}
+
+impl UnorderedKvOutput {
+    /// Build from an output spec.
+    pub fn from_spec(spec: &OutputSpec) -> Self {
+        let (partitioner, _) = parse_output_payload(spec.descriptor.payload.as_bytes());
+        let n = spec.num_partitions.max(1);
+        UnorderedKvOutput {
+            partitioner,
+            buffers: vec![Vec::new(); n],
+            records: vec![0; n],
+        }
+    }
+}
+
+impl LogicalOutput for UnorderedKvOutput {
+    fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), TaskError> {
+        let p = self.partitioner.partition(key, self.buffers.len()) as usize;
+        encode_kv(&mut self.buffers[p], key, value);
+        self.records[p] += 1;
+        Ok(())
+    }
+
+    fn close(&mut self, _env: &mut TaskEnv<'_>) -> Result<OutputCommit, TaskError> {
+        let partitions = self
+            .buffers
+            .drain(..)
+            .zip(self.records.drain(..))
+            .map(|(data, records)| PartitionBuf {
+                data: Bytes::from(data),
+                records,
+                sorted: false,
+            })
+            .collect();
+        Ok(OutputCommit {
+            partitions,
+            sink: None,
+            spilled_bytes: 0,
+        })
+    }
+
+    fn reconfigure(&mut self, payload: &[u8]) -> Result<(), TaskError> {
+        if self.records.iter().any(|&r| r > 0) {
+            return Err(TaskError::Fatal(
+                "cannot reconfigure an output after writing to it".into(),
+            ));
+        }
+        let (partitioner, _) = parse_output_payload(payload);
+        self.partitioner = partitioner;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge inputs
+// ---------------------------------------------------------------------------
+
+fn shards_of(spec: &InputSpec) -> Vec<ShardLocator> {
+    match &spec.source {
+        InputSource::Shards(s) => s.clone(),
+        InputSource::Split(_) => panic!(
+            "edge input {} constructed with a root split",
+            spec.descriptor.kind
+        ),
+    }
+}
+
+fn fetch_all(
+    locators: &[ShardLocator],
+    env: &mut TaskEnv<'_>,
+    vertex_hint: &str,
+) -> Result<(Vec<Bytes>, u64, u64, u64), TaskError> {
+    let mut shards = Vec::with_capacity(locators.len());
+    let mut errors = Vec::new();
+    let (mut bytes, mut remote, mut records) = (0u64, 0u64, 0u64);
+    for locator in locators {
+        match env.fetch(locator) {
+            Ok(s) => {
+                bytes += s.data.len() as u64;
+                if s.remote {
+                    remote += s.data.len() as u64;
+                }
+                records += s.records;
+                shards.push(s.data);
+            }
+            Err(e) => errors.push(tez_runtime::InputReadError {
+                locator: e.locator,
+                consumer_vertex: vertex_hint.to_string(),
+                consumer_task: 0,
+            }),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(TaskError::InputRead(errors));
+    }
+    Ok((shards, bytes, remote, records))
+}
+
+/// Merged, grouped input: the scatter-gather consumer side. Fetches every
+/// physical input shard, then exposes a single sorted, key-grouped stream.
+pub struct ShuffledMergedKvInput {
+    locators: Vec<ShardLocator>,
+    src_vertex: String,
+    shards: Vec<Bytes>,
+    bytes: u64,
+    remote: u64,
+    records: u64,
+}
+
+impl ShuffledMergedKvInput {
+    /// Build from an input spec.
+    pub fn from_spec(spec: &InputSpec) -> Self {
+        ShuffledMergedKvInput {
+            locators: shards_of(spec),
+            src_vertex: spec.name.clone(),
+            shards: Vec::new(),
+            bytes: 0,
+            remote: 0,
+            records: 0,
+        }
+    }
+}
+
+impl LogicalInput for ShuffledMergedKvInput {
+    fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError> {
+        let (shards, bytes, remote, records) = fetch_all(&self.locators, env, &self.src_vertex)?;
+        self.shards = shards;
+        self.bytes = bytes;
+        self.remote = remote;
+        self.records = records;
+        Ok(())
+    }
+
+    fn reader(&mut self) -> Result<InputReader, TaskError> {
+        let runs = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(KvCursor::new)
+            .collect();
+        Ok(InputReader::Grouped(Box::new(GroupedRunReader::new(runs))))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    fn records_read(&self) -> u64 {
+        self.records
+    }
+
+    fn remote_bytes(&self) -> u64 {
+        self.remote
+    }
+}
+
+/// Flat concatenated input: broadcast and one-to-one consumer side.
+pub struct UnorderedKvInput {
+    locators: Vec<ShardLocator>,
+    src_vertex: String,
+    shards: Vec<Bytes>,
+    bytes: u64,
+    remote: u64,
+    records: u64,
+}
+
+impl UnorderedKvInput {
+    /// Build from an input spec.
+    pub fn from_spec(spec: &InputSpec) -> Self {
+        UnorderedKvInput {
+            locators: shards_of(spec),
+            src_vertex: spec.name.clone(),
+            shards: Vec::new(),
+            bytes: 0,
+            remote: 0,
+            records: 0,
+        }
+    }
+}
+
+/// Flat reader chaining multiple framed buffers.
+struct ChainedCursor {
+    cursors: Vec<KvCursor>,
+    idx: usize,
+}
+
+impl tez_runtime::KvReader for ChainedCursor {
+    fn next(&mut self) -> Option<(Bytes, Bytes)> {
+        while self.idx < self.cursors.len() {
+            if let Some(pair) = self.cursors[self.idx].next() {
+                return Some(pair);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+}
+
+impl LogicalInput for UnorderedKvInput {
+    fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError> {
+        let (shards, bytes, remote, records) = fetch_all(&self.locators, env, &self.src_vertex)?;
+        self.shards = shards;
+        self.bytes = bytes;
+        self.remote = remote;
+        self.records = records;
+        Ok(())
+    }
+
+    fn reader(&mut self) -> Result<InputReader, TaskError> {
+        let cursors = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(KvCursor::new)
+            .collect();
+        Ok(InputReader::KeyValue(Box::new(ChainedCursor {
+            cursors,
+            idx: 0,
+        })))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    fn records_read(&self) -> u64 {
+        self.records
+    }
+
+    fn remote_bytes(&self) -> u64 {
+        self.remote
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Root input / leaf output
+// ---------------------------------------------------------------------------
+
+/// Split payload of a [`DfsInput`]: a file path plus block indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitPayload {
+    /// File path.
+    pub path: String,
+    /// Block indices covered by this split.
+    pub blocks: Vec<usize>,
+}
+
+impl SplitPayload {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = PayloadWriter::new();
+        w.put_str(&self.path);
+        w.put_u64(self.blocks.len() as u64);
+        for &b in &self.blocks {
+            w.put_u64(b as u64);
+        }
+        w.finish_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(data: &[u8]) -> Self {
+        let mut r = PayloadReader::new(data);
+        let path = r.get_str().to_string();
+        let n = r.get_u64() as usize;
+        let blocks = (0..n).map(|_| r.get_u64() as usize).collect();
+        SplitPayload { path, blocks }
+    }
+}
+
+/// Root input reading key-value framed blocks from the DFS.
+pub struct DfsInput {
+    split: SplitPayload,
+    shards: Vec<Bytes>,
+    bytes: u64,
+    records: u64,
+}
+
+impl DfsInput {
+    /// Build from an input spec whose source must be a split.
+    pub fn from_spec(spec: &InputSpec) -> Self {
+        let split = match &spec.source {
+            InputSource::Split(p) => SplitPayload::decode(p),
+            InputSource::Shards(_) => panic!("DfsInput constructed with edge shards"),
+        };
+        DfsInput {
+            split,
+            shards: Vec::new(),
+            bytes: 0,
+            records: 0,
+        }
+    }
+}
+
+impl LogicalInput for DfsInput {
+    fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError> {
+        if self.split.path.is_empty() && self.split.blocks.is_empty() {
+            return Ok(()); // synthetic empty split
+        }
+        let meta = env.dfs.list_blocks(&self.split.path).ok_or_else(|| {
+            TaskError::failed(format!("input file {:?} not found", self.split.path))
+        })?;
+        for &b in &self.split.blocks {
+            let data = env.dfs.read_block(&self.split.path, b).ok_or_else(|| {
+                TaskError::failed(format!(
+                    "block {b} of {:?} unreadable (replicas lost)",
+                    self.split.path
+                ))
+            })?;
+            self.bytes += data.len() as u64;
+            self.records += meta.get(b).map_or(0, |m| m.records);
+            self.shards.push(data);
+        }
+        Ok(())
+    }
+
+    fn reader(&mut self) -> Result<InputReader, TaskError> {
+        let cursors = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(KvCursor::new)
+            .collect();
+        Ok(InputReader::KeyValue(Box::new(ChainedCursor {
+            cursors,
+            idx: 0,
+        })))
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    fn records_read(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Leaf output writing one part file of key-value frames, committed by
+/// [`DfsCommitter`] when the DAG succeeds.
+pub struct DfsOutput {
+    path: String,
+    part: String,
+    buf: Vec<u8>,
+    records: u64,
+}
+
+impl DfsOutput {
+    /// Build from an output spec; the payload is the target path string.
+    pub fn from_spec(spec: &OutputSpec) -> Self {
+        let path = String::from_utf8(spec.descriptor.payload.as_bytes().to_vec())
+            .expect("DfsOutput payload is the UTF-8 target path");
+        DfsOutput {
+            path,
+            part: format!("part-{}-{:05}", spec.vertex, spec.task_index),
+            buf: Vec::new(),
+            records: 0,
+        }
+    }
+}
+
+impl LogicalOutput for DfsOutput {
+    fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), TaskError> {
+        encode_kv(&mut self.buf, key, value);
+        self.records += 1;
+        Ok(())
+    }
+
+    fn close(&mut self, _env: &mut TaskEnv<'_>) -> Result<OutputCommit, TaskError> {
+        Ok(OutputCommit {
+            partitions: Vec::new(),
+            sink: Some(SinkArtifact {
+                path: self.path.clone(),
+                part: self.part.clone(),
+                blocks: vec![(Bytes::from(std::mem::take(&mut self.buf)), self.records)],
+            }),
+            spilled_bytes: 0,
+        })
+    }
+}
+
+/// Committer concatenating part files (in part order) into the target path.
+#[derive(Default)]
+pub struct DfsCommitter;
+
+impl OutputCommitter for DfsCommitter {
+    fn commit(
+        &mut self,
+        artifacts: &[SinkArtifact],
+        env: &mut CommitEnv<'_>,
+    ) -> Result<(), TaskError> {
+        let mut by_path: std::collections::BTreeMap<&str, Vec<&SinkArtifact>> =
+            std::collections::BTreeMap::new();
+        for a in artifacts {
+            by_path.entry(a.path.as_str()).or_default().push(a);
+        }
+        for (path, mut parts) in by_path {
+            parts.sort_by(|a, b| a.part.cmp(&b.part));
+            let blocks: Vec<(Bytes, u64)> = parts
+                .iter()
+                .flat_map(|a| a.blocks.iter().cloned())
+                .filter(|(d, _)| !d.is_empty())
+                .collect();
+            env.dfs.write_file(path, blocks);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge property helpers + registration
+// ---------------------------------------------------------------------------
+
+/// Scatter-gather edge using the built-in sorted shuffle.
+pub fn scatter_gather_edge(combiner: Combiner) -> EdgeProperty {
+    EdgeProperty::new(
+        DataMovement::ScatterGather,
+        NamedDescriptor::with_payload(
+            kinds::ORDERED_OUT,
+            output_payload(&Partitioner::Hash, combiner),
+        ),
+        NamedDescriptor::new(kinds::SHUFFLED_IN),
+    )
+}
+
+/// Broadcast edge using the built-in unordered IO.
+pub fn broadcast_edge() -> EdgeProperty {
+    EdgeProperty::new(
+        DataMovement::Broadcast,
+        NamedDescriptor::with_payload(
+            kinds::UNORDERED_OUT,
+            output_payload(&Partitioner::Single, Combiner::None),
+        ),
+        NamedDescriptor::new(kinds::UNORDERED_IN),
+    )
+}
+
+/// One-to-one edge using the built-in unordered IO.
+pub fn one_to_one_edge() -> EdgeProperty {
+    EdgeProperty::new(
+        DataMovement::OneToOne,
+        NamedDescriptor::with_payload(
+            kinds::UNORDERED_OUT,
+            output_payload(&Partitioner::Single, Combiner::None),
+        ),
+        NamedDescriptor::new(kinds::UNORDERED_IN),
+    )
+}
+
+/// Register every built-in IO kind with a registry.
+pub fn register_builtins(registry: &mut ComponentRegistry) {
+    registry
+        .register_output(kinds::ORDERED_OUT, |spec| {
+            Box::new(OrderedPartitionedKvOutput::from_spec(spec))
+        })
+        .register_output(kinds::UNORDERED_OUT, |spec| {
+            Box::new(UnorderedKvOutput::from_spec(spec))
+        })
+        .register_output(kinds::DFS_OUT, |spec| Box::new(DfsOutput::from_spec(spec)))
+        .register_input(kinds::SHUFFLED_IN, |spec| {
+            Box::new(ShuffledMergedKvInput::from_spec(spec))
+        })
+        .register_input(kinds::UNORDERED_IN, |spec| {
+            Box::new(UnorderedKvInput::from_spec(spec))
+        })
+        .register_input(kinds::DFS_IN, |spec| Box::new(DfsInput::from_spec(spec)))
+        .register_committer(kinds::DFS_COMMITTER, |_p| Box::<DfsCommitter>::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::DataService;
+    use tez_runtime::{Dfs, MemDfs, NullObjectRegistry, SecurityToken};
+
+    const TOKEN: SecurityToken = SecurityToken(7);
+
+    struct Fetcher {
+        svc: crate::service::SharedDataService,
+        node: u32,
+    }
+    impl tez_runtime::DataFetcher for Fetcher {
+        fn fetch(
+            &self,
+            locator: &ShardLocator,
+            token: SecurityToken,
+        ) -> Result<tez_runtime::FetchedShard, tez_runtime::FetchError> {
+            self.svc.fetch_from(self.node, locator, token)
+        }
+    }
+
+    fn env_parts() -> (crate::service::SharedDataService, MemDfs) {
+        let svc = DataService::new();
+        svc.register_token(TOKEN);
+        (svc, MemDfs::new())
+    }
+
+    fn out_spec(kind: &str, payload: UserPayload, partitions: usize) -> OutputSpec {
+        OutputSpec {
+            name: "next".into(),
+            descriptor: NamedDescriptor::with_payload(kind, payload),
+            num_partitions: partitions,
+            is_sink: kind == kinds::DFS_OUT,
+            task_index: 0,
+            vertex: "v".into(),
+        }
+    }
+
+    fn run_env<'a>(
+        fetcher: &'a Fetcher,
+        dfs: &'a mut MemDfs,
+        registry: &'a NullObjectRegistry,
+    ) -> TaskEnv<'a> {
+        TaskEnv {
+            fetcher,
+            dfs,
+            registry,
+            token: TOKEN,
+        }
+    }
+
+    #[test]
+    fn ordered_output_to_shuffled_input_roundtrip() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher {
+            svc: svc.clone(),
+            node: 1,
+        };
+        let reg = NullObjectRegistry;
+
+        // Two producers write overlapping keys across 2 partitions.
+        let mut locs_per_partition: Vec<Vec<ShardLocator>> = vec![vec![], vec![]];
+        for producer in 0..2u64 {
+            let mut out = OrderedPartitionedKvOutput::from_spec(&out_spec(
+                kinds::ORDERED_OUT,
+                output_payload(&Partitioner::Hash, Combiner::None),
+                2,
+            ));
+            for i in 0..10u64 {
+                out.write(format!("k{:02}", i).as_bytes(), &producer.to_le_bytes())
+                    .unwrap();
+            }
+            let mut env = run_env(&fetcher, &mut dfs, &reg);
+            let commit = out.close(&mut env).unwrap();
+            assert_eq!(commit.partitions.len(), 2);
+            let oid = svc.new_output_id();
+            let locs = svc.publish(0, oid, commit.partitions);
+            for (p, l) in locs.into_iter().enumerate() {
+                locs_per_partition[p].push(l);
+            }
+        }
+
+        // Consumer for partition 0 merges both producers' shards.
+        let spec = InputSpec {
+            name: "prev".into(),
+            descriptor: NamedDescriptor::new(kinds::SHUFFLED_IN),
+            source: InputSource::Shards(locs_per_partition[0].clone()),
+        };
+        let mut input = ShuffledMergedKvInput::from_spec(&spec);
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        input.start(&mut env).unwrap();
+        assert!(input.remote_bytes() > 0, "producer on node 0, consumer on 1");
+        let mut grouped = input.reader().unwrap().into_grouped().unwrap();
+        let mut groups = 0;
+        let mut last_key: Option<Bytes> = None;
+        while let Some(g) = grouped.next_group() {
+            assert_eq!(g.values.len(), 2, "one value from each producer");
+            if let Some(prev) = &last_key {
+                assert!(prev < &g.key);
+            }
+            last_key = Some(g.key);
+            groups += 1;
+        }
+        assert!(groups > 0);
+    }
+
+    #[test]
+    fn combiner_in_output_payload_sums() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher { svc, node: 0 };
+        let reg = NullObjectRegistry;
+        let mut out = OrderedPartitionedKvOutput::from_spec(&out_spec(
+            kinds::ORDERED_OUT,
+            output_payload(&Partitioner::Single, Combiner::SumU64),
+            1,
+        ));
+        for _ in 0..5 {
+            out.write(b"w", &1u64.to_le_bytes()).unwrap();
+        }
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let commit = out.close(&mut env).unwrap();
+        assert_eq!(commit.partitions[0].records, 1);
+        let mut c = KvCursor::new(commit.partitions[0].data.clone());
+        let (_, v) = c.next().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn reconfigure_installs_range_partitioner() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher { svc, node: 0 };
+        let reg = NullObjectRegistry;
+        let mut out = OrderedPartitionedKvOutput::from_spec(&out_spec(
+            kinds::ORDERED_OUT,
+            output_payload(&Partitioner::Hash, Combiner::None),
+            2,
+        ));
+        let bounds = Partitioner::Range(vec![b"m".to_vec()]);
+        out.reconfigure(output_payload(&bounds, Combiner::None).as_bytes())
+            .unwrap();
+        out.write(b"a", b"").unwrap();
+        out.write(b"z", b"").unwrap();
+        // Reconfiguration after writing is rejected.
+        assert!(out
+            .reconfigure(output_payload(&bounds, Combiner::None).as_bytes())
+            .is_err());
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let commit = out.close(&mut env).unwrap();
+        assert_eq!(commit.partitions[0].records, 1);
+        assert_eq!(commit.partitions[1].records, 1);
+    }
+
+    #[test]
+    fn unordered_roundtrip_and_fetch_error() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher {
+            svc: svc.clone(),
+            node: 2,
+        };
+        let reg = NullObjectRegistry;
+        let mut out = UnorderedKvOutput::from_spec(&out_spec(
+            kinds::UNORDERED_OUT,
+            output_payload(&Partitioner::Single, Combiner::None),
+            1,
+        ));
+        out.write(b"x", b"1").unwrap();
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let commit = out.close(&mut env).unwrap();
+        let oid = svc.new_output_id();
+        let mut locs = svc.publish(2, oid, commit.partitions);
+
+        // Happy path.
+        let spec = InputSpec {
+            name: "src".into(),
+            descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
+            source: InputSource::Shards(locs.clone()),
+        };
+        let mut input = UnorderedKvInput::from_spec(&spec);
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        input.start(&mut env).unwrap();
+        assert_eq!(input.remote_bytes(), 0, "same node fetch is local");
+        let pairs = input.reader().unwrap().collect_pairs();
+        assert_eq!(pairs.len(), 1);
+
+        // Losing the node turns the fetch into an InputRead error.
+        svc.drop_node(2);
+        locs[0].partition = 0;
+        let spec = InputSpec {
+            name: "src".into(),
+            descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
+            source: InputSource::Shards(locs),
+        };
+        let mut input = UnorderedKvInput::from_spec(&spec);
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        match input.start(&mut env) {
+            Err(TaskError::InputRead(errs)) => assert_eq!(errs.len(), 1),
+            other => panic!("expected InputRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dfs_input_reads_split_blocks() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher { svc, node: 0 };
+        let reg = NullObjectRegistry;
+        let mut b0 = Vec::new();
+        encode_kv(&mut b0, b"a", b"1");
+        let mut b1 = Vec::new();
+        encode_kv(&mut b1, b"b", b"2");
+        encode_kv(&mut b1, b"c", b"3");
+        dfs.write_file("/t", vec![(Bytes::from(b0), 1), (Bytes::from(b1), 2)]);
+
+        let split = SplitPayload {
+            path: "/t".into(),
+            blocks: vec![1],
+        };
+        let spec = InputSpec {
+            name: "t".into(),
+            descriptor: NamedDescriptor::new(kinds::DFS_IN),
+            source: InputSource::Split(split.encode()),
+        };
+        let mut input = DfsInput::from_spec(&spec);
+        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        input.start(&mut env).unwrap();
+        assert_eq!(input.records_read(), 2);
+        let pairs = input.reader().unwrap().collect_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0.as_ref(), b"b");
+    }
+
+    #[test]
+    fn split_payload_roundtrip() {
+        let s = SplitPayload {
+            path: "/warehouse/lineitem".into(),
+            blocks: vec![0, 5, 9],
+        };
+        assert_eq!(SplitPayload::decode(&s.encode()), s);
+    }
+
+    #[test]
+    fn dfs_output_commit_via_committer() {
+        let (svc, mut dfs) = env_parts();
+        let fetcher = Fetcher { svc, node: 0 };
+        let reg = NullObjectRegistry;
+        let mut artifacts = Vec::new();
+        for task in [1usize, 0] {
+            let spec = OutputSpec {
+                name: "out".into(),
+                descriptor: NamedDescriptor::with_payload(
+                    kinds::DFS_OUT,
+                    UserPayload::from_str("/result"),
+                ),
+                num_partitions: 1,
+                is_sink: true,
+                task_index: task,
+                vertex: "v".into(),
+            };
+            let mut out = DfsOutput::from_spec(&spec);
+            out.write(format!("t{task}").as_bytes(), b"v").unwrap();
+            let mut env = run_env(&fetcher, &mut dfs, &reg);
+            artifacts.push(out.close(&mut env).unwrap().sink.unwrap());
+        }
+        let mut committer = DfsCommitter;
+        let mut env = CommitEnv { dfs: &mut dfs };
+        committer.commit(&artifacts, &mut env).unwrap();
+        let blocks = dfs.list_blocks("/result").unwrap();
+        assert_eq!(blocks.len(), 2);
+        // Part ordering: task 0's block first despite commit order.
+        let first = dfs.read_block("/result", 0).unwrap();
+        let mut c = KvCursor::new(first);
+        assert_eq!(c.next().unwrap().0.as_ref(), b"t0");
+    }
+
+    #[test]
+    fn registry_registration_resolves_all_kinds() {
+        let mut r = ComponentRegistry::new();
+        register_builtins(&mut r);
+        let spec = out_spec(
+            kinds::ORDERED_OUT,
+            output_payload(&Partitioner::Hash, Combiner::None),
+            3,
+        );
+        assert!(r.create_output(&spec).is_ok());
+        assert!(r
+            .create_committer(kinds::DFS_COMMITTER, &UserPayload::empty())
+            .is_ok());
+    }
+}

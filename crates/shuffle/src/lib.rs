@@ -1,0 +1,42 @@
+//! # tez-shuffle — the built-in data plane
+//!
+//! Tez itself is *not* on the data plane: "the actual data transfer is
+//! performed by the inputs and outputs with Tez only routing connection
+//! information between producers and consumers" (paper §3.2). This crate is
+//! the **runtime library** part of the project (paper §4.1): the built-in
+//! input/output implementations that applications get out of the box, plus
+//! the simulated shuffle service they talk to.
+//!
+//! * [`codec`] — order-preserving byte encodings for integers, floats and
+//!   strings (so byte-wise key comparison equals typed comparison), and the
+//!   flat key-value frame format used by every built-in IO.
+//! * [`sorter`] — an external sorter with memory-bounded spills, per-spill
+//!   combining and k-way merge: the producer half of the shuffle.
+//! * [`merge`] — streaming k-way merge and key-grouping over sorted runs:
+//!   the consumer half.
+//! * [`service`] — the [`DataService`]: per-node shard storage standing in
+//!   for the YARN Shuffle Service, with token-based access control and
+//!   node-loss semantics (lost shards produce fetch failures that drive the
+//!   re-execution fault-tolerance path).
+//! * [`io`] — the built-in [`LogicalInput`](tez_runtime::LogicalInput) /
+//!   [`LogicalOutput`](tez_runtime::LogicalOutput) implementations:
+//!   ordered-partitioned and unordered outputs, shuffled-merged and
+//!   unordered inputs, and DFS root inputs / sink outputs.
+//!
+//! Call [`register_builtins`] to add all built-in kinds to a
+//! [`ComponentRegistry`](tez_runtime::ComponentRegistry).
+
+pub mod codec;
+pub mod io;
+pub mod merge;
+pub mod service;
+pub mod sorter;
+
+pub use codec::{KeyBuilder, KeyReader, KvCursor};
+pub use io::{
+    kinds, register_builtins, DfsInput, DfsOutput, OrderedPartitionedKvOutput,
+    ShuffledMergedKvInput, SplitPayload, UnorderedKvInput, UnorderedKvOutput,
+};
+pub use merge::{GroupedRunReader, MergingCursor};
+pub use service::{DataService, SharedDataService};
+pub use sorter::{Combiner, ExternalSorter, Partitioner};

@@ -1,0 +1,177 @@
+//! The consumer half of the shuffle: streaming k-way merge over sorted
+//! runs and key-grouping on top of it.
+
+use crate::codec::KvCursor;
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tez_runtime::{KvGroup, KvGroupReader, KvReader};
+
+/// Heap entry: the head key of run `idx`. Ordering by (key, idx) makes the
+/// merge stable across runs.
+struct Head {
+    key: Bytes,
+    idx: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.idx == other.idx
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.idx.cmp(&other.idx))
+    }
+}
+
+/// Streaming k-way merge over sorted [`KvCursor`]s.
+pub struct MergingCursor {
+    runs: Vec<KvCursor>,
+    heap: BinaryHeap<Reverse<Head>>,
+}
+
+impl MergingCursor {
+    /// Merge the given sorted runs.
+    pub fn new(runs: Vec<KvCursor>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (idx, run) in runs.iter().enumerate() {
+            if let Some(key) = run.peek_key() {
+                heap.push(Reverse(Head { key, idx }));
+            }
+        }
+        MergingCursor { runs, heap }
+    }
+
+    /// Next pair in global key order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Bytes, Bytes)> {
+        let Reverse(head) = self.heap.pop()?;
+        let run = &mut self.runs[head.idx];
+        let (k, v) = run.next().expect("peeked key must exist");
+        if let Some(next_key) = run.peek_key() {
+            self.heap.push(Reverse(Head {
+                key: next_key,
+                idx: head.idx,
+            }));
+        }
+        Some((k, v))
+    }
+}
+
+impl KvReader for MergingCursor {
+    fn next(&mut self) -> Option<(Bytes, Bytes)> {
+        MergingCursor::next(self)
+    }
+}
+
+/// Groups a [`MergingCursor`]'s output by key — the reader behind
+/// scatter-gather inputs (MapReduce's `reduce(key, values)` view).
+pub struct GroupedRunReader {
+    merge: MergingCursor,
+    pending: Option<(Bytes, Bytes)>,
+}
+
+impl GroupedRunReader {
+    /// Group the merge of the given sorted runs.
+    pub fn new(runs: Vec<KvCursor>) -> Self {
+        let mut merge = MergingCursor::new(runs);
+        let pending = merge.next();
+        GroupedRunReader { merge, pending }
+    }
+}
+
+impl KvGroupReader for GroupedRunReader {
+    fn next_group(&mut self) -> Option<KvGroup> {
+        let (key, first) = self.pending.take()?;
+        let mut values = vec![first];
+        loop {
+            match self.merge.next() {
+                Some((k, v)) if k == key => values.push(v),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        Some(KvGroup { key, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_kv;
+
+    fn run(pairs: &[(&[u8], &[u8])]) -> KvCursor {
+        let mut buf = Vec::new();
+        for (k, v) in pairs {
+            encode_kv(&mut buf, k, v);
+        }
+        KvCursor::new(Bytes::from(buf))
+    }
+
+    #[test]
+    fn merges_in_key_order() {
+        let m = MergingCursor::new(vec![
+            run(&[(b"a", b"1"), (b"c", b"3")]),
+            run(&[(b"b", b"2"), (b"d", b"4")]),
+        ]);
+        let got: Vec<Vec<u8>> = drain_keys(m);
+        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    fn drain_keys(mut m: MergingCursor) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some((k, _)) = m.next() {
+            out.push(k.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn merge_is_stable_by_run_index() {
+        let mut m = MergingCursor::new(vec![
+            run(&[(b"k", b"first")]),
+            run(&[(b"k", b"second")]),
+        ]);
+        assert_eq!(m.next().unwrap().1.as_ref(), b"first");
+        assert_eq!(m.next().unwrap().1.as_ref(), b"second");
+    }
+
+    #[test]
+    fn empty_runs_are_fine() {
+        let mut m = MergingCursor::new(vec![run(&[]), run(&[(b"x", b"1")]), run(&[])]);
+        assert_eq!(m.next().unwrap().0.as_ref(), b"x");
+        assert!(m.next().is_none());
+    }
+
+    #[test]
+    fn grouping_collects_values_across_runs() {
+        let mut g = GroupedRunReader::new(vec![
+            run(&[(b"a", b"1"), (b"b", b"x")]),
+            run(&[(b"a", b"2")]),
+            run(&[(b"a", b"3"), (b"c", b"y")]),
+        ]);
+        let ga = g.next_group().unwrap();
+        assert_eq!(ga.key.as_ref(), b"a");
+        assert_eq!(ga.values.len(), 3);
+        let gb = g.next_group().unwrap();
+        assert_eq!(gb.key.as_ref(), b"b");
+        let gc = g.next_group().unwrap();
+        assert_eq!(gc.key.as_ref(), b"c");
+        assert!(g.next_group().is_none());
+    }
+
+    #[test]
+    fn grouping_empty_input() {
+        let mut g = GroupedRunReader::new(vec![]);
+        assert!(g.next_group().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! The simulated shuffle service: per-node shard storage with token-based
+//! access control.
+//!
+//! Stands in for the YARN Shuffle Service (paper §4.1): producer outputs
+//! are published here keyed by `(node, output id, partition)`; consumers
+//! fetch them by [`ShardLocator`]. Losing a node drops its shards, so later
+//! fetches fail and drive the re-execution fault-tolerance path (§4.3).
+//! Fetches are authenticated with the app's [`SecurityToken`], modelling
+//! the secure-shuffle channel of §4.3.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tez_runtime::{FetchError, FetchedShard, PartitionBuf, SecurityToken, ShardLocator};
+
+#[derive(Default)]
+struct Inner {
+    shards: HashMap<(u32, u64, u32), PartitionBuf>,
+    tokens: HashSet<u64>,
+    next_output: u64,
+}
+
+/// The shuffle service. Cheap to clone via [`SharedDataService`].
+#[derive(Default)]
+pub struct DataService {
+    inner: Mutex<Inner>,
+}
+
+/// Shared handle to a [`DataService`].
+pub type SharedDataService = Arc<DataService>;
+
+impl DataService {
+    /// New empty service.
+    pub fn new() -> SharedDataService {
+        Arc::new(DataService::default())
+    }
+
+    /// Register a valid token (the AM does this per application).
+    pub fn register_token(&self, token: SecurityToken) {
+        self.inner.lock().tokens.insert(token.0);
+    }
+
+    /// Revoke a token (on app completion).
+    pub fn revoke_token(&self, token: SecurityToken) {
+        self.inner.lock().tokens.remove(&token.0);
+    }
+
+    /// Allocate a fresh output id (unique per attempt x edge).
+    pub fn new_output_id(&self) -> u64 {
+        let mut g = self.inner.lock();
+        g.next_output += 1;
+        g.next_output
+    }
+
+    /// Publish the partitions of one output on a node; returns locators in
+    /// partition order.
+    pub fn publish(&self, node: u32, output_id: u64, partitions: Vec<PartitionBuf>) -> Vec<ShardLocator> {
+        let mut g = self.inner.lock();
+        partitions
+            .into_iter()
+            .enumerate()
+            .map(|(p, buf)| {
+                let locator = ShardLocator {
+                    node,
+                    output_id,
+                    partition: p as u32,
+                    bytes: buf.data.len() as u64,
+                    records: buf.records,
+                    sorted: buf.sorted,
+                };
+                g.shards.insert((node, output_id, p as u32), buf);
+                locator
+            })
+            .collect()
+    }
+
+    /// Fetch a shard on behalf of a task running on `from_node`.
+    pub fn fetch_from(
+        &self,
+        from_node: u32,
+        locator: &ShardLocator,
+        token: SecurityToken,
+    ) -> Result<FetchedShard, FetchError> {
+        let g = self.inner.lock();
+        if !g.tokens.contains(&token.0) {
+            return Err(FetchError {
+                locator: *locator,
+                reason: "invalid security token".into(),
+            });
+        }
+        match g.shards.get(&(locator.node, locator.output_id, locator.partition)) {
+            Some(buf) => Ok(FetchedShard {
+                data: buf.data.clone(),
+                records: buf.records,
+                sorted: buf.sorted,
+                remote: from_node != locator.node,
+            }),
+            None => Err(FetchError {
+                locator: *locator,
+                reason: "shard not found (node lost or output retired)".into(),
+            }),
+        }
+    }
+
+    /// Drop every shard a failed node held.
+    pub fn drop_node(&self, node: u32) -> usize {
+        let mut g = self.inner.lock();
+        let before = g.shards.len();
+        g.shards.retain(|&(n, _, _), _| n != node);
+        before - g.shards.len()
+    }
+
+    /// Drop one output (all partitions), e.g. when its producing attempt
+    /// is superseded.
+    pub fn drop_output(&self, node: u32, output_id: u64) {
+        let mut g = self.inner.lock();
+        g.shards.retain(|&(n, o, _), _| !(n == node && o == output_id));
+    }
+
+    /// Number of stored shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.inner.lock().shards.len()
+    }
+
+    /// Total stored bytes (diagnostics).
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .shards
+            .values()
+            .map(|b| b.data.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    const TOKEN: SecurityToken = SecurityToken(99);
+
+    fn part(data: &[u8], records: u64) -> PartitionBuf {
+        PartitionBuf {
+            data: Bytes::copy_from_slice(data),
+            records,
+            sorted: true,
+        }
+    }
+
+    fn service() -> SharedDataService {
+        let s = DataService::new();
+        s.register_token(TOKEN);
+        s
+    }
+
+    #[test]
+    fn publish_and_fetch() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(3, oid, vec![part(b"p0", 1), part(b"p1", 2)]);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs[1].partition, 1);
+        assert_eq!(locs[1].records, 2);
+        let local = s.fetch_from(3, &locs[0], TOKEN).unwrap();
+        assert!(!local.remote);
+        assert_eq!(&local.data[..], b"p0");
+        let remote = s.fetch_from(5, &locs[1], TOKEN).unwrap();
+        assert!(remote.remote);
+    }
+
+    #[test]
+    fn invalid_token_is_rejected() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(0, oid, vec![part(b"x", 1)]);
+        let err = s.fetch_from(0, &locs[0], SecurityToken::INVALID).unwrap_err();
+        assert!(err.reason.contains("token"));
+        s.revoke_token(TOKEN);
+        assert!(s.fetch_from(0, &locs[0], TOKEN).is_err());
+    }
+
+    #[test]
+    fn node_loss_drops_shards() {
+        let s = service();
+        let a = s.new_output_id();
+        let b = s.new_output_id();
+        let la = s.publish(1, a, vec![part(b"a", 1)]);
+        let lb = s.publish(2, b, vec![part(b"b", 1)]);
+        assert_eq!(s.drop_node(1), 1);
+        assert!(s.fetch_from(9, &la[0], TOKEN).is_err());
+        assert!(s.fetch_from(9, &lb[0], TOKEN).is_ok());
+    }
+
+    #[test]
+    fn drop_output_is_targeted() {
+        let s = service();
+        let a = s.new_output_id();
+        let b = s.new_output_id();
+        let la = s.publish(1, a, vec![part(b"a", 1)]);
+        let lb = s.publish(1, b, vec![part(b"b", 1)]);
+        s.drop_output(1, a);
+        assert!(s.fetch_from(1, &la[0], TOKEN).is_err());
+        assert!(s.fetch_from(1, &lb[0], TOKEN).is_ok());
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.stored_bytes(), 1);
+    }
+
+    #[test]
+    fn output_ids_are_unique() {
+        let s = service();
+        let ids: Vec<u64> = (0..100).map(|_| s.new_output_id()).collect();
+        let mut uniq = ids.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len());
+    }
+}

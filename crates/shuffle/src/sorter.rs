@@ -1,0 +1,341 @@
+//! The producer half of the shuffle: partitioning, memory-bounded sorting
+//! with spills, and per-spill combining — the machinery behind
+//! [`crate::OrderedPartitionedKvOutput`], inheriting MapReduce's sort-spill-
+//! merge design as the paper describes for the built-in IO library (§4.1).
+
+use crate::codec::{encode_kv, KvCursor};
+use bytes::Bytes;
+use tez_runtime::PartitionBuf;
+
+/// How keys map to partitions.
+#[derive(Clone, Debug)]
+pub enum Partitioner {
+    /// FNV-1a hash of the key, modulo partition count.
+    Hash,
+    /// Range partitioning by sorted upper-bound keys: partition `i` takes
+    /// keys `<= bounds[i]`, the last partition takes the rest. Used by
+    /// total-order sorts and skew joins after sampling.
+    Range(Vec<Vec<u8>>),
+    /// Everything to partition 0 (broadcast/single-reducer).
+    Single,
+}
+
+impl Partitioner {
+    /// Partition of `key` among `n` partitions.
+    pub fn partition(&self, key: &[u8], n: usize) -> u32 {
+        match self {
+            Partitioner::Hash => {
+                if n <= 1 {
+                    0
+                } else {
+                    (fnv1a(key) % n as u64) as u32
+                }
+            }
+            Partitioner::Range(bounds) => {
+                let idx = bounds.partition_point(|b| b.as_slice() < key);
+                (idx.min(n.saturating_sub(1))) as u32
+            }
+            Partitioner::Single => 0,
+        }
+    }
+}
+
+/// FNV-1a, the classic fast byte-string hash.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Built-in value combiners applied at spill and merge time (applications
+/// with richer combining pre-aggregate inside their processors, as Hive
+/// does with map-side aggregation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combiner {
+    /// No combining.
+    None,
+    /// Values are little-endian `u64`s; equal keys sum.
+    SumU64,
+}
+
+impl Combiner {
+    fn combine(&self, acc: &mut Vec<u8>, next: &[u8]) {
+        match self {
+            Combiner::None => unreachable!("combine called with Combiner::None"),
+            Combiner::SumU64 => {
+                let a = u64::from_le_bytes(acc[..8].try_into().expect("u64 value"));
+                let b = u64::from_le_bytes(next[..8].try_into().expect("u64 value"));
+                acc.clear();
+                acc.extend_from_slice(&(a + b).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// One sorted, encoded run for one partition.
+#[derive(Clone)]
+struct Run {
+    data: Bytes,
+}
+
+/// External sorter: buffers writes, spills sorted runs when the memory
+/// budget is hit, and merges runs per partition at close.
+pub struct ExternalSorter {
+    num_partitions: usize,
+    partitioner: Partitioner,
+    combiner: Combiner,
+    mem_limit: usize,
+    buffer: Vec<(Vec<u8>, Vec<u8>, u32)>,
+    buffered_bytes: usize,
+    runs: Vec<Vec<Run>>,
+    spilled_bytes: u64,
+    records: u64,
+}
+
+impl ExternalSorter {
+    /// New sorter. `mem_limit` bounds the in-memory buffer in bytes.
+    pub fn new(
+        num_partitions: usize,
+        partitioner: Partitioner,
+        combiner: Combiner,
+        mem_limit: usize,
+    ) -> Self {
+        ExternalSorter {
+            num_partitions: num_partitions.max(1),
+            partitioner,
+            combiner,
+            mem_limit: mem_limit.max(1024),
+            buffer: Vec::new(),
+            buffered_bytes: 0,
+            runs: vec![Vec::new(); num_partitions.max(1)],
+            spilled_bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// Insert one pair.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) {
+        let p = self.partitioner.partition(key, self.num_partitions);
+        self.buffered_bytes += key.len() + value.len() + 16;
+        self.records += 1;
+        self.buffer.push((key.to_vec(), value.to_vec(), p));
+        if self.buffered_bytes >= self.mem_limit {
+            self.spill();
+        }
+    }
+
+    fn spill(&mut self) {
+        self.spill_inner(true);
+    }
+
+    fn spill_inner(&mut self, count_spill: bool) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut buffer = std::mem::take(&mut self.buffer);
+        self.buffered_bytes = 0;
+        // Stable sort by (partition, key) keeps insertion order for equal
+        // keys, preserving deterministic merge output.
+        buffer.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        let mut i = 0;
+        while i < buffer.len() {
+            let p = buffer[i].2;
+            let mut encoded = Vec::new();
+            while i < buffer.len() && buffer[i].2 == p {
+                if self.combiner != Combiner::None {
+                    // Fold equal keys within the spill.
+                    let key = std::mem::take(&mut buffer[i].0);
+                    let mut acc = std::mem::take(&mut buffer[i].1);
+                    i += 1;
+                    while i < buffer.len() && buffer[i].2 == p && buffer[i].0 == key {
+                        self.combiner.combine(&mut acc, &buffer[i].1);
+                        i += 1;
+                    }
+                    encode_kv(&mut encoded, &key, &acc);
+                } else {
+                    encode_kv(&mut encoded, &buffer[i].0, &buffer[i].1);
+                    i += 1;
+                }
+            }
+            if count_spill {
+                self.spilled_bytes += encoded.len() as u64;
+            }
+            self.runs[p as usize].push(Run {
+                data: Bytes::from(encoded),
+            });
+        }
+    }
+
+    /// Finish: merge runs per partition into one sorted buffer each. The
+    /// final in-memory flush does not count as a disk spill unless earlier
+    /// spills already happened.
+    pub fn finish(mut self) -> (Vec<PartitionBuf>, u64) {
+        let spilled_before = self.runs.iter().any(|r| !r.is_empty());
+        self.spill_inner(spilled_before);
+        let combiner = self.combiner;
+        let mut out = Vec::with_capacity(self.num_partitions);
+        for runs in self.runs {
+            let mut encoded = Vec::new();
+            let mut records = 0u64;
+            let cursors: Vec<KvCursor> = runs.iter().map(|r| KvCursor::new(r.data.clone())).collect();
+            let mut merge = crate::merge::MergingCursor::new(cursors);
+            let mut pending: Option<(Bytes, Vec<u8>)> = None;
+            while let Some((k, v)) = merge.next() {
+                match (&mut pending, combiner) {
+                    (Some((pk, pv)), Combiner::SumU64) if *pk == k => {
+                        combiner.combine(pv, &v);
+                    }
+                    _ => {
+                        if let Some((pk, pv)) = pending.take() {
+                            encode_kv(&mut encoded, &pk, &pv);
+                            records += 1;
+                        }
+                        pending = Some((k, v.to_vec()));
+                    }
+                }
+            }
+            if let Some((pk, pv)) = pending {
+                encode_kv(&mut encoded, &pk, &pv);
+                records += 1;
+            }
+            out.push(PartitionBuf {
+                data: Bytes::from(encoded),
+                records,
+                sorted: true,
+            });
+        }
+        (out, self.spilled_bytes)
+    }
+
+    /// Records inserted so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Helper: encode a `u64` value for [`Combiner::SumU64`] outputs.
+pub fn sum_value(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
+}
+
+/// Helper: decode a [`Combiner::SumU64`] value.
+pub fn read_sum_value(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().expect("u64 value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{dec_u64, enc_u64};
+
+    fn drain(buf: &PartitionBuf) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut c = KvCursor::new(buf.data.clone());
+        let mut out = Vec::new();
+        while let Some((k, v)) = c.next() {
+            out.push((k.to_vec(), v.to_vec()));
+        }
+        out
+    }
+
+    #[test]
+    fn partitioner_hash_is_stable_and_in_range() {
+        let p = Partitioner::Hash;
+        for key in [b"a".as_ref(), b"hello", b"", b"\x00\x01"] {
+            let x = p.partition(key, 7);
+            assert_eq!(x, p.partition(key, 7));
+            assert!(x < 7);
+        }
+        assert_eq!(p.partition(b"anything", 1), 0);
+    }
+
+    #[test]
+    fn partitioner_range_boundaries() {
+        let p = Partitioner::Range(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.partition(b"a", 3), 0);
+        assert_eq!(p.partition(b"g", 3), 0); // <= bound g
+        assert_eq!(p.partition(b"h", 3), 1);
+        assert_eq!(p.partition(b"p", 3), 1);
+        assert_eq!(p.partition(b"z", 3), 2);
+    }
+
+    #[test]
+    fn sorts_within_partition() {
+        let mut s = ExternalSorter::new(2, Partitioner::Hash, Combiner::None, 1 << 20);
+        for k in ["delta", "alpha", "echo", "bravo", "charlie"] {
+            s.insert(k.as_bytes(), b"v");
+        }
+        let (parts, spilled) = s.finish();
+        assert_eq!(spilled, 0, "fits in memory, no spill");
+        let mut all = Vec::new();
+        for p in &parts {
+            let keys: Vec<Vec<u8>> = drain(p).into_iter().map(|(k, _)| k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "each partition is sorted");
+            all.extend(keys);
+        }
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn spills_and_merges_preserve_order_and_content() {
+        // 64-byte limit forces many spills.
+        let mut s = ExternalSorter::new(1, Partitioner::Single, Combiner::None, 64);
+        let n = 100;
+        for i in (0..n).rev() {
+            s.insert(&enc_u64(i), &sum_value(i));
+        }
+        let (parts, spilled) = s.finish();
+        assert!(spilled > 0, "must have spilled");
+        let rows = drain(&parts[0]);
+        assert_eq!(rows.len(), n as usize);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            assert_eq!(dec_u64(k), i as u64);
+            assert_eq!(read_sum_value(v), i as u64);
+        }
+    }
+
+    #[test]
+    fn combiner_sums_across_spills() {
+        let mut s = ExternalSorter::new(1, Partitioner::Single, Combiner::SumU64, 64);
+        for _ in 0..50 {
+            s.insert(b"word", &sum_value(1));
+            s.insert(b"other", &sum_value(2));
+        }
+        let (parts, _) = s.finish();
+        let rows = drain(&parts[0]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, b"other");
+        assert_eq!(read_sum_value(&rows[0].1), 100);
+        assert_eq!(rows[1].0, b"word");
+        assert_eq!(read_sum_value(&rows[1].1), 50);
+    }
+
+    #[test]
+    fn records_counts_inserts() {
+        let mut s = ExternalSorter::new(1, Partitioner::Single, Combiner::None, 1 << 20);
+        s.insert(b"a", b"1");
+        s.insert(b"a", b"2");
+        assert_eq!(s.records(), 2);
+    }
+
+    #[test]
+    fn range_partitioned_sort_gives_total_order() {
+        let bounds = vec![enc_u64(33).to_vec(), enc_u64(66).to_vec()];
+        let mut s = ExternalSorter::new(3, Partitioner::Range(bounds), Combiner::None, 1 << 20);
+        for i in (0..100u64).rev() {
+            s.insert(&enc_u64(i), b"");
+        }
+        let (parts, _) = s.finish();
+        let mut all: Vec<u64> = Vec::new();
+        for p in &parts {
+            all.extend(drain(p).iter().map(|(k, _)| dec_u64(k)));
+        }
+        // Concatenating partitions in order yields a globally sorted list.
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert_eq!(drain(&parts[0]).len(), 34); // 0..=33
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests of the data-plane invariants: order-preserving
+//! codecs, sorter/merge completeness, and range partitioning.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use tez_shuffle::codec::{
+    dec_f64, dec_i64, dec_u64, enc_f64, enc_i64, enc_u64, encode_kv, KeyBuilder, KeyReader,
+    KvCursor,
+};
+use tez_shuffle::{Combiner, ExternalSorter, GroupedRunReader, MergingCursor, Partitioner};
+use tez_runtime::KvGroupReader;
+
+proptest! {
+    /// Integer encodings preserve order and round-trip.
+    #[test]
+    fn u64_codec_order(a: u64, b: u64) {
+        prop_assert_eq!(dec_u64(&enc_u64(a)), a);
+        prop_assert_eq!(enc_u64(a) < enc_u64(b), a < b);
+    }
+
+    #[test]
+    fn i64_codec_order(a: i64, b: i64) {
+        prop_assert_eq!(dec_i64(&enc_i64(a)), a);
+        prop_assert_eq!(enc_i64(a) < enc_i64(b), a < b);
+    }
+
+    /// Finite floats preserve order and round-trip.
+    #[test]
+    fn f64_codec_order(a in -1e300f64..1e300, b in -1e300f64..1e300) {
+        prop_assert_eq!(dec_f64(&enc_f64(a)), a);
+        prop_assert_eq!(enc_f64(a) < enc_f64(b), a < b);
+    }
+
+    /// Escaped byte strings round-trip through composite keys, and their
+    /// encoded order matches lexicographic order.
+    #[test]
+    fn string_field_roundtrip_and_order(
+        a in proptest::collection::vec(any::<u8>(), 0..40),
+        b in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let enc = |v: &[u8]| {
+            let mut kb = KeyBuilder::new();
+            kb.push_bytes(v);
+            kb.finish()
+        };
+        let (ea, eb) = (enc(&a), enc(&b));
+        let mut r = KeyReader::new(&ea);
+        prop_assert_eq!(r.read_bytes(), a.clone());
+        prop_assert!(r.is_exhausted());
+        prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
+    }
+
+    /// Composite keys compare field-by-field.
+    #[test]
+    fn composite_key_order(a1: i64, a2 in proptest::collection::vec(any::<u8>(), 0..16),
+                           b1: i64, b2 in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let enc = |x: i64, s: &[u8]| {
+            let mut kb = KeyBuilder::new();
+            kb.push_i64(x).push_bytes(s);
+            kb.finish()
+        };
+        let expected = (a1, a2.clone()).cmp(&(b1, b2.clone()));
+        prop_assert_eq!(enc(a1, &a2).cmp(&enc(b1, &b2)), expected);
+    }
+
+    /// The kv frame codec round-trips arbitrary pair sequences.
+    #[test]
+    fn kv_frames_roundtrip(pairs in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..20),
+         proptest::collection::vec(any::<u8>(), 0..20)), 0..50)) {
+        let mut buf = Vec::new();
+        for (k, v) in &pairs {
+            encode_kv(&mut buf, k, v);
+        }
+        let mut c = KvCursor::new(Bytes::from(buf));
+        let mut out = Vec::new();
+        while let Some((k, v)) = c.next() {
+            out.push((k.to_vec(), v.to_vec()));
+        }
+        prop_assert_eq!(out, pairs);
+    }
+
+    /// The external sorter emits every record exactly once, sorted within
+    /// each partition, regardless of spill boundaries.
+    #[test]
+    fn sorter_is_complete_and_sorted(
+        keys in proptest::collection::vec(any::<u32>(), 1..300),
+        mem_limit in 64usize..4096,
+        partitions in 1usize..5,
+    ) {
+        let mut sorter = ExternalSorter::new(partitions, Partitioner::Hash, Combiner::None, mem_limit);
+        for &k in &keys {
+            sorter.insert(&k.to_be_bytes(), b"v");
+        }
+        let (parts, _) = sorter.finish();
+        prop_assert_eq!(parts.len(), partitions);
+        let mut recovered: Vec<u32> = Vec::new();
+        for p in &parts {
+            let mut c = KvCursor::new(p.data.clone());
+            let mut prev: Option<Vec<u8>> = None;
+            while let Some((k, _)) = c.next() {
+                if let Some(prev) = &prev {
+                    prop_assert!(prev.as_slice() <= k.as_ref(), "partition not sorted");
+                }
+                recovered.push(u32::from_be_bytes(k[..4].try_into().unwrap()));
+                prev = Some(k.to_vec());
+            }
+        }
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        recovered.sort_unstable();
+        prop_assert_eq!(recovered, expected);
+    }
+
+    /// Merging sorted runs yields a globally sorted, complete stream, and
+    /// grouping never splits a key across groups.
+    #[test]
+    fn merge_and_group_invariants(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(any::<u16>(), 0..60), 1..6)) {
+        let encoded: Vec<Bytes> = runs.iter().map(|r| {
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            let mut buf = Vec::new();
+            for k in sorted {
+                encode_kv(&mut buf, &k.to_be_bytes(), b"v");
+            }
+            Bytes::from(buf)
+        }).collect();
+        let total: usize = runs.iter().map(Vec::len).sum();
+
+        let mut m = MergingCursor::new(encoded.iter().map(|b| KvCursor::new(b.clone())).collect());
+        let mut prev: Option<Bytes> = None;
+        let mut n = 0;
+        while let Some((k, _)) = m.next() {
+            if let Some(p) = &prev {
+                prop_assert!(p <= &k);
+            }
+            prev = Some(k);
+            n += 1;
+        }
+        prop_assert_eq!(n, total);
+
+        let mut g = GroupedRunReader::new(encoded.iter().map(|b| KvCursor::new(b.clone())).collect());
+        let mut seen_keys = std::collections::HashSet::new();
+        let mut grouped_total = 0;
+        while let Some(group) = g.next_group() {
+            prop_assert!(seen_keys.insert(group.key.to_vec()), "key repeated across groups");
+            grouped_total += group.values.len();
+        }
+        prop_assert_eq!(grouped_total, total);
+    }
+
+    /// Range partitioning respects boundaries: concatenating partitions in
+    /// order yields a globally sorted sequence.
+    #[test]
+    fn range_partitioner_total_order(
+        keys in proptest::collection::vec(any::<u32>(), 1..200),
+        bounds in proptest::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let mut bounds: Vec<Vec<u8>> = bounds.iter().map(|b| b.to_be_bytes().to_vec()).collect();
+        bounds.sort();
+        bounds.dedup();
+        let n = bounds.len() + 1;
+        let mut sorter = ExternalSorter::new(
+            n, Partitioner::Range(bounds), Combiner::None, 1 << 20);
+        for &k in &keys {
+            sorter.insert(&k.to_be_bytes(), b"v");
+        }
+        let (parts, _) = sorter.finish();
+        let mut all: Vec<Vec<u8>> = Vec::new();
+        for p in &parts {
+            let mut c = KvCursor::new(p.data.clone());
+            while let Some((k, _)) = c.next() {
+                all.push(k.to_vec());
+            }
+        }
+        prop_assert_eq!(all.len(), keys.len());
+        prop_assert!(all.windows(2).all(|w| w[0] <= w[1]), "global order broken");
+    }
+
+    /// SumU64 combining never changes the per-key totals.
+    #[test]
+    fn combiner_preserves_totals(
+        pairs in proptest::collection::vec((any::<u8>(), 1u64..100), 1..200),
+        mem_limit in 64usize..1024,
+    ) {
+        let mut sorter = ExternalSorter::new(1, Partitioner::Single, Combiner::SumU64, mem_limit);
+        let mut expected: std::collections::BTreeMap<u8, u64> = Default::default();
+        for &(k, v) in &pairs {
+            sorter.insert(&[k], &v.to_le_bytes());
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let (parts, _) = sorter.finish();
+        let mut got: std::collections::BTreeMap<u8, u64> = Default::default();
+        let mut c = KvCursor::new(parts[0].data.clone());
+        while let Some((k, v)) = c.next() {
+            *got.entry(k[0]).or_insert(0) += u64::from_le_bytes(v[..8].try_into().unwrap());
+        }
+        prop_assert_eq!(got, expected);
+    }
+}

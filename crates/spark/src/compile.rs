@@ -1,0 +1,249 @@
+//! Compile an RDD's stage chain into a Tez DAG.
+//!
+//! Each Spark stage becomes one vertex; wide dependencies become
+//! scatter-gather edges. User closures ride inside a generic Spark
+//! processor, mirroring the paper's §5.4 prototype ("injected into a
+//! generic Spark processor that deserializes and executes the user code …
+//! allows unmodified Spark programs to run on YARN using Spark's own
+//! runtime operators").
+
+use crate::rdd::{Narrow, Rdd, SparkStage, StageSource, Wide};
+use std::collections::HashMap;
+use tez_core::{hdfs_split_initializer, TezConfig};
+use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_hive::types::{decode_row, row_bytes, Row};
+use tez_runtime::{ComponentRegistry, Processor, ProcessorContext, TaskError};
+use tez_shuffle::io::{kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+
+/// The generic Spark stage processor hosting user closures.
+struct SparkProcessor {
+    stage: SparkStage,
+    input: String,
+    output: Option<String>,
+    partitions: usize,
+}
+
+impl Processor for SparkProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        // Gather rows: table scans and shuffle reads are both flat row
+        // streams (reduce-by-key sources use SparkReduceReader instead).
+        let mut rows: Vec<Row> = Vec::new();
+        let reader = ctx.reader(&self.input)?;
+        for (_, v) in reader.collect_pairs() {
+            rows.push(decode_row(&v));
+        }
+        for op in &self.stage.narrow {
+            rows = match op {
+                Narrow::Map(f) => rows.into_iter().map(|r| f(r)).collect(),
+                Narrow::Filter(f) => rows.into_iter().filter(|r| f(r)).collect(),
+            };
+        }
+        match (&self.stage.wide, &self.output) {
+            (Some(Wide::PartitionBy { key, .. }), Some(out)) => {
+                for r in rows {
+                    ctx.write(out, &key(&r), &row_bytes(&r))?;
+                }
+            }
+            (Some(Wide::ReduceByKey { key, reduce, .. }), Some(out)) => {
+                // Map-side combine, then shuffle the partials.
+                let mut groups: std::collections::BTreeMap<Vec<u8>, Row> = Default::default();
+                for r in rows {
+                    let k = key(&r);
+                    match groups.remove(&k) {
+                        Some(acc) => {
+                            groups.insert(k, reduce(acc, r));
+                        }
+                        None => {
+                            groups.insert(k, r);
+                        }
+                    }
+                }
+                for (k, r) in groups {
+                    ctx.write(out, &k, &row_bytes(&r))?;
+                }
+            }
+            (None, Some(out)) => {
+                for r in rows {
+                    ctx.write(out, b"", &row_bytes(&r))?;
+                }
+            }
+            (_, None) => {}
+        }
+        Ok(())
+    }
+}
+
+/// A stage whose source is the shuffle of a `reduce_by_key` must merge the
+/// partial values per key before its narrow ops.
+struct SparkReduceReader {
+    reduce: crate::rdd::ReduceFn,
+    inner: SparkProcessor,
+}
+
+impl Processor for SparkReduceReader {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let mut reader = ctx.reader(&self.inner.input)?.into_grouped()?;
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(g) = reader.next_group() {
+            let mut acc: Option<Row> = None;
+            for v in g.values {
+                let r = decode_row(&v);
+                acc = Some(match acc {
+                    Some(a) => (self.reduce)(a, r),
+                    None => r,
+                });
+            }
+            rows.push(acc.expect("non-empty group"));
+        }
+        for op in &self.inner.stage.narrow {
+            rows = match op {
+                Narrow::Map(f) => rows.into_iter().map(|r| f(r)).collect(),
+                Narrow::Filter(f) => rows.into_iter().filter(|r| f(r)).collect(),
+            };
+        }
+        match (&self.inner.stage.wide, &self.inner.output) {
+            (Some(Wide::PartitionBy { key, .. }), Some(out)) => {
+                for r in rows {
+                    ctx.write(out, &key(&r), &row_bytes(&r))?;
+                }
+            }
+            (Some(Wide::ReduceByKey { key, reduce, .. }), Some(out)) => {
+                let mut groups: std::collections::BTreeMap<Vec<u8>, Row> = Default::default();
+                for r in rows {
+                    let k = key(&r);
+                    match groups.remove(&k) {
+                        Some(acc) => {
+                            groups.insert(k, reduce(acc, r));
+                        }
+                        None => {
+                            groups.insert(k, r);
+                        }
+                    }
+                }
+                for (k, r) in groups {
+                    ctx.write(out, &k, &row_bytes(&r))?;
+                }
+            }
+            (None, Some(out)) => {
+                for r in rows {
+                    ctx.write(out, b"", &row_bytes(&r))?;
+                }
+            }
+            (_, None) => {}
+        }
+        let _ = self.inner.partitions;
+        Ok(())
+    }
+}
+
+/// Compile an RDD + save path into a Tez DAG, registering its processors
+/// under `spark.{app}.*` kinds.
+pub fn build_spark_dag(
+    app: &str,
+    rdd: &Rdd,
+    save_path: &str,
+    registry: &mut ComponentRegistry,
+    config: &TezConfig,
+) -> Dag {
+    let mut builder = DagBuilder::new(app);
+    let n = rdd.stages.len();
+    for (i, stage) in rdd.stages.iter().enumerate() {
+        let vname = format!("stage{i}");
+        let next = format!("stage{}", i + 1);
+        let (input, is_table) = match &stage.source {
+            StageSource::Table(_) => ("scan".to_string(), true),
+            StageSource::Shuffle => (format!("stage{}", i - 1), false),
+        };
+        let output = if i + 1 < n {
+            Some(next)
+        } else {
+            Some("out".to_string())
+        };
+        let partitions = match &stage.wide {
+            Some(Wide::PartitionBy { partitions, .. })
+            | Some(Wide::ReduceByKey { partitions, .. }) => *partitions,
+            None => 1,
+        };
+        // A stage fed by a reduce_by_key shuffle folds groups first.
+        let prev_reduce = (i > 0)
+            .then(|| match &rdd.stages[i - 1].wide {
+                Some(Wide::ReduceByKey { reduce, .. }) => Some(reduce.clone()),
+                _ => None,
+            })
+            .flatten();
+        let stage_clone = stage.clone();
+        let input_clone = input.clone();
+        let output_clone = output.clone();
+        let kind_name = format!("spark.{app}.{vname}");
+        match prev_reduce {
+            Some(reduce) => {
+                registry.register_processor(&kind_name, move |_p| {
+                    Box::new(SparkReduceReader {
+                        reduce: reduce.clone(),
+                        inner: SparkProcessor {
+                            stage: stage_clone.clone(),
+                            input: input_clone.clone(),
+                            output: output_clone.clone(),
+                            partitions,
+                        },
+                    })
+                });
+            }
+            None => {
+                registry.register_processor(&kind_name, move |_p| {
+                    Box::new(SparkProcessor {
+                        stage: stage_clone.clone(),
+                        input: input_clone.clone(),
+                        output: output_clone.clone(),
+                        partitions,
+                    })
+                });
+            }
+        }
+
+        let mut vertex = Vertex::new(&vname, NamedDescriptor::new(&kind_name));
+        if let StageSource::Table(t) = &stage.source {
+            let _ = is_table;
+            vertex = vertex.with_data_source(
+                "scan",
+                NamedDescriptor::new(kinds::DFS_IN),
+                Some(hdfs_split_initializer(
+                    &tez_hive::Catalog::table_path(t),
+                    config.min_split_bytes,
+                    config.max_split_bytes,
+                    false,
+                )),
+            );
+        } else {
+            // Shuffle consumers: parallelism from the producing wide dep.
+            let prev_parts = match &rdd.stages[i - 1].wide {
+                Some(Wide::PartitionBy { partitions, .. })
+                | Some(Wide::ReduceByKey { partitions, .. }) => *partitions,
+                None => 1,
+            };
+            vertex = vertex.with_parallelism(prev_parts);
+        }
+        if i + 1 == n {
+            vertex = vertex.with_data_sink(
+                "out",
+                NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str(save_path)),
+                Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+            );
+        }
+        builder = builder.add_vertex(vertex);
+        if i > 0 {
+            builder = builder.add_edge(
+                format!("stage{}", i - 1),
+                vname,
+                scatter_gather_edge(Combiner::None),
+            );
+        }
+    }
+    builder.build().expect("spark stage chain is a valid DAG")
+}
+
+/// Reference helper: run the RDD in memory and return the rows.
+pub fn reference(rdd: &Rdd, tables: &HashMap<String, Vec<Row>>) -> Vec<Row> {
+    rdd.execute_reference(tables)
+}

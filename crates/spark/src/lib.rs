@@ -1,0 +1,26 @@
+//! # tez-spark — a mini RDD engine on rtez
+//!
+//! Stands in for the paper's experimental Spark-on-Tez prototype (§5.4,
+//! §6.5): "we were able to encode the post-compilation Spark DAG into a Tez
+//! DAG and run it successfully in a YARN cluster that was not running the
+//! Spark engine service."
+//!
+//! * [`rdd`] — a closure-based, lazily-evaluated RDD with narrow
+//!   (map/filter) and wide (partition-by, reduce-by-key) dependencies, cut
+//!   into stages at wide dependencies exactly like Spark's DAG scheduler.
+//! * [`compile`] — stages become a Tez DAG; user closures are injected into
+//!   a generic Spark processor (the paper's "user defined Spark code is
+//!   serialized into a Tez processor payload and injected into a generic
+//!   Spark processor").
+//! * [`tenancy`] — the Figure 12/13 harness: N concurrent Spark apps on one
+//!   cluster, executed either with the **service-executor model**
+//!   (a fixed executor fleet held for the app's lifetime:
+//!   `max_containers = Some(E)`, `reuse_idle_ms = ∞`) or the **Tez model**
+//!   (ephemeral per-task containers released when idle).
+
+pub mod compile;
+pub mod rdd;
+pub mod tenancy;
+
+pub use rdd::Rdd;
+pub use tenancy::{run_tenancy, ExecutionModel, TenancyResult};

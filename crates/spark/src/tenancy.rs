@@ -1,0 +1,260 @@
+//! The multi-tenancy harness behind Figures 12 and 13 (§6.5).
+//!
+//! "For the experiment, we have a 5-user concurrency test of partitioning a
+//! TPC-H lineitem data-set along the L_SHIPDATE column." Each user runs the
+//! same partitioning job; the cluster executes them either with the
+//! **service-executor model** (each app pre-allocates a fixed executor
+//! fleet and holds it for its whole lifetime) or the **Tez model**
+//! (ephemeral per-task containers, released when idle, re-acquired on
+//! demand) — "the Tez based implementation releases idle resources that
+//! get assigned to other jobs that need them."
+
+use crate::compile::build_spark_dag;
+use crate::rdd::Rdd;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tez_core::{
+    standard_registry, DagAppMaster, DagReport, DagSubmission, SessionOutput, TezConfig,
+};
+use tez_hive::types::{encode_key, row_bytes, Datum, Row};
+use tez_runtime::SecurityToken;
+use tez_shuffle::codec::encode_kv;
+use tez_shuffle::DataService;
+use tez_yarn::{
+    AppId, ClusterSpec, CostModel, FaultPlan, QueueSpec, RmConfig, SimTime, Simulation, Trace,
+};
+
+/// How each tenant executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionModel {
+    /// Spark's standalone executor service: `executors` containers
+    /// acquired up front and held until the app finishes.
+    ServiceBased {
+        /// Fleet size per app.
+        executors: usize,
+    },
+    /// Spark-on-Tez: ephemeral tasks, idle containers released after
+    /// `reuse_idle_ms`.
+    TezBased,
+}
+
+/// Result of a tenancy run.
+#[derive(Clone, Debug)]
+pub struct TenancyResult {
+    /// Per-app `(app, submit_ms, finish_ms)` in submission order.
+    pub apps: Vec<(AppId, u64, u64)>,
+    /// The execution trace (allocation series per app drive Figure 12).
+    pub trace: Trace,
+}
+
+impl TenancyResult {
+    /// Latency of one app (submission to finish).
+    pub fn latencies_ms(&self) -> Vec<u64> {
+        self.apps.iter().map(|(_, s, f)| f - s).collect()
+    }
+
+    /// Mean latency across apps.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let l = self.latencies_ms();
+        l.iter().sum::<u64>() as f64 / l.len().max(1) as f64
+    }
+
+    /// Completion time of the last app.
+    pub fn makespan_ms(&self) -> u64 {
+        self.apps.iter().map(|&(_, _, f)| f).max().unwrap_or(0)
+    }
+}
+
+/// Parameters of a tenancy experiment.
+#[derive(Clone, Debug)]
+pub struct TenancySpec {
+    /// Cluster shape.
+    pub cluster: ClusterSpec,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Concurrent users.
+    pub users: usize,
+    /// Real rows in the shared lineitem table.
+    pub rows: usize,
+    /// HDFS blocks of the table.
+    pub blocks: usize,
+    /// Partitions of the partition-by job.
+    pub partitions: usize,
+    /// Declared-scale multiplier (the 100 GB…1 TB axis of Figure 13).
+    pub byte_scale: f64,
+    /// Submission stagger between users.
+    pub stagger_ms: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Generate the shared lineitem-like table: `(shipdate, qty, price)`.
+fn lineitem_blocks(rows: usize, blocks: usize, seed: u64) -> Vec<(Bytes, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per = rows.div_ceil(blocks.max(1)).max(1);
+    (0..blocks)
+        .map(|_| {
+            let mut buf = Vec::new();
+            for _ in 0..per {
+                let row: Row = vec![
+                    Datum::I64(19_920_101 + rng.random_range(0..70_000)),
+                    Datum::I64(rng.random_range(1..50)),
+                    Datum::F64(rng.random_range(900.0..105_000.0)),
+                ];
+                encode_kv(&mut buf, b"", &row_bytes(&row));
+            }
+            (Bytes::from(buf), per as u64)
+        })
+        .collect()
+}
+
+/// The per-user job: partition lineitem by shipdate.
+fn partition_job(partitions: usize) -> Rdd {
+    Rdd::from_table("lineitem").partition_by(partitions, |r| encode_key(r, &[0], &[]))
+}
+
+/// Run the tenancy experiment under one execution model.
+pub fn run_tenancy(spec: &TenancySpec, model: ExecutionModel) -> TenancyResult {
+    let mut sim = Simulation::new(
+        spec.cluster.clone(),
+        spec.cost.clone(),
+        vec![QueueSpec::new("default", 1.0)],
+        RmConfig::default(),
+        FaultPlan::none(),
+        spec.seed,
+    );
+    sim.hdfs_mut().set_stat_scale(spec.byte_scale);
+    let blocks = lineitem_blocks(spec.rows, spec.blocks, spec.seed);
+    let scaled: Vec<(Bytes, u64, u64)> = blocks
+        .into_iter()
+        .map(|(d, r)| {
+            let declared = ((d.len() as f64) * spec.byte_scale).max(1.0) as u64;
+            let records = ((r as f64) * spec.byte_scale).max(1.0) as u64;
+            (d, declared, records)
+        })
+        .collect();
+    sim.hdfs_mut().put_file_scaled("/warehouse/lineitem", scaled);
+
+    let config = match model {
+        ExecutionModel::ServiceBased { executors } => TezConfig {
+            container_reuse: true,
+            reuse_idle_ms: u64::MAX,
+            prewarm_containers: executors,
+            session: true, // the fleet belongs to the app, not a DAG
+            max_containers: Some(executors),
+            speculation: false,
+            ..TezConfig::default()
+        },
+        ExecutionModel::TezBased => TezConfig {
+            speculation: false,
+            ..TezConfig::default()
+        },
+    };
+
+    let mut outputs = Vec::new();
+    let mut ids = Vec::new();
+    for user in 0..spec.users {
+        let mut registry = standard_registry();
+        let app_name = format!("spark-u{user}");
+        let mut cfg = config.clone();
+        cfg.byte_scale = spec.byte_scale;
+        let dag = build_spark_dag(
+            &app_name,
+            &partition_job(spec.partitions),
+            &format!("/out/{app_name}"),
+            &mut registry,
+            &cfg,
+        );
+        let service = DataService::new();
+        let output: Arc<Mutex<SessionOutput>> = Arc::new(Mutex::new(SessionOutput::default()));
+        let am = DagAppMaster::new(
+            cfg,
+            registry,
+            service,
+            SecurityToken(1000 + user as u64),
+            vec![DagSubmission { dag }],
+            Arc::clone(&output),
+        );
+        let submit = SimTime(spec.stagger_ms * user as u64);
+        let id = sim.add_app(Box::new(am), "default", submit);
+        outputs.push((id, submit, output));
+        ids.push(id);
+    }
+    sim.run();
+
+    let apps = outputs
+        .into_iter()
+        .map(|(id, submit, output)| {
+            let reports: Vec<DagReport> = std::mem::take(&mut output.lock().reports);
+            let report = reports.into_iter().next().expect("one dag per app");
+            assert!(
+                report.status.is_success(),
+                "tenant {id:?} failed: {:?}",
+                report.status
+            );
+            (id, submit.millis(), report.finished.millis())
+        })
+        .collect();
+    TenancyResult {
+        apps,
+        trace: sim.trace().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TenancySpec {
+        TenancySpec {
+            cluster: ClusterSpec::homogeneous(2, 8192, 8),
+            cost: CostModel {
+                straggler_prob: 0.0,
+                ..CostModel::default()
+            },
+            users: 3,
+            rows: 600,
+            blocks: 8,
+            // A 2-task reduce tail: the service fleet idles 6 of its 8
+            // executors during it, while the Tez model releases them.
+            partitions: 2,
+            byte_scale: 50_000.0,
+            stagger_ms: 2_000,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn tez_model_shares_better_than_service_model() {
+        let spec = spec();
+        // Service fleets sized to hog the cluster: 2 apps fill all 16
+        // slots; the third waits for a whole fleet.
+        let service = run_tenancy(&spec, ExecutionModel::ServiceBased { executors: 8 });
+        let tez = run_tenancy(&spec, ExecutionModel::TezBased);
+        let (ms, mt) = (service.mean_latency_ms(), tez.mean_latency_ms());
+        assert!(
+            mt < ms,
+            "tez mean latency {mt:.0}ms must beat service model {ms:.0}ms"
+        );
+        // Fig. 12's qualitative claim: with the service model the LAST
+        // tenant suffers most (it waits for a fleet).
+        let sl = service.latencies_ms();
+        let tl = tez.latencies_ms();
+        assert!(sl.last().unwrap() > tl.last().unwrap());
+    }
+
+    #[test]
+    fn allocation_trace_shows_release_vs_hold() {
+        let spec = spec();
+        let service = run_tenancy(&spec, ExecutionModel::ServiceBased { executors: 8 });
+        // First app's allocation stays flat at the fleet size until finish.
+        let first = service.apps[0].0;
+        let series = service.trace.allocation_series(first);
+        let peak = series.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        assert_eq!(peak, 8, "service fleet is exactly the executor count");
+        let _ = spec;
+    }
+}

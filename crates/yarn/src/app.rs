@@ -1,0 +1,187 @@
+//! The ApplicationMaster contract: event callbacks plus the context through
+//! which an app acts on the cluster.
+
+use crate::cost::{CostModel, WorkCost};
+use crate::hdfs::SimHdfs;
+use crate::rm::ContainerRequest;
+use crate::types::{AppId, Container, ContainerId, NodeId, RequestId, Resource, SimTime, WorkId};
+
+/// Why a container went away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContainerExit {
+    /// The app released it.
+    Released,
+    /// The RM preempted it for capacity rebalancing.
+    Preempted,
+    /// Its node failed.
+    NodeLost,
+}
+
+/// How a work item ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkOutcome {
+    /// Ran to completion.
+    Succeeded,
+    /// The app killed it.
+    Killed,
+    /// The fault plan injected a transient failure.
+    InjectedFailure,
+    /// The hosting container vanished mid-run (preemption, node loss).
+    ContainerLost,
+}
+
+/// Terminal status reported by an app.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppStatus {
+    /// Completed successfully.
+    Succeeded,
+    /// Failed with a reason.
+    Failed(String),
+}
+
+/// Events delivered to an app by the simulator.
+#[derive(Clone, Debug)]
+pub enum AppEvent {
+    /// The AM process is up (after `am_launch_ms`).
+    Start,
+    /// A container was allocated against an outstanding request.
+    ContainerAllocated(Container),
+    /// A container went away (release confirmations are not echoed; only
+    /// preemption and node loss are delivered).
+    ContainerCompleted {
+        /// Which container.
+        container: ContainerId,
+        /// Why.
+        exit: ContainerExit,
+    },
+    /// A work item finished.
+    WorkCompleted {
+        /// Which work.
+        work: WorkId,
+        /// The container it ran in.
+        container: ContainerId,
+        /// How it ended.
+        outcome: WorkOutcome,
+    },
+    /// A timer set via [`AppContext::set_timer`] fired.
+    Timer {
+        /// The app-chosen tag.
+        tag: u64,
+    },
+    /// A cluster node failed (delivered to every app; Tez uses this to
+    /// proactively re-execute tasks whose outputs lived there, §4.3).
+    NodeLost {
+        /// The failed node.
+        node: NodeId,
+    },
+}
+
+/// The ApplicationMaster interface. Implementations are single-threaded
+/// state machines driven by [`AppEvent`]s.
+pub trait YarnApp {
+    /// Handle one event.
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>);
+}
+
+/// The app's window onto the simulated cluster. Borrows the simulation
+/// internals for the duration of one callback.
+pub struct AppContext<'a> {
+    pub(crate) app: AppId,
+    pub(crate) now: SimTime,
+    pub(crate) inner: &'a mut crate::sim::SimInner,
+}
+
+impl<'a> AppContext<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This app's id.
+    pub fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    /// Ask the RM for a container.
+    pub fn request_container(&mut self, req: ContainerRequest) -> RequestId {
+        self.inner.request_container(self.app, req, self.now)
+    }
+
+    /// Cancel an outstanding request.
+    pub fn cancel_request(&mut self, id: RequestId) -> bool {
+        self.inner.rm.cancel_request(self.app, id)
+    }
+
+    /// Return a container to the RM.
+    pub fn release_container(&mut self, id: ContainerId) {
+        self.inner.release_container(id, self.now);
+    }
+
+    /// Launch work in a container. The simulator prices it with the cost
+    /// model, node speed, container warm-up and straggler/fault injection,
+    /// and delivers [`AppEvent::WorkCompleted`] when it ends.
+    pub fn start_work(&mut self, container: ContainerId, label: String, cost: WorkCost) -> WorkId {
+        self.inner.start_work(self.app, container, label, cost, self.now)
+    }
+
+    /// Observed progress of a running work item in `[0, 1]`.
+    pub fn work_progress(&self, work: WorkId) -> f64 {
+        self.inner.work_progress(work, self.now)
+    }
+
+    /// Kill a running work item; completion is delivered with
+    /// [`WorkOutcome::Killed`].
+    pub fn kill_work(&mut self, work: WorkId) {
+        self.inner.kill_work(work, self.now);
+    }
+
+    /// Deliver [`AppEvent::Timer`] after `delay_ms`.
+    pub fn set_timer(&mut self, delay_ms: u64, tag: u64) {
+        self.inner.set_timer(self.app, delay_ms, tag, self.now);
+    }
+
+    /// The distributed filesystem.
+    pub fn hdfs(&mut self) -> &mut SimHdfs {
+        &mut self.inner.hdfs
+    }
+
+    /// The cost model (apps use it to estimate/credit overlap windows).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_nodes(&self) -> usize {
+        self.inner.rm.alive_nodes()
+    }
+
+    /// Total cluster nodes (including dead ones).
+    pub fn total_nodes(&self) -> usize {
+        self.inner.cluster.nodes
+    }
+
+    /// Concurrently-runnable containers of `r` across the cluster.
+    pub fn total_slots(&self, r: &Resource) -> usize {
+        self.inner.cluster.total_slots(r)
+    }
+
+    /// Node hosting a live container.
+    pub fn container_node(&self, id: ContainerId) -> Option<NodeId> {
+        self.inner.rm.container(id).map(|c| c.node)
+    }
+
+    /// Number of work items a container has executed (warm-up state).
+    pub fn container_works_run(&self, id: ContainerId) -> Option<u64> {
+        self.inner.rm.container(id).map(|c| c.works_run)
+    }
+
+    /// Rack of a node.
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        self.inner.rm.rack_of(node)
+    }
+
+    /// Report terminal status; the RM reclaims all containers.
+    pub fn finish(&mut self, status: AppStatus) {
+        self.inner.finish_app(self.app, status, self.now);
+    }
+}

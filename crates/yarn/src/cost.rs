@@ -1,0 +1,208 @@
+//! The cost model: converts task work descriptions into simulated time.
+//!
+//! The knobs model the overheads the paper attributes Tez's wins to:
+//! container launch (resource negotiation + process/JVM start, §4.2
+//! "Container Reuse"), a JIT-style warm-up multiplier that decays with the
+//! number of tasks a container has executed (§4.2 "this reuse has the
+//! additional benefit of giving the JVM optimizer a longer time to observe
+//! and optimize the hot code paths"), AM startup (why per-job MapReduce
+//! chains are expensive), replicated DFS writes (why inter-job
+//! materialization is expensive), and network vs. local-disk bandwidth
+//! (why locality and shuffle overlap matter).
+
+/// All cost knobs. Bandwidths are in bytes per millisecond
+/// (1 MB/s ≈ 1049 bytes/ms).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cold container launch: YARN allocation round trip + process start +
+    /// localization.
+    pub container_launch_ms: u64,
+    /// AM startup per application (client submit → AM ready).
+    pub am_launch_ms: u64,
+    /// Extra work fraction on a container's first task: the first task runs
+    /// at `(1 + warmup_penalty)` cost, decaying by `warmup_decay` per
+    /// subsequent task.
+    pub warmup_penalty: f64,
+    /// Multiplicative decay of the warm-up penalty per task run.
+    pub warmup_decay: f64,
+    /// CPU nanoseconds charged per record processed.
+    pub cpu_ns_per_record: u64,
+    /// CPU nanoseconds charged per byte processed.
+    pub cpu_ns_per_byte: u64,
+    /// Local disk bandwidth, bytes/ms.
+    pub disk_bw: u64,
+    /// Cross-network bandwidth per flow, bytes/ms.
+    pub net_bw: u64,
+    /// Multiplier on DFS writes (pipeline replication); 3x replication
+    /// costs roughly this factor over a local write.
+    pub dfs_write_factor: f64,
+    /// Probability that a work item stragglers.
+    pub straggler_prob: f64,
+    /// Duration multiplier applied to stragglers.
+    pub straggler_factor: f64,
+    /// Fixed per-task overhead (task setup, heartbeat latency).
+    pub task_overhead_ms: u64,
+    /// Global multiplier applied to *declared* byte volumes before
+    /// bandwidth math, letting megabyte-scale real data be charged as the
+    /// paper's terabyte-scale runs. 1.0 for correctness tests.
+    pub byte_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            container_launch_ms: 2_500,
+            am_launch_ms: 5_000,
+            warmup_penalty: 0.6,
+            warmup_decay: 0.5,
+            cpu_ns_per_record: 1_500,
+            cpu_ns_per_byte: 6,
+            disk_bw: 150_000,  // ~143 MB/s
+            net_bw: 80_000,    // ~76 MB/s per flow
+            dfs_write_factor: 2.5,
+            straggler_prob: 0.01,
+            straggler_factor: 4.0,
+            task_overhead_ms: 150,
+            byte_scale: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Warm-up multiplier for a container that has already run
+    /// `tasks_run` tasks.
+    pub fn warmup_factor(&self, tasks_run: u64) -> f64 {
+        1.0 + self.warmup_penalty * self.warmup_decay.powi(tasks_run.min(62) as i32)
+    }
+
+    /// CPU milliseconds for the given volume.
+    pub fn cpu_ms(&self, records: u64, bytes: u64) -> u64 {
+        let scaled_bytes = (bytes as f64 * self.byte_scale) as u64;
+        let scaled_records = (records as f64 * self.byte_scale) as u64;
+        (scaled_records * self.cpu_ns_per_record + scaled_bytes * self.cpu_ns_per_byte)
+            / 1_000_000
+    }
+
+    /// Milliseconds to read `bytes` from local disk.
+    pub fn local_read_ms(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * self.byte_scale) as u64) / self.disk_bw.max(1)
+    }
+
+    /// Milliseconds to fetch `bytes` across the network.
+    pub fn remote_read_ms(&self, bytes: u64) -> u64 {
+        let scaled = (bytes as f64 * self.byte_scale) as u64;
+        scaled / self.net_bw.max(1) + scaled / self.disk_bw.max(1)
+    }
+
+    /// Milliseconds to write `bytes` to local disk.
+    pub fn local_write_ms(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * self.byte_scale) as u64) / self.disk_bw.max(1)
+    }
+
+    /// Milliseconds to write `bytes` to the replicated DFS.
+    pub fn dfs_write_ms(&self, bytes: u64) -> u64 {
+        (((bytes as f64 * self.byte_scale) * self.dfs_write_factor) as u64) / self.disk_bw.max(1)
+    }
+
+    /// Total base duration of a work item, before node speed, warm-up and
+    /// straggler factors (which the simulator applies).
+    pub fn base_work_ms(&self, w: &WorkCost) -> u64 {
+        self.task_overhead_ms
+            + w.setup_ms
+            + self.cpu_ms(w.cpu_records, w.cpu_bytes)
+            + self.local_read_ms(w.local_read_bytes)
+            + self.remote_read_ms(w.remote_read_bytes).saturating_sub(w.overlapped_fetch_ms)
+            + self.local_write_ms(w.local_write_bytes)
+            + self.dfs_write_ms(w.dfs_write_bytes)
+    }
+}
+
+/// Description of one task attempt's work, assembled by the AM from the
+/// volumes the IPO pipeline actually processed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkCost {
+    /// Records driving CPU cost.
+    pub cpu_records: u64,
+    /// Bytes driving CPU cost.
+    pub cpu_bytes: u64,
+    /// Bytes read from node-local data (disk/HDFS-local replica).
+    pub local_read_bytes: u64,
+    /// Bytes fetched across the network (shuffle, remote HDFS replica).
+    pub remote_read_bytes: u64,
+    /// Bytes written to local disk (intermediate outputs, spills).
+    pub local_write_bytes: u64,
+    /// Bytes written to the replicated DFS (final outputs, MR inter-job
+    /// materialization).
+    pub dfs_write_bytes: u64,
+    /// Extra fixed setup cost (e.g. building a broadcast hash table when it
+    /// missed the object registry).
+    pub setup_ms: u64,
+    /// Fetch milliseconds already hidden by slow-start overlap; subtracted
+    /// from the remote-read cost (credited by the AM, paper §3.4
+    /// "Scheduling Optimizations").
+    pub overlapped_fetch_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_decays_towards_one() {
+        let m = CostModel::default();
+        let f0 = m.warmup_factor(0);
+        let f1 = m.warmup_factor(1);
+        let f10 = m.warmup_factor(10);
+        assert!(f0 > f1 && f1 > f10);
+        assert!((f10 - 1.0).abs() < 0.01);
+        assert!((f0 - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_scale_multiplies_io() {
+        let mut m = CostModel::default();
+        // 1.5 MB divides the 150 kB/ms disk bandwidth exactly, so the
+        // scaled cost is exactly 10x despite integer division.
+        let base = m.local_read_ms(1_500_000);
+        m.byte_scale = 10.0;
+        assert_eq!(m.local_read_ms(1_500_000), base * 10);
+    }
+
+    #[test]
+    fn remote_read_costs_more_than_local() {
+        let m = CostModel::default();
+        assert!(m.remote_read_ms(10_000_000) > m.local_read_ms(10_000_000));
+    }
+
+    #[test]
+    fn dfs_write_costs_more_than_local_write() {
+        let m = CostModel::default();
+        assert!(m.dfs_write_ms(10_000_000) > m.local_write_ms(10_000_000));
+    }
+
+    #[test]
+    fn overlap_credit_reduces_base_cost() {
+        let m = CostModel::default();
+        let w = WorkCost {
+            remote_read_bytes: 100_000_000,
+            ..Default::default()
+        };
+        let overlapped = WorkCost {
+            overlapped_fetch_ms: 500,
+            ..w
+        };
+        assert_eq!(m.base_work_ms(&overlapped) + 500, m.base_work_ms(&w));
+    }
+
+    #[test]
+    fn overlap_credit_saturates() {
+        let m = CostModel::default();
+        let w = WorkCost {
+            remote_read_bytes: 1_000,
+            overlapped_fetch_ms: 1_000_000,
+            ..Default::default()
+        };
+        // Never underflows below the other cost components.
+        assert_eq!(m.base_work_ms(&w), m.task_overhead_ms);
+    }
+}

@@ -1,0 +1,53 @@
+//! Scripted and probabilistic fault injection.
+
+use crate::types::SimTime;
+
+/// Failure schedule for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Nodes to fail at the given times (node index into the cluster).
+    pub node_failures: Vec<(SimTime, usize)>,
+    /// Probability that any given work item fails mid-run with a transient
+    /// (retriable) error.
+    pub task_fail_prob: f64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail `node` at `time`.
+    pub fn with_node_failure(mut self, time: SimTime, node: usize) -> Self {
+        self.node_failures.push((time, node));
+        self
+    }
+
+    /// Set the transient task failure probability.
+    pub fn with_task_fail_prob(mut self, p: f64) -> Self {
+        self.task_fail_prob = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::none()
+            .with_node_failure(SimTime(5000), 3)
+            .with_node_failure(SimTime(9000), 1)
+            .with_task_fail_prob(0.05);
+        assert_eq!(p.node_failures.len(), 2);
+        assert!((p.task_fail_prob - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        assert_eq!(FaultPlan::none().with_task_fail_prob(7.0).task_fail_prob, 1.0);
+        assert_eq!(FaultPlan::none().with_task_fail_prob(-1.0).task_fail_prob, 0.0);
+    }
+}

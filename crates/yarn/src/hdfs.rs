@@ -1,0 +1,262 @@
+//! Simulated HDFS: replicated blocks with node locations.
+//!
+//! Files carry **real** block data (read by root inputs and written by
+//! committers) while *declaring* possibly-scaled statistics (`stat_bytes`,
+//! `records`) used by split calculation and the cost model. Replica
+//! placement drives locality-aware scheduling; losing a node removes its
+//! replicas but files stay readable while any replica survives.
+
+use crate::types::{ClusterSpec, NodeId};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tez_runtime::{BlockInfo, Dfs};
+
+/// Replication factor, as in stock HDFS.
+pub const REPLICATION: usize = 3;
+
+#[derive(Clone, Debug)]
+struct Block {
+    data: Bytes,
+    /// Declared (possibly scaled) size used for statistics and cost.
+    stat_bytes: u64,
+    records: u64,
+    replicas: Vec<NodeId>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct File {
+    blocks: Vec<Block>,
+}
+
+/// The simulated namenode + datanodes.
+pub struct SimHdfs {
+    files: HashMap<String, File>,
+    num_nodes: u32,
+    rng: StdRng,
+    /// Total declared bytes written since start (for reports).
+    bytes_written: u64,
+    /// Multiplier applied to declared sizes on plain `write_file` calls, so
+    /// intermediate files written by committers carry the same scaled
+    /// statistics as the generated input data.
+    stat_scale: f64,
+}
+
+impl SimHdfs {
+    /// Empty filesystem over a cluster of `num_nodes` nodes.
+    pub fn new(num_nodes: usize, seed: u64) -> Self {
+        SimHdfs {
+            files: HashMap::new(),
+            num_nodes: num_nodes.max(1) as u32,
+            rng: StdRng::seed_from_u64(seed ^ 0x5df5),
+            bytes_written: 0,
+            stat_scale: 1.0,
+        }
+    }
+
+    /// Set the declared-size multiplier for subsequent `write_file` calls.
+    pub fn set_stat_scale(&mut self, scale: f64) {
+        self.stat_scale = scale.max(0.0);
+    }
+
+    fn place_replicas(&mut self) -> Vec<NodeId> {
+        let n = self.num_nodes;
+        let mut replicas = Vec::with_capacity(REPLICATION.min(n as usize));
+        while replicas.len() < REPLICATION.min(n as usize) {
+            let node = NodeId(self.rng.random_range(0..n));
+            if !replicas.contains(&node) {
+                replicas.push(node);
+            }
+        }
+        replicas
+    }
+
+    /// Create a file whose declared statistics equal the real data sizes.
+    pub fn put_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+        let scaled: Vec<(Bytes, u64, u64)> = blocks
+            .into_iter()
+            .map(|(d, r)| {
+                let len = d.len() as u64;
+                (d, len, r)
+            })
+            .collect();
+        self.put_file_scaled(path, scaled)
+    }
+
+    /// Create a file with explicit declared sizes per block
+    /// `(data, stat_bytes, records)` — datagen uses this to declare
+    /// paper-scale sizes while storing small real data.
+    pub fn put_file_scaled(&mut self, path: &str, blocks: Vec<(Bytes, u64, u64)>) -> u64 {
+        let mut total = 0;
+        let blocks = blocks
+            .into_iter()
+            .map(|(data, stat_bytes, records)| {
+                total += stat_bytes;
+                let replicas = self.place_replicas();
+                Block {
+                    data,
+                    stat_bytes,
+                    records,
+                    replicas,
+                }
+            })
+            .collect();
+        self.files.insert(path.to_string(), File { blocks });
+        self.bytes_written += total;
+        total
+    }
+
+    /// Remove the replicas a failed node held. Blocks with no surviving
+    /// replica become unreadable (read returns `None`).
+    pub fn node_lost(&mut self, node: NodeId) {
+        for file in self.files.values_mut() {
+            for block in &mut file.blocks {
+                block.replicas.retain(|&r| r != node);
+            }
+        }
+    }
+
+    /// Declared bytes written since start.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Nodes currently holding replicas of a block.
+    pub fn block_replicas(&self, path: &str, index: usize) -> Option<&[NodeId]> {
+        self.files
+            .get(path)
+            .and_then(|f| f.blocks.get(index))
+            .map(|b| b.replicas.as_slice())
+    }
+}
+
+impl Dfs for SimHdfs {
+    fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>> {
+        self.files.get(path).map(|f| {
+            f.blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| BlockInfo {
+                    index: i,
+                    bytes: b.stat_bytes,
+                    records: b.records,
+                    hosts: b.replicas.iter().map(|&n| ClusterSpec::host_name(n)).collect(),
+                })
+                .collect()
+        })
+    }
+
+    fn read_block(&self, path: &str, index: usize) -> Option<Bytes> {
+        let block = self.files.get(path)?.blocks.get(index)?;
+        if block.replicas.is_empty() {
+            return None; // all replicas lost
+        }
+        Some(block.data.clone())
+    }
+
+    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+        let scale = self.stat_scale;
+        let scaled: Vec<(Bytes, u64, u64)> = blocks
+            .into_iter()
+            .map(|(d, r)| {
+                let declared = ((d.len() as f64) * scale).max(1.0) as u64;
+                let records = ((r as f64) * scale).max(1.0) as u64;
+                (d, declared, records)
+            })
+            .collect();
+        self.put_file_scaled(path, scaled)
+    }
+
+    fn delete(&mut self, path: &str) {
+        self.files.remove(path);
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    #[test]
+    fn write_list_read() {
+        let mut h = SimHdfs::new(5, 1);
+        h.put_file("/a", vec![(b(b"hello"), 2), (b(b"world!"), 3)]);
+        let blocks = h.list_blocks("/a").unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].bytes, 5);
+        assert_eq!(blocks[1].records, 3);
+        assert_eq!(blocks[0].hosts.len(), 3);
+        assert_eq!(&h.read_block("/a", 1).unwrap()[..], b"world!");
+        assert!(h.read_block("/a", 2).is_none());
+    }
+
+    #[test]
+    fn scaled_stats_diverge_from_real_data() {
+        let mut h = SimHdfs::new(5, 1);
+        h.put_file_scaled("/big", vec![(b(b"tiny"), 128 * 1024 * 1024, 1_000_000)]);
+        let blocks = h.list_blocks("/big").unwrap();
+        assert_eq!(blocks[0].bytes, 128 * 1024 * 1024);
+        assert_eq!(&h.read_block("/big", 0).unwrap()[..], b"tiny");
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let mut h = SimHdfs::new(10, 7);
+        h.put_file("/a", vec![(b(b"x"), 1)]);
+        let reps = h.block_replicas("/a", 0).unwrap();
+        assert_eq!(reps.len(), 3);
+        let mut uniq = reps.to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn small_cluster_caps_replication() {
+        let mut h = SimHdfs::new(1, 7);
+        h.put_file("/a", vec![(b(b"x"), 1)]);
+        assert_eq!(h.block_replicas("/a", 0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn node_loss_degrades_then_kills_block() {
+        let mut h = SimHdfs::new(3, 7);
+        h.put_file("/a", vec![(b(b"x"), 1)]);
+        for n in 0..3 {
+            h.node_lost(NodeId(n));
+        }
+        assert!(h.read_block("/a", 0).is_none());
+        assert!(h.exists("/a"));
+    }
+
+    #[test]
+    fn delete_and_exists() {
+        let mut h = SimHdfs::new(3, 7);
+        h.write_file("/a", vec![(b(b"x"), 1)]);
+        assert!(h.exists("/a"));
+        h.delete("/a");
+        assert!(!h.exists("/a"));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_placement() {
+        let mut h1 = SimHdfs::new(20, 42);
+        let mut h2 = SimHdfs::new(20, 42);
+        h1.put_file("/a", vec![(b(b"x"), 1)]);
+        h2.put_file("/a", vec![(b(b"x"), 1)]);
+        assert_eq!(h1.block_replicas("/a", 0), h2.block_replicas("/a", 0));
+    }
+}

@@ -1,0 +1,51 @@
+//! # tez-yarn — a deterministic discrete-event YARN cluster simulator
+//!
+//! The Tez paper evaluates orchestration mechanisms — locality-aware
+//! scheduling with delay scheduling, container reuse, sessions,
+//! speculation, multi-tenant resource sharing — on real YARN clusters of
+//! 20–4200 nodes. This crate substitutes those clusters with a
+//! **deterministic discrete-event simulation** exercising the same
+//! control-plane contracts:
+//!
+//! * [`ClusterSpec`] — nodes, racks, per-node resources, heterogeneous
+//!   speed factors.
+//! * [`Rm`] — a capacity-scheduler-style resource manager: per-queue
+//!   shares, priority-ordered container requests with node/rack locality
+//!   preferences, **delay scheduling** (Zaharia et al., EuroSys'10, cited
+//!   by the paper), elastic over-share usage, and optional preemption.
+//! * [`YarnApp`] — the ApplicationMaster contract. `tez-core`'s
+//!   `DagAppMaster` and the classic MapReduce baseline both implement it.
+//! * [`CostModel`] — converts work descriptions (CPU, local/remote bytes)
+//!   into simulated time, including container-launch overhead, a JIT-style
+//!   warm-up multiplier that decays with tasks run per container, node
+//!   speed factors and straggler injection.
+//! * [`SimHdfs`] — replicated block storage with locations (for locality
+//!   and split calculation) carrying *real* data at small scale while
+//!   declaring *scaled* statistics for the cost model.
+//! * [`FaultPlan`] — scripted node failures and probabilistic task
+//!   failures.
+//! * [`Trace`] — container/work spans and per-app allocation time series
+//!   (drives the paper's Figure 7 and Figure 12 plots).
+//!
+//! Everything is single-threaded and seeded: the same inputs produce the
+//! same schedule, byte-for-byte.
+
+pub mod app;
+pub mod cost;
+pub mod fault;
+pub mod hdfs;
+pub mod rm;
+pub mod sim;
+pub mod trace;
+pub mod types;
+
+pub use app::{AppContext, AppEvent, AppStatus, ContainerExit, WorkOutcome, YarnApp};
+pub use cost::{CostModel, WorkCost};
+pub use fault::FaultPlan;
+pub use hdfs::SimHdfs;
+pub use rm::{ContainerRequest, QueueSpec, Rm, RmConfig};
+pub use sim::{SimResult, Simulation};
+pub use trace::{AllocPoint, Trace, WorkSpan};
+pub use types::{
+    AppId, ClusterSpec, Container, ContainerId, NodeId, RequestId, Resource, SimTime, WorkId,
+};

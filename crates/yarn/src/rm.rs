@@ -1,0 +1,830 @@
+//! The resource manager: capacity-scheduler queues, locality-aware
+//! container allocation with delay scheduling, elastic sharing, and
+//! optional preemption.
+//!
+//! The allocator is intentionally simple but captures the behaviours the
+//! paper's experiments rely on:
+//!
+//! * **Queues with capacity shares** — apps in under-served queues are
+//!   served first; idle capacity is lent elastically to busy queues
+//!   (paper §4.3 "Multi-Tenancy").
+//! * **Delay scheduling** — a request with node preferences waits up to
+//!   `node_delay_ms` for a node-local slot before accepting rack-local,
+//!   and up to `rack_delay_ms` before accepting any node (paper §4.2,
+//!   citing Zaharia et al.).
+//! * **Preemption** — when enabled, sustained starvation of an
+//!   under-share queue claws back the newest containers of over-share
+//!   apps.
+
+use crate::types::{AppId, Container, ContainerId, NodeId, RequestId, Resource, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// One scheduler queue.
+#[derive(Clone, Debug)]
+pub struct QueueSpec {
+    /// Queue name.
+    pub name: String,
+    /// Relative capacity share (normalized across queues).
+    pub share: f64,
+}
+
+impl QueueSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, share: f64) -> Self {
+        QueueSpec {
+            name: name.into(),
+            share,
+        }
+    }
+}
+
+/// Scheduler tunables.
+#[derive(Clone, Debug)]
+pub struct RmConfig {
+    /// Delay before relaxing node-local to rack-local.
+    pub node_delay_ms: u64,
+    /// Delay before relaxing rack-local to off-rack.
+    pub rack_delay_ms: u64,
+    /// Whether cross-queue preemption is enabled.
+    pub preemption: bool,
+    /// Starvation duration before preemption kicks in.
+    pub preempt_after_ms: u64,
+}
+
+impl Default for RmConfig {
+    fn default() -> Self {
+        RmConfig {
+            node_delay_ms: 1_000,
+            rack_delay_ms: 3_000,
+            preemption: false,
+            preempt_after_ms: 15_000,
+        }
+    }
+}
+
+/// A container request from an app.
+#[derive(Clone, Debug)]
+pub struct ContainerRequest {
+    /// Lower runs first (vertex depth in Tez).
+    pub priority: u32,
+    /// Requested resource.
+    pub resource: Resource,
+    /// Preferred nodes (node-local).
+    pub nodes: Vec<NodeId>,
+    /// Preferred racks (rack-local); derived from `nodes` if empty.
+    pub racks: Vec<u32>,
+    /// Whether locality may relax to any node after the delays.
+    pub relax_locality: bool,
+}
+
+impl ContainerRequest {
+    /// An any-node request.
+    pub fn anywhere(priority: u32, resource: Resource) -> Self {
+        ContainerRequest {
+            priority,
+            resource,
+            nodes: Vec::new(),
+            racks: Vec::new(),
+            relax_locality: true,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    id: RequestId,
+    req: ContainerRequest,
+    created: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct NodeState {
+    alive: bool,
+    free: Resource,
+    rack: u32,
+}
+
+#[derive(Clone, Debug)]
+struct RmApp {
+    queue: usize,
+    /// Pending requests ordered by (priority, id).
+    pending: BTreeMap<(u32, u64), Pending>,
+    used_vcores: u64,
+    used_memory: u64,
+    finished: bool,
+}
+
+/// Container bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ContainerInfo {
+    /// Owning app.
+    pub app: AppId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Allocated resource.
+    pub resource: Resource,
+    /// Allocation time (newest preempted first).
+    pub allocated_at: SimTime,
+    /// Number of work items this container has executed (drives warm-up).
+    pub works_run: u64,
+}
+
+/// Allocation produced by a scheduling pass.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Receiving app.
+    pub app: AppId,
+    /// The allocated container.
+    pub container: Container,
+}
+
+/// Preemption decision produced by a scheduling pass.
+#[derive(Clone, Debug)]
+pub struct Preemption {
+    /// App losing the container.
+    pub app: AppId,
+    /// The container to kill.
+    pub container: ContainerId,
+}
+
+/// The resource manager state machine. Pure data structure: the
+/// [`crate::Simulation`] drives it and delivers its decisions as events.
+pub struct Rm {
+    config: RmConfig,
+    queues: Vec<QueueSpec>,
+    queue_starved_since: Vec<Option<SimTime>>,
+    apps: HashMap<AppId, RmApp>,
+    nodes: Vec<NodeState>,
+    containers: HashMap<ContainerId, ContainerInfo>,
+    next_container: u64,
+    next_request: u64,
+    total_vcores: u64,
+}
+
+impl Rm {
+    /// New RM over `nodes` nodes of the given capacity, with `queues`
+    /// (shares normalized internally; an empty list gets one default
+    /// queue).
+    pub fn new(
+        node_resources: Vec<(Resource, u32)>,
+        queues: Vec<QueueSpec>,
+        config: RmConfig,
+    ) -> Self {
+        let queues = if queues.is_empty() {
+            vec![QueueSpec::new("default", 1.0)]
+        } else {
+            queues
+        };
+        let total_vcores = node_resources.iter().map(|(r, _)| r.vcores as u64).sum();
+        let nodes = node_resources
+            .into_iter()
+            .map(|(free, rack)| NodeState {
+                alive: true,
+                free,
+                rack,
+            })
+            .collect();
+        Rm {
+            config,
+            queue_starved_since: vec![None; queues.len()],
+            queues,
+            apps: HashMap::new(),
+            nodes,
+            containers: HashMap::new(),
+            next_container: 1,
+            next_request: 1,
+            total_vcores,
+        }
+    }
+
+    /// Register an app under a queue name (falls back to queue 0).
+    pub fn register_app(&mut self, app: AppId, queue: &str) {
+        let queue = self
+            .queues
+            .iter()
+            .position(|q| q.name == queue)
+            .unwrap_or(0);
+        self.apps.insert(
+            app,
+            RmApp {
+                queue,
+                pending: BTreeMap::new(),
+                used_vcores: 0,
+                used_memory: 0,
+                finished: false,
+            },
+        );
+    }
+
+    /// Add a container request; returns its id.
+    pub fn add_request(&mut self, app: AppId, req: ContainerRequest, now: SimTime) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        let entry = self.apps.get_mut(&app).expect("unregistered app");
+        entry.pending.insert(
+            (req.priority, id.0),
+            Pending {
+                id,
+                req,
+                created: now,
+            },
+        );
+        id
+    }
+
+    /// Cancel a pending request; returns whether it was still pending.
+    pub fn cancel_request(&mut self, app: AppId, id: RequestId) -> bool {
+        if let Some(a) = self.apps.get_mut(&app) {
+            let key = a
+                .pending
+                .iter()
+                .find(|(_, p)| p.id == id)
+                .map(|(k, _)| *k);
+            if let Some(k) = key {
+                a.pending.remove(&k);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of pending requests of an app.
+    pub fn pending_requests(&self, app: AppId) -> usize {
+        self.apps.get(&app).map_or(0, |a| a.pending.len())
+    }
+
+    /// Release a container back to the cluster. Returns its info.
+    pub fn release_container(&mut self, id: ContainerId) -> Option<ContainerInfo> {
+        let info = self.containers.remove(&id)?;
+        if let Some(node) = self.nodes.get_mut(info.node.0 as usize) {
+            node.free.memory_mb += info.resource.memory_mb;
+            node.free.vcores += info.resource.vcores;
+        }
+        if let Some(app) = self.apps.get_mut(&info.app) {
+            app.used_vcores -= info.resource.vcores as u64;
+            app.used_memory -= info.resource.memory_mb;
+        }
+        Some(info)
+    }
+
+    /// Mark an app finished and release all its containers; returns them.
+    pub fn finish_app(&mut self, app: AppId) -> Vec<ContainerId> {
+        if let Some(a) = self.apps.get_mut(&app) {
+            a.finished = true;
+            a.pending.clear();
+        }
+        let ids: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|(_, c)| c.app == app)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &ids {
+            self.release_container(*id);
+        }
+        ids
+    }
+
+    /// Handle a node failure: mark dead, drop its containers. Returns the
+    /// containers that were lost `(id, info)`.
+    pub fn node_lost(&mut self, node: NodeId) -> Vec<(ContainerId, ContainerInfo)> {
+        if let Some(n) = self.nodes.get_mut(node.0 as usize) {
+            n.alive = false;
+            n.free = Resource::new(0, 0);
+        }
+        let ids: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|(_, c)| c.node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut lost = Vec::new();
+        for id in ids {
+            let info = self.containers.remove(&id).expect("listed above");
+            if let Some(app) = self.apps.get_mut(&info.app) {
+                app.used_vcores -= info.resource.vcores as u64;
+                app.used_memory -= info.resource.memory_mb;
+            }
+            lost.push((id, info));
+        }
+        lost
+    }
+
+    /// Container info accessor.
+    pub fn container(&self, id: ContainerId) -> Option<&ContainerInfo> {
+        self.containers.get(&id)
+    }
+
+    /// Bump the works-run counter of a container (warm-up tracking).
+    pub fn container_ran_work(&mut self, id: ContainerId) {
+        if let Some(c) = self.containers.get_mut(&id) {
+            c.works_run += 1;
+        }
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Rack of a node.
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        self.nodes[node.0 as usize].rack
+    }
+
+    fn queue_usage_ratio(&self, queue: usize) -> f64 {
+        let used: u64 = self
+            .apps
+            .values()
+            .filter(|a| a.queue == queue)
+            .map(|a| a.used_vcores)
+            .sum();
+        let total_share: f64 = self.queues.iter().map(|q| q.share).sum();
+        let fair = self.total_vcores as f64 * self.queues[queue].share / total_share.max(1e-9);
+        used as f64 / fair.max(1e-9)
+    }
+
+    fn try_place(&self, p: &Pending, now: SimTime) -> Option<NodeId> {
+        let waited = now.since(p.created);
+        // Node-local.
+        for &n in &p.req.nodes {
+            let st = &self.nodes[n.0 as usize];
+            if st.alive && p.req.resource.fits_in(&st.free) {
+                return Some(n);
+            }
+        }
+        let has_prefs = !p.req.nodes.is_empty() || !p.req.racks.is_empty();
+        if has_prefs && waited < self.config.node_delay_ms {
+            return None;
+        }
+        // Rack-local.
+        let mut racks: Vec<u32> = p.req.racks.clone();
+        for &n in &p.req.nodes {
+            racks.push(self.nodes[n.0 as usize].rack);
+        }
+        if !racks.is_empty() {
+            for (i, st) in self.nodes.iter().enumerate() {
+                if st.alive && racks.contains(&st.rack) && p.req.resource.fits_in(&st.free) {
+                    return Some(NodeId(i as u32));
+                }
+            }
+            if waited < self.config.rack_delay_ms || !p.req.relax_locality {
+                return None;
+            }
+        }
+        // Anywhere: least-loaded alive node (most free vcores, then lowest id).
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.alive && p.req.resource.fits_in(&st.free))
+            .max_by_key(|(i, st)| (st.free.vcores, st.free.memory_mb, usize::MAX - i))
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    fn allocate_to(&mut self, app_id: AppId, key: (u32, u64), node: NodeId, now: SimTime) -> Allocation {
+        let app = self.apps.get_mut(&app_id).expect("app exists");
+        let p = app.pending.remove(&key).expect("pending exists");
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        let st = &mut self.nodes[node.0 as usize];
+        st.free.memory_mb -= p.req.resource.memory_mb;
+        st.free.vcores -= p.req.resource.vcores;
+        app.used_vcores += p.req.resource.vcores as u64;
+        app.used_memory += p.req.resource.memory_mb;
+        self.containers.insert(
+            id,
+            ContainerInfo {
+                app: app_id,
+                node,
+                resource: p.req.resource,
+                allocated_at: now,
+                works_run: 0,
+            },
+        );
+        Allocation {
+            app: app_id,
+            container: Container {
+                id,
+                node,
+                resource: p.req.resource,
+                request: p.id,
+            },
+        }
+    }
+
+    /// Run one scheduling pass. Returns allocations, preemptions, and the
+    /// earliest future time at which a currently-blocked locality delay
+    /// expires (so the simulator can schedule the next pass).
+    pub fn schedule(&mut self, now: SimTime) -> (Vec<Allocation>, Vec<Preemption>, Option<SimTime>) {
+        let mut allocations = Vec::new();
+        loop {
+            // Apps ordered by (queue usage ratio asc, app id asc) — most
+            // starved queue first. Recomputed each round for fairness.
+            let mut order: Vec<AppId> = self
+                .apps
+                .iter()
+                .filter(|(_, a)| !a.finished && !a.pending.is_empty())
+                .map(|(&id, _)| id)
+                .collect();
+            order.sort_by(|&a, &b| {
+                let ra = self.queue_usage_ratio(self.apps[&a].queue);
+                let rb = self.queue_usage_ratio(self.apps[&b].queue);
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut placed = None;
+            'outer: for app_id in order {
+                let keys: Vec<(u32, u64)> = self.apps[&app_id].pending.keys().copied().collect();
+                for key in keys {
+                    let p = self.apps[&app_id].pending[&key].clone();
+                    if let Some(node) = self.try_place(&p, now) {
+                        placed = Some((app_id, key, node));
+                        break 'outer;
+                    }
+                }
+            }
+            match placed {
+                Some((app_id, key, node)) => {
+                    allocations.push(self.allocate_to(app_id, key, node, now));
+                }
+                None => break,
+            }
+        }
+
+        // Next locality-delay expiry among still-pending preferred requests.
+        let mut next_pass: Option<SimTime> = None;
+        for a in self.apps.values() {
+            for p in a.pending.values() {
+                if p.req.nodes.is_empty() && p.req.racks.is_empty() {
+                    continue;
+                }
+                let waited = now.since(p.created);
+                let next = if waited < self.config.node_delay_ms {
+                    Some(p.created.plus(self.config.node_delay_ms))
+                } else if waited < self.config.rack_delay_ms && p.req.relax_locality {
+                    Some(p.created.plus(self.config.rack_delay_ms))
+                } else {
+                    None
+                };
+                if let Some(t) = next {
+                    next_pass = Some(next_pass.map_or(t, |cur: SimTime| cur.min(t)));
+                }
+            }
+        }
+
+        let preemptions = if self.config.preemption {
+            self.compute_preemptions(now)
+        } else {
+            Vec::new()
+        };
+        (allocations, preemptions, next_pass)
+    }
+
+    fn compute_preemptions(&mut self, now: SimTime) -> Vec<Preemption> {
+        let mut out = Vec::new();
+        for q in 0..self.queues.len() {
+            let demand: usize = self
+                .apps
+                .values()
+                .filter(|a| a.queue == q && !a.finished)
+                .map(|a| a.pending.len())
+                .sum();
+            let starved = demand > 0 && self.queue_usage_ratio(q) < 0.95;
+            match (starved, self.queue_starved_since[q]) {
+                (true, None) => self.queue_starved_since[q] = Some(now),
+                (false, _) => self.queue_starved_since[q] = None,
+                (true, Some(since)) if now.since(since) >= self.config.preempt_after_ms => {
+                    // Claw back the newest container of the most over-share app.
+                    let victim = self
+                        .containers
+                        .iter()
+                        .filter(|(_, c)| {
+                            let a = &self.apps[&c.app];
+                            a.queue != q && self.queue_usage_ratio(a.queue) > 1.05
+                        })
+                        .max_by_key(|(id, c)| (c.allocated_at, id.0))
+                        .map(|(&id, c)| Preemption {
+                            app: c.app,
+                            container: id,
+                        });
+                    if let Some(v) = victim {
+                        out.push(v);
+                        self.queue_starved_since[q] = Some(now); // reset the clock
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(nodes: usize, vcores: u32) -> Rm {
+        let res: Vec<(Resource, u32)> = (0..nodes)
+            .map(|i| (Resource::new(8192, vcores), (i / 2) as u32))
+            .collect();
+        Rm::new(res, vec![], RmConfig::default())
+    }
+
+    #[test]
+    fn basic_allocation() {
+        let mut r = rm(2, 4);
+        r.register_app(AppId(1), "default");
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime::ZERO,
+        );
+        let (allocs, pre, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(allocs.len(), 1);
+        assert!(pre.is_empty());
+        assert_eq!(r.pending_requests(AppId(1)), 0);
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut r = rm(1, 2);
+        r.register_app(AppId(1), "default");
+        for _ in 0..5 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime::ZERO,
+            );
+        }
+        let (allocs, _, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(allocs.len(), 2); // 2 vcores on the single node
+        assert_eq!(r.pending_requests(AppId(1)), 3);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut r = rm(1, 1);
+        r.register_app(AppId(1), "default");
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime::ZERO,
+        );
+        let (allocs, _, _) = r.schedule(SimTime::ZERO);
+        let c = allocs[0].container.id;
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime(1),
+        );
+        let (a2, _, _) = r.schedule(SimTime(1));
+        assert!(a2.is_empty());
+        r.release_container(c);
+        let (a3, _, _) = r.schedule(SimTime(2));
+        assert_eq!(a3.len(), 1);
+    }
+
+    #[test]
+    fn delay_scheduling_waits_for_preferred_node() {
+        let mut r = rm(2, 4);
+        r.register_app(AppId(1), "default");
+        // Fill node 0 completely.
+        for _ in 0..4 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest {
+                    priority: 0,
+                    resource: Resource::new(1024, 1),
+                    nodes: vec![NodeId(0)],
+                    racks: vec![],
+                    relax_locality: true,
+                },
+                SimTime::ZERO,
+            );
+        }
+        let (a, _, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(a.len(), 4);
+        // Fifth request prefers node 0, which is full. Node 1 is in the
+        // same rack (nodes_per_rack=2 in this fixture).
+        r.add_request(
+            AppId(1),
+            ContainerRequest {
+                priority: 0,
+                resource: Resource::new(1024, 1),
+                nodes: vec![NodeId(0)],
+                racks: vec![],
+                relax_locality: true,
+            },
+            SimTime(100),
+        );
+        let (a, _, next) = r.schedule(SimTime(100));
+        assert!(a.is_empty(), "must wait out the node-local delay");
+        assert_eq!(next, Some(SimTime(100 + 1000)));
+        // After the node delay, rack-local node 1 is acceptable.
+        let (a, _, _) = r.schedule(SimTime(1100));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].container.node, NodeId(1));
+    }
+
+    #[test]
+    fn off_rack_requires_rack_delay() {
+        // 4 nodes, racks of 2. Preferred node 0 and its rack peer stay full.
+        let mut r = rm(4, 1);
+        r.register_app(AppId(1), "default");
+        for n in [0u32, 1] {
+            r.add_request(
+                AppId(1),
+                ContainerRequest {
+                    priority: 0,
+                    resource: Resource::new(1024, 1),
+                    nodes: vec![NodeId(n)],
+                    racks: vec![],
+                    relax_locality: false,
+                },
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        r.add_request(
+            AppId(1),
+            ContainerRequest {
+                priority: 0,
+                resource: Resource::new(1024, 1),
+                nodes: vec![NodeId(0)],
+                racks: vec![],
+                relax_locality: true,
+            },
+            SimTime(0),
+        );
+        // After node delay but before rack delay: rack is full, off-rack
+        // not yet allowed.
+        let (a, _, _) = r.schedule(SimTime(1500));
+        assert!(a.is_empty());
+        // After rack delay: off-rack node acceptable.
+        let (a, _, _) = r.schedule(SimTime(3000));
+        assert_eq!(a.len(), 1);
+        assert!(a[0].container.node.0 >= 2);
+    }
+
+    #[test]
+    fn priority_orders_allocation() {
+        let mut r = rm(1, 1);
+        r.register_app(AppId(1), "default");
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(5, Resource::new(1024, 1)),
+            SimTime::ZERO,
+        );
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(1, Resource::new(1024, 1)),
+            SimTime::ZERO,
+        );
+        let (a, _, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(a.len(), 1);
+        // The priority-1 request must have won the single slot: the
+        // remaining pending one is priority 5.
+        let app = &r.apps[&AppId(1)];
+        assert_eq!(app.pending.keys().next().unwrap().0, 5);
+    }
+
+    #[test]
+    fn queue_fairness_prefers_starved_queue() {
+        let res: Vec<(Resource, u32)> = (0..2).map(|_| (Resource::new(4096, 4), 0)).collect();
+        let mut r = Rm::new(
+            res,
+            vec![QueueSpec::new("a", 1.0), QueueSpec::new("b", 1.0)],
+            RmConfig::default(),
+        );
+        r.register_app(AppId(1), "a");
+        r.register_app(AppId(2), "b");
+        // App 1 grabs 6 of 8 slots.
+        for _ in 0..6 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        // Both ask for 2 more; only 2 free. Queue b is starved → app 2 wins.
+        for _ in 0..2 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime(1),
+            );
+            r.add_request(
+                AppId(2),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime(1),
+            );
+        }
+        let (a, _, _) = r.schedule(SimTime(1));
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|al| al.app == AppId(2)));
+    }
+
+    #[test]
+    fn preemption_claws_back_from_over_share_apps() {
+        let res: Vec<(Resource, u32)> = (0..1).map(|_| (Resource::new(4096, 4), 0)).collect();
+        let mut r = Rm::new(
+            res,
+            vec![QueueSpec::new("a", 1.0), QueueSpec::new("b", 1.0)],
+            RmConfig {
+                preemption: true,
+                preempt_after_ms: 1_000,
+                ..RmConfig::default()
+            },
+        );
+        r.register_app(AppId(1), "a");
+        r.register_app(AppId(2), "b");
+        for _ in 0..4 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        r.add_request(
+            AppId(2),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime(10),
+        );
+        // First pass records starvation; no preemption yet.
+        let (_, pre, _) = r.schedule(SimTime(10));
+        assert!(pre.is_empty());
+        // After the timeout, the newest container of app 1 is preempted.
+        let (_, pre, _) = r.schedule(SimTime(1_500));
+        assert_eq!(pre.len(), 1);
+        assert_eq!(pre[0].app, AppId(1));
+    }
+
+    #[test]
+    fn node_loss_drops_containers_and_capacity() {
+        let mut r = rm(2, 2);
+        r.register_app(AppId(1), "default");
+        for _ in 0..4 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime::ZERO,
+            );
+        }
+        let (a, _, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(a.len(), 4);
+        let lost = r.node_lost(NodeId(0));
+        assert_eq!(lost.len(), 2);
+        assert_eq!(r.alive_nodes(), 1);
+        // New request cannot land on the dead node.
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime(1),
+        );
+        let (a, _, _) = r.schedule(SimTime(1));
+        assert!(a.is_empty(), "node 1 is full, node 0 dead");
+    }
+
+    #[test]
+    fn finish_app_releases_everything() {
+        let mut r = rm(1, 4);
+        r.register_app(AppId(1), "default");
+        for _ in 0..3 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        let released = r.finish_app(AppId(1));
+        assert_eq!(released.len(), 3);
+        r.register_app(AppId(2), "default");
+        for _ in 0..4 {
+            r.add_request(
+                AppId(2),
+                ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                SimTime(1),
+            );
+        }
+        let (a, _, _) = r.schedule(SimTime(1));
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn cancel_request_removes_pending() {
+        let mut r = rm(1, 1);
+        r.register_app(AppId(1), "default");
+        let id = r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(8192, 1)),
+            SimTime::ZERO,
+        );
+        assert!(r.cancel_request(AppId(1), id));
+        assert!(!r.cancel_request(AppId(1), id));
+        assert_eq!(r.pending_requests(AppId(1)), 0);
+    }
+}

@@ -1,0 +1,801 @@
+//! The discrete-event simulation driver.
+//!
+//! Single-threaded, fully deterministic: an event heap ordered by
+//! `(time, sequence)` drives RM scheduling passes, app callbacks, work
+//! completions and scripted node failures.
+
+use crate::app::{AppContext, AppEvent, AppStatus, ContainerExit, WorkOutcome, YarnApp};
+use crate::cost::{CostModel, WorkCost};
+use crate::fault::FaultPlan;
+use crate::hdfs::SimHdfs;
+use crate::rm::{ContainerRequest, QueueSpec, Rm, RmConfig};
+use crate::trace::{AllocPoint, Trace, WorkSpan};
+use crate::types::{AppId, ClusterSpec, ContainerId, NodeId, RequestId, Resource, SimTime, WorkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug)]
+enum EventKind {
+    AppStart(AppId),
+    Deliver(AppId, AppEvent),
+    WorkDone(WorkId),
+    SchedulePass,
+    NodeFailure(NodeId),
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct WorkState {
+    app: AppId,
+    container: ContainerId,
+    node: NodeId,
+    label: String,
+    start: SimTime,
+    end: SimTime,
+    planned: WorkOutcome,
+    done: bool,
+}
+
+/// Simulation internals shared with [`AppContext`]. Everything except the
+/// apps themselves, so an app callback can mutate the world while the
+/// driver holds the app.
+pub(crate) struct SimInner {
+    pub(crate) cluster: ClusterSpec,
+    pub(crate) cost: CostModel,
+    pub(crate) rm: Rm,
+    pub(crate) hdfs: SimHdfs,
+    pub(crate) trace: Trace,
+    fault: FaultPlan,
+    rng: StdRng,
+    node_speed: Vec<f64>,
+    events: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    works: HashMap<WorkId, WorkState>,
+    next_work: u64,
+    finished: HashMap<AppId, (SimTime, AppStatus)>,
+}
+
+impl SimInner {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn schedule_pass(&mut self, at: SimTime) {
+        self.push(at, EventKind::SchedulePass);
+    }
+
+    pub(crate) fn request_container(
+        &mut self,
+        app: AppId,
+        req: ContainerRequest,
+        now: SimTime,
+    ) -> RequestId {
+        let id = self.rm.add_request(app, req, now);
+        self.schedule_pass(now);
+        id
+    }
+
+    pub(crate) fn release_container(&mut self, id: ContainerId, now: SimTime) {
+        if let Some(info) = self.rm.release_container(id) {
+            self.trace.allocations.push(AllocPoint {
+                time: now,
+                app: info.app,
+                delta_vcores: -(info.resource.vcores as i64),
+            });
+            self.schedule_pass(now);
+        }
+    }
+
+    pub(crate) fn start_work(
+        &mut self,
+        app: AppId,
+        container: ContainerId,
+        label: String,
+        cost: WorkCost,
+        now: SimTime,
+    ) -> WorkId {
+        let info = self
+            .rm
+            .container(container)
+            .unwrap_or_else(|| panic!("start_work on unknown container {container:?}"));
+        assert_eq!(info.app, app, "work launched in another app's container");
+        let node = info.node;
+        let works_run = info.works_run;
+        let launch = if works_run == 0 {
+            self.cost.container_launch_ms
+        } else {
+            0
+        };
+        let mut ms = self.cost.base_work_ms(&cost) as f64;
+        ms *= self.cost.warmup_factor(works_run);
+        ms *= self.node_speed[node.0 as usize];
+        if self.cost.straggler_prob > 0.0 && self.rng.random::<f64>() < self.cost.straggler_prob {
+            ms *= self.cost.straggler_factor;
+        }
+        let planned = if self.fault.task_fail_prob > 0.0
+            && self.rng.random::<f64>() < self.fault.task_fail_prob
+        {
+            WorkOutcome::InjectedFailure
+        } else {
+            WorkOutcome::Succeeded
+        };
+        let duration = launch + (ms.max(1.0) as u64);
+        let end = now.plus(duration);
+        let id = WorkId(self.next_work);
+        self.next_work += 1;
+        self.rm.container_ran_work(container);
+        self.works.insert(
+            id,
+            WorkState {
+                app,
+                container,
+                node,
+                label,
+                start: now,
+                end,
+                planned,
+                done: false,
+            },
+        );
+        self.push(end, EventKind::WorkDone(id));
+        id
+    }
+
+    pub(crate) fn work_progress(&self, work: WorkId, now: SimTime) -> f64 {
+        match self.works.get(&work) {
+            Some(w) if !w.done => {
+                let total = w.end.since(w.start).max(1);
+                (now.since(w.start) as f64 / total as f64).clamp(0.0, 1.0)
+            }
+            Some(_) => 1.0,
+            None => 0.0,
+        }
+    }
+
+    fn complete_work(&mut self, id: WorkId, outcome: WorkOutcome, now: SimTime) {
+        let Some(w) = self.works.get_mut(&id) else {
+            return;
+        };
+        if w.done {
+            return;
+        }
+        w.done = true;
+        let (app, container) = (w.app, w.container);
+        self.trace.spans.push(WorkSpan {
+            app,
+            container,
+            node: w.node,
+            label: w.label.clone(),
+            start: w.start,
+            end: now,
+        });
+        self.push(
+            now,
+            EventKind::Deliver(
+                app,
+                AppEvent::WorkCompleted {
+                    work: id,
+                    container,
+                    outcome,
+                },
+            ),
+        );
+    }
+
+    pub(crate) fn kill_work(&mut self, id: WorkId, now: SimTime) {
+        self.complete_work(id, WorkOutcome::Killed, now);
+    }
+
+    pub(crate) fn set_timer(&mut self, app: AppId, delay_ms: u64, tag: u64, now: SimTime) {
+        self.push(now.plus(delay_ms), EventKind::Deliver(app, AppEvent::Timer { tag }));
+    }
+
+    pub(crate) fn finish_app(&mut self, app: AppId, status: AppStatus, now: SimTime) {
+        if self.finished.contains_key(&app) {
+            return;
+        }
+        // Cancel this app's running works before reclaiming containers.
+        let running: Vec<WorkId> = self
+            .works
+            .iter()
+            .filter(|(_, w)| w.app == app && !w.done)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in running {
+            if let Some(w) = self.works.get_mut(&id) {
+                w.done = true;
+            }
+        }
+        let released = self.rm.finish_app(app);
+        for _ in &released {
+            // Resource per container already accounted in release; record
+            // deltas using container info captured before release is not
+            // available here, so finish_app releases are traced in bulk by
+            // the RM usage reaching zero. Record a zeroing point.
+        }
+        self.trace.allocations.push(AllocPoint {
+            time: now,
+            app,
+            delta_vcores: i64::MIN, // sentinel replaced below
+        });
+        // Replace the sentinel with the exact negative of the current sum.
+        let sum: i64 = self
+            .trace
+            .allocations
+            .iter()
+            .filter(|p| p.app == app && p.delta_vcores != i64::MIN)
+            .map(|p| p.delta_vcores)
+            .sum();
+        if let Some(last) = self.trace.allocations.last_mut() {
+            last.delta_vcores = -sum;
+        }
+        self.finished.insert(app, (now, status));
+        self.schedule_pass(now);
+    }
+
+    fn container_vanished(&mut self, id: ContainerId, app: AppId, exit: ContainerExit, now: SimTime) {
+        // Kill any running work on it first.
+        let running: Vec<WorkId> = self
+            .works
+            .iter()
+            .filter(|(_, w)| w.container == id && !w.done)
+            .map(|(&wid, _)| wid)
+            .collect();
+        for wid in running {
+            self.complete_work(wid, WorkOutcome::ContainerLost, now);
+        }
+        self.push(
+            now,
+            EventKind::Deliver(app, AppEvent::ContainerCompleted { container: id, exit }),
+        );
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// Per-app completion `(finish time, status)`, in app-id order.
+    pub apps: Vec<(AppId, SimTime, AppStatus)>,
+}
+
+impl SimResult {
+    /// Finish time of one app, if it completed.
+    pub fn app_finish(&self, app: AppId) -> Option<SimTime> {
+        self.apps
+            .iter()
+            .find(|(a, _, _)| *a == app)
+            .map(|(_, t, _)| *t)
+    }
+
+    /// Whether every app succeeded.
+    pub fn all_succeeded(&self) -> bool {
+        self.apps.iter().all(|(_, _, s)| *s == AppStatus::Succeeded)
+    }
+}
+
+/// The simulation: a cluster, an RM, HDFS, a fault plan, and a set of apps.
+pub struct Simulation {
+    inner: SimInner,
+    apps: Vec<Option<Box<dyn YarnApp>>>,
+}
+
+impl Simulation {
+    /// Build a simulation.
+    pub fn new(
+        cluster: ClusterSpec,
+        cost: CostModel,
+        queues: Vec<QueueSpec>,
+        rm_config: RmConfig,
+        fault: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node_speed: Vec<f64> = (0..cluster.nodes)
+            .map(|_| 1.0 + rng.random::<f64>() * cluster.speed_spread)
+            .collect();
+        let node_resources: Vec<(Resource, u32)> = (0..cluster.nodes)
+            .map(|i| {
+                (
+                    Resource::new(cluster.node_memory_mb, cluster.node_vcores),
+                    cluster.rack_of(NodeId(i as u32)),
+                )
+            })
+            .collect();
+        let rm = Rm::new(node_resources, queues, rm_config);
+        let hdfs = SimHdfs::new(cluster.nodes, seed);
+        let mut inner = SimInner {
+            cluster,
+            cost,
+            rm,
+            hdfs,
+            trace: Trace::default(),
+            fault: fault.clone(),
+            rng,
+            node_speed,
+            events: BinaryHeap::new(),
+            seq: 0,
+            works: HashMap::new(),
+            next_work: 1,
+            finished: HashMap::new(),
+        };
+        for &(time, node) in &fault.node_failures {
+            inner.push(time, EventKind::NodeFailure(NodeId(node as u32)));
+        }
+        Simulation {
+            inner,
+            apps: Vec::new(),
+        }
+    }
+
+    /// The filesystem (populate datasets before running).
+    pub fn hdfs_mut(&mut self) -> &mut SimHdfs {
+        &mut self.inner.hdfs
+    }
+
+    /// Read-only filesystem access (inspect outputs after running).
+    pub fn hdfs(&self) -> &SimHdfs {
+        &self.inner.hdfs
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Submit an app to a queue at a time; the AM starts after
+    /// `am_launch_ms`.
+    pub fn add_app(
+        &mut self,
+        app: Box<dyn YarnApp>,
+        queue: &str,
+        submit_at: SimTime,
+    ) -> AppId {
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(Some(app));
+        self.inner.rm.register_app(id, queue);
+        let start = submit_at.plus(self.inner.cost.am_launch_ms);
+        self.inner.push(start, EventKind::AppStart(id));
+        id
+    }
+
+    fn deliver(&mut self, app: AppId, event: AppEvent, now: SimTime) {
+        if self.inner.finished.contains_key(&app) {
+            return;
+        }
+        let Some(slot) = self.apps.get_mut(app.0 as usize) else {
+            return;
+        };
+        let Some(mut a) = slot.take() else {
+            return; // re-entrant delivery cannot happen in a single thread
+        };
+        {
+            let mut ctx = AppContext {
+                app,
+                now,
+                inner: &mut self.inner,
+            };
+            a.on_event(event, &mut ctx);
+        }
+        self.apps[app.0 as usize] = Some(a);
+    }
+
+    /// Run until the event queue drains. Returns per-app results.
+    pub fn run(&mut self) -> SimResult {
+        let mut now = SimTime::ZERO;
+        let mut guard: u64 = 0;
+        while let Some(Reverse(ev)) = self.inner.events.pop() {
+            guard += 1;
+            assert!(
+                guard < 200_000_000,
+                "simulation exceeded event budget; livelock at {now:?}"
+            );
+            now = ev.time;
+            match ev.kind {
+                EventKind::AppStart(app) => self.deliver(app, AppEvent::Start, now),
+                EventKind::Deliver(app, event) => self.deliver(app, event, now),
+                EventKind::WorkDone(id) => {
+                    let outcome = match self.inner.works.get(&id) {
+                        Some(w) if !w.done => w.planned,
+                        _ => continue,
+                    };
+                    self.inner.complete_work(id, outcome, now);
+                }
+                EventKind::SchedulePass => {
+                    let (allocs, preemptions, next) = self.inner.rm.schedule(now);
+                    for al in allocs {
+                        self.inner.trace.allocations.push(AllocPoint {
+                            time: now,
+                            app: al.app,
+                            delta_vcores: al.container.resource.vcores as i64,
+                        });
+                        self.deliver(al.app, AppEvent::ContainerAllocated(al.container), now);
+                    }
+                    for p in preemptions {
+                        if let Some(info) = self.inner.rm.release_container(p.container) {
+                            self.inner.trace.allocations.push(AllocPoint {
+                                time: now,
+                                app: info.app,
+                                delta_vcores: -(info.resource.vcores as i64),
+                            });
+                            self.inner
+                                .container_vanished(p.container, p.app, ContainerExit::Preempted, now);
+                        }
+                    }
+                    if let Some(t) = next {
+                        self.inner.schedule_pass(t);
+                    }
+                }
+                EventKind::NodeFailure(node) => {
+                    let lost = self.inner.rm.node_lost(node);
+                    self.inner.hdfs.node_lost(node);
+                    for (cid, info) in lost {
+                        self.inner.trace.allocations.push(AllocPoint {
+                            time: now,
+                            app: info.app,
+                            delta_vcores: -(info.resource.vcores as i64),
+                        });
+                        self.inner
+                            .container_vanished(cid, info.app, ContainerExit::NodeLost, now);
+                    }
+                    let all: Vec<AppId> = (0..self.apps.len() as u32).map(AppId).collect();
+                    for app in all {
+                        self.deliver(app, AppEvent::NodeLost { node }, now);
+                    }
+                    self.inner.schedule_pass(now);
+                }
+            }
+        }
+        let mut apps: Vec<(AppId, SimTime, AppStatus)> = self
+            .inner
+            .finished
+            .iter()
+            .map(|(&a, (t, s))| (a, *t, s.clone()))
+            .collect();
+        apps.sort_by_key(|(a, _, _)| *a);
+        SimResult {
+            end_time: now,
+            apps,
+        }
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal AM: asks for `tasks` containers, runs one work item in each,
+    /// finishes when all works complete.
+    struct TinyApp {
+        tasks: usize,
+        done: usize,
+        cost: WorkCost,
+        reuse: bool,
+        launched: usize,
+    }
+
+    impl TinyApp {
+        fn new(tasks: usize) -> Self {
+            TinyApp {
+                tasks,
+                done: 0,
+                cost: WorkCost {
+                    cpu_records: 1_000,
+                    cpu_bytes: 1_000_000,
+                    ..Default::default()
+                },
+                reuse: false,
+                launched: 0,
+            }
+        }
+    }
+
+    impl YarnApp for TinyApp {
+        fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+            match event {
+                AppEvent::Start => {
+                    let n = if self.reuse { 1 } else { self.tasks };
+                    for _ in 0..n {
+                        ctx.request_container(ContainerRequest::anywhere(
+                            0,
+                            Resource::default(),
+                        ));
+                    }
+                }
+                AppEvent::ContainerAllocated(c) => {
+                    self.launched += 1;
+                    ctx.start_work(c.id, format!("t{}", self.launched), self.cost);
+                }
+                AppEvent::WorkCompleted {
+                    container, outcome, ..
+                } => {
+                    assert_eq!(outcome, WorkOutcome::Succeeded);
+                    self.done += 1;
+                    if self.done == self.tasks {
+                        ctx.finish(AppStatus::Succeeded);
+                    } else if self.reuse && self.launched < self.tasks {
+                        self.launched += 1;
+                        ctx.start_work(container, format!("t{}", self.launched), self.cost);
+                    } else if !self.reuse {
+                        ctx.release_container(container);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn quiet_cost() -> CostModel {
+        CostModel {
+            straggler_prob: 0.0,
+            ..CostModel::default()
+        }
+    }
+
+    fn sim(nodes: usize) -> Simulation {
+        Simulation::new(
+            ClusterSpec::homogeneous(nodes, 8192, 8),
+            quiet_cost(),
+            vec![],
+            RmConfig::default(),
+            FaultPlan::none(),
+            42,
+        )
+    }
+
+    #[test]
+    fn tiny_app_completes() {
+        let mut s = sim(4);
+        let id = s.add_app(Box::new(TinyApp::new(8)), "default", SimTime::ZERO);
+        let res = s.run();
+        assert!(res.all_succeeded());
+        let finish = res.app_finish(id).unwrap();
+        // AM launch (5s) + container launch (2.5s) + some work.
+        assert!(finish.millis() > 7_500);
+        assert_eq!(s.trace().spans.len(), 8);
+    }
+
+    #[test]
+    fn container_reuse_is_faster_per_task_after_first() {
+        // Same 8 tasks run serially in one container: only one container
+        // launch is paid and warm-up decays.
+        let mut no_reuse = sim(1);
+        let a = no_reuse.add_app(Box::new(TinyApp::new(8)), "default", SimTime::ZERO);
+        let t_no = no_reuse.run().app_finish(a).unwrap();
+
+        let mut reuse = sim(1);
+        let mut app = TinyApp::new(8);
+        app.reuse = true;
+        let b = reuse.add_app(Box::new(app), "default", SimTime::ZERO);
+        let t_re = reuse.run().app_finish(b).unwrap();
+
+        // One node with 8 slots: the no-reuse variant runs all 8 in
+        // parallel but pays 8 cold launches; the reuse variant serializes.
+        // Compare total span time per container instead: every span after
+        // the first in the reuse run is shorter than the first.
+        let spans = reuse.trace().spans.clone();
+        assert!(spans.windows(2).all(|w| {
+            let d0 = w[0].end.since(w[0].start);
+            let d1 = w[1].end.since(w[1].start);
+            d1 <= d0
+        }));
+        // And the first reuse span (cold) is strictly longer than the last
+        // (warm).
+        let first = spans.first().unwrap();
+        let last = spans.last().unwrap();
+        assert!(last.end.since(last.start) < first.end.since(first.start));
+        let _ = (t_no, t_re);
+    }
+
+    #[test]
+    fn straggler_injection_changes_durations() {
+        let mut cost = quiet_cost();
+        cost.straggler_prob = 1.0;
+        cost.straggler_factor = 5.0;
+        let mut slow = Simulation::new(
+            ClusterSpec::homogeneous(1, 8192, 8),
+            cost,
+            vec![],
+            RmConfig::default(),
+            FaultPlan::none(),
+            42,
+        );
+        let a = slow.add_app(Box::new(TinyApp::new(1)), "default", SimTime::ZERO);
+        let t_slow = slow.run().app_finish(a).unwrap();
+
+        let mut fast = sim(1);
+        let b = fast.add_app(Box::new(TinyApp::new(1)), "default", SimTime::ZERO);
+        let t_fast = fast.run().app_finish(b).unwrap();
+        assert!(t_slow > t_fast);
+    }
+
+    #[test]
+    fn injected_task_failures_are_delivered() {
+        struct FailOnce {
+            failures: usize,
+            done: bool,
+        }
+        impl YarnApp for FailOnce {
+            fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+                match event {
+                    AppEvent::Start => {
+                        ctx.request_container(ContainerRequest::anywhere(0, Resource::default()));
+                    }
+                    AppEvent::ContainerAllocated(c) => {
+                        ctx.start_work(c.id, "w".into(), WorkCost::default());
+                    }
+                    AppEvent::WorkCompleted {
+                        container, outcome, ..
+                    } => match outcome {
+                        WorkOutcome::InjectedFailure => {
+                            self.failures += 1;
+                            ctx.start_work(container, "retry".into(), WorkCost::default());
+                        }
+                        WorkOutcome::Succeeded => {
+                            self.done = true;
+                            ctx.finish(AppStatus::Succeeded);
+                        }
+                        o => panic!("unexpected outcome {o:?}"),
+                    },
+                    _ => {}
+                }
+            }
+        }
+        let mut s = Simulation::new(
+            ClusterSpec::homogeneous(1, 8192, 8),
+            quiet_cost(),
+            vec![],
+            RmConfig::default(),
+            FaultPlan::none().with_task_fail_prob(0.5),
+            7,
+        );
+        s.add_app(Box::new(FailOnce { failures: 0, done: false }), "default", SimTime::ZERO);
+        let res = s.run();
+        assert!(res.all_succeeded());
+    }
+
+    #[test]
+    fn node_failure_kills_containers_and_notifies() {
+        struct NodeWatcher {
+            lost_container: bool,
+            lost_node: bool,
+            work_lost: bool,
+        }
+        impl YarnApp for NodeWatcher {
+            fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+                match event {
+                    AppEvent::Start => {
+                        ctx.request_container(ContainerRequest::anywhere(0, Resource::default()));
+                    }
+                    AppEvent::ContainerAllocated(c) => {
+                        // Long-running work that the node failure interrupts.
+                        ctx.start_work(
+                            c.id,
+                            "long".into(),
+                            WorkCost {
+                                cpu_records: 100_000_000,
+                                ..Default::default()
+                            },
+                        );
+                    }
+                    AppEvent::WorkCompleted { outcome, .. } => {
+                        assert_eq!(outcome, WorkOutcome::ContainerLost);
+                        self.work_lost = true;
+                    }
+                    AppEvent::ContainerCompleted { exit, .. } => {
+                        assert_eq!(exit, ContainerExit::NodeLost);
+                        self.lost_container = true;
+                    }
+                    AppEvent::NodeLost { .. } => {
+                        self.lost_node = true;
+                        if self.lost_container && self.work_lost {
+                            ctx.finish(AppStatus::Succeeded);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut s = Simulation::new(
+            ClusterSpec::homogeneous(1, 8192, 8),
+            quiet_cost(),
+            vec![],
+            RmConfig::default(),
+            FaultPlan::none().with_node_failure(SimTime(20_000), 0),
+            7,
+        );
+        s.add_app(
+            Box::new(NodeWatcher {
+                lost_container: false,
+                lost_node: false,
+                work_lost: false,
+            }),
+            "default",
+            SimTime::ZERO,
+        );
+        let res = s.run();
+        assert!(res.all_succeeded());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerApp {
+            fired: Vec<u64>,
+        }
+        impl YarnApp for TimerApp {
+            fn on_event(&mut self, event: AppEvent, ctx: &mut AppContext<'_>) {
+                match event {
+                    AppEvent::Start => {
+                        ctx.set_timer(500, 2);
+                        ctx.set_timer(100, 1);
+                        ctx.set_timer(900, 3);
+                    }
+                    AppEvent::Timer { tag } => {
+                        self.fired.push(tag);
+                        if self.fired.len() == 3 {
+                            assert_eq!(self.fired, vec![1, 2, 3]);
+                            ctx.finish(AppStatus::Succeeded);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut s = sim(1);
+        s.add_app(Box::new(TimerApp { fired: vec![] }), "default", SimTime::ZERO);
+        assert!(s.run().all_succeeded());
+    }
+
+    #[test]
+    fn determinism_same_seed_identical_traces() {
+        let run = || {
+            let mut s = sim(4);
+            s.add_app(Box::new(TinyApp::new(16)), "default", SimTime::ZERO);
+            let r = s.run();
+            (r.end_time, s.trace().spans.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn allocation_trace_sums_to_zero_after_finish() {
+        let mut s = sim(2);
+        let a = s.add_app(Box::new(TinyApp::new(4)), "default", SimTime::ZERO);
+        s.run();
+        let series = s.trace().allocation_series(a);
+        assert_eq!(series.last().map(|&(_, v)| v), Some(0));
+    }
+}

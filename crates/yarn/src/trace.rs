@@ -1,0 +1,225 @@
+//! Execution traces: container/work spans and per-app allocation series.
+//!
+//! The spans reproduce the paper's Figure 7 (containers re-used by tasks
+//! within and across DAGs in a session) and the allocation series
+//! reproduce Figure 12 (cluster capacity over time per tenant).
+
+use crate::types::{AppId, ContainerId, NodeId, SimTime};
+
+/// One executed work item.
+#[derive(Clone, Debug)]
+pub struct WorkSpan {
+    /// Owning app.
+    pub app: AppId,
+    /// Container that ran the work.
+    pub container: ContainerId,
+    /// Node hosting the container.
+    pub node: NodeId,
+    /// App-supplied label (e.g. `dag1:map[3]`).
+    pub label: String,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+/// A change in an app's allocated vcores at a point in time.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocPoint {
+    /// When the change happened.
+    pub time: SimTime,
+    /// Which app.
+    pub app: AppId,
+    /// Signed change in allocated vcores.
+    pub delta_vcores: i64,
+}
+
+/// Everything recorded during a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Work spans in completion order.
+    pub spans: Vec<WorkSpan>,
+    /// Allocation deltas in event order.
+    pub allocations: Vec<AllocPoint>,
+}
+
+impl Trace {
+    /// Step series of an app's allocated vcores over time:
+    /// `(time, vcores)` points, one per change.
+    pub fn allocation_series(&self, app: AppId) -> Vec<(SimTime, u64)> {
+        let mut cur: i64 = 0;
+        let mut out = Vec::new();
+        for p in self.allocations.iter().filter(|p| p.app == app) {
+            cur += p.delta_vcores;
+            out.push((p.time, cur.max(0) as u64));
+        }
+        out
+    }
+
+    /// Sampled utilization of an app: average allocated vcores over
+    /// `[start, end]`, integrating the step series.
+    pub fn mean_allocation(&self, app: AppId, start: SimTime, end: SimTime) -> f64 {
+        let series = self.allocation_series(app);
+        if end.millis() <= start.millis() {
+            return 0.0;
+        }
+        let mut area = 0u128;
+        let mut prev_t = start;
+        let mut prev_v = 0u64;
+        for (t, v) in series {
+            if t.millis() > start.millis() {
+                let upto = t.min(end);
+                area += (upto.since(prev_t) as u128) * prev_v as u128;
+                prev_t = upto;
+            }
+            prev_v = v;
+            if t.millis() >= end.millis() {
+                break;
+            }
+        }
+        area += (end.since(prev_t) as u128) * prev_v as u128;
+        area as f64 / end.since(start) as f64
+    }
+
+    /// Spans grouped by container, each sorted by start time — the Fig. 7
+    /// Gantt rows.
+    pub fn container_rows(&self) -> Vec<(ContainerId, Vec<&WorkSpan>)> {
+        let mut by_container: std::collections::BTreeMap<ContainerId, Vec<&WorkSpan>> =
+            std::collections::BTreeMap::new();
+        for s in &self.spans {
+            by_container.entry(s.container).or_default().push(s);
+        }
+        let mut rows: Vec<_> = by_container.into_iter().collect();
+        for (_, v) in rows.iter_mut() {
+            v.sort_by_key(|s| s.start);
+        }
+        rows
+    }
+
+    /// ASCII Gantt chart of container rows (Fig. 7 style). `width` is the
+    /// number of character cells across the full time range.
+    pub fn render_gantt(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let rows = self.container_rows();
+        let t_max = self
+            .spans
+            .iter()
+            .map(|s| s.end.millis())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for (cid, spans) in rows {
+            let mut line = vec![b'.'; width];
+            for s in &spans {
+                let a = (s.start.millis() as usize * (width - 1)) / t_max as usize;
+                let b = (s.end.millis() as usize * (width - 1)) / t_max as usize;
+                let c = s.label.bytes().next().unwrap_or(b'#');
+                for cell in line.iter_mut().take(b.max(a) + 1).skip(a) {
+                    *cell = c;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "container {:>4} | {}",
+                cid.0,
+                String::from_utf8_lossy(&line)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(app: u32, container: u64, label: &str, start: u64, end: u64) -> WorkSpan {
+        WorkSpan {
+            app: AppId(app),
+            container: ContainerId(container),
+            node: NodeId(0),
+            label: label.to_string(),
+            start: SimTime(start),
+            end: SimTime(end),
+        }
+    }
+
+    #[test]
+    fn allocation_series_accumulates() {
+        let t = Trace {
+            spans: vec![],
+            allocations: vec![
+                AllocPoint {
+                    time: SimTime(0),
+                    app: AppId(1),
+                    delta_vcores: 2,
+                },
+                AllocPoint {
+                    time: SimTime(10),
+                    app: AppId(2),
+                    delta_vcores: 5,
+                },
+                AllocPoint {
+                    time: SimTime(20),
+                    app: AppId(1),
+                    delta_vcores: -1,
+                },
+            ],
+        };
+        assert_eq!(
+            t.allocation_series(AppId(1)),
+            vec![(SimTime(0), 2), (SimTime(20), 1)]
+        );
+    }
+
+    #[test]
+    fn mean_allocation_integrates_steps() {
+        let t = Trace {
+            spans: vec![],
+            allocations: vec![
+                AllocPoint {
+                    time: SimTime(0),
+                    app: AppId(1),
+                    delta_vcores: 4,
+                },
+                AllocPoint {
+                    time: SimTime(50),
+                    app: AppId(1),
+                    delta_vcores: -4,
+                },
+            ],
+        };
+        // 4 vcores for half the window.
+        let mean = t.mean_allocation(AppId(1), SimTime(0), SimTime(100));
+        assert!((mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn container_rows_group_and_sort() {
+        let t = Trace {
+            spans: vec![
+                span(1, 2, "b", 50, 60),
+                span(1, 1, "a", 0, 10),
+                span(1, 2, "a", 0, 40),
+            ],
+            allocations: vec![],
+        };
+        let rows = t.container_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].0, ContainerId(2));
+        assert_eq!(rows[1].1[0].label, "a");
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let t = Trace {
+            spans: vec![span(1, 1, "x", 0, 100), span(1, 2, "y", 50, 100)],
+            allocations: vec![],
+        };
+        let g = t.render_gantt(40);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains('x'));
+        assert!(g.contains('y'));
+    }
+}

@@ -1,0 +1,217 @@
+//! Identifiers, simulated time, resources and cluster topology.
+
+use std::fmt;
+
+/// Simulated time in milliseconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This time plus `ms` milliseconds (saturating).
+    pub fn plus(self, ms: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ms))
+    }
+
+    /// Milliseconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Value in milliseconds.
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn seconds(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0 as f64 / 1000.0)
+    }
+}
+
+/// A cluster node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// An application (one AM) registered with the RM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u32);
+
+/// A container allocated by the RM to an app.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId(pub u64);
+
+/// A unit of work launched by an app inside a container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkId(pub u64);
+
+/// An outstanding container request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Container resource, YARN style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Resource {
+    /// Memory in megabytes.
+    pub memory_mb: u64,
+    /// Virtual cores.
+    pub vcores: u32,
+}
+
+impl Resource {
+    /// Convenience constructor.
+    pub fn new(memory_mb: u64, vcores: u32) -> Self {
+        Resource { memory_mb, vcores }
+    }
+
+    /// Whether `self` fits inside `avail`.
+    pub fn fits_in(&self, avail: &Resource) -> bool {
+        self.memory_mb <= avail.memory_mb && self.vcores <= avail.vcores
+    }
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Resource {
+            memory_mb: 1024,
+            vcores: 1,
+        }
+    }
+}
+
+/// An allocated container as seen by the app.
+#[derive(Clone, Copy, Debug)]
+pub struct Container {
+    /// Container id.
+    pub id: ContainerId,
+    /// Node hosting the container.
+    pub node: NodeId,
+    /// Allocated resource.
+    pub resource: Resource,
+    /// The request this allocation satisfied.
+    pub request: RequestId,
+}
+
+/// Cluster shape and node heterogeneity.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Nodes per rack (last rack may be partial).
+    pub nodes_per_rack: usize,
+    /// Memory per node, MB.
+    pub node_memory_mb: u64,
+    /// Virtual cores per node.
+    pub node_vcores: u32,
+    /// Relative speed spread: node speed factors are sampled uniformly from
+    /// `[1.0, 1.0 + speed_spread]` (1.0 = fastest; the factor multiplies
+    /// work durations). 0.0 models a homogeneous cluster.
+    pub speed_spread: f64,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of `nodes` nodes with the given per-node
+    /// capacity.
+    pub fn homogeneous(nodes: usize, node_memory_mb: u64, node_vcores: u32) -> Self {
+        ClusterSpec {
+            nodes,
+            nodes_per_rack: 20,
+            node_memory_mb,
+            node_vcores,
+            speed_spread: 0.0,
+        }
+    }
+
+    /// Set the rack width.
+    pub fn with_nodes_per_rack(mut self, n: usize) -> Self {
+        self.nodes_per_rack = n.max(1);
+        self
+    }
+
+    /// Set heterogeneity.
+    pub fn with_speed_spread(mut self, spread: f64) -> Self {
+        self.speed_spread = spread.max(0.0);
+        self
+    }
+
+    /// Rack index of a node.
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        node.0 / self.nodes_per_rack as u32
+    }
+
+    /// Canonical host name of a node (used by HDFS locations and locality
+    /// hints).
+    pub fn host_name(node: NodeId) -> String {
+        format!("node-{}", node.0)
+    }
+
+    /// Parse a canonical host name back to a node id.
+    pub fn parse_host(host: &str) -> Option<NodeId> {
+        host.strip_prefix("node-")?.parse().ok().map(NodeId)
+    }
+
+    /// Total concurrently-runnable containers of `r` across the cluster.
+    pub fn total_slots(&self, r: &Resource) -> usize {
+        let per_node = (self.node_memory_mb / r.memory_mb.max(1))
+            .min((self.node_vcores / r.vcores.max(1)) as u64) as usize;
+        per_node * self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime(1000).plus(500);
+        assert_eq!(t, SimTime(1500));
+        assert_eq!(t.since(SimTime(1000)), 500);
+        assert_eq!(SimTime(100).since(SimTime(500)), 0);
+        assert_eq!(t.seconds(), 1.5);
+    }
+
+    #[test]
+    fn resource_fits() {
+        let small = Resource::new(512, 1);
+        let big = Resource::new(1024, 2);
+        assert!(small.fits_in(&big));
+        assert!(!big.fits_in(&small));
+        assert!(big.fits_in(&big));
+    }
+
+    #[test]
+    fn host_name_roundtrip() {
+        assert_eq!(
+            ClusterSpec::parse_host(&ClusterSpec::host_name(NodeId(17))),
+            Some(NodeId(17))
+        );
+        assert_eq!(ClusterSpec::parse_host("bogus"), None);
+    }
+
+    #[test]
+    fn rack_assignment() {
+        let spec = ClusterSpec::homogeneous(50, 8192, 8).with_nodes_per_rack(20);
+        assert_eq!(spec.rack_of(NodeId(0)), 0);
+        assert_eq!(spec.rack_of(NodeId(19)), 0);
+        assert_eq!(spec.rack_of(NodeId(20)), 1);
+        assert_eq!(spec.rack_of(NodeId(49)), 2);
+    }
+
+    #[test]
+    fn slots_math() {
+        let spec = ClusterSpec::homogeneous(10, 8192, 8);
+        // 8192/1024 = 8 by memory, 8/1 = 8 by cores.
+        assert_eq!(spec.total_slots(&Resource::new(1024, 1)), 80);
+        // Constrained by cores: 8/4 = 2 per node.
+        assert_eq!(spec.total_slots(&Resource::new(1024, 4)), 20);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the resource manager's safety invariants:
+//! allocations never exceed node capacity, and releases restore it
+//! exactly.
+
+use proptest::prelude::*;
+use tez_yarn::{AppId, ContainerRequest, NodeId, QueueSpec, Resource, Rm, RmConfig, SimTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Request { mem: u64, cores: u32, node_pref: Option<u8> },
+    Schedule,
+    ReleaseNewest,
+    FailNode(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (512u64..4096, 1u32..4, proptest::option::of(any::<u8>())).prop_map(
+            |(mem, cores, node_pref)| Op::Request {
+                mem,
+                cores,
+                node_pref
+            }
+        ),
+        Just(Op::Schedule),
+        Just(Op::ReleaseNewest),
+        (any::<u8>()).prop_map(Op::FailNode),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary request/schedule/release/failure interleavings, the
+    /// total allocation per node never exceeds its capacity, and every
+    /// allocation satisfies its request's resource ask.
+    #[test]
+    fn rm_never_oversubscribes(ops in proptest::collection::vec(op(), 1..80)) {
+        const NODES: usize = 4;
+        const MEM: u64 = 8192;
+        const CORES: u32 = 8;
+        let node_resources: Vec<(Resource, u32)> =
+            (0..NODES).map(|i| (Resource::new(MEM, CORES), (i / 2) as u32)).collect();
+        let mut rm = Rm::new(node_resources, vec![QueueSpec::new("q", 1.0)], RmConfig::default());
+        rm.register_app(AppId(0), "q");
+
+        let mut live: Vec<(tez_yarn::ContainerId, NodeId, Resource)> = Vec::new();
+        let mut dead_nodes = std::collections::HashSet::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 500;
+            match op {
+                Op::Request { mem, cores, node_pref } => {
+                    let nodes = node_pref
+                        .map(|n| vec![NodeId((n as usize % NODES) as u32)])
+                        .unwrap_or_default();
+                    rm.add_request(
+                        AppId(0),
+                        ContainerRequest {
+                            priority: 0,
+                            resource: Resource::new(mem, cores),
+                            nodes,
+                            racks: vec![],
+                            relax_locality: true,
+                        },
+                        SimTime(t),
+                    );
+                }
+                Op::Schedule => {
+                    let (allocs, _, _) = rm.schedule(SimTime(t + 10_000));
+                    for a in allocs {
+                        prop_assert!(!dead_nodes.contains(&a.container.node.0),
+                            "allocated on a dead node");
+                        live.push((a.container.id, a.container.node, a.container.resource));
+                    }
+                }
+                Op::ReleaseNewest => {
+                    if let Some((id, _, _)) = live.pop() {
+                        prop_assert!(rm.release_container(id).is_some());
+                    }
+                }
+                Op::FailNode(n) => {
+                    let node = NodeId((n as usize % NODES) as u32);
+                    dead_nodes.insert(node.0);
+                    let lost = rm.node_lost(node);
+                    for (id, _) in &lost {
+                        live.retain(|(l, _, _)| l != id);
+                    }
+                }
+            }
+            // Safety invariant: per-node usage within capacity.
+            for node in 0..NODES as u32 {
+                let mem: u64 = live.iter().filter(|(_, n, _)| n.0 == node).map(|(_, _, r)| r.memory_mb).sum();
+                let cores: u32 = live.iter().filter(|(_, n, _)| n.0 == node).map(|(_, _, r)| r.vcores).sum();
+                prop_assert!(mem <= MEM, "node {node} memory oversubscribed: {mem}");
+                prop_assert!(cores <= CORES, "node {node} cores oversubscribed: {cores}");
+            }
+        }
+        // Finishing the app releases every container and clears pending
+        // requests, restoring full capacity for a fresh tenant.
+        rm.finish_app(AppId(0));
+        live.clear();
+        let alive = NODES - dead_nodes.len();
+        if alive > 0 {
+            rm.register_app(AppId(1), "q");
+            for _ in 0..alive * CORES as usize {
+                rm.add_request(
+                    AppId(1),
+                    ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+                    SimTime(t + 20_000),
+                );
+            }
+            let (allocs, _, _) = rm.schedule(SimTime(t + 20_000));
+            prop_assert_eq!(allocs.len(), alive * CORES as usize);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Run a TPC-H derived Hive query on both backends and compare: the same
+//! operator pipeline, compiled once into a single Tez DAG and once into a
+//! chain of MapReduce jobs (paper §5.2, §6.2).
+//!
+//! ```text
+//! cargo run -p tez-examples --bin hive_tpch
+//! ```
+
+use tez_core::TezClient;
+use tez_examples::header;
+use tez_hive::{tpch, HiveEngine, HiveOpts};
+use tez_yarn::ClusterSpec;
+
+fn main() {
+    let engine = HiveEngine::new(tpch::generate(1_000, 8, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(6, 8192, 8));
+    let opts = HiveOpts {
+        byte_scale: 200_000.0, // charge the MB-scale data as multi-TB
+        ..HiveOpts::default()
+    };
+
+    let (name, q) = tpch::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q3")
+        .expect("q3 in suite");
+    header(&format!("TPC-H derived {name} (shipping priority)"));
+
+    let tez = engine.run_tez(&client, name, &q.plan, &opts);
+    let mr = engine.run_mr(&client, name, &q.plan, &opts);
+    assert!(tez.success() && mr.success());
+
+    println!("columns: {:?}", q.cols);
+    for row in tez.rows.iter().take(5) {
+        let cells: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+    println!("…{} rows total", tez.rows.len());
+
+    header("backends");
+    println!("tez: one DAG,      {:>8.1}s", tez.runtime_ms() as f64 / 1000.0);
+    println!(
+        "mr : {} jobs chained, {:>8.1}s  ({:.1}x slower)",
+        mr.reports.len(),
+        mr.runtime_ms() as f64 / 1000.0,
+        mr.runtime_ms() as f64 / tez.runtime_ms().max(1) as f64
+    );
+    assert_eq!(tez.rows.len(), mr.rows.len(), "backends must agree");
+}

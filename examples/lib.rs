@@ -1,0 +1,6 @@
+//! Shared helpers for the runnable examples.
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,51 @@
+//! Iterative processing in a Tez session (paper §4.2, Figure 11): each
+//! K-means iteration is a new DAG submitted to a shared, pre-warmed
+//! session, so containers and the cached point set survive iterations.
+//!
+//! ```text
+//! cargo run -p tez-examples --bin session_iteration
+//! ```
+
+use tez_core::{TezClient, TezConfig};
+use tez_examples::header;
+use tez_pig::kmeans::{generate_points, run_kmeans};
+use tez_yarn::ClusterSpec;
+
+fn main() {
+    let points = generate_points(5_000, 3, 5);
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 4096, 4));
+    let iterations = 8;
+
+    header("K-means in a pre-warmed Tez session");
+    let session = TezConfig {
+        session: true,
+        prewarm_containers: 2,
+        ..TezConfig::default()
+    };
+    let tez = run_kmeans(&client, &points, 3, iterations, session, 4);
+    for (i, r) in tez.reports.iter().enumerate() {
+        println!(
+            "  iteration {:>2}: {:>6.2}s  ({} new containers, {} warm starts)",
+            i,
+            r.runtime_ms() as f64 / 1000.0,
+            r.containers_allocated,
+            r.warm_starts
+        );
+    }
+    println!("  total: {:.1}s, centroids: {:?}", tez.total_ms as f64 / 1000.0, tez.centroids);
+
+    header("same job as a classic MapReduce chain");
+    let mr = run_kmeans(
+        &client,
+        &points,
+        3,
+        iterations,
+        TezConfig::mapreduce_baseline(),
+        4,
+    );
+    println!(
+        "  total: {:.1}s  — {:.1}x slower (per-job AM launch, cold containers)",
+        mr.total_ms as f64 / 1000.0,
+        mr.total_ms as f64 / tez.total_ms.max(1) as f64
+    );
+}

@@ -1,0 +1,10 @@
+//! Cross-crate integration tests for rtez.
+//!
+//! The suites live in `tests/tests/`:
+//! * `figure_shapes` — every paper figure's qualitative claim holds at
+//!   quick scale.
+//! * `fault_tolerance` — correctness under combined failures.
+//! * `scaling` — cost-model monotonicity (more data → slower, more nodes
+//!   → faster).
+//! * `determinism` — identical seeds produce identical schedules and
+//!   results across the whole stack.

@@ -1,0 +1,91 @@
+//! Whole-stack determinism: same seed → byte-identical results and
+//! identical simulated schedules, across every engine.
+
+use tez_core::{TezClient, TezConfig};
+use tez_hive::{tpch, HiveEngine, HiveOpts};
+use tez_pig::workloads::{event_catalog, production_scripts};
+use tez_pig::{PigEngine, PigOpts};
+use tez_spark::tenancy::{run_tenancy, ExecutionModel};
+use tez_yarn::{ClusterSpec, CostModel};
+
+fn cost() -> CostModel {
+    // Leave stragglers ON: determinism must hold under randomness too.
+    CostModel::default()
+}
+
+#[test]
+fn hive_runs_are_bit_identical() {
+    let run = || {
+        let engine = HiveEngine::new(tpch::generate(600, 4, 7));
+        let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(cost());
+        let q = tpch::queries(&engine.catalog)
+            .into_iter()
+            .find(|(n, _)| *n == "q6")
+            .unwrap()
+            .1;
+        let res = engine.run_tez(&client, "q6", &q.plan, &HiveOpts::default());
+        (res.runtime_ms(), format!("{:?}", res.rows))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pig_runs_are_bit_identical() {
+    let run = || {
+        let engine = PigEngine::new(event_catalog(400, 4, 3));
+        let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(cost());
+        let (_, s) = production_scripts().remove(0);
+        let res = engine.run_tez(&client, &s, &PigOpts::default());
+        (res.runtime_ms(), format!("{:?}", res.outputs))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn tenancy_runs_are_identical() {
+    let spec = tez_bench::tenancy_spec(true, 50_000.0);
+    let a = run_tenancy(&spec, ExecutionModel::TezBased);
+    let b = run_tenancy(&spec, ExecutionModel::TezBased);
+    assert_eq!(a.apps, b.apps);
+}
+
+#[test]
+fn feature_flags_never_change_results() {
+    // Reuse/speculation/slow-start change *when* things run, never *what*
+    // they produce.
+    let engine = HiveEngine::new(tpch::generate(600, 4, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(cost());
+    let q = tpch::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q12")
+        .unwrap()
+        .1;
+    let reference = format!("{:?}", {
+        let mut rows = engine.reference(&q.plan);
+        rows.sort_by(|a, b| tez_hive::plan::compare_rows(a, b, &[(0, false)]));
+        rows
+    });
+    for (i, config) in [
+        TezConfig::default(),
+        TezConfig {
+            container_reuse: false,
+            speculation: false,
+            ..TezConfig::default()
+        },
+        TezConfig {
+            slowstart_min_fraction: 1.0,
+            slowstart_max_fraction: 1.0,
+            auto_parallelism: false,
+            ..TezConfig::default()
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let res = engine.run_tez_with(&client, &format!("q12v{i}"), &q.plan, &HiveOpts::default(), config);
+        assert!(res.success());
+        let mut rows = res.rows.clone();
+        rows.sort_by(|a, b| tez_hive::plan::compare_rows(a, b, &[(0, false)]));
+        assert_eq!(format!("{rows:?}"), reference, "variant {i} changed results");
+    }
+}

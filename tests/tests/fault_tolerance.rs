@@ -1,0 +1,104 @@
+//! Correctness under combined failures (paper §4.3): node loss, transient
+//! task failures, stragglers with speculation, and an AM restart — all in
+//! one run — must still produce exactly the reference answer.
+
+use tez_core::{TezClient, TezConfig};
+use tez_hive::plan::compare_rows;
+use tez_hive::types::{Datum, Row};
+use tez_hive::{tpcds, HiveEngine, HiveOpts};
+use tez_yarn::{ClusterSpec, CostModel, FaultPlan, SimTime};
+
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let keys: Vec<(usize, bool)> = (0..width).map(|i| (i, false)).collect();
+    rows.sort_by(|a, b| compare_rows(a, b, &keys));
+    rows
+}
+
+fn rows_equal(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                (Datum::F64(p), Datum::F64(q)) => {
+                    (p - q).abs() <= 1e-6 * (1.0 + p.abs().max(q.abs()))
+                }
+                _ => x == y,
+            })
+        })
+}
+
+#[test]
+fn hive_query_survives_chaos() {
+    let engine = HiveEngine::new(tpcds::generate(800, 8, 7));
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q42")
+        .unwrap()
+        .1;
+    let expected = canon(engine.reference(&q.plan));
+
+    let chaos = TezClient::new(ClusterSpec::homogeneous(6, 8192, 8))
+        .with_cost(CostModel {
+            straggler_prob: 0.15,
+            straggler_factor: 8.0,
+            ..CostModel::default()
+        })
+        .with_fault(
+            FaultPlan::none()
+                .with_task_fail_prob(0.1)
+                .with_node_failure(SimTime(12_000), 1)
+                .with_node_failure(SimTime(30_000), 3),
+        );
+    let config = TezConfig {
+        am_fail_at_ms: Some(20_000),
+        byte_scale: 200_000.0,
+        ..TezConfig::default()
+    };
+    let opts = HiveOpts {
+        byte_scale: 200_000.0,
+        ..HiveOpts::default()
+    };
+    let res = engine.run_tez_with(&chaos, "chaos", &q.plan, &opts, config);
+    assert!(res.success(), "{:?}", res.reports);
+    assert!(
+        rows_equal(&expected, &canon(res.rows.clone())),
+        "results must match the reference despite failures"
+    );
+    let r = &res.reports[0];
+    let failed: usize = r.vertices.iter().map(|v| v.failed_attempts).sum();
+    assert!(
+        failed > 0 || r.reexecuted_tasks > 0 || r.speculative_attempts > 0,
+        "the chaos plan should have exercised at least one recovery path"
+    );
+}
+
+#[test]
+fn lost_intermediate_data_is_regenerated() {
+    // Kill a node right in the middle of the shuffle window so completed
+    // map outputs vanish and reducers hit InputReadError.
+    let engine = HiveEngine::new(tpcds::generate(800, 8, 7));
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q52")
+        .unwrap()
+        .1;
+    let expected = canon(engine.reference(&q.plan));
+    for fail_at in [9_000u64, 15_000, 25_000, 40_000] {
+        let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8))
+            .with_cost(CostModel {
+                straggler_prob: 0.0,
+                ..CostModel::default()
+            })
+            .with_fault(FaultPlan::none().with_node_failure(SimTime(fail_at), 2));
+        let opts = HiveOpts {
+            byte_scale: 300_000.0,
+            ..HiveOpts::default()
+        };
+        let res = engine.run_tez(&client, &format!("loss{fail_at}"), &q.plan, &opts);
+        assert!(res.success(), "fail_at={fail_at}: {:?}", res.reports);
+        assert!(
+            rows_equal(&expected, &canon(res.rows.clone())),
+            "fail_at={fail_at}: wrong results after node loss"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Every figure harness must reproduce the paper's qualitative claim at
+//! quick scale: who wins, and in which direction the trend points.
+
+use tez_bench::{
+    ablation_features, fig10_pig_production, fig11_pig_kmeans, fig12_tenancy_traces,
+    fig13_tenancy_latency, fig7_session_trace, fig8_hive_tpcds, fig9_hive_tpch,
+};
+
+#[test]
+fn fig7_cross_dag_container_reuse() {
+    let (gantt, reports) = fig7_session_trace();
+    assert!(reports.iter().all(|r| r.status.is_success()));
+    assert!(gantt.lines().any(|l| l.contains('A') && l.contains('B')));
+    // The second DAG rides on warm containers.
+    assert!(reports[1].containers_allocated <= reports[0].containers_allocated);
+    assert!(reports[1].warm_starts > 0);
+}
+
+#[test]
+fn fig8_tez_wins_every_tpcds_query() {
+    for row in fig8_hive_tpcds(true) {
+        assert!(
+            row.speedup() >= 1.0,
+            "{}: speedup {:.2}",
+            row.name,
+            row.speedup()
+        );
+    }
+}
+
+#[test]
+fn fig9_tez_wins_every_tpch_query() {
+    for row in fig9_hive_tpch(true) {
+        assert!(
+            row.speedup() >= 1.0,
+            "{}: speedup {:.2}",
+            row.name,
+            row.speedup()
+        );
+    }
+}
+
+#[test]
+fn fig10_pig_wins_on_busy_cluster() {
+    let rows = fig10_pig_production(true);
+    assert_eq!(rows.len(), 5, "all five production scripts ran");
+    for row in &rows {
+        assert!(
+            row.speedup() >= 1.0,
+            "{}: speedup {:.2}",
+            row.name,
+            row.speedup()
+        );
+    }
+    // Paper: 1.5–2x overall; the multi-output scripts gain the most.
+    let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
+    assert!(mean >= 1.5, "mean speedup {mean:.2} below the paper's band");
+}
+
+#[test]
+fn fig11_kmeans_speedup_grows() {
+    let rows = fig11_pig_kmeans(true);
+    assert!(rows.iter().all(|r| r.speedup() > 1.0));
+    assert!(rows.last().unwrap().speedup() > rows.first().unwrap().speedup());
+}
+
+#[test]
+fn fig12_tez_model_shares_capacity() {
+    let (service, tez) = fig12_tenancy_traces(true);
+    assert!(tez.mean_latency_ms() < service.mean_latency_ms());
+    // The last-submitted tenant suffers most under the service model.
+    assert!(service.latencies_ms().last().unwrap() > tez.latencies_ms().last().unwrap());
+}
+
+#[test]
+fn fig13_tez_wins_at_every_scale() {
+    for (label, service, tez) in fig13_tenancy_latency(true) {
+        assert!(tez < service, "{label}: tez {tez} vs service {service}");
+    }
+}
+
+#[test]
+fn ablations_every_feature_pays_for_itself() {
+    for (feature, on, off) in ablation_features(true) {
+        assert!(
+            off >= on,
+            "{feature}: disabling helped ({off} < {on})"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Cost-model sanity across the stack: more data is slower, more nodes are
+//! faster, and the declared byte scale drives runtime, not the real bytes.
+
+use tez_core::TezClient;
+use tez_hive::{tpcds, HiveEngine, HiveOpts};
+use tez_yarn::{ClusterSpec, CostModel};
+
+fn run(nodes: usize, scale: f64) -> u64 {
+    let engine = HiveEngine::new(tpcds::generate(800, 32, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(nodes, 8192, 8)).with_cost(CostModel {
+        straggler_prob: 0.0,
+        ..CostModel::default()
+    });
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q42")
+        .unwrap()
+        .1;
+    let opts = HiveOpts {
+        byte_scale: scale,
+        // Pruning would (correctly) shrink the scan to a couple of tasks;
+        // this test needs a wide scan to expose cluster-width scaling.
+        dpp: false,
+        ..HiveOpts::default()
+    };
+    let res = engine.run_tez(&client, "scaleq", &q.plan, &opts);
+    assert!(res.success());
+    res.runtime_ms()
+}
+
+#[test]
+fn more_declared_data_is_slower() {
+    let t1 = run(4, 100_000.0);
+    let t2 = run(4, 400_000.0);
+    let t3 = run(4, 1_600_000.0);
+    assert!(t1 < t2 && t2 < t3, "{t1} {t2} {t3}");
+}
+
+#[test]
+fn more_nodes_are_faster_at_fixed_scale() {
+    // 32 map splits: one 8-slot node needs 4 waves, eight nodes need 1.
+    let small = run(1, 1_600_000.0);
+    let big = run(8, 1_600_000.0);
+    assert!(big < small, "8 nodes {big}ms vs 1 node {small}ms");
+}
