@@ -21,9 +21,15 @@ fn main() {
     println!("Feature ablations on TPC-DS q3 (all features on vs one disabled)");
     println!(
         "{}",
-        table::render(&["feature", "on (s)", "off (s)", "cost of disabling"], &table_rows)
+        table::render(
+            &["feature", "on (s)", "off (s)", "cost of disabling"],
+            &table_rows
+        )
     );
     for (name, on, off) in &rows {
-        assert!(off >= on, "{name}: disabling must not speed things up ({off} < {on})");
+        assert!(
+            off >= on,
+            "{name}: disabling must not speed things up ({off} < {on})"
+        );
     }
 }

@@ -18,7 +18,10 @@ fn main() {
         })
         .collect();
     println!("Figure 10 — Pig production workloads (cluster at ~65% background utilization)");
-    println!("{}", table::render(&["script", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    println!(
+        "{}",
+        table::render(&["script", "tez (s)", "mr (s)", "speedup"], &table_rows)
+    );
     let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
     println!("mean speedup: {mean:.1}x (paper: 1.5x to 2x keeping configuration identical)");
     assert!(rows.iter().all(|r| r.speedup() >= 1.0));

@@ -19,7 +19,15 @@ fn main() {
         })
         .collect();
     println!("Figure 11 — Pig K-means iterations (10,000 rows, single node)");
-    println!("{}", table::render(&["workload", "tez session (s)", "mr (s)", "speedup"], &table_rows));
+    println!(
+        "{}",
+        table::render(
+            &["workload", "tez session (s)", "mr (s)", "speedup"],
+            &table_rows
+        )
+    );
     println!("(paper: session/reuse advantage grows with the number of iterations)");
-    assert!(rows.windows(2).all(|w| w[1].speedup() >= w[0].speedup() * 0.9));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].speedup() >= w[0].speedup() * 0.9));
 }

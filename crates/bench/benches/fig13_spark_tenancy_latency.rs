@@ -19,7 +19,10 @@ fn main() {
     println!("Figure 13 — Spark multi-tenancy mean latency per scale factor");
     println!(
         "{}",
-        table::render(&["scale", "service (s)", "tez (s)", "improvement"], &table_rows)
+        table::render(
+            &["scale", "service (s)", "tez (s)", "improvement"],
+            &table_rows
+        )
     );
     println!("(paper: Tez-based implementation wins at every scale factor)");
     assert!(rows.iter().all(|(_, s, t)| t < s));

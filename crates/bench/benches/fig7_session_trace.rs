@@ -5,7 +5,7 @@ use tez_bench::fig7_session_trace;
 
 fn main() {
     let (gantt, reports) = fig7_session_trace();
-    println!("Figure 7 — session trace (rows = containers; A/B = DAG of each task; w = pre-warm)");
+    println!("Figure 7 — session trace (rows = containers; A/B = DAG of each task)");
     println!("{gantt}");
     for r in &reports {
         println!(

@@ -17,9 +17,18 @@ fn main() {
             ]
         })
         .collect();
-    println!("Figure 8 — Hive TPC-DS derived workload ({} scale)", if quick { "quick" } else { "30TB" });
-    println!("{}", table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    println!(
+        "Figure 8 — Hive TPC-DS derived workload ({} scale)",
+        if quick { "quick" } else { "30TB" }
+    );
+    println!(
+        "{}",
+        table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows)
+    );
     let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
     println!("mean speedup: {mean:.1}x (paper: Tez substantially outperforms MR, up to ~10x on short queries)");
-    assert!(rows.iter().all(|r| r.speedup() >= 1.0), "Tez must win every query");
+    assert!(
+        rows.iter().all(|r| r.speedup() >= 1.0),
+        "Tez must win every query"
+    );
 }

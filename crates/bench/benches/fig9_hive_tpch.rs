@@ -17,9 +17,18 @@ fn main() {
             ]
         })
         .collect();
-    println!("Figure 9 — Hive TPC-H derived workload ({})", if quick { "quick" } else { "10TB, 350 nodes" });
-    println!("{}", table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows));
+    println!(
+        "Figure 9 — Hive TPC-H derived workload ({})",
+        if quick { "quick" } else { "10TB, 350 nodes" }
+    );
+    println!(
+        "{}",
+        table::render(&["query", "tez (s)", "mr (s)", "speedup"], &table_rows)
+    );
     let mean: f64 = rows.iter().map(|r| r.speedup()).sum::<f64>() / rows.len() as f64;
     println!("mean speedup: {mean:.1}x (paper: Tez outperforms MR at large cluster scale)");
-    assert!(rows.iter().all(|r| r.speedup() >= 1.0), "Tez must win every query");
+    assert!(
+        rows.iter().all(|r| r.speedup() >= 1.0),
+        "Tez must win every query"
+    );
 }

@@ -16,7 +16,7 @@ fn bench_codec(c: &mut Criterion) {
             let mut kb = KeyBuilder::new();
             kb.push_i64(black_box(123456789))
                 .push_str(black_box("hello-world-key"))
-                .push_f64(black_box(2.71828));
+                .push_f64(black_box(std::f64::consts::E));
             black_box(kb.finish())
         })
     });
@@ -86,7 +86,7 @@ fn bench_expansion(c: &mut Criterion) {
         .build()
         .unwrap();
     c.bench_function("dag/expand_200x200x100", |b| {
-        b.iter(|| black_box(expand(&dag, &[200, 200, 100], &HashMap::new())))
+        b.iter(|| black_box(expand(&dag, &[200, 200, 100], &HashMap::new()).unwrap()))
     });
 }
 
@@ -113,5 +113,12 @@ fn bench_rm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec, bench_sorter, bench_merge, bench_expansion, bench_rm);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_sorter,
+    bench_merge,
+    bench_expansion,
+    bench_rm
+);
 criterion_main!(benches);

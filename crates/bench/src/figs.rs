@@ -100,7 +100,12 @@ pub fn fig7_session_trace() -> (String, Vec<DagReport>) {
         hdfs.set_stat_scale(scale);
         engine.catalog.load_hdfs(hdfs, scale);
     });
-    (run.trace().render_gantt(100), run.reports)
+    // The Gantt is rendered from the unified run reports: rows are
+    // containers, letters the per-DAG attempt spans, so cross-DAG reuse
+    // shows as one row carrying both letters.
+    let run_reports: Vec<&tez_runtime::RunReport> =
+        run.reports.iter().map(|r| &r.run_report).collect();
+    (tez_runtime::render_gantt(&run_reports, 100), run.reports)
 }
 
 // ---------------------------------------------------------------------------
@@ -139,8 +144,8 @@ pub fn fig8_hive_tpcds(quick: bool) -> Vec<BackendRow> {
         (20, 4_000, 64, 120_000_000.0)
     };
     let engine = HiveEngine::new(tpcds::generate(rows, blocks, 7));
-    let client = TezClient::new(ClusterSpec::homogeneous(nodes, 256 * 1024, 16))
-        .with_cost(bench_cost());
+    let client =
+        TezClient::new(ClusterSpec::homogeneous(nodes, 256 * 1024, 16)).with_cost(bench_cost());
     let opts = HiveOpts {
         reducers: if quick { 8 } else { 64 },
         byte_scale: scale,
@@ -342,8 +347,14 @@ pub fn ablation_features(quick: bool) -> Vec<(String, u64, u64)> {
         .find(|(n, _)| *n == "q3")
         .unwrap()
         .1;
-    let client =
-        TezClient::new(ClusterSpec::homogeneous(nodes, 8192, 8)).with_cost(bench_cost());
+    // Ablations are controlled A/B comparisons: random straggler injection
+    // would let noise on one side's critical path swamp the feature delta,
+    // so it is disabled here (the figure benches keep it for realism).
+    let cost = CostModel {
+        straggler_prob: 0.0,
+        ..bench_cost()
+    };
+    let client = TezClient::new(ClusterSpec::homogeneous(nodes, 8192, 8)).with_cost(cost);
     let base_opts = HiveOpts {
         reducers: 8,
         byte_scale: scale,
@@ -352,7 +363,16 @@ pub fn ablation_features(quick: bool) -> Vec<(String, u64, u64)> {
     let run = |opts: &HiveOpts, config: TezConfig, tag: &str| {
         let r = engine.run_tez_with(&client, &format!("q3-{tag}"), &q.plan, opts, config);
         assert!(r.success(), "{tag} failed");
-        r.runtime_ms()
+        // Runtimes come from the unified run report, which also lets the
+        // harness sanity-check that the observability layer saw the run.
+        r.reports
+            .iter()
+            .map(|rep| {
+                assert_eq!(rep.run_report.status, "succeeded", "{tag}");
+                assert!(rep.run_report.containers.assignments > 0, "{tag}");
+                rep.run_report.runtime_ms()
+            })
+            .sum()
     };
 
     let mut rows_out = Vec::new();

@@ -2,9 +2,7 @@
 //! the Yahoo production clusters were "already running regular jobs with
 //! average utilization of 60-70%".
 
-use tez_yarn::{
-    AppContext, AppEvent, ContainerRequest, Resource, YarnApp,
-};
+use tez_yarn::{AppContext, AppEvent, ContainerRequest, Resource, YarnApp};
 
 /// An app that grabs `containers` containers at start and holds them for
 /// the whole simulation (steady background utilization).
@@ -39,7 +37,11 @@ mod tests {
             FaultPlan::none(),
             1,
         );
-        let id = sim.add_app(Box::new(BackgroundLoad { containers: 10 }), "default", SimTime::ZERO);
+        let id = sim.add_app(
+            Box::new(BackgroundLoad { containers: 10 }),
+            "default",
+            SimTime::ZERO,
+        );
         sim.run();
         let mean = sim
             .trace()

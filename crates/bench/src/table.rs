@@ -19,7 +19,9 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
             .join("  ")
     };
     let mut out = String::new();
-    out.push_str(&line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&line(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');

@@ -21,19 +21,20 @@ use crate::objreg::RegistryState;
 use crate::report::{DagReport, DagStatus, VertexReport};
 use crate::vertex_managers::{producer_stats_payload, vm_kinds};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use tez_dag::{Dag, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
 use tez_runtime::{
-    ComponentRegistry, Counters, Dfs, InitializerContext, InitializerResult, InputInitializer,
-    InputSource, InputSpec, InputSplit, OutboundEvent, OutputSpec, SecurityToken, ShardLocator,
-    SinkArtifact, SourceKind, SourceTaskAttempt, TaskEnv, TaskError, TaskMeta, TaskOutcome,
-    TaskSpec, VertexManager, VertexManagerContext,
+    AttemptSpan, ComponentRegistry, ContainerStats, Counters, Dfs, EdgeStats, InitializerContext,
+    InitializerResult, InputInitializer, InputSource, InputSpec, InputSplit, OutboundEvent,
+    OutputSpec, RunReport, SchedulerStats, SecurityToken, ShardLocator, SinkArtifact, SourceKind,
+    SourceTaskAttempt, TaskEnv, TaskError, TaskMeta, TaskOutcome, TaskSpec, VertexManager,
+    VertexManagerContext,
 };
-use tez_shuffle::{SharedDataService, SplitPayload};
+use tez_shuffle::{FetchRetryPolicy, RetryingFetcher, SharedDataService, SplitPayload};
 use tez_yarn::{
-    AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId, ContainerRequest,
-    NodeId, RequestId, SimTime, WorkCost, WorkId, WorkOutcome, YarnApp,
+    AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId, ContainerRequest, NodeId,
+    RequestId, SimTime, WorkCost, WorkId, WorkOutcome, YarnApp,
 };
 
 const TIMER_SPECULATION: u64 = 1;
@@ -68,7 +69,10 @@ enum AState {
     /// Waiting for a container (either a pending RM request or the pool).
     Requesting(Option<RequestId>),
     /// Holding a container, waiting for input shards (slow-start overlap).
-    WaitingInputs { container: ContainerId, since: SimTime },
+    WaitingInputs {
+        container: ContainerId,
+        since: SimTime,
+    },
     /// Work launched in the simulator; outputs held until completion.
     Running {
         container: ContainerId,
@@ -137,6 +141,13 @@ struct DagRun {
     speculative_attempts: usize,
     reexecuted_tasks: usize,
     failed: Option<String>,
+    /// Scheduler stats snapshot at DAG start; the run report carries the
+    /// delta accumulated while this DAG ran.
+    sched_base: SchedulerStats,
+    container_stats: ContainerStats,
+    /// Data-plane stats keyed by `(src, dst)` vertex names.
+    edge_stats: BTreeMap<(String, String), EdgeStats>,
+    attempt_spans: Vec<AttemptSpan>,
 }
 
 struct ContainerRt {
@@ -158,6 +169,8 @@ pub struct DagAppMaster {
     containers: HashMap<ContainerId, ContainerRt>,
     request_map: HashMap<RequestId, (usize, usize, usize)>,
     work_map: HashMap<WorkId, (usize, usize, usize)>,
+    /// Launch time of every in-flight work item (attempt-span tracking).
+    work_started: HashMap<WorkId, SimTime>,
     /// Producer identity of every published output id.
     output_registry: HashMap<u64, (usize, usize)>,
     prewarm_outstanding: usize,
@@ -194,6 +207,7 @@ impl DagAppMaster {
             containers: HashMap::new(),
             request_map: HashMap::new(),
             work_map: HashMap::new(),
+            work_started: HashMap::new(),
             output_registry: HashMap::new(),
             prewarm_outstanding: 0,
             prewarm_requested: 0,
@@ -260,13 +274,27 @@ impl DagAppMaster {
             return;
         };
         let dag = submission.dag;
+        // An unregistered custom edge manager fails this DAG (with a report
+        // the client can inspect) rather than crashing the whole AM, which
+        // in session mode would take down every queued DAG with it.
+        let mut setup_error: Option<String> = None;
         let mut edge_managers = Vec::with_capacity(dag.edges().len());
         for e in dag.edges() {
             let mgr = match &e.property.movement {
-                DataMovement::Custom { manager } => self
+                DataMovement::Custom { manager } => match self
                     .registry
                     .create_edge_manager(&manager.kind, &manager.payload)
-                    .expect("custom edge manager not registered"),
+                {
+                    Ok(m) => m,
+                    Err(err) => {
+                        setup_error
+                            .get_or_insert_with(|| format!("edge {} -> {}: {err}", e.src, e.dst));
+                        // Placeholder so indices stay aligned; the run is
+                        // failed before any routing happens.
+                        tez_dag::edge::builtin_edge_manager(&DataMovement::Broadcast)
+                            .expect("builtin")
+                    }
+                },
                 m => tez_dag::edge::builtin_edge_manager(m).expect("builtin"),
             };
             edge_managers.push(mgr);
@@ -278,9 +306,10 @@ impl DagAppMaster {
                 if kind == vm_kinds::SHUFFLE {
                     // Auto-reduction changes this vertex's parallelism; a
                     // one-to-one consumer pins it, so disable shrinking.
-                    let pinned = dag.out_edge_indices(vidx).iter().any(|&e| {
-                        matches!(dag.edge(e).property.movement, DataMovement::OneToOne)
-                    });
+                    let pinned = dag
+                        .out_edge_indices(vidx)
+                        .iter()
+                        .any(|&e| matches!(dag.edge(e).property.movement, DataMovement::OneToOne));
                     // Wire the orchestrator config into the default manager.
                     let payload = crate::vertex_managers::ShuffleVertexManagerConfig {
                         auto_parallelism: self.config.auto_parallelism && !pinned,
@@ -346,7 +375,15 @@ impl DagAppMaster {
             speculative_attempts: 0,
             reexecuted_tasks: 0,
             failed: None,
+            sched_base: ctx.scheduler_stats(),
+            container_stats: ContainerStats::default(),
+            edge_stats: BTreeMap::new(),
+            attempt_spans: Vec::new(),
         });
+        if let Some(reason) = setup_error {
+            self.fail_dag(ctx, reason);
+            return;
+        }
         self.run_initializers(ctx);
         self.resolve_vertices(ctx);
         self.arm_timers(ctx);
@@ -478,7 +515,9 @@ impl DagAppMaster {
             // the first pass; later no-op passes break out here.
             if before == self.vertex_fingerprint(vidx)
                 && matches!(call, VmCall::Initialize)
-                && self.run.as_ref().unwrap().vertices[vidx].parallelism.is_none()
+                && self.run.as_ref().unwrap().vertices[vidx]
+                    .parallelism
+                    .is_none()
             {
                 // Try other vertices; if nothing else progresses we are
                 // waiting on runtime events (DPP, o2o source), so stop.
@@ -632,10 +671,9 @@ impl DagAppMaster {
         let edge = run.dag.edge(edge_idx).clone();
         let src = run.dag.vertex_index(&edge.src).unwrap();
         let dst = run.dag.vertex_index(&edge.dst).unwrap();
-        let (Some(src_n), Some(dst_n)) = (
-            run.vertices[src].parallelism,
-            run.vertices[dst].parallelism,
-        ) else {
+        let (Some(src_n), Some(dst_n)) =
+            (run.vertices[src].parallelism, run.vertices[dst].parallelism)
+        else {
             return;
         };
         if run.vertices[dst].tasks.is_empty() {
@@ -692,8 +730,7 @@ impl DagAppMaster {
                         let sidx = dag.vertex_index(&edge.src).unwrap();
                         SourceView {
                             name: edge.src.clone(),
-                            kind: Self::source_kind(dag, vidx, &edge.src)
-                                .expect("edge source"),
+                            kind: Self::source_kind(dag, vidx, &edge.src).expect("edge source"),
                             parallelism: run.vertices[sidx].parallelism,
                             completed: run.vertices[sidx].completed,
                         }
@@ -773,7 +810,7 @@ impl DagAppMaster {
         // One-to-one edges: co-locate with the source task's output.
         for (slot, &e) in run.dag.in_edge_indices(vidx).iter().enumerate() {
             if matches!(run.dag.edge(e).property.movement, DataMovement::OneToOne) {
-                if let Some(Some(loc)) = t.inputs.get(slot).and_then(|v| v.first().map(|x| *x)) {
+                if let Some(Some(loc)) = t.inputs.get(slot).and_then(|v| v.first().copied()) {
                     nodes.push(NodeId(loc.node));
                 }
             }
@@ -822,8 +859,7 @@ impl DagAppMaster {
                 .containers
                 .iter()
                 .filter(|(_, c)| {
-                    c.idle_since.is_some()
-                        && (locality.is_empty() || locality.contains(&c.node))
+                    c.idle_since.is_some() && (locality.is_empty() || locality.contains(&c.node))
                 })
                 .min_by_key(|(id, _)| id.0)
                 .map(|(&id, _)| id);
@@ -837,8 +873,7 @@ impl DagAppMaster {
             }
         }
         if let Some(cap) = self.config.max_containers {
-            let in_flight =
-                self.containers.len() + self.request_map.len() + self.prewarm_requested;
+            let in_flight = self.containers.len() + self.request_map.len() + self.prewarm_requested;
             if self.config.container_reuse && in_flight >= cap {
                 // Service-executor model: never grow past the fleet size;
                 // the attempt waits for a pooled executor.
@@ -856,8 +891,7 @@ impl DagAppMaster {
         let rid = ctx.request_container(req);
         self.request_map.insert(rid, (vidx, task, attempt_idx));
         let run = self.run.as_mut().unwrap();
-        run.vertices[vidx].tasks[task].attempts[attempt_idx].state =
-            AState::Requesting(Some(rid));
+        run.vertices[vidx].tasks[task].attempts[attempt_idx].state = AState::Requesting(Some(rid));
     }
 
     fn assign_container(
@@ -918,17 +952,29 @@ impl DagAppMaster {
         };
         let spec = self.build_task_spec(vidx, task, attempt);
         let works_run = ctx.container_works_run(container).unwrap_or(0);
-        if works_run > 0 {
-            if let Some(run) = self.run.as_mut() {
+        if let Some(run) = self.run.as_mut() {
+            run.container_stats.assignments += 1;
+            run.container_stats.warmup_levels += works_run;
+            if works_run > 0 {
+                run.container_stats.reuse_hits += 1;
                 run.warm_starts += 1;
+            } else {
+                run.container_stats.cold_starts += 1;
             }
         }
 
-        // Execute the IPO pipeline against the real data plane.
-        let fetcher = NodeFetcher {
-            service: self.service.clone(),
-            node: node.0,
-        };
+        // Execute the IPO pipeline against the real data plane. Fetches
+        // retry with deterministic backoff; the accumulated backoff is
+        // charged to the attempt's cost below so it advances the sim clock.
+        let fetcher = RetryingFetcher::new(
+            self.service.clone(),
+            node.0,
+            FetchRetryPolicy {
+                max_attempts: self.config.fetch_retry_attempts,
+                base_backoff_ms: self.config.fetch_retry_backoff_ms,
+                multiplier: 2,
+            },
+        );
         let objreg = self.objreg.for_container(container.0);
         let outcome = {
             let mut dfs = HdfsView { hdfs: ctx.hdfs() };
@@ -940,9 +986,18 @@ impl DagAppMaster {
             };
             run_task(&spec, &mut env, &self.registry)
         };
+        let fetch_retries = fetcher.retries();
+        let fetch_backoff_ms = fetcher.backoff_ms();
+        if fetch_retries > 0 {
+            if let Some(run) = self.run.as_mut() {
+                run.counters
+                    .add(tez_runtime::counter_names::FETCH_RETRIES, fetch_retries);
+            }
+        }
         match outcome {
             Ok(outcome) => {
-                let cost = self.work_cost(ctx, vidx, task, &spec, &outcome, node, wait_since);
+                let mut cost = self.work_cost(ctx, vidx, task, &spec, &outcome, node, wait_since);
+                cost.setup_ms += fetch_backoff_ms;
                 let label = {
                     let run = self.run.as_ref().unwrap();
                     format!(
@@ -954,8 +1009,44 @@ impl DagAppMaster {
                 };
                 let work = ctx.start_work(container, label, cost);
                 self.work_map.insert(work, (vidx, task, attempt));
+                self.work_started.insert(work, ctx.now());
                 let run = self.run.as_mut().unwrap();
                 run.counters.merge(&outcome.counters);
+                // Data-plane stats: fetched/merged bytes per in-edge (the
+                // shards this attempt pulled from the shuffle service) and
+                // spilled bytes per out-edge.
+                let vname = run.vertices[vidx].name.clone();
+                for input in &spec.inputs {
+                    if let InputSource::Shards(shards) = &input.source {
+                        let e = run
+                            .edge_stats
+                            .entry((input.name.clone(), vname.clone()))
+                            .or_insert_with(|| EdgeStats {
+                                src: input.name.clone(),
+                                dst: vname.clone(),
+                                ..EdgeStats::default()
+                            });
+                        for s in shards {
+                            e.fetched_bytes += s.bytes;
+                            if s.sorted {
+                                e.merged_bytes += s.bytes;
+                            }
+                        }
+                    }
+                }
+                for (out_name, commit) in &outcome.outputs {
+                    if commit.sink.is_none() && commit.spilled_bytes > 0 {
+                        let e = run
+                            .edge_stats
+                            .entry((vname.clone(), out_name.clone()))
+                            .or_insert_with(|| EdgeStats {
+                                src: vname.clone(),
+                                dst: out_name.clone(),
+                                ..EdgeStats::default()
+                            });
+                        e.spilled_bytes += commit.spilled_bytes;
+                    }
+                }
                 run.vertices[vidx].tasks[task].attempts[attempt].state = AState::Running {
                     container,
                     work,
@@ -985,7 +1076,10 @@ impl DagAppMaster {
                 self.attempt_failed(ctx, vidx, task, attempt, true);
             }
             Err(e) => {
-                self.fail_dag(ctx, format!("fatal task error in {}: {e}", spec.meta.vertex));
+                self.fail_dag(
+                    ctx,
+                    format!("fatal task error in {}: {e}", spec.meta.vertex),
+                );
             }
         }
     }
@@ -1108,7 +1202,10 @@ impl DagAppMaster {
         for &e in run.dag.in_edge_indices(vidx) {
             let edge = run.dag.edge(e);
             let sidx = run.dag.vertex_index(&edge.src).unwrap();
-            src_scale.insert(edge.src.clone(), Self::vertex_scale(run, &self.config, sidx));
+            src_scale.insert(
+                edge.src.clone(),
+                Self::vertex_scale(run, &self.config, sidx),
+            );
         }
 
         // Root splits: declared (already scaled) bytes; local when the
@@ -1187,6 +1284,7 @@ impl DagAppMaster {
         container: ContainerId,
         outcome: WorkOutcome,
     ) {
+        let started = self.work_started.remove(&work);
         let Some((vidx, task, attempt)) = self.work_map.remove(&work) else {
             // Pre-warm work or stale completion.
             if self.prewarm_outstanding > 0 {
@@ -1196,6 +1294,26 @@ impl DagAppMaster {
             return;
         };
         let Some(run) = self.run.as_mut() else { return };
+        if let Some(start) = started {
+            let status = match outcome {
+                WorkOutcome::Succeeded => "succeeded",
+                WorkOutcome::Killed => "killed",
+                _ => "failed",
+            };
+            run.attempt_spans.push(AttemptSpan {
+                vertex: run
+                    .vertices
+                    .get(vidx)
+                    .map(|v| v.name.clone())
+                    .unwrap_or_default(),
+                task: task as u64,
+                attempt: attempt as u64,
+                container: container.0,
+                start_ms: start.millis(),
+                end_ms: ctx.now().millis(),
+                status: status.into(),
+            });
+        }
         let Some(vrt) = run.vertices.get_mut(vidx) else {
             return;
         };
@@ -1272,7 +1390,11 @@ impl DagAppMaster {
         let mut sibling_containers: Vec<ContainerId> = Vec::new();
         {
             let run = self.run.as_mut().unwrap();
-            for (i, a) in run.vertices[vidx].tasks[task].attempts.iter_mut().enumerate() {
+            for (i, a) in run.vertices[vidx].tasks[task]
+                .attempts
+                .iter_mut()
+                .enumerate()
+            {
                 if i == attempt {
                     continue;
                 }
@@ -1362,9 +1484,7 @@ impl DagAppMaster {
         };
         for c in &consumers {
             let sa = src_attempt.clone();
-            self.with_vm(ctx, *c, |vm, vmctx| {
-                vm.on_source_task_completed(&sa, vmctx)
-            });
+            self.with_vm(ctx, *c, |vm, vmctx| vm.on_source_task_completed(&sa, vmctx));
         }
         self.wake_waiting_consumers(ctx, &consumers);
         self.return_to_pool(ctx, container);
@@ -1407,10 +1527,9 @@ impl DagAppMaster {
         let edge = run.dag.edge(edge_idx);
         let src = run.dag.vertex_index(&edge.src).unwrap();
         let dst = run.dag.vertex_index(&edge.dst).unwrap();
-        let (Some(src_n), Some(dst_n)) = (
-            run.vertices[src].parallelism,
-            run.vertices[dst].parallelism,
-        ) else {
+        let (Some(src_n), Some(dst_n)) =
+            (run.vertices[src].parallelism, run.vertices[dst].parallelism)
+        else {
             return; // consumer unresolved; replay happens at materialize
         };
         if run.vertices[dst].tasks.is_empty() {
@@ -1593,7 +1712,24 @@ impl DagAppMaster {
         for w in leftover_works {
             ctx.kill_work(w);
             self.work_map.remove(&w);
+            self.work_started.remove(&w);
         }
+        let run_report = RunReport {
+            dag: run.dag.name().to_string(),
+            status: match &status {
+                DagStatus::Succeeded => "succeeded".to_string(),
+                DagStatus::Failed(reason) => format!("failed: {reason}"),
+            },
+            submitted_ms: run.submitted.millis(),
+            finished_ms: ctx.now().millis(),
+            scheduler: ctx.scheduler_stats().delta_since(&run.sched_base),
+            containers: run.container_stats.clone(),
+            // BTreeMap iteration gives the (src, dst)-sorted order the
+            // deterministic serializer relies on.
+            edges: run.edge_stats.values().cloned().collect(),
+            attempts: run.attempt_spans.clone(),
+            counters: run.counters.clone(),
+        };
         let report = DagReport {
             name: run.dag.name().to_string(),
             submitted: run.submitted,
@@ -1620,6 +1756,7 @@ impl DagAppMaster {
             warm_starts: run.warm_starts,
             speculative_attempts: run.speculative_attempts,
             reexecuted_tasks: run.reexecuted_tasks,
+            run_report,
         };
         self.output.lock().reports.push(report);
         self.objreg.evict_scope(tez_runtime::ObjectScope::Dag);
@@ -1673,10 +1810,7 @@ impl DagAppMaster {
             }
             t.failures += 1;
             // Only retry when no other attempt is still alive.
-            let alive = t
-                .attempts
-                .iter()
-                .any(|a| !matches!(a.state, AState::Done));
+            let alive = t.attempts.iter().any(|a| !matches!(a.state, AState::Done));
             if alive {
                 return;
             }
@@ -1684,10 +1818,7 @@ impl DagAppMaster {
         };
         if give_up {
             let name = self.run.as_ref().unwrap().vertices[vidx].name.clone();
-            self.fail_dag(
-                ctx,
-                format!("task {name}[{task}] exhausted its attempts"),
-            );
+            self.fail_dag(ctx, format!("task {name}[{task}] exhausted its attempts"));
             return;
         }
         {
@@ -1705,6 +1836,18 @@ impl DagAppMaster {
         let mut producers: Vec<(usize, usize)> = Vec::new();
         for err in &errors {
             if let Some(&(pv, pt)) = self.output_registry.get(&err.locator.output_id) {
+                if let Some(run) = self.run.as_mut() {
+                    let src = run.vertices[pv].name.clone();
+                    let dst = err.consumer_vertex.clone();
+                    run.edge_stats
+                        .entry((src.clone(), dst.clone()))
+                        .or_insert_with(|| EdgeStats {
+                            src,
+                            dst,
+                            ..EdgeStats::default()
+                        })
+                        .fetch_failures += 1;
+                }
                 if !producers.contains(&(pv, pt)) {
                     producers.push((pv, pt));
                 }
@@ -1740,10 +1883,7 @@ impl DagAppMaster {
             // Clear routed locators pointing at the dropped outputs.
             let cleared: Vec<usize> = published.iter().map(|&(e, _, _)| e).collect();
             for &edge_idx in &cleared {
-                let dst = run
-                    .dag
-                    .vertex_index(&run.dag.edge(edge_idx).dst)
-                    .unwrap();
+                let dst = run.dag.vertex_index(&run.dag.edge(edge_idx).dst).unwrap();
                 let oids: Vec<u64> = published
                     .iter()
                     .filter(|&&(e, _, _)| e == edge_idx)
@@ -1824,7 +1964,7 @@ impl DagAppMaster {
                     for (ai, a) in t.attempts.iter().enumerate() {
                         if matches!(a.state, AState::Requesting(_)) {
                             let cand = (depth, vi, ti, ai);
-                            if best.map_or(true, |b| cand < b) {
+                            if best.is_none_or(|b| cand < b) {
                                 best = Some(cand);
                             }
                         }
@@ -1995,14 +2135,15 @@ impl DagAppMaster {
                 .filter(|(vi, _)| run.dag.depth(*vi) > d)
                 .flat_map(|(vi, v)| {
                     v.tasks.iter().enumerate().flat_map(move |(ti, t)| {
-                        t.attempts.iter().enumerate().filter_map(move |(ai, a)| {
-                            match a.state {
+                        t.attempts
+                            .iter()
+                            .enumerate()
+                            .filter_map(move |(ai, a)| match a.state {
                                 AState::WaitingInputs { container, since } => {
                                     Some((since, vi, ti, ai, container))
                                 }
                                 _ => None,
-                            }
-                        })
+                            })
                     })
                 })
                 .max_by_key(|&(since, vi, ti, _, _)| (since, vi, ti))
@@ -2051,6 +2192,7 @@ impl DagAppMaster {
                             AState::Requesting(Some(r)) => dead_requests.push(r),
                             AState::Running { work, .. } => {
                                 self.work_map.remove(&work);
+                                self.work_started.remove(&work);
                             }
                             _ => {}
                         }
@@ -2156,7 +2298,9 @@ impl YarnApp for DagAppMaster {
                 }
                 self.start_next_dag(ctx);
             }
-            AppEvent::ContainerAllocated(Container { id, node, request, .. }) => {
+            AppEvent::ContainerAllocated(Container {
+                id, node, request, ..
+            }) => {
                 self.containers.insert(
                     id,
                     ContainerRt {
@@ -2384,22 +2528,6 @@ impl<'a> InitializerContext for InitCtx<'a> {
     }
     fn counters(&mut self) -> &mut Counters {
         self.counters
-    }
-}
-
-/// Fetcher adapter binding a task to its container's node.
-struct NodeFetcher {
-    service: SharedDataService,
-    node: u32,
-}
-
-impl tez_runtime::DataFetcher for NodeFetcher {
-    fn fetch(
-        &self,
-        locator: &ShardLocator,
-        token: SecurityToken,
-    ) -> Result<tez_runtime::FetchedShard, tez_runtime::FetchError> {
-        self.service.fetch_from(self.node, locator, token)
     }
 }
 

@@ -160,6 +160,9 @@ impl TezClient {
             );
         }
         let service: SharedDataService = DataService::new();
+        if self.fault.transient_fetch_failures > 0 {
+            service.inject_transient_failures(self.fault.transient_fetch_failures);
+        }
         let output: SharedSessionOutput = Arc::new(Mutex::new(SessionOutput::default()));
         let am = DagAppMaster::new(
             config,

@@ -68,6 +68,13 @@ pub struct TezConfig {
     pub task_memory_mb: u64,
     /// Per-task vcores.
     pub task_vcores: u32,
+    /// Attempts per shuffle fetch (including the first) before the failure
+    /// surfaces as an `InputReadError` and drives producer re-execution
+    /// (paper §4.3).
+    pub fetch_retry_attempts: u32,
+    /// Backoff before the first fetch retry, in simulated milliseconds;
+    /// doubles per subsequent retry and is charged to the attempt's cost.
+    pub fetch_retry_backoff_ms: u64,
     /// Multiplier converting real data-plane bytes/records into the
     /// *declared* scale charged by the cost model (see DESIGN.md §4;
     /// 1.0 for correctness tests).
@@ -101,6 +108,8 @@ impl Default for TezConfig {
             max_containers: None,
             task_memory_mb: 1024,
             task_vcores: 1,
+            fetch_retry_attempts: 3,
+            fetch_retry_backoff_ms: 100,
             byte_scale: 1.0,
         }
     }

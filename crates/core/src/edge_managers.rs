@@ -87,13 +87,19 @@ mod tests {
                 let (s, e) = m.partition_range(j, dst);
                 covered.extend(s..e);
             }
-            assert_eq!(covered, (0..orig).collect::<Vec<_>>(), "orig={orig} dst={dst}");
+            assert_eq!(
+                covered,
+                (0..orig).collect::<Vec<_>>(),
+                "orig={orig} dst={dst}"
+            );
         }
     }
 
     #[test]
     fn routing_is_consistent_with_ranges_and_unique() {
-        let m = GroupedScatterGatherEdgeManager { orig_partitions: 10 };
+        let m = GroupedScatterGatherEdgeManager {
+            orig_partitions: 10,
+        };
         let ctx = EdgeRoutingContext {
             num_src_tasks: 4,
             num_dst_tasks: 3,

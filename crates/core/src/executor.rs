@@ -7,8 +7,8 @@
 //! [`TaskError::InputRead`] so the AM can regenerate producers (§4.3).
 
 use tez_runtime::{
-    counter_names, ComponentRegistry, Counters, NamedInput, NamedOutput, ProcessorContext,
-    TaskEnv, TaskError, TaskOutcome, TaskSpec,
+    counter_names, ComponentRegistry, Counters, NamedInput, NamedOutput, ProcessorContext, TaskEnv,
+    TaskError, TaskOutcome, TaskSpec,
 };
 
 /// Run one task attempt to completion against the given environment.
@@ -65,7 +65,9 @@ pub fn run_task(
             counters: &mut counters,
             events: &mut events,
         };
-        processor.run(&mut ctx).map_err(|e| stamp_consumer(e, spec))?;
+        processor
+            .run(&mut ctx)
+            .map_err(|e| stamp_consumer(e, spec))?;
     }
 
     // Close outputs.

@@ -105,7 +105,13 @@ impl HdfsSplitInitializer {
             if !cur_blocks.is_empty()
                 && (cur_bytes + b.bytes > self.max_split_bytes || cur_bytes >= min_split)
             {
-                splits.push(make_split(&self.path, &cur_blocks, cur_bytes, cur_records, &cur_hosts));
+                splits.push(make_split(
+                    &self.path,
+                    &cur_blocks,
+                    cur_bytes,
+                    cur_records,
+                    &cur_hosts,
+                ));
                 cur_blocks.clear();
                 cur_bytes = 0;
                 cur_records = 0;
@@ -123,7 +129,13 @@ impl HdfsSplitInitializer {
             cur_records += b.records;
         }
         if !cur_blocks.is_empty() {
-            splits.push(make_split(&self.path, &cur_blocks, cur_bytes, cur_records, &cur_hosts));
+            splits.push(make_split(
+                &self.path,
+                &cur_blocks,
+                cur_bytes,
+                cur_records,
+                &cur_hosts,
+            ));
         }
         if splits.is_empty() {
             // Empty input (e.g. a fully-filtered intermediate result):

@@ -56,7 +56,11 @@ impl RegistryState {
 
     /// Total cached entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.containers.lock().values().map(|s| s.entries.len()).sum()
+        self.containers
+            .lock()
+            .values()
+            .map(|s| s.entries.len())
+            .sum()
     }
 
     /// Whether empty.

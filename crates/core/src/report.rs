@@ -1,6 +1,6 @@
 //! Execution reports: what the client gets back from a DAG run.
 
-use tez_runtime::Counters;
+use tez_runtime::{Counters, RunReport};
 use tez_yarn::SimTime;
 
 /// Terminal status of a DAG.
@@ -60,6 +60,10 @@ pub struct DagReport {
     pub speculative_attempts: usize,
     /// Tasks re-executed to regenerate lost intermediate data.
     pub reexecuted_tasks: usize,
+    /// The unified observability record: scheduler decisions, container
+    /// lifecycle, per-edge data-plane stats and attempt spans
+    /// ([`RunReport::to_json`] serializes it deterministically).
+    pub run_report: RunReport,
 }
 
 impl DagReport {
@@ -91,6 +95,7 @@ mod tests {
             warm_starts: 0,
             speculative_attempts: 0,
             reexecuted_tasks: 0,
+            run_report: RunReport::default(),
         };
         assert_eq!(r.runtime_ms(), 10_500);
         assert!((r.runtime_s() - 10.5).abs() < 1e-9);

@@ -106,7 +106,9 @@ impl VertexManager for ImmediateStartVertexManager {
     fn initialize(&mut self, _ctx: &mut dyn VertexManagerContext) {}
 
     fn on_vertex_started(&mut self, ctx: &mut dyn VertexManagerContext) {
-        let n = ctx.parallelism().expect("immediate-start vertex needs fixed parallelism");
+        let n = ctx
+            .parallelism()
+            .expect("immediate-start vertex needs fixed parallelism");
         ctx.schedule_tasks((0..n).collect());
     }
 }
@@ -196,9 +198,7 @@ impl ShuffleVertexManager {
     fn blocking_sources(&self, ctx: &dyn VertexManagerContext) -> Vec<String> {
         ctx.source_vertices()
             .into_iter()
-            .filter(|s| {
-                !matches!(ctx.source_edge_kind(s), Some(SourceKind::ScatterGather))
-            })
+            .filter(|s| !matches!(ctx.source_edge_kind(s), Some(SourceKind::ScatterGather)))
             .collect()
     }
 
@@ -242,8 +242,7 @@ impl ShuffleVertexManager {
                 return; // wait for this source's share of statistics
             }
             let observed: u64 = reports.iter().sum();
-            estimated_total +=
-                (observed as f64 * n as f64 / reports.len() as f64) as u64;
+            estimated_total += (observed as f64 * n as f64 / reports.len() as f64) as u64;
         }
         let desired = (estimated_total / self.config.desired_bytes_per_task.max(1)).max(1) as usize;
         if std::env::var("TEZ_DEBUG_AUTO").is_ok() {
@@ -614,7 +613,10 @@ mod tests {
         let mut vm = ShuffleVertexManager::new(cfg);
         vm.initialize(&mut ctx);
         vm.on_event(&src(0), &producer_stats_payload(1_000_000), &mut ctx);
-        assert!(ctx.reconfigured_to.is_none(), "desired > current keeps width");
+        assert!(
+            ctx.reconfigured_to.is_none(),
+            "desired > current keeps width"
+        );
         assert_eq!(ctx.parallelism, Some(2));
     }
 

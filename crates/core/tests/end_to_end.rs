@@ -4,9 +4,7 @@
 
 use bytes::Bytes;
 use std::collections::BTreeMap;
-use tez_core::{
-    hdfs_split_initializer, standard_registry, DagReport, TezClient, TezConfig,
-};
+use tez_core::{hdfs_split_initializer, standard_registry, DagReport, TezClient, TezConfig};
 use tez_dag::{DagBuilder, NamedDescriptor, UserPayload, Vertex};
 use tez_runtime::{
     counter_names, ComponentRegistry, Dfs, OutboundEvent, Processor, ProcessorContext, TaskError,
@@ -143,7 +141,11 @@ fn small_cluster() -> TezClient {
     TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(quiet_cost())
 }
 
-fn run_wordcount(client: &TezClient, config: TezConfig, blocks: usize) -> (DagReport, BTreeMap<String, u64>) {
+fn run_wordcount(
+    client: &TezClient,
+    config: TezConfig,
+    blocks: usize,
+) -> (DagReport, BTreeMap<String, u64>) {
     let run = client.run_dag(wordcount_dag(3), wordcount_registry(), config, |hdfs| {
         write_corpus(hdfs, blocks)
     });
@@ -258,11 +260,7 @@ fn auto_parallelism_shrinks_reducers() {
     });
     let report = run.report();
     assert!(report.status.is_success());
-    let summer = report
-        .vertices
-        .iter()
-        .find(|v| v.name == "summer")
-        .unwrap();
+    let summer = report.vertices.iter().find(|v| v.name == "summer").unwrap();
     assert!(
         summer.tasks < 16,
         "auto-parallelism should shrink 16 reducers, got {}",
@@ -294,7 +292,10 @@ fn injected_task_failures_are_retried() {
     assert!(report.status.is_success());
     assert_eq!(out, expected_counts(12));
     let failed: usize = report.vertices.iter().map(|v| v.failed_attempts).sum();
-    assert!(failed > 0, "with p=0.2 over 15 tasks some attempt must fail");
+    assert!(
+        failed > 0,
+        "with p=0.2 over 15 tasks some attempt must fail"
+    );
 }
 
 #[test]
@@ -383,8 +384,10 @@ impl Processor for FactProcessor {
         while bcast.next().is_some() {
             dim_rows += 1;
         }
+        // The broadcast side is consumed for its side effect only.
+        let _ = dim_rows;
         let task = ctx.meta.task_index;
-        ctx.write("out", format!("task{task}").as_bytes(), &(n + dim_rows * 0).to_le_bytes())?;
+        ctx.write("out", format!("task{task}").as_bytes(), &n.to_le_bytes())?;
         Ok(())
     }
 }
@@ -406,7 +409,10 @@ fn dynamic_partition_pruning_reads_subset() {
                 )
                 .with_data_sink(
                     "out",
-                    NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str("/dpp-out")),
+                    NamedDescriptor::with_payload(
+                        kinds::DFS_OUT,
+                        UserPayload::from_str("/dpp-out"),
+                    ),
                     Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
                 ),
         )
@@ -469,10 +475,166 @@ fn runs_are_deterministic() {
 #[test]
 fn output_payload_roundtrips_through_dag() {
     let prop = scatter_gather_edge(Combiner::SumU64);
-    let (p, c) = tez_shuffle::io::parse_output_payload(prop.src_output.payload.as_bytes());
+    let (p, c) = tez_shuffle::io::parse_output_payload(prop.src_output.payload.as_bytes()).unwrap();
     assert!(matches!(p, Partitioner::Hash));
     assert_eq!(c, Combiner::SumU64);
     let single = output_payload(&Partitioner::Single, Combiner::None);
-    let (p2, _) = tez_shuffle::io::parse_output_payload(single.as_bytes());
+    let (p2, _) = tez_shuffle::io::parse_output_payload(single.as_bytes()).unwrap();
     assert!(matches!(p2, Partitioner::Single));
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane error handling
+// ---------------------------------------------------------------------------
+
+/// An unregistered custom edge manager must fail that DAG with a
+/// diagnosable report — not panic the AM, which in session mode would take
+/// every queued DAG down with it.
+#[test]
+fn missing_custom_edge_manager_fails_dag_without_panicking() {
+    use tez_dag::{DataMovement, EdgeProperty};
+
+    let dag = DagBuilder::new("custom-edge")
+        .add_vertex(Vertex::new("a", NamedDescriptor::new("TokenProcessor")).with_parallelism(1))
+        .add_vertex(Vertex::new("b", NamedDescriptor::new("SumProcessor")).with_parallelism(1))
+        .add_edge(
+            "a",
+            "b",
+            EdgeProperty::new(
+                DataMovement::Custom {
+                    manager: NamedDescriptor::new("user.MissingManager"),
+                },
+                NamedDescriptor::new(kinds::UNORDERED_OUT),
+                NamedDescriptor::new(kinds::UNORDERED_IN),
+            ),
+        )
+        .build()
+        .unwrap();
+    let client = small_cluster();
+    let run = client.run_dag(dag, wordcount_registry(), TezConfig::default(), |_| {});
+    match &run.report().status {
+        tez_core::DagStatus::Failed(reason) => {
+            assert!(reason.contains("MissingManager"), "reason: {reason}");
+        }
+        other => panic!("expected DAG failure, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle fetch retry (bounded, deterministic backoff)
+// ---------------------------------------------------------------------------
+
+/// Transient fetch failures within the retry budget are absorbed by the
+/// fetcher: the DAG succeeds, the retries show up in the FETCH_RETRIES
+/// counter, and no producer is re-executed.
+#[test]
+fn transient_fetch_failures_are_retried_and_counted() {
+    // Two injected failures, retry budget of 3 attempts per fetch: the
+    // first shuffle fetch retries twice and succeeds.
+    let client = small_cluster().with_fault(FaultPlan::none().with_transient_fetch_failures(2));
+    let (report, out) = run_wordcount(&client, TezConfig::default(), 8);
+    assert!(report.status.is_success(), "status: {:?}", report.status);
+    assert_eq!(out, expected_counts(8));
+    assert_eq!(report.counters.get(counter_names::FETCH_RETRIES), 2);
+    assert_eq!(report.reexecuted_tasks, 0);
+}
+
+/// Enough consecutive transient failures to exhaust one fetch's retry
+/// budget surface as an InputReadError, which re-executes the producer
+/// (paper §4.3) — the DAG still completes with correct output.
+#[test]
+fn exhausted_fetch_retries_trigger_producer_reexecution() {
+    // Four injected failures, budget 3: the first fetch burns all three
+    // attempts and fails -> InputReadError -> producer re-executed. The
+    // leftover failure is absorbed by a later fetch's retry.
+    let client = small_cluster().with_fault(FaultPlan::none().with_transient_fetch_failures(4));
+    let (report, out) = run_wordcount(&client, TezConfig::default(), 8);
+    assert!(report.status.is_success(), "status: {:?}", report.status);
+    assert_eq!(out, expected_counts(8));
+    assert!(
+        report.reexecuted_tasks >= 1,
+        "exhaustion must re-execute the producer, got {}",
+        report.reexecuted_tasks
+    );
+    assert!(report.counters.get(counter_names::FETCH_RETRIES) >= 3);
+}
+
+// ---------------------------------------------------------------------------
+// Unified run report (observability layer)
+// ---------------------------------------------------------------------------
+
+/// Every DAG run carries a RunReport aggregating scheduler decisions,
+/// container lifecycle, per-edge data-plane stats and attempt spans, and
+/// its JSON codec round-trips exactly.
+#[test]
+fn run_report_aggregates_all_layers_and_round_trips() {
+    let (report, out) = run_wordcount(&small_cluster(), TezConfig::default(), 8);
+    assert!(report.status.is_success(), "status: {:?}", report.status);
+    assert_eq!(out, expected_counts(8));
+
+    let rr = &report.run_report;
+    assert_eq!(rr.dag, report.name);
+    assert_eq!(rr.status, "succeeded");
+    assert_eq!(rr.runtime_ms(), report.runtime_ms());
+
+    // Scheduler section: every placement is classified into exactly one
+    // locality bucket.
+    let s = &rr.scheduler;
+    assert!(s.placements > 0);
+    assert_eq!(
+        s.node_local + s.rack_local + s.off_rack + s.unconstrained,
+        s.placements
+    );
+
+    // Container section: cold starts and reuse hits partition the
+    // assignments. (reuse_hits counts warm-at-assignment containers; the
+    // legacy warm_starts also counts pick-time reuse of idle prewarmed
+    // containers, so it can only be larger.)
+    let c = &rr.containers;
+    assert!(c.assignments > 0);
+    assert_eq!(c.cold_starts + c.reuse_hits, c.assignments);
+    assert!(c.reuse_hits > 0);
+    assert!(report.warm_starts >= c.reuse_hits as usize);
+
+    // Data-plane section: wordcount's single shuffle edge moved bytes.
+    let e = rr.edge("tokenizer", "summer").expect("shuffle edge stats");
+    assert!(e.fetched_bytes > 0);
+    assert_eq!(e.fetch_failures, 0);
+
+    // Attempt spans cover every attempt; counters roll up identically.
+    assert_eq!(
+        rr.attempts.len(),
+        report.vertices.iter().map(|v| v.attempts).sum::<usize>()
+    );
+    assert!(rr
+        .attempts
+        .iter()
+        .all(|a| a.status == "succeeded" && a.end_ms >= a.start_ms));
+    assert_eq!(
+        rr.counters.get(counter_names::RECORDS_IN),
+        report.counters.get(counter_names::RECORDS_IN)
+    );
+
+    // The deterministic JSON codec round-trips exactly.
+    let json = rr.to_json();
+    let back = tez_runtime::RunReport::from_json(&json).expect("parse own output");
+    assert_eq!(&back, rr);
+    assert_eq!(back.to_json(), json);
+}
+
+/// Exhausted fetch retries surface in the run report as per-edge fetch
+/// failures alongside the producer re-execution.
+#[test]
+fn run_report_records_fetch_failures_per_edge() {
+    let client = small_cluster().with_fault(FaultPlan::none().with_transient_fetch_failures(4));
+    let (report, _) = run_wordcount(&client, TezConfig::default(), 8);
+    assert!(report.status.is_success());
+    let e = report
+        .run_report
+        .edge("tokenizer", "summer")
+        .expect("shuffle edge stats");
+    assert!(
+        e.fetch_failures >= 1,
+        "exhausted retries must be attributed to the edge"
+    );
 }

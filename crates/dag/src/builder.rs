@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn empty_dag_rejected() {
-        assert_eq!(DagBuilder::new("d").build().unwrap_err(), DagError::EmptyDag);
+        assert_eq!(
+            DagBuilder::new("d").build().unwrap_err(),
+            DagError::EmptyDag
+        );
     }
 
     #[test]
@@ -321,12 +324,11 @@ mod tests {
         // The canonical WordCount from paper Figure 4: tokenizer -> summer.
         let d = DagBuilder::new("wordcount")
             .add_vertex(
-                Vertex::new("tokenizer", NamedDescriptor::new("TokenProcessor"))
-                    .with_data_source(
-                        "in",
-                        NamedDescriptor::new("TextInput"),
-                        Some(NamedDescriptor::new("SplitInitializer")),
-                    ),
+                Vertex::new("tokenizer", NamedDescriptor::new("TokenProcessor")).with_data_source(
+                    "in",
+                    NamedDescriptor::new("TextInput"),
+                    Some(NamedDescriptor::new("SplitInitializer")),
+                ),
             )
             .add_vertex(
                 Vertex::new("summer", NamedDescriptor::new("SumProcessor"))

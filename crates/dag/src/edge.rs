@@ -249,7 +249,10 @@ impl EdgeManagerPlugin for OneToOneEdgeManager {
 
     fn route(&self, ctx: &EdgeRoutingContext, src_task: usize, partition: usize) -> Vec<Route> {
         debug_assert_eq!(partition, 0);
-        debug_assert!(src_task < ctx.num_dst_tasks, "one-to-one parallelism mismatch");
+        debug_assert!(
+            src_task < ctx.num_dst_tasks,
+            "one-to-one parallelism mismatch"
+        );
         vec![Route {
             dst_task: src_task,
             dst_input_index: 0,

@@ -28,6 +28,8 @@ pub enum DagError {
     },
     /// A root input or leaf output name collides with another on the vertex.
     DuplicateIo { vertex: String, name: String },
+    /// A custom edge was expanded without a registered edge manager.
+    MissingEdgeManager { src: String, dst: String },
     /// A vertex with `Parallelism::Auto` has neither an incoming edge nor a
     /// root input initializer able to decide its parallelism.
     UndecidableParallelism(String),
@@ -58,7 +60,13 @@ impl fmt::Display for DagError {
                  {src_tasks} vs {dst_tasks}"
             ),
             DagError::DuplicateIo { vertex, name } => {
-                write!(f, "vertex {vertex:?} has duplicate input/output name {name:?}")
+                write!(
+                    f,
+                    "vertex {vertex:?} has duplicate input/output name {name:?}"
+                )
+            }
+            DagError::MissingEdgeManager { src, dst } => {
+                write!(f, "no edge manager for custom edge {src:?} -> {dst:?}")
             }
             DagError::UndecidableParallelism(v) => write!(
                 f,

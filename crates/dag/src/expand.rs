@@ -7,6 +7,7 @@
 //! estimates, visualisation and tests.
 
 use crate::edge::{builtin_edge_manager, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
+use crate::error::DagError;
 use crate::graph::Dag;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,7 +70,11 @@ impl PhysicalDag {
         for (vi, v) in dag.vertices().iter().enumerate() {
             let _ = writeln!(s, "  subgraph cluster_{vi} {{ label={:?};", v.name);
             for t in 0..self.parallelism[vi] {
-                let _ = writeln!(s, "    t_{vi}_{t} [shape=ellipse,label=\"{}[{t}]\"];", v.name);
+                let _ = writeln!(
+                    s,
+                    "    t_{vi}_{t} [shape=ellipse,label=\"{}[{t}]\"];",
+                    v.name
+                );
             }
             s.push_str("  }\n");
         }
@@ -93,14 +98,16 @@ impl PhysicalDag {
 /// * `custom_managers` — edge-manager implementations for edges whose
 ///   movement is [`DataMovement::Custom`], keyed by logical edge index.
 ///
-/// # Panics
-/// Panics if a custom edge lacks a manager, or one-to-one parallelisms
-/// mismatch — both indicate orchestrator bugs rather than user errors.
+/// # Errors
+/// Returns [`DagError::MissingEdgeManager`] if a custom edge lacks a
+/// manager and [`DagError::OneToOneParallelismMismatch`] if one-to-one
+/// parallelisms disagree — callers surface these as DAG failures instead
+/// of crashing the orchestrator.
 pub fn expand(
     dag: &Dag,
     parallelism: &[usize],
     custom_managers: &HashMap<usize, Arc<dyn EdgeManagerPlugin>>,
-) -> PhysicalDag {
+) -> Result<PhysicalDag, DagError> {
     assert_eq!(parallelism.len(), dag.num_vertices());
     let mut transfers = Vec::new();
     for (ei, e) in dag.edges().iter().enumerate() {
@@ -114,21 +121,30 @@ pub fn expand(
             Some(m) => m,
             None => custom_managers
                 .get(&ei)
-                .unwrap_or_else(|| panic!("no edge manager for custom edge {}->{}", e.src, e.dst))
+                .ok_or_else(|| DagError::MissingEdgeManager {
+                    src: e.src.clone(),
+                    dst: e.dst.clone(),
+                })?
                 .clone(),
         };
-        if matches!(e.property.movement, DataMovement::OneToOne) {
-            assert_eq!(
-                ctx.num_src_tasks, ctx.num_dst_tasks,
-                "one-to-one edge {}->{} parallelism mismatch at expansion",
-                e.src, e.dst
-            );
+        if matches!(e.property.movement, DataMovement::OneToOne)
+            && ctx.num_src_tasks != ctx.num_dst_tasks
+        {
+            return Err(DagError::OneToOneParallelismMismatch {
+                src: e.src.clone(),
+                dst: e.dst.clone(),
+                src_tasks: ctx.num_src_tasks,
+                dst_tasks: ctx.num_dst_tasks,
+            });
         }
         for st in 0..ctx.num_src_tasks {
             for p in 0..mgr.num_physical_outputs(&ctx, st) {
                 for r in mgr.route(&ctx, st, p) {
                     transfers.push(PhysicalTransfer {
-                        src: PhysicalTaskId { vertex: s, task: st },
+                        src: PhysicalTaskId {
+                            vertex: s,
+                            task: st,
+                        },
                         partition: p,
                         dst: PhysicalTaskId {
                             vertex: d,
@@ -141,10 +157,10 @@ pub fn expand(
             }
         }
     }
-    PhysicalDag {
+    Ok(PhysicalDag {
         parallelism: parallelism.to_vec(),
         transfers,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +198,7 @@ mod tests {
     #[test]
     fn expansion_counts() {
         let d = figure2();
-        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new()).unwrap();
         assert_eq!(phys.num_tasks(), 11);
         // one-to-one: 3 transfers; each scatter-gather: 3 src x 2 dst = 6.
         assert_eq!(phys.transfers.len(), 3 + 6 + 6);
@@ -191,7 +207,7 @@ mod tests {
     #[test]
     fn one_to_one_connects_same_index() {
         let d = figure2();
-        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new()).unwrap();
         let f1 = d.vertex_index("filter1").unwrap();
         let agg = d.vertex_index("agg").unwrap();
         for t in phys.transfers.iter().filter(|t| t.src.vertex == f1) {
@@ -203,7 +219,7 @@ mod tests {
     #[test]
     fn scatter_gather_inputs_complete() {
         let d = figure2();
-        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new()).unwrap();
         let join = d.vertex_index("join").unwrap();
         for jt in 0..2 {
             let ins = phys.inputs_of(PhysicalTaskId {
@@ -223,7 +239,7 @@ mod tests {
             .add_edge("small", "big", prop(DataMovement::Broadcast))
             .build()
             .unwrap();
-        let phys = expand(&d, &[2, 5], &HashMap::new());
+        let phys = expand(&d, &[2, 5], &HashMap::new()).unwrap();
         assert_eq!(phys.transfers.len(), 10);
         for t in 0..5 {
             assert_eq!(
@@ -236,15 +252,14 @@ mod tests {
     #[test]
     fn physical_dot_renders() {
         let d = figure2();
-        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new());
+        let phys = expand(&d, &[3, 3, 3, 2], &HashMap::new()).unwrap();
         let dot = phys.to_dot(&d);
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("t_0_0"));
     }
 
     #[test]
-    #[should_panic(expected = "parallelism mismatch")]
-    fn one_to_one_mismatch_panics_at_expansion() {
+    fn one_to_one_mismatch_is_a_typed_error() {
         let d = DagBuilder::new("m")
             .add_vertex(Vertex::new("a", p()).with_parallelism(2))
             .add_vertex(Vertex::new("b", p())) // Auto
@@ -252,6 +267,35 @@ mod tests {
             .build()
             .unwrap();
         // Caller resolves Auto wrongly to 3.
-        expand(&d, &[2, 3], &HashMap::new());
+        let err = expand(&d, &[2, 3], &HashMap::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::DagError::OneToOneParallelismMismatch {
+                src_tasks: 2,
+                dst_tasks: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_custom_edge_manager_is_a_typed_error() {
+        let d = DagBuilder::new("c")
+            .add_vertex(Vertex::new("a", p()).with_parallelism(2))
+            .add_vertex(Vertex::new("b", p()).with_parallelism(2))
+            .add_edge(
+                "a",
+                "b",
+                prop(DataMovement::Custom {
+                    manager: NamedDescriptor::new("user.Missing"),
+                }),
+            )
+            .build()
+            .unwrap();
+        let err = expand(&d, &[2, 2], &HashMap::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::DagError::MissingEdgeManager { .. }
+        ));
     }
 }

@@ -39,9 +39,8 @@ pub mod vertex;
 
 pub use builder::DagBuilder;
 pub use edge::{
-    BroadcastEdgeManager, DataMovement, Edge, EdgeManagerPlugin, EdgeProperty,
-    EdgeRoutingContext, OneToOneEdgeManager, Route, ScatterGatherEdgeManager, SchedulingKind,
-    Transport,
+    BroadcastEdgeManager, DataMovement, Edge, EdgeManagerPlugin, EdgeProperty, EdgeRoutingContext,
+    OneToOneEdgeManager, Route, ScatterGatherEdgeManager, SchedulingKind, Transport,
 };
 pub use error::DagError;
 pub use expand::{expand, PhysicalDag, PhysicalTaskId};

@@ -28,6 +28,7 @@ impl UserPayload {
     }
 
     /// Payload containing a UTF-8 string.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
         UserPayload(Bytes::copy_from_slice(s.as_bytes()))
     }

@@ -4,18 +4,13 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use tez_dag::{
-    expand, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, Vertex,
-};
+use tez_dag::{expand, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, Vertex};
 
 /// Strategy: a random layered DAG description — per-layer vertex counts
 /// plus an edge-density seed. Layered construction guarantees acyclicity,
 /// which the builder must then confirm.
 fn layered_dag() -> impl Strategy<Value = (Vec<usize>, u64)> {
-    (
-        proptest::collection::vec(1usize..4, 2..5),
-        any::<u64>(),
-    )
+    (proptest::collection::vec(1usize..4, 2..5), any::<u64>())
 }
 
 fn build(layers: &[usize], seed: u64) -> Option<tez_dag::Dag> {
@@ -25,8 +20,10 @@ fn build(layers: &[usize], seed: u64) -> Option<tez_dag::Dag> {
         let mut layer = Vec::new();
         for v in 0..width {
             let name = format!("l{li}v{v}");
-            builder = builder
-                .add_vertex(Vertex::new(&name, NamedDescriptor::new("P")).with_parallelism(1 + (seed as usize + li + v) % 4));
+            builder = builder.add_vertex(
+                Vertex::new(&name, NamedDescriptor::new("P"))
+                    .with_parallelism(1 + (seed as usize + li + v) % 4),
+            );
             layer.push(name);
         }
         names.push(layer);
@@ -103,7 +100,7 @@ proptest! {
             .iter()
             .map(|v| v.parallelism.fixed().unwrap())
             .collect();
-        let phys = expand(&dag, &parallelism, &HashMap::new());
+        let phys = expand(&dag, &parallelism, &HashMap::new()).unwrap();
         // Count inputs per (vertex, task, edge).
         let mut seen: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
         for t in &phys.transfers {

@@ -10,8 +10,8 @@
 
 use crate::catalog::Catalog;
 use crate::physical::{
-    resolve_out, ExecKind, ExecOut, HiveStageProcessor, StageExec, StageKind, StageLink,
-    StagePlan, StageOut,
+    resolve_out, ExecKind, ExecOut, HiveStageProcessor, StageExec, StageKind, StageLink, StageOut,
+    StagePlan,
 };
 use tez_core::{hdfs_split_initializer, TezConfig};
 use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
@@ -46,8 +46,8 @@ pub fn build_mr_dags(
             "MR stage graphs must be broadcast-free"
         );
         let is_reduce = !matches!(stage.kind, StageKind::Map);
-        let is_map_sink = matches!(stage.kind, StageKind::Map)
-            && matches!(stage.out, StageOut::Sink);
+        let is_map_sink =
+            matches!(stage.kind, StageKind::Map) && matches!(stage.out, StageOut::Sink);
         if !is_reduce && !is_map_sink {
             continue; // map stages are folded into their consumer's job
         }
@@ -105,7 +105,9 @@ pub fn build_mr_dags(
         // Map vertices: one per shuffle link producer.
         let mut map_names = Vec::new();
         for link in &stage.links {
-            let StageLink::Shuffle(p) = link else { continue };
+            let StageLink::Shuffle(p) = link else {
+                continue;
+            };
             let producer = &sp.stages[*p];
             let map_name = format!("m{p}");
             let (source_path, ops, pin) = match (&producer.kind, producer.links.first()) {
@@ -224,7 +226,9 @@ mod tests {
             c.add_table(
                 t,
                 Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
-                (0..4).map(|i| vec![Datum::I64(i % 2), Datum::I64(i)]).collect(),
+                (0..4)
+                    .map(|i| vec![Datum::I64(i % 2), Datum::I64(i)])
+                    .collect(),
                 1,
                 None,
             );
@@ -246,7 +250,14 @@ mod tests {
         };
         let sp = build_stages(&mr_plan, &cat, &opts);
         let mut registry = standard_registry();
-        let dags = build_mr_dags("q", &sp, &cat, &mut registry, "/results/q", &TezConfig::default());
+        let dags = build_mr_dags(
+            "q",
+            &sp,
+            &cat,
+            &mut registry,
+            "/results/q",
+            &TezConfig::default(),
+        );
         assert_eq!(dags.len(), 2, "join job + aggregate job");
         // Job 1: two maps + reduce.
         assert_eq!(dags[0].num_vertices(), 3);

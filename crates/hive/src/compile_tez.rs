@@ -7,8 +7,8 @@
 
 use crate::catalog::Catalog;
 use crate::physical::{
-    resolve_out, ExecKind, HiveStageProcessor, Stage, StageExec, StageKind, StageLink, StagePlan,
-    StageOut,
+    resolve_out, ExecKind, HiveStageProcessor, Stage, StageExec, StageKind, StageLink, StageOut,
+    StagePlan,
 };
 use tez_core::{hdfs_split_initializer, TezConfig};
 use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
@@ -154,7 +154,9 @@ pub fn build_tez_dag(
             }
         }
     }
-    builder.build().expect("stage graph compiles to a valid DAG")
+    builder
+        .build()
+        .expect("stage graph compiles to a valid DAG")
 }
 
 #[cfg(test)]
@@ -170,7 +172,9 @@ mod tests {
         c.add_table(
             "t",
             Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
-            (0..6).map(|i| vec![Datum::I64(i % 2), Datum::I64(i)]).collect(),
+            (0..6)
+                .map(|i| vec![Datum::I64(i % 2), Datum::I64(i)])
+                .collect(),
             2,
             None,
         );

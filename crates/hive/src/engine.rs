@@ -49,8 +49,16 @@ pub struct QueryResult {
 impl QueryResult {
     /// End-to-end runtime: first submission to last finish.
     pub fn runtime_ms(&self) -> u64 {
-        let start = self.reports.first().map(|r| r.submitted.millis()).unwrap_or(0);
-        let end = self.reports.last().map(|r| r.finished.millis()).unwrap_or(0);
+        let start = self
+            .reports
+            .first()
+            .map(|r| r.submitted.millis())
+            .unwrap_or(0);
+        let end = self
+            .reports
+            .last()
+            .map(|r| r.finished.millis())
+            .unwrap_or(0);
         end.saturating_sub(start)
     }
 
@@ -99,7 +107,14 @@ impl HiveEngine {
         let sp = build_stages(plan, &self.catalog, &popts);
         let mut registry = standard_registry();
         let result_path = Self::result_path(name);
-        let dag = build_tez_dag(name, &sp, &self.catalog, &mut registry, &result_path, &config);
+        let dag = build_tez_dag(
+            name,
+            &sp,
+            &self.catalog,
+            &mut registry,
+            &result_path,
+            &config,
+        );
         let scale = opts.byte_scale;
         let run = client.run_dag(dag, registry, config, |hdfs| {
             hdfs.set_stat_scale(scale);
@@ -112,12 +127,24 @@ impl HiveEngine {
     }
 
     /// Run on the Tez backend with default Tez configuration.
-    pub fn run_tez(&self, client: &TezClient, name: &str, plan: &Plan, opts: &HiveOpts) -> QueryResult {
+    pub fn run_tez(
+        &self,
+        client: &TezClient,
+        name: &str,
+        plan: &Plan,
+        opts: &HiveOpts,
+    ) -> QueryResult {
         self.run_tez_with(client, name, plan, opts, TezConfig::default())
     }
 
     /// Run on the classic MapReduce backend.
-    pub fn run_mr(&self, client: &TezClient, name: &str, plan: &Plan, opts: &HiveOpts) -> QueryResult {
+    pub fn run_mr(
+        &self,
+        client: &TezClient,
+        name: &str,
+        plan: &Plan,
+        opts: &HiveOpts,
+    ) -> QueryResult {
         let mut config = TezConfig::mapreduce_baseline();
         config.byte_scale = opts.byte_scale;
         let popts = PhysicalOpts {
@@ -129,7 +156,14 @@ impl HiveEngine {
         let sp = build_stages(&mr_plan, &self.catalog, &popts);
         let mut registry = standard_registry();
         let result_path = Self::result_path(name);
-        let dags = build_mr_dags(name, &sp, &self.catalog, &mut registry, &result_path, &config);
+        let dags = build_mr_dags(
+            name,
+            &sp,
+            &self.catalog,
+            &mut registry,
+            &result_path,
+            &config,
+        );
         let scale = opts.byte_scale;
         let run = client.run_session(dags, registry, config, |hdfs| {
             hdfs.set_stat_scale(scale);
@@ -152,7 +186,7 @@ pub fn read_rows(hdfs: &SimHdfs, path: &str) -> Vec<Row> {
         if let Some(data) = hdfs.read_block(path, b.index) {
             let mut c = KvCursor::new(data);
             while let Some((_, v)) = c.next() {
-                rows.push(decode_row(&v));
+                rows.push(decode_row(&v).expect("corrupt row in committed sink"));
             }
         }
     }

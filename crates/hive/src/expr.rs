@@ -112,14 +112,17 @@ impl Expr {
         Expr::bin(BinOp::Or, self, other)
     }
     /// `self + other`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Add, self, other)
     }
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Sub, self, other)
     }
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Mul, self, other)
     }
@@ -241,7 +244,12 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        vec![Datum::I64(10), Datum::F64(2.5), Datum::str("widget"), Datum::Null]
+        vec![
+            Datum::I64(10),
+            Datum::F64(2.5),
+            Datum::str("widget"),
+            Datum::Null,
+        ]
     }
 
     #[test]
@@ -258,7 +266,10 @@ mod tests {
     fn null_propagation() {
         let e = Expr::col(3).add(Expr::lit_i64(1));
         assert!(e.eval(&row()).is_null());
-        assert!(!Expr::col(3).eq(Expr::col(3)).matches(&row()), "NULL = NULL is not true");
+        assert!(
+            !Expr::col(3).eq(Expr::col(3)).matches(&row()),
+            "NULL = NULL is not true"
+        );
         assert!(Expr::IsNull(Arc::new(Expr::col(3))).matches(&row()));
     }
 

@@ -229,7 +229,12 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn new_stage(&mut self, links: Vec<StageLink>, kind: StageKind, parallelism: Option<usize>) -> usize {
+    fn new_stage(
+        &mut self,
+        links: Vec<StageLink>,
+        kind: StageKind,
+        parallelism: Option<usize>,
+    ) -> usize {
         let id = self.stages.len();
         self.stages.push(Stage {
             id,
@@ -252,7 +257,8 @@ impl<'a> Builder<'a> {
                 filter,
                 project,
             } => {
-                let id = self.new_stage(vec![StageLink::Table(table.clone())], StageKind::Map, None);
+                let id =
+                    self.new_stage(vec![StageLink::Table(table.clone())], StageKind::Map, None);
                 if let Some(f) = filter {
                     self.stages[id].ops.push(RowOp::Filter(f.clone()));
                 }
@@ -714,7 +720,7 @@ fn prepare_ops(
                         let mut map: HashMap<Vec<u8>, Vec<Row>> = HashMap::new();
                         let mut built = 0u64;
                         while let Some((_, v)) = reader.next() {
-                            let row = decode_row(&v);
+                            let row = decode_row(&v)?;
                             if right_keys.iter().any(|&k| row[k].is_null()) {
                                 continue;
                             }
@@ -845,7 +851,7 @@ impl Processor for HiveStageProcessor {
                 for name in inputs {
                     let mut reader = ctx.reader(name)?.into_kv()?;
                     while let Some((_, v)) = reader.next() {
-                        rows.push(decode_row(&v));
+                        rows.push(decode_row(&v)?);
                     }
                 }
             }
@@ -856,7 +862,7 @@ impl Processor for HiveStageProcessor {
                     while let Some(g) = reader.next_group() {
                         let entry = build.entry(g.key.to_vec()).or_default();
                         for v in g.values {
-                            entry.push(decode_row(&v));
+                            entry.push(decode_row(&v)?);
                         }
                     }
                 }
@@ -865,7 +871,7 @@ impl Processor for HiveStageProcessor {
                     while let Some(g) = reader.next_group() {
                         if let Some(matches) = build.get(g.key.as_ref()) {
                             for v in g.values {
-                                let lrow = decode_row(&v);
+                                let lrow = decode_row(&v)?;
                                 for m in matches {
                                     let mut joined = lrow.clone();
                                     joined.extend(m.iter().cloned());
@@ -889,9 +895,8 @@ impl Processor for HiveStageProcessor {
                             .entry(g.key.to_vec())
                             .or_insert_with(|| aggs.iter().map(AggExpr::init).collect());
                         for v in g.values {
-                            let partial = row_to_state(aggs, &decode_row(&v));
-                            for (a, (s, p)) in
-                                aggs.iter().zip(entry.iter_mut().zip(partial.iter()))
+                            let partial = row_to_state(aggs, &decode_row(&v)?);
+                            for (a, (s, p)) in aggs.iter().zip(entry.iter_mut().zip(partial.iter()))
                             {
                                 a.merge(s, p);
                             }
@@ -903,7 +908,7 @@ impl Processor for HiveStageProcessor {
                 }
                 for (key, states) in groups {
                     let mut row = if *group_cols > 0 {
-                        decode_key(&key, *group_cols)
+                        decode_key(&key, *group_cols)?
                     } else {
                         Vec::new()
                     };
@@ -912,13 +917,14 @@ impl Processor for HiveStageProcessor {
                 }
             }
             ExecKind::FinalDistinct { inputs } => {
-                let mut seen: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+                let mut seen: std::collections::BTreeSet<Vec<u8>> =
+                    std::collections::BTreeSet::new();
                 let mut uniq: Vec<Row> = Vec::new();
                 for name in inputs {
                     let mut reader = ctx.reader(name)?.into_grouped()?;
                     while let Some(g) = reader.next_group() {
                         if seen.insert(g.key.to_vec()) {
-                            uniq.push(decode_row(&g.values[0]));
+                            uniq.push(decode_row(&g.values[0])?);
                         }
                     }
                 }
@@ -969,7 +975,7 @@ impl Processor for HiveStageProcessor {
                     let mut reader = ctx.reader(name)?.into_grouped()?;
                     while let Some(g) = reader.next_group() {
                         for v in g.values {
-                            keyed.push((g.key.to_vec(), decode_row(&v)));
+                            keyed.push((g.key.to_vec(), decode_row(&v)?));
                         }
                     }
                 }
@@ -1091,9 +1097,11 @@ fn read_bounds(
             }
         }
         BoundsSource::DfsFile(path) => {
-            let blocks = ctx.env.dfs.list_blocks(path).ok_or_else(|| {
-                TaskError::failed(format!("bounds file {path:?} not found"))
-            })?;
+            let blocks = ctx
+                .env
+                .dfs
+                .list_blocks(path)
+                .ok_or_else(|| TaskError::failed(format!("bounds file {path:?} not found")))?;
             for b in blocks {
                 if let Some(data) = ctx.env.dfs.read_block(path, b.index) {
                     let mut c = tez_shuffle::KvCursor::new(data);
@@ -1128,7 +1136,9 @@ mod tests {
         c.add_table(
             "t",
             Schema::new(vec![("k", ColType::I64), ("v", ColType::I64)]),
-            (0..10).map(|i| vec![Datum::I64(i % 3), Datum::I64(i)]).collect(),
+            (0..10)
+                .map(|i| vec![Datum::I64(i % 3), Datum::I64(i)])
+                .collect(),
             2,
             None,
         );
@@ -1240,10 +1250,7 @@ mod tests {
     #[test]
     fn union_under_aggregate_fans_in() {
         let plan = Plan::Union {
-            inputs: vec![
-                Arc::new(Plan::scan("t")),
-                Arc::new(Plan::scan("t")),
-            ],
+            inputs: vec![Arc::new(Plan::scan("t")), Arc::new(Plan::scan("t"))],
         }
         .aggregate(vec![0], vec![AggExpr::CountStar]);
         let sp = build_stages(&plan, &catalog(), &PhysicalOpts::default());

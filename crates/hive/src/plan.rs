@@ -226,11 +226,7 @@ impl AggExpr {
             }
             (AggExpr::Min(e), AggState::Min(acc)) => {
                 let v = e.eval(row);
-                if !v.is_null()
-                    && acc
-                        .as_ref()
-                        .is_none_or(|a| v.cmp_sql(a) == Ordering::Less)
-                {
+                if !v.is_null() && acc.as_ref().is_none_or(|a| v.cmp_sql(a) == Ordering::Less) {
                     *acc = Some(v);
                 }
             }
@@ -279,8 +275,7 @@ impl AggExpr {
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(bv) = b {
-                    if a
-                        .as_ref()
+                    if a.as_ref()
                         .is_none_or(|x| bv.cmp_sql(x) == Ordering::Greater)
                     {
                         *a = Some(bv.clone());
@@ -460,11 +455,7 @@ pub fn execute_reference(plan: &Plan, tables: &HashMap<String, Vec<Row>>) -> Vec
             groups
                 .into_iter()
                 .map(|(_, mut keys, states)| {
-                    keys.extend(
-                        aggs.iter()
-                            .zip(states)
-                            .map(|(a, s)| a.finish(s)),
-                    );
+                    keys.extend(aggs.iter().zip(states).map(|(a, s)| a.finish(s)));
                     keys
                 })
                 .collect()
@@ -595,7 +586,10 @@ mod tests {
     #[test]
     fn union_concatenates() {
         let p = Plan::Union {
-            inputs: vec![Arc::new(Plan::scan("customers")), Arc::new(Plan::scan("customers"))],
+            inputs: vec![
+                Arc::new(Plan::scan("customers")),
+                Arc::new(Plan::scan("customers")),
+            ],
         };
         assert_eq!(execute_reference(&p, &tables()).len(), 4);
     }

@@ -51,7 +51,9 @@ impl Q {
     /// Project to named expressions.
     pub fn select(mut self, exprs: Vec<(Expr, &str)>) -> Q {
         self.cols = exprs.iter().map(|(_, n)| n.to_string()).collect();
-        self.plan = self.plan.project(exprs.into_iter().map(|(e, _)| e).collect());
+        self.plan = self
+            .plan
+            .project(exprs.into_iter().map(|(e, _)| e).collect());
         self
     }
 
@@ -104,7 +106,10 @@ impl Q {
         Q {
             cols: self.cols.clone(),
             plan: Plan::Union {
-                inputs: vec![std::sync::Arc::new(self.plan), std::sync::Arc::new(other.plan)],
+                inputs: vec![
+                    std::sync::Arc::new(self.plan),
+                    std::sync::Arc::new(other.plan),
+                ],
             },
         }
     }

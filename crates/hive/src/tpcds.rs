@@ -152,7 +152,6 @@ fn sales_in(cat: &Catalog, year: i64, moy: Option<i64>) -> Q {
 
 /// The derived query suite: `(name, builder)` pairs.
 pub fn queries(cat: &Catalog) -> Vec<(&'static str, Q)> {
-
     vec![
         // Q3: brand revenue for one month.
         ("q3", {
@@ -240,7 +239,10 @@ pub fn queries(cat: &Catalog) -> Vec<(&'static str, Q)> {
             let s = sales_in(cat, 2000, None);
             let agg = s.group(
                 &["ss_store_sk", "ss_item_sk"],
-                vec![(AggExpr::Sum(Q::scan(cat, "store_sales").c("ss_sales_price")), "revenue")],
+                vec![(
+                    AggExpr::Sum(Q::scan(cat, "store_sales").c("ss_sales_price")),
+                    "revenue",
+                )],
             );
             let st = Q::scan(cat, "store");
             let j = agg.broadcast_join(st, &[("ss_store_sk", "s_store_sk")]);

@@ -9,6 +9,7 @@ use bytes::Bytes;
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
+use tez_runtime::TaskError;
 use tez_shuffle::codec::{KeyBuilder, KeyReader};
 
 /// A single value.
@@ -173,41 +174,50 @@ pub fn row_bytes(row: &Row) -> Vec<u8> {
     buf
 }
 
-/// Decode a row.
-pub fn decode_row(data: &[u8]) -> Row {
-    let n = data[0] as usize;
+fn corrupt(msg: impl Into<String>) -> TaskError {
+    TaskError::Corrupt(msg.into())
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], TaskError> {
+    let slice = data
+        .get(*pos..*pos + len)
+        .ok_or_else(|| corrupt(format!("row truncated at byte {}", *pos)))?;
+    *pos += len;
+    Ok(slice)
+}
+
+/// Decode a row. Corrupt data — unknown datum tags, truncated fields,
+/// invalid UTF-8 — is a [`TaskError::Corrupt`] so the framework can retry
+/// or re-execute the producer instead of crashing the container.
+pub fn decode_row(data: &[u8]) -> Result<Row, TaskError> {
+    let n = *data.first().ok_or_else(|| corrupt("empty row"))? as usize;
     let mut pos = 1;
     let mut row = Vec::with_capacity(n);
     for _ in 0..n {
-        let tag = data[pos];
-        pos += 1;
+        let tag = take(data, &mut pos, 1)?[0];
         row.push(match tag {
             0 => Datum::Null,
-            1 => {
-                let v = i64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-                pos += 8;
-                Datum::I64(v)
-            }
-            2 => {
-                let v = f64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-                pos += 8;
-                Datum::F64(v)
-            }
+            1 => Datum::I64(i64::from_le_bytes(
+                take(data, &mut pos, 8)?.try_into().expect("8 bytes"),
+            )),
+            2 => Datum::F64(f64::from_le_bytes(
+                take(data, &mut pos, 8)?.try_into().expect("8 bytes"),
+            )),
             3 => {
-                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-                pos += 4;
-                let s = std::str::from_utf8(&data[pos..pos + len]).expect("row string utf8");
-                pos += len;
+                let len = u32::from_le_bytes(take(data, &mut pos, 4)?.try_into().expect("4 bytes"))
+                    as usize;
+                let s = std::str::from_utf8(take(data, &mut pos, len)?)
+                    .map_err(|_| corrupt("row string is not UTF-8"))?;
                 Datum::str(s)
             }
-            t => panic!("bad datum tag {t}"),
+            t => return Err(corrupt(format!("bad datum tag {t}"))),
         });
     }
-    row
+    Ok(row)
 }
 
 /// Decode a row from shared bytes.
-pub fn decode_row_bytes(data: &Bytes) -> Row {
+pub fn decode_row_bytes(data: &Bytes) -> Result<Row, TaskError> {
     decode_row(data)
 }
 
@@ -253,8 +263,8 @@ pub fn encode_key(row: &Row, cols: &[usize], desc: &[bool]) -> Vec<u8> {
 }
 
 /// Decode the datum fields of a key produced by [`encode_key`] with no
-/// descending fields.
-pub fn decode_key(key: &[u8], fields: usize) -> Row {
+/// descending fields. An unknown field tag is a [`TaskError::Corrupt`].
+pub fn decode_key(key: &[u8], fields: usize) -> Result<Row, TaskError> {
     let mut r = KeyReader::new(key);
     let mut out = Vec::with_capacity(fields);
     for _ in 0..fields {
@@ -263,10 +273,10 @@ pub fn decode_key(key: &[u8], fields: usize) -> Row {
             1 => out.push(Datum::I64(r.read_i64())),
             2 => out.push(Datum::F64(r.read_f64())),
             3 => out.push(Datum::str(r.read_str())),
-            t => panic!("bad key tag {t}"),
+            t => return Err(corrupt(format!("bad key tag {t}"))),
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -277,10 +287,7 @@ mod tests {
     fn datum_sql_ordering() {
         assert_eq!(Datum::Null.cmp_sql(&Datum::I64(0)), Ordering::Less);
         assert_eq!(Datum::I64(2).cmp_sql(&Datum::F64(2.5)), Ordering::Less);
-        assert_eq!(
-            Datum::str("a").cmp_sql(&Datum::str("b")),
-            Ordering::Less
-        );
+        assert_eq!(Datum::str("a").cmp_sql(&Datum::str("b")), Ordering::Less);
         assert_eq!(Datum::Null.cmp_sql(&Datum::Null), Ordering::Equal);
     }
 
@@ -292,13 +299,13 @@ mod tests {
             Datum::F64(2.75),
             Datum::str("hello \u{1F980}"),
         ];
-        assert_eq!(decode_row(&row_bytes(&row)), row);
+        assert_eq!(decode_row(&row_bytes(&row)).unwrap(), row);
     }
 
     #[test]
     fn empty_row_roundtrip() {
         let row: Row = vec![];
-        assert_eq!(decode_row(&row_bytes(&row)), row);
+        assert_eq!(decode_row(&row_bytes(&row)).unwrap(), row);
     }
 
     #[test]
@@ -319,7 +326,7 @@ mod tests {
     fn composite_key_roundtrip() {
         let row: Row = vec![Datum::I64(7), Datum::str("x"), Datum::Null, Datum::F64(1.5)];
         let key = encode_key(&row, &[0, 1, 2, 3], &[]);
-        assert_eq!(decode_key(&key, 4), row);
+        assert_eq!(decode_key(&key, 4).unwrap(), row);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! backend, the classic MapReduce backend, and the in-memory reference
 //! executor must produce identical results — and Tez must not be slower.
 
+use tez_core::TezClient;
 use tez_hive::plan::compare_rows;
 use tez_hive::types::{Datum, Row};
 use tez_hive::{tpcds, tpch, HiveEngine, HiveOpts, Plan};
-use tez_core::TezClient;
 use tez_runtime::counter_names;
 use tez_yarn::{ClusterSpec, CostModel};
 
@@ -60,7 +60,11 @@ fn check_suite(queries: Vec<(&'static str, tez_hive::Q)>, engine: &HiveEngine) {
         let (e, t, m) = if is_ordered_query(&q.plan) {
             (expected, tez.rows.clone(), mr.rows.clone())
         } else {
-            (canon(expected), canon(tez.rows.clone()), canon(mr.rows.clone()))
+            (
+                canon(expected),
+                canon(tez.rows.clone()),
+                canon(mr.rows.clone()),
+            )
         };
         assert!(
             rows_equal(&e, &t),
@@ -111,8 +115,13 @@ fn dpp_prunes_fact_blocks_on_tez() {
     let client = client();
     let with_dpp = engine.run_tez(&client, "q3dpp", &q.plan, &HiveOpts::default());
     assert!(with_dpp.success());
-    let pruned = with_dpp.reports[0].counters.get(counter_names::PRUNED_SPLITS);
-    assert!(pruned > 0, "q3 (one month of three years) must prune blocks");
+    let pruned = with_dpp.reports[0]
+        .counters
+        .get(counter_names::PRUNED_SPLITS);
+    assert!(
+        pruned > 0,
+        "q3 (one month of three years) must prune blocks"
+    );
 
     let no_dpp = engine.run_tez(
         &client,
@@ -124,7 +133,10 @@ fn dpp_prunes_fact_blocks_on_tez() {
         },
     );
     assert!(no_dpp.success());
-    assert_eq!(no_dpp.reports[0].counters.get(counter_names::PRUNED_SPLITS), 0);
+    assert_eq!(
+        no_dpp.reports[0].counters.get(counter_names::PRUNED_SPLITS),
+        0
+    );
     assert!(rows_equal(
         &canon(with_dpp.rows.clone()),
         &canon(no_dpp.rows.clone())
@@ -170,4 +182,50 @@ fn broadcast_join_uses_object_registry() {
         res.reports[0].counters.get(counter_names::REGISTRY_HITS) > 0,
         "map-join hash tables should be re-used across tasks in a container"
     );
+}
+
+/// The unified run report on the hive_tpch setup (q3, 6 nodes): two
+/// same-seed runs serialize byte-identically, and every section carries
+/// nonzero data — locality outcomes, container reuse, shuffle bytes.
+#[test]
+fn run_report_is_deterministic_and_populated_on_tpch_q3() {
+    let engine = HiveEngine::new(tpch::generate(1_000, 8, 7));
+    let tez_client = TezClient::new(ClusterSpec::homogeneous(6, 8192, 8));
+    let opts = HiveOpts {
+        byte_scale: 200_000.0,
+        ..HiveOpts::default()
+    };
+    let (name, q) = tpch::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q3")
+        .expect("q3 in suite");
+
+    let a = engine.run_tez(&tez_client, name, &q.plan, &opts);
+    let b = engine.run_tez(&tez_client, name, &q.plan, &opts);
+    assert!(a.success() && b.success());
+
+    let ra = &a.reports.last().unwrap().run_report;
+    let rb = &b.reports.last().unwrap().run_report;
+    assert_eq!(
+        ra.to_json(),
+        rb.to_json(),
+        "same-seed runs must serialize byte-identically"
+    );
+
+    assert!(ra.scheduler.placements > 0);
+    assert!(
+        ra.scheduler.node_local > 0,
+        "HDFS-located scans should yield node-local placements: {:?}",
+        ra.scheduler
+    );
+    assert!(
+        ra.containers.reuse_hits > 0,
+        "downstream vertices should reuse producer containers: {:?}",
+        ra.containers
+    );
+    assert!(ra.total_fetched_bytes() > 0, "shuffle moved bytes");
+    assert!(!ra.attempts.is_empty());
+    // And the JSON round-trips through the parser.
+    let back = tez_runtime::RunReport::from_json(&ra.to_json()).expect("parse");
+    assert_eq!(&back, ra);
 }

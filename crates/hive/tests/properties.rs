@@ -24,7 +24,7 @@ proptest! {
     /// Rows survive the binary codec byte-exactly.
     #[test]
     fn row_codec_roundtrip(r in row(6)) {
-        prop_assert_eq!(decode_row(&row_bytes(&r)), r);
+        prop_assert_eq!(decode_row(&row_bytes(&r)).unwrap(), r);
     }
 
     /// Key encoding agrees with SQL comparison on same-typed single
@@ -119,7 +119,7 @@ proptest! {
             }
         }
         let encoded = state_to_row(&states);
-        let decoded = row_to_state(&aggs, &decode_row(&row_bytes(&encoded)));
+        let decoded = row_to_state(&aggs, &decode_row(&row_bytes(&encoded)).unwrap());
         prop_assert_eq!(decoded, states);
     }
 

@@ -120,9 +120,7 @@ pub fn register_mapper<F>(registry: &mut ComponentRegistry, kind: &str, factory:
 where
     F: Fn(&UserPayload) -> Box<dyn Mapper> + Send + Sync + 'static,
 {
-    registry.register_processor(kind, move |p| {
-        Box::new(MapProcessor { mapper: factory(p) })
-    });
+    registry.register_processor(kind, move |p| Box::new(MapProcessor { mapper: factory(p) }));
 }
 
 /// Register a reducer kind; it becomes usable as a processor kind in DAGs.
@@ -131,7 +129,9 @@ where
     F: Fn(&UserPayload) -> Box<dyn Reducer> + Send + Sync + 'static,
 {
     registry.register_processor(kind, move |p| {
-        Box::new(ReduceProcessor { reducer: factory(p) })
+        Box::new(ReduceProcessor {
+            reducer: factory(p),
+        })
     });
 }
 
@@ -195,7 +195,9 @@ pub fn mr_dag(job: &MrJob, min_split: u64, max_split: u64) -> Dag {
     let map = Vertex::new("map", job.mapper.clone()).with_data_source(
         "in",
         NamedDescriptor::new(kinds::DFS_IN),
-        Some(hdfs_split_initializer(&job.input, min_split, max_split, false)),
+        Some(hdfs_split_initializer(
+            &job.input, min_split, max_split, false,
+        )),
     );
     let builder = DagBuilder::new(&job.name);
     match &job.reducer {

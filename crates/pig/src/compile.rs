@@ -16,9 +16,7 @@ use std::collections::HashMap;
 use tez_core::{hdfs_split_initializer, TezConfig};
 use tez_dag::{Dag, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, UserPayload, Vertex};
 use tez_hive::catalog::Catalog;
-use tez_hive::physical::{
-    BoundsSource, ExecKind, ExecOut, HiveStageProcessor, RowOp, StageExec,
-};
+use tez_hive::physical::{BoundsSource, ExecKind, ExecOut, HiveStageProcessor, RowOp, StageExec};
 use tez_runtime::ComponentRegistry;
 use tez_shuffle::io::{
     broadcast_edge, kinds, one_to_one_edge, output_payload, scatter_gather_edge,
@@ -212,7 +210,10 @@ impl<'a> TezCompiler<'a> {
                 PigOp::GroupAgg { keys, aggs } => {
                     let producers = self.streams[&inputs[0]].all();
                     let agg = self.new_vertex(ExecKind::FinalAgg {
-                        inputs: producers.iter().map(|&p| self.vertices[p].name.clone()).collect(),
+                        inputs: producers
+                            .iter()
+                            .map(|&p| self.vertices[p].name.clone())
+                            .collect(),
                         group_cols: keys.len(),
                         aggs: aggs.clone(),
                     });
@@ -233,7 +234,10 @@ impl<'a> TezCompiler<'a> {
                     let width = self.widths[inputs[0].0];
                     let producers = self.streams[&inputs[0]].all();
                     let d = self.new_vertex(ExecKind::FinalDistinct {
-                        inputs: producers.iter().map(|&p| self.vertices[p].name.clone()).collect(),
+                        inputs: producers
+                            .iter()
+                            .map(|&p| self.vertices[p].name.clone())
+                            .collect(),
                     });
                     self.vertices[d].parallelism = Some(self.opts.reducers);
                     let d_name = self.vname(d);
@@ -408,7 +412,9 @@ impl<'a> TezCompiler<'a> {
                         self.vertices[p].outs.push(ExecOut::Rows {
                             out: sink_name.clone(),
                         });
-                        self.vertices[p].sinks.push((sink_name.clone(), path.clone()));
+                        self.vertices[p]
+                            .sinks
+                            .push((sink_name.clone(), path.clone()));
                     }
                     self.streams.insert(node, Streams::One(0));
                 }
@@ -557,11 +563,7 @@ struct MrJobSpec {
     sink_path: String,
 }
 
-fn build_job(
-    spec: MrJobSpec,
-    registry: &mut ComponentRegistry,
-    config: &TezConfig,
-) -> Dag {
+fn build_job(spec: MrJobSpec, registry: &mut ComponentRegistry, config: &TezConfig) -> Dag {
     let mut builder = DagBuilder::new(&spec.name);
     let mut map_names = Vec::new();
     for (mname, chain, out) in spec.maps {
@@ -953,13 +955,7 @@ pub fn build_mr_dags(
                 let maps: Vec<(String, MapChain, ExecOut)> = chains
                     .into_iter()
                     .enumerate()
-                    .map(|(i, c)| {
-                        (
-                            format!("m{i}"),
-                            c,
-                            ExecOut::Rows { out: "out".into() },
-                        )
-                    })
+                    .map(|(i, c)| (format!("m{i}"), c, ExecOut::Rows { out: "out".into() }))
                     .collect();
                 dags.push(build_job(
                     MrJobSpec {

@@ -1,8 +1,8 @@
 //! The Pig engine facade: run scripts on Tez, classic MapReduce, or the
 //! in-memory reference executor.
 
-use crate::compile::{build_mr_dags, build_tez_dag, rewrite_for_mr};
 pub use crate::compile::PigOpts;
+use crate::compile::{build_mr_dags, build_tez_dag, rewrite_for_mr};
 use crate::script::PigScript;
 use std::collections::HashMap;
 use tez_core::{standard_registry, DagReport, TezClient, TezConfig};
@@ -23,8 +23,16 @@ pub struct PigResult {
 impl PigResult {
     /// End-to-end runtime.
     pub fn runtime_ms(&self) -> u64 {
-        let start = self.reports.first().map(|r| r.submitted.millis()).unwrap_or(0);
-        let end = self.reports.last().map(|r| r.finished.millis()).unwrap_or(0);
+        let start = self
+            .reports
+            .first()
+            .map(|r| r.submitted.millis())
+            .unwrap_or(0);
+        let end = self
+            .reports
+            .last()
+            .map(|r| r.finished.millis())
+            .unwrap_or(0);
         end.saturating_sub(start)
     }
 

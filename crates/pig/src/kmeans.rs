@@ -14,9 +14,7 @@ use std::sync::Arc;
 use tez_core::{hdfs_split_initializer, standard_registry, DagReport, TezClient, TezConfig};
 use tez_dag::{Dag, DagBuilder, NamedDescriptor, UserPayload, Vertex};
 use tez_hive::types::{decode_row, row_bytes, Datum, Row};
-use tez_runtime::{
-    ObjectScope, Processor, ProcessorContext, TaskError,
-};
+use tez_runtime::{ObjectScope, Processor, ProcessorContext, TaskError};
 use tez_shuffle::codec::{enc_u64, encode_kv, KvCursor};
 use tez_shuffle::io::{kinds, scatter_gather_edge};
 use tez_shuffle::Combiner;
@@ -37,7 +35,7 @@ fn read_centroids(dfs: &dyn tez_runtime::Dfs, iter: usize) -> Result<Vec<(f64, f
         if let Some(data) = dfs.read_block(&path, b.index) {
             let mut c = KvCursor::new(data);
             while let Some((_, v)) = c.next() {
-                let row = decode_row(&v);
+                let row = decode_row(&v)?;
                 out.push((row[1].as_f64(), row[2].as_f64()));
             }
         }
@@ -66,7 +64,7 @@ impl Processor for AssignProcessor {
                 let mut reader = ctx.reader("points")?.into_kv()?;
                 let mut pts = Vec::new();
                 while let Some((_, v)) = reader.next() {
-                    let row = decode_row(&v);
+                    let row = decode_row(&v)?;
                     pts.push((row[0].as_f64(), row[1].as_f64()));
                 }
                 let arc = Arc::new(pts);
@@ -116,7 +114,7 @@ impl Processor for UpdateProcessor {
             let id = u64::from_be_bytes(g.key[..8].try_into().unwrap());
             let (mut sx, mut sy, mut n) = (0.0, 0.0, 0i64);
             for v in g.values {
-                let row = decode_row(&v);
+                let row = decode_row(&v)?;
                 sx += row[0].as_f64();
                 sy += row[1].as_f64();
                 n += row[2].as_i64();
@@ -134,14 +132,22 @@ impl Processor for UpdateProcessor {
 fn iteration_dag(iter: usize) -> Dag {
     DagBuilder::new(format!("kmeans-iter{iter}"))
         .add_vertex(
-            Vertex::new("assign", NamedDescriptor::with_payload(
-                "pig.KmeansAssign",
-                UserPayload::from_bytes(iter.to_le_bytes().to_vec()),
-            ))
+            Vertex::new(
+                "assign",
+                NamedDescriptor::with_payload(
+                    "pig.KmeansAssign",
+                    UserPayload::from_bytes(iter.to_le_bytes().to_vec()),
+                ),
+            )
             .with_data_source(
                 "points",
                 NamedDescriptor::new(kinds::DFS_IN),
-                Some(hdfs_split_initializer("/kmeans/points", 1, u64::MAX / 2, false)),
+                Some(hdfs_split_initializer(
+                    "/kmeans/points",
+                    1,
+                    u64::MAX / 2,
+                    false,
+                )),
             ),
         )
         .add_vertex(
@@ -206,9 +212,34 @@ pub fn run_kmeans(
             })
             .collect();
         hdfs.put_file("/kmeans/points", blocks_data);
-        // Initial centroids: first k points.
+        // Initial centroids: farthest-first traversal. Taking the first k
+        // points risks seeding two centroids in one cluster, which Lloyd's
+        // algorithm cannot recover from (it converges to a local optimum
+        // with a centroid parked between two true clusters).
+        let mut init: Vec<(f64, f64)> = Vec::with_capacity(k);
+        if let Some(&first) = pts.first() {
+            init.push(first);
+        }
+        while init.len() < k && init.len() < pts.len() {
+            let far = pts
+                .iter()
+                .max_by(|a, b| {
+                    let da = init
+                        .iter()
+                        .map(|c| (a.0 - c.0).powi(2) + (a.1 - c.1).powi(2))
+                        .fold(f64::INFINITY, f64::min);
+                    let db = init
+                        .iter()
+                        .map(|c| (b.0 - c.0).powi(2) + (b.1 - c.1).powi(2))
+                        .fold(f64::INFINITY, f64::min);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .copied()
+                .expect("non-empty points");
+            init.push(far);
+        }
         let mut buf = Vec::new();
-        for (i, &(x, y)) in pts.iter().take(k).enumerate() {
+        for (i, &(x, y)) in init.iter().enumerate() {
             let row: Row = vec![Datum::I64(i as i64), Datum::F64(x), Datum::F64(y)];
             encode_kv(&mut buf, &enc_u64(i as u64), &row_bytes(&row));
         }
@@ -227,7 +258,12 @@ pub fn run_kmeans(
         .last()
         .map(|r| r.finished.millis())
         .unwrap_or(0)
-        .saturating_sub(run.reports.first().map(|r| r.submitted.millis()).unwrap_or(0));
+        .saturating_sub(
+            run.reports
+                .first()
+                .map(|r| r.submitted.millis())
+                .unwrap_or(0),
+        );
     KmeansResult {
         centroids,
         reports: run.reports,

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use tez_hive::expr::Expr;
-use tez_hive::plan::{AggExpr, AggState, compare_rows};
+use tez_hive::plan::{compare_rows, AggExpr, AggState};
 use tez_hive::types::{encode_key, Row};
 use tez_hive::Catalog;
 
@@ -215,11 +215,7 @@ impl PigScript {
                 .collect();
             let rows = match &self.nodes[i].op {
                 PigOp::Load(t) => tables[t].clone(),
-                PigOp::Filter(p) => inputs[0]
-                    .iter()
-                    .filter(|r| p.matches(r))
-                    .cloned()
-                    .collect(),
+                PigOp::Filter(p) => inputs[0].iter().filter(|r| p.matches(r)).cloned().collect(),
                 PigOp::Foreach(exprs) => inputs[0]
                     .iter()
                     .map(|r| exprs.iter().map(|e| e.eval(r)).collect())
@@ -251,7 +247,8 @@ impl PigScript {
                     let mut seen = std::collections::BTreeMap::new();
                     for r in &inputs[0] {
                         let all: Vec<usize> = (0..r.len()).collect();
-                        seen.entry(encode_key(r, &all, &[])).or_insert_with(|| r.clone());
+                        seen.entry(encode_key(r, &all, &[]))
+                            .or_insert_with(|| r.clone());
                     }
                     seen.into_values().collect()
                 }

@@ -74,10 +74,7 @@ pub fn event_catalog(rows: usize, blocks: usize, seed: u64) -> Catalog {
             } else {
                 rng.random_range(0..users) as i64
             };
-            vec![
-                Datum::I64(user),
-                Datum::I64(rng.random_range(1..100)),
-            ]
+            vec![Datum::I64(user), Datum::I64(rng.random_range(1..100))]
         })
         .collect();
     cat.add_table(

@@ -37,7 +37,11 @@ pub struct FetchError {
 /// service). Implementations validate the caller's [`SecurityToken`].
 pub trait DataFetcher {
     /// Fetch one shard.
-    fn fetch(&self, locator: &ShardLocator, token: SecurityToken) -> Result<FetchedShard, FetchError>;
+    fn fetch(
+        &self,
+        locator: &ShardLocator,
+        token: SecurityToken,
+    ) -> Result<FetchedShard, FetchError>;
 }
 
 /// One block of a distributed-filesystem file.
@@ -205,7 +209,10 @@ mod tests {
         assert!(!dfs.exists("/t"));
         let written = dfs.write_file(
             "/t",
-            vec![(Bytes::from_static(b"abc"), 1), (Bytes::from_static(b"de"), 1)],
+            vec![
+                (Bytes::from_static(b"abc"), 1),
+                (Bytes::from_static(b"de"), 1),
+            ],
         );
         assert_eq!(written, 5);
         assert!(dfs.exists("/t"));

@@ -158,7 +158,12 @@ impl OutputCommit {
     /// Total records across partitions and sink blocks.
     pub fn total_records(&self) -> u64 {
         let p: u64 = self.partitions.iter().map(|p| p.records).sum();
-        let s: u64 = self.sink.iter().flat_map(|s| s.blocks.iter()).map(|(_, r)| r).sum();
+        let s: u64 = self
+            .sink
+            .iter()
+            .flat_map(|s| s.blocks.iter())
+            .map(|(_, r)| r)
+            .sum();
         p + s
     }
 }
@@ -178,7 +183,9 @@ pub trait LogicalOutput: Send {
     /// from a sampled histogram. Default: configuration is immutable.
     fn reconfigure(&mut self, payload: &[u8]) -> Result<(), TaskError> {
         let _ = payload;
-        Err(TaskError::Fatal("output does not support reconfiguration".into()))
+        Err(TaskError::Fatal(
+            "output does not support reconfiguration".into(),
+        ))
     }
 }
 

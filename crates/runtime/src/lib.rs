@@ -34,6 +34,7 @@ pub mod initializer;
 pub mod io;
 pub mod kv;
 pub mod registry;
+pub mod run_report;
 pub mod vertex_manager;
 
 pub use committer::{CommitEnv, OutputCommitter};
@@ -52,4 +53,7 @@ pub use io::{
 };
 pub use kv::{InputReader, KvGroup, KvGroupReader, KvReader, KvWriter};
 pub use registry::ComponentRegistry;
+pub use run_report::{
+    render_gantt, AttemptSpan, ContainerStats, EdgeStats, Locality, RunReport, SchedulerStats,
+};
 pub use vertex_manager::{SourceKind, SourceTaskAttempt, VertexManager, VertexManagerContext};

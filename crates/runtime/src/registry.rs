@@ -17,18 +17,19 @@ use tez_dag::{EdgeManagerPlugin, UserPayload};
 /// Factory for processors.
 pub type ProcessorFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn Processor> + Send + Sync>;
 /// Factory for logical inputs (receives the full input spec: payload plus
-/// physical sources).
-pub type InputFactory = Arc<dyn Fn(&InputSpec) -> Box<dyn LogicalInput> + Send + Sync>;
-/// Factory for logical outputs.
-pub type OutputFactory = Arc<dyn Fn(&OutputSpec) -> Box<dyn LogicalOutput> + Send + Sync>;
+/// physical sources). Fallible: a malformed descriptor payload is a typed
+/// [`TaskError`], not a panic inside the factory.
+pub type InputFactory =
+    Arc<dyn Fn(&InputSpec) -> Result<Box<dyn LogicalInput>, TaskError> + Send + Sync>;
+/// Factory for logical outputs (fallible, like [`InputFactory`]).
+pub type OutputFactory =
+    Arc<dyn Fn(&OutputSpec) -> Result<Box<dyn LogicalOutput>, TaskError> + Send + Sync>;
 /// Factory for custom edge managers.
-pub type EdgeManagerFactory =
-    Arc<dyn Fn(&UserPayload) -> Arc<dyn EdgeManagerPlugin> + Send + Sync>;
+pub type EdgeManagerFactory = Arc<dyn Fn(&UserPayload) -> Arc<dyn EdgeManagerPlugin> + Send + Sync>;
 /// Factory for vertex managers.
 pub type VertexManagerFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn VertexManager> + Send + Sync>;
 /// Factory for input initializers.
-pub type InitializerFactory =
-    Arc<dyn Fn(&UserPayload) -> Box<dyn InputInitializer> + Send + Sync>;
+pub type InitializerFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn InputInitializer> + Send + Sync>;
 /// Factory for output committers.
 pub type CommitterFactory = Arc<dyn Fn(&UserPayload) -> Box<dyn OutputCommitter> + Send + Sync>;
 
@@ -64,7 +65,7 @@ impl ComponentRegistry {
     /// Register an input kind.
     pub fn register_input<F>(&mut self, kind: &str, f: F) -> &mut Self
     where
-        F: Fn(&InputSpec) -> Box<dyn LogicalInput> + Send + Sync + 'static,
+        F: Fn(&InputSpec) -> Result<Box<dyn LogicalInput>, TaskError> + Send + Sync + 'static,
     {
         self.inputs.insert(kind.to_string(), Arc::new(f));
         self
@@ -73,7 +74,7 @@ impl ComponentRegistry {
     /// Register an output kind.
     pub fn register_output<F>(&mut self, kind: &str, f: F) -> &mut Self
     where
-        F: Fn(&OutputSpec) -> Box<dyn LogicalOutput> + Send + Sync + 'static,
+        F: Fn(&OutputSpec) -> Result<Box<dyn LogicalOutput>, TaskError> + Send + Sync + 'static,
     {
         self.outputs.insert(kind.to_string(), Arc::new(f));
         self
@@ -135,16 +136,16 @@ impl ComponentRegistry {
     pub fn create_input(&self, spec: &InputSpec) -> Result<Box<dyn LogicalInput>, TaskError> {
         self.inputs
             .get(&spec.descriptor.kind)
-            .map(|f| f(spec))
             .ok_or_else(|| Self::missing(&spec.descriptor.kind, "input"))
+            .and_then(|f| f(spec))
     }
 
     /// Instantiate a logical output.
     pub fn create_output(&self, spec: &OutputSpec) -> Result<Box<dyn LogicalOutput>, TaskError> {
         self.outputs
             .get(&spec.descriptor.kind)
-            .map(|f| f(spec))
             .ok_or_else(|| Self::missing(&spec.descriptor.kind, "output"))
+            .and_then(|f| f(spec))
     }
 
     /// Instantiate a custom edge manager.

@@ -1,0 +1,853 @@
+//! The unified run report: one structured observability record per DAG
+//! execution (paper §2 "publishing metrics and statistics", §7 Tez UI).
+//!
+//! Every layer of the stack contributes a section — scheduler decisions
+//! from the RM (locality outcomes, wait times, preemptions), container
+//! lifecycle from the simulator (cold launches vs. reuse, warm-up level),
+//! data-plane statistics from the shuffle (bytes fetched/merged/spilled
+//! per edge, fetch failures), and per-attempt timings plus counter rollups
+//! from the AM. The types live here, in the lowest shared crate, so
+//! `tez-yarn` can fill [`SchedulerStats`] and `tez-core` can assemble the
+//! whole [`RunReport`].
+//!
+//! The JSON codec is hand-rolled and *deterministic*: fixed field order,
+//! sorted maps, integer-only numbers — two same-seed runs serialize to
+//! byte-identical documents, which makes reports diffable artifacts.
+
+use crate::counters::Counters;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Section types
+// ---------------------------------------------------------------------------
+
+/// Locality class of one container placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// Placed on a preferred node.
+    NodeLocal,
+    /// Placed on a preferred rack (but not a preferred node).
+    RackLocal,
+    /// Placed off-rack despite node/rack preferences.
+    OffRack,
+    /// The request had no locality preference.
+    Unconstrained,
+}
+
+/// Scheduler-level decisions, filled by `tez-yarn::rm` per app.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Container placements performed.
+    pub placements: u64,
+    /// Placements on a preferred node.
+    pub node_local: u64,
+    /// Placements on a preferred rack.
+    pub rack_local: u64,
+    /// Placements off-rack despite preferences.
+    pub off_rack: u64,
+    /// Placements of requests with no locality preference.
+    pub unconstrained: u64,
+    /// Placements that happened only after a delay-scheduling relaxation
+    /// (the request waited out at least the node-local delay).
+    pub relaxed_after_delay: u64,
+    /// Total request wait time (request creation to placement), ms.
+    pub total_wait_ms: u64,
+    /// Longest single request wait, ms.
+    pub max_wait_ms: u64,
+    /// Containers this app lost to cross-queue preemption.
+    pub preemptions: u64,
+}
+
+impl SchedulerStats {
+    /// Record one placement decision.
+    pub fn record_placement(&mut self, locality: Locality, waited_ms: u64, relaxed: bool) {
+        self.placements += 1;
+        match locality {
+            Locality::NodeLocal => self.node_local += 1,
+            Locality::RackLocal => self.rack_local += 1,
+            Locality::OffRack => self.off_rack += 1,
+            Locality::Unconstrained => self.unconstrained += 1,
+        }
+        if relaxed {
+            self.relaxed_after_delay += 1;
+        }
+        self.total_wait_ms += waited_ms;
+        self.max_wait_ms = self.max_wait_ms.max(waited_ms);
+    }
+
+    /// Stats accumulated since `base` was snapshotted (per-DAG attribution
+    /// of an app-lifetime accumulator). `max_wait_ms` is not differenced —
+    /// it reports the app-lifetime maximum.
+    pub fn delta_since(&self, base: &SchedulerStats) -> SchedulerStats {
+        SchedulerStats {
+            placements: self.placements - base.placements,
+            node_local: self.node_local - base.node_local,
+            rack_local: self.rack_local - base.rack_local,
+            off_rack: self.off_rack - base.off_rack,
+            unconstrained: self.unconstrained - base.unconstrained,
+            relaxed_after_delay: self.relaxed_after_delay - base.relaxed_after_delay,
+            total_wait_ms: self.total_wait_ms - base.total_wait_ms,
+            max_wait_ms: self.max_wait_ms,
+            preemptions: self.preemptions - base.preemptions,
+        }
+    }
+}
+
+/// Container lifecycle as seen at task-assignment time, derived from the
+/// simulator's per-container work history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ContainerStats {
+    /// Task attempts assigned to containers.
+    pub assignments: u64,
+    /// Assignments into a cold container (no prior work).
+    pub cold_starts: u64,
+    /// Assignments into a re-used, warm container.
+    pub reuse_hits: u64,
+    /// Sum of warm-up levels (work items previously run by the container)
+    /// at assignment; divide by `assignments` for the mean.
+    pub warmup_levels: u64,
+}
+
+/// Data-plane statistics for one DAG edge (`src -> dst`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Producer vertex.
+    pub src: String,
+    /// Consumer vertex.
+    pub dst: String,
+    /// Bytes fetched from the shuffle service by consumer attempts.
+    pub fetched_bytes: u64,
+    /// Fetched bytes that passed through the sorted-merge path.
+    pub merged_bytes: u64,
+    /// Bytes spilled by producer-side sorters for this edge.
+    pub spilled_bytes: u64,
+    /// Shard fetches that failed after exhausting their retries.
+    pub fetch_failures: u64,
+}
+
+/// One task-attempt execution span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttemptSpan {
+    /// Vertex name.
+    pub vertex: String,
+    /// Task index within the vertex.
+    pub task: u64,
+    /// Attempt number.
+    pub attempt: u64,
+    /// Hosting container id.
+    pub container: u64,
+    /// Work start, ms of simulated time.
+    pub start_ms: u64,
+    /// Work end, ms of simulated time.
+    pub end_ms: u64,
+    /// `"succeeded"`, `"failed"`, or `"killed"`.
+    pub status: String,
+}
+
+/// The unified per-DAG observability record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// DAG name.
+    pub dag: String,
+    /// `"succeeded"` or `"failed: <reason>"`.
+    pub status: String,
+    /// Submission time, ms.
+    pub submitted_ms: u64,
+    /// Finish time, ms.
+    pub finished_ms: u64,
+    /// Scheduler decisions while this DAG ran.
+    pub scheduler: SchedulerStats,
+    /// Container lifecycle at assignment.
+    pub containers: ContainerStats,
+    /// Per-edge data-plane statistics, sorted by `(src, dst)`.
+    pub edges: Vec<EdgeStats>,
+    /// Attempt spans in completion order.
+    pub attempts: Vec<AttemptSpan>,
+    /// Counter rollup across all task attempts.
+    pub counters: Counters,
+}
+
+impl RunReport {
+    /// Wall-clock runtime, ms.
+    pub fn runtime_ms(&self) -> u64 {
+        self.finished_ms.saturating_sub(self.submitted_ms)
+    }
+
+    /// Edge stats for `src -> dst`, if any data moved on it.
+    pub fn edge(&self, src: &str, dst: &str) -> Option<&EdgeStats> {
+        self.edges.iter().find(|e| e.src == src && e.dst == dst)
+    }
+
+    /// Total shuffle bytes fetched across all edges.
+    pub fn total_fetched_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.fetched_bytes).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic JSON serializer
+// ---------------------------------------------------------------------------
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for one JSON object: fields appear exactly in call
+/// order, which is what makes the output deterministic.
+struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        esc(&mut self.buf, k);
+        self.buf.push(':');
+    }
+    fn num(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+    fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        esc(&mut self.buf, v);
+        self
+    }
+    fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn scheduler_json(s: &SchedulerStats) -> String {
+    Obj::new()
+        .num("placements", s.placements)
+        .num("node_local", s.node_local)
+        .num("rack_local", s.rack_local)
+        .num("off_rack", s.off_rack)
+        .num("unconstrained", s.unconstrained)
+        .num("relaxed_after_delay", s.relaxed_after_delay)
+        .num("total_wait_ms", s.total_wait_ms)
+        .num("max_wait_ms", s.max_wait_ms)
+        .num("preemptions", s.preemptions)
+        .finish()
+}
+
+fn containers_json(c: &ContainerStats) -> String {
+    Obj::new()
+        .num("assignments", c.assignments)
+        .num("cold_starts", c.cold_starts)
+        .num("reuse_hits", c.reuse_hits)
+        .num("warmup_levels", c.warmup_levels)
+        .finish()
+}
+
+fn edge_json(e: &EdgeStats) -> String {
+    Obj::new()
+        .str("src", &e.src)
+        .str("dst", &e.dst)
+        .num("fetched_bytes", e.fetched_bytes)
+        .num("merged_bytes", e.merged_bytes)
+        .num("spilled_bytes", e.spilled_bytes)
+        .num("fetch_failures", e.fetch_failures)
+        .finish()
+}
+
+fn attempt_json(a: &AttemptSpan) -> String {
+    Obj::new()
+        .str("vertex", &a.vertex)
+        .num("task", a.task)
+        .num("attempt", a.attempt)
+        .num("container", a.container)
+        .num("start_ms", a.start_ms)
+        .num("end_ms", a.end_ms)
+        .str("status", &a.status)
+        .finish()
+}
+
+fn counters_json(c: &Counters) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in c.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+    out
+}
+
+fn array(items: impl Iterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+impl RunReport {
+    /// Serialize to deterministic JSON: fixed field order, sorted counter
+    /// keys, integers only. Same-seed runs produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("dag", &self.dag)
+            .str("status", &self.status)
+            .num("submitted_ms", self.submitted_ms)
+            .num("finished_ms", self.finished_ms)
+            .raw("scheduler", &scheduler_json(&self.scheduler))
+            .raw("containers", &containers_json(&self.containers))
+            .raw("edges", &array(self.edges.iter().map(edge_json)))
+            .raw("attempts", &array(self.attempts.iter().map(attempt_json)))
+            .raw("counters", &counters_json(&self.counters))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (round-trip for tooling; accepts only what to_json emits
+// plus whitespace)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum JVal {
+    Num(u64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(BTreeMap<String, JVal>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.arr(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slices
+                    // at char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<u64>()
+            .map(JVal::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, JVal>, key: &str) -> Result<&'a JVal, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_num(obj: &BTreeMap<String, JVal>, key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        JVal::Num(n) => Ok(*n),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn get_str(obj: &BTreeMap<String, JVal>, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        JVal::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn as_obj(v: &JVal, what: &str) -> Result<BTreeMap<String, JVal>, String> {
+    match v {
+        JVal::Obj(m) => Ok(m.clone()),
+        _ => Err(format!("{what} is not an object")),
+    }
+}
+
+impl RunReport {
+    /// Parse a document produced by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let mut p = Parser::new(text);
+        let root = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data"));
+        }
+        let root = as_obj(&root, "document")?;
+
+        let s = as_obj(get(&root, "scheduler")?, "scheduler")?;
+        let scheduler = SchedulerStats {
+            placements: get_num(&s, "placements")?,
+            node_local: get_num(&s, "node_local")?,
+            rack_local: get_num(&s, "rack_local")?,
+            off_rack: get_num(&s, "off_rack")?,
+            unconstrained: get_num(&s, "unconstrained")?,
+            relaxed_after_delay: get_num(&s, "relaxed_after_delay")?,
+            total_wait_ms: get_num(&s, "total_wait_ms")?,
+            max_wait_ms: get_num(&s, "max_wait_ms")?,
+            preemptions: get_num(&s, "preemptions")?,
+        };
+        let c = as_obj(get(&root, "containers")?, "containers")?;
+        let containers = ContainerStats {
+            assignments: get_num(&c, "assignments")?,
+            cold_starts: get_num(&c, "cold_starts")?,
+            reuse_hits: get_num(&c, "reuse_hits")?,
+            warmup_levels: get_num(&c, "warmup_levels")?,
+        };
+
+        let edges = match get(&root, "edges")? {
+            JVal::Arr(items) => items
+                .iter()
+                .map(|v| {
+                    let e = as_obj(v, "edge")?;
+                    Ok(EdgeStats {
+                        src: get_str(&e, "src")?,
+                        dst: get_str(&e, "dst")?,
+                        fetched_bytes: get_num(&e, "fetched_bytes")?,
+                        merged_bytes: get_num(&e, "merged_bytes")?,
+                        spilled_bytes: get_num(&e, "spilled_bytes")?,
+                        fetch_failures: get_num(&e, "fetch_failures")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("edges is not an array".into()),
+        };
+        let attempts = match get(&root, "attempts")? {
+            JVal::Arr(items) => items
+                .iter()
+                .map(|v| {
+                    let a = as_obj(v, "attempt")?;
+                    Ok(AttemptSpan {
+                        vertex: get_str(&a, "vertex")?,
+                        task: get_num(&a, "task")?,
+                        attempt: get_num(&a, "attempt")?,
+                        container: get_num(&a, "container")?,
+                        start_ms: get_num(&a, "start_ms")?,
+                        end_ms: get_num(&a, "end_ms")?,
+                        status: get_str(&a, "status")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("attempts is not an array".into()),
+        };
+        let mut counters = Counters::new();
+        for (k, v) in as_obj(get(&root, "counters")?, "counters")? {
+            match v {
+                JVal::Num(n) => counters.add(&k, n),
+                _ => return Err(format!("counter {k:?} is not a number")),
+            }
+        }
+
+        Ok(RunReport {
+            dag: get_str(&root, "dag")?,
+            status: get_str(&root, "status")?,
+            submitted_ms: get_num(&root, "submitted_ms")?,
+            finished_ms: get_num(&root, "finished_ms")?,
+            scheduler,
+            containers,
+            edges,
+            attempts,
+            counters,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Human-readable renderers
+// ---------------------------------------------------------------------------
+
+impl RunReport {
+    /// Multi-section plain-text table of the report.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report: {} — {} ({} ms)",
+            self.dag,
+            self.status,
+            self.runtime_ms()
+        );
+        let s = &self.scheduler;
+        let _ = writeln!(
+            out,
+            "  scheduler : {} placements (node-local {}, rack-local {}, off-rack {}, \
+             unconstrained {}), {} relaxed after delay, wait total {} ms / max {} ms, \
+             {} preempted",
+            s.placements,
+            s.node_local,
+            s.rack_local,
+            s.off_rack,
+            s.unconstrained,
+            s.relaxed_after_delay,
+            s.total_wait_ms,
+            s.max_wait_ms,
+            s.preemptions
+        );
+        let c = &self.containers;
+        let mean_warm = if c.assignments > 0 {
+            c.warmup_levels as f64 / c.assignments as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  containers: {} assignments ({} cold, {} reused), mean warm-up {:.1} works",
+            c.assignments, c.cold_starts, c.reuse_hits, mean_warm
+        );
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  edge {} -> {}: fetched {} B (merged {} B), spilled {} B, {} fetch failures",
+                e.src, e.dst, e.fetched_bytes, e.merged_bytes, e.spilled_bytes, e.fetch_failures
+            );
+        }
+        let _ = writeln!(out, "  attempts  : {}", self.attempts.len());
+        for (k, v) in self.counters.iter() {
+            let _ = writeln!(out, "    {k:>24} = {v}");
+        }
+        out
+    }
+}
+
+/// ASCII Gantt over the attempt spans of one or more reports (Fig. 7
+/// style): rows are containers, cells are lettered by report index
+/// (`A`, `B`, …). Reports from one session share container ids, so
+/// cross-DAG container reuse shows as one row carrying both letters.
+pub fn render_gantt(reports: &[&RunReport], width: usize) -> String {
+    let width = width.max(2);
+    let mut by_container: BTreeMap<u64, Vec<(u8, &AttemptSpan)>> = BTreeMap::new();
+    let mut t_max = 1u64;
+    for (i, r) in reports.iter().enumerate() {
+        let letter = b'A' + (i % 26) as u8;
+        for a in &r.attempts {
+            by_container
+                .entry(a.container)
+                .or_default()
+                .push((letter, a));
+            t_max = t_max.max(a.end_ms);
+        }
+    }
+    let mut out = String::new();
+    for (cid, mut spans) in by_container {
+        spans.sort_by_key(|(_, a)| (a.start_ms, a.end_ms));
+        let mut line = vec![b'.'; width];
+        for (letter, a) in spans {
+            let lo = (a.start_ms as usize * (width - 1)) / t_max as usize;
+            let hi = (a.end_ms as usize * (width - 1)) / t_max as usize;
+            for cell in line.iter_mut().take(hi.max(lo) + 1).skip(lo) {
+                *cell = letter;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "container {:>4} | {}",
+            cid,
+            String::from_utf8_lossy(&line)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut counters = Counters::new();
+        counters.add("BYTES_READ", 4096);
+        counters.add("FETCH_RETRIES", 2);
+        RunReport {
+            dag: "wordcount".into(),
+            status: "succeeded".into(),
+            submitted_ms: 10,
+            finished_ms: 9_010,
+            scheduler: SchedulerStats {
+                placements: 11,
+                node_local: 8,
+                rack_local: 2,
+                off_rack: 0,
+                unconstrained: 1,
+                relaxed_after_delay: 2,
+                total_wait_ms: 2_400,
+                max_wait_ms: 1_000,
+                preemptions: 1,
+            },
+            containers: ContainerStats {
+                assignments: 11,
+                cold_starts: 4,
+                reuse_hits: 7,
+                warmup_levels: 13,
+            },
+            edges: vec![EdgeStats {
+                src: "tokenizer".into(),
+                dst: "summer".into(),
+                fetched_bytes: 1 << 20,
+                merged_bytes: 1 << 20,
+                spilled_bytes: 512,
+                fetch_failures: 1,
+            }],
+            attempts: vec![AttemptSpan {
+                vertex: "tokenizer \"quoted\"\n".into(),
+                task: 3,
+                attempt: 0,
+                container: 7,
+                start_ms: 100,
+                end_ms: 900,
+                status: "succeeded".into(),
+            }],
+            counters,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let r = sample();
+        assert_eq!(r.to_json(), r.to_json());
+        // Counter insertion order must not leak into the document.
+        let mut r2 = sample();
+        r2.counters = Counters::new();
+        r2.counters.add("FETCH_RETRIES", 2);
+        r2.counters.add("BYTES_READ", 4096);
+        assert_eq!(r2.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(RunReport::from_json("").is_err());
+        assert!(RunReport::from_json("{").is_err());
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("[1,2]").is_err());
+        let valid = sample().to_json();
+        assert!(RunReport::from_json(&valid[..valid.len() - 1]).is_err());
+        assert!(RunReport::from_json(&format!("{valid}x")).is_err());
+    }
+
+    #[test]
+    fn scheduler_delta_subtracts_counts_keeps_max() {
+        let mut acc = SchedulerStats::default();
+        acc.record_placement(Locality::NodeLocal, 100, false);
+        let base = acc.clone();
+        acc.record_placement(Locality::RackLocal, 1_200, true);
+        acc.record_placement(Locality::Unconstrained, 0, false);
+        let d = acc.delta_since(&base);
+        assert_eq!(d.placements, 2);
+        assert_eq!(d.node_local, 0);
+        assert_eq!(d.rack_local, 1);
+        assert_eq!(d.unconstrained, 1);
+        assert_eq!(d.relaxed_after_delay, 1);
+        assert_eq!(d.total_wait_ms, 1_200);
+        assert_eq!(d.max_wait_ms, 1_200);
+    }
+
+    #[test]
+    fn gantt_shows_cross_report_container_reuse() {
+        let mut a = sample();
+        a.attempts = vec![AttemptSpan {
+            vertex: "v".into(),
+            task: 0,
+            attempt: 0,
+            container: 1,
+            start_ms: 0,
+            end_ms: 500,
+            status: "succeeded".into(),
+        }];
+        let mut b = sample();
+        b.attempts = vec![AttemptSpan {
+            vertex: "v".into(),
+            task: 0,
+            attempt: 0,
+            container: 1,
+            start_ms: 600,
+            end_ms: 1_000,
+            status: "succeeded".into(),
+        }];
+        let g = render_gantt(&[&a, &b], 40);
+        assert_eq!(g.lines().count(), 1, "one shared container row");
+        let line = g.lines().next().unwrap();
+        assert!(line.contains('A') && line.contains('B'), "{g}");
+    }
+
+    #[test]
+    fn table_renders_every_section() {
+        let t = sample().render_table();
+        assert!(t.contains("scheduler"));
+        assert!(t.contains("containers"));
+        assert!(t.contains("tokenizer -> summer"));
+        assert!(t.contains("FETCH_RETRIES"));
+    }
+}

@@ -18,9 +18,9 @@ use tez_dag::{
     DataMovement, EdgeProperty, NamedDescriptor, PayloadReader, PayloadWriter, UserPayload,
 };
 use tez_runtime::{
-    CommitEnv, ComponentRegistry, InputReader, InputSource, InputSpec, LogicalInput,
-    LogicalOutput, OutputCommit, OutputCommitter, OutputSpec, PartitionBuf, ShardLocator,
-    SinkArtifact, TaskEnv, TaskError,
+    CommitEnv, ComponentRegistry, InputReader, InputSource, InputSpec, LogicalInput, LogicalOutput,
+    OutputCommit, OutputCommitter, OutputSpec, PartitionBuf, ShardLocator, SinkArtifact, TaskEnv,
+    TaskError,
 };
 
 /// Registry kinds of the built-in components.
@@ -71,10 +71,12 @@ pub fn output_payload(partitioner: &Partitioner, combiner: Combiner) -> UserPayl
 }
 
 /// Decode an output configuration payload; empty payload means hash
-/// partitioning with no combiner.
-pub fn parse_output_payload(payload: &[u8]) -> (Partitioner, Combiner) {
+/// partitioning with no combiner. Unknown tags are a [`TaskError::Corrupt`]
+/// (a version-skewed or garbled descriptor), surfaced through the task's
+/// normal failure path instead of aborting the container.
+pub fn parse_output_payload(payload: &[u8]) -> Result<(Partitioner, Combiner), TaskError> {
     if payload.is_empty() {
-        return (Partitioner::Hash, Combiner::None);
+        return Ok((Partitioner::Hash, Combiner::None));
     }
     let mut r = PayloadReader::new(payload);
     let partitioner = match r.get_u64() {
@@ -85,14 +87,14 @@ pub fn parse_output_payload(payload: &[u8]) -> (Partitioner, Combiner) {
             Partitioner::Range(bounds)
         }
         2 => Partitioner::Single,
-        t => panic!("unknown partitioner tag {t}"),
+        t => return Err(TaskError::Corrupt(format!("unknown partitioner tag {t}"))),
     };
     let combiner = match r.get_u64() {
         0 => Combiner::None,
         1 => Combiner::SumU64,
-        t => panic!("unknown combiner tag {t}"),
+        t => return Err(TaskError::Corrupt(format!("unknown combiner tag {t}"))),
     };
-    (partitioner, combiner)
+    Ok((partitioner, combiner))
 }
 
 // ---------------------------------------------------------------------------
@@ -111,9 +113,9 @@ pub struct OrderedPartitionedKvOutput {
 
 impl OrderedPartitionedKvOutput {
     /// Build from an output spec (payload via [`output_payload`]).
-    pub fn from_spec(spec: &OutputSpec) -> Self {
-        let (partitioner, combiner) = parse_output_payload(spec.descriptor.payload.as_bytes());
-        OrderedPartitionedKvOutput {
+    pub fn from_spec(spec: &OutputSpec) -> Result<Self, TaskError> {
+        let (partitioner, combiner) = parse_output_payload(spec.descriptor.payload.as_bytes())?;
+        Ok(OrderedPartitionedKvOutput {
             sorter: Some(ExternalSorter::new(
                 spec.num_partitions,
                 partitioner,
@@ -122,7 +124,7 @@ impl OrderedPartitionedKvOutput {
             )),
             num_partitions: spec.num_partitions,
             started_writing: false,
-        }
+        })
     }
 }
 
@@ -151,7 +153,7 @@ impl LogicalOutput for OrderedPartitionedKvOutput {
                 "cannot reconfigure an output after writing to it".into(),
             ));
         }
-        let (partitioner, combiner) = parse_output_payload(payload);
+        let (partitioner, combiner) = parse_output_payload(payload)?;
         self.sorter = Some(ExternalSorter::new(
             self.num_partitions,
             partitioner,
@@ -171,14 +173,14 @@ pub struct UnorderedKvOutput {
 
 impl UnorderedKvOutput {
     /// Build from an output spec.
-    pub fn from_spec(spec: &OutputSpec) -> Self {
-        let (partitioner, _) = parse_output_payload(spec.descriptor.payload.as_bytes());
+    pub fn from_spec(spec: &OutputSpec) -> Result<Self, TaskError> {
+        let (partitioner, _) = parse_output_payload(spec.descriptor.payload.as_bytes())?;
         let n = spec.num_partitions.max(1);
-        UnorderedKvOutput {
+        Ok(UnorderedKvOutput {
             partitioner,
             buffers: vec![Vec::new(); n],
             records: vec![0; n],
-        }
+        })
     }
 }
 
@@ -214,7 +216,7 @@ impl LogicalOutput for UnorderedKvOutput {
                 "cannot reconfigure an output after writing to it".into(),
             ));
         }
-        let (partitioner, _) = parse_output_payload(payload);
+        let (partitioner, _) = parse_output_payload(payload)?;
         self.partitioner = partitioner;
         Ok(())
     }
@@ -224,13 +226,13 @@ impl LogicalOutput for UnorderedKvOutput {
 // Edge inputs
 // ---------------------------------------------------------------------------
 
-fn shards_of(spec: &InputSpec) -> Vec<ShardLocator> {
+fn shards_of(spec: &InputSpec) -> Result<Vec<ShardLocator>, TaskError> {
     match &spec.source {
-        InputSource::Shards(s) => s.clone(),
-        InputSource::Split(_) => panic!(
+        InputSource::Shards(s) => Ok(s.clone()),
+        InputSource::Split(_) => Err(TaskError::Corrupt(format!(
             "edge input {} constructed with a root split",
             spec.descriptor.kind
-        ),
+        ))),
     }
 }
 
@@ -278,15 +280,15 @@ pub struct ShuffledMergedKvInput {
 
 impl ShuffledMergedKvInput {
     /// Build from an input spec.
-    pub fn from_spec(spec: &InputSpec) -> Self {
-        ShuffledMergedKvInput {
-            locators: shards_of(spec),
+    pub fn from_spec(spec: &InputSpec) -> Result<Self, TaskError> {
+        Ok(ShuffledMergedKvInput {
+            locators: shards_of(spec)?,
             src_vertex: spec.name.clone(),
             shards: Vec::new(),
             bytes: 0,
             remote: 0,
             records: 0,
-        }
+        })
     }
 }
 
@@ -333,15 +335,15 @@ pub struct UnorderedKvInput {
 
 impl UnorderedKvInput {
     /// Build from an input spec.
-    pub fn from_spec(spec: &InputSpec) -> Self {
-        UnorderedKvInput {
-            locators: shards_of(spec),
+    pub fn from_spec(spec: &InputSpec) -> Result<Self, TaskError> {
+        Ok(UnorderedKvInput {
+            locators: shards_of(spec)?,
             src_vertex: spec.name.clone(),
             shards: Vec::new(),
             bytes: 0,
             remote: 0,
             records: 0,
-        }
+        })
     }
 }
 
@@ -442,17 +444,21 @@ pub struct DfsInput {
 
 impl DfsInput {
     /// Build from an input spec whose source must be a split.
-    pub fn from_spec(spec: &InputSpec) -> Self {
+    pub fn from_spec(spec: &InputSpec) -> Result<Self, TaskError> {
         let split = match &spec.source {
             InputSource::Split(p) => SplitPayload::decode(p),
-            InputSource::Shards(_) => panic!("DfsInput constructed with edge shards"),
+            InputSource::Shards(_) => {
+                return Err(TaskError::Corrupt(
+                    "DfsInput constructed with edge shards".into(),
+                ))
+            }
         };
-        DfsInput {
+        Ok(DfsInput {
             split,
             shards: Vec::new(),
             bytes: 0,
             records: 0,
-        }
+        })
     }
 }
 
@@ -509,15 +515,15 @@ pub struct DfsOutput {
 
 impl DfsOutput {
     /// Build from an output spec; the payload is the target path string.
-    pub fn from_spec(spec: &OutputSpec) -> Self {
+    pub fn from_spec(spec: &OutputSpec) -> Result<Self, TaskError> {
         let path = String::from_utf8(spec.descriptor.payload.as_bytes().to_vec())
-            .expect("DfsOutput payload is the UTF-8 target path");
-        DfsOutput {
+            .map_err(|_| TaskError::Corrupt("DfsOutput path payload is not UTF-8".into()))?;
+        Ok(DfsOutput {
             path,
             part: format!("part-{}-{:05}", spec.vertex, spec.task_index),
             buf: Vec::new(),
             records: 0,
-        }
+        })
     }
 }
 
@@ -613,19 +619,23 @@ pub fn one_to_one_edge() -> EdgeProperty {
 pub fn register_builtins(registry: &mut ComponentRegistry) {
     registry
         .register_output(kinds::ORDERED_OUT, |spec| {
-            Box::new(OrderedPartitionedKvOutput::from_spec(spec))
+            Ok(Box::new(OrderedPartitionedKvOutput::from_spec(spec)?) as _)
         })
         .register_output(kinds::UNORDERED_OUT, |spec| {
-            Box::new(UnorderedKvOutput::from_spec(spec))
+            Ok(Box::new(UnorderedKvOutput::from_spec(spec)?) as _)
         })
-        .register_output(kinds::DFS_OUT, |spec| Box::new(DfsOutput::from_spec(spec)))
+        .register_output(kinds::DFS_OUT, |spec| {
+            Ok(Box::new(DfsOutput::from_spec(spec)?) as _)
+        })
         .register_input(kinds::SHUFFLED_IN, |spec| {
-            Box::new(ShuffledMergedKvInput::from_spec(spec))
+            Ok(Box::new(ShuffledMergedKvInput::from_spec(spec)?) as _)
         })
         .register_input(kinds::UNORDERED_IN, |spec| {
-            Box::new(UnorderedKvInput::from_spec(spec))
+            Ok(Box::new(UnorderedKvInput::from_spec(spec)?) as _)
         })
-        .register_input(kinds::DFS_IN, |spec| Box::new(DfsInput::from_spec(spec)))
+        .register_input(kinds::DFS_IN, |spec| {
+            Ok(Box::new(DfsInput::from_spec(spec)?) as _)
+        })
         .register_committer(kinds::DFS_COMMITTER, |_p| Box::<DfsCommitter>::default());
 }
 
@@ -697,7 +707,8 @@ mod tests {
                 kinds::ORDERED_OUT,
                 output_payload(&Partitioner::Hash, Combiner::None),
                 2,
-            ));
+            ))
+            .unwrap();
             for i in 0..10u64 {
                 out.write(format!("k{:02}", i).as_bytes(), &producer.to_le_bytes())
                     .unwrap();
@@ -718,10 +729,13 @@ mod tests {
             descriptor: NamedDescriptor::new(kinds::SHUFFLED_IN),
             source: InputSource::Shards(locs_per_partition[0].clone()),
         };
-        let mut input = ShuffledMergedKvInput::from_spec(&spec);
+        let mut input = ShuffledMergedKvInput::from_spec(&spec).unwrap();
         let mut env = run_env(&fetcher, &mut dfs, &reg);
         input.start(&mut env).unwrap();
-        assert!(input.remote_bytes() > 0, "producer on node 0, consumer on 1");
+        assert!(
+            input.remote_bytes() > 0,
+            "producer on node 0, consumer on 1"
+        );
         let mut grouped = input.reader().unwrap().into_grouped().unwrap();
         let mut groups = 0;
         let mut last_key: Option<Bytes> = None;
@@ -745,7 +759,8 @@ mod tests {
             kinds::ORDERED_OUT,
             output_payload(&Partitioner::Single, Combiner::SumU64),
             1,
-        ));
+        ))
+        .unwrap();
         for _ in 0..5 {
             out.write(b"w", &1u64.to_le_bytes()).unwrap();
         }
@@ -766,7 +781,8 @@ mod tests {
             kinds::ORDERED_OUT,
             output_payload(&Partitioner::Hash, Combiner::None),
             2,
-        ));
+        ))
+        .unwrap();
         let bounds = Partitioner::Range(vec![b"m".to_vec()]);
         out.reconfigure(output_payload(&bounds, Combiner::None).as_bytes())
             .unwrap();
@@ -794,7 +810,8 @@ mod tests {
             kinds::UNORDERED_OUT,
             output_payload(&Partitioner::Single, Combiner::None),
             1,
-        ));
+        ))
+        .unwrap();
         out.write(b"x", b"1").unwrap();
         let mut env = run_env(&fetcher, &mut dfs, &reg);
         let commit = out.close(&mut env).unwrap();
@@ -807,7 +824,7 @@ mod tests {
             descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
             source: InputSource::Shards(locs.clone()),
         };
-        let mut input = UnorderedKvInput::from_spec(&spec);
+        let mut input = UnorderedKvInput::from_spec(&spec).unwrap();
         let mut env = run_env(&fetcher, &mut dfs, &reg);
         input.start(&mut env).unwrap();
         assert_eq!(input.remote_bytes(), 0, "same node fetch is local");
@@ -822,7 +839,7 @@ mod tests {
             descriptor: NamedDescriptor::new(kinds::UNORDERED_IN),
             source: InputSource::Shards(locs),
         };
-        let mut input = UnorderedKvInput::from_spec(&spec);
+        let mut input = UnorderedKvInput::from_spec(&spec).unwrap();
         let mut env = run_env(&fetcher, &mut dfs, &reg);
         match input.start(&mut env) {
             Err(TaskError::InputRead(errs)) => assert_eq!(errs.len(), 1),
@@ -851,7 +868,7 @@ mod tests {
             descriptor: NamedDescriptor::new(kinds::DFS_IN),
             source: InputSource::Split(split.encode()),
         };
-        let mut input = DfsInput::from_spec(&spec);
+        let mut input = DfsInput::from_spec(&spec).unwrap();
         let mut env = run_env(&fetcher, &mut dfs, &reg);
         input.start(&mut env).unwrap();
         assert_eq!(input.records_read(), 2);
@@ -887,7 +904,7 @@ mod tests {
                 task_index: task,
                 vertex: "v".into(),
             };
-            let mut out = DfsOutput::from_spec(&spec);
+            let mut out = DfsOutput::from_spec(&spec).unwrap();
             out.write(format!("t{task}").as_bytes(), b"v").unwrap();
             let mut env = run_env(&fetcher, &mut dfs, &reg);
             artifacts.push(out.close(&mut env).unwrap().sink.unwrap());
@@ -901,6 +918,32 @@ mod tests {
         let first = dfs.read_block("/result", 0).unwrap();
         let mut c = KvCursor::new(first);
         assert_eq!(c.next().unwrap().0.as_ref(), b"t0");
+    }
+
+    #[test]
+    fn unknown_payload_tags_are_corrupt_errors() {
+        let mut w = PayloadWriter::new();
+        w.put_u64(9); // no such partitioner
+        let bad = w.finish();
+        assert!(matches!(
+            parse_output_payload(bad.as_bytes()),
+            Err(TaskError::Corrupt(_))
+        ));
+        let mut w = PayloadWriter::new();
+        w.put_u64(0); // hash partitioner
+        w.put_u64(7); // no such combiner
+        let bad = w.finish();
+        assert!(matches!(
+            parse_output_payload(bad.as_bytes()),
+            Err(TaskError::Corrupt(_))
+        ));
+        // The registry surfaces the same error from the factory.
+        let mut r = ComponentRegistry::new();
+        register_builtins(&mut r);
+        let mut w = PayloadWriter::new();
+        w.put_u64(9);
+        let spec = out_spec(kinds::ORDERED_OUT, w.finish(), 2);
+        assert!(matches!(r.create_output(&spec), Err(TaskError::Corrupt(_))));
     }
 
     #[test]

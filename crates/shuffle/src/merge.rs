@@ -124,7 +124,10 @@ mod tests {
             run(&[(b"b", b"2"), (b"d", b"4")]),
         ]);
         let got: Vec<Vec<u8>> = drain_keys(m);
-        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            got,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     fn drain_keys(mut m: MergingCursor) -> Vec<Vec<u8>> {
@@ -137,10 +140,7 @@ mod tests {
 
     #[test]
     fn merge_is_stable_by_run_index() {
-        let mut m = MergingCursor::new(vec![
-            run(&[(b"k", b"first")]),
-            run(&[(b"k", b"second")]),
-        ]);
+        let mut m = MergingCursor::new(vec![run(&[(b"k", b"first")]), run(&[(b"k", b"second")])]);
         assert_eq!(m.next().unwrap().1.as_ref(), b"first");
         assert_eq!(m.next().unwrap().1.as_ref(), b"second");
     }

@@ -9,15 +9,58 @@
 //! the secure-shuffle channel of §4.3.
 
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use tez_runtime::{FetchError, FetchedShard, PartitionBuf, SecurityToken, ShardLocator};
+use tez_runtime::{
+    DataFetcher, FetchError, FetchedShard, PartitionBuf, SecurityToken, ShardLocator,
+};
 
 #[derive(Default)]
 struct Inner {
     shards: HashMap<(u32, u64, u32), PartitionBuf>,
     tokens: HashSet<u64>,
     next_output: u64,
+    /// Remaining injected transient failures (test/fault-plan hook): while
+    /// positive, fetches fail with a retriable error before touching shards.
+    transient_failures: u32,
+}
+
+/// Bounded-retry policy for shuffle fetches (DESIGN.md §2: "fetchers with
+/// retry/backoff"). Backoff is exponential and purely deterministic — the
+/// waits are *charged to the simulated clock* by the orchestrator (added to
+/// the attempt's work cost) rather than slept, so same-seed runs stay
+/// byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchRetryPolicy {
+    /// Total attempts per shard, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff multiplier per subsequent retry.
+    pub multiplier: u64,
+}
+
+impl Default for FetchRetryPolicy {
+    fn default() -> Self {
+        FetchRetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            multiplier: 2,
+        }
+    }
+}
+
+impl FetchRetryPolicy {
+    /// Backoff charged before retry number `retry` (1-based): `base *
+    /// multiplier^(retry-1)`. Retry 0 is the initial attempt — no backoff.
+    pub fn backoff_before_retry(&self, retry: u32) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        self.base_backoff_ms
+            .saturating_mul(self.multiplier.saturating_pow(retry - 1))
+    }
 }
 
 /// The shuffle service. Cheap to clone via [`SharedDataService`].
@@ -54,7 +97,12 @@ impl DataService {
 
     /// Publish the partitions of one output on a node; returns locators in
     /// partition order.
-    pub fn publish(&self, node: u32, output_id: u64, partitions: Vec<PartitionBuf>) -> Vec<ShardLocator> {
+    pub fn publish(
+        &self,
+        node: u32,
+        output_id: u64,
+        partitions: Vec<PartitionBuf>,
+    ) -> Vec<ShardLocator> {
         let mut g = self.inner.lock();
         partitions
             .into_iter()
@@ -74,6 +122,13 @@ impl DataService {
             .collect()
     }
 
+    /// Inject `n` transient fetch failures: the next `n` fetches fail with
+    /// a retriable error regardless of shard availability. Used by fault
+    /// plans and tests to exercise the retry path deterministically.
+    pub fn inject_transient_failures(&self, n: u32) {
+        self.inner.lock().transient_failures += n;
+    }
+
     /// Fetch a shard on behalf of a task running on `from_node`.
     pub fn fetch_from(
         &self,
@@ -81,14 +136,24 @@ impl DataService {
         locator: &ShardLocator,
         token: SecurityToken,
     ) -> Result<FetchedShard, FetchError> {
-        let g = self.inner.lock();
+        let mut g = self.inner.lock();
+        if g.transient_failures > 0 {
+            g.transient_failures -= 1;
+            return Err(FetchError {
+                locator: *locator,
+                reason: "transient fetch failure (injected)".into(),
+            });
+        }
         if !g.tokens.contains(&token.0) {
             return Err(FetchError {
                 locator: *locator,
                 reason: "invalid security token".into(),
             });
         }
-        match g.shards.get(&(locator.node, locator.output_id, locator.partition)) {
+        match g
+            .shards
+            .get(&(locator.node, locator.output_id, locator.partition))
+        {
             Some(buf) => Ok(FetchedShard {
                 data: buf.data.clone(),
                 records: buf.records,
@@ -114,7 +179,8 @@ impl DataService {
     /// is superseded.
     pub fn drop_output(&self, node: u32, output_id: u64) {
         let mut g = self.inner.lock();
-        g.shards.retain(|&(n, o, _), _| !(n == node && o == output_id));
+        g.shards
+            .retain(|&(n, o, _), _| !(n == node && o == output_id));
     }
 
     /// Number of stored shards (diagnostics).
@@ -130,6 +196,70 @@ impl DataService {
             .values()
             .map(|b| b.data.len() as u64)
             .sum()
+    }
+}
+
+/// A [`DataFetcher`] that retries failed shuffle fetches against a
+/// [`DataService`] with bounded, deterministic exponential backoff.
+///
+/// The fetcher never sleeps: each retry's backoff is *accumulated* in
+/// `backoff_ms` and the orchestrator charges it to the attempt's simulated
+/// work cost, so backoff advances the sim clock deterministically. When all
+/// attempts are exhausted the last [`FetchError`] is returned, which the
+/// input layer converts to an `InputReadError` — triggering producer
+/// re-execution (paper §4.3) rather than a panic.
+pub struct RetryingFetcher {
+    service: SharedDataService,
+    node: u32,
+    policy: FetchRetryPolicy,
+    retries: Cell<u64>,
+    backoff_ms: Cell<u64>,
+}
+
+impl RetryingFetcher {
+    /// Fetcher for a task running on `node`.
+    pub fn new(service: SharedDataService, node: u32, policy: FetchRetryPolicy) -> Self {
+        RetryingFetcher {
+            service,
+            node,
+            policy,
+            retries: Cell::new(0),
+            backoff_ms: Cell::new(0),
+        }
+    }
+
+    /// Retries performed so far (excludes first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Total backoff accumulated, in simulated milliseconds. The caller
+    /// charges this into the attempt's work cost.
+    pub fn backoff_ms(&self) -> u64 {
+        self.backoff_ms.get()
+    }
+}
+
+impl DataFetcher for RetryingFetcher {
+    fn fetch(
+        &self,
+        locator: &ShardLocator,
+        token: SecurityToken,
+    ) -> Result<FetchedShard, FetchError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries.set(self.retries.get() + 1);
+                self.backoff_ms
+                    .set(self.backoff_ms.get() + self.policy.backoff_before_retry(attempt));
+            }
+            match self.service.fetch_from(self.node, locator, token) {
+                Ok(shard) => return Ok(shard),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
     }
 }
 
@@ -174,7 +304,9 @@ mod tests {
         let s = service();
         let oid = s.new_output_id();
         let locs = s.publish(0, oid, vec![part(b"x", 1)]);
-        let err = s.fetch_from(0, &locs[0], SecurityToken::INVALID).unwrap_err();
+        let err = s
+            .fetch_from(0, &locs[0], SecurityToken::INVALID)
+            .unwrap_err();
         assert!(err.reason.contains("token"));
         s.revoke_token(TOKEN);
         assert!(s.fetch_from(0, &locs[0], TOKEN).is_err());
@@ -204,6 +336,65 @@ mod tests {
         assert!(s.fetch_from(1, &lb[0], TOKEN).is_ok());
         assert_eq!(s.shard_count(), 1);
         assert_eq!(s.stored_bytes(), 1);
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic_exponential() {
+        let p = FetchRetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 100,
+            multiplier: 2,
+        };
+        assert_eq!(p.backoff_before_retry(0), 0);
+        assert_eq!(p.backoff_before_retry(1), 100);
+        assert_eq!(p.backoff_before_retry(2), 200);
+        assert_eq!(p.backoff_before_retry(3), 400);
+    }
+
+    #[test]
+    fn transient_failure_then_success_within_retry_budget() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(1, oid, vec![part(b"data", 3)]);
+        s.inject_transient_failures(2);
+        let f = RetryingFetcher::new(s.clone(), 7, FetchRetryPolicy::default());
+        let shard = f.fetch(&locs[0], TOKEN).expect("retries absorb failures");
+        assert_eq!(&shard.data[..], b"data");
+        assert!(shard.remote);
+        assert_eq!(f.retries(), 2);
+        // Backoff before retry 1 (100ms) + retry 2 (200ms).
+        assert_eq!(f.backoff_ms(), 300);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(1, oid, vec![part(b"data", 3)]);
+        // More injected failures than the retry budget: fetch must fail.
+        s.inject_transient_failures(5);
+        let f = RetryingFetcher::new(s.clone(), 7, FetchRetryPolicy::default());
+        let err = f.fetch(&locs[0], TOKEN).unwrap_err();
+        assert!(err.reason.contains("transient"));
+        assert_eq!(f.retries(), 2, "max_attempts=3 means two retries");
+        assert_eq!(f.backoff_ms(), 300);
+        // Two injected failures remain; one more fetch consumes them and
+        // then succeeds on its final attempt.
+        let f2 = RetryingFetcher::new(s.clone(), 1, FetchRetryPolicy::default());
+        assert!(f2.fetch(&locs[0], TOKEN).is_ok());
+        assert!(!f2.fetch(&locs[0], TOKEN).unwrap().remote);
+    }
+
+    #[test]
+    fn missing_shard_fails_after_retries_not_panics() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(1, oid, vec![part(b"x", 1)]);
+        s.drop_node(1);
+        let f = RetryingFetcher::new(s.clone(), 2, FetchRetryPolicy::default());
+        let err = f.fetch(&locs[0], TOKEN).unwrap_err();
+        assert!(err.reason.contains("not found"));
+        assert_eq!(f.retries(), 2);
     }
 
     #[test]

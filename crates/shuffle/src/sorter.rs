@@ -180,7 +180,8 @@ impl ExternalSorter {
         for runs in self.runs {
             let mut encoded = Vec::new();
             let mut records = 0u64;
-            let cursors: Vec<KvCursor> = runs.iter().map(|r| KvCursor::new(r.data.clone())).collect();
+            let cursors: Vec<KvCursor> =
+                runs.iter().map(|r| KvCursor::new(r.data.clone())).collect();
             let mut merge = crate::merge::MergingCursor::new(cursors);
             let mut pending: Option<(Bytes, Vec<u8>)> = None;
             while let Some((k, v)) = merge.next() {

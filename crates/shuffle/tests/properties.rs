@@ -3,12 +3,12 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use tez_runtime::KvGroupReader;
 use tez_shuffle::codec::{
     dec_f64, dec_i64, dec_u64, enc_f64, enc_i64, enc_u64, encode_kv, KeyBuilder, KeyReader,
     KvCursor,
 };
 use tez_shuffle::{Combiner, ExternalSorter, GroupedRunReader, MergingCursor, Partitioner};
-use tez_runtime::KvGroupReader;
 
 proptest! {
     /// Integer encodings preserve order and round-trip.

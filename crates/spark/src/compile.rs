@@ -31,7 +31,7 @@ impl Processor for SparkProcessor {
         let mut rows: Vec<Row> = Vec::new();
         let reader = ctx.reader(&self.input)?;
         for (_, v) in reader.collect_pairs() {
-            rows.push(decode_row(&v));
+            rows.push(decode_row(&v)?);
         }
         for op in &self.stage.narrow {
             rows = match op {
@@ -88,7 +88,7 @@ impl Processor for SparkReduceReader {
         while let Some(g) = reader.next_group() {
             let mut acc: Option<Row> = None;
             for v in g.values {
-                let r = decode_row(&v);
+                let r = decode_row(&v)?;
                 acc = Some(match acc {
                     Some(a) => (self.reduce)(a, r),
                     None => r,

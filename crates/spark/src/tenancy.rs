@@ -136,7 +136,8 @@ pub fn run_tenancy(spec: &TenancySpec, model: ExecutionModel) -> TenancyResult {
             (d, declared, records)
         })
         .collect();
-    sim.hdfs_mut().put_file_scaled("/warehouse/lineitem", scaled);
+    sim.hdfs_mut()
+        .put_file_scaled("/warehouse/lineitem", scaled);
 
     let config = match model {
         ExecutionModel::ServiceBased { executors } => TezConfig {

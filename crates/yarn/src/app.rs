@@ -121,7 +121,8 @@ impl<'a> AppContext<'a> {
     /// model, node speed, container warm-up and straggler/fault injection,
     /// and delivers [`AppEvent::WorkCompleted`] when it ends.
     pub fn start_work(&mut self, container: ContainerId, label: String, cost: WorkCost) -> WorkId {
-        self.inner.start_work(self.app, container, label, cost, self.now)
+        self.inner
+            .start_work(self.app, container, label, cost, self.now)
     }
 
     /// Observed progress of a running work item in `[0, 1]`.
@@ -178,6 +179,13 @@ impl<'a> AppContext<'a> {
     /// Rack of a node.
     pub fn rack_of(&self, node: NodeId) -> u32 {
         self.inner.rm.rack_of(node)
+    }
+
+    /// Scheduler decisions recorded for this app so far (locality
+    /// outcomes, wait times, preemptions). Apps snapshot this per DAG and
+    /// diff to attribute decisions to individual runs.
+    pub fn scheduler_stats(&self) -> tez_runtime::SchedulerStats {
+        self.inner.rm.scheduler_stats(self.app)
     }
 
     /// Report terminal status; the RM reclaims all containers.

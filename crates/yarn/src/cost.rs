@@ -57,8 +57,8 @@ impl Default for CostModel {
             warmup_decay: 0.5,
             cpu_ns_per_record: 1_500,
             cpu_ns_per_byte: 6,
-            disk_bw: 150_000,  // ~143 MB/s
-            net_bw: 80_000,    // ~76 MB/s per flow
+            disk_bw: 150_000, // ~143 MB/s
+            net_bw: 80_000,   // ~76 MB/s per flow
             dfs_write_factor: 2.5,
             straggler_prob: 0.01,
             straggler_factor: 4.0,
@@ -79,8 +79,7 @@ impl CostModel {
     pub fn cpu_ms(&self, records: u64, bytes: u64) -> u64 {
         let scaled_bytes = (bytes as f64 * self.byte_scale) as u64;
         let scaled_records = (records as f64 * self.byte_scale) as u64;
-        (scaled_records * self.cpu_ns_per_record + scaled_bytes * self.cpu_ns_per_byte)
-            / 1_000_000
+        (scaled_records * self.cpu_ns_per_record + scaled_bytes * self.cpu_ns_per_byte) / 1_000_000
     }
 
     /// Milliseconds to read `bytes` from local disk.
@@ -111,7 +110,9 @@ impl CostModel {
             + w.setup_ms
             + self.cpu_ms(w.cpu_records, w.cpu_bytes)
             + self.local_read_ms(w.local_read_bytes)
-            + self.remote_read_ms(w.remote_read_bytes).saturating_sub(w.overlapped_fetch_ms)
+            + self
+                .remote_read_ms(w.remote_read_bytes)
+                .saturating_sub(w.overlapped_fetch_ms)
             + self.local_write_ms(w.local_write_bytes)
             + self.dfs_write_ms(w.dfs_write_bytes)
     }

@@ -10,6 +10,10 @@ pub struct FaultPlan {
     /// Probability that any given work item fails mid-run with a transient
     /// (retriable) error.
     pub task_fail_prob: f64,
+    /// Number of shuffle fetches to fail with a transient error at run
+    /// start (exercises the fetch retry/backoff and, when it exceeds the
+    /// retry budget, the `InputReadError` re-execution path).
+    pub transient_fetch_failures: u32,
 }
 
 impl FaultPlan {
@@ -27,6 +31,12 @@ impl FaultPlan {
     /// Set the transient task failure probability.
     pub fn with_task_fail_prob(mut self, p: f64) -> Self {
         self.task_fail_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fail the first `n` shuffle fetches with a transient error.
+    pub fn with_transient_fetch_failures(mut self, n: u32) -> Self {
+        self.transient_fetch_failures = n;
         self
     }
 }
@@ -47,7 +57,13 @@ mod tests {
 
     #[test]
     fn probability_is_clamped() {
-        assert_eq!(FaultPlan::none().with_task_fail_prob(7.0).task_fail_prob, 1.0);
-        assert_eq!(FaultPlan::none().with_task_fail_prob(-1.0).task_fail_prob, 0.0);
+        assert_eq!(
+            FaultPlan::none().with_task_fail_prob(7.0).task_fail_prob,
+            1.0
+        );
+        assert_eq!(
+            FaultPlan::none().with_task_fail_prob(-1.0).task_fail_prob,
+            0.0
+        );
     }
 }

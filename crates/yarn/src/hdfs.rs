@@ -146,7 +146,11 @@ impl Dfs for SimHdfs {
                     index: i,
                     bytes: b.stat_bytes,
                     records: b.records,
-                    hosts: b.replicas.iter().map(|&n| ClusterSpec::host_name(n)).collect(),
+                    hosts: b
+                        .replicas
+                        .iter()
+                        .map(|&n| ClusterSpec::host_name(n))
+                        .collect(),
                 })
                 .collect()
         })

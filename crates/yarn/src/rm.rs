@@ -18,6 +18,7 @@
 
 use crate::types::{AppId, Container, ContainerId, NodeId, RequestId, Resource, SimTime};
 use std::collections::{BTreeMap, HashMap};
+use tez_runtime::run_report::{Locality, SchedulerStats};
 
 /// One scheduler queue.
 #[derive(Clone, Debug)]
@@ -112,6 +113,8 @@ struct RmApp {
     used_vcores: u64,
     used_memory: u64,
     finished: bool,
+    /// Scheduler decisions made for this app (run-report observability).
+    stats: SchedulerStats,
 }
 
 /// Container bookkeeping.
@@ -212,6 +215,7 @@ impl Rm {
                 used_vcores: 0,
                 used_memory: 0,
                 finished: false,
+                stats: SchedulerStats::default(),
             },
         );
     }
@@ -235,11 +239,7 @@ impl Rm {
     /// Cancel a pending request; returns whether it was still pending.
     pub fn cancel_request(&mut self, app: AppId, id: RequestId) -> bool {
         if let Some(a) = self.apps.get_mut(&app) {
-            let key = a
-                .pending
-                .iter()
-                .find(|(_, p)| p.id == id)
-                .map(|(k, _)| *k);
+            let key = a.pending.iter().find(|(_, p)| p.id == id).map(|(k, _)| *k);
             if let Some(k) = key {
                 a.pending.remove(&k);
                 return true;
@@ -381,9 +381,54 @@ impl Rm {
             .map(|(i, _)| NodeId(i as u32))
     }
 
-    fn allocate_to(&mut self, app_id: AppId, key: (u32, u64), node: NodeId, now: SimTime) -> Allocation {
+    /// Locality class of placing `p` on `node`, plus whether the placement
+    /// was only possible because a delay-scheduling relaxation expired.
+    fn classify_placement(&self, p: &Pending, node: NodeId, now: SimTime) -> (Locality, bool) {
+        let has_prefs = !p.req.nodes.is_empty() || !p.req.racks.is_empty();
+        if !has_prefs {
+            return (Locality::Unconstrained, false);
+        }
+        if p.req.nodes.contains(&node) {
+            return (Locality::NodeLocal, false);
+        }
+        let relaxed = now.since(p.created) >= self.config.node_delay_ms;
+        let rack = self.nodes[node.0 as usize].rack;
+        let rack_local = p.req.racks.contains(&rack)
+            || p.req
+                .nodes
+                .iter()
+                .any(|&n| self.nodes[n.0 as usize].rack == rack);
+        if rack_local {
+            (Locality::RackLocal, relaxed)
+        } else {
+            (Locality::OffRack, relaxed)
+        }
+    }
+
+    /// Scheduler decisions recorded so far for `app` (run-report
+    /// observability). Default stats for unknown apps.
+    pub fn scheduler_stats(&self, app: AppId) -> SchedulerStats {
+        self.apps
+            .get(&app)
+            .map(|a| a.stats.clone())
+            .unwrap_or_default()
+    }
+
+    fn allocate_to(
+        &mut self,
+        app_id: AppId,
+        key: (u32, u64),
+        node: NodeId,
+        now: SimTime,
+    ) -> Allocation {
+        let (locality, relaxed) = {
+            let p = &self.apps[&app_id].pending[&key];
+            self.classify_placement(p, node, now)
+        };
         let app = self.apps.get_mut(&app_id).expect("app exists");
         let p = app.pending.remove(&key).expect("pending exists");
+        app.stats
+            .record_placement(locality, now.since(p.created), relaxed);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         let st = &mut self.nodes[node.0 as usize];
@@ -415,7 +460,10 @@ impl Rm {
     /// Run one scheduling pass. Returns allocations, preemptions, and the
     /// earliest future time at which a currently-blocked locality delay
     /// expires (so the simulator can schedule the next pass).
-    pub fn schedule(&mut self, now: SimTime) -> (Vec<Allocation>, Vec<Preemption>, Option<SimTime>) {
+    pub fn schedule(
+        &mut self,
+        now: SimTime,
+    ) -> (Vec<Allocation>, Vec<Preemption>, Option<SimTime>) {
         let mut allocations = Vec::new();
         loop {
             // Apps ordered by (queue usage ratio asc, app id asc) — most
@@ -509,6 +557,9 @@ impl Rm {
                             container: id,
                         });
                     if let Some(v) = victim {
+                        if let Some(a) = self.apps.get_mut(&v.app) {
+                            a.stats.preemptions += 1;
+                        }
                         out.push(v);
                         self.queue_starved_since[q] = Some(now); // reset the clock
                     }
@@ -812,6 +863,185 @@ mod tests {
         }
         let (a, _, _) = r.schedule(SimTime(1));
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn scheduler_stats_classify_locality_and_relaxation() {
+        let mut r = rm(4, 2);
+        r.register_app(AppId(1), "default");
+        let pinned = |node: u32| ContainerRequest {
+            priority: 0,
+            resource: Resource::new(1024, 1),
+            nodes: vec![NodeId(node)],
+            racks: vec![],
+            relax_locality: true,
+        };
+        // Two node-local placements fill node 0 (2 vcores).
+        r.add_request(AppId(1), pinned(0), SimTime::ZERO);
+        r.add_request(AppId(1), pinned(0), SimTime::ZERO);
+        r.schedule(SimTime::ZERO);
+        // One unconstrained placement.
+        r.add_request(
+            AppId(1),
+            ContainerRequest::anywhere(0, Resource::new(1024, 1)),
+            SimTime(10),
+        );
+        r.schedule(SimTime(10));
+        // Node 0 is full: this request waits out the node delay and
+        // relaxes to its rack peer (node 1, which still has a free slot).
+        r.add_request(AppId(1), pinned(0), SimTime(20));
+        let (a, _, _) = r.schedule(SimTime(20 + 1_000));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].container.node, NodeId(1));
+
+        let s = r.scheduler_stats(AppId(1));
+        assert_eq!(s.placements, 4);
+        assert_eq!(s.node_local, 2);
+        assert_eq!(s.rack_local, 1);
+        assert_eq!(s.unconstrained, 1);
+        assert_eq!(s.off_rack, 0);
+        assert_eq!(s.relaxed_after_delay, 1);
+        assert_eq!(s.total_wait_ms, 1_000);
+        assert_eq!(s.max_wait_ms, 1_000);
+        assert_eq!(s.preemptions, 0);
+    }
+
+    #[test]
+    fn relax_locality_false_never_relaxes_off_rack() {
+        // 4 nodes, racks of 2. Fill rack 0 (nodes 0 and 1) completely.
+        let mut r = rm(4, 1);
+        r.register_app(AppId(1), "default");
+        for n in [0u32, 1] {
+            r.add_request(
+                AppId(1),
+                ContainerRequest {
+                    priority: 0,
+                    resource: Resource::new(1024, 1),
+                    nodes: vec![NodeId(n)],
+                    racks: vec![],
+                    relax_locality: false,
+                },
+                SimTime::ZERO,
+            );
+        }
+        let (a, _, _) = r.schedule(SimTime::ZERO);
+        assert_eq!(a.len(), 2);
+        let rack_peer = a
+            .iter()
+            .find(|al| al.container.node == NodeId(1))
+            .unwrap()
+            .container
+            .id;
+        // Strict-locality request for the full rack: must never land on
+        // rack 1, no matter how long it waits.
+        r.add_request(
+            AppId(1),
+            ContainerRequest {
+                priority: 0,
+                resource: Resource::new(1024, 1),
+                nodes: vec![NodeId(0)],
+                racks: vec![],
+                relax_locality: false,
+            },
+            SimTime(0),
+        );
+        for t in [1_000u64, 3_000, 100_000] {
+            let (a, _, next) = r.schedule(SimTime(t));
+            assert!(a.is_empty(), "off-rack placement forbidden at t={t}");
+            // Past both delays no timer can unblock it — only capacity can.
+            if t >= 3_000 {
+                assert_eq!(next, None, "no wakeup once delays are exhausted");
+            }
+        }
+        assert_eq!(r.pending_requests(AppId(1)), 1);
+        // Freeing a rack-local slot (node 1) finally places it.
+        r.release_container(rack_peer);
+        let (a, _, _) = r.schedule(SimTime(200_000));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].container.node, NodeId(1), "rack-local, not off-rack");
+    }
+
+    #[test]
+    fn wakeup_fires_at_exact_node_delay_boundary() {
+        // 2 nodes, one rack. Fill preferred node 0.
+        let mut r = rm(2, 4);
+        r.register_app(AppId(1), "default");
+        for _ in 0..4 {
+            r.add_request(
+                AppId(1),
+                ContainerRequest {
+                    priority: 0,
+                    resource: Resource::new(1024, 1),
+                    nodes: vec![NodeId(0)],
+                    racks: vec![],
+                    relax_locality: true,
+                },
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        r.add_request(
+            AppId(1),
+            ContainerRequest {
+                priority: 0,
+                resource: Resource::new(1024, 1),
+                nodes: vec![NodeId(0)],
+                racks: vec![],
+                relax_locality: true,
+            },
+            SimTime(100),
+        );
+        // One tick before the boundary: still blocked, wakeup scheduled
+        // for exactly created + node_delay_ms.
+        let (a, _, next) = r.schedule(SimTime(100 + 999));
+        assert!(a.is_empty());
+        assert_eq!(next, Some(SimTime(100 + 1_000)));
+        // At exactly the boundary the relaxation applies (waited ==
+        // node_delay_ms is no longer "< delay"): rack-local node 1 wins.
+        let (a, _, _) = r.schedule(SimTime(100 + 1_000));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].container.node, NodeId(1));
+    }
+
+    #[test]
+    fn wakeup_advances_to_rack_delay_after_node_delay_expires() {
+        // 4 nodes, racks of 2. Rack 0 fully occupied.
+        let mut r = rm(4, 1);
+        r.register_app(AppId(1), "default");
+        for n in [0u32, 1] {
+            r.add_request(
+                AppId(1),
+                ContainerRequest {
+                    priority: 0,
+                    resource: Resource::new(1024, 1),
+                    nodes: vec![NodeId(n)],
+                    racks: vec![],
+                    relax_locality: false,
+                },
+                SimTime::ZERO,
+            );
+        }
+        r.schedule(SimTime::ZERO);
+        r.add_request(
+            AppId(1),
+            ContainerRequest {
+                priority: 0,
+                resource: Resource::new(1024, 1),
+                nodes: vec![NodeId(0)],
+                racks: vec![],
+                relax_locality: true,
+            },
+            SimTime(0),
+        );
+        // At exactly the node-delay boundary the rack is still full, so
+        // the next wakeup must move out to the rack-delay expiry.
+        let (a, _, next) = r.schedule(SimTime(1_000));
+        assert!(a.is_empty());
+        assert_eq!(next, Some(SimTime(3_000)));
+        // At exactly the rack boundary, off-rack placement is allowed.
+        let (a, _, _) = r.schedule(SimTime(3_000));
+        assert_eq!(a.len(), 1);
+        assert!(a[0].container.node.0 >= 2, "off-rack node expected");
     }
 
     #[test]

@@ -214,7 +214,10 @@ impl SimInner {
     }
 
     pub(crate) fn set_timer(&mut self, app: AppId, delay_ms: u64, tag: u64, now: SimTime) {
-        self.push(now.plus(delay_ms), EventKind::Deliver(app, AppEvent::Timer { tag }));
+        self.push(
+            now.plus(delay_ms),
+            EventKind::Deliver(app, AppEvent::Timer { tag }),
+        );
     }
 
     pub(crate) fn finish_app(&mut self, app: AppId, status: AppStatus, now: SimTime) {
@@ -260,7 +263,13 @@ impl SimInner {
         self.schedule_pass(now);
     }
 
-    fn container_vanished(&mut self, id: ContainerId, app: AppId, exit: ContainerExit, now: SimTime) {
+    fn container_vanished(
+        &mut self,
+        id: ContainerId,
+        app: AppId,
+        exit: ContainerExit,
+        now: SimTime,
+    ) {
         // Kill any running work on it first.
         let running: Vec<WorkId> = self
             .works
@@ -273,7 +282,13 @@ impl SimInner {
         }
         self.push(
             now,
-            EventKind::Deliver(app, AppEvent::ContainerCompleted { container: id, exit }),
+            EventKind::Deliver(
+                app,
+                AppEvent::ContainerCompleted {
+                    container: id,
+                    exit,
+                },
+            ),
         );
     }
 }
@@ -373,12 +388,7 @@ impl Simulation {
 
     /// Submit an app to a queue at a time; the AM starts after
     /// `am_launch_ms`.
-    pub fn add_app(
-        &mut self,
-        app: Box<dyn YarnApp>,
-        queue: &str,
-        submit_at: SimTime,
-    ) -> AppId {
+    pub fn add_app(&mut self, app: Box<dyn YarnApp>, queue: &str, submit_at: SimTime) -> AppId {
         let id = AppId(self.apps.len() as u32);
         self.apps.push(Some(app));
         self.inner.rm.register_app(id, queue);
@@ -446,8 +456,12 @@ impl Simulation {
                                 app: info.app,
                                 delta_vcores: -(info.resource.vcores as i64),
                             });
-                            self.inner
-                                .container_vanished(p.container, p.app, ContainerExit::Preempted, now);
+                            self.inner.container_vanished(
+                                p.container,
+                                p.app,
+                                ContainerExit::Preempted,
+                                now,
+                            );
                         }
                     }
                     if let Some(t) = next {
@@ -529,10 +543,7 @@ mod tests {
                 AppEvent::Start => {
                     let n = if self.reuse { 1 } else { self.tasks };
                     for _ in 0..n {
-                        ctx.request_container(ContainerRequest::anywhere(
-                            0,
-                            Resource::default(),
-                        ));
+                        ctx.request_container(ContainerRequest::anywhere(0, Resource::default()));
                     }
                 }
                 AppEvent::ContainerAllocated(c) => {
@@ -682,7 +693,14 @@ mod tests {
             FaultPlan::none().with_task_fail_prob(0.5),
             7,
         );
-        s.add_app(Box::new(FailOnce { failures: 0, done: false }), "default", SimTime::ZERO);
+        s.add_app(
+            Box::new(FailOnce {
+                failures: 0,
+                done: false,
+            }),
+            "default",
+            SimTime::ZERO,
+        );
         let res = s.run();
         assert!(res.all_succeeded());
     }
@@ -775,7 +793,11 @@ mod tests {
             }
         }
         let mut s = sim(1);
-        s.add_app(Box::new(TimerApp { fired: vec![] }), "default", SimTime::ZERO);
+        s.add_app(
+            Box::new(TimerApp { fired: vec![] }),
+            "default",
+            SimTime::ZERO,
+        );
         assert!(s.run().all_succeeded());
     }
 

@@ -7,7 +7,11 @@ use tez_yarn::{AppId, ContainerRequest, NodeId, QueueSpec, Resource, Rm, RmConfi
 
 #[derive(Clone, Debug)]
 enum Op {
-    Request { mem: u64, cores: u32, node_pref: Option<u8> },
+    Request {
+        mem: u64,
+        cores: u32,
+        node_pref: Option<u8>,
+    },
     Schedule,
     ReleaseNewest,
     FailNode(u8),

@@ -10,11 +10,21 @@ use tez_dag::{expand, DagBuilder, DataMovement, EdgeProperty, NamedDescriptor, V
 use tez_examples::header;
 
 fn main() {
-    let prop = |m| EdgeProperty::new(m, NamedDescriptor::new("Output"), NamedDescriptor::new("Input"));
+    let prop = |m| {
+        EdgeProperty::new(
+            m,
+            NamedDescriptor::new("Output"),
+            NamedDescriptor::new("Input"),
+        )
+    };
     // The paper's example: two filters and an aggregation feeding a join.
     let dag = DagBuilder::new("figure2")
-        .add_vertex(Vertex::new("filter1", NamedDescriptor::new("FilterProcessor")).with_parallelism(3))
-        .add_vertex(Vertex::new("filter2", NamedDescriptor::new("FilterProcessor")).with_parallelism(3))
+        .add_vertex(
+            Vertex::new("filter1", NamedDescriptor::new("FilterProcessor")).with_parallelism(3),
+        )
+        .add_vertex(
+            Vertex::new("filter2", NamedDescriptor::new("FilterProcessor")).with_parallelism(3),
+        )
         .add_vertex(Vertex::new("agg", NamedDescriptor::new("AggProcessor")).with_parallelism(3))
         .add_vertex(Vertex::new("join", NamedDescriptor::new("JoinProcessor")).with_parallelism(2))
         .add_edge("filter1", "agg", prop(DataMovement::OneToOne))
@@ -27,7 +37,7 @@ fn main() {
     print!("{}", dag.to_dot());
 
     header("physical task DAG (one-to-one + scatter-gather expansion)");
-    let phys = expand(&dag, &[3, 3, 3, 2], &HashMap::new());
+    let phys = expand(&dag, &[3, 3, 3, 2], &HashMap::new()).expect("built-in edges only");
     print!("{}", phys.to_dot(&dag));
     println!(
         "\n{} logical vertices expand into {} tasks connected by {} physical transfers",

@@ -36,8 +36,16 @@ fn main() {
     }
     println!("…{} rows total", tez.rows.len());
 
+    header("unified run report (tez)");
+    let rr = &tez.reports.last().unwrap().run_report;
+    print!("{}", rr.render_table());
+    println!("json: {} bytes, deterministic", rr.to_json().len());
+
     header("backends");
-    println!("tez: one DAG,      {:>8.1}s", tez.runtime_ms() as f64 / 1000.0);
+    println!(
+        "tez: one DAG,      {:>8.1}s",
+        tez.runtime_ms() as f64 / 1000.0
+    );
     println!(
         "mr : {} jobs chained, {:>8.1}s  ({:.1}x slower)",
         mr.reports.len(),

@@ -39,7 +39,11 @@ fn main() {
     }
 
     header("backends");
-    println!("tez: 1 DAG ({} vertices implied), {:>7.1}s", tez.reports[0].vertices.len(), tez.runtime_ms() as f64 / 1000.0);
+    println!(
+        "tez: 1 DAG ({} vertices implied), {:>7.1}s",
+        tez.reports[0].vertices.len(),
+        tez.runtime_ms() as f64 / 1000.0
+    );
     println!(
         "mr : {} jobs, {:>7.1}s  ({:.1}x slower — shared stream recomputed per branch)",
         mr.reports.len(),

@@ -121,7 +121,11 @@ fn main() {
         let data = run.hdfs().read_block("/output", b.index).unwrap();
         let mut c = KvCursor::new(data);
         while let Some((k, v)) = c.next() {
-            println!("{:>10} {}", String::from_utf8_lossy(&v), String::from_utf8_lossy(&k));
+            println!(
+                "{:>10} {}",
+                String::from_utf8_lossy(&v),
+                String::from_utf8_lossy(&k)
+            );
         }
     }
 }

@@ -32,7 +32,11 @@ fn main() {
             r.warm_starts
         );
     }
-    println!("  total: {:.1}s, centroids: {:?}", tez.total_ms as f64 / 1000.0, tez.centroids);
+    println!(
+        "  total: {:.1}s, centroids: {:?}",
+        tez.total_ms as f64 / 1000.0,
+        tez.centroids
+    );
 
     header("same job as a classic MapReduce chain");
     let mr = run_kmeans(

@@ -42,8 +42,14 @@ fn main() {
     };
     let service = run_tenancy(&spec, ExecutionModel::ServiceBased { executors: 8 });
     let tez = run_tenancy(&spec, ExecutionModel::TezBased);
-    println!("service-executor model: per-app latencies {:?} ms", service.latencies_ms());
-    println!("tez (ephemeral) model:  per-app latencies {:?} ms", tez.latencies_ms());
+    println!(
+        "service-executor model: per-app latencies {:?} ms",
+        service.latencies_ms()
+    );
+    println!(
+        "tez (ephemeral) model:  per-app latencies {:?} ms",
+        tez.latencies_ms()
+    );
     println!(
         "mean: service {:.1}s vs tez {:.1}s — Tez releases idle resources to other tenants",
         service.mean_latency_ms() / 1000.0,

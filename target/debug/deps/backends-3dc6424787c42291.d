@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backends-3dc6424787c42291.d: crates/hive/tests/backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackends-3dc6424787c42291.rmeta: crates/hive/tests/backends.rs Cargo.toml
+
+crates/hive/tests/backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

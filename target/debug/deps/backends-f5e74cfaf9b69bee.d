@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backends-f5e74cfaf9b69bee.d: crates/hive/tests/backends.rs
+
+/root/repo/target/debug/deps/backends-f5e74cfaf9b69bee: crates/hive/tests/backends.rs
+
+crates/hive/tests/backends.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_expansion-0d0150a5c029ff84.d: examples/dag_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_expansion-0d0150a5c029ff84.rmeta: examples/dag_expansion.rs Cargo.toml
+
+examples/dag_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

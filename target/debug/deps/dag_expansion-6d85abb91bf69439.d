@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_expansion-6d85abb91bf69439.d: examples/dag_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_expansion-6d85abb91bf69439.rmeta: examples/dag_expansion.rs Cargo.toml
+
+examples/dag_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_expansion-6d88b802f913776a.d: examples/dag_expansion.rs
+
+/root/repo/target/debug/deps/dag_expansion-6d88b802f913776a: examples/dag_expansion.rs
+
+examples/dag_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_expansion-d86510d7f1314ae3.d: examples/dag_expansion.rs
+
+/root/repo/target/debug/deps/dag_expansion-d86510d7f1314ae3: examples/dag_expansion.rs
+
+examples/dag_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5f09856d0dc5022e.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5f09856d0dc5022e: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

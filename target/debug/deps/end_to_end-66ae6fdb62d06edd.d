@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-66ae6fdb62d06edd.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-66ae6fdb62d06edd: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-1b94c77dd21d8ba0.d: tests/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-1b94c77dd21d8ba0: tests/tests/fault_tolerance.rs
+
+tests/tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_pig_production-131f06648fdc2a6e.d: crates/bench/benches/fig10_pig_production.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_pig_production-131f06648fdc2a6e.rmeta: crates/bench/benches/fig10_pig_production.rs Cargo.toml
+
+crates/bench/benches/fig10_pig_production.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_pig_kmeans-37d567ce53bea2bd.d: crates/bench/benches/fig11_pig_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_pig_kmeans-37d567ce53bea2bd.rmeta: crates/bench/benches/fig11_pig_kmeans.rs Cargo.toml
+
+crates/bench/benches/fig11_pig_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_spark_tenancy_trace-1566bfb7a2ab5f6a.d: crates/bench/benches/fig12_spark_tenancy_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_spark_tenancy_trace-1566bfb7a2ab5f6a.rmeta: crates/bench/benches/fig12_spark_tenancy_trace.rs Cargo.toml
+
+crates/bench/benches/fig12_spark_tenancy_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

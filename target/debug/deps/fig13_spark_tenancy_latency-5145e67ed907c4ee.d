@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_spark_tenancy_latency-5145e67ed907c4ee.d: crates/bench/benches/fig13_spark_tenancy_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_spark_tenancy_latency-5145e67ed907c4ee.rmeta: crates/bench/benches/fig13_spark_tenancy_latency.rs Cargo.toml
+
+crates/bench/benches/fig13_spark_tenancy_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_session_trace-a28f6878b30f6dc1.d: crates/bench/benches/fig7_session_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_session_trace-a28f6878b30f6dc1.rmeta: crates/bench/benches/fig7_session_trace.rs Cargo.toml
+
+crates/bench/benches/fig7_session_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

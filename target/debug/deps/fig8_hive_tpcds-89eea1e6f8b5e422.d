@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_hive_tpcds-89eea1e6f8b5e422.d: crates/bench/benches/fig8_hive_tpcds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_hive_tpcds-89eea1e6f8b5e422.rmeta: crates/bench/benches/fig8_hive_tpcds.rs Cargo.toml
+
+crates/bench/benches/fig8_hive_tpcds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_hive_tpch-ef7fae608aa6e1ae.d: crates/bench/benches/fig9_hive_tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_hive_tpch-ef7fae608aa6e1ae.rmeta: crates/bench/benches/fig9_hive_tpch.rs Cargo.toml
+
+crates/bench/benches/fig9_hive_tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

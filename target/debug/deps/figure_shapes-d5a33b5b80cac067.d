@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_shapes-d5a33b5b80cac067.d: tests/tests/figure_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_shapes-d5a33b5b80cac067.rmeta: tests/tests/figure_shapes.rs Cargo.toml
+
+tests/tests/figure_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-e5f672ea60c38142.d: tests/tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-e5f672ea60c38142: tests/tests/figure_shapes.rs
+
+tests/tests/figure_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hive_tpch-43e668e2352d2056.d: examples/hive_tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhive_tpch-43e668e2352d2056.rmeta: examples/hive_tpch.rs Cargo.toml
+
+examples/hive_tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hive_tpch-4abf7c3ab37b6d02.d: examples/hive_tpch.rs
+
+/root/repo/target/debug/deps/hive_tpch-4abf7c3ab37b6d02: examples/hive_tpch.rs
+
+examples/hive_tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hive_tpch-cdaea1685f9c94ca.d: examples/hive_tpch.rs
+
+/root/repo/target/debug/deps/hive_tpch-cdaea1685f9c94ca: examples/hive_tpch.rs
+
+examples/hive_tpch.rs:

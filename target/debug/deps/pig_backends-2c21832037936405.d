@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pig_backends-2c21832037936405.d: crates/pig/tests/pig_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpig_backends-2c21832037936405.rmeta: crates/pig/tests/pig_backends.rs Cargo.toml
+
+crates/pig/tests/pig_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pig_backends-b4e6a224a15a856b.d: crates/pig/tests/pig_backends.rs
+
+/root/repo/target/debug/deps/pig_backends-b4e6a224a15a856b: crates/pig/tests/pig_backends.rs
+
+crates/pig/tests/pig_backends.rs:

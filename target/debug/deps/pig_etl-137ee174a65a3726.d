@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pig_etl-137ee174a65a3726.d: examples/pig_etl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpig_etl-137ee174a65a3726.rmeta: examples/pig_etl.rs Cargo.toml
+
+examples/pig_etl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

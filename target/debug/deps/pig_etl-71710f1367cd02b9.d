@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pig_etl-71710f1367cd02b9.d: examples/pig_etl.rs
+
+/root/repo/target/debug/deps/pig_etl-71710f1367cd02b9: examples/pig_etl.rs
+
+examples/pig_etl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pig_etl-f98420b9d05575de.d: examples/pig_etl.rs
+
+/root/repo/target/debug/deps/pig_etl-f98420b9d05575de: examples/pig_etl.rs
+
+examples/pig_etl.rs:

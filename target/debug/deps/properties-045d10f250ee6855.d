@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-045d10f250ee6855.d: crates/hive/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-045d10f250ee6855.rmeta: crates/hive/tests/properties.rs Cargo.toml
+
+crates/hive/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-64fafadc2d7f98b4.d: crates/shuffle/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-64fafadc2d7f98b4.rmeta: crates/shuffle/tests/properties.rs Cargo.toml
+
+crates/shuffle/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7be662d01222d6d4.d: crates/yarn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7be662d01222d6d4: crates/yarn/tests/properties.rs
+
+crates/yarn/tests/properties.rs:

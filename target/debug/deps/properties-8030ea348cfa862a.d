@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8030ea348cfa862a.d: crates/hive/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8030ea348cfa862a: crates/hive/tests/properties.rs
+
+crates/hive/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a923ccee3b848cb1.d: crates/dag/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a923ccee3b848cb1.rmeta: crates/dag/tests/properties.rs Cargo.toml
+
+crates/dag/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

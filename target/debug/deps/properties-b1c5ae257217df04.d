@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b1c5ae257217df04.d: crates/yarn/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b1c5ae257217df04.rmeta: crates/yarn/tests/properties.rs Cargo.toml
+
+crates/yarn/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c33a39be684f9340.d: crates/dag/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c33a39be684f9340: crates/dag/tests/properties.rs
+
+crates/dag/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e30b976163844663.d: crates/shuffle/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e30b976163844663: crates/shuffle/tests/properties.rs
+
+crates/shuffle/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-1c101ee90a8b6a62.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-1c101ee90a8b6a62: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-32703a70fd684851.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-32703a70fd684851: examples/quickstart.rs
+
+examples/quickstart.rs:

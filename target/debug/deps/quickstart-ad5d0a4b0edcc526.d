@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-ad5d0a4b0edcc526.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-ad5d0a4b0edcc526.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

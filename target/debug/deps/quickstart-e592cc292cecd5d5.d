@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-e592cc292cecd5d5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-e592cc292cecd5d5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-a14205c22e5f5ffe.d: tests/tests/scaling.rs
+
+/root/repo/target/debug/deps/scaling-a14205c22e5f5ffe: tests/tests/scaling.rs
+
+tests/tests/scaling.rs:

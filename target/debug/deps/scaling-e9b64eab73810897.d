@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-e9b64eab73810897.d: tests/tests/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-e9b64eab73810897.rmeta: tests/tests/scaling.rs Cargo.toml
+
+tests/tests/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_iteration-50ebefb03bc8327e.d: examples/session_iteration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_iteration-50ebefb03bc8327e.rmeta: examples/session_iteration.rs Cargo.toml
+
+examples/session_iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_iteration-577e115d748fcf86.d: examples/session_iteration.rs
+
+/root/repo/target/debug/deps/session_iteration-577e115d748fcf86: examples/session_iteration.rs
+
+examples/session_iteration.rs:

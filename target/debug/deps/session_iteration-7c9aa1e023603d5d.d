@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_iteration-7c9aa1e023603d5d.d: examples/session_iteration.rs
+
+/root/repo/target/debug/deps/session_iteration-7c9aa1e023603d5d: examples/session_iteration.rs
+
+examples/session_iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spark_rdd-7481a9f57db4124e.d: examples/spark_rdd.rs
+
+/root/repo/target/debug/deps/spark_rdd-7481a9f57db4124e: examples/spark_rdd.rs
+
+examples/spark_rdd.rs:

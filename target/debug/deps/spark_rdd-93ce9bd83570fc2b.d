@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spark_rdd-93ce9bd83570fc2b.d: examples/spark_rdd.rs
+
+/root/repo/target/debug/deps/spark_rdd-93ce9bd83570fc2b: examples/spark_rdd.rs
+
+examples/spark_rdd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spark_rdd-d1259092618cf329.d: examples/spark_rdd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspark_rdd-d1259092618cf329.rmeta: examples/spark_rdd.rs Cargo.toml
+
+examples/spark_rdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

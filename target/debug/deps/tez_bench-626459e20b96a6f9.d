@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_bench-626459e20b96a6f9.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libtez_bench-626459e20b96a6f9.rlib: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libtez_bench-626459e20b96a6f9.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/load.rs:
+crates/bench/src/table.rs:

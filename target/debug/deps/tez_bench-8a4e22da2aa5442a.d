@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tez_bench-8a4e22da2aa5442a.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/tez_bench-8a4e22da2aa5442a: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/load.rs:
+crates/bench/src/table.rs:

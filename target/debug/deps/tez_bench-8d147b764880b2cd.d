@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tez_bench-8d147b764880b2cd.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_bench-8d147b764880b2cd.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/load.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

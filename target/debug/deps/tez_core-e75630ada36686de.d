@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tez_core-e75630ada36686de.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_core-e75630ada36686de.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_managers.rs:
+crates/core/src/executor.rs:
+crates/core/src/initializers.rs:
+crates/core/src/objreg.rs:
+crates/core/src/report.rs:
+crates/core/src/vertex_managers.rs:
+crates/core/src/am.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tez_dag-ffeca424241e2526.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_dag-ffeca424241e2526.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs Cargo.toml
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/edge.rs:
+crates/dag/src/error.rs:
+crates/dag/src/expand.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/payload.rs:
+crates/dag/src/vertex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tez_examples-09d2935196645a4c.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_examples-09d2935196645a4c.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

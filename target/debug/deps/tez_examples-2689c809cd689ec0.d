@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tez_examples-2689c809cd689ec0.d: examples/lib.rs
+
+/root/repo/target/debug/deps/tez_examples-2689c809cd689ec0: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tez_examples-45db5f611566e851.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_examples-45db5f611566e851.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

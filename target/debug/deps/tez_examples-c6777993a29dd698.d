@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tez_examples-c6777993a29dd698.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libtez_examples-c6777993a29dd698.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libtez_examples-c6777993a29dd698.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/tez_hive-4c3a3c4491656194.d: crates/hive/src/lib.rs crates/hive/src/catalog.rs crates/hive/src/compile_mr.rs crates/hive/src/compile_tez.rs crates/hive/src/engine.rs crates/hive/src/expr.rs crates/hive/src/physical.rs crates/hive/src/plan.rs crates/hive/src/query.rs crates/hive/src/tpcds.rs crates/hive/src/tpch.rs crates/hive/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_hive-4c3a3c4491656194.rmeta: crates/hive/src/lib.rs crates/hive/src/catalog.rs crates/hive/src/compile_mr.rs crates/hive/src/compile_tez.rs crates/hive/src/engine.rs crates/hive/src/expr.rs crates/hive/src/physical.rs crates/hive/src/plan.rs crates/hive/src/query.rs crates/hive/src/tpcds.rs crates/hive/src/tpch.rs crates/hive/src/types.rs Cargo.toml
+
+crates/hive/src/lib.rs:
+crates/hive/src/catalog.rs:
+crates/hive/src/compile_mr.rs:
+crates/hive/src/compile_tez.rs:
+crates/hive/src/engine.rs:
+crates/hive/src/expr.rs:
+crates/hive/src/physical.rs:
+crates/hive/src/plan.rs:
+crates/hive/src/query.rs:
+crates/hive/src/tpcds.rs:
+crates/hive/src/tpch.rs:
+crates/hive/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tez_integration-2fdb6dc5fd707238.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libtez_integration-2fdb6dc5fd707238.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libtez_integration-2fdb6dc5fd707238.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tez_integration-3dde19a768bba4a8.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_integration-3dde19a768bba4a8.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

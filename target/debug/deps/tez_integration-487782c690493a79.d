@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tez_integration-487782c690493a79.d: tests/lib.rs
+
+/root/repo/target/debug/deps/tez_integration-487782c690493a79: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tez_mapreduce-36811f6a2369e10e.d: crates/mapreduce/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_mapreduce-36811f6a2369e10e.rmeta: crates/mapreduce/src/lib.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tez_mapreduce-53b30889e10e70b4.d: crates/mapreduce/src/lib.rs
+
+/root/repo/target/debug/deps/tez_mapreduce-53b30889e10e70b4: crates/mapreduce/src/lib.rs
+
+crates/mapreduce/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tez_mapreduce-81d3a4a0377138e6.d: crates/mapreduce/src/lib.rs
+
+/root/repo/target/debug/deps/libtez_mapreduce-81d3a4a0377138e6.rlib: crates/mapreduce/src/lib.rs
+
+/root/repo/target/debug/deps/libtez_mapreduce-81d3a4a0377138e6.rmeta: crates/mapreduce/src/lib.rs
+
+crates/mapreduce/src/lib.rs:

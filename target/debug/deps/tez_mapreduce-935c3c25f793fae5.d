@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tez_mapreduce-935c3c25f793fae5.d: crates/mapreduce/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_mapreduce-935c3c25f793fae5.rmeta: crates/mapreduce/src/lib.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tez_pig-46ec0028192f3828.d: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_pig-46ec0028192f3828.rmeta: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs Cargo.toml
+
+crates/pig/src/lib.rs:
+crates/pig/src/compile.rs:
+crates/pig/src/engine.rs:
+crates/pig/src/kmeans.rs:
+crates/pig/src/script.rs:
+crates/pig/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

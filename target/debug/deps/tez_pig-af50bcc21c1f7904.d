@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_pig-af50bcc21c1f7904.d: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/debug/deps/tez_pig-af50bcc21c1f7904: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+crates/pig/src/lib.rs:
+crates/pig/src/compile.rs:
+crates/pig/src/engine.rs:
+crates/pig/src/kmeans.rs:
+crates/pig/src/script.rs:
+crates/pig/src/workloads.rs:

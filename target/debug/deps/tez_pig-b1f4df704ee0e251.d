@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tez_pig-b1f4df704ee0e251.d: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/debug/deps/libtez_pig-b1f4df704ee0e251.rlib: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/debug/deps/libtez_pig-b1f4df704ee0e251.rmeta: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+crates/pig/src/lib.rs:
+crates/pig/src/compile.rs:
+crates/pig/src/engine.rs:
+crates/pig/src/kmeans.rs:
+crates/pig/src/script.rs:
+crates/pig/src/workloads.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tez_shuffle-43682e6dd27f3abc.d: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_shuffle-43682e6dd27f3abc.rmeta: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs Cargo.toml
+
+crates/shuffle/src/lib.rs:
+crates/shuffle/src/codec.rs:
+crates/shuffle/src/io.rs:
+crates/shuffle/src/merge.rs:
+crates/shuffle/src/service.rs:
+crates/shuffle/src/sorter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

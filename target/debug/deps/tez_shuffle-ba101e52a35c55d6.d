@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_shuffle-ba101e52a35c55d6.d: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/debug/deps/tez_shuffle-ba101e52a35c55d6: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+crates/shuffle/src/lib.rs:
+crates/shuffle/src/codec.rs:
+crates/shuffle/src/io.rs:
+crates/shuffle/src/merge.rs:
+crates/shuffle/src/service.rs:
+crates/shuffle/src/sorter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tez_shuffle-d9b974b644481c50.d: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/debug/deps/libtez_shuffle-d9b974b644481c50.rlib: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/debug/deps/libtez_shuffle-d9b974b644481c50.rmeta: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+crates/shuffle/src/lib.rs:
+crates/shuffle/src/codec.rs:
+crates/shuffle/src/io.rs:
+crates/shuffle/src/merge.rs:
+crates/shuffle/src/service.rs:
+crates/shuffle/src/sorter.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_spark-510d8a82bd1b28f8.d: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/debug/deps/libtez_spark-510d8a82bd1b28f8.rlib: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/debug/deps/libtez_spark-510d8a82bd1b28f8.rmeta: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+crates/spark/src/lib.rs:
+crates/spark/src/compile.rs:
+crates/spark/src/rdd.rs:
+crates/spark/src/tenancy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tez_spark-c1c4c9fedbbc1d48.d: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/debug/deps/tez_spark-c1c4c9fedbbc1d48: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+crates/spark/src/lib.rs:
+crates/spark/src/compile.rs:
+crates/spark/src/rdd.rs:
+crates/spark/src/tenancy.rs:

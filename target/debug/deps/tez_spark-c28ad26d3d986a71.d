@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tez_spark-c28ad26d3d986a71.d: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtez_spark-c28ad26d3d986a71.rmeta: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs Cargo.toml
+
+crates/spark/src/lib.rs:
+crates/spark/src/compile.rs:
+crates/spark/src/rdd.rs:
+crates/spark/src/tenancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-63d2d47df2c1523a.d: crates/hive/tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-63d2d47df2c1523a: crates/hive/tests/zz_probe.rs
+
+crates/hive/tests/zz_probe.rs:

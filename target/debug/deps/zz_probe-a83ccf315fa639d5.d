@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-a83ccf315fa639d5.d: tests/tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-a83ccf315fa639d5: tests/tests/zz_probe.rs
+
+tests/tests/zz_probe.rs:

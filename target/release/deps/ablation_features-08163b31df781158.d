@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_features-08163b31df781158.d: crates/bench/benches/ablation_features.rs
+
+/root/repo/target/release/deps/ablation_features-08163b31df781158: crates/bench/benches/ablation_features.rs
+
+crates/bench/benches/ablation_features.rs:

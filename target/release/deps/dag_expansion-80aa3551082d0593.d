@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dag_expansion-80aa3551082d0593.d: examples/dag_expansion.rs
+
+/root/repo/target/release/deps/dag_expansion-80aa3551082d0593: examples/dag_expansion.rs
+
+examples/dag_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_session_trace-83b566caf53a129c.d: crates/bench/benches/fig7_session_trace.rs
+
+/root/repo/target/release/deps/fig7_session_trace-83b566caf53a129c: crates/bench/benches/fig7_session_trace.rs
+
+crates/bench/benches/fig7_session_trace.rs:

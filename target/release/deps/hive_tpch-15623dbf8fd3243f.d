@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hive_tpch-15623dbf8fd3243f.d: examples/hive_tpch.rs
+
+/root/repo/target/release/deps/hive_tpch-15623dbf8fd3243f: examples/hive_tpch.rs
+
+examples/hive_tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pig_etl-475c2ba3eb139da7.d: examples/pig_etl.rs
+
+/root/repo/target/release/deps/pig_etl-475c2ba3eb139da7: examples/pig_etl.rs
+
+examples/pig_etl.rs:

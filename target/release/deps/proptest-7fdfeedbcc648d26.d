@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/proptest-7fdfeedbcc648d26.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/runner.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/release/deps/libproptest-7fdfeedbcc648d26.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/runner.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/release/deps/libproptest-7fdfeedbcc648d26.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/runner.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/runner.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:

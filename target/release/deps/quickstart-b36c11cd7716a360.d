@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-b36c11cd7716a360.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-b36c11cd7716a360: examples/quickstart.rs
+
+examples/quickstart.rs:

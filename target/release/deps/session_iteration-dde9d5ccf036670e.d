@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/session_iteration-dde9d5ccf036670e.d: examples/session_iteration.rs
+
+/root/repo/target/release/deps/session_iteration-dde9d5ccf036670e: examples/session_iteration.rs
+
+examples/session_iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spark_rdd-cbaca3a58969a242.d: examples/spark_rdd.rs
+
+/root/repo/target/release/deps/spark_rdd-cbaca3a58969a242: examples/spark_rdd.rs
+
+examples/spark_rdd.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tez_bench-6ddba5f567111583.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libtez_bench-6ddba5f567111583.rlib: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libtez_bench-6ddba5f567111583.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/load.rs:
+crates/bench/src/table.rs:

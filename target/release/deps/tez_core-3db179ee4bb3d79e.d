@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tez_core-3db179ee4bb3d79e.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs
+
+/root/repo/target/release/deps/libtez_core-3db179ee4bb3d79e.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs
+
+/root/repo/target/release/deps/libtez_core-3db179ee4bb3d79e.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_managers.rs:
+crates/core/src/executor.rs:
+crates/core/src/initializers.rs:
+crates/core/src/objreg.rs:
+crates/core/src/report.rs:
+crates/core/src/vertex_managers.rs:
+crates/core/src/am.rs:

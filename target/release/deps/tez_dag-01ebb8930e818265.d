@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tez_dag-01ebb8930e818265.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs
+
+/root/repo/target/release/deps/libtez_dag-01ebb8930e818265.rlib: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs
+
+/root/repo/target/release/deps/libtez_dag-01ebb8930e818265.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/edge.rs:
+crates/dag/src/error.rs:
+crates/dag/src/expand.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/payload.rs:
+crates/dag/src/vertex.rs:

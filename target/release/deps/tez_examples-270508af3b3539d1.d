@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tez_examples-270508af3b3539d1.d: examples/lib.rs
+
+/root/repo/target/release/deps/libtez_examples-270508af3b3539d1.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libtez_examples-270508af3b3539d1.rmeta: examples/lib.rs
+
+examples/lib.rs:

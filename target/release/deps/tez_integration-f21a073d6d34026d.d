@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tez_integration-f21a073d6d34026d.d: tests/lib.rs
+
+/root/repo/target/release/deps/libtez_integration-f21a073d6d34026d.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libtez_integration-f21a073d6d34026d.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tez_mapreduce-7bb8b3486994a2d6.d: crates/mapreduce/src/lib.rs
+
+/root/repo/target/release/deps/libtez_mapreduce-7bb8b3486994a2d6.rlib: crates/mapreduce/src/lib.rs
+
+/root/repo/target/release/deps/libtez_mapreduce-7bb8b3486994a2d6.rmeta: crates/mapreduce/src/lib.rs
+
+crates/mapreduce/src/lib.rs:

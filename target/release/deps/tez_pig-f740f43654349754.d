@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tez_pig-f740f43654349754.d: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/release/deps/libtez_pig-f740f43654349754.rlib: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/release/deps/libtez_pig-f740f43654349754.rmeta: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+crates/pig/src/lib.rs:
+crates/pig/src/compile.rs:
+crates/pig/src/engine.rs:
+crates/pig/src/kmeans.rs:
+crates/pig/src/script.rs:
+crates/pig/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tez_shuffle-67f681ef4a726a64.d: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/release/deps/libtez_shuffle-67f681ef4a726a64.rlib: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/release/deps/libtez_shuffle-67f681ef4a726a64.rmeta: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+crates/shuffle/src/lib.rs:
+crates/shuffle/src/codec.rs:
+crates/shuffle/src/io.rs:
+crates/shuffle/src/merge.rs:
+crates/shuffle/src/service.rs:
+crates/shuffle/src/sorter.rs:

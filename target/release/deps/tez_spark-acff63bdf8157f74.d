@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tez_spark-acff63bdf8157f74.d: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/release/deps/libtez_spark-acff63bdf8157f74.rlib: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/release/deps/libtez_spark-acff63bdf8157f74.rmeta: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+crates/spark/src/lib.rs:
+crates/spark/src/compile.rs:
+crates/spark/src/rdd.rs:
+crates/spark/src/tenancy.rs:

@@ -82,10 +82,20 @@ fn feature_flags_never_change_results() {
     .into_iter()
     .enumerate()
     {
-        let res = engine.run_tez_with(&client, &format!("q12v{i}"), &q.plan, &HiveOpts::default(), config);
+        let res = engine.run_tez_with(
+            &client,
+            &format!("q12v{i}"),
+            &q.plan,
+            &HiveOpts::default(),
+            config,
+        );
         assert!(res.success());
         let mut rows = res.rows.clone();
         rows.sort_by(|a, b| tez_hive::plan::compare_rows(a, b, &[(0, false)]));
-        assert_eq!(format!("{rows:?}"), reference, "variant {i} changed results");
+        assert_eq!(
+            format!("{rows:?}"),
+            reference,
+            "variant {i} changed results"
+        );
     }
 }

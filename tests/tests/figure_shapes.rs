@@ -82,9 +82,6 @@ fn fig13_tez_wins_at_every_scale() {
 #[test]
 fn ablations_every_feature_pays_for_itself() {
     for (feature, on, off) in ablation_features(true) {
-        assert!(
-            off >= on,
-            "{feature}: disabling helped ({off} < {on})"
-        );
+        assert!(off >= on, "{feature}: disabling helped ({off} < {on})");
     }
 }

@@ -1,0 +1,129 @@
+//! Minimal vendored replacement for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the criterion API its micro-benchmarks
+//! use: `Criterion::bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warm-up, then timed
+//! batches until ~200 ms elapse — and reports mean ns/iteration to
+//! stdout. No statistics, plots or baselines; good enough to spot
+//! order-of-magnitude regressions by eye.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; this implementation runs setup once per iteration
+/// regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut once: impl FnMut()) {
+        // Warm-up.
+        for _ in 0..3 {
+            once();
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            once();
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time repeated runs of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.measure(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    /// Time repeated runs of `routine` over fresh inputs from `setup`;
+    /// setup time is excluded from the reported per-iteration cost.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = Duration::from_millis(200);
+        let mut measured = Duration::ZERO;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        while start.elapsed() < budget && iters < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = measured;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut b);
+        let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        println!(
+            "bench {name:<40} {per_iter_ns:>12.0} ns/iter  ({} iters)",
+            b.iters_done
+        );
+        self
+    }
+}
+
+/// Group benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

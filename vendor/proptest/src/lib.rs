@@ -1,0 +1,215 @@
+//! Minimal vendored replacement for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest it uses: the `proptest!` macro
+//! with `pat in strategy` / `ident: type` parameters, `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, numeric range and
+//! string-pattern strategies, `prop_map`, `collection::vec` and
+//! `option::of`.
+//!
+//! Differences from upstream, deliberate for this workspace:
+//! * **No shrinking.** A failing case reports the generated input
+//!   (`Debug`) and the case number; inputs here are small enough to read.
+//! * **Deterministic.** Case `i` of test `t` derives its RNG seed from
+//!   `hash(t) ⊕ i`, so failures reproduce exactly across runs.
+//! * String strategies accept the literal-class pattern subset
+//!   (`[a-z]{0,12}`-style), not full regex.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod runner;
+pub mod strategy;
+pub mod string;
+
+pub use arbitrary::{any, Any, Arbitrary};
+pub use runner::TestRng;
+pub use strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+
+use std::fmt;
+
+/// Per-`proptest!` configuration (the subset the workspace sets).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the suite fast;
+    /// deterministic seeding makes reruns cover the same inputs anyway.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A test-case failure produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions whose
+/// parameters are `pat in strategy` or `ident: Type` (implicit
+/// `any::<Type>()`), in any mix, with optional trailing comma.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { @munch ($cfg) ($name) $body [] [] $($params)* }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Terminal: all parameters munched into pattern/strategy lists.
+    (@munch ($cfg:expr) ($name:ident) $body:block
+     [$(($p:pat))*] [$(($s:expr))*]) => {
+        $crate::runner::run_cases(
+            &($cfg),
+            stringify!($name),
+            &($($s,)*),
+            |($($p,)*)| {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        )
+    };
+    // `pat in strategy`, more parameters follow.
+    (@munch ($cfg:expr) ($name:ident) $body:block
+     [$($pats:tt)*] [$($strats:tt)*] $p:pat in $s:expr, $($rest:tt)+) => {
+        $crate::__proptest_case! {
+            @munch ($cfg) ($name) $body [$($pats)* ($p)] [$($strats)* ($s)] $($rest)+
+        }
+    };
+    // `pat in strategy`, final parameter (optional trailing comma).
+    (@munch ($cfg:expr) ($name:ident) $body:block
+     [$($pats:tt)*] [$($strats:tt)*] $p:pat in $s:expr $(,)?) => {
+        $crate::__proptest_case! {
+            @munch ($cfg) ($name) $body [$($pats)* ($p)] [$($strats)* ($s)]
+        }
+    };
+    // `ident: Type` (implicit any::<Type>()), more parameters follow.
+    (@munch ($cfg:expr) ($name:ident) $body:block
+     [$($pats:tt)*] [$($strats:tt)*] $i:ident : $t:ty, $($rest:tt)+) => {
+        $crate::__proptest_case! {
+            @munch ($cfg) ($name) $body
+            [$($pats)* ($i)] [$($strats)* ($crate::arbitrary::any::<$t>())] $($rest)+
+        }
+    };
+    // `ident: Type`, final parameter (optional trailing comma).
+    (@munch ($cfg:expr) ($name:ident) $body:block
+     [$($pats:tt)*] [$($strats:tt)*] $i:ident : $t:ty $(,)?) => {
+        $crate::__proptest_case! {
+            @munch ($cfg) ($name) $body
+            [$($pats)* ($i)] [$($strats)* ($crate::arbitrary::any::<$t>())]
+        }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure reports the
+/// generated input instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (lhs, rhs) => {
+                if !(*lhs == *rhs) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                        lhs, rhs
+                    )));
+                }
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (lhs, rhs) => {
+                if !(*lhs == *rhs) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+                        lhs,
+                        rhs,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Equal-weight union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}

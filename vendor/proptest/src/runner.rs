@@ -1,0 +1,47 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use crate::{ProptestConfig, TestCaseError};
+use rand::SeedableRng;
+
+/// The generator handed to strategies. Deterministic per (test, case).
+pub type TestRng = rand::rngs::StdRng;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run `config.cases` generated cases of `test`, panicking on the first
+/// failure with the case number and the `Debug` form of the input.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name) ^ (case as u64).wrapping_mul(0x9E3779B9));
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest {name}: case {case}/{} failed\n  input: {shown}\n  {e}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest {name}: case {case}/{} panicked\n  input: {shown}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

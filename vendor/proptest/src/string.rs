@@ -1,0 +1,148 @@
+//! String generation from the literal-class pattern subset of regex that
+//! the workspace's property tests use (e.g. `"[a-z]{0,12}"`).
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]`
+//! (ranges and singletons, no negation), and repetition suffixes `{m}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded forms cap at 8).
+
+use crate::runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad repetition lower bound"),
+                            n.trim().parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let exact: usize = body.trim().parse().expect("bad repetition count");
+                            (exact, exact)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition bounds in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.random_range(0..set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_suffixes() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = generate_from_pattern("ab[0-9]{3}", &mut rng);
+        assert!(s.starts_with("ab") && s.len() == 5);
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        let t = generate_from_pattern("x?", &mut rng);
+        assert!(t.len() <= 1);
+    }
+}
