@@ -1,9 +1,20 @@
 //! Figure 7: execution trace of 2 DAGs in one Tez session — containers are
 //! re-used by tasks within a DAG and across DAGs.
+//!
+//! Pass `--chrome-trace <path>` to also export the session as a Chrome
+//! Trace Event file (open in Perfetto or `chrome://tracing`).
 
 use tez_bench::fig7_session_trace;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut chrome_trace_path = None;
+    while let Some(a) = args.next() {
+        if a == "--chrome-trace" {
+            chrome_trace_path = Some(args.next().expect("--chrome-trace needs a path"));
+        }
+    }
+
     let (gantt, reports) = fig7_session_trace();
     println!("Figure 7 — session trace (rows = containers; A/B = DAG of each task)");
     println!("{gantt}");
@@ -15,6 +26,15 @@ fn main() {
             r.containers_allocated,
             r.warm_starts
         );
+        if let Some(cp) = r.run_report.critical_path() {
+            let (phase, ms) = cp.dominant_phase();
+            println!("  critical path: dominant phase {phase} ({ms} ms)");
+        }
+    }
+    if let Some(path) = chrome_trace_path {
+        let rrs: Vec<&tez_runtime::RunReport> = reports.iter().map(|r| &r.run_report).collect();
+        std::fs::write(&path, tez_runtime::chrome_trace(&rrs)).expect("write chrome trace");
+        println!("chrome trace written to {path}");
     }
     assert!(
         gantt.lines().any(|l| l.contains('A') && l.contains('B')),

@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use tez_dag::{Dag, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
+use tez_runtime::timeline::{EventKind as TlEvent, Timeline};
 use tez_runtime::{
     AttemptSpan, ComponentRegistry, ContainerStats, Counters, Dfs, EdgeStats, InitializerContext,
     InitializerResult, InputInitializer, InputSource, InputSpec, InputSplit, OutboundEvent,
@@ -148,6 +149,9 @@ struct DagRun {
     /// Data-plane stats keyed by `(src, dst)` vertex names.
     edge_stats: BTreeMap<(String, String), EdgeStats>,
     attempt_spans: Vec<AttemptSpan>,
+    /// Timeline length when this DAG was submitted; the run report carries
+    /// the slice of events recorded since.
+    timeline_base: usize,
 }
 
 struct ContainerRt {
@@ -166,7 +170,10 @@ pub struct DagAppMaster {
     pending_dags: VecDeque<DagSubmission>,
     dag_index: usize,
     run: Option<DagRun>,
-    containers: HashMap<ContainerId, ContainerRt>,
+    /// Live containers. Ordered so bulk operations (between-DAG releases,
+    /// idle sweeps, AM-failure teardown) walk them deterministically — the
+    /// timeline records each release.
+    containers: BTreeMap<ContainerId, ContainerRt>,
     request_map: HashMap<RequestId, (usize, usize, usize)>,
     work_map: HashMap<WorkId, (usize, usize, usize)>,
     /// Launch time of every in-flight work item (attempt-span tracking).
@@ -204,7 +211,7 @@ impl DagAppMaster {
             pending_dags: dags.into(),
             dag_index: 0,
             run: None,
-            containers: HashMap::new(),
+            containers: BTreeMap::new(),
             request_map: HashMap::new(),
             work_map: HashMap::new(),
             work_started: HashMap::new(),
@@ -362,6 +369,17 @@ impl DagAppMaster {
             });
         }
         let publications = vec![HashMap::new(); dag.edges().len()];
+        let timeline_base = ctx.timeline_len();
+        ctx.record_event(TlEvent::DagSubmitted {
+            dag: dag.name().to_string(),
+        });
+        for e in dag.edges() {
+            ctx.record_event(TlEvent::EdgeDefined {
+                src: e.src.clone(),
+                dst: e.dst.clone(),
+                movement: movement_name(&e.property.movement).to_string(),
+            });
+        }
         self.run = Some(DagRun {
             dag,
             submitted: ctx.now(),
@@ -379,6 +397,7 @@ impl DagAppMaster {
             container_stats: ContainerStats::default(),
             edge_stats: BTreeMap::new(),
             attempt_spans: Vec::new(),
+            timeline_base,
         });
         if let Some(reason) = setup_error {
             self.fail_dag(ctx, reason);
@@ -502,7 +521,15 @@ impl DagAppMaster {
                 }
                 VmCall::Start => {
                     self.materialize_tasks(vidx);
-                    self.run.as_mut().unwrap().vertices[vidx].started = true;
+                    let (vertex, parallelism) = {
+                        let v = &mut self.run.as_mut().unwrap().vertices[vidx];
+                        v.started = true;
+                        (v.name.clone(), v.parallelism.unwrap_or(0) as u64)
+                    };
+                    ctx.record_event(TlEvent::VertexStarted {
+                        vertex,
+                        parallelism,
+                    });
                     self.with_vm(ctx, vidx, |vm, vmctx| vm.on_vertex_started(vmctx));
                     self.check_vertex_complete(ctx, vidx);
                 }
@@ -548,7 +575,15 @@ impl DagAppMaster {
             }
             if v.parallelism.is_some() && !v.started {
                 self.materialize_tasks(vidx);
-                self.run.as_mut().unwrap().vertices[vidx].started = true;
+                let (vertex, parallelism) = {
+                    let v = &mut self.run.as_mut().unwrap().vertices[vidx];
+                    v.started = true;
+                    (v.name.clone(), v.parallelism.unwrap_or(0) as u64)
+                };
+                ctx.record_event(TlEvent::VertexStarted {
+                    vertex,
+                    parallelism,
+                });
                 self.with_vm(ctx, vidx, |vm, vmctx| vm.on_vertex_started(vmctx));
                 self.check_vertex_complete(ctx, vidx);
                 return true;
@@ -757,7 +792,7 @@ impl DagAppMaster {
                 VmAction::Reconfigure {
                     parallelism,
                     routing,
-                } => self.apply_reconfigure(vidx, parallelism, routing),
+                } => self.apply_reconfigure(ctx, vidx, parallelism, routing),
                 VmAction::Schedule(tasks) => {
                     for t in tasks {
                         self.schedule_task(ctx, vidx, t, false);
@@ -769,6 +804,7 @@ impl DagAppMaster {
 
     fn apply_reconfigure(
         &mut self,
+        ctx: &mut AppContext<'_>,
         vidx: usize,
         parallelism: usize,
         routing: Vec<(String, Arc<dyn EdgeManagerPlugin>)>,
@@ -781,6 +817,10 @@ impl DagAppMaster {
             v.name
         );
         v.parallelism = Some(parallelism);
+        ctx.record_event(TlEvent::VertexReconfigured {
+            vertex: v.name.clone(),
+            parallelism: parallelism as u64,
+        });
         let in_edges = run.dag.in_edge_indices(vidx).to_vec();
         for (src_name, mgr) in routing {
             for &e in &in_edges {
@@ -850,6 +890,12 @@ impl DagAppMaster {
             });
             t.attempts.len() - 1
         };
+        ctx.record_event(TlEvent::AttemptScheduled {
+            vertex: self.run.as_ref().unwrap().vertices[vidx].name.clone(),
+            task: task as u64,
+            attempt: attempt_idx as u64,
+            speculative,
+        });
         // Prefer an idle (warm) container — but never at the cost of data
         // locality: a task with placement preferences only reuses a
         // container on one of its preferred nodes.
@@ -902,7 +948,8 @@ impl DagAppMaster {
         task: usize,
         attempt: usize,
     ) {
-        {
+        let warm = ctx.container_works_run(container).unwrap_or(0) > 0;
+        let vertex = {
             let run = self.run.as_mut().expect("active dag");
             let v = &mut run.vertices[vidx];
             v.first_launch.get_or_insert(ctx.now());
@@ -911,7 +958,15 @@ impl DagAppMaster {
                 container,
                 since: ctx.now(),
             };
-        }
+            v.name.clone()
+        };
+        ctx.record_event(TlEvent::AttemptAssigned {
+            vertex,
+            task: task as u64,
+            attempt: attempt as u64,
+            container: container.0,
+            warm,
+        });
         self.try_execute(ctx, vidx, task, attempt);
     }
 
@@ -993,6 +1048,17 @@ impl DagAppMaster {
                 run.counters
                     .add(tez_runtime::counter_names::FETCH_RETRIES, fetch_retries);
             }
+            // One event per shard that retried (shuffle-layer log), so the
+            // timeline shows which fetches were slow, not just the total.
+            for r in fetcher.retry_log() {
+                ctx.record_event(TlEvent::FetchRetried {
+                    vertex: spec.meta.vertex.clone(),
+                    task: task as u64,
+                    attempt: attempt as u64,
+                    retries: r.retries,
+                    backoff_ms: r.backoff_ms,
+                });
+            }
         }
         match outcome {
             Ok(outcome) => {
@@ -1007,6 +1073,22 @@ impl DagAppMaster {
                         task
                     )
                 };
+                ctx.record_event(TlEvent::AttemptLaunched {
+                    vertex: spec.meta.vertex.clone(),
+                    task: task as u64,
+                    attempt: attempt as u64,
+                    container: container.0,
+                    launch_ms: if works_run == 0 {
+                        ctx.cost_model().container_launch_ms
+                    } else {
+                        0
+                    },
+                    backoff_ms: fetch_backoff_ms,
+                    fetch_ms: ctx
+                        .cost_model()
+                        .remote_read_ms(cost.remote_read_bytes)
+                        .saturating_sub(cost.overlapped_fetch_ms),
+                });
                 let work = ctx.start_work(container, label, cost);
                 self.work_map.insert(work, (vidx, task, attempt));
                 self.work_started.insert(work, ctx.now());
@@ -1056,6 +1138,16 @@ impl DagAppMaster {
             Err(TaskError::InputRead(errors)) => {
                 // Lost intermediate data: regenerate producers (§4.3). The
                 // attempt keeps its container and waits for fresh inputs.
+                for err in &errors {
+                    ctx.record_event(TlEvent::FetchFailed {
+                        vertex: spec.meta.vertex.clone(),
+                        task: task as u64,
+                        attempt: attempt as u64,
+                        output: err.locator.output_id,
+                        partition: err.locator.partition as u64,
+                        reason: "shard unavailable".to_string(),
+                    });
+                }
                 {
                     let run = self.run.as_mut().unwrap();
                     run.vertices[vidx].tasks[task].attempts[attempt].state =
@@ -1300,12 +1392,20 @@ impl DagAppMaster {
                 WorkOutcome::Killed => "killed",
                 _ => "failed",
             };
+            let vertex = run
+                .vertices
+                .get(vidx)
+                .map(|v| v.name.clone())
+                .unwrap_or_default();
+            ctx.record_event(TlEvent::AttemptFinished {
+                vertex: vertex.clone(),
+                task: task as u64,
+                attempt: attempt as u64,
+                container: container.0,
+                status: status.to_string(),
+            });
             run.attempt_spans.push(AttemptSpan {
-                vertex: run
-                    .vertices
-                    .get(vidx)
-                    .map(|v| v.name.clone())
-                    .unwrap_or_default(),
+                vertex,
                 task: task as u64,
                 attempt: attempt as u64,
                 container: container.0,
@@ -1639,6 +1739,9 @@ impl DagAppMaster {
         if !all_done {
             return;
         }
+        ctx.record_event(TlEvent::VertexFinished {
+            vertex: self.run.as_ref().unwrap().vertices[vidx].name.clone(),
+        });
         self.objreg.evict_scope(tez_runtime::ObjectScope::Vertex);
         let dag_done = {
             let run = self.run.as_ref().unwrap();
@@ -1714,12 +1817,17 @@ impl DagAppMaster {
             self.work_map.remove(&w);
             self.work_started.remove(&w);
         }
+        let status_str = match &status {
+            DagStatus::Succeeded => "succeeded".to_string(),
+            DagStatus::Failed(reason) => format!("failed: {reason}"),
+        };
+        ctx.record_event(TlEvent::DagFinished {
+            dag: run.dag.name().to_string(),
+            status: status_str.clone(),
+        });
         let run_report = RunReport {
             dag: run.dag.name().to_string(),
-            status: match &status {
-                DagStatus::Succeeded => "succeeded".to_string(),
-                DagStatus::Failed(reason) => format!("failed: {reason}"),
-            },
+            status: status_str,
             submitted_ms: run.submitted.millis(),
             finished_ms: ctx.now().millis(),
             scheduler: ctx.scheduler_stats().delta_since(&run.sched_base),
@@ -1729,6 +1837,7 @@ impl DagAppMaster {
             edges: run.edge_stats.values().cloned().collect(),
             attempts: run.attempt_spans.clone(),
             counters: run.counters.clone(),
+            timeline: Timeline::from_events(ctx.timeline_events_since(run.timeline_base)),
         };
         let report = DagReport {
             name: run.dag.name().to_string(),
@@ -2266,6 +2375,16 @@ impl DagAppMaster {
         for (vi, ti) in victims {
             self.reexecute_producer(ctx, vi, ti);
         }
+    }
+}
+
+/// Stable snake-case name of an edge's data movement for timeline events.
+fn movement_name(m: &DataMovement) -> &'static str {
+    match m {
+        DataMovement::ScatterGather => "scatter_gather",
+        DataMovement::OneToOne => "one_to_one",
+        DataMovement::Broadcast => "broadcast",
+        DataMovement::Custom { .. } => "custom",
     }
 }
 

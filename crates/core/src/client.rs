@@ -65,9 +65,15 @@ impl TezRun {
         self.sim.hdfs()
     }
 
-    /// The execution trace (Gantt spans, allocation series).
-    pub fn trace(&self) -> &Trace {
+    /// The execution trace (Gantt spans, allocation series), derived from
+    /// the structured event timeline.
+    pub fn trace(&self) -> Trace {
         self.sim.trace()
+    }
+
+    /// The full structured event timeline of the run (every app).
+    pub fn timeline(&self) -> &tez_yarn::Timeline {
+        self.sim.timeline()
     }
 
     /// The first (often only) DAG report.

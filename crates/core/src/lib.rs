@@ -37,7 +37,7 @@ pub mod vertex_managers;
 mod am;
 
 pub use am::{DagAppMaster, DagSubmission, SessionOutput, SharedSessionOutput};
-pub use client::TezClient;
+pub use client::{TezClient, TezRun};
 pub use config::TezConfig;
 pub use edge_managers::GroupedScatterGatherEdgeManager;
 pub use initializers::{hdfs_split_initializer, prune_event_payload, HdfsSplitInitializer};

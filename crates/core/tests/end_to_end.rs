@@ -238,7 +238,8 @@ fn session_reuses_containers_across_dags() {
         d1.runtime_ms()
     );
     // Fig. 7: the same container appears in both DAGs' spans.
-    let rows = run.trace().container_rows();
+    let trace = run.trace();
+    let rows = trace.container_rows();
     assert!(rows.iter().any(|(_, spans)| {
         spans.iter().any(|s| s.label.starts_with("A:"))
             && spans.iter().any(|s| s.label.starts_with("B:"))

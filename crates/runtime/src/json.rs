@@ -1,0 +1,277 @@
+//! Shared hand-rolled JSON infrastructure for the deterministic codecs in
+//! [`crate::run_report`] and [`crate::timeline`]: an incremental writer with
+//! caller-controlled field order and a strict parser accepting only what the
+//! writers emit (plus whitespace). Keeping both in one place guarantees the
+//! two documents follow the same discipline — fixed field order, sorted
+//! maps, integer-only numbers — so same-seed runs serialize byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+pub(crate) fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for one JSON object: fields appear exactly in call
+/// order, which is what makes the output deterministic.
+pub(crate) struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        esc(&mut self.buf, k);
+        self.buf.push(':');
+    }
+    pub(crate) fn num(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+    pub(crate) fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        esc(&mut self.buf, v);
+        self
+    }
+    pub(crate) fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+pub(crate) fn array(items: impl Iterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum JVal {
+    Num(u64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(BTreeMap<String, JVal>),
+}
+
+pub(crate) struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    pub(crate) fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.arr(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    /// Parse one complete document: a value followed only by whitespace.
+    pub(crate) fn document(&mut self) -> Result<JVal, String> {
+        let root = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data"));
+        }
+        Ok(root)
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slices
+                    // at char boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<u64>()
+            .map(JVal::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+pub(crate) fn get<'a>(obj: &'a BTreeMap<String, JVal>, key: &str) -> Result<&'a JVal, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+pub(crate) fn get_num(obj: &BTreeMap<String, JVal>, key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        JVal::Num(n) => Ok(*n),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+pub(crate) fn get_str(obj: &BTreeMap<String, JVal>, key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        JVal::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+pub(crate) fn as_obj(v: &JVal, what: &str) -> Result<BTreeMap<String, JVal>, String> {
+    match v {
+        JVal::Obj(m) => Ok(m.clone()),
+        _ => Err(format!("{what} is not an object")),
+    }
+}

@@ -32,9 +32,11 @@ pub mod error;
 pub mod events;
 pub mod initializer;
 pub mod io;
+mod json;
 pub mod kv;
 pub mod registry;
 pub mod run_report;
+pub mod timeline;
 pub mod vertex_manager;
 
 pub use committer::{CommitEnv, OutputCommitter};
@@ -55,5 +57,9 @@ pub use kv::{InputReader, KvGroup, KvGroupReader, KvReader, KvWriter};
 pub use registry::ComponentRegistry;
 pub use run_report::{
     render_gantt, AttemptSpan, ContainerStats, EdgeStats, Locality, RunReport, SchedulerStats,
+};
+pub use timeline::{
+    chrome_trace, CriticalPath, CriticalPathStep, EventKind, PhaseTotals, Timeline, TimelineEvent,
+    GLOBAL_APP,
 };
 pub use vertex_manager::{SourceKind, SourceTaskAttempt, VertexManager, VertexManagerContext};

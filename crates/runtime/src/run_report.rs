@@ -15,6 +15,8 @@
 //! byte-identical documents, which makes reports diffable artifacts.
 
 use crate::counters::Counters;
+use crate::json::{array, as_obj, esc, get, get_num, get_str, JVal, Obj, Parser};
+use crate::timeline::{event_from_jval, event_json, CriticalPath, Timeline};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -166,6 +168,10 @@ pub struct RunReport {
     pub attempts: Vec<AttemptSpan>,
     /// Counter rollup across all task attempts.
     pub counters: Counters,
+    /// Structured event log for this DAG's slice of the run (plus
+    /// cluster-global events such as node failures). See
+    /// [`crate::timeline`].
+    pub timeline: Timeline,
 }
 
 impl RunReport {
@@ -183,72 +189,17 @@ impl RunReport {
     pub fn total_fetched_bytes(&self) -> u64 {
         self.edges.iter().map(|e| e.fetched_bytes).sum()
     }
+
+    /// Critical-path analysis over the attempts and the timeline (see
+    /// [`CriticalPath::analyze`]). `None` when no attempt succeeded.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        CriticalPath::analyze(self)
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Deterministic JSON serializer
+// Deterministic JSON serializer (writer primitives live in `crate::json`)
 // ---------------------------------------------------------------------------
-
-fn esc(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Incremental writer for one JSON object: fields appear exactly in call
-/// order, which is what makes the output deterministic.
-struct Obj {
-    buf: String,
-    first: bool,
-}
-
-impl Obj {
-    fn new() -> Self {
-        Obj {
-            buf: String::from("{"),
-            first: true,
-        }
-    }
-    fn key(&mut self, k: &str) {
-        if !self.first {
-            self.buf.push(',');
-        }
-        self.first = false;
-        esc(&mut self.buf, k);
-        self.buf.push(':');
-    }
-    fn num(mut self, k: &str, v: u64) -> Self {
-        self.key(k);
-        let _ = write!(self.buf, "{v}");
-        self
-    }
-    fn str(mut self, k: &str, v: &str) -> Self {
-        self.key(k);
-        esc(&mut self.buf, v);
-        self
-    }
-    fn raw(mut self, k: &str, v: &str) -> Self {
-        self.key(k);
-        self.buf.push_str(v);
-        self
-    }
-    fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
 
 fn scheduler_json(s: &SchedulerStats) -> String {
     Obj::new()
@@ -309,22 +260,17 @@ fn counters_json(c: &Counters) -> String {
     out
 }
 
-fn array(items: impl Iterator<Item = String>) -> String {
-    let mut out = String::from("[");
-    for (i, item) in items.enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&item);
-    }
-    out.push(']');
-    out
-}
-
 impl RunReport {
     /// Serialize to deterministic JSON: fixed field order, sorted counter
     /// keys, integers only. Same-seed runs produce byte-identical output.
+    /// The `critical_path` field is *derived* — recomputed from attempts
+    /// and timeline at serialization time, so it never drifts from them —
+    /// and is therefore ignored by [`RunReport::from_json`].
     pub fn to_json(&self) -> String {
+        let cp = self
+            .critical_path()
+            .map(|c| c.to_json())
+            .unwrap_or_else(|| String::from("{}"));
         Obj::new()
             .str("dag", &self.dag)
             .str("status", &self.status)
@@ -335,209 +281,27 @@ impl RunReport {
             .raw("edges", &array(self.edges.iter().map(edge_json)))
             .raw("attempts", &array(self.attempts.iter().map(attempt_json)))
             .raw("counters", &counters_json(&self.counters))
+            .raw(
+                "timeline",
+                &array(self.timeline.events.iter().map(event_json)),
+            )
+            .raw("critical_path", &cp)
             .finish()
     }
 }
 
 // ---------------------------------------------------------------------------
 // JSON parser (round-trip for tooling; accepts only what to_json emits
-// plus whitespace)
+// plus whitespace; parser primitives live in `crate::json`)
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Debug, PartialEq)]
-enum JVal {
-    Num(u64),
-    Str(String),
-    Arr(Vec<JVal>),
-    Obj(BTreeMap<String, JVal>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", c as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<JVal, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.arr(),
-            Some(b'"') => Ok(JVal::Str(self.string()?)),
-            Some(b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<JVal, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JVal::Obj(map));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            map.insert(key, self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JVal::Obj(map));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn arr(&mut self) -> Result<JVal, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JVal::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JVal::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("bad \\u codepoint"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slices
-                    // at char boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JVal, String> {
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        text.parse::<u64>()
-            .map(JVal::Num)
-            .map_err(|_| self.err("number out of range"))
-    }
-}
-
-fn get<'a>(obj: &'a BTreeMap<String, JVal>, key: &str) -> Result<&'a JVal, String> {
-    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
-}
-
-fn get_num(obj: &BTreeMap<String, JVal>, key: &str) -> Result<u64, String> {
-    match get(obj, key)? {
-        JVal::Num(n) => Ok(*n),
-        _ => Err(format!("field {key:?} is not a number")),
-    }
-}
-
-fn get_str(obj: &BTreeMap<String, JVal>, key: &str) -> Result<String, String> {
-    match get(obj, key)? {
-        JVal::Str(s) => Ok(s.clone()),
-        _ => Err(format!("field {key:?} is not a string")),
-    }
-}
-
-fn as_obj(v: &JVal, what: &str) -> Result<BTreeMap<String, JVal>, String> {
-    match v {
-        JVal::Obj(m) => Ok(m.clone()),
-        _ => Err(format!("{what} is not an object")),
-    }
-}
-
 impl RunReport {
-    /// Parse a document produced by [`RunReport::to_json`].
+    /// Parse a document produced by [`RunReport::to_json`]. The derived
+    /// `critical_path` field is ignored; it is recomputed on the next
+    /// [`RunReport::to_json`], so round-trips stay byte-identical.
     pub fn from_json(text: &str) -> Result<RunReport, String> {
         let mut p = Parser::new(text);
-        let root = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing data"));
-        }
+        let root = p.document()?;
         let root = as_obj(&root, "document")?;
 
         let s = as_obj(get(&root, "scheduler")?, "scheduler")?;
@@ -602,6 +366,17 @@ impl RunReport {
                 _ => return Err(format!("counter {k:?} is not a number")),
             }
         }
+        // Documents from before the timeline existed parse to an empty one.
+        let timeline = match root.get("timeline") {
+            Some(JVal::Arr(items)) => Timeline::from_events(
+                items
+                    .iter()
+                    .map(event_from_jval)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(_) => return Err("timeline is not an array".into()),
+            None => Timeline::default(),
+        };
 
         Ok(RunReport {
             dag: get_str(&root, "dag")?,
@@ -613,6 +388,7 @@ impl RunReport {
             edges,
             attempts,
             counters,
+            timeline,
         })
     }
 }
@@ -721,6 +497,27 @@ mod tests {
         let mut counters = Counters::new();
         counters.add("BYTES_READ", 4096);
         counters.add("FETCH_RETRIES", 2);
+        let mut timeline = Timeline::new();
+        timeline.record(
+            10,
+            1,
+            crate::timeline::EventKind::DagSubmitted {
+                dag: "wordcount".into(),
+            },
+        );
+        timeline.record(
+            100,
+            1,
+            crate::timeline::EventKind::AttemptLaunched {
+                vertex: "tokenizer \"quoted\"\n".into(),
+                task: 3,
+                attempt: 0,
+                container: 7,
+                launch_ms: 50,
+                backoff_ms: 0,
+                fetch_ms: 20,
+            },
+        );
         RunReport {
             dag: "wordcount".into(),
             status: "succeeded".into(),
@@ -761,6 +558,7 @@ mod tests {
                 status: "succeeded".into(),
             }],
             counters,
+            timeline,
         }
     }
 

@@ -1,0 +1,1588 @@
+//! The structured event timeline: a typed, append-only log of everything
+//! that happens during a run, stamped with simulated time (paper §7 — the
+//! YARN Timeline Server and Tez UI answer *where time goes*; this module is
+//! their in-process equivalent).
+//!
+//! Every layer emits into one [`Timeline`]: the simulator and RM record
+//! container requests, allocations, preemptions and work spans; the AM
+//! records DAG/vertex/attempt state transitions and VertexManager
+//! reconfigurations; the shuffle layer records fetch retries and failures.
+//! The per-DAG slice is carried on [`RunReport`] and feeds two consumers:
+//!
+//! * [`chrome_trace`] — a Chrome Trace Event Format exporter. Open the
+//!   emitted JSON in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`: one row per container, nested phase slices for
+//!   cold launch / retry backoff / input fetch, and flow arrows for the
+//!   shuffle edge that gated each consumer attempt.
+//! * [`CriticalPath`] — walks attempt spans plus edge dependencies backward
+//!   from the last finishing attempt and attributes the makespan, exactly,
+//!   to six phases: scheduler wait, container launch, retry backoff, input
+//!   fetch, processing, and commit.
+//!
+//! The JSON codecs follow the same hand-rolled discipline as
+//! [`crate::run_report`]: fixed field order, integer-only numbers
+//! (booleans serialize as `0`/`1`), byte-identical across same-seed runs.
+
+use crate::json::{array, as_obj, get_num, get_str, JVal, Obj, Parser};
+use crate::run_report::{Locality, RunReport};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// `app` value for cluster-global events (for example node failures) that
+/// belong to every application's timeline slice.
+pub const GLOBAL_APP: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------------
+// Event types
+// ---------------------------------------------------------------------------
+
+/// One typed timeline event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A DAG was submitted to the AM.
+    DagSubmitted { dag: String },
+    /// A DAG reached a terminal state.
+    DagFinished { dag: String, status: String },
+    /// An edge of the submitted DAG (recorded once per DAG so consumers can
+    /// reconstruct the dependency structure without the DAG object).
+    EdgeDefined {
+        src: String,
+        dst: String,
+        movement: String,
+    },
+    /// A vertex started (tasks became schedulable).
+    VertexStarted { vertex: String, parallelism: u64 },
+    /// A VertexManager reconfigured a vertex at runtime (§3.4).
+    VertexReconfigured { vertex: String, parallelism: u64 },
+    /// All tasks of a vertex succeeded.
+    VertexFinished { vertex: String },
+    /// The AM decided to run an attempt and queued a container request.
+    AttemptScheduled {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        speculative: bool,
+    },
+    /// The attempt was bound to an allocated container.
+    AttemptAssigned {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        container: u64,
+        warm: bool,
+    },
+    /// The attempt's work was handed to the simulator. The cost breakdown
+    /// records where its wall time will go: container cold start, shuffle
+    /// retry backoff, and remote input fetch (everything else is compute).
+    AttemptLaunched {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        container: u64,
+        launch_ms: u64,
+        backoff_ms: u64,
+        fetch_ms: u64,
+    },
+    /// The attempt reached a terminal state.
+    AttemptFinished {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        container: u64,
+        status: String,
+    },
+    /// The app asked the RM for a container.
+    ContainerRequested { request: u64, priority: u64 },
+    /// The RM placed a container (locality outcome of delay scheduling).
+    ContainerAllocated {
+        container: u64,
+        node: u64,
+        vcores: u64,
+        locality: Locality,
+        waited_ms: u64,
+        relaxed: bool,
+    },
+    /// The app returned a container to the RM.
+    ContainerReleased { container: u64, vcores: u64 },
+    /// The RM preempted a container for a starved queue.
+    ContainerPreempted { container: u64, vcores: u64 },
+    /// A container vanished with its node.
+    ContainerLost {
+        container: u64,
+        node: u64,
+        vcores: u64,
+    },
+    /// The application unregistered.
+    AppFinished { status: String },
+    /// A cluster node failed (global event).
+    NodeFailed { node: u64 },
+    /// A work item began executing in a container.
+    WorkStarted {
+        work: u64,
+        container: u64,
+        node: u64,
+        label: String,
+        launch_ms: u64,
+    },
+    /// A work item reached a terminal state.
+    WorkFinished {
+        work: u64,
+        container: u64,
+        node: u64,
+        label: String,
+        start_ms: u64,
+        status: String,
+    },
+    /// A shuffle fetch succeeded only after transient failures and backoff.
+    FetchRetried {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        retries: u64,
+        backoff_ms: u64,
+    },
+    /// A shuffle fetch exhausted its retry budget.
+    FetchFailed {
+        vertex: String,
+        task: u64,
+        attempt: u64,
+        output: u64,
+        partition: u64,
+        reason: String,
+    },
+}
+
+impl EventKind {
+    /// Snake-case discriminant used as the JSON `type` field.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::DagSubmitted { .. } => "dag_submitted",
+            EventKind::DagFinished { .. } => "dag_finished",
+            EventKind::EdgeDefined { .. } => "edge_defined",
+            EventKind::VertexStarted { .. } => "vertex_started",
+            EventKind::VertexReconfigured { .. } => "vertex_reconfigured",
+            EventKind::VertexFinished { .. } => "vertex_finished",
+            EventKind::AttemptScheduled { .. } => "attempt_scheduled",
+            EventKind::AttemptAssigned { .. } => "attempt_assigned",
+            EventKind::AttemptLaunched { .. } => "attempt_launched",
+            EventKind::AttemptFinished { .. } => "attempt_finished",
+            EventKind::ContainerRequested { .. } => "container_requested",
+            EventKind::ContainerAllocated { .. } => "container_allocated",
+            EventKind::ContainerReleased { .. } => "container_released",
+            EventKind::ContainerPreempted { .. } => "container_preempted",
+            EventKind::ContainerLost { .. } => "container_lost",
+            EventKind::AppFinished { .. } => "app_finished",
+            EventKind::NodeFailed { .. } => "node_failed",
+            EventKind::WorkStarted { .. } => "work_started",
+            EventKind::WorkFinished { .. } => "work_finished",
+            EventKind::FetchRetried { .. } => "fetch_retried",
+            EventKind::FetchFailed { .. } => "fetch_failed",
+        }
+    }
+
+    /// Stable identifier of the entity this event belongs to; timestamps
+    /// are monotonically non-decreasing per entity.
+    pub fn entity(&self) -> String {
+        match self {
+            EventKind::DagSubmitted { dag } | EventKind::DagFinished { dag, .. } => {
+                format!("dag:{dag}")
+            }
+            EventKind::EdgeDefined { src, dst, .. } => format!("edge:{src}->{dst}"),
+            EventKind::VertexStarted { vertex, .. }
+            | EventKind::VertexReconfigured { vertex, .. }
+            | EventKind::VertexFinished { vertex } => format!("vertex:{vertex}"),
+            EventKind::AttemptScheduled {
+                vertex,
+                task,
+                attempt,
+                ..
+            }
+            | EventKind::AttemptAssigned {
+                vertex,
+                task,
+                attempt,
+                ..
+            }
+            | EventKind::AttemptLaunched {
+                vertex,
+                task,
+                attempt,
+                ..
+            }
+            | EventKind::AttemptFinished {
+                vertex,
+                task,
+                attempt,
+                ..
+            }
+            | EventKind::FetchRetried {
+                vertex,
+                task,
+                attempt,
+                ..
+            }
+            | EventKind::FetchFailed {
+                vertex,
+                task,
+                attempt,
+                ..
+            } => format!("attempt:{vertex}/{task}/{attempt}"),
+            EventKind::ContainerRequested { request, .. } => format!("request:{request}"),
+            EventKind::ContainerAllocated { container, .. }
+            | EventKind::ContainerReleased { container, .. }
+            | EventKind::ContainerPreempted { container, .. }
+            | EventKind::ContainerLost { container, .. } => format!("container:{container}"),
+            EventKind::AppFinished { .. } => "app".into(),
+            EventKind::NodeFailed { node } => format!("node:{node}"),
+            EventKind::WorkStarted { work, .. } | EventKind::WorkFinished { work, .. } => {
+                format!("work:{work}")
+            }
+        }
+    }
+}
+
+/// One timeline entry: simulated-time stamp, global sequence number for
+/// total ordering within a timestamp, owning app (or [`GLOBAL_APP`]), and
+/// the typed payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Simulated time, ms.
+    pub ts_ms: u64,
+    /// Global sequence number (emission order across the whole run).
+    pub seq: u64,
+    /// Owning application id, or [`GLOBAL_APP`].
+    pub app: u64,
+    /// The typed event.
+    pub kind: EventKind,
+}
+
+/// Append-only event log. Cheap to clone and slice; per-DAG slices keep
+/// their original sequence numbers so merged views stay totally ordered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Events in emission order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an already-ordered slice of events (keeps their `seq`).
+    pub fn from_events(events: Vec<TimelineEvent>) -> Self {
+        Timeline { events }
+    }
+
+    /// Append an event, assigning the next sequence number.
+    pub fn record(&mut self, ts_ms: u64, app: u64, kind: EventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(TimelineEvent {
+            ts_ms,
+            seq,
+            app,
+            kind,
+        });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events with the given type name, in order.
+    pub fn of_type<'a>(&'a self, type_name: &'a str) -> impl Iterator<Item = &'a TimelineEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.kind.type_name() == type_name)
+    }
+
+    /// Serialize as a deterministic JSON array.
+    pub fn to_json(&self) -> String {
+        array(self.events.iter().map(event_json))
+    }
+
+    /// Parse a document produced by [`Timeline::to_json`].
+    pub fn from_json(text: &str) -> Result<Timeline, String> {
+        let mut p = Parser::new(text);
+        match p.document()? {
+            JVal::Arr(items) => Ok(Timeline {
+                events: items
+                    .iter()
+                    .map(event_from_jval)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            _ => Err("timeline is not an array".into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event codec (shared with RunReport's embedded timeline field)
+// ---------------------------------------------------------------------------
+
+fn bool_num(b: bool) -> u64 {
+    u64::from(b)
+}
+
+fn locality_name(l: Locality) -> &'static str {
+    match l {
+        Locality::NodeLocal => "node_local",
+        Locality::RackLocal => "rack_local",
+        Locality::OffRack => "off_rack",
+        Locality::Unconstrained => "unconstrained",
+    }
+}
+
+fn locality_from(s: &str) -> Result<Locality, String> {
+    match s {
+        "node_local" => Ok(Locality::NodeLocal),
+        "rack_local" => Ok(Locality::RackLocal),
+        "off_rack" => Ok(Locality::OffRack),
+        "unconstrained" => Ok(Locality::Unconstrained),
+        _ => Err(format!("unknown locality {s:?}")),
+    }
+}
+
+pub(crate) fn event_json(e: &TimelineEvent) -> String {
+    let head = Obj::new()
+        .num("ts", e.ts_ms)
+        .num("seq", e.seq)
+        .num("app", e.app)
+        .str("type", e.kind.type_name());
+    match &e.kind {
+        EventKind::DagSubmitted { dag } => head.str("dag", dag),
+        EventKind::DagFinished { dag, status } => head.str("dag", dag).str("status", status),
+        EventKind::EdgeDefined { src, dst, movement } => head
+            .str("src", src)
+            .str("dst", dst)
+            .str("movement", movement),
+        EventKind::VertexStarted {
+            vertex,
+            parallelism,
+        }
+        | EventKind::VertexReconfigured {
+            vertex,
+            parallelism,
+        } => head.str("vertex", vertex).num("parallelism", *parallelism),
+        EventKind::VertexFinished { vertex } => head.str("vertex", vertex),
+        EventKind::AttemptScheduled {
+            vertex,
+            task,
+            attempt,
+            speculative,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("speculative", bool_num(*speculative)),
+        EventKind::AttemptAssigned {
+            vertex,
+            task,
+            attempt,
+            container,
+            warm,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("container", *container)
+            .num("warm", bool_num(*warm)),
+        EventKind::AttemptLaunched {
+            vertex,
+            task,
+            attempt,
+            container,
+            launch_ms,
+            backoff_ms,
+            fetch_ms,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("container", *container)
+            .num("launch_ms", *launch_ms)
+            .num("backoff_ms", *backoff_ms)
+            .num("fetch_ms", *fetch_ms),
+        EventKind::AttemptFinished {
+            vertex,
+            task,
+            attempt,
+            container,
+            status,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("container", *container)
+            .str("status", status),
+        EventKind::ContainerRequested { request, priority } => {
+            head.num("request", *request).num("priority", *priority)
+        }
+        EventKind::ContainerAllocated {
+            container,
+            node,
+            vcores,
+            locality,
+            waited_ms,
+            relaxed,
+        } => head
+            .num("container", *container)
+            .num("node", *node)
+            .num("vcores", *vcores)
+            .str("locality", locality_name(*locality))
+            .num("waited_ms", *waited_ms)
+            .num("relaxed", bool_num(*relaxed)),
+        EventKind::ContainerReleased { container, vcores }
+        | EventKind::ContainerPreempted { container, vcores } => {
+            head.num("container", *container).num("vcores", *vcores)
+        }
+        EventKind::ContainerLost {
+            container,
+            node,
+            vcores,
+        } => head
+            .num("container", *container)
+            .num("node", *node)
+            .num("vcores", *vcores),
+        EventKind::AppFinished { status } => head.str("status", status),
+        EventKind::NodeFailed { node } => head.num("node", *node),
+        EventKind::WorkStarted {
+            work,
+            container,
+            node,
+            label,
+            launch_ms,
+        } => head
+            .num("work", *work)
+            .num("container", *container)
+            .num("node", *node)
+            .str("label", label)
+            .num("launch_ms", *launch_ms),
+        EventKind::WorkFinished {
+            work,
+            container,
+            node,
+            label,
+            start_ms,
+            status,
+        } => head
+            .num("work", *work)
+            .num("container", *container)
+            .num("node", *node)
+            .str("label", label)
+            .num("start_ms", *start_ms)
+            .str("status", status),
+        EventKind::FetchRetried {
+            vertex,
+            task,
+            attempt,
+            retries,
+            backoff_ms,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("retries", *retries)
+            .num("backoff_ms", *backoff_ms),
+        EventKind::FetchFailed {
+            vertex,
+            task,
+            attempt,
+            output,
+            partition,
+            reason,
+        } => head
+            .str("vertex", vertex)
+            .num("task", *task)
+            .num("attempt", *attempt)
+            .num("output", *output)
+            .num("partition", *partition)
+            .str("reason", reason),
+    }
+    .finish()
+}
+
+pub(crate) fn event_from_jval(v: &JVal) -> Result<TimelineEvent, String> {
+    let o = as_obj(v, "timeline event")?;
+    let ty = get_str(&o, "type")?;
+    let kind = match ty.as_str() {
+        "dag_submitted" => EventKind::DagSubmitted {
+            dag: get_str(&o, "dag")?,
+        },
+        "dag_finished" => EventKind::DagFinished {
+            dag: get_str(&o, "dag")?,
+            status: get_str(&o, "status")?,
+        },
+        "edge_defined" => EventKind::EdgeDefined {
+            src: get_str(&o, "src")?,
+            dst: get_str(&o, "dst")?,
+            movement: get_str(&o, "movement")?,
+        },
+        "vertex_started" => EventKind::VertexStarted {
+            vertex: get_str(&o, "vertex")?,
+            parallelism: get_num(&o, "parallelism")?,
+        },
+        "vertex_reconfigured" => EventKind::VertexReconfigured {
+            vertex: get_str(&o, "vertex")?,
+            parallelism: get_num(&o, "parallelism")?,
+        },
+        "vertex_finished" => EventKind::VertexFinished {
+            vertex: get_str(&o, "vertex")?,
+        },
+        "attempt_scheduled" => EventKind::AttemptScheduled {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            speculative: get_num(&o, "speculative")? != 0,
+        },
+        "attempt_assigned" => EventKind::AttemptAssigned {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            container: get_num(&o, "container")?,
+            warm: get_num(&o, "warm")? != 0,
+        },
+        "attempt_launched" => EventKind::AttemptLaunched {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            container: get_num(&o, "container")?,
+            launch_ms: get_num(&o, "launch_ms")?,
+            backoff_ms: get_num(&o, "backoff_ms")?,
+            fetch_ms: get_num(&o, "fetch_ms")?,
+        },
+        "attempt_finished" => EventKind::AttemptFinished {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            container: get_num(&o, "container")?,
+            status: get_str(&o, "status")?,
+        },
+        "container_requested" => EventKind::ContainerRequested {
+            request: get_num(&o, "request")?,
+            priority: get_num(&o, "priority")?,
+        },
+        "container_allocated" => EventKind::ContainerAllocated {
+            container: get_num(&o, "container")?,
+            node: get_num(&o, "node")?,
+            vcores: get_num(&o, "vcores")?,
+            locality: locality_from(&get_str(&o, "locality")?)?,
+            waited_ms: get_num(&o, "waited_ms")?,
+            relaxed: get_num(&o, "relaxed")? != 0,
+        },
+        "container_released" => EventKind::ContainerReleased {
+            container: get_num(&o, "container")?,
+            vcores: get_num(&o, "vcores")?,
+        },
+        "container_preempted" => EventKind::ContainerPreempted {
+            container: get_num(&o, "container")?,
+            vcores: get_num(&o, "vcores")?,
+        },
+        "container_lost" => EventKind::ContainerLost {
+            container: get_num(&o, "container")?,
+            node: get_num(&o, "node")?,
+            vcores: get_num(&o, "vcores")?,
+        },
+        "app_finished" => EventKind::AppFinished {
+            status: get_str(&o, "status")?,
+        },
+        "node_failed" => EventKind::NodeFailed {
+            node: get_num(&o, "node")?,
+        },
+        "work_started" => EventKind::WorkStarted {
+            work: get_num(&o, "work")?,
+            container: get_num(&o, "container")?,
+            node: get_num(&o, "node")?,
+            label: get_str(&o, "label")?,
+            launch_ms: get_num(&o, "launch_ms")?,
+        },
+        "work_finished" => EventKind::WorkFinished {
+            work: get_num(&o, "work")?,
+            container: get_num(&o, "container")?,
+            node: get_num(&o, "node")?,
+            label: get_str(&o, "label")?,
+            start_ms: get_num(&o, "start_ms")?,
+            status: get_str(&o, "status")?,
+        },
+        "fetch_retried" => EventKind::FetchRetried {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            retries: get_num(&o, "retries")?,
+            backoff_ms: get_num(&o, "backoff_ms")?,
+        },
+        "fetch_failed" => EventKind::FetchFailed {
+            vertex: get_str(&o, "vertex")?,
+            task: get_num(&o, "task")?,
+            attempt: get_num(&o, "attempt")?,
+            output: get_num(&o, "output")?,
+            partition: get_num(&o, "partition")?,
+            reason: get_str(&o, "reason")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(TimelineEvent {
+        ts_ms: get_num(&o, "ts")?,
+        seq: get_num(&o, "seq")?,
+        app: get_num(&o, "app")?,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Event Format exporter
+// ---------------------------------------------------------------------------
+
+/// Per-attempt cost breakdown extracted from `attempt_launched` events.
+#[derive(Clone, Copy, Debug, Default)]
+struct LaunchInfo {
+    launch_ms: u64,
+    backoff_ms: u64,
+    fetch_ms: u64,
+}
+
+fn launch_infos(report: &RunReport) -> BTreeMap<(String, u64, u64), LaunchInfo> {
+    let mut map = BTreeMap::new();
+    for e in &report.timeline.events {
+        if let EventKind::AttemptLaunched {
+            vertex,
+            task,
+            attempt,
+            launch_ms,
+            backoff_ms,
+            fetch_ms,
+            ..
+        } = &e.kind
+        {
+            map.insert(
+                (vertex.clone(), *task, *attempt),
+                LaunchInfo {
+                    launch_ms: *launch_ms,
+                    backoff_ms: *backoff_ms,
+                    fetch_ms: *fetch_ms,
+                },
+            );
+        }
+    }
+    map
+}
+
+fn in_edges(report: &RunReport) -> BTreeMap<String, Vec<String>> {
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in &report.timeline.events {
+        if let EventKind::EdgeDefined { src, dst, .. } = &e.kind {
+            map.entry(dst.clone()).or_default().push(src.clone());
+        }
+    }
+    map
+}
+
+/// The producer attempt whose completion gated `consumer`'s start on the
+/// given source vertex: the latest-finishing succeeded attempt of `src`
+/// that ended at or before the consumer's start. Deterministic tie-break
+/// on `(end, vertex, task, attempt)`.
+fn gating_producer<'r>(
+    report: &'r RunReport,
+    src: &str,
+    consumer_start: u64,
+) -> Option<&'r crate::run_report::AttemptSpan> {
+    report
+        .attempts
+        .iter()
+        .filter(|p| p.vertex == src && p.status == "succeeded" && p.end_ms <= consumer_start)
+        .max_by(|a, b| {
+            (a.end_ms, &b.vertex, b.task, b.attempt).cmp(&(b.end_ms, &a.vertex, a.task, a.attempt))
+        })
+}
+
+/// Export one or more run reports as a Chrome Trace Event Format document.
+///
+/// Deterministic: same reports produce byte-identical JSON. Open in
+/// Perfetto or `chrome://tracing`. Layout: one process per report (named
+/// after the DAG), one thread row per container, an `X` slice per task
+/// attempt with nested `launch`/`backoff`/`fetch` phase slices, `s`/`f`
+/// flow arrows from the gating shuffle producer to each consumer attempt,
+/// and instant markers for node failures, preemptions and VertexManager
+/// reconfigurations.
+pub fn chrome_trace(reports: &[&RunReport]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let mut flow_id = 0u64;
+    for (pid, report) in reports.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(
+            Obj::new()
+                .str("name", "process_name")
+                .str("ph", "M")
+                .num("pid", pid)
+                .num("tid", 0)
+                .raw("args", &Obj::new().str("name", &report.dag).finish())
+                .finish(),
+        );
+        let containers: BTreeSet<u64> = report.attempts.iter().map(|a| a.container).collect();
+        for cid in &containers {
+            events.push(
+                Obj::new()
+                    .str("name", "thread_name")
+                    .str("ph", "M")
+                    .num("pid", pid)
+                    .num("tid", *cid)
+                    .raw(
+                        "args",
+                        &Obj::new().str("name", &format!("container {cid}")).finish(),
+                    )
+                    .finish(),
+            );
+        }
+        let infos = launch_infos(report);
+        for a in &report.attempts {
+            let name = format!("{}[{}].{}", a.vertex, a.task, a.attempt);
+            events.push(
+                Obj::new()
+                    .str("name", &name)
+                    .str("cat", "attempt")
+                    .str("ph", "X")
+                    .num("pid", pid)
+                    .num("tid", a.container)
+                    .num("ts", a.start_ms * 1000)
+                    .num("dur", (a.end_ms - a.start_ms) * 1000)
+                    .raw("args", &Obj::new().str("status", &a.status).finish())
+                    .finish(),
+            );
+            let info = infos
+                .get(&(a.vertex.clone(), a.task, a.attempt))
+                .copied()
+                .unwrap_or_default();
+            let mut cursor = a.start_ms;
+            for (phase, ms) in [
+                ("launch", info.launch_ms),
+                ("backoff", info.backoff_ms),
+                ("fetch", info.fetch_ms),
+            ] {
+                if ms == 0 {
+                    continue;
+                }
+                let end = (cursor + ms).min(a.end_ms);
+                if end > cursor {
+                    events.push(
+                        Obj::new()
+                            .str("name", phase)
+                            .str("cat", "phase")
+                            .str("ph", "X")
+                            .num("pid", pid)
+                            .num("tid", a.container)
+                            .num("ts", cursor * 1000)
+                            .num("dur", (end - cursor) * 1000)
+                            .finish(),
+                    );
+                }
+                cursor = end;
+            }
+        }
+        let deps = in_edges(report);
+        for a in &report.attempts {
+            let Some(srcs) = deps.get(&a.vertex) else {
+                continue;
+            };
+            for src in srcs {
+                let Some(p) = gating_producer(report, src, a.start_ms) else {
+                    continue;
+                };
+                flow_id += 1;
+                let name = format!("shuffle {src}->{}", a.vertex);
+                events.push(
+                    Obj::new()
+                        .str("name", &name)
+                        .str("cat", "shuffle")
+                        .str("ph", "s")
+                        .num("id", flow_id)
+                        .num("pid", pid)
+                        .num("tid", p.container)
+                        .num("ts", p.end_ms * 1000)
+                        .finish(),
+                );
+                events.push(
+                    Obj::new()
+                        .str("name", &name)
+                        .str("cat", "shuffle")
+                        .str("ph", "f")
+                        .str("bp", "e")
+                        .num("id", flow_id)
+                        .num("pid", pid)
+                        .num("tid", a.container)
+                        .num("ts", a.start_ms * 1000)
+                        .finish(),
+                );
+            }
+        }
+        for e in &report.timeline.events {
+            match &e.kind {
+                EventKind::NodeFailed { node } => events.push(
+                    Obj::new()
+                        .str("name", &format!("node {node} failed"))
+                        .str("cat", "fault")
+                        .str("ph", "i")
+                        .str("s", "g")
+                        .num("pid", pid)
+                        .num("tid", 0)
+                        .num("ts", e.ts_ms * 1000)
+                        .finish(),
+                ),
+                EventKind::ContainerPreempted { container, .. } => events.push(
+                    Obj::new()
+                        .str("name", "preempted")
+                        .str("cat", "scheduler")
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .num("pid", pid)
+                        .num("tid", *container)
+                        .num("ts", e.ts_ms * 1000)
+                        .finish(),
+                ),
+                EventKind::VertexReconfigured {
+                    vertex,
+                    parallelism,
+                } => events.push(
+                    Obj::new()
+                        .str(
+                            "name",
+                            &format!("reconfigure {vertex} -> {parallelism} tasks"),
+                        )
+                        .str("cat", "vertex_manager")
+                        .str("ph", "i")
+                        .str("s", "p")
+                        .num("pid", pid)
+                        .num("tid", 0)
+                        .num("ts", e.ts_ms * 1000)
+                        .finish(),
+                ),
+                _ => {}
+            }
+        }
+    }
+    Obj::new()
+        .str("displayTimeUnit", "ms")
+        .raw("traceEvents", &array(events.into_iter()))
+        .finish()
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path analyzer
+// ---------------------------------------------------------------------------
+
+/// Makespan attribution across the six execution phases, ms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Waiting for the scheduler to place a container (request → assign).
+    pub scheduler_wait_ms: u64,
+    /// Container cold-start (JVM launch analogue).
+    pub launch_ms: u64,
+    /// Shuffle fetch retry backoff.
+    pub backoff_ms: u64,
+    /// Remote input fetch (including assignment → launch slack absorbed by
+    /// slow-start prefetch).
+    pub fetch_ms: u64,
+    /// Processor compute plus local I/O.
+    pub processing_ms: u64,
+    /// Output commit after the last attempt finished.
+    pub commit_ms: u64,
+}
+
+impl PhaseTotals {
+    /// Sum of all phases.
+    pub fn sum(&self) -> u64 {
+        self.scheduler_wait_ms
+            + self.launch_ms
+            + self.backoff_ms
+            + self.fetch_ms
+            + self.processing_ms
+            + self.commit_ms
+    }
+
+    fn add(&mut self, other: &PhaseTotals) {
+        self.scheduler_wait_ms += other.scheduler_wait_ms;
+        self.launch_ms += other.launch_ms;
+        self.backoff_ms += other.backoff_ms;
+        self.fetch_ms += other.fetch_ms;
+        self.processing_ms += other.processing_ms;
+        self.commit_ms += other.commit_ms;
+    }
+
+    fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("scheduler_wait", self.scheduler_wait_ms),
+            ("launch", self.launch_ms),
+            ("backoff", self.backoff_ms),
+            ("fetch", self.fetch_ms),
+            ("processing", self.processing_ms),
+            ("commit", self.commit_ms),
+        ]
+    }
+
+    fn to_json(self) -> String {
+        Obj::new()
+            .num("scheduler_wait_ms", self.scheduler_wait_ms)
+            .num("launch_ms", self.launch_ms)
+            .num("backoff_ms", self.backoff_ms)
+            .num("fetch_ms", self.fetch_ms)
+            .num("processing_ms", self.processing_ms)
+            .num("commit_ms", self.commit_ms)
+            .finish()
+    }
+}
+
+/// One step on the critical path: an attempt and the slice of the makespan
+/// `[from_ms, to_ms]` it is charged for, broken into phases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPathStep {
+    /// Vertex name.
+    pub vertex: String,
+    /// Task index.
+    pub task: u64,
+    /// Attempt number.
+    pub attempt: u64,
+    /// Hosting container.
+    pub container: u64,
+    /// Start of the charged window (gating producer's end, or DAG
+    /// submission for the first step), ms.
+    pub from_ms: u64,
+    /// End of the charged window (this attempt's end), ms.
+    pub to_ms: u64,
+    /// Phase attribution of the window; sums to `to_ms - from_ms`.
+    pub phases: PhaseTotals,
+}
+
+/// The critical path of one DAG run: the backward chain of attempts from
+/// the last finisher through the shuffle producers that gated each start,
+/// with the makespan attributed *exactly* to phases (the step windows tile
+/// `[submitted_ms, finished_ms]`, so `totals.sum() == makespan_ms` always).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Steps in execution order (first → last finisher).
+    pub steps: Vec<CriticalPathStep>,
+    /// Phase totals across all steps plus commit.
+    pub totals: PhaseTotals,
+    /// `finished_ms - submitted_ms`.
+    pub makespan_ms: u64,
+}
+
+impl CriticalPath {
+    /// Walk the report's attempt spans and edge dependencies backward from
+    /// the last finishing succeeded attempt. Returns `None` when the report
+    /// has no succeeded attempts to anchor the walk.
+    pub fn analyze(report: &RunReport) -> Option<CriticalPath> {
+        let last = report
+            .attempts
+            .iter()
+            .filter(|a| a.status == "succeeded")
+            .max_by(|a, b| {
+                (a.end_ms, &b.vertex, b.task, b.attempt)
+                    .cmp(&(b.end_ms, &a.vertex, a.task, a.attempt))
+            })?;
+
+        // Backward chain: each attempt's window opens where its gating
+        // producer closed.
+        let deps = in_edges(report);
+        let mut chain = vec![last];
+        let mut cur = last;
+        while chain.len() <= report.attempts.len() {
+            let launch = cur.start_ms;
+            let gate = deps
+                .get(&cur.vertex)
+                .into_iter()
+                .flatten()
+                .filter_map(|src| gating_producer(report, src, launch))
+                .max_by(|a, b| {
+                    (a.end_ms, &b.vertex, b.task, b.attempt)
+                        .cmp(&(b.end_ms, &a.vertex, a.task, a.attempt))
+                });
+            match gate {
+                Some(p) => {
+                    chain.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+
+        let infos = launch_infos(report);
+        let assigned: BTreeMap<(String, u64, u64), u64> = report
+            .timeline
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::AttemptAssigned {
+                    vertex,
+                    task,
+                    attempt,
+                    ..
+                } => Some(((vertex.clone(), *task, *attempt), e.ts_ms)),
+                _ => None,
+            })
+            .collect();
+
+        let mut steps = Vec::with_capacity(chain.len());
+        let mut totals = PhaseTotals::default();
+        let mut boundary = report.submitted_ms;
+        for a in chain {
+            let e = a.end_ms;
+            let b = boundary.min(e);
+            let info = infos
+                .get(&(a.vertex.clone(), a.task, a.attempt))
+                .copied()
+                .unwrap_or_default();
+            let t1 = assigned
+                .get(&(a.vertex.clone(), a.task, a.attempt))
+                .copied()
+                .unwrap_or(a.start_ms)
+                .clamp(b, e);
+            let t2 = a.start_ms.clamp(t1, e);
+            let t3 = (t2 + info.launch_ms).min(e);
+            let t4 = (t3 + info.backoff_ms).min(e);
+            let t5 = (t4 + info.fetch_ms).min(e);
+            let phases = PhaseTotals {
+                scheduler_wait_ms: t1 - b,
+                launch_ms: t3 - t2,
+                backoff_ms: t4 - t3,
+                fetch_ms: (t2 - t1) + (t5 - t4),
+                processing_ms: e - t5,
+                commit_ms: 0,
+            };
+            totals.add(&phases);
+            steps.push(CriticalPathStep {
+                vertex: a.vertex.clone(),
+                task: a.task,
+                attempt: a.attempt,
+                container: a.container,
+                from_ms: b,
+                to_ms: e,
+                phases,
+            });
+            boundary = e;
+        }
+        let commit = report.finished_ms.saturating_sub(boundary);
+        totals.commit_ms += commit;
+
+        Some(CriticalPath {
+            steps,
+            totals,
+            makespan_ms: report.runtime_ms(),
+        })
+    }
+
+    /// The phase with the largest share of the makespan (ties resolve in
+    /// canonical order: scheduler_wait, launch, backoff, fetch, processing,
+    /// commit).
+    pub fn dominant_phase(&self) -> (&'static str, u64) {
+        let mut best = ("scheduler_wait", 0u64);
+        for (name, ms) in self.totals.named() {
+            if ms > best.1 {
+                best = (name, ms);
+            }
+        }
+        best
+    }
+
+    /// Plain-text table: phase totals with percentages, then the step chain.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let (dom, dom_ms) = self.dominant_phase();
+        let _ = writeln!(
+            out,
+            "critical path: {} ms makespan over {} steps, dominant phase {} ({} ms)",
+            self.makespan_ms,
+            self.steps.len(),
+            dom,
+            dom_ms
+        );
+        for (name, ms) in self.totals.named() {
+            let pct = if self.makespan_ms > 0 {
+                ms as f64 * 100.0 / self.makespan_ms as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {name:>14} {ms:>10} ms  {pct:>5.1}%");
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{:<2} {}[{}].{} on container {}: {}..{} ms \
+                 (wait {}, launch {}, backoff {}, fetch {}, compute {})",
+                i,
+                s.vertex,
+                s.task,
+                s.attempt,
+                s.container,
+                s.from_ms,
+                s.to_ms,
+                s.phases.scheduler_wait_ms,
+                s.phases.launch_ms,
+                s.phases.backoff_ms,
+                s.phases.fetch_ms,
+                s.phases.processing_ms
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON object (embedded in [`RunReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let (dom, _) = self.dominant_phase();
+        Obj::new()
+            .num("makespan_ms", self.makespan_ms)
+            .str("dominant", dom)
+            .raw("totals", &self.totals.to_json())
+            .raw(
+                "steps",
+                &array(self.steps.iter().map(|s| {
+                    Obj::new()
+                        .str("vertex", &s.vertex)
+                        .num("task", s.task)
+                        .num("attempt", s.attempt)
+                        .num("container", s.container)
+                        .num("from_ms", s.from_ms)
+                        .num("to_ms", s.to_ms)
+                        .raw("phases", &s.phases.to_json())
+                        .finish()
+                })),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::get;
+    use crate::run_report::AttemptSpan;
+
+    fn ev(ts: u64, app: u64, kind: EventKind) -> TimelineEvent {
+        TimelineEvent {
+            ts_ms: ts,
+            seq: 0,
+            app,
+            kind,
+        }
+    }
+
+    fn sample_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        t.record(0, 1, EventKind::DagSubmitted { dag: "wc".into() });
+        t.record(
+            0,
+            1,
+            EventKind::EdgeDefined {
+                src: "a".into(),
+                dst: "b".into(),
+                movement: "scatter_gather".into(),
+            },
+        );
+        t.record(
+            5,
+            1,
+            EventKind::ContainerRequested {
+                request: 1,
+                priority: 2,
+            },
+        );
+        t.record(
+            10,
+            1,
+            EventKind::ContainerAllocated {
+                container: 7,
+                node: 3,
+                vcores: 1,
+                locality: Locality::NodeLocal,
+                waited_ms: 5,
+                relaxed: false,
+            },
+        );
+        t.record(
+            12,
+            1,
+            EventKind::AttemptScheduled {
+                vertex: "a \"q\"".into(),
+                task: 0,
+                attempt: 0,
+                speculative: true,
+            },
+        );
+        t.record(900, GLOBAL_APP, EventKind::NodeFailed { node: 2 });
+        t
+    }
+
+    #[test]
+    fn timeline_json_round_trips() {
+        let t = sample_timeline();
+        let json = t.to_json();
+        let back = Timeline::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let kinds = vec![
+            EventKind::DagSubmitted { dag: "d".into() },
+            EventKind::DagFinished {
+                dag: "d".into(),
+                status: "succeeded".into(),
+            },
+            EventKind::EdgeDefined {
+                src: "a".into(),
+                dst: "b".into(),
+                movement: "broadcast".into(),
+            },
+            EventKind::VertexStarted {
+                vertex: "v".into(),
+                parallelism: 4,
+            },
+            EventKind::VertexReconfigured {
+                vertex: "v".into(),
+                parallelism: 2,
+            },
+            EventKind::VertexFinished { vertex: "v".into() },
+            EventKind::AttemptScheduled {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                speculative: false,
+            },
+            EventKind::AttemptAssigned {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                container: 9,
+                warm: true,
+            },
+            EventKind::AttemptLaunched {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                container: 9,
+                launch_ms: 2500,
+                backoff_ms: 300,
+                fetch_ms: 120,
+            },
+            EventKind::AttemptFinished {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                container: 9,
+                status: "succeeded".into(),
+            },
+            EventKind::ContainerRequested {
+                request: 3,
+                priority: 1,
+            },
+            EventKind::ContainerAllocated {
+                container: 9,
+                node: 0,
+                vcores: 1,
+                locality: Locality::OffRack,
+                waited_ms: 750,
+                relaxed: true,
+            },
+            EventKind::ContainerReleased {
+                container: 9,
+                vcores: 1,
+            },
+            EventKind::ContainerPreempted {
+                container: 9,
+                vcores: 1,
+            },
+            EventKind::ContainerLost {
+                container: 9,
+                node: 0,
+                vcores: 1,
+            },
+            EventKind::AppFinished {
+                status: "succeeded".into(),
+            },
+            EventKind::NodeFailed { node: 5 },
+            EventKind::WorkStarted {
+                work: 11,
+                container: 9,
+                node: 0,
+                label: "v[1]".into(),
+                launch_ms: 2500,
+            },
+            EventKind::WorkFinished {
+                work: 11,
+                container: 9,
+                node: 0,
+                label: "v[1]".into(),
+                start_ms: 10,
+                status: "succeeded".into(),
+            },
+            EventKind::FetchRetried {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                retries: 2,
+                backoff_ms: 300,
+            },
+            EventKind::FetchFailed {
+                vertex: "v".into(),
+                task: 1,
+                attempt: 0,
+                output: 4,
+                partition: 2,
+                reason: "transient".into(),
+            },
+        ];
+        let t = Timeline {
+            events: kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| TimelineEvent {
+                    ts_ms: i as u64,
+                    seq: i as u64,
+                    app: 1,
+                    kind: k,
+                })
+                .collect(),
+        };
+        let json = t.to_json();
+        let back = Timeline::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), json);
+        for e in &t.events {
+            assert!(!e.kind.type_name().is_empty());
+            assert!(!e.kind.entity().is_empty());
+        }
+    }
+
+    fn linear_report() -> RunReport {
+        // a[0] 100..1000, gates b[0] 1000..4000, gates c[0] 4000..9000;
+        // commit 9000..9010. Submitted at 0.
+        let mut t = Timeline::new();
+        t.record(0, 1, EventKind::DagSubmitted { dag: "lin".into() });
+        t.record(
+            0,
+            1,
+            EventKind::EdgeDefined {
+                src: "a".into(),
+                dst: "b".into(),
+                movement: "scatter_gather".into(),
+            },
+        );
+        t.record(
+            0,
+            1,
+            EventKind::EdgeDefined {
+                src: "b".into(),
+                dst: "c".into(),
+                movement: "scatter_gather".into(),
+            },
+        );
+        for (v, sched, assign, start, end, launch, backoff, fetch) in [
+            ("a", 0u64, 40u64, 100u64, 1000u64, 60u64, 0u64, 0u64),
+            ("b", 900, 1000, 1000, 4000, 0, 300, 200),
+            ("c", 3800, 4000, 4000, 9000, 0, 0, 500),
+        ] {
+            t.record(
+                sched,
+                1,
+                EventKind::AttemptScheduled {
+                    vertex: v.into(),
+                    task: 0,
+                    attempt: 0,
+                    speculative: false,
+                },
+            );
+            t.record(
+                assign,
+                1,
+                EventKind::AttemptAssigned {
+                    vertex: v.into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    warm: false,
+                },
+            );
+            t.record(
+                start,
+                1,
+                EventKind::AttemptLaunched {
+                    vertex: v.into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    launch_ms: launch,
+                    backoff_ms: backoff,
+                    fetch_ms: fetch,
+                },
+            );
+            t.record(
+                end,
+                1,
+                EventKind::AttemptFinished {
+                    vertex: v.into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    status: "succeeded".into(),
+                },
+            );
+        }
+        RunReport {
+            dag: "lin".into(),
+            status: "succeeded".into(),
+            submitted_ms: 0,
+            finished_ms: 9_010,
+            attempts: vec![
+                AttemptSpan {
+                    vertex: "a".into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    start_ms: 100,
+                    end_ms: 1_000,
+                    status: "succeeded".into(),
+                },
+                AttemptSpan {
+                    vertex: "b".into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    start_ms: 1_000,
+                    end_ms: 4_000,
+                    status: "succeeded".into(),
+                },
+                AttemptSpan {
+                    vertex: "c".into(),
+                    task: 0,
+                    attempt: 0,
+                    container: 1,
+                    start_ms: 4_000,
+                    end_ms: 9_000,
+                    status: "succeeded".into(),
+                },
+            ],
+            timeline: t,
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn critical_path_phases_sum_to_makespan_exactly() {
+        let r = linear_report();
+        let cp = CriticalPath::analyze(&r).expect("path");
+        assert_eq!(cp.makespan_ms, 9_010);
+        assert_eq!(cp.totals.sum(), cp.makespan_ms);
+        assert_eq!(cp.steps.len(), 3, "all three vertices on the path");
+        assert_eq!(cp.steps[0].vertex, "a");
+        assert_eq!(cp.steps[2].vertex, "c");
+        // The windows tile the makespan.
+        assert_eq!(cp.steps[0].from_ms, 0);
+        assert_eq!(cp.steps[1].from_ms, cp.steps[0].to_ms);
+        assert_eq!(cp.steps[2].from_ms, cp.steps[1].to_ms);
+        assert_eq!(cp.totals.commit_ms, 10);
+        // Per-step phase sums equal the step windows.
+        for s in &cp.steps {
+            assert_eq!(s.phases.sum(), s.to_ms - s.from_ms);
+        }
+    }
+
+    #[test]
+    fn critical_path_separates_backoff_from_processing() {
+        let r = linear_report();
+        let cp = CriticalPath::analyze(&r).expect("path");
+        // b carried 300 ms of retry backoff; it must be attributed to the
+        // backoff phase, not lumped into processing.
+        assert_eq!(cp.steps[1].phases.backoff_ms, 300);
+        assert_eq!(cp.totals.backoff_ms, 300);
+        assert_eq!(
+            cp.steps[1].phases.processing_ms,
+            3_000 - 300 - 200,
+            "compute excludes backoff and fetch"
+        );
+    }
+
+    #[test]
+    fn critical_path_dominant_phase_and_renderers() {
+        let r = linear_report();
+        let cp = CriticalPath::analyze(&r).expect("path");
+        assert_eq!(cp.dominant_phase().0, "processing");
+        let table = cp.render_table();
+        assert!(table.contains("dominant phase processing"));
+        assert!(table.contains("backoff"));
+        assert!(table.contains("c[0].0"));
+        let json = cp.to_json();
+        assert!(json.contains("\"dominant\":\"processing\""));
+        assert_eq!(json, CriticalPath::analyze(&r).unwrap().to_json());
+    }
+
+    #[test]
+    fn critical_path_needs_a_succeeded_attempt() {
+        let mut r = linear_report();
+        for a in &mut r.attempts {
+            a.status = "failed".into();
+        }
+        assert!(CriticalPath::analyze(&r).is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_structured() {
+        let r = linear_report();
+        let json = chrome_trace(&[&r]);
+        assert_eq!(json, chrome_trace(&[&r]), "byte-identical");
+        // Valid per our own strict parser.
+        let doc = Parser::new(&json).document().expect("valid JSON");
+        let root = as_obj(&doc, "trace").unwrap();
+        assert_eq!(get_str(&root, "displayTimeUnit").unwrap(), "ms");
+        let JVal::Arr(events) = get(&root, "traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        let phs: Vec<String> = events
+            .iter()
+            .map(|e| get_str(&as_obj(e, "event").unwrap(), "ph").unwrap())
+            .collect();
+        assert!(phs.iter().any(|p| p == "M"), "metadata events present");
+        assert!(phs.iter().any(|p| p == "X"), "slices present");
+        assert!(
+            phs.iter().any(|p| p == "s") && phs.iter().any(|p| p == "f"),
+            "flow arrows present: {phs:?}"
+        );
+        // Phase sub-slices for b's backoff and fetch.
+        assert!(json.contains("\"name\":\"backoff\""));
+        assert!(json.contains("\"name\":\"fetch\""));
+        assert!(json.contains("\"name\":\"launch\""));
+    }
+
+    #[test]
+    fn timeline_entities_group_related_events() {
+        let e1 = ev(
+            0,
+            1,
+            EventKind::AttemptScheduled {
+                vertex: "v".into(),
+                task: 2,
+                attempt: 1,
+                speculative: false,
+            },
+        );
+        let e2 = ev(
+            9,
+            1,
+            EventKind::FetchRetried {
+                vertex: "v".into(),
+                task: 2,
+                attempt: 1,
+                retries: 1,
+                backoff_ms: 100,
+            },
+        );
+        assert_eq!(e1.kind.entity(), e2.kind.entity());
+        assert_eq!(e1.kind.entity(), "attempt:v/2/1");
+    }
+}

@@ -38,5 +38,5 @@ pub use io::{
     ShuffledMergedKvInput, SplitPayload, UnorderedKvInput, UnorderedKvOutput,
 };
 pub use merge::{GroupedRunReader, MergingCursor};
-pub use service::{DataService, FetchRetryPolicy, RetryingFetcher, SharedDataService};
+pub use service::{DataService, FetchRetry, FetchRetryPolicy, RetryingFetcher, SharedDataService};
 pub use sorter::{Combiner, ExternalSorter, Partitioner};

@@ -214,6 +214,23 @@ pub struct RetryingFetcher {
     policy: FetchRetryPolicy,
     retries: Cell<u64>,
     backoff_ms: Cell<u64>,
+    log: std::cell::RefCell<Vec<FetchRetry>>,
+}
+
+/// One logical fetch that needed retries, as seen by a [`RetryingFetcher`].
+/// The orchestrator turns these into timeline events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchRetry {
+    /// Output id of the shard that needed retries.
+    pub output_id: u64,
+    /// Partition index within that output.
+    pub partition: u32,
+    /// Retries performed for this shard (excludes the first attempt).
+    pub retries: u64,
+    /// Backoff accumulated across those retries, in simulated ms.
+    pub backoff_ms: u64,
+    /// Whether the fetch ultimately succeeded.
+    pub succeeded: bool,
 }
 
 impl RetryingFetcher {
@@ -225,6 +242,7 @@ impl RetryingFetcher {
             policy,
             retries: Cell::new(0),
             backoff_ms: Cell::new(0),
+            log: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -238,6 +256,12 @@ impl RetryingFetcher {
     pub fn backoff_ms(&self) -> u64 {
         self.backoff_ms.get()
     }
+
+    /// Per-shard retry records, in fetch order. Only fetches that actually
+    /// retried appear.
+    pub fn retry_log(&self) -> Vec<FetchRetry> {
+        self.log.borrow().clone()
+    }
 }
 
 impl DataFetcher for RetryingFetcher {
@@ -248,17 +272,35 @@ impl DataFetcher for RetryingFetcher {
     ) -> Result<FetchedShard, FetchError> {
         let attempts = self.policy.max_attempts.max(1);
         let mut last_err = None;
+        let (mut retries, mut backoff) = (0u64, 0u64);
+        let record = |retries: u64, backoff: u64, succeeded: bool| {
+            if retries > 0 {
+                self.log.borrow_mut().push(FetchRetry {
+                    output_id: locator.output_id,
+                    partition: locator.partition,
+                    retries,
+                    backoff_ms: backoff,
+                    succeeded,
+                });
+            }
+        };
         for attempt in 0..attempts {
             if attempt > 0 {
+                retries += 1;
+                backoff += self.policy.backoff_before_retry(attempt);
                 self.retries.set(self.retries.get() + 1);
                 self.backoff_ms
                     .set(self.backoff_ms.get() + self.policy.backoff_before_retry(attempt));
             }
             match self.service.fetch_from(self.node, locator, token) {
-                Ok(shard) => return Ok(shard),
+                Ok(shard) => {
+                    record(retries, backoff, true);
+                    return Ok(shard);
+                }
                 Err(e) => last_err = Some(e),
             }
         }
+        record(retries, backoff, false);
         Err(last_err.expect("at least one attempt"))
     }
 }
@@ -364,6 +406,17 @@ mod tests {
         assert_eq!(f.retries(), 2);
         // Backoff before retry 1 (100ms) + retry 2 (200ms).
         assert_eq!(f.backoff_ms(), 300);
+        // The per-shard log records the whole episode.
+        assert_eq!(
+            f.retry_log(),
+            vec![FetchRetry {
+                output_id: oid,
+                partition: 0,
+                retries: 2,
+                backoff_ms: 300,
+                succeeded: true,
+            }]
+        );
     }
 
     #[test]
@@ -378,6 +431,7 @@ mod tests {
         assert!(err.reason.contains("transient"));
         assert_eq!(f.retries(), 2, "max_attempts=3 means two retries");
         assert_eq!(f.backoff_ms(), 300);
+        assert!(f.retry_log().iter().all(|r| !r.succeeded));
         // Two injected failures remain; one more fetch consumes them and
         // then succeeds on its final attempt.
         let f2 = RetryingFetcher::new(s.clone(), 1, FetchRetryPolicy::default());

@@ -188,6 +188,33 @@ impl<'a> AppContext<'a> {
         self.inner.rm.scheduler_stats(self.app)
     }
 
+    /// Append a typed event to the run's timeline, stamped with the
+    /// current simulated time and this app's id.
+    pub fn record_event(&mut self, kind: tez_runtime::timeline::EventKind) {
+        self.inner.record(self.now, self.app, kind);
+    }
+
+    /// Number of timeline events recorded so far (snapshot before a DAG
+    /// starts, then slice its events with
+    /// [`AppContext::timeline_events_since`]).
+    pub fn timeline_len(&self) -> usize {
+        self.inner.timeline.len()
+    }
+
+    /// This app's timeline events (plus cluster-global ones) recorded at
+    /// or after index `base`, keeping their original sequence numbers.
+    pub fn timeline_events_since(&self, base: usize) -> Vec<tez_runtime::timeline::TimelineEvent> {
+        let me = self.app.0 as u64;
+        self.inner
+            .timeline
+            .events
+            .iter()
+            .skip(base)
+            .filter(|e| e.app == me || e.app == tez_runtime::timeline::GLOBAL_APP)
+            .cloned()
+            .collect()
+    }
+
     /// Report terminal status; the RM reclaims all containers.
     pub fn finish(&mut self, status: AppStatus) {
         self.inner.finish_app(self.app, status, self.now);

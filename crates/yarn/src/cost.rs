@@ -104,7 +104,9 @@ impl CostModel {
     }
 
     /// Total base duration of a work item, before node speed, warm-up and
-    /// straggler factors (which the simulator applies).
+    /// straggler factors (which the simulator applies to everything except
+    /// `setup_ms` — deterministic sleeps such as shuffle-fetch backoff are
+    /// not compute and pass through unscaled).
     pub fn base_work_ms(&self, w: &WorkCost) -> u64 {
         self.task_overhead_ms
             + w.setup_ms

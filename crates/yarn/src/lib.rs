@@ -25,7 +25,9 @@
 //! * [`FaultPlan`] — scripted node failures and probabilistic task
 //!   failures.
 //! * [`Trace`] — container/work spans and per-app allocation time series
-//!   (drives the paper's Figure 7 and Figure 12 plots).
+//!   (drives the paper's Figure 7 and Figure 12 plots), derived from the
+//!   structured event [`Timeline`] the simulator records (see
+//!   `tez_runtime::timeline`).
 //!
 //! Everything is single-threaded and seeded: the same inputs produce the
 //! same schedule, byte-for-byte.
@@ -45,6 +47,7 @@ pub use fault::FaultPlan;
 pub use hdfs::SimHdfs;
 pub use rm::{ContainerRequest, QueueSpec, Rm, RmConfig};
 pub use sim::{SimResult, Simulation};
+pub use tez_runtime::timeline::{Timeline, TimelineEvent};
 pub use trace::{AllocPoint, Trace, WorkSpan};
 pub use types::{
     AppId, ClusterSpec, Container, ContainerId, NodeId, RequestId, Resource, SimTime, WorkId,

@@ -139,6 +139,12 @@ pub struct Allocation {
     pub app: AppId,
     /// The allocated container.
     pub container: Container,
+    /// Locality class of the placement.
+    pub locality: Locality,
+    /// How long the request waited before placement, ms.
+    pub waited_ms: u64,
+    /// Whether the placement needed a delay-scheduling relaxation.
+    pub relaxed: bool,
 }
 
 /// Preemption decision produced by a scheduling pass.
@@ -427,8 +433,8 @@ impl Rm {
         };
         let app = self.apps.get_mut(&app_id).expect("app exists");
         let p = app.pending.remove(&key).expect("pending exists");
-        app.stats
-            .record_placement(locality, now.since(p.created), relaxed);
+        let waited_ms = now.since(p.created);
+        app.stats.record_placement(locality, waited_ms, relaxed);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         let st = &mut self.nodes[node.0 as usize];
@@ -454,6 +460,9 @@ impl Rm {
                 resource: p.req.resource,
                 request: p.id,
             },
+            locality,
+            waited_ms,
+            relaxed,
         }
     }
 

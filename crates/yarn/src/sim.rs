@@ -9,12 +9,13 @@ use crate::cost::{CostModel, WorkCost};
 use crate::fault::FaultPlan;
 use crate::hdfs::SimHdfs;
 use crate::rm::{ContainerRequest, QueueSpec, Rm, RmConfig};
-use crate::trace::{AllocPoint, Trace, WorkSpan};
+use crate::trace::Trace;
 use crate::types::{AppId, ClusterSpec, ContainerId, NodeId, RequestId, Resource, SimTime, WorkId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use tez_runtime::timeline::{EventKind as TlEvent, Timeline, GLOBAL_APP};
 
 #[derive(Debug)]
 enum EventKind {
@@ -69,7 +70,7 @@ pub(crate) struct SimInner {
     pub(crate) cost: CostModel,
     pub(crate) rm: Rm,
     pub(crate) hdfs: SimHdfs,
-    pub(crate) trace: Trace,
+    pub(crate) timeline: Timeline,
     fault: FaultPlan,
     rng: StdRng,
     node_speed: Vec<f64>,
@@ -87,6 +88,10 @@ impl SimInner {
         self.events.push(Reverse(QueuedEvent { time, seq, kind }));
     }
 
+    pub(crate) fn record(&mut self, now: SimTime, app: AppId, kind: TlEvent) {
+        self.timeline.record(now.millis(), app.0 as u64, kind);
+    }
+
     fn schedule_pass(&mut self, at: SimTime) {
         self.push(at, EventKind::SchedulePass);
     }
@@ -97,18 +102,30 @@ impl SimInner {
         req: ContainerRequest,
         now: SimTime,
     ) -> RequestId {
+        let priority = req.priority as u64;
         let id = self.rm.add_request(app, req, now);
+        self.record(
+            now,
+            app,
+            TlEvent::ContainerRequested {
+                request: id.0,
+                priority,
+            },
+        );
         self.schedule_pass(now);
         id
     }
 
     pub(crate) fn release_container(&mut self, id: ContainerId, now: SimTime) {
         if let Some(info) = self.rm.release_container(id) {
-            self.trace.allocations.push(AllocPoint {
-                time: now,
-                app: info.app,
-                delta_vcores: -(info.resource.vcores as i64),
-            });
+            self.record(
+                now,
+                info.app,
+                TlEvent::ContainerReleased {
+                    container: id.0,
+                    vcores: info.resource.vcores as u64,
+                },
+            );
             self.schedule_pass(now);
         }
     }
@@ -133,12 +150,16 @@ impl SimInner {
         } else {
             0
         };
-        let mut ms = self.cost.base_work_ms(&cost) as f64;
+        // Warm-up, node speed and straggler factors model *compute* variance;
+        // `setup_ms` is a deterministic sleep (e.g. shuffle-fetch backoff) and
+        // must pass through unscaled or backoff time leaks into compute.
+        let mut ms = (self.cost.base_work_ms(&cost) - cost.setup_ms) as f64;
         ms *= self.cost.warmup_factor(works_run);
         ms *= self.node_speed[node.0 as usize];
         if self.cost.straggler_prob > 0.0 && self.rng.random::<f64>() < self.cost.straggler_prob {
             ms *= self.cost.straggler_factor;
         }
+        let ms = ms + cost.setup_ms as f64;
         let planned = if self.fault.task_fail_prob > 0.0
             && self.rng.random::<f64>() < self.fault.task_fail_prob
         {
@@ -151,6 +172,17 @@ impl SimInner {
         let id = WorkId(self.next_work);
         self.next_work += 1;
         self.rm.container_ran_work(container);
+        self.record(
+            now,
+            app,
+            TlEvent::WorkStarted {
+                work: id.0,
+                container: container.0,
+                node: node.0 as u64,
+                label: label.clone(),
+                launch_ms: launch,
+            },
+        );
         self.works.insert(
             id,
             WorkState {
@@ -188,14 +220,25 @@ impl SimInner {
         }
         w.done = true;
         let (app, container) = (w.app, w.container);
-        self.trace.spans.push(WorkSpan {
+        let (node, label, start) = (w.node, w.label.clone(), w.start);
+        let status = match outcome {
+            WorkOutcome::Succeeded => "succeeded",
+            WorkOutcome::Killed => "killed",
+            WorkOutcome::InjectedFailure => "failed",
+            WorkOutcome::ContainerLost => "lost",
+        };
+        self.record(
+            now,
             app,
-            container,
-            node: w.node,
-            label: w.label.clone(),
-            start: w.start,
-            end: now,
-        });
+            TlEvent::WorkFinished {
+                work: id.0,
+                container: container.0,
+                node: node.0 as u64,
+                label,
+                start_ms: start.millis(),
+                status: status.into(),
+            },
+        );
         self.push(
             now,
             EventKind::Deliver(
@@ -236,29 +279,14 @@ impl SimInner {
                 w.done = true;
             }
         }
-        let released = self.rm.finish_app(app);
-        for _ in &released {
-            // Resource per container already accounted in release; record
-            // deltas using container info captured before release is not
-            // available here, so finish_app releases are traced in bulk by
-            // the RM usage reaching zero. Record a zeroing point.
-        }
-        self.trace.allocations.push(AllocPoint {
-            time: now,
-            app,
-            delta_vcores: i64::MIN, // sentinel replaced below
-        });
-        // Replace the sentinel with the exact negative of the current sum.
-        let sum: i64 = self
-            .trace
-            .allocations
-            .iter()
-            .filter(|p| p.app == app && p.delta_vcores != i64::MIN)
-            .map(|p| p.delta_vcores)
-            .sum();
-        if let Some(last) = self.trace.allocations.last_mut() {
-            last.delta_vcores = -sum;
-        }
+        // Containers are reclaimed in bulk; the app's terminal event zeroes
+        // its allocation series when the trace is derived from the timeline.
+        let _released = self.rm.finish_app(app);
+        let status_str = match &status {
+            AppStatus::Succeeded => "succeeded".to_string(),
+            AppStatus::Failed(reason) => format!("failed: {reason}"),
+        };
+        self.record(now, app, TlEvent::AppFinished { status: status_str });
         self.finished.insert(app, (now, status));
         self.schedule_pass(now);
     }
@@ -352,7 +380,7 @@ impl Simulation {
             cost,
             rm,
             hdfs,
-            trace: Trace::default(),
+            timeline: Timeline::new(),
             fault: fault.clone(),
             rng,
             node_speed,
@@ -442,20 +470,30 @@ impl Simulation {
                 EventKind::SchedulePass => {
                     let (allocs, preemptions, next) = self.inner.rm.schedule(now);
                     for al in allocs {
-                        self.inner.trace.allocations.push(AllocPoint {
-                            time: now,
-                            app: al.app,
-                            delta_vcores: al.container.resource.vcores as i64,
-                        });
+                        self.inner.record(
+                            now,
+                            al.app,
+                            TlEvent::ContainerAllocated {
+                                container: al.container.id.0,
+                                node: al.container.node.0 as u64,
+                                vcores: al.container.resource.vcores as u64,
+                                locality: al.locality,
+                                waited_ms: al.waited_ms,
+                                relaxed: al.relaxed,
+                            },
+                        );
                         self.deliver(al.app, AppEvent::ContainerAllocated(al.container), now);
                     }
                     for p in preemptions {
                         if let Some(info) = self.inner.rm.release_container(p.container) {
-                            self.inner.trace.allocations.push(AllocPoint {
-                                time: now,
-                                app: info.app,
-                                delta_vcores: -(info.resource.vcores as i64),
-                            });
+                            self.inner.record(
+                                now,
+                                info.app,
+                                TlEvent::ContainerPreempted {
+                                    container: p.container.0,
+                                    vcores: info.resource.vcores as u64,
+                                },
+                            );
                             self.inner.container_vanished(
                                 p.container,
                                 p.app,
@@ -471,12 +509,23 @@ impl Simulation {
                 EventKind::NodeFailure(node) => {
                     let lost = self.inner.rm.node_lost(node);
                     self.inner.hdfs.node_lost(node);
+                    self.inner.timeline.record(
+                        now.millis(),
+                        GLOBAL_APP,
+                        TlEvent::NodeFailed {
+                            node: node.0 as u64,
+                        },
+                    );
                     for (cid, info) in lost {
-                        self.inner.trace.allocations.push(AllocPoint {
-                            time: now,
-                            app: info.app,
-                            delta_vcores: -(info.resource.vcores as i64),
-                        });
+                        self.inner.record(
+                            now,
+                            info.app,
+                            TlEvent::ContainerLost {
+                                container: cid.0,
+                                node: node.0 as u64,
+                                vcores: info.resource.vcores as u64,
+                            },
+                        );
                         self.inner
                             .container_vanished(cid, info.app, ContainerExit::NodeLost, now);
                     }
@@ -501,9 +550,16 @@ impl Simulation {
         }
     }
 
-    /// The recorded trace.
-    pub fn trace(&self) -> &Trace {
-        &self.inner.trace
+    /// Container/work spans and allocation series, derived from the
+    /// timeline (the timeline is the single source of truth; [`Trace`] is
+    /// a view over it).
+    pub fn trace(&self) -> Trace {
+        Trace::from_timeline(&self.inner.timeline)
+    }
+
+    /// The structured event timeline recorded so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.inner.timeline
     }
 }
 

@@ -3,8 +3,14 @@
 //! The spans reproduce the paper's Figure 7 (containers re-used by tasks
 //! within and across DAGs in a session) and the allocation series
 //! reproduce Figure 12 (cluster capacity over time per tenant).
+//!
+//! Since the structured event timeline became the single bookkeeping path,
+//! a [`Trace`] is a *derived view*: [`Trace::from_timeline`] replays
+//! container and work events into spans and allocation deltas in the exact
+//! order they were emitted.
 
 use crate::types::{AppId, ContainerId, NodeId, SimTime};
+use tez_runtime::timeline::{EventKind, Timeline};
 
 /// One executed work item.
 #[derive(Clone, Debug)]
@@ -44,6 +50,65 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Replay a timeline into spans and allocation deltas. Work
+    /// completions become [`WorkSpan`]s (whatever their outcome);
+    /// container allocations, releases, preemptions and losses become
+    /// signed [`AllocPoint`]s; an app's terminal event zeroes its running
+    /// allocation, mirroring the RM reclaiming everything at finish.
+    pub fn from_timeline(timeline: &Timeline) -> Trace {
+        let mut trace = Trace::default();
+        let mut running: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+        fn alloc(
+            trace: &mut Trace,
+            running: &mut std::collections::BTreeMap<u64, i64>,
+            time: SimTime,
+            app: u64,
+            delta: i64,
+        ) {
+            *running.entry(app).or_insert(0) += delta;
+            trace.allocations.push(AllocPoint {
+                time,
+                app: AppId(app as u32),
+                delta_vcores: delta,
+            });
+        }
+        for e in &timeline.events {
+            let time = SimTime(e.ts_ms);
+            match &e.kind {
+                EventKind::ContainerAllocated { vcores, .. } => {
+                    alloc(&mut trace, &mut running, time, e.app, *vcores as i64);
+                }
+                EventKind::ContainerReleased { vcores, .. }
+                | EventKind::ContainerPreempted { vcores, .. }
+                | EventKind::ContainerLost { vcores, .. } => {
+                    alloc(&mut trace, &mut running, time, e.app, -(*vcores as i64));
+                }
+                EventKind::AppFinished { .. } => {
+                    let delta = -running.get(&e.app).copied().unwrap_or(0);
+                    alloc(&mut trace, &mut running, time, e.app, delta);
+                }
+                EventKind::WorkFinished {
+                    container,
+                    node,
+                    label,
+                    start_ms,
+                    ..
+                } => {
+                    trace.spans.push(WorkSpan {
+                        app: AppId(e.app as u32),
+                        container: ContainerId(*container),
+                        node: NodeId(*node as u32),
+                        label: label.clone(),
+                        start: SimTime(*start_ms),
+                        end: time,
+                    });
+                }
+                _ => {}
+            }
+        }
+        trace
+    }
+
     /// Step series of an app's allocated vcores over time:
     /// `(time, vcores)` points, one per change.
     pub fn allocation_series(&self, app: AppId) -> Vec<(SimTime, u64)> {

@@ -41,6 +41,12 @@ fn main() {
     print!("{}", rr.render_table());
     println!("json: {} bytes, deterministic", rr.to_json().len());
 
+    header("critical path (tez)");
+    match rr.critical_path() {
+        Some(cp) => print!("{}", cp.render_table()),
+        None => println!("no succeeded attempts to analyze"),
+    }
+
     header("backends");
     println!(
         "tez: one DAG,      {:>8.1}s",

@@ -38,6 +38,12 @@ fn main() {
         }
     }
 
+    header("critical path (tez)");
+    match tez.reports.last().unwrap().run_report.critical_path() {
+        Some(cp) => print!("{}", cp.render_table()),
+        None => println!("no succeeded attempts to analyze"),
+    }
+
     header("backends");
     println!(
         "tez: 1 DAG ({} vertices implied), {:>7.1}s",

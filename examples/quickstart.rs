@@ -128,4 +128,22 @@ fn main() {
             );
         }
     }
+
+    header("critical path");
+    let rr = &report.run_report;
+    match rr.critical_path() {
+        Some(cp) => print!("{}", cp.render_table()),
+        None => println!("no succeeded attempts to analyze"),
+    }
+
+    // 4. Optionally export run artifacts (CI uploads these): the full run
+    //    report JSON and a Chrome trace openable in Perfetto.
+    if let Ok(dir) = std::env::var("TEZ_ARTIFACTS_DIR") {
+        std::fs::create_dir_all(&dir).expect("create artifacts dir");
+        let report_path = format!("{dir}/quickstart-run-report.json");
+        std::fs::write(&report_path, rr.to_json()).expect("write run report");
+        let trace_path = format!("{dir}/quickstart-chrome-trace.json");
+        std::fs::write(&trace_path, tez_runtime::chrome_trace(&[rr])).expect("write chrome trace");
+        println!("artifacts: {report_path}, {trace_path}");
+    }
 }

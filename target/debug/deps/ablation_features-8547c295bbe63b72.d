@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_features-8547c295bbe63b72.d: crates/bench/benches/ablation_features.rs
+
+/root/repo/target/debug/deps/ablation_features-8547c295bbe63b72: crates/bench/benches/ablation_features.rs
+
+crates/bench/benches/ablation_features.rs:

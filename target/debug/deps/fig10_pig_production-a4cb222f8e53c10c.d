@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pig_production-a4cb222f8e53c10c.d: crates/bench/benches/fig10_pig_production.rs
+
+/root/repo/target/debug/deps/fig10_pig_production-a4cb222f8e53c10c: crates/bench/benches/fig10_pig_production.rs
+
+crates/bench/benches/fig10_pig_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_pig_kmeans-c5c5855f12bdce47.d: crates/bench/benches/fig11_pig_kmeans.rs
+
+/root/repo/target/debug/deps/fig11_pig_kmeans-c5c5855f12bdce47: crates/bench/benches/fig11_pig_kmeans.rs
+
+crates/bench/benches/fig11_pig_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_spark_tenancy_trace-fe4815f26dbcb4c7.d: crates/bench/benches/fig12_spark_tenancy_trace.rs
+
+/root/repo/target/debug/deps/fig12_spark_tenancy_trace-fe4815f26dbcb4c7: crates/bench/benches/fig12_spark_tenancy_trace.rs
+
+crates/bench/benches/fig12_spark_tenancy_trace.rs:

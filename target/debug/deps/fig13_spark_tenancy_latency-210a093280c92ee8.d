@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_spark_tenancy_latency-210a093280c92ee8.d: crates/bench/benches/fig13_spark_tenancy_latency.rs
+
+/root/repo/target/debug/deps/fig13_spark_tenancy_latency-210a093280c92ee8: crates/bench/benches/fig13_spark_tenancy_latency.rs
+
+crates/bench/benches/fig13_spark_tenancy_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_session_trace-d85f224f908541bc.d: crates/bench/benches/fig7_session_trace.rs
+
+/root/repo/target/debug/deps/fig7_session_trace-d85f224f908541bc: crates/bench/benches/fig7_session_trace.rs
+
+crates/bench/benches/fig7_session_trace.rs:

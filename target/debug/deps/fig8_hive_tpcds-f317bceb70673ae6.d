@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_hive_tpcds-f317bceb70673ae6.d: crates/bench/benches/fig8_hive_tpcds.rs
+
+/root/repo/target/debug/deps/fig8_hive_tpcds-f317bceb70673ae6: crates/bench/benches/fig8_hive_tpcds.rs
+
+crates/bench/benches/fig8_hive_tpcds.rs:

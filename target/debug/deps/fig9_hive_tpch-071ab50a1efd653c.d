@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hive_tpch-071ab50a1efd653c.d: crates/bench/benches/fig9_hive_tpch.rs
+
+/root/repo/target/debug/deps/fig9_hive_tpch-071ab50a1efd653c: crates/bench/benches/fig9_hive_tpch.rs
+
+crates/bench/benches/fig9_hive_tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-f9b245f104922e69.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-f9b245f104922e69: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-b52854611c9b7e12.d: tests/tests/timeline.rs
+
+/root/repo/target/debug/deps/timeline-b52854611c9b7e12: tests/tests/timeline.rs
+
+tests/tests/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-c163c11fea74ad41.d: tests/tests/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-c163c11fea74ad41.rmeta: tests/tests/timeline.rs Cargo.toml
+
+tests/tests/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,252 @@
+//! Timeline observability (ISSUE 4): per-entity monotonic timestamps,
+//! byte-identical same-seed Chrome traces, exact critical-path phase
+//! accounting on a linear DAG, and shuffle-retry backoff surfacing as a
+//! distinct phase instead of being lumped into compute.
+
+use bytes::Bytes;
+use tez_core::{hdfs_split_initializer, standard_registry, TezClient, TezConfig, TezRun};
+use tez_dag::{DagBuilder, NamedDescriptor, UserPayload, Vertex};
+use tez_runtime::timeline::EventKind;
+use tez_runtime::{chrome_trace, Processor, ProcessorContext, RunReport, TaskError};
+use tez_shuffle::codec::encode_kv;
+use tez_shuffle::io::{kinds, scatter_gather_edge};
+use tez_shuffle::Combiner;
+use tez_yarn::{ClusterSpec, FaultPlan};
+
+/// Splits lines into `(word, 1)` pairs.
+struct TokenProcessor;
+impl Processor for TokenProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let mut reader = ctx.reader("in")?.into_kv()?;
+        let mut words = Vec::new();
+        while let Some((_, line)) = reader.next() {
+            for w in String::from_utf8_lossy(&line).split_whitespace() {
+                words.push(w.to_string());
+            }
+        }
+        for w in words {
+            ctx.write("mid", w.as_bytes(), &1u64.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Sums grouped counts from `src` and forwards them to `dst`.
+struct SumProcessor {
+    src: &'static str,
+    dst: &'static str,
+}
+impl Processor for SumProcessor {
+    fn run(&mut self, ctx: &mut ProcessorContext<'_, '_>) -> Result<(), TaskError> {
+        let mut reader = ctx.reader(self.src)?.into_grouped()?;
+        let mut out = Vec::new();
+        while let Some(g) = reader.next_group() {
+            let total: u64 = g
+                .values
+                .iter()
+                .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+                .sum();
+            out.push((g.key, total));
+        }
+        for (k, total) in out {
+            ctx.write(self.dst, &k, &total.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Run a linear 3-vertex DAG (tokenize → mid → final, two scatter-gather
+/// hops) on a small cluster with the given fault plan.
+fn run_linear(fault: FaultPlan, seed: u64) -> TezRun {
+    let mut registry = standard_registry();
+    registry.register_processor("TokenProcessor", |_| Box::new(TokenProcessor));
+    registry.register_processor("MidProcessor", |_| {
+        Box::new(SumProcessor {
+            src: "tokenize",
+            dst: "final",
+        })
+    });
+    registry.register_processor("FinalProcessor", |_| {
+        Box::new(SumProcessor {
+            src: "mid",
+            dst: "out",
+        })
+    });
+    let dag = DagBuilder::new("linear3")
+        .add_vertex(
+            Vertex::new("tokenize", NamedDescriptor::new("TokenProcessor")).with_data_source(
+                "in",
+                NamedDescriptor::new(kinds::DFS_IN),
+                Some(hdfs_split_initializer("/input/text", 1, 1 << 30, false)),
+            ),
+        )
+        .add_vertex(Vertex::new("mid", NamedDescriptor::new("MidProcessor")).with_parallelism(1))
+        .add_vertex(
+            Vertex::new("final", NamedDescriptor::new("FinalProcessor"))
+                .with_parallelism(1)
+                .with_data_sink(
+                    "out",
+                    NamedDescriptor::with_payload(kinds::DFS_OUT, UserPayload::from_str("/output")),
+                    Some(NamedDescriptor::new(kinds::DFS_COMMITTER)),
+                ),
+        )
+        .add_edge("tokenize", "mid", scatter_gather_edge(Combiner::SumU64))
+        .add_edge("mid", "final", scatter_gather_edge(Combiner::SumU64))
+        .build()
+        .expect("valid DAG");
+    let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8))
+        .with_fault(fault)
+        .with_seed(seed);
+    client.run_dag(dag, registry, TezConfig::default(), |hdfs| {
+        let lines = ["a b a", "c b a", "c c c"];
+        let blocks = lines
+            .iter()
+            .map(|l| {
+                let mut buf = Vec::new();
+                encode_kv(&mut buf, b"", l.as_bytes());
+                (Bytes::from(buf), 1u64)
+            })
+            .collect();
+        hdfs.put_file("/input/text", blocks);
+    })
+}
+
+fn report(run: &TezRun) -> &RunReport {
+    &run.report().run_report
+}
+
+#[test]
+fn linear_dag_phase_sum_equals_makespan_exactly() {
+    let run = run_linear(FaultPlan::none(), 7);
+    let rr = report(&run);
+    assert_eq!(rr.status, "succeeded");
+    let cp = rr.critical_path().expect("succeeded attempts");
+    assert_eq!(cp.steps.len(), 3, "one step per vertex on a linear DAG");
+    assert_eq!(
+        cp.makespan_ms,
+        rr.finished_ms - rr.submitted_ms,
+        "critical path spans submission to finish"
+    );
+    assert_eq!(
+        cp.totals.sum(),
+        cp.makespan_ms,
+        "phases must tile the makespan exactly:\n{}",
+        cp.render_table()
+    );
+    // Per-step windows also tile their own spans.
+    for s in &cp.steps {
+        assert_eq!(s.phases.sum(), s.to_ms - s.from_ms, "step {}", s.vertex);
+    }
+}
+
+#[test]
+fn shuffle_retry_backoff_is_a_distinct_phase() {
+    // Two injected transient fetch failures: the first shuffle fetch
+    // retries twice with 100 + 200 ms of deterministic backoff.
+    let run = run_linear(FaultPlan::none().with_transient_fetch_failures(2), 7);
+    let rr = report(&run);
+    assert_eq!(rr.status, "succeeded");
+    let retried: Vec<_> = rr
+        .timeline
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::FetchRetried {
+                retries,
+                backoff_ms,
+                ..
+            } => Some((*retries, *backoff_ms)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retried, vec![(2, 300)], "one shard retried twice");
+    let cp = rr.critical_path().expect("succeeded attempts");
+    assert_eq!(
+        cp.totals.backoff_ms,
+        300,
+        "backoff must be its own phase, not compute:\n{}",
+        cp.render_table()
+    );
+    // The accounting stays exact even with the extra phase.
+    assert_eq!(cp.totals.sum(), cp.makespan_ms);
+
+    // Against the fault-free run, only backoff (plus the 300 ms of shifted
+    // downstream time) moved; compute did not absorb the retries.
+    let clean = run_linear(FaultPlan::none(), 7);
+    let clean_cp = report(&clean).critical_path().unwrap();
+    assert_eq!(clean_cp.totals.backoff_ms, 0);
+    assert_eq!(cp.totals.processing_ms, clean_cp.totals.processing_ms);
+}
+
+#[test]
+fn same_seed_runs_serialize_byte_identically() {
+    let a = run_linear(FaultPlan::none(), 42);
+    let b = run_linear(FaultPlan::none(), 42);
+    assert_eq!(
+        report(&a).to_json(),
+        report(&b).to_json(),
+        "run report JSON (incl. timeline + critical path) must be stable"
+    );
+    assert_eq!(
+        chrome_trace(&[report(&a)]),
+        chrome_trace(&[report(&b)]),
+        "Chrome trace export must be byte-identical for the same seed"
+    );
+}
+
+#[test]
+fn timestamps_are_monotonic_per_entity() {
+    let run = run_linear(FaultPlan::none(), 7);
+    // The full simulation timeline (all apps + cluster events).
+    let timeline = run.timeline();
+    assert!(!timeline.is_empty());
+    let mut last_seq = None;
+    let mut per_entity: std::collections::BTreeMap<String, u64> = Default::default();
+    for e in &timeline.events {
+        if let Some(prev) = last_seq {
+            assert!(e.seq > prev, "sequence numbers strictly increase");
+        }
+        last_seq = Some(e.seq);
+        let entity = e.kind.entity();
+        if let Some(&prev_ts) = per_entity.get(&entity) {
+            assert!(
+                e.ts_ms >= prev_ts,
+                "timestamps for {entity} went backwards: {} < {prev_ts}",
+                e.ts_ms
+            );
+        }
+        per_entity.insert(entity, e.ts_ms);
+    }
+    // The per-DAG slice carried on the report preserves original seqs.
+    let rr = report(&run);
+    let seqs: Vec<u64> = rr.timeline.events.iter().map(|e| e.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seqs, sorted);
+}
+
+#[test]
+fn fig7_session_names_a_dominant_phase() {
+    let (_, reports) = tez_bench::fig7_session_trace();
+    assert_eq!(reports.len(), 2);
+    const PHASES: [&str; 6] = [
+        "scheduler_wait",
+        "launch",
+        "backoff",
+        "fetch",
+        "processing",
+        "commit",
+    ];
+    for r in &reports {
+        let cp = r.run_report.critical_path().expect("succeeded session DAG");
+        let (phase, ms) = cp.dominant_phase();
+        assert!(PHASES.contains(&phase), "unknown phase {phase}");
+        assert!(ms > 0, "dominant phase must carry real time");
+        assert_eq!(
+            cp.totals.sum(),
+            cp.makespan_ms,
+            "exact accounting on {}",
+            r.name
+        );
+    }
+}
