@@ -1,0 +1,34 @@
+//! Data-plane worker-pool wall-clock scaling: the same Hive TPC-H and Pig
+//! ETL runs with 1 worker vs N workers. Simulated results are asserted
+//! byte-identical; only wall-clock time may change.
+//!
+//! Set TEZ_BENCH_FULL=1 for paper-scale parameters and TEZ_WORKERS to pick
+//! the multi-worker count (default: available parallelism).
+
+use tez_bench::{table, worker_scaling};
+
+fn main() {
+    let quick = std::env::var("TEZ_BENCH_FULL").is_err();
+    let workers = tez_yarn::resolve_workers(None);
+    let rows = worker_scaling(quick, workers);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                table::secs(r.single_ms),
+                table::secs(r.multi_ms),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!("Worker-pool scaling — wall-clock, {workers} workers vs 1");
+    println!(
+        "{}",
+        table::render(
+            &["workload", "1 worker (s)", "N workers (s)", "speedup"],
+            &table_rows
+        )
+    );
+    println!("simulated outputs byte-identical at both worker counts");
+}

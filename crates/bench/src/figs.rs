@@ -431,6 +431,129 @@ pub fn ablation_features(quick: bool) -> Vec<(String, u64, u64)> {
     rows_out
 }
 
+// ---------------------------------------------------------------------------
+// Worker-pool wall-clock scaling
+// ---------------------------------------------------------------------------
+
+/// One workload measured at two worker counts. Simulated results are
+/// byte-identical by construction (asserted); only wall-clock differs.
+#[derive(Clone, Debug)]
+pub struct WorkerScalingRow {
+    /// Workload name.
+    pub name: String,
+    /// Wall-clock with a single data-plane worker, ms.
+    pub single_ms: u64,
+    /// Wall-clock with `workers` data-plane workers, ms.
+    pub multi_ms: u64,
+    /// Worker count of the multi measurement.
+    pub workers: usize,
+}
+
+impl WorkerScalingRow {
+    /// single / multi wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.single_ms as f64 / self.multi_ms.max(1) as f64
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let t = std::time::Instant::now();
+    let r = f();
+    (t.elapsed().as_millis() as u64, r)
+}
+
+/// Wall-clock scaling of the data-plane worker pool on the Figure 9
+/// (Hive TPC-H) and Figure 10 (Pig ETL) workloads: the same run with
+/// 1 worker and with `workers` workers. Panics if the run-report JSON
+/// differs between the two — determinism is part of what this measures.
+pub fn worker_scaling(quick: bool, workers: usize) -> Vec<WorkerScalingRow> {
+    let digest = |reports: &[DagReport]| -> String {
+        reports
+            .iter()
+            .map(|r| r.run_report.to_json())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let hive = |n: usize| {
+        let (nodes, rows, blocks, scale) = if quick {
+            (10, 1_000, 8, 100_000.0)
+        } else {
+            (350, 8_000, 128, 10_000_000.0)
+        };
+        let engine = HiveEngine::new(tpch::generate(rows, blocks, 7));
+        let client =
+            TezClient::new(ClusterSpec::homogeneous(nodes, 24 * 1024, 16)).with_cost(bench_cost());
+        let opts = HiveOpts {
+            reducers: if quick { 8 } else { 128 },
+            byte_scale: scale,
+            ..HiveOpts::default()
+        };
+        let config = TezConfig {
+            workers: Some(n),
+            ..TezConfig::default()
+        };
+        timed(move || {
+            tpch::queries(&engine.catalog)
+                .into_iter()
+                .map(|(name, q)| {
+                    let res = engine.run_tez_with(&client, name, &q.plan, &opts, config.clone());
+                    assert!(res.success(), "{name} failed");
+                    digest(&res.reports)
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let pig = |n: usize| {
+        let (rows, blocks, scale) = if quick {
+            (600, 8, 100_000.0)
+        } else {
+            (2_000, 48, 20_000_000.0)
+        };
+        let engine = PigEngine::new(event_catalog(rows, blocks, 7));
+        let opts = PigOpts {
+            reducers: if quick { 4 } else { 32 },
+            byte_scale: scale,
+            ..PigOpts::default()
+        };
+        let client = TezClient::new(ClusterSpec::homogeneous(8, 8192, 8)).with_cost(bench_cost());
+        let config = TezConfig {
+            workers: Some(n),
+            ..TezConfig::default()
+        };
+        timed(move || {
+            production_scripts()
+                .into_iter()
+                .map(|(name, script)| {
+                    let res = engine.run_tez_with(&client, &script, &opts, config.clone());
+                    assert!(res.success(), "{name} failed");
+                    digest(&res.reports)
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+
+    let mut out = Vec::new();
+    for (name, run) in [
+        ("hive_tpch", &hive as &dyn Fn(usize) -> (u64, Vec<String>)),
+        ("pig_etl", &pig),
+    ] {
+        let (single_ms, single_digests) = run(1);
+        let (multi_ms, multi_digests) = run(workers);
+        assert_eq!(
+            single_digests, multi_digests,
+            "{name}: simulated results diverged across worker counts"
+        );
+        out.push(WorkerScalingRow {
+            name: name.to_string(),
+            single_ms,
+            multi_ms,
+            workers,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

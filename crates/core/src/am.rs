@@ -9,11 +9,17 @@
 //! re-execution with `InputReadError` back-tracking (§4.3).
 //!
 //! The AM is a deterministic event-driven state machine over
-//! [`tez_yarn::AppEvent`]s. Task IPO pipelines run synchronously at launch
-//! time against the real data plane; the simulator charges their cost and
-//! delivers completion later, so failure semantics (killed containers, lost
-//! nodes, injected faults) discard not-yet-published outputs exactly like a
-//! real mid-flight task failure would.
+//! [`tez_yarn::AppEvent`]s. Task IPO pipelines run against the real data
+//! plane on a [`tez_yarn::WorkerPool`]: at launch the payload is submitted
+//! to the pool and the attempt parks in [`AState::Launching`] until the
+//! same-instant [`AppEvent::PayloadReady`] event joins the handle. The
+//! join happens at the same simulated time and in the same deterministic
+//! order as the old synchronous execution, so every simulated outcome —
+//! schedule, reports, timeline — is byte-identical at any worker count;
+//! only wall-clock time changes. The simulator then charges the modelled
+//! cost and delivers completion later, so failure semantics (killed
+//! containers, lost nodes, injected faults) discard not-yet-published
+//! outputs exactly like a real mid-flight task failure would.
 
 use crate::config::TezConfig;
 use crate::executor::run_task;
@@ -32,10 +38,11 @@ use tez_runtime::{
     SourceTaskAttempt, TaskEnv, TaskError, TaskMeta, TaskOutcome, TaskSpec, VertexManager,
     VertexManagerContext,
 };
-use tez_shuffle::{FetchRetryPolicy, RetryingFetcher, SharedDataService, SplitPayload};
+use tez_shuffle::{FetchRetry, FetchRetryPolicy, RetryingFetcher, SharedDataService, SplitPayload};
 use tez_yarn::{
-    AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId, ContainerRequest, NodeId,
-    RequestId, SimTime, WorkCost, WorkId, WorkOutcome, YarnApp,
+    resolve_workers, AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId,
+    ContainerRequest, NodeId, RequestId, SimTime, TaskHandle, WorkCost, WorkId, WorkOutcome,
+    WorkerPool, YarnApp,
 };
 
 const TIMER_SPECULATION: u64 = 1;
@@ -65,6 +72,34 @@ pub type SharedSessionOutput = Arc<Mutex<SessionOutput>>;
 // Runtime state
 // ---------------------------------------------------------------------------
 
+/// Everything the data-plane payload of one attempt produced, carried from
+/// the worker thread back to the control plane.
+struct PayloadResult {
+    outcome: Result<TaskOutcome, TaskError>,
+    fetch_retries: u64,
+    fetch_backoff_ms: u64,
+    retry_log: Vec<FetchRetry>,
+}
+
+/// A payload in flight between submission and its `PayloadReady` join.
+enum PayloadSlot {
+    /// Running on the worker pool.
+    Pool(TaskHandle<PayloadResult>),
+    /// Ran inline on the control thread. Used when the data service holds
+    /// injected transient failures, which are consumed in fetch order —
+    /// concurrent fetchers would race for them nondeterministically.
+    Ready(Box<PayloadResult>),
+}
+
+impl std::fmt::Debug for PayloadSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadSlot::Pool(_) => f.write_str("Pool(..)"),
+            PayloadSlot::Ready(_) => f.write_str("Ready(..)"),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum AState {
     /// Waiting for a container (either a pending RM request or the pool).
@@ -73,6 +108,14 @@ enum AState {
     WaitingInputs {
         container: ContainerId,
         since: SimTime,
+    },
+    /// Payload submitted to the worker pool; the same-instant
+    /// `PayloadReady` event joins it. `since` is the preceding
+    /// `WaitingInputs` timestamp (overlap credit for the cost model).
+    Launching {
+        container: ContainerId,
+        since: SimTime,
+        payload: PayloadSlot,
     },
     /// Work launched in the simulator; outputs held until completion.
     Running {
@@ -87,6 +130,22 @@ enum AState {
 struct AttemptRt {
     state: AState,
     started_at: SimTime,
+    /// Whether this attempt was spawned by the speculator (a backup for a
+    /// straggling sibling). Carried onto the run report's attempt spans so
+    /// speculation winners/losers can be classified.
+    speculative: bool,
+}
+
+/// Control-plane context for a submitted payload, keyed by ticket. The
+/// `dag_gen` + state checks at join time discard results whose attempt was
+/// superseded (DAG finished, AM failed, sibling won) before the join.
+struct PayloadTicket {
+    dag_gen: usize,
+    vidx: usize,
+    task: usize,
+    attempt: usize,
+    spec: Box<TaskSpec>,
+    works_run: u64,
 }
 
 struct TaskRt {
@@ -162,7 +221,7 @@ struct ContainerRt {
 /// The DAG ApplicationMaster.
 pub struct DagAppMaster {
     config: TezConfig,
-    registry: ComponentRegistry,
+    registry: Arc<ComponentRegistry>,
     service: SharedDataService,
     objreg: Arc<RegistryState>,
     token: SecurityToken,
@@ -180,6 +239,11 @@ pub struct DagAppMaster {
     work_started: HashMap<WorkId, SimTime>,
     /// Producer identity of every published output id.
     output_registry: HashMap<u64, (usize, usize)>,
+    /// Fixed pool of OS threads running data-plane payloads.
+    pool: WorkerPool,
+    /// In-flight payloads awaiting their `PayloadReady` join.
+    payload_tickets: HashMap<u64, PayloadTicket>,
+    next_ticket: u64,
     prewarm_outstanding: usize,
     prewarm_requested: usize,
     speculation_timer_armed: bool,
@@ -201,9 +265,10 @@ impl DagAppMaster {
         output: SharedSessionOutput,
     ) -> Self {
         service.register_token(token);
+        let pool = WorkerPool::new(resolve_workers(config.workers));
         DagAppMaster {
             config,
-            registry,
+            registry: Arc::new(registry),
             service,
             objreg: RegistryState::new(),
             token,
@@ -216,6 +281,9 @@ impl DagAppMaster {
             work_map: HashMap::new(),
             work_started: HashMap::new(),
             output_registry: HashMap::new(),
+            pool,
+            payload_tickets: HashMap::new(),
+            next_ticket: 0,
             prewarm_outstanding: 0,
             prewarm_requested: 0,
             speculation_timer_armed: false,
@@ -883,10 +951,10 @@ impl DagAppMaster {
             let v = &mut run.vertices[vidx];
             v.attempts_total += 1;
             let t = &mut v.tasks[task];
-            let _ = speculative;
             t.attempts.push(AttemptRt {
                 state: AState::Requesting(None),
                 started_at: ctx.now(),
+                speculative,
             });
             t.attempts.len() - 1
         };
@@ -1007,6 +1075,152 @@ impl DagAppMaster {
         };
         let spec = self.build_task_spec(vidx, task, attempt);
         let works_run = ctx.container_works_run(container).unwrap_or(0);
+
+        // Execute the IPO pipeline against the real data plane, off the
+        // control thread. The attempt parks in `Launching` and the
+        // same-instant `PayloadReady` event joins the result in submission
+        // order, so the control plane observes outcomes exactly as the old
+        // synchronous path did. Fetches retry with deterministic backoff;
+        // the accumulated backoff is charged to the attempt's cost at join
+        // so it advances the sim clock.
+        let policy = FetchRetryPolicy {
+            max_attempts: self.config.fetch_retry_attempts,
+            base_backoff_ms: self.config.fetch_retry_backoff_ms,
+            multiplier: 2,
+        };
+        let service = self.service.clone();
+        let registry = self.registry.clone();
+        let objreg = self.objreg.for_container(container.0);
+        let token = self.token;
+        let hdfs = ctx.hdfs_arc();
+        let job_spec = spec.clone();
+        let job = move || {
+            let fetcher = RetryingFetcher::new(service, node.0, policy);
+            let mut env = TaskEnv {
+                fetcher: &fetcher,
+                dfs: &*hdfs,
+                registry: &objreg,
+                token,
+            };
+            let outcome = run_task(&job_spec, &mut env, &registry);
+            PayloadResult {
+                outcome,
+                fetch_retries: fetcher.retries(),
+                fetch_backoff_ms: fetcher.backoff_ms(),
+                retry_log: fetcher.retry_log(),
+            }
+        };
+        // Injected transient fetch failures are consumed by the service in
+        // fetch order; concurrent fetchers would race for them. Run those
+        // payloads inline — still routed through `PayloadReady`, so the
+        // event stream is identical either way.
+        let payload = if self.service.pending_transient_failures() > 0 {
+            PayloadSlot::Ready(Box::new(job()))
+        } else {
+            PayloadSlot::Pool(self.pool.submit(job))
+        };
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.payload_tickets.insert(
+            ticket,
+            PayloadTicket {
+                dag_gen: self.dag_index,
+                vidx,
+                task,
+                attempt,
+                spec: Box::new(spec),
+                works_run,
+            },
+        );
+        let run = self.run.as_mut().unwrap();
+        run.vertices[vidx].tasks[task].attempts[attempt].state = AState::Launching {
+            container,
+            since: wait_since,
+            payload,
+        };
+        ctx.notify_payload_ready(ticket);
+    }
+
+    /// Join a payload submitted by [`Self::try_execute`]. Fires at the same
+    /// simulated instant as the submission, after every event that was
+    /// already queued then, so joins happen in submission order and the
+    /// control plane stays deterministic at any worker count.
+    fn on_payload_ready(&mut self, ctx: &mut AppContext<'_>, ticket: u64) {
+        let Some(t) = self.payload_tickets.remove(&ticket) else {
+            return;
+        };
+        // Stale join: the DAG advanced (finished, failed, AM restart)
+        // while the payload was in flight. Its handle was already dropped
+        // with the superseded state.
+        if t.dag_gen != self.dag_index {
+            return;
+        }
+        let taken = {
+            let Some(run) = self.run.as_mut() else {
+                return;
+            };
+            let Some(a) = run
+                .vertices
+                .get_mut(t.vidx)
+                .and_then(|v| v.tasks.get_mut(t.task))
+                .and_then(|tk| tk.attempts.get_mut(t.attempt))
+            else {
+                return;
+            };
+            // Superseded at the same instant (sibling won, container
+            // swept): the state already moved on and dropped the handle.
+            if !matches!(a.state, AState::Launching { .. }) {
+                return;
+            }
+            match std::mem::replace(&mut a.state, AState::Done) {
+                AState::Launching {
+                    container,
+                    since,
+                    payload,
+                } => (container, since, payload),
+                _ => unreachable!(),
+            }
+        };
+        let (container, wait_since, payload) = taken;
+        let result = match payload {
+            PayloadSlot::Ready(r) => *r,
+            PayloadSlot::Pool(handle) => handle.join(),
+        };
+        self.finish_launch(ctx, t, container, wait_since, result);
+    }
+
+    /// Control-plane half of a launch: charge container stats, record fetch
+    /// retries, and act on the payload outcome — exactly the processing the
+    /// old synchronous path ran after `run_task` returned.
+    fn finish_launch(
+        &mut self,
+        ctx: &mut AppContext<'_>,
+        ticket: PayloadTicket,
+        container: ContainerId,
+        wait_since: SimTime,
+        result: PayloadResult,
+    ) {
+        let PayloadTicket {
+            vidx,
+            task,
+            attempt,
+            spec,
+            works_run,
+            ..
+        } = ticket;
+        let spec = *spec;
+        // The container can vanish at this same instant (a node failure
+        // queued before the join); re-check, as the old path did before
+        // executing.
+        let Some(node) = ctx.container_node(container) else {
+            let run = self.run.as_mut().expect("active dag");
+            run.vertices[vidx].tasks[task].attempts[attempt].state = AState::WaitingInputs {
+                container,
+                since: wait_since,
+            };
+            self.attempt_failed(ctx, vidx, task, attempt, false);
+            return;
+        };
         if let Some(run) = self.run.as_mut() {
             run.container_stats.assignments += 1;
             run.container_stats.warmup_levels += works_run;
@@ -1017,32 +1231,12 @@ impl DagAppMaster {
                 run.container_stats.cold_starts += 1;
             }
         }
-
-        // Execute the IPO pipeline against the real data plane. Fetches
-        // retry with deterministic backoff; the accumulated backoff is
-        // charged to the attempt's cost below so it advances the sim clock.
-        let fetcher = RetryingFetcher::new(
-            self.service.clone(),
-            node.0,
-            FetchRetryPolicy {
-                max_attempts: self.config.fetch_retry_attempts,
-                base_backoff_ms: self.config.fetch_retry_backoff_ms,
-                multiplier: 2,
-            },
-        );
-        let objreg = self.objreg.for_container(container.0);
-        let outcome = {
-            let mut dfs = HdfsView { hdfs: ctx.hdfs() };
-            let mut env = TaskEnv {
-                fetcher: &fetcher,
-                dfs: &mut dfs,
-                registry: &objreg,
-                token: self.token,
-            };
-            run_task(&spec, &mut env, &self.registry)
-        };
-        let fetch_retries = fetcher.retries();
-        let fetch_backoff_ms = fetcher.backoff_ms();
+        let PayloadResult {
+            outcome,
+            fetch_retries,
+            fetch_backoff_ms,
+            retry_log,
+        } = result;
         if fetch_retries > 0 {
             if let Some(run) = self.run.as_mut() {
                 run.counters
@@ -1050,7 +1244,7 @@ impl DagAppMaster {
             }
             // One event per shard that retried (shuffle-layer log), so the
             // timeline shows which fetches were slow, not just the total.
-            for r in fetcher.retry_log() {
+            for r in retry_log {
                 ctx.record_event(TlEvent::FetchRetried {
                     vertex: spec.meta.vertex.clone(),
                     task: task as u64,
@@ -1164,6 +1358,16 @@ impl DagAppMaster {
                         "[tez] attempt {}[{}].{} failed: {e}",
                         spec.meta.vertex, task, attempt
                     );
+                }
+                // Restore the container-holding state so `attempt_failed`
+                // can extract and return the container to the pool.
+                {
+                    let run = self.run.as_mut().expect("active dag");
+                    run.vertices[vidx].tasks[task].attempts[attempt].state =
+                        AState::WaitingInputs {
+                            container,
+                            since: wait_since,
+                        };
                 }
                 self.attempt_failed(ctx, vidx, task, attempt, true);
             }
@@ -1397,6 +1601,12 @@ impl DagAppMaster {
                 .get(vidx)
                 .map(|v| v.name.clone())
                 .unwrap_or_default();
+            let speculative = run
+                .vertices
+                .get(vidx)
+                .and_then(|v| v.tasks.get(task))
+                .and_then(|t| t.attempts.get(attempt))
+                .is_some_and(|a| a.speculative);
             ctx.record_event(TlEvent::AttemptFinished {
                 vertex: vertex.clone(),
                 task: task as u64,
@@ -1412,6 +1622,7 @@ impl DagAppMaster {
                 start_ms: start.millis(),
                 end_ms: ctx.now().millis(),
                 status: status.into(),
+                speculative,
             });
         }
         let Some(vrt) = run.vertices.get_mut(vidx) else {
@@ -1485,10 +1696,14 @@ impl DagAppMaster {
             ctx.kill_work(w);
         }
         // Cancel sibling container requests and free waiting siblings'
-        // containers.
+        // containers. Every non-Running sibling gets a terminal "killed"
+        // timeline event here — Running siblings emit theirs when the
+        // killed work completes — so each scheduled attempt always closes
+        // with exactly one terminal event.
         let mut sibling_reqs: Vec<RequestId> = Vec::new();
         let mut sibling_containers: Vec<ContainerId> = Vec::new();
-        {
+        let mut killed_siblings: Vec<(usize, u64)> = Vec::new();
+        let vname = {
             let run = self.run.as_mut().unwrap();
             for (i, a) in run.vertices[vidx].tasks[task]
                 .attempts
@@ -1499,12 +1714,35 @@ impl DagAppMaster {
                     continue;
                 }
                 match std::mem::replace(&mut a.state, AState::Done) {
-                    AState::Requesting(Some(r)) => sibling_reqs.push(r),
-                    AState::WaitingInputs { container, .. } => sibling_containers.push(container),
+                    AState::Requesting(Some(r)) => {
+                        sibling_reqs.push(r);
+                        killed_siblings.push((i, 0));
+                    }
+                    AState::Requesting(None) => killed_siblings.push((i, 0)),
+                    AState::WaitingInputs { container, .. } => {
+                        sibling_containers.push(container);
+                        killed_siblings.push((i, container.0));
+                    }
+                    AState::Launching { container, .. } => {
+                        // The payload handle is dropped with the state; the
+                        // stale `PayloadReady` join is a no-op.
+                        sibling_containers.push(container);
+                        killed_siblings.push((i, container.0));
+                    }
                     s @ AState::Running { .. } => a.state = s, // killed above; pool on completion
-                    _ => {}
+                    AState::Done => {}
                 }
             }
+            run.vertices[vidx].name.clone()
+        };
+        for (ai, cid) in killed_siblings {
+            ctx.record_event(TlEvent::AttemptFinished {
+                vertex: vname.clone(),
+                task: task as u64,
+                attempt: ai as u64,
+                container: cid,
+                status: "killed".to_string(),
+            });
         }
         for r in sibling_reqs {
             ctx.cancel_request(r);
@@ -1773,8 +2011,7 @@ impl DagAppMaster {
         for (kind, payload) in commit_result {
             match self.registry.create_committer(&kind, &payload) {
                 Ok(mut committer) => {
-                    let mut dfs = HdfsView { hdfs: ctx.hdfs() };
-                    let mut env = tez_runtime::CommitEnv { dfs: &mut dfs };
+                    let mut env = tez_runtime::CommitEnv { dfs: ctx.hdfs() };
                     if let Err(e) = committer.commit(&artifacts, &mut env) {
                         commit_err = Some(format!("commit failed: {e}"));
                     }
@@ -2031,6 +2268,7 @@ impl DagAppMaster {
             let a = &mut run.vertices[vidx].tasks[task].attempts[attempt];
             match std::mem::replace(&mut a.state, AState::Done) {
                 AState::WaitingInputs { container, .. } => Some(container),
+                AState::Launching { container, .. } => Some(container),
                 AState::Running { container, .. } => Some(container),
                 _ => None,
             }
@@ -2258,12 +2496,23 @@ impl DagAppMaster {
                 .max_by_key(|&(since, vi, ti, _, _)| (since, vi, ti))
         };
         if let Some((_, vi, ti, ai, container)) = victim {
-            {
+            let vname = {
                 let run = self.run.as_mut().unwrap();
                 let a = &mut run.vertices[vi].tasks[ti].attempts[ai];
                 a.state = AState::Done;
                 run.vertices[vi].tasks[ti].scheduled = false;
-            }
+                run.vertices[vi].name.clone()
+            };
+            // Preemption is a terminal outcome for the attempt: close it on
+            // the timeline so every scheduled attempt ends in exactly one
+            // terminal event.
+            ctx.record_event(TlEvent::AttemptFinished {
+                vertex: vname,
+                task: ti as u64,
+                attempt: ai as u64,
+                container: container.0,
+                status: "killed".to_string(),
+            });
             // The container goes back to the pool, which hands it to the
             // lowest-depth requesting attempt (the starving producer), and
             // the preempted task is re-scheduled behind it.
@@ -2476,6 +2725,7 @@ impl YarnApp for DagAppMaster {
                                 t.attempts.iter().enumerate().filter_map(move |(ai, a)| {
                                     match a.state {
                                         AState::WaitingInputs { container: c, .. }
+                                        | AState::Launching { container: c, .. }
                                             if c == container =>
                                         {
                                             Some((vi, ti, ai))
@@ -2519,6 +2769,7 @@ impl YarnApp for DagAppMaster {
                 TIMER_NEXT_DAG => self.start_next_dag(ctx),
                 _ => {}
             },
+            AppEvent::PayloadReady { ticket } => self.on_payload_ready(ctx, ticket),
             AppEvent::NodeLost { node } => self.on_node_lost(ctx, node),
         }
     }
@@ -2647,28 +2898,5 @@ impl<'a> InitializerContext for InitCtx<'a> {
     }
     fn counters(&mut self) -> &mut Counters {
         self.counters
-    }
-}
-
-/// Mutable DFS view over the simulator's HDFS.
-struct HdfsView<'a> {
-    hdfs: &'a mut tez_yarn::SimHdfs,
-}
-
-impl<'a> Dfs for HdfsView<'a> {
-    fn list_blocks(&self, path: &str) -> Option<Vec<tez_runtime::BlockInfo>> {
-        self.hdfs.list_blocks(path)
-    }
-    fn read_block(&self, path: &str, index: usize) -> Option<bytes::Bytes> {
-        self.hdfs.read_block(path, index)
-    }
-    fn write_file(&mut self, path: &str, blocks: Vec<(bytes::Bytes, u64)>) -> u64 {
-        self.hdfs.write_file(path, blocks)
-    }
-    fn delete(&mut self, path: &str) {
-        Dfs::delete(self.hdfs, path)
-    }
-    fn exists(&self, path: &str) -> bool {
-        Dfs::exists(self.hdfs, path)
     }
 }

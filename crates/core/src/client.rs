@@ -140,7 +140,7 @@ impl TezClient {
         dag: Dag,
         registry: ComponentRegistry,
         config: TezConfig,
-        setup: impl FnOnce(&mut SimHdfs),
+        setup: impl FnOnce(&SimHdfs),
     ) -> TezRun {
         self.run_session(vec![dag], registry, config, setup)
     }
@@ -152,10 +152,10 @@ impl TezClient {
         dags: Vec<Dag>,
         registry: ComponentRegistry,
         config: TezConfig,
-        setup: impl FnOnce(&mut SimHdfs),
+        setup: impl FnOnce(&SimHdfs),
     ) -> TezRun {
         let mut sim = self.build_simulation();
-        setup(sim.hdfs_mut());
+        setup(sim.hdfs());
         if self.background_containers > 0 {
             sim.add_app(
                 Box::new(BackgroundTenant {

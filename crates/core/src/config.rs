@@ -79,6 +79,11 @@ pub struct TezConfig {
     /// *declared* scale charged by the cost model (see DESIGN.md §4;
     /// 1.0 for correctness tests).
     pub byte_scale: f64,
+    /// Worker threads for real data-plane payloads. `None` defers to the
+    /// `TEZ_WORKERS` environment variable, then to available parallelism.
+    /// Simulated outcomes are byte-identical at any worker count — this
+    /// knob only trades wall-clock time for threads.
+    pub workers: Option<usize>,
 }
 
 impl Default for TezConfig {
@@ -111,6 +116,7 @@ impl Default for TezConfig {
             fetch_retry_attempts: 3,
             fetch_retry_backoff_ms: 100,
             byte_scale: 1.0,
+            workers: None,
         }
     }
 }

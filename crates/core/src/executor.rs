@@ -196,11 +196,11 @@ mod tests {
         };
 
         let fetcher = Fetcher(svc);
-        let mut dfs = MemDfs::new();
+        let dfs = MemDfs::new();
         let reg = NullObjectRegistry;
         let mut env = TaskEnv {
             fetcher: &fetcher,
-            dfs: &mut dfs,
+            dfs: &dfs,
             registry: &reg,
             token,
         };
@@ -229,11 +229,11 @@ mod tests {
         };
         let svc = DataService::new();
         let fetcher = Fetcher(svc);
-        let mut dfs = MemDfs::new();
+        let dfs = MemDfs::new();
         let reg = NullObjectRegistry;
         let mut env = TaskEnv {
             fetcher: &fetcher,
-            dfs: &mut dfs,
+            dfs: &dfs,
             registry: &reg,
             token: SecurityToken(1),
         };
@@ -271,11 +271,11 @@ mod tests {
             outputs: vec![],
         };
         let fetcher = Fetcher(svc);
-        let mut dfs = MemDfs::new();
+        let dfs = MemDfs::new();
         let reg = NullObjectRegistry;
         let mut env = TaskEnv {
             fetcher: &fetcher,
-            dfs: &mut dfs,
+            dfs: &dfs,
             registry: &reg,
             token,
         };

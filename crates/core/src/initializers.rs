@@ -235,7 +235,7 @@ mod tests {
     }
 
     fn ctx_with_blocks(n: usize, bytes_per_block: u64) -> Ctx {
-        let mut dfs = MemDfs::new();
+        let dfs = MemDfs::new();
         let blocks: Vec<(Bytes, u64)> = (0..n)
             .map(|_| (Bytes::from(vec![0u8; bytes_per_block as usize]), 10))
             .collect();

@@ -93,7 +93,7 @@ const CORPUS: &[&str] = &[
     "quick quick slow",
 ];
 
-fn write_corpus(hdfs: &mut SimHdfs, blocks: usize) {
+fn write_corpus(hdfs: &SimHdfs, blocks: usize) {
     let data: Vec<(Bytes, u64)> = (0..blocks)
         .map(|i| {
             let mut buf = Vec::new();

@@ -141,7 +141,7 @@ impl Catalog {
     /// Write every table to HDFS as key-value framed row blocks. Declared
     /// block sizes are multiplied by `byte_scale`, so split calculation and
     /// the cost model see paper-scale volumes while real rows stay small.
-    pub fn load_hdfs(&self, hdfs: &mut SimHdfs, byte_scale: f64) {
+    pub fn load_hdfs(&self, hdfs: &SimHdfs, byte_scale: f64) {
         let mut names: Vec<&String> = self.tables.keys().collect();
         names.sort();
         for name in names {
@@ -212,8 +212,8 @@ mod tests {
     #[test]
     fn load_hdfs_declares_scaled_bytes() {
         let c = catalog();
-        let mut hdfs = SimHdfs::new(4, 1);
-        c.load_hdfs(&mut hdfs, 1000.0);
+        let hdfs = SimHdfs::new(4, 1);
+        c.load_hdfs(&hdfs, 1000.0);
         let blocks = tez_runtime::Dfs::list_blocks(&hdfs, "/warehouse/f").unwrap();
         assert_eq!(blocks.len(), 2);
         let real = hdfs.read_block("/warehouse/f", 0).unwrap().len() as u64;

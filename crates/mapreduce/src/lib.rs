@@ -222,7 +222,7 @@ pub fn run_job_chain(
     jobs: &[MrJob],
     registry: ComponentRegistry,
     byte_scale: f64,
-    setup: impl FnOnce(&mut SimHdfs),
+    setup: impl FnOnce(&SimHdfs),
 ) -> Vec<DagReport> {
     let config = TezConfig {
         byte_scale,
@@ -237,7 +237,7 @@ pub fn run_job_chain_with(
     jobs: &[MrJob],
     registry: ComponentRegistry,
     config: TezConfig,
-    setup: impl FnOnce(&mut SimHdfs),
+    setup: impl FnOnce(&SimHdfs),
 ) -> Vec<DagReport> {
     let dags = jobs
         .iter()
@@ -303,7 +303,7 @@ mod tests {
         r
     }
 
-    fn corpus(hdfs: &mut SimHdfs) {
+    fn corpus(hdfs: &SimHdfs) {
         let lines = ["a b a", "c a b", "d"];
         let blocks = lines
             .iter()

@@ -8,7 +8,7 @@ use crate::io::SinkArtifact;
 /// Environment available during commit.
 pub struct CommitEnv<'a> {
     /// The distributed filesystem receiving the output.
-    pub dfs: &'a mut dyn Dfs,
+    pub dfs: &'a dyn Dfs,
 }
 
 /// The DataSinkCommitter API. The orchestrator invokes [`commit`](Self::commit)

@@ -59,15 +59,21 @@ pub struct BlockInfo {
 
 /// Minimal distributed-filesystem contract used by root inputs, leaf
 /// outputs, split initializers and the classic MapReduce baseline.
-pub trait Dfs {
+///
+/// All methods take `&self`: implementations use interior mutability so a
+/// shared handle can be read by task payloads on worker threads while the
+/// control plane retains write access (writes themselves only ever happen
+/// on the control-plane thread, which keeps replica placement and
+/// statistics deterministic).
+pub trait Dfs: Send + Sync {
     /// Blocks of a file, or `None` if absent.
     fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>>;
     /// Read one block's data.
     fn read_block(&self, path: &str, index: usize) -> Option<Bytes>;
     /// Create (or replace) a file from blocks; returns total bytes written.
-    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64;
+    fn write_file(&self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64;
     /// Delete a file if present.
-    fn delete(&mut self, path: &str);
+    fn delete(&self, path: &str);
     /// Whether the file exists.
     fn exists(&self, path: &str) -> bool;
 }
@@ -87,7 +93,7 @@ pub enum ObjectScope {
 /// Per-container in-memory cache shared by successive tasks running in the
 /// same container — e.g. Hive caches the broadcast-join hash table so later
 /// join tasks in the container skip rebuilding it.
-pub trait ObjectRegistry: Send {
+pub trait ObjectRegistry: Send + Sync {
     /// Look up a cached object.
     fn get(&self, key: &str) -> Option<Arc<dyn Any + Send + Sync>>;
     /// Cache an object under the given lifecycle scope.
@@ -110,7 +116,7 @@ pub struct TaskEnv<'a> {
     /// Shuffle fetch service.
     pub fetcher: &'a dyn DataFetcher,
     /// Distributed filesystem.
-    pub dfs: &'a mut dyn Dfs,
+    pub dfs: &'a dyn Dfs,
     /// Per-container shared object registry.
     pub registry: &'a dyn ObjectRegistry,
     /// This task's security token.
@@ -138,7 +144,7 @@ impl ObjectRegistry for NullObjectRegistry {
 /// simulated HDFS (replication, locality, failure) lives in `tez-yarn`.
 #[derive(Default)]
 pub struct MemDfs {
-    files: std::collections::HashMap<String, Vec<(Bytes, u64)>>,
+    files: std::sync::Mutex<std::collections::HashMap<String, Vec<(Bytes, u64)>>>,
 }
 
 impl MemDfs {
@@ -150,7 +156,7 @@ impl MemDfs {
 
 impl Dfs for MemDfs {
     fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>> {
-        self.files.get(path).map(|blocks| {
+        self.files.lock().unwrap().get(path).map(|blocks| {
             blocks
                 .iter()
                 .enumerate()
@@ -165,21 +171,26 @@ impl Dfs for MemDfs {
     }
 
     fn read_block(&self, path: &str, index: usize) -> Option<Bytes> {
-        self.files.get(path)?.get(index).map(|(d, _)| d.clone())
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)?
+            .get(index)
+            .map(|(d, _)| d.clone())
     }
 
-    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+    fn write_file(&self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
         let bytes = blocks.iter().map(|(d, _)| d.len() as u64).sum();
-        self.files.insert(path.to_string(), blocks);
+        self.files.lock().unwrap().insert(path.to_string(), blocks);
         bytes
     }
 
-    fn delete(&mut self, path: &str) {
-        self.files.remove(path);
+    fn delete(&self, path: &str) {
+        self.files.lock().unwrap().remove(path);
     }
 
     fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.files.lock().unwrap().contains_key(path)
     }
 }
 
@@ -205,7 +216,7 @@ mod tests {
 
     #[test]
     fn mem_dfs_roundtrip() {
-        let mut dfs = MemDfs::new();
+        let dfs = MemDfs::new();
         assert!(!dfs.exists("/t"));
         let written = dfs.write_file(
             "/t",

@@ -145,6 +145,9 @@ pub struct AttemptSpan {
     pub end_ms: u64,
     /// `"succeeded"`, `"failed"`, or `"killed"`.
     pub status: String,
+    /// Whether this attempt was launched speculatively (a backup for a
+    /// suspected straggler rather than a retry of a failure).
+    pub speculative: bool,
 }
 
 /// The unified per-DAG observability record.
@@ -195,6 +198,24 @@ impl RunReport {
     pub fn critical_path(&self) -> Option<CriticalPath> {
         CriticalPath::analyze(self)
     }
+
+    /// Speculative attempts that won their race: launched as a straggler
+    /// backup and finished `"succeeded"`.
+    pub fn speculation_winners(&self) -> Vec<&AttemptSpan> {
+        self.attempts
+            .iter()
+            .filter(|a| a.speculative && a.status == "succeeded")
+            .collect()
+    }
+
+    /// Speculative attempts that lost (killed or failed after the original
+    /// finished first).
+    pub fn speculation_losers(&self) -> Vec<&AttemptSpan> {
+        self.attempts
+            .iter()
+            .filter(|a| a.speculative && a.status != "succeeded")
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +265,7 @@ fn attempt_json(a: &AttemptSpan) -> String {
         .num("start_ms", a.start_ms)
         .num("end_ms", a.end_ms)
         .str("status", &a.status)
+        .num("speculative", u64::from(a.speculative))
         .finish()
 }
 
@@ -354,6 +376,7 @@ impl RunReport {
                         start_ms: get_num(&a, "start_ms")?,
                         end_ms: get_num(&a, "end_ms")?,
                         status: get_str(&a, "status")?,
+                        speculative: get_num(&a, "speculative").unwrap_or(0) != 0,
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?,
@@ -556,6 +579,7 @@ mod tests {
                 start_ms: 100,
                 end_ms: 900,
                 status: "succeeded".into(),
+                speculative: false,
             }],
             counters,
             timeline,
@@ -623,6 +647,7 @@ mod tests {
             start_ms: 0,
             end_ms: 500,
             status: "succeeded".into(),
+            speculative: false,
         }];
         let mut b = sample();
         b.attempts = vec![AttemptSpan {
@@ -633,6 +658,7 @@ mod tests {
             start_ms: 600,
             end_ms: 1_000,
             status: "succeeded".into(),
+            speculative: true,
         }];
         let g = render_gantt(&[&a, &b], 40);
         assert_eq!(g.lines().count(), 1, "one shared container row");

@@ -1448,6 +1448,7 @@ mod tests {
                     start_ms: 100,
                     end_ms: 1_000,
                     status: "succeeded".into(),
+                    speculative: false,
                 },
                 AttemptSpan {
                     vertex: "b".into(),
@@ -1457,6 +1458,7 @@ mod tests {
                     start_ms: 1_000,
                     end_ms: 4_000,
                     status: "succeeded".into(),
+                    speculative: false,
                 },
                 AttemptSpan {
                     vertex: "c".into(),
@@ -1466,6 +1468,7 @@ mod tests {
                     start_ms: 4_000,
                     end_ms: 9_000,
                     status: "succeeded".into(),
+                    speculative: false,
                 },
             ],
             timeline: t,

@@ -680,7 +680,7 @@ mod tests {
 
     fn run_env<'a>(
         fetcher: &'a Fetcher,
-        dfs: &'a mut MemDfs,
+        dfs: &'a MemDfs,
         registry: &'a NullObjectRegistry,
     ) -> TaskEnv<'a> {
         TaskEnv {
@@ -693,7 +693,7 @@ mod tests {
 
     #[test]
     fn ordered_output_to_shuffled_input_roundtrip() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher {
             svc: svc.clone(),
             node: 1,
@@ -713,7 +713,7 @@ mod tests {
                 out.write(format!("k{:02}", i).as_bytes(), &producer.to_le_bytes())
                     .unwrap();
             }
-            let mut env = run_env(&fetcher, &mut dfs, &reg);
+            let mut env = run_env(&fetcher, &dfs, &reg);
             let commit = out.close(&mut env).unwrap();
             assert_eq!(commit.partitions.len(), 2);
             let oid = svc.new_output_id();
@@ -730,7 +730,7 @@ mod tests {
             source: InputSource::Shards(locs_per_partition[0].clone()),
         };
         let mut input = ShuffledMergedKvInput::from_spec(&spec).unwrap();
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         input.start(&mut env).unwrap();
         assert!(
             input.remote_bytes() > 0,
@@ -752,7 +752,7 @@ mod tests {
 
     #[test]
     fn combiner_in_output_payload_sums() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher { svc, node: 0 };
         let reg = NullObjectRegistry;
         let mut out = OrderedPartitionedKvOutput::from_spec(&out_spec(
@@ -764,7 +764,7 @@ mod tests {
         for _ in 0..5 {
             out.write(b"w", &1u64.to_le_bytes()).unwrap();
         }
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         let commit = out.close(&mut env).unwrap();
         assert_eq!(commit.partitions[0].records, 1);
         let mut c = KvCursor::new(commit.partitions[0].data.clone());
@@ -774,7 +774,7 @@ mod tests {
 
     #[test]
     fn reconfigure_installs_range_partitioner() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher { svc, node: 0 };
         let reg = NullObjectRegistry;
         let mut out = OrderedPartitionedKvOutput::from_spec(&out_spec(
@@ -792,7 +792,7 @@ mod tests {
         assert!(out
             .reconfigure(output_payload(&bounds, Combiner::None).as_bytes())
             .is_err());
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         let commit = out.close(&mut env).unwrap();
         assert_eq!(commit.partitions[0].records, 1);
         assert_eq!(commit.partitions[1].records, 1);
@@ -800,7 +800,7 @@ mod tests {
 
     #[test]
     fn unordered_roundtrip_and_fetch_error() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher {
             svc: svc.clone(),
             node: 2,
@@ -813,7 +813,7 @@ mod tests {
         ))
         .unwrap();
         out.write(b"x", b"1").unwrap();
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         let commit = out.close(&mut env).unwrap();
         let oid = svc.new_output_id();
         let mut locs = svc.publish(2, oid, commit.partitions);
@@ -825,7 +825,7 @@ mod tests {
             source: InputSource::Shards(locs.clone()),
         };
         let mut input = UnorderedKvInput::from_spec(&spec).unwrap();
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         input.start(&mut env).unwrap();
         assert_eq!(input.remote_bytes(), 0, "same node fetch is local");
         let pairs = input.reader().unwrap().collect_pairs();
@@ -840,7 +840,7 @@ mod tests {
             source: InputSource::Shards(locs),
         };
         let mut input = UnorderedKvInput::from_spec(&spec).unwrap();
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         match input.start(&mut env) {
             Err(TaskError::InputRead(errs)) => assert_eq!(errs.len(), 1),
             other => panic!("expected InputRead, got {other:?}"),
@@ -849,7 +849,7 @@ mod tests {
 
     #[test]
     fn dfs_input_reads_split_blocks() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher { svc, node: 0 };
         let reg = NullObjectRegistry;
         let mut b0 = Vec::new();
@@ -869,7 +869,7 @@ mod tests {
             source: InputSource::Split(split.encode()),
         };
         let mut input = DfsInput::from_spec(&spec).unwrap();
-        let mut env = run_env(&fetcher, &mut dfs, &reg);
+        let mut env = run_env(&fetcher, &dfs, &reg);
         input.start(&mut env).unwrap();
         assert_eq!(input.records_read(), 2);
         let pairs = input.reader().unwrap().collect_pairs();
@@ -888,7 +888,7 @@ mod tests {
 
     #[test]
     fn dfs_output_commit_via_committer() {
-        let (svc, mut dfs) = env_parts();
+        let (svc, dfs) = env_parts();
         let fetcher = Fetcher { svc, node: 0 };
         let reg = NullObjectRegistry;
         let mut artifacts = Vec::new();
@@ -906,11 +906,11 @@ mod tests {
             };
             let mut out = DfsOutput::from_spec(&spec).unwrap();
             out.write(format!("t{task}").as_bytes(), b"v").unwrap();
-            let mut env = run_env(&fetcher, &mut dfs, &reg);
+            let mut env = run_env(&fetcher, &dfs, &reg);
             artifacts.push(out.close(&mut env).unwrap().sink.unwrap());
         }
         let mut committer = DfsCommitter;
-        let mut env = CommitEnv { dfs: &mut dfs };
+        let mut env = CommitEnv { dfs: &dfs };
         committer.commit(&artifacts, &mut env).unwrap();
         let blocks = dfs.list_blocks("/result").unwrap();
         assert_eq!(blocks.len(), 2);

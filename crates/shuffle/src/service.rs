@@ -9,8 +9,8 @@
 //! the secure-shuffle channel of §4.3.
 
 use parking_lot::Mutex;
-use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tez_runtime::{
     DataFetcher, FetchError, FetchedShard, PartitionBuf, SecurityToken, ShardLocator,
@@ -129,6 +129,14 @@ impl DataService {
         self.inner.lock().transient_failures += n;
     }
 
+    /// Injected transient failures not yet consumed by fetches. The
+    /// orchestrator degrades to inline (control-thread) execution while
+    /// this is non-zero, because the failures are consumed in fetch order
+    /// and concurrent payloads would consume them nondeterministically.
+    pub fn pending_transient_failures(&self) -> u32 {
+        self.inner.lock().transient_failures
+    }
+
     /// Fetch a shard on behalf of a task running on `from_node`.
     pub fn fetch_from(
         &self,
@@ -212,9 +220,9 @@ pub struct RetryingFetcher {
     service: SharedDataService,
     node: u32,
     policy: FetchRetryPolicy,
-    retries: Cell<u64>,
-    backoff_ms: Cell<u64>,
-    log: std::cell::RefCell<Vec<FetchRetry>>,
+    retries: AtomicU64,
+    backoff_ms: AtomicU64,
+    log: Mutex<Vec<FetchRetry>>,
 }
 
 /// One logical fetch that needed retries, as seen by a [`RetryingFetcher`].
@@ -240,27 +248,27 @@ impl RetryingFetcher {
             service,
             node,
             policy,
-            retries: Cell::new(0),
-            backoff_ms: Cell::new(0),
-            log: std::cell::RefCell::new(Vec::new()),
+            retries: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
         }
     }
 
     /// Retries performed so far (excludes first attempts).
     pub fn retries(&self) -> u64 {
-        self.retries.get()
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Total backoff accumulated, in simulated milliseconds. The caller
     /// charges this into the attempt's work cost.
     pub fn backoff_ms(&self) -> u64 {
-        self.backoff_ms.get()
+        self.backoff_ms.load(Ordering::Relaxed)
     }
 
     /// Per-shard retry records, in fetch order. Only fetches that actually
     /// retried appear.
     pub fn retry_log(&self) -> Vec<FetchRetry> {
-        self.log.borrow().clone()
+        self.log.lock().clone()
     }
 }
 
@@ -275,7 +283,7 @@ impl DataFetcher for RetryingFetcher {
         let (mut retries, mut backoff) = (0u64, 0u64);
         let record = |retries: u64, backoff: u64, succeeded: bool| {
             if retries > 0 {
-                self.log.borrow_mut().push(FetchRetry {
+                self.log.lock().push(FetchRetry {
                     output_id: locator.output_id,
                     partition: locator.partition,
                     retries,
@@ -288,9 +296,9 @@ impl DataFetcher for RetryingFetcher {
             if attempt > 0 {
                 retries += 1;
                 backoff += self.policy.backoff_before_retry(attempt);
-                self.retries.set(self.retries.get() + 1);
+                self.retries.fetch_add(1, Ordering::Relaxed);
                 self.backoff_ms
-                    .set(self.backoff_ms.get() + self.policy.backoff_before_retry(attempt));
+                    .fetch_add(self.policy.backoff_before_retry(attempt), Ordering::Relaxed);
             }
             match self.service.fetch_from(self.node, locator, token) {
                 Ok(shard) => {
@@ -449,6 +457,16 @@ mod tests {
         let err = f.fetch(&locs[0], TOKEN).unwrap_err();
         assert!(err.reason.contains("not found"));
         assert_eq!(f.retries(), 2);
+    }
+
+    #[test]
+    fn shuffle_types_are_send_sync() {
+        // Fetchers and the service cross the worker-pool boundary; a
+        // regression to `Cell`/`RefCell` state must fail to compile.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataService>();
+        assert_send_sync::<SharedDataService>();
+        assert_send_sync::<RetryingFetcher>();
     }
 
     #[test]

@@ -126,7 +126,7 @@ pub fn run_tenancy(spec: &TenancySpec, model: ExecutionModel) -> TenancyResult {
         FaultPlan::none(),
         spec.seed,
     );
-    sim.hdfs_mut().set_stat_scale(spec.byte_scale);
+    sim.hdfs().set_stat_scale(spec.byte_scale);
     let blocks = lineitem_blocks(spec.rows, spec.blocks, spec.seed);
     let scaled: Vec<(Bytes, u64, u64)> = blocks
         .into_iter()
@@ -136,8 +136,7 @@ pub fn run_tenancy(spec: &TenancySpec, model: ExecutionModel) -> TenancyResult {
             (d, declared, records)
         })
         .collect();
-    sim.hdfs_mut()
-        .put_file_scaled("/warehouse/lineitem", scaled);
+    sim.hdfs().put_file_scaled("/warehouse/lineitem", scaled);
 
     let config = match model {
         ExecutionModel::ServiceBased { executors } => TezConfig {

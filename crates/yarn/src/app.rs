@@ -68,6 +68,14 @@ pub enum AppEvent {
         /// The app-chosen tag.
         tag: u64,
     },
+    /// A data-plane payload submitted to the worker pool is ready to be
+    /// joined (queued via [`AppContext::notify_payload_ready`] at the same
+    /// simulated instant it was submitted, after all already-queued
+    /// same-time events).
+    PayloadReady {
+        /// The app-chosen ticket identifying the payload.
+        ticket: u64,
+    },
     /// A cluster node failed (delivered to every app; Tez uses this to
     /// proactively re-execute tasks whose outputs lived there, §4.3).
     NodeLost {
@@ -142,8 +150,20 @@ impl<'a> AppContext<'a> {
     }
 
     /// The distributed filesystem.
-    pub fn hdfs(&mut self) -> &mut SimHdfs {
-        &mut self.inner.hdfs
+    pub fn hdfs(&self) -> &SimHdfs {
+        &self.inner.hdfs
+    }
+
+    /// Owned handle to the filesystem, for payloads that outlive the
+    /// current callback (worker-pool jobs read input blocks through it).
+    pub fn hdfs_arc(&self) -> std::sync::Arc<SimHdfs> {
+        self.inner.hdfs.clone()
+    }
+
+    /// Deliver [`AppEvent::PayloadReady`] to this app at the current
+    /// simulated time, after every already-queued same-time event.
+    pub fn notify_payload_ready(&mut self, ticket: u64) {
+        self.inner.notify_payload_ready(self.app, ticket, self.now);
     }
 
     /// The cost model (apps use it to estimate/credit overlap windows).

@@ -5,12 +5,19 @@
 //! `records`) used by split calculation and the cost model. Replica
 //! placement drives locality-aware scheduling; losing a node removes its
 //! replicas but files stay readable while any replica survives.
+//!
+//! All methods take `&self` behind an interior mutex so a shared handle
+//! can be read concurrently by task payloads on the worker pool. Writes
+//! (datagen, committers) only ever happen on the control-plane thread, in
+//! deterministic event order, so the shared placement RNG stays
+//! reproducible.
 
 use crate::types::{ClusterSpec, NodeId};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Mutex;
 use tez_runtime::{BlockInfo, Dfs};
 
 /// Replication factor, as in stock HDFS.
@@ -30,10 +37,8 @@ struct File {
     blocks: Vec<Block>,
 }
 
-/// The simulated namenode + datanodes.
-pub struct SimHdfs {
+struct Inner {
     files: HashMap<String, File>,
-    num_nodes: u32,
     rng: StdRng,
     /// Total declared bytes written since start (for reports).
     bytes_written: u64,
@@ -43,28 +48,40 @@ pub struct SimHdfs {
     stat_scale: f64,
 }
 
+/// The simulated namenode + datanodes.
+pub struct SimHdfs {
+    num_nodes: u32,
+    inner: Mutex<Inner>,
+}
+
 impl SimHdfs {
     /// Empty filesystem over a cluster of `num_nodes` nodes.
     pub fn new(num_nodes: usize, seed: u64) -> Self {
         SimHdfs {
-            files: HashMap::new(),
             num_nodes: num_nodes.max(1) as u32,
-            rng: StdRng::seed_from_u64(seed ^ 0x5df5),
-            bytes_written: 0,
-            stat_scale: 1.0,
+            inner: Mutex::new(Inner {
+                files: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed ^ 0x5df5),
+                bytes_written: 0,
+                stat_scale: 1.0,
+            }),
         }
     }
 
-    /// Set the declared-size multiplier for subsequent `write_file` calls.
-    pub fn set_stat_scale(&mut self, scale: f64) {
-        self.stat_scale = scale.max(0.0);
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap()
     }
 
-    fn place_replicas(&mut self) -> Vec<NodeId> {
-        let n = self.num_nodes;
+    /// Set the declared-size multiplier for subsequent `write_file` calls.
+    pub fn set_stat_scale(&self, scale: f64) {
+        self.lock().stat_scale = scale.max(0.0);
+    }
+
+    fn place_replicas(num_nodes: u32, rng: &mut StdRng) -> Vec<NodeId> {
+        let n = num_nodes;
         let mut replicas = Vec::with_capacity(REPLICATION.min(n as usize));
         while replicas.len() < REPLICATION.min(n as usize) {
-            let node = NodeId(self.rng.random_range(0..n));
+            let node = NodeId(rng.random_range(0..n));
             if !replicas.contains(&node) {
                 replicas.push(node);
             }
@@ -73,7 +90,7 @@ impl SimHdfs {
     }
 
     /// Create a file whose declared statistics equal the real data sizes.
-    pub fn put_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+    pub fn put_file(&self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
         let scaled: Vec<(Bytes, u64, u64)> = blocks
             .into_iter()
             .map(|(d, r)| {
@@ -87,13 +104,15 @@ impl SimHdfs {
     /// Create a file with explicit declared sizes per block
     /// `(data, stat_bytes, records)` — datagen uses this to declare
     /// paper-scale sizes while storing small real data.
-    pub fn put_file_scaled(&mut self, path: &str, blocks: Vec<(Bytes, u64, u64)>) -> u64 {
+    pub fn put_file_scaled(&self, path: &str, blocks: Vec<(Bytes, u64, u64)>) -> u64 {
+        let num_nodes = self.num_nodes;
+        let mut g = self.lock();
         let mut total = 0;
         let blocks = blocks
             .into_iter()
             .map(|(data, stat_bytes, records)| {
                 total += stat_bytes;
-                let replicas = self.place_replicas();
+                let replicas = Self::place_replicas(num_nodes, &mut g.rng);
                 Block {
                     data,
                     stat_bytes,
@@ -102,15 +121,15 @@ impl SimHdfs {
                 }
             })
             .collect();
-        self.files.insert(path.to_string(), File { blocks });
-        self.bytes_written += total;
+        g.files.insert(path.to_string(), File { blocks });
+        g.bytes_written += total;
         total
     }
 
     /// Remove the replicas a failed node held. Blocks with no surviving
     /// replica become unreadable (read returns `None`).
-    pub fn node_lost(&mut self, node: NodeId) {
-        for file in self.files.values_mut() {
+    pub fn node_lost(&self, node: NodeId) {
+        for file in self.lock().files.values_mut() {
             for block in &mut file.blocks {
                 block.replicas.retain(|&r| r != node);
             }
@@ -119,26 +138,27 @@ impl SimHdfs {
 
     /// Declared bytes written since start.
     pub fn total_bytes_written(&self) -> u64 {
-        self.bytes_written
+        self.lock().bytes_written
     }
 
     /// Number of files.
     pub fn num_files(&self) -> usize {
-        self.files.len()
+        self.lock().files.len()
     }
 
     /// Nodes currently holding replicas of a block.
-    pub fn block_replicas(&self, path: &str, index: usize) -> Option<&[NodeId]> {
-        self.files
+    pub fn block_replicas(&self, path: &str, index: usize) -> Option<Vec<NodeId>> {
+        self.lock()
+            .files
             .get(path)
             .and_then(|f| f.blocks.get(index))
-            .map(|b| b.replicas.as_slice())
+            .map(|b| b.replicas.clone())
     }
 }
 
 impl Dfs for SimHdfs {
     fn list_blocks(&self, path: &str) -> Option<Vec<BlockInfo>> {
-        self.files.get(path).map(|f| {
+        self.lock().files.get(path).map(|f| {
             f.blocks
                 .iter()
                 .enumerate()
@@ -157,15 +177,16 @@ impl Dfs for SimHdfs {
     }
 
     fn read_block(&self, path: &str, index: usize) -> Option<Bytes> {
-        let block = self.files.get(path)?.blocks.get(index)?;
+        let g = self.lock();
+        let block = g.files.get(path)?.blocks.get(index)?;
         if block.replicas.is_empty() {
             return None; // all replicas lost
         }
         Some(block.data.clone())
     }
 
-    fn write_file(&mut self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
-        let scale = self.stat_scale;
+    fn write_file(&self, path: &str, blocks: Vec<(Bytes, u64)>) -> u64 {
+        let scale = self.lock().stat_scale;
         let scaled: Vec<(Bytes, u64, u64)> = blocks
             .into_iter()
             .map(|(d, r)| {
@@ -177,12 +198,12 @@ impl Dfs for SimHdfs {
         self.put_file_scaled(path, scaled)
     }
 
-    fn delete(&mut self, path: &str) {
-        self.files.remove(path);
+    fn delete(&self, path: &str) {
+        self.lock().files.remove(path);
     }
 
     fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(path)
+        self.lock().files.contains_key(path)
     }
 }
 
@@ -196,7 +217,7 @@ mod tests {
 
     #[test]
     fn write_list_read() {
-        let mut h = SimHdfs::new(5, 1);
+        let h = SimHdfs::new(5, 1);
         h.put_file("/a", vec![(b(b"hello"), 2), (b(b"world!"), 3)]);
         let blocks = h.list_blocks("/a").unwrap();
         assert_eq!(blocks.len(), 2);
@@ -209,7 +230,7 @@ mod tests {
 
     #[test]
     fn scaled_stats_diverge_from_real_data() {
-        let mut h = SimHdfs::new(5, 1);
+        let h = SimHdfs::new(5, 1);
         h.put_file_scaled("/big", vec![(b(b"tiny"), 128 * 1024 * 1024, 1_000_000)]);
         let blocks = h.list_blocks("/big").unwrap();
         assert_eq!(blocks[0].bytes, 128 * 1024 * 1024);
@@ -218,7 +239,7 @@ mod tests {
 
     #[test]
     fn replicas_are_distinct_nodes() {
-        let mut h = SimHdfs::new(10, 7);
+        let h = SimHdfs::new(10, 7);
         h.put_file("/a", vec![(b(b"x"), 1)]);
         let reps = h.block_replicas("/a", 0).unwrap();
         assert_eq!(reps.len(), 3);
@@ -230,14 +251,14 @@ mod tests {
 
     #[test]
     fn small_cluster_caps_replication() {
-        let mut h = SimHdfs::new(1, 7);
+        let h = SimHdfs::new(1, 7);
         h.put_file("/a", vec![(b(b"x"), 1)]);
         assert_eq!(h.block_replicas("/a", 0).unwrap().len(), 1);
     }
 
     #[test]
     fn node_loss_degrades_then_kills_block() {
-        let mut h = SimHdfs::new(3, 7);
+        let h = SimHdfs::new(3, 7);
         h.put_file("/a", vec![(b(b"x"), 1)]);
         for n in 0..3 {
             h.node_lost(NodeId(n));
@@ -248,7 +269,7 @@ mod tests {
 
     #[test]
     fn delete_and_exists() {
-        let mut h = SimHdfs::new(3, 7);
+        let h = SimHdfs::new(3, 7);
         h.write_file("/a", vec![(b(b"x"), 1)]);
         assert!(h.exists("/a"));
         h.delete("/a");
@@ -257,10 +278,16 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_placement() {
-        let mut h1 = SimHdfs::new(20, 42);
-        let mut h2 = SimHdfs::new(20, 42);
+        let h1 = SimHdfs::new(20, 42);
+        let h2 = SimHdfs::new(20, 42);
         h1.put_file("/a", vec![(b(b"x"), 1)]);
         h2.put_file("/a", vec![(b(b"x"), 1)]);
         assert_eq!(h1.block_replicas("/a", 0), h2.block_replicas("/a", 0));
+    }
+
+    #[test]
+    fn sim_hdfs_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimHdfs>();
     }
 }

@@ -29,13 +29,16 @@
 //!   structured event [`Timeline`] the simulator records (see
 //!   `tez_runtime::timeline`).
 //!
-//! Everything is single-threaded and seeded: the same inputs produce the
-//! same schedule, byte-for-byte.
+//! The control plane is single-threaded and seeded: the same inputs
+//! produce the same schedule, byte-for-byte. Real data-plane payloads may
+//! run concurrently on a [`WorkerPool`] — wall-clock overlap only; every
+//! simulated outcome is decided on the control thread.
 
 pub mod app;
 pub mod cost;
 pub mod fault;
 pub mod hdfs;
+pub mod pool;
 pub mod rm;
 pub mod sim;
 pub mod trace;
@@ -45,6 +48,7 @@ pub use app::{AppContext, AppEvent, AppStatus, ContainerExit, WorkOutcome, YarnA
 pub use cost::{CostModel, WorkCost};
 pub use fault::FaultPlan;
 pub use hdfs::SimHdfs;
+pub use pool::{resolve_workers, TaskHandle, WorkerPool};
 pub use rm::{ContainerRequest, QueueSpec, Rm, RmConfig};
 pub use sim::{SimResult, Simulation};
 pub use tez_runtime::timeline::{Timeline, TimelineEvent};

@@ -1,0 +1,168 @@
+//! Fixed worker pool for the data plane.
+//!
+//! The simulator's control plane stays single-threaded and deterministic;
+//! real task payloads (operator pipelines, shuffle sort/merge, codec work)
+//! are submitted here and run on OS threads. Completion *ordering* is
+//! decided by simulated time on the control thread — the pool only changes
+//! wall-clock overlap — so same-seed runs stay byte-identical at any
+//! worker count.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of N OS threads executing submitted jobs FIFO.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+/// Handle to a submitted job's result. [`TaskHandle::join`] blocks until
+/// the job finishes and re-raises any panic on the caller's thread.
+pub struct TaskHandle<T> {
+    rx: Receiver<std::thread::Result<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Wait for the job and return its result, propagating panics.
+    pub fn join(self) -> T {
+        match self.rx.recv() {
+            Ok(Ok(v)) => v,
+            Ok(Err(panic)) => std::panic::resume_unwind(panic),
+            Err(_) => panic!("worker pool dropped a job without completing it"),
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Pool with `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let threads = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("tez-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while pulling a job, not while
+                        // running it, so workers drain the queue in parallel.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        };
+                        job();
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            threads,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit a job; returns a handle to its result. Panics inside the job
+    /// are captured and re-raised by [`TaskHandle::join`].
+    pub fn submit<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        let job: Job = Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            // The receiver may be gone (job discarded); that's fine.
+            let _ = tx.send(result);
+        });
+        self.tx
+            .as_ref()
+            .expect("pool is live while not dropped")
+            .send(job)
+            .expect("worker threads alive while pool is live");
+        TaskHandle { rx }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the queue so workers exit, then join them.
+        self.tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Resolve the worker count: explicit config, then the `TEZ_WORKERS`
+/// environment variable, then available parallelism, floored at 1.
+pub fn resolve_workers(config_workers: Option<usize>) -> usize {
+    if let Some(n) = config_workers {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("TEZ_WORKERS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_results_join() {
+        let pool = WorkerPool::new(4);
+        let handles: Vec<_> = (0..32u64).map(|i| pool.submit(move || i * 2)).collect();
+        let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, (0..32u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn panics_propagate_on_join() {
+        let pool = WorkerPool::new(1);
+        let h = pool.submit(|| -> u64 { panic!("boom") });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()));
+        assert!(err.is_err());
+        // The pool survives a panicking job.
+        assert_eq!(pool.submit(|| 7u64).join(), 7);
+    }
+
+    #[test]
+    fn discarded_handles_do_not_block_the_pool() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let c = counter.clone();
+            let _ = pool.submit(move || c.fetch_add(1, Ordering::SeqCst));
+        }
+        // Join one more job after the discarded ones to flush the queue.
+        let c = counter.clone();
+        pool.submit(move || c.load(Ordering::SeqCst)).join();
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn resolve_workers_prefers_config() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(0)), 1);
+        assert!(resolve_workers(None) >= 1);
+    }
+}

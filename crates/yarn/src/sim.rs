@@ -69,7 +69,7 @@ pub(crate) struct SimInner {
     pub(crate) cluster: ClusterSpec,
     pub(crate) cost: CostModel,
     pub(crate) rm: Rm,
-    pub(crate) hdfs: SimHdfs,
+    pub(crate) hdfs: std::sync::Arc<SimHdfs>,
     pub(crate) timeline: Timeline,
     fault: FaultPlan,
     rng: StdRng,
@@ -256,6 +256,18 @@ impl SimInner {
         self.complete_work(id, WorkOutcome::Killed, now);
     }
 
+    /// Queue an [`AppEvent::PayloadReady`] at the current time. Pushed
+    /// events land *after* every already-queued same-time event, so all
+    /// payloads submitted within one scheduling pass are in flight on the
+    /// worker pool before the first join runs — that synchronous window is
+    /// where wall-clock parallelism comes from.
+    pub(crate) fn notify_payload_ready(&mut self, app: AppId, ticket: u64, now: SimTime) {
+        self.push(
+            now,
+            EventKind::Deliver(app, AppEvent::PayloadReady { ticket }),
+        );
+    }
+
     pub(crate) fn set_timer(&mut self, app: AppId, delay_ms: u64, tag: u64, now: SimTime) {
         self.push(
             now.plus(delay_ms),
@@ -374,7 +386,7 @@ impl Simulation {
             })
             .collect();
         let rm = Rm::new(node_resources, queues, rm_config);
-        let hdfs = SimHdfs::new(cluster.nodes, seed);
+        let hdfs = std::sync::Arc::new(SimHdfs::new(cluster.nodes, seed));
         let mut inner = SimInner {
             cluster,
             cost,
@@ -399,12 +411,8 @@ impl Simulation {
         }
     }
 
-    /// The filesystem (populate datasets before running).
-    pub fn hdfs_mut(&mut self) -> &mut SimHdfs {
-        &mut self.inner.hdfs
-    }
-
-    /// Read-only filesystem access (inspect outputs after running).
+    /// The filesystem (populate datasets before running, inspect outputs
+    /// after; all methods take `&self`).
     pub fn hdfs(&self) -> &SimHdfs {
         &self.inner.hdfs
     }

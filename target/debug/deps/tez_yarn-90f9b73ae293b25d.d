@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/tez_yarn-90f9b73ae293b25d.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/tez_yarn-90f9b73ae293b25d.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtez_yarn-90f9b73ae293b25d.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libtez_yarn-90f9b73ae293b25d.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
 
 crates/yarn/src/lib.rs:
 crates/yarn/src/app.rs:
 crates/yarn/src/cost.rs:
 crates/yarn/src/fault.rs:
 crates/yarn/src/hdfs.rs:
+crates/yarn/src/pool.rs:
 crates/yarn/src/rm.rs:
 crates/yarn/src/sim.rs:
 crates/yarn/src/trace.rs:

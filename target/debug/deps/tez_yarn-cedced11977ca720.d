@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/tez_yarn-cedced11977ca720.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/debug/deps/tez_yarn-cedced11977ca720.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
-/root/repo/target/debug/deps/libtez_yarn-cedced11977ca720.rlib: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/debug/deps/libtez_yarn-cedced11977ca720.rlib: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
-/root/repo/target/debug/deps/libtez_yarn-cedced11977ca720.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/debug/deps/libtez_yarn-cedced11977ca720.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
 crates/yarn/src/lib.rs:
 crates/yarn/src/app.rs:
 crates/yarn/src/cost.rs:
 crates/yarn/src/fault.rs:
 crates/yarn/src/hdfs.rs:
+crates/yarn/src/pool.rs:
 crates/yarn/src/rm.rs:
 crates/yarn/src/sim.rs:
 crates/yarn/src/trace.rs:

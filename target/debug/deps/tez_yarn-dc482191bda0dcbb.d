@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/tez_yarn-dc482191bda0dcbb.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/tez_yarn-dc482191bda0dcbb.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtez_yarn-dc482191bda0dcbb.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libtez_yarn-dc482191bda0dcbb.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs Cargo.toml
 
 crates/yarn/src/lib.rs:
 crates/yarn/src/app.rs:
 crates/yarn/src/cost.rs:
 crates/yarn/src/fault.rs:
 crates/yarn/src/hdfs.rs:
+crates/yarn/src/pool.rs:
 crates/yarn/src/rm.rs:
 crates/yarn/src/sim.rs:
 crates/yarn/src/trace.rs:

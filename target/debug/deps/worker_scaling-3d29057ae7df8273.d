@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worker_scaling-3d29057ae7df8273.d: crates/bench/benches/worker_scaling.rs
+
+/root/repo/target/debug/deps/worker_scaling-3d29057ae7df8273: crates/bench/benches/worker_scaling.rs
+
+crates/bench/benches/worker_scaling.rs:

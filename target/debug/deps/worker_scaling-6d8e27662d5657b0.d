@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/worker_scaling-6d8e27662d5657b0.d: crates/bench/benches/worker_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworker_scaling-6d8e27662d5657b0.rmeta: crates/bench/benches/worker_scaling.rs Cargo.toml
+
+crates/bench/benches/worker_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

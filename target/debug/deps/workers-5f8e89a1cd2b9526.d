@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workers-5f8e89a1cd2b9526.d: tests/tests/workers.rs
+
+/root/repo/target/debug/deps/workers-5f8e89a1cd2b9526: tests/tests/workers.rs
+
+tests/tests/workers.rs:

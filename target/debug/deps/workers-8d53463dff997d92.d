@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workers-8d53463dff997d92.d: tests/tests/workers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkers-8d53463dff997d92.rmeta: tests/tests/workers.rs Cargo.toml
+
+tests/tests/workers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

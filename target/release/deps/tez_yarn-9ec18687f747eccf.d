@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/tez_yarn-9ec18687f747eccf.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/release/deps/tez_yarn-9ec18687f747eccf.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
-/root/repo/target/release/deps/libtez_yarn-9ec18687f747eccf.rlib: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/release/deps/libtez_yarn-9ec18687f747eccf.rlib: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
-/root/repo/target/release/deps/libtez_yarn-9ec18687f747eccf.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+/root/repo/target/release/deps/libtez_yarn-9ec18687f747eccf.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
 
 crates/yarn/src/lib.rs:
 crates/yarn/src/app.rs:
 crates/yarn/src/cost.rs:
 crates/yarn/src/fault.rs:
 crates/yarn/src/hdfs.rs:
+crates/yarn/src/pool.rs:
 crates/yarn/src/rm.rs:
 crates/yarn/src/sim.rs:
 crates/yarn/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/worker_scaling-124e6110c4c32de8.d: crates/bench/benches/worker_scaling.rs
+
+/root/repo/target/release/deps/worker_scaling-124e6110c4c32de8: crates/bench/benches/worker_scaling.rs
+
+crates/bench/benches/worker_scaling.rs:

@@ -1,0 +1,230 @@
+//! Worker-pool determinism and speculation accounting.
+//!
+//! Data-plane payloads run on a pool of OS threads (`TezConfig::workers`);
+//! the worker count may only change wall-clock time. These tests pin the
+//! strongest form of that contract — the serialized observability
+//! artifacts (run-report JSON, Chrome trace) are byte-identical at 1, 2
+//! and 4 workers — and the speculation bookkeeping that rides on the same
+//! control-plane events: every scheduled attempt closes with exactly one
+//! terminal timeline event, so critical-path phase tiling sums exactly to
+//! the makespan even when sibling attempts are killed mid-flight.
+
+use tez_core::{standard_registry, TezClient, TezConfig};
+use tez_hive::{tpcds, tpch, HiveEngine, HiveOpts};
+use tez_runtime::timeline::EventKind;
+use tez_runtime::{chrome_trace, RunReport};
+use tez_yarn::{ClusterSpec, CostModel};
+
+/// Serialized artifacts of one run: run-report JSON documents (one per
+/// DAG, newline-joined) plus the merged Chrome trace.
+fn artifacts(reports: &[tez_core::DagReport]) -> (String, String) {
+    let rr: Vec<&RunReport> = reports.iter().map(|r| &r.run_report).collect();
+    let json: Vec<String> = rr.iter().map(|r| r.to_json()).collect();
+    (json.join("\n"), chrome_trace(&rr))
+}
+
+fn tpch_q3_artifacts(workers: usize) -> (String, String) {
+    let engine = HiveEngine::new(tpch::generate(600, 4, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8));
+    let q = tpch::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q3")
+        .unwrap()
+        .1;
+    let config = TezConfig {
+        workers: Some(workers),
+        ..TezConfig::default()
+    };
+    let res = engine.run_tez_with(&client, "q3", &q.plan, &HiveOpts::default(), config);
+    assert!(res.success());
+    artifacts(&res.reports)
+}
+
+#[test]
+fn hive_tpch_q3_is_byte_identical_across_worker_counts() {
+    let one = tpch_q3_artifacts(1);
+    for workers in [2, 4] {
+        let multi = tpch_q3_artifacts(workers);
+        assert_eq!(
+            one.0, multi.0,
+            "run-report JSON diverged at {workers} workers"
+        );
+        assert_eq!(one.1, multi.1, "Chrome trace diverged at {workers} workers");
+    }
+}
+
+/// A two-DAG pre-warmed session (the Figure 7 shape): exercises cross-DAG
+/// container reuse, pre-warm payloads and stale-ticket handling at DAG
+/// boundaries under the worker pool.
+fn session_trace_artifacts(workers: usize) -> (String, String) {
+    let engine = HiveEngine::new(tpcds::generate(1_000, 8, 7));
+    let q = tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q52")
+        .unwrap()
+        .1;
+    let opts = HiveOpts {
+        byte_scale: 100_000.0,
+        reducers: 4,
+        ..HiveOpts::default()
+    };
+    let config = TezConfig {
+        session: true,
+        prewarm_containers: 2,
+        byte_scale: opts.byte_scale,
+        min_split_bytes: 8 << 20,
+        max_split_bytes: 64 << 20,
+        workers: Some(workers),
+        ..TezConfig::default()
+    };
+    let mut registry = standard_registry();
+    let popts = tez_hive::physical::PhysicalOpts {
+        reducers: opts.reducers,
+        broadcast_joins: true,
+        dpp: false,
+    };
+    let sp = tez_hive::physical::build_stages(&q.plan, &engine.catalog, &popts);
+    let dags = ["dagA", "dagB"]
+        .into_iter()
+        .map(|name| {
+            tez_hive::compile_tez::build_tez_dag(
+                name,
+                &sp,
+                &engine.catalog,
+                &mut registry,
+                &format!("/results/{name}"),
+                &config,
+            )
+        })
+        .collect();
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 4096, 4))
+        .with_cost(tez_bench::figs::bench_cost());
+    let scale = opts.byte_scale;
+    let run = client.run_session(dags, registry, config, |hdfs| {
+        hdfs.set_stat_scale(scale);
+        engine.catalog.load_hdfs(hdfs, scale);
+    });
+    assert_eq!(run.reports.len(), 2);
+    artifacts(&run.reports)
+}
+
+#[test]
+fn session_trace_is_byte_identical_across_worker_counts() {
+    let one = session_trace_artifacts(1);
+    for workers in [2, 4] {
+        let multi = session_trace_artifacts(workers);
+        assert_eq!(
+            one.0, multi.0,
+            "run-report JSON diverged at {workers} workers"
+        );
+        assert_eq!(one.1, multi.1, "Chrome trace diverged at {workers} workers");
+    }
+}
+
+fn straggler_run(straggler_prob: f64, mut config: TezConfig) -> tez_hive::QueryResult {
+    let cost = CostModel {
+        straggler_prob,
+        straggler_factor: 8.0,
+        ..tez_bench::figs::bench_cost()
+    };
+    let engine = HiveEngine::new(tpch::generate(2_000, 8, 7));
+    let client = TezClient::new(ClusterSpec::homogeneous(4, 8192, 8)).with_cost(cost);
+    let q = tpch::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q6")
+        .unwrap()
+        .1;
+    // Declare paper-scale bytes so tasks run long enough for the
+    // speculator to observe stragglers mid-flight.
+    let opts = HiveOpts {
+        byte_scale: 500_000.0,
+        ..HiveOpts::default()
+    };
+    config.min_split_bytes = 8 << 20;
+    config.max_split_bytes = 32 << 20;
+    let res = engine.run_tez_with(&client, "q6", &q.plan, &opts, config);
+    assert!(res.success());
+    res
+}
+
+/// Every scheduled attempt must close with exactly one terminal
+/// `AttemptFinished` event — including speculation losers killed before
+/// they ever launched — and the critical path's phase attribution must
+/// tile the makespan exactly.
+fn assert_attempts_close(report: &RunReport) {
+    let mut scheduled = 0u64;
+    let mut finished = 0u64;
+    for e in &report.timeline.events {
+        match &e.kind {
+            EventKind::AttemptScheduled { .. } => scheduled += 1,
+            EventKind::AttemptFinished { .. } => finished += 1,
+            _ => {}
+        }
+    }
+    assert!(scheduled > 0);
+    assert_eq!(
+        scheduled, finished,
+        "every scheduled attempt needs exactly one terminal event"
+    );
+    let cp = report.critical_path().expect("succeeded attempts");
+    assert_eq!(
+        cp.totals.sum(),
+        cp.makespan_ms,
+        "critical-path phases must tile the makespan"
+    );
+}
+
+#[test]
+fn forced_stragglers_with_speculation_close_every_attempt() {
+    // Everything straggles: speculation arms aggressively, backups race
+    // originals, losers are killed at every lifecycle stage.
+    let config = TezConfig {
+        speculation: true,
+        speculation_min_completed: 1,
+        speculation_slowdown: 1.2,
+        speculation_interval_ms: 500,
+        ..TezConfig::default()
+    };
+    let res = straggler_run(1.0, config);
+    for dag in &res.reports {
+        assert_attempts_close(&dag.run_report);
+    }
+}
+
+#[test]
+fn speculation_winners_and_losers_are_classified() {
+    // A 50% straggler rate makes stragglers outliers against the vertex
+    // mean, so backups reliably spawn — and, at 8x slowdown, win.
+    let config = TezConfig {
+        speculation: true,
+        speculation_min_completed: 1,
+        speculation_slowdown: 1.5,
+        speculation_interval_ms: 500,
+        ..TezConfig::default()
+    };
+    let res = straggler_run(0.5, config);
+    let report = &res.reports[0].run_report;
+    assert_attempts_close(report);
+    let spec_spans: Vec<_> = report.attempts.iter().filter(|a| a.speculative).collect();
+    assert!(
+        res.reports[0].speculative_attempts > 0,
+        "scenario must actually speculate"
+    );
+    let winners = report.speculation_winners();
+    let losers = report.speculation_losers();
+    assert_eq!(winners.len() + losers.len(), spec_spans.len());
+    assert!(winners.iter().all(|a| a.status == "succeeded"));
+    assert!(losers.iter().all(|a| a.status != "succeeded"));
+    // Same-seed reruns classify identically (the flag is part of the
+    // deterministic report surface).
+    let res2 = straggler_run(0.5, {
+        TezConfig {
+            speculation: true,
+            speculation_min_completed: 1,
+            speculation_slowdown: 1.5,
+            speculation_interval_ms: 500,
+            ..TezConfig::default()
+        }
+    });
+    assert_eq!(res2.reports[0].run_report.to_json(), report.to_json());
+}
