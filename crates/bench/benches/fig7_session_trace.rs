@@ -2,20 +2,34 @@
 //! re-used by tasks within a DAG and across DAGs.
 //!
 //! Pass `--chrome-trace <path>` to also export the session as a Chrome
-//! Trace Event file (open in Perfetto or `chrome://tracing`).
+//! Trace Event file (open in Perfetto or `chrome://tracing`),
+//! `--metrics <path>` / `--prometheus <path>` to export the metrics
+//! registry as JSON / Prometheus text exposition, and `--history <path>`
+//! to export the ATS-style history entity store as JSON.
 
 use tez_bench::fig7_session_trace;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut chrome_trace_path = None;
+    let mut metrics_path = None;
+    let mut history_path = None;
+    let mut prometheus_path = None;
     while let Some(a) = args.next() {
-        if a == "--chrome-trace" {
-            chrome_trace_path = Some(args.next().expect("--chrome-trace needs a path"));
+        match a.as_str() {
+            "--chrome-trace" => {
+                chrome_trace_path = Some(args.next().expect("--chrome-trace needs a path"));
+            }
+            "--metrics" => metrics_path = Some(args.next().expect("--metrics needs a path")),
+            "--history" => history_path = Some(args.next().expect("--history needs a path")),
+            "--prometheus" => {
+                prometheus_path = Some(args.next().expect("--prometheus needs a path"));
+            }
+            _ => {}
         }
     }
 
-    let (gantt, reports) = fig7_session_trace();
+    let (gantt, reports, metrics) = fig7_session_trace();
     println!("Figure 7 — session trace (rows = containers; A/B = DAG of each task)");
     println!("{gantt}");
     for r in &reports {
@@ -35,6 +49,19 @@ fn main() {
         let rrs: Vec<&tez_runtime::RunReport> = reports.iter().map(|r| &r.run_report).collect();
         std::fs::write(&path, tez_runtime::chrome_trace(&rrs)).expect("write chrome trace");
         println!("chrome trace written to {path}");
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, metrics.to_json()).expect("write metrics json");
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = prometheus_path {
+        std::fs::write(&path, metrics.to_prometheus()).expect("write prometheus exposition");
+        println!("prometheus exposition written to {path}");
+    }
+    if let Some(path) = history_path {
+        let store = tez_runtime::HistoryStore::from_reports(reports.iter().map(|r| &r.run_report));
+        std::fs::write(&path, store.to_json()).expect("write history json");
+        println!("history written to {path}");
     }
     assert!(
         gantt.lines().any(|l| l.contains('A') && l.contains('B')),

@@ -47,8 +47,9 @@ pub fn bench_cost() -> CostModel {
 // ---------------------------------------------------------------------------
 
 /// Two DAGs in one Tez session; the Gantt shows containers re-used within
-/// and across DAGs (paper Figure 7).
-pub fn fig7_session_trace() -> (String, Vec<DagReport>) {
+/// and across DAGs (paper Figure 7). Also returns the session's metrics
+/// registry so the bench harness can export metrics/history artifacts.
+pub fn fig7_session_trace() -> (String, Vec<DagReport>, tez_runtime::MetricsRegistry) {
     let catalog = tpcds::generate(1_000, 8, 7);
     let engine = HiveEngine::new(catalog);
     let q = tpcds::queries(&engine.catalog)
@@ -105,7 +106,11 @@ pub fn fig7_session_trace() -> (String, Vec<DagReport>) {
     // shows as one row carrying both letters.
     let run_reports: Vec<&tez_runtime::RunReport> =
         run.reports.iter().map(|r| &r.run_report).collect();
-    (tez_runtime::render_gantt(&run_reports, 100), run.reports)
+    (
+        tez_runtime::render_gantt(&run_reports, 100),
+        run.reports,
+        run.metrics,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -560,7 +565,7 @@ mod tests {
 
     #[test]
     fn fig7_gantt_shows_cross_dag_reuse() {
-        let (gantt, reports) = fig7_session_trace();
+        let (gantt, reports, metrics) = fig7_session_trace();
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.status.is_success()));
         // Some container row hosts tasks of both DAGs (A… and B…).
@@ -568,6 +573,8 @@ mod tests {
             gantt.lines().any(|l| l.contains('A') && l.contains('B')),
             "expected cross-DAG reuse in:\n{gantt}"
         );
+        // Both DAGs rolled up into the registry.
+        assert!(metrics.dag("dagA").is_some() && metrics.dag("dagB").is_some());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use tez_dag::{Dag, DataMovement, EdgeManagerPlugin, EdgeRoutingContext};
+use tez_runtime::metrics::{metric_names, Histogram, MetricsRegistry};
 use tez_runtime::timeline::{EventKind as TlEvent, Timeline};
 use tez_runtime::{
     AttemptSpan, ComponentRegistry, ContainerStats, Counters, Dfs, EdgeStats, InitializerContext,
@@ -38,7 +39,9 @@ use tez_runtime::{
     SourceTaskAttempt, TaskEnv, TaskError, TaskMeta, TaskOutcome, TaskSpec, VertexManager,
     VertexManagerContext,
 };
-use tez_shuffle::{FetchRetry, FetchRetryPolicy, RetryingFetcher, SharedDataService, SplitPayload};
+use tez_shuffle::{
+    FetchRetry, FetchRetryPolicy, FetchSample, RetryingFetcher, SharedDataService, SplitPayload,
+};
 use tez_yarn::{
     resolve_workers, AppContext, AppEvent, AppStatus, ClusterSpec, Container, ContainerId,
     ContainerRequest, NodeId, RequestId, SimTime, TaskHandle, WorkCost, WorkId, WorkOutcome,
@@ -63,6 +66,9 @@ pub struct DagSubmission {
 pub struct SessionOutput {
     /// One report per completed DAG, in submission order.
     pub reports: Vec<DagReport>,
+    /// Hierarchical metrics rollup (task → vertex → DAG → app) across the
+    /// whole session; refreshed after every completed DAG.
+    pub metrics: MetricsRegistry,
 }
 
 /// Shared handle to [`SessionOutput`].
@@ -79,6 +85,7 @@ struct PayloadResult {
     fetch_retries: u64,
     fetch_backoff_ms: u64,
     retry_log: Vec<FetchRetry>,
+    fetch_samples: Vec<FetchSample>,
 }
 
 /// A payload in flight between submission and its `PayloadReady` join.
@@ -204,9 +211,18 @@ struct DagRun {
     /// Scheduler stats snapshot at DAG start; the run report carries the
     /// delta accumulated while this DAG ran.
     sched_base: SchedulerStats,
+    /// RM queue-wait histogram snapshot at DAG start (same delta pattern
+    /// as `sched_base`).
+    wait_hist_base: Histogram,
+    /// Worker-pool submission count at DAG start; the delta becomes the
+    /// DAG's `POOL_JOBS_SUBMITTED` metric.
+    pool_jobs_base: u64,
     container_stats: ContainerStats,
     /// Data-plane stats keyed by `(src, dst)` vertex names.
     edge_stats: BTreeMap<(String, String), EdgeStats>,
+    /// Per-vertex counter rollups (the aggregation level between the raw
+    /// task bags and `counters`).
+    vertex_counters: BTreeMap<String, Counters>,
     attempt_spans: Vec<AttemptSpan>,
     /// Timeline length when this DAG was submitted; the run report carries
     /// the slice of events recorded since.
@@ -241,6 +257,9 @@ pub struct DagAppMaster {
     output_registry: HashMap<u64, (usize, usize)>,
     /// Fixed pool of OS threads running data-plane payloads.
     pool: WorkerPool,
+    /// Hierarchical metrics rollup, mirrored into the session output after
+    /// every completed DAG.
+    metrics: MetricsRegistry,
     /// In-flight payloads awaiting their `PayloadReady` join.
     payload_tickets: HashMap<u64, PayloadTicket>,
     next_ticket: u64,
@@ -282,6 +301,7 @@ impl DagAppMaster {
             work_started: HashMap::new(),
             output_registry: HashMap::new(),
             pool,
+            metrics: MetricsRegistry::new(),
             payload_tickets: HashMap::new(),
             next_ticket: 0,
             prewarm_outstanding: 0,
@@ -438,6 +458,9 @@ impl DagAppMaster {
         }
         let publications = vec![HashMap::new(); dag.edges().len()];
         let timeline_base = ctx.timeline_len();
+        // Register the DAG scope up front so a DAG that fails before any
+        // sample still appears in the metrics export.
+        self.metrics.begin_dag(dag.name());
         ctx.record_event(TlEvent::DagSubmitted {
             dag: dag.name().to_string(),
         });
@@ -462,8 +485,11 @@ impl DagAppMaster {
             reexecuted_tasks: 0,
             failed: None,
             sched_base: ctx.scheduler_stats(),
+            wait_hist_base: ctx.queue_wait_histogram(),
+            pool_jobs_base: self.pool.jobs_submitted(),
             container_stats: ContainerStats::default(),
             edge_stats: BTreeMap::new(),
+            vertex_counters: BTreeMap::new(),
             attempt_spans: Vec::new(),
             timeline_base,
         });
@@ -1108,6 +1134,7 @@ impl DagAppMaster {
                 fetch_retries: fetcher.retries(),
                 fetch_backoff_ms: fetcher.backoff_ms(),
                 retry_log: fetcher.retry_log(),
+                fetch_samples: fetcher.fetch_samples(),
             }
         };
         // Injected transient fetch failures are consumed by the service in
@@ -1236,6 +1263,7 @@ impl DagAppMaster {
             fetch_retries,
             fetch_backoff_ms,
             retry_log,
+            fetch_samples,
         } = result;
         if fetch_retries > 0 {
             if let Some(run) = self.run.as_mut() {
@@ -1323,6 +1351,42 @@ impl DagAppMaster {
                         e.spilled_bytes += commit.spilled_bytes;
                     }
                 }
+                // Metrics rollup: the task's counter bag lands in its
+                // vertex scope (and, via the registry, DAG + app), every
+                // successful shard fetch becomes a latency sample (backoff
+                // plus the modelled remote read — deterministic, never
+                // wall-clock), and every producer spill a size sample.
+                run.vertex_counters
+                    .entry(vname.clone())
+                    .or_default()
+                    .merge(&outcome.counters);
+                let dag_name = run.dag.name().to_string();
+                self.metrics
+                    .record_task_counters(&dag_name, &vname, &outcome.counters);
+                for s in &fetch_samples {
+                    let latency = s.backoff_ms.saturating_add(if s.remote {
+                        ctx.cost_model().remote_read_ms(s.bytes)
+                    } else {
+                        0
+                    });
+                    self.metrics.record_value(
+                        &dag_name,
+                        Some(&vname),
+                        metric_names::SHUFFLE_FETCH_LATENCY_MS,
+                        latency,
+                    );
+                }
+                for (_, commit) in &outcome.outputs {
+                    if commit.spilled_bytes > 0 {
+                        self.metrics.record_value(
+                            &dag_name,
+                            Some(&vname),
+                            metric_names::SPILL_SIZE_BYTES,
+                            commit.spilled_bytes,
+                        );
+                    }
+                }
+                let run = self.run.as_mut().unwrap();
                 run.vertices[vidx].tasks[task].attempts[attempt].state = AState::Running {
                     container,
                     work,
@@ -1614,6 +1678,14 @@ impl DagAppMaster {
                 container: container.0,
                 status: status.to_string(),
             });
+            // Every attempt — succeeded, failed or killed — contributes a
+            // duration sample to its vertex's histogram.
+            self.metrics.record_value(
+                run.dag.name(),
+                Some(&vertex),
+                metric_names::ATTEMPT_DURATION_MS,
+                ctx.now().millis().saturating_sub(start.millis()),
+            );
             run.attempt_spans.push(AttemptSpan {
                 vertex,
                 task: task as u64,
@@ -2062,6 +2134,22 @@ impl DagAppMaster {
             dag: run.dag.name().to_string(),
             status: status_str.clone(),
         });
+        // Close out this DAG's histogram feeds: the queue-wait and pool
+        // submission accumulators are app-lifetime, so attribute only the
+        // delta since the DAG started.
+        let dag_name = run.dag.name().to_string();
+        self.metrics.merge_histogram(
+            &dag_name,
+            metric_names::QUEUE_WAIT_MS,
+            &ctx.queue_wait_histogram().delta_since(&run.wait_hist_base),
+        );
+        self.metrics.add_dag_counter(
+            &dag_name,
+            metric_names::POOL_JOBS_SUBMITTED,
+            self.pool
+                .jobs_submitted()
+                .saturating_sub(run.pool_jobs_base),
+        );
         let run_report = RunReport {
             dag: run.dag.name().to_string(),
             status: status_str,
@@ -2074,6 +2162,7 @@ impl DagAppMaster {
             edges: run.edge_stats.values().cloned().collect(),
             attempts: run.attempt_spans.clone(),
             counters: run.counters.clone(),
+            vertex_counters: run.vertex_counters.clone(),
             timeline: Timeline::from_events(ctx.timeline_events_since(run.timeline_base)),
         };
         let report = DagReport {
@@ -2104,7 +2193,13 @@ impl DagAppMaster {
             reexecuted_tasks: run.reexecuted_tasks,
             run_report,
         };
-        self.output.lock().reports.push(report);
+        {
+            let mut out = self.output.lock();
+            out.reports.push(report);
+            // Keep the session-level registry visible alongside the
+            // reports: refreshed after every completed DAG.
+            out.metrics = self.metrics.clone();
+        }
         self.objreg.evict_scope(tez_runtime::ObjectScope::Dag);
         self.dag_index += 1;
 

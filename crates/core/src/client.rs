@@ -56,6 +56,9 @@ impl tez_yarn::YarnApp for BackgroundTenant {
 pub struct TezRun {
     /// One report per DAG, in submission order.
     pub reports: Vec<DagReport>,
+    /// The hierarchical metrics registry (task → vertex → DAG → app
+    /// rollups plus latency/size histograms), as of the last completed DAG.
+    pub metrics: tez_runtime::MetricsRegistry,
     sim: Simulation,
 }
 
@@ -74,6 +77,13 @@ impl TezRun {
     /// The full structured event timeline of the run (every app).
     pub fn timeline(&self) -> &tez_yarn::Timeline {
         self.sim.timeline()
+    }
+
+    /// ATS-style history entity store derived from the per-DAG reports
+    /// (DAG / vertex / task-attempt / container entities with filters and
+    /// related-entity links). Built on demand; deterministic.
+    pub fn history(&self) -> tez_runtime::HistoryStore {
+        tez_runtime::HistoryStore::from_reports(self.reports.iter().map(|r| &r.run_report))
     }
 
     /// The first (often only) DAG report.
@@ -180,7 +190,17 @@ impl TezClient {
         );
         sim.add_app(Box::new(am), "default", SimTime::ZERO);
         sim.run();
-        let reports = std::mem::take(&mut output.lock().reports);
-        TezRun { reports, sim }
+        let (reports, metrics) = {
+            let mut out = output.lock();
+            (
+                std::mem::take(&mut out.reports),
+                std::mem::take(&mut out.metrics),
+            )
+        };
+        TezRun {
+            reports,
+            metrics,
+            sim,
+        }
     }
 }

@@ -53,6 +53,7 @@ pub fn run_task(
         counters.add(counter_names::BYTES_READ, input.input.bytes_read());
         counters.add(counter_names::REMOTE_BYTES, input.input.remote_bytes());
         counters.add(counter_names::RECORDS_IN, input.input.records_read());
+        counters.add(counter_names::SHUFFLED_SHARDS, input.input.shards_fetched());
     }
 
     // Run the processor.

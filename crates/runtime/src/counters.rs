@@ -27,6 +27,8 @@ pub mod counter_names {
     pub const PRUNED_SPLITS: &str = "PRUNED_SPLITS";
     /// Objects served from the shared object registry.
     pub const REGISTRY_HITS: &str = "REGISTRY_HITS";
+    /// Physical shuffle shards fetched by edge inputs.
+    pub const SHUFFLED_SHARDS: &str = "SHUFFLED_SHARDS";
 }
 
 /// A deterministic, mergeable bag of named `u64` counters.
@@ -41,10 +43,14 @@ impl Counters {
         Self::default()
     }
 
-    /// Add `delta` to `name`.
+    /// Add `delta` to `name`. Saturates at `u64::MAX` instead of
+    /// panicking: counters are observability, not control flow, and a
+    /// pinned-at-max value is a visible signal while an overflow panic
+    /// would take the whole attempt down.
     pub fn add(&mut self, name: &str, delta: u64) {
         if delta != 0 {
-            *self.values.entry(name.to_string()).or_insert(0) += delta;
+            let slot = self.values.entry(name.to_string()).or_insert(0);
+            *slot = slot.saturating_add(delta);
         }
     }
 
@@ -58,10 +64,12 @@ impl Counters {
         self.values.get(name).copied().unwrap_or(0)
     }
 
-    /// Merge another counter set into this one.
+    /// Merge another counter set into this one (saturating, like
+    /// [`Counters::add`]).
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in &other.values {
-            *self.values.entry(k.clone()).or_insert(0) += v;
+        for (k, &v) in &other.values {
+            let slot = self.values.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
         }
     }
 
@@ -125,6 +133,22 @@ mod tests {
         assert_eq!(a.get("y"), 5);
         assert_eq!(a.get("z"), 4);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn add_and_merge_saturate_instead_of_overflowing() {
+        let mut c = Counters::new();
+        c.add("x", u64::MAX - 1);
+        c.add("x", 5);
+        assert_eq!(c.get("x"), u64::MAX);
+        let mut other = Counters::new();
+        other.add("x", 1);
+        other.add("y", u64::MAX);
+        c.merge(&other);
+        assert_eq!(c.get("x"), u64::MAX);
+        assert_eq!(c.get("y"), u64::MAX);
+        c.merge(&other);
+        assert_eq!(c.get("y"), u64::MAX);
     }
 
     #[test]

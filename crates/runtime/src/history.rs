@@ -1,0 +1,643 @@
+//! ATS-style history store: a queryable, append-only entity view of one or
+//! more DAG executions, mirroring the YARN Timeline Server data model the
+//! paper's Tez UI is built on (§2, §7).
+//!
+//! Each entity carries an `entitytype` + `entityid` pair, a start/end time,
+//! its lifecycle events, **primary filters** (indexed key/value pairs a
+//! query can match), and **related entities** (typed edges to other
+//! entities: a DAG lists its vertices and containers, an attempt points at
+//! its container and the container points back). Entities are *derived* —
+//! [`HistoryStore::ingest_report`] replays a [`RunReport`]'s timeline — so
+//! the store never drifts from the report and inherits its determinism:
+//! same-seed runs export byte-identical history JSON at any worker count.
+
+use crate::json::{array, esc, Obj};
+use crate::run_report::RunReport;
+use crate::timeline::EventKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Entity type names, matching the Tez Timeline Server conventions.
+pub mod entity_types {
+    /// One DAG execution.
+    pub const DAG: &str = "TEZ_DAG_ID";
+    /// One vertex of a DAG.
+    pub const VERTEX: &str = "TEZ_VERTEX_ID";
+    /// One task attempt.
+    pub const ATTEMPT: &str = "TEZ_TASK_ATTEMPT_ID";
+    /// One YARN container.
+    pub const CONTAINER: &str = "TEZ_CONTAINER_ID";
+}
+
+/// One lifecycle event on an entity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntityEvent {
+    /// Simulated time, ms.
+    pub ts_ms: u64,
+    /// Event type (the timeline event's snake_case `type_name`).
+    pub event_type: String,
+}
+
+/// One history entity: the ATS record shape.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryEntity {
+    /// Entity type (see [`entity_types`]).
+    pub entity_type: String,
+    /// Entity id, unique within its type. DAG-scoped entities are
+    /// qualified by DAG name (`dag/vertex`, `dag/vertex/task/attempt`);
+    /// containers keep their cluster-wide numeric id so cross-DAG reuse
+    /// shows as one entity.
+    pub entity_id: String,
+    /// First time the entity was seen, ms.
+    pub start_time_ms: u64,
+    /// Last terminal event time, ms (0 until one is seen).
+    pub end_time_ms: u64,
+    /// Lifecycle events in record order.
+    pub events: Vec<EntityEvent>,
+    /// Indexed key → values pairs a query can filter on.
+    pub primary_filters: BTreeMap<String, BTreeSet<String>>,
+    /// Typed edges: related entity type → ids.
+    pub related_entities: BTreeMap<String, BTreeSet<String>>,
+    /// Free-form facts (numbers serialized as decimal strings).
+    pub other_info: BTreeMap<String, String>,
+}
+
+impl HistoryEntity {
+    fn new(entity_type: &str, entity_id: String, ts_ms: u64) -> Self {
+        HistoryEntity {
+            entity_type: entity_type.to_string(),
+            entity_id,
+            start_time_ms: ts_ms,
+            ..HistoryEntity::default()
+        }
+    }
+
+    /// Whether filter `key` holds `value`.
+    pub fn has_filter(&self, key: &str, value: &str) -> bool {
+        self.primary_filters
+            .get(key)
+            .is_some_and(|vs| vs.contains(value))
+    }
+
+    /// Related ids of `entity_type`, if any.
+    pub fn related(&self, entity_type: &str) -> Option<&BTreeSet<String>> {
+        self.related_entities.get(entity_type)
+    }
+
+    fn add_event(&mut self, ts_ms: u64, event_type: &str) {
+        self.start_time_ms = self.start_time_ms.min(ts_ms);
+        self.events.push(EntityEvent {
+            ts_ms,
+            event_type: event_type.to_string(),
+        });
+    }
+
+    fn add_filter(&mut self, key: &str, value: &str) {
+        self.primary_filters
+            .entry(key.to_string())
+            .or_default()
+            .insert(value.to_string());
+    }
+
+    fn relate(&mut self, entity_type: &str, id: &str) {
+        self.related_entities
+            .entry(entity_type.to_string())
+            .or_default()
+            .insert(id.to_string());
+    }
+
+    fn set_info(&mut self, key: &str, value: impl ToString) {
+        self.other_info.insert(key.to_string(), value.to_string());
+    }
+
+    fn to_json(&self) -> String {
+        let events = array(self.events.iter().map(|e| {
+            Obj::new()
+                .num("ts", e.ts_ms)
+                .str("type", &e.event_type)
+                .finish()
+        }));
+        let mut filters = String::from("{");
+        for (i, (k, vs)) in self.primary_filters.iter().enumerate() {
+            if i > 0 {
+                filters.push(',');
+            }
+            esc(&mut filters, k);
+            filters.push(':');
+            filters.push_str(&array(vs.iter().map(|v| {
+                let mut s = String::new();
+                esc(&mut s, v);
+                s
+            })));
+        }
+        filters.push('}');
+        let mut related = String::from("{");
+        for (i, (k, vs)) in self.related_entities.iter().enumerate() {
+            if i > 0 {
+                related.push(',');
+            }
+            esc(&mut related, k);
+            related.push(':');
+            related.push_str(&array(vs.iter().map(|v| {
+                let mut s = String::new();
+                esc(&mut s, v);
+                s
+            })));
+        }
+        related.push('}');
+        let mut info = String::from("{");
+        for (i, (k, v)) in self.other_info.iter().enumerate() {
+            if i > 0 {
+                info.push(',');
+            }
+            esc(&mut info, k);
+            info.push(':');
+            esc(&mut info, v);
+        }
+        info.push('}');
+        Obj::new()
+            .str("entitytype", &self.entity_type)
+            .str("entity", &self.entity_id)
+            .num("starttime", self.start_time_ms)
+            .num("endtime", self.end_time_ms)
+            .raw("events", &events)
+            .raw("primaryfilters", &filters)
+            .raw("relatedentities", &related)
+            .raw("otherinfo", &info)
+            .finish()
+    }
+}
+
+/// Qualified vertex entity id.
+pub fn vertex_id(dag: &str, vertex: &str) -> String {
+    format!("{dag}/{vertex}")
+}
+
+/// Qualified attempt entity id.
+pub fn attempt_id(dag: &str, vertex: &str, task: u64, attempt: u64) -> String {
+    format!("{dag}/{vertex}/{task}/{attempt}")
+}
+
+/// Container entity id (cluster-wide numeric id, unqualified).
+pub fn container_id(container: u64) -> String {
+    format!("{container}")
+}
+
+/// The append-only entity store. Ingest reports, then query.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryStore {
+    // Keyed by (type, id) for merging; `order` preserves first-seen order
+    // for queries.
+    entities: BTreeMap<(String, String), HistoryEntity>,
+    order: Vec<(String, String)>,
+}
+
+impl HistoryStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store over a set of finished reports (e.g. one session).
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> Self {
+        let mut store = HistoryStore::new();
+        for r in reports {
+            store.ingest_report(r);
+        }
+        store
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the store holds no entity.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Look up one entity by type and id.
+    pub fn entity(&self, entity_type: &str, entity_id: &str) -> Option<&HistoryEntity> {
+        self.entities
+            .get(&(entity_type.to_string(), entity_id.to_string()))
+    }
+
+    /// Start a query over the store.
+    pub fn query(&self) -> HistoryQuery<'_> {
+        HistoryQuery {
+            store: self,
+            entity_type: None,
+            filter: None,
+            window: None,
+        }
+    }
+
+    fn upsert(&mut self, entity_type: &str, entity_id: String, ts_ms: u64) -> &mut HistoryEntity {
+        let key = (entity_type.to_string(), entity_id);
+        if !self.entities.contains_key(&key) {
+            self.order.push(key.clone());
+            self.entities.insert(
+                key.clone(),
+                HistoryEntity::new(entity_type, key.1.clone(), ts_ms),
+            );
+        }
+        self.entities.get_mut(&key).expect("just inserted")
+    }
+
+    /// Replay one report's timeline into entities. DAG-scoped entity ids
+    /// are qualified by the report's DAG name; containers merge across
+    /// reports so cross-DAG reuse is visible on one entity.
+    pub fn ingest_report(&mut self, report: &RunReport) {
+        let dag = report.dag.clone();
+        let d = self.upsert(entity_types::DAG, dag.clone(), report.submitted_ms);
+        d.end_time_ms = report.finished_ms;
+        d.add_filter("status", &report.status);
+        d.set_info("runtime_ms", report.runtime_ms());
+
+        for e in &report.timeline.events {
+            let ts = e.ts_ms;
+            let name = e.kind.type_name();
+            match &e.kind {
+                EventKind::DagSubmitted { .. } | EventKind::DagFinished { .. } => {
+                    self.upsert(entity_types::DAG, dag.clone(), ts)
+                        .add_event(ts, name);
+                }
+                EventKind::VertexStarted {
+                    vertex,
+                    parallelism,
+                }
+                | EventKind::VertexReconfigured {
+                    vertex,
+                    parallelism,
+                } => {
+                    let vid = vertex_id(&dag, vertex);
+                    let v = self.upsert(entity_types::VERTEX, vid.clone(), ts);
+                    v.add_event(ts, name);
+                    v.add_filter("dag", &dag);
+                    v.add_filter("vertex", vertex);
+                    v.set_info("parallelism", parallelism);
+                    let d = self.upsert(entity_types::DAG, dag.clone(), ts);
+                    d.relate(entity_types::VERTEX, &vid);
+                }
+                EventKind::VertexFinished { vertex } => {
+                    let vid = vertex_id(&dag, vertex);
+                    let v = self.upsert(entity_types::VERTEX, vid, ts);
+                    v.add_event(ts, name);
+                    v.end_time_ms = ts;
+                }
+                EventKind::AttemptScheduled {
+                    vertex,
+                    task,
+                    attempt,
+                    speculative,
+                } => {
+                    let aid = attempt_id(&dag, vertex, *task, *attempt);
+                    let vid = vertex_id(&dag, vertex);
+                    let a = self.upsert(entity_types::ATTEMPT, aid.clone(), ts);
+                    a.add_event(ts, name);
+                    a.add_filter("dag", &dag);
+                    a.add_filter("vertex", &vid);
+                    if *speculative {
+                        a.add_filter("speculative", "1");
+                    }
+                    let v = self.upsert(entity_types::VERTEX, vid, ts);
+                    v.relate(entity_types::ATTEMPT, &aid);
+                }
+                EventKind::AttemptAssigned {
+                    vertex,
+                    task,
+                    attempt,
+                    container,
+                    ..
+                }
+                | EventKind::AttemptLaunched {
+                    vertex,
+                    task,
+                    attempt,
+                    container,
+                    ..
+                } => {
+                    let aid = attempt_id(&dag, vertex, *task, *attempt);
+                    let cid = container_id(*container);
+                    let a = self.upsert(entity_types::ATTEMPT, aid.clone(), ts);
+                    a.add_event(ts, name);
+                    a.relate(entity_types::CONTAINER, &cid);
+                    let c = self.upsert(entity_types::CONTAINER, cid, ts);
+                    c.add_event(ts, name);
+                    c.relate(entity_types::ATTEMPT, &aid);
+                    let d = self.upsert(entity_types::DAG, dag.clone(), ts);
+                    d.relate(entity_types::CONTAINER, &container_id(*container));
+                }
+                EventKind::AttemptFinished {
+                    vertex,
+                    task,
+                    attempt,
+                    container,
+                    status,
+                } => {
+                    let aid = attempt_id(&dag, vertex, *task, *attempt);
+                    let a = self.upsert(entity_types::ATTEMPT, aid, ts);
+                    a.add_event(ts, name);
+                    a.end_time_ms = ts;
+                    a.add_filter("status", status);
+                    a.set_info("container", container);
+                }
+                EventKind::ContainerAllocated {
+                    container,
+                    node,
+                    locality: _,
+                    waited_ms,
+                    ..
+                } => {
+                    let c = self.upsert(entity_types::CONTAINER, container_id(*container), ts);
+                    c.add_event(ts, name);
+                    c.add_filter("node", &node.to_string());
+                    c.set_info("queue_wait_ms", waited_ms);
+                }
+                EventKind::ContainerReleased { container, .. }
+                | EventKind::ContainerPreempted { container, .. }
+                | EventKind::ContainerLost { container, .. } => {
+                    let c = self.upsert(entity_types::CONTAINER, container_id(*container), ts);
+                    c.add_event(ts, name);
+                    c.end_time_ms = ts;
+                }
+                _ => {}
+            }
+        }
+
+        // Durable facts from the structured report sections: spans give
+        // attempts exact start/end even when the timeline slice started
+        // mid-flight, and vertex counters become vertex otherinfo.
+        for a in &report.attempts {
+            let aid = attempt_id(&dag, &a.vertex, a.task, a.attempt);
+            let ent = self.upsert(entity_types::ATTEMPT, aid, a.start_ms);
+            ent.set_info("start_ms", a.start_ms);
+            ent.set_info("end_ms", a.end_ms);
+            ent.set_info("duration_ms", a.end_ms.saturating_sub(a.start_ms));
+            if ent.end_time_ms == 0 {
+                ent.end_time_ms = a.end_ms;
+            }
+        }
+        for (vname, counters) in &report.vertex_counters {
+            let vid = vertex_id(&dag, vname);
+            let v = self.upsert(entity_types::VERTEX, vid, report.submitted_ms);
+            for (k, val) in counters.iter() {
+                v.set_info(&format!("counter:{k}"), val);
+            }
+        }
+    }
+
+    /// Deterministic JSON export: `{"entities":[...]}` sorted by
+    /// `(entitytype, entity)`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"entities\":[");
+        for (i, e) in self.entities.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Builder-style query: filter by entity type, one primary filter, and a
+/// start-time window, then [`HistoryQuery::run`].
+pub struct HistoryQuery<'a> {
+    store: &'a HistoryStore,
+    entity_type: Option<String>,
+    filter: Option<(String, String)>,
+    window: Option<(u64, u64)>,
+}
+
+impl<'a> HistoryQuery<'a> {
+    /// Keep only entities of `t`.
+    pub fn entity_type(mut self, t: &str) -> Self {
+        self.entity_type = Some(t.to_string());
+        self
+    }
+
+    /// Keep only entities whose primary filter `key` holds `value`.
+    pub fn filter(mut self, key: &str, value: &str) -> Self {
+        self.filter = Some((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Keep only entities whose start time lies in `[from_ms, to_ms]`.
+    pub fn window(mut self, from_ms: u64, to_ms: u64) -> Self {
+        self.window = Some((from_ms, to_ms));
+        self
+    }
+
+    /// Execute; results come back in first-ingested order.
+    pub fn run(self) -> Vec<&'a HistoryEntity> {
+        self.store
+            .order
+            .iter()
+            .filter_map(|k| self.store.entities.get(k))
+            .filter(|e| {
+                if let Some(t) = &self.entity_type {
+                    if &e.entity_type != t {
+                        return false;
+                    }
+                }
+                if let Some((k, v)) = &self.filter {
+                    if !e.has_filter(k, v) {
+                        return false;
+                    }
+                }
+                if let Some((from, to)) = self.window {
+                    if e.start_time_ms < from || e.start_time_ms > to {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_report::AttemptSpan;
+    use crate::timeline::Timeline;
+
+    fn sample_report() -> RunReport {
+        let mut t = Timeline::new();
+        t.record(10, 1, EventKind::DagSubmitted { dag: "d1".into() });
+        t.record(
+            12,
+            1,
+            EventKind::VertexStarted {
+                vertex: "map".into(),
+                parallelism: 2,
+            },
+        );
+        t.record(
+            15,
+            1,
+            EventKind::AttemptScheduled {
+                vertex: "map".into(),
+                task: 0,
+                attempt: 0,
+                speculative: false,
+            },
+        );
+        t.record(
+            20,
+            1,
+            EventKind::ContainerAllocated {
+                container: 7,
+                node: 2,
+                vcores: 1,
+                locality: crate::run_report::Locality::NodeLocal,
+                waited_ms: 5,
+                relaxed: false,
+            },
+        );
+        t.record(
+            25,
+            1,
+            EventKind::AttemptLaunched {
+                vertex: "map".into(),
+                task: 0,
+                attempt: 0,
+                container: 7,
+                launch_ms: 5,
+                backoff_ms: 0,
+                fetch_ms: 0,
+            },
+        );
+        t.record(
+            80,
+            1,
+            EventKind::AttemptFinished {
+                vertex: "map".into(),
+                task: 0,
+                attempt: 0,
+                container: 7,
+                status: "succeeded".into(),
+            },
+        );
+        t.record(
+            90,
+            1,
+            EventKind::VertexFinished {
+                vertex: "map".into(),
+            },
+        );
+        t.record(
+            95,
+            1,
+            EventKind::DagFinished {
+                dag: "d1".into(),
+                status: "succeeded".into(),
+            },
+        );
+        let mut vc = std::collections::BTreeMap::new();
+        let mut c = crate::Counters::new();
+        c.add("BYTES_READ", 64);
+        vc.insert("map".to_string(), c);
+        RunReport {
+            dag: "d1".into(),
+            status: "succeeded".into(),
+            submitted_ms: 10,
+            finished_ms: 95,
+            attempts: vec![AttemptSpan {
+                vertex: "map".into(),
+                task: 0,
+                attempt: 0,
+                container: 7,
+                start_ms: 25,
+                end_ms: 80,
+                status: "succeeded".into(),
+                speculative: false,
+            }],
+            vertex_counters: vc,
+            timeline: t,
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn entities_link_dag_vertex_attempt_container() {
+        let store = HistoryStore::from_reports([&sample_report()]);
+        let dag = store.entity(entity_types::DAG, "d1").unwrap();
+        assert!(dag
+            .related(entity_types::VERTEX)
+            .unwrap()
+            .contains("d1/map"));
+        assert!(dag.related(entity_types::CONTAINER).unwrap().contains("7"));
+        assert_eq!(dag.end_time_ms, 95);
+        let v = store.entity(entity_types::VERTEX, "d1/map").unwrap();
+        assert!(v
+            .related(entity_types::ATTEMPT)
+            .unwrap()
+            .contains("d1/map/0/0"));
+        assert_eq!(v.other_info["counter:BYTES_READ"], "64");
+        let a = store.entity(entity_types::ATTEMPT, "d1/map/0/0").unwrap();
+        assert!(a.related(entity_types::CONTAINER).unwrap().contains("7"));
+        assert!(a.has_filter("status", "succeeded"));
+        assert_eq!(a.other_info["duration_ms"], "55");
+        let c = store.entity(entity_types::CONTAINER, "7").unwrap();
+        assert!(c
+            .related(entity_types::ATTEMPT)
+            .unwrap()
+            .contains("d1/map/0/0"));
+        assert!(c.has_filter("node", "2"));
+    }
+
+    #[test]
+    fn queries_filter_by_type_filter_and_window() {
+        let store = HistoryStore::from_reports([&sample_report()]);
+        let verts = store.query().entity_type(entity_types::VERTEX).run();
+        assert_eq!(verts.len(), 1);
+        let by_dag = store
+            .query()
+            .entity_type(entity_types::ATTEMPT)
+            .filter("dag", "d1")
+            .run();
+        assert_eq!(by_dag.len(), 1);
+        assert!(store.query().filter("status", "failed").run().is_empty());
+        // The container first appears at ts 20.
+        assert_eq!(store.query().window(0, 19).run().len(), 3);
+        assert_eq!(
+            store
+                .query()
+                .entity_type(entity_types::CONTAINER)
+                .window(20, 20)
+                .run()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic_and_merge_spans_reports() {
+        let r = sample_report();
+        let a = HistoryStore::from_reports([&r]);
+        let b = HistoryStore::from_reports([&r]);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().starts_with("{\"entities\":[{\"entitytype\":"));
+        // A second DAG reusing container 7 merges into one entity with
+        // attempts from both DAGs.
+        let mut r2 = sample_report();
+        r2.dag = "d2".into();
+        let mut t = Timeline::new();
+        for mut e in sample_report().timeline.events {
+            if let EventKind::DagSubmitted { dag } = &mut e.kind {
+                *dag = "d2".into();
+            }
+            t.record(e.ts_ms + 100, e.app, e.kind);
+        }
+        r2.timeline = t;
+        r2.submitted_ms += 100;
+        r2.finished_ms += 100;
+        let merged = HistoryStore::from_reports([&r, &r2]);
+        let c = merged.entity(entity_types::CONTAINER, "7").unwrap();
+        let rel = c.related(entity_types::ATTEMPT).unwrap();
+        assert!(rel.contains("d1/map/0/0") && rel.contains("d2/map/0/0"));
+    }
+}

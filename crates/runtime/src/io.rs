@@ -105,6 +105,12 @@ pub trait LogicalInput: Send {
     fn remote_bytes(&self) -> u64 {
         0
     }
+
+    /// Physical shards fetched from the shuffle service (0 for root
+    /// inputs, which read splits rather than shards).
+    fn shards_fetched(&self) -> u64 {
+        0
+    }
 }
 
 /// One materialized output partition, ready for the data service.

@@ -30,10 +30,12 @@ pub mod counters;
 pub mod env;
 pub mod error;
 pub mod events;
+pub mod history;
 pub mod initializer;
 pub mod io;
 mod json;
 pub mod kv;
+pub mod metrics;
 pub mod registry;
 pub mod run_report;
 pub mod timeline;
@@ -47,6 +49,7 @@ pub use env::{
 };
 pub use error::TaskError;
 pub use events::{DataMovementEvent, InputReadError, OutboundEvent, ShardLocator};
+pub use history::{entity_types, HistoryEntity, HistoryQuery, HistoryStore};
 pub use initializer::{InitializerContext, InitializerResult, InputInitializer, InputSplit};
 pub use io::{
     InputSource, InputSpec, LogicalInput, LogicalOutput, NamedInput, NamedOutput, OutputCommit,
@@ -54,6 +57,10 @@ pub use io::{
     TaskSpec,
 };
 pub use kv::{InputReader, KvGroup, KvGroupReader, KvReader, KvWriter};
+pub use metrics::{
+    detect_stragglers, metric_names, progress_at, render_progress, DagMetrics, Histogram,
+    MetricsRegistry, ScopeMetrics, StragglerFlag, VertexProgress,
+};
 pub use registry::ComponentRegistry;
 pub use run_report::{
     render_gantt, AttemptSpan, ContainerStats, EdgeStats, Locality, RunReport, SchedulerStats,

@@ -1,0 +1,974 @@
+//! Hierarchical metrics registry: counters and latency histograms rolled up
+//! task → vertex → DAG → app (paper §2 "publishing metrics and statistics",
+//! §7 Tez UI).
+//!
+//! The flat [`Counters`] bag gives per-task totals; this module adds the
+//! aggregation layers the Timeline Server / Tez UI stack provides in the
+//! Java implementation: every counter a task reports is merged into its
+//! vertex, its DAG and the app-wide scope, and latency-shaped measurements
+//! (attempt duration, scheduler queue wait, shuffle fetch latency, spill
+//! size) are recorded into fixed-bucket log2 [`Histogram`]s so p50/p95/p99
+//! survive aggregation without storing raw samples.
+//!
+//! Everything here is integer-only and ordered by `BTreeMap`, so the JSON
+//! and Prometheus expositions are byte-identical across same-seed runs and
+//! worker counts, like the run report and Chrome trace.
+
+use crate::counters::Counters;
+use crate::json::{array, esc, Obj};
+use crate::run_report::RunReport;
+use crate::timeline::EventKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Well-known histogram names recorded by the built-in components.
+pub mod metric_names {
+    /// Task-attempt execution span (work start to terminal event), ms.
+    pub const ATTEMPT_DURATION_MS: &str = "attempt_duration_ms";
+    /// Container-request wait in the RM queue (creation to placement), ms.
+    pub const QUEUE_WAIT_MS: &str = "scheduler_queue_wait_ms";
+    /// Per-shard shuffle fetch latency (backoff plus simulated remote
+    /// read), ms.
+    pub const SHUFFLE_FETCH_LATENCY_MS: &str = "shuffle_fetch_latency_ms";
+    /// Producer-side sorter spill size, bytes.
+    pub const SPILL_SIZE_BYTES: &str = "spill_size_bytes";
+    /// Data-plane payloads handed to the worker pool (a counter, not a
+    /// histogram — submission order is control-plane driven, so the count
+    /// is identical at any worker count).
+    pub const POOL_JOBS_SUBMITTED: &str = "POOL_JOBS_SUBMITTED";
+}
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i - 1]` (bucket 64 saturates at
+/// `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-bucket log2 histogram over `u64` samples.
+///
+/// Stores only per-bucket counts plus the exact sum — no raw samples, no
+/// min/max — which keeps [`Histogram::merge`] and [`Histogram::delta_since`]
+/// closed under bucket-wise arithmetic: a per-DAG slice of an app-lifetime
+/// accumulator is itself a well-formed histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (what quantiles report).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The `pct`-th percentile (0..=100), reported as the inclusive upper
+    /// bound of the bucket holding that rank. 0 when empty.
+    pub fn quantile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Ceil of count*pct/100 in u128 so huge counts cannot overflow.
+        let target = ((self.count as u128 * pct as u128).div_ceil(100)).max(1);
+        let mut seen = 0u128;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c as u128;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50)
+    }
+
+    /// 95th percentile (upper bucket bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(95)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(99)
+    }
+
+    /// Merge another histogram into this one (bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded since `base` was snapshotted (bucket-wise
+    /// subtraction) — the per-DAG attribution pattern used for
+    /// app-lifetime accumulators like the RM queue-wait histogram.
+    pub fn delta_since(&self, base: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (&cur, &b)) in self.buckets.iter().zip(base.buckets.iter()).enumerate() {
+            out.buckets[i] = cur.saturating_sub(b);
+        }
+        out.count = self.count.saturating_sub(base.count);
+        out.sum = self.sum.saturating_sub(base.sum);
+        out
+    }
+
+    /// Deterministic JSON: count, sum, the three standard quantiles, and
+    /// the non-empty buckets as `[upper_bound, count]` pairs in index
+    /// order.
+    pub fn to_json(&self) -> String {
+        let buckets = array(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("[{},{}]", bucket_upper(i), c)),
+        );
+        Obj::new()
+            .num("count", self.count)
+            .num("sum", self.sum)
+            .num("p50", self.p50())
+            .num("p95", self.p95())
+            .num("p99", self.p99())
+            .raw("buckets", &buckets)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry hierarchy
+// ---------------------------------------------------------------------------
+
+/// One aggregation scope: a counter bag plus named histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScopeMetrics {
+    /// Counter rollup at this scope.
+    pub counters: Counters,
+    /// Named latency/size distributions at this scope.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl ScopeMetrics {
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    fn record_value(&mut self, hist: &str, v: u64) {
+        self.histograms
+            .entry(hist.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    fn merge_histogram(&mut self, hist: &str, other: &Histogram) {
+        if !other.is_empty() {
+            self.histograms
+                .entry(hist.to_string())
+                .or_default()
+                .merge(other);
+        }
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .raw("counters", &counters_fragment(&self.counters))
+            .raw("histograms", &histograms_fragment(&self.histograms))
+            .finish()
+    }
+}
+
+/// DAG-level scope plus its per-vertex children.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DagMetrics {
+    /// Rollup across the whole DAG.
+    pub scope: ScopeMetrics,
+    /// Per-vertex scopes, keyed by vertex name.
+    pub vertices: BTreeMap<String, ScopeMetrics>,
+}
+
+impl DagMetrics {
+    fn to_json(&self) -> String {
+        let mut verts = String::from("{");
+        for (i, (name, s)) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                verts.push(',');
+            }
+            esc(&mut verts, name);
+            verts.push(':');
+            verts.push_str(&s.to_json());
+        }
+        verts.push('}');
+        Obj::new()
+            .raw("counters", &counters_fragment(&self.scope.counters))
+            .raw("histograms", &histograms_fragment(&self.scope.histograms))
+            .raw("vertices", &verts)
+            .finish()
+    }
+}
+
+fn counters_fragment(c: &Counters) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in c.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+    out
+}
+
+fn histograms_fragment(h: &BTreeMap<String, Histogram>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, hist)) in h.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, k);
+        out.push(':');
+        out.push_str(&hist.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// The app-wide registry: one app scope plus per-DAG children. Every
+/// record targeted at a vertex also lands in its DAG and the app scope,
+/// so each level reads as a complete rollup on its own.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Rollup across the whole app (session).
+    pub app: ScopeMetrics,
+    /// Per-DAG registries, keyed by DAG name.
+    pub dags: BTreeMap<String, DagMetrics>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure a DAG scope exists (so a DAG with no samples still appears
+    /// in the export).
+    pub fn begin_dag(&mut self, dag: &str) {
+        self.dags.entry(dag.to_string()).or_default();
+    }
+
+    /// Merge one task attempt's counter bag into its vertex, DAG and app
+    /// scopes.
+    pub fn record_task_counters(&mut self, dag: &str, vertex: &str, counters: &Counters) {
+        if counters.is_empty() {
+            return;
+        }
+        self.app.counters.merge(counters);
+        let d = self.dags.entry(dag.to_string()).or_default();
+        d.scope.counters.merge(counters);
+        d.vertices
+            .entry(vertex.to_string())
+            .or_default()
+            .counters
+            .merge(counters);
+    }
+
+    /// Add to a named counter at DAG scope (and the app rollup).
+    pub fn add_dag_counter(&mut self, dag: &str, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        self.app.add_counter(name, delta);
+        self.dags
+            .entry(dag.to_string())
+            .or_default()
+            .scope
+            .add_counter(name, delta);
+    }
+
+    /// Record one sample into a named histogram at vertex scope (when
+    /// `vertex` is given), DAG scope, and the app rollup.
+    pub fn record_value(&mut self, dag: &str, vertex: Option<&str>, hist: &str, v: u64) {
+        self.app.record_value(hist, v);
+        let d = self.dags.entry(dag.to_string()).or_default();
+        d.scope.record_value(hist, v);
+        if let Some(vname) = vertex {
+            d.vertices
+                .entry(vname.to_string())
+                .or_default()
+                .record_value(hist, v);
+        }
+    }
+
+    /// Merge a pre-aggregated histogram into a DAG scope (and the app
+    /// rollup) — used for per-DAG deltas of app-lifetime accumulators
+    /// like the RM queue-wait histogram.
+    pub fn merge_histogram(&mut self, dag: &str, hist: &str, other: &Histogram) {
+        if other.is_empty() {
+            return;
+        }
+        self.app.merge_histogram(hist, other);
+        self.dags
+            .entry(dag.to_string())
+            .or_default()
+            .scope
+            .merge_histogram(hist, other);
+    }
+
+    /// Metrics for one DAG, if any were recorded.
+    pub fn dag(&self, name: &str) -> Option<&DagMetrics> {
+        self.dags.get(name)
+    }
+
+    /// Deterministic JSON export of the whole hierarchy.
+    pub fn to_json(&self) -> String {
+        let mut dags = String::from("{");
+        for (i, (name, d)) in self.dags.iter().enumerate() {
+            if i > 0 {
+                dags.push(',');
+            }
+            esc(&mut dags, name);
+            dags.push(':');
+            dags.push_str(&d.to_json());
+        }
+        dags.push('}');
+        Obj::new()
+            .raw("app", &self.app.to_json())
+            .raw("dags", &dags)
+            .finish()
+    }
+
+    /// Prometheus text-format exposition of the whole hierarchy.
+    ///
+    /// Counters become `tez_counter_total{scope,dag,vertex,counter}`
+    /// samples; each histogram becomes a standard Prometheus histogram
+    /// family (`_bucket{le=...}` cumulative, `_sum`, `_count`) named
+    /// `tez_<name>`. Scopes are emitted app → DAG → vertex, maps in key
+    /// order, so the exposition is byte-identical across same-seed runs.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE tez_counter_total counter\n");
+        write_counter_samples(&mut out, &self.app.counters, "app", None, None);
+        for (dag, d) in &self.dags {
+            write_counter_samples(&mut out, &d.scope.counters, "dag", Some(dag), None);
+            for (vertex, v) in &d.vertices {
+                write_counter_samples(&mut out, &v.counters, "vertex", Some(dag), Some(vertex));
+            }
+        }
+
+        // Collect the union of histogram names across all scopes so each
+        // family gets exactly one TYPE header.
+        let mut names: Vec<&str> = self.app.histograms.keys().map(String::as_str).collect();
+        for d in self.dags.values() {
+            for k in d.scope.histograms.keys() {
+                names.push(k);
+            }
+            for v in d.vertices.values() {
+                for k in v.histograms.keys() {
+                    names.push(k);
+                }
+            }
+        }
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            let _ = writeln!(out, "# TYPE tez_{name} histogram");
+            if let Some(h) = self.app.histograms.get(name) {
+                write_histogram_samples(&mut out, name, h, "app", None, None);
+            }
+            for (dag, d) in &self.dags {
+                if let Some(h) = d.scope.histograms.get(name) {
+                    write_histogram_samples(&mut out, name, h, "dag", Some(dag), None);
+                }
+                for (vertex, v) in &d.vertices {
+                    if let Some(h) = v.histograms.get(name) {
+                        write_histogram_samples(
+                            &mut out,
+                            name,
+                            h,
+                            "vertex",
+                            Some(dag),
+                            Some(vertex),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn prom_label(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn labels(
+    scope: &str,
+    dag: Option<&str>,
+    vertex: Option<&str>,
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut out = String::from("{scope=\"");
+    prom_label(&mut out, scope);
+    out.push('"');
+    if let Some(d) = dag {
+        out.push_str(",dag=\"");
+        prom_label(&mut out, d);
+        out.push('"');
+    }
+    if let Some(v) = vertex {
+        out.push_str(",vertex=\"");
+        prom_label(&mut out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        out.push(',');
+        out.push_str(k);
+        out.push_str("=\"");
+        prom_label(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn write_counter_samples(
+    out: &mut String,
+    counters: &Counters,
+    scope: &str,
+    dag: Option<&str>,
+    vertex: Option<&str>,
+) {
+    for (name, value) in counters.iter() {
+        let _ = writeln!(
+            out,
+            "tez_counter_total{} {}",
+            labels(scope, dag, vertex, Some(("counter", name))),
+            value
+        );
+    }
+}
+
+fn write_histogram_samples(
+    out: &mut String,
+    name: &str,
+    h: &Histogram,
+    scope: &str,
+    dag: Option<&str>,
+    vertex: Option<&str>,
+) {
+    let base = labels(scope, dag, vertex, None);
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        let c = h.bucket_count(i);
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = if i >= 64 {
+            String::from("+Inf")
+        } else {
+            format!("{}", bucket_upper(i))
+        };
+        let _ = writeln!(
+            out,
+            "tez_{name}_bucket{} {}",
+            labels(scope, dag, vertex, Some(("le", &le))),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "tez_{name}_bucket{} {}",
+        labels(scope, dag, vertex, Some(("le", "+Inf"))),
+        h.count()
+    );
+    let _ = writeln!(out, "tez_{name}_sum{} {}", base, h.sum());
+    let _ = writeln!(out, "tez_{name}_count{} {}", base, h.count());
+}
+
+// ---------------------------------------------------------------------------
+// Live per-vertex progress (derived from the timeline)
+// ---------------------------------------------------------------------------
+
+/// Attempt-state counts for one vertex at a point in simulated time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexProgress {
+    /// Vertex name.
+    pub vertex: String,
+    /// Distinct tasks ever scheduled for this vertex (final parallelism).
+    pub total_tasks: u64,
+    /// Attempts launched but not yet terminal at the probe time.
+    pub running: u64,
+    /// Attempts that finished `"succeeded"` by the probe time.
+    pub succeeded: u64,
+    /// Attempts that finished `"failed"` by the probe time.
+    pub failed: u64,
+    /// Attempts that finished `"killed"` by the probe time.
+    pub killed: u64,
+}
+
+/// Per-vertex attempt-state counts at simulated time `ts_ms`, derived
+/// from the report's timeline. Vertices appear in first-scheduled order.
+/// Probing at `finished_ms` gives the terminal picture; earlier probes
+/// replay the run as the AM saw it.
+pub fn progress_at(report: &RunReport, ts_ms: u64) -> Vec<VertexProgress> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_vertex: BTreeMap<String, VertexProgress> = BTreeMap::new();
+    let mut tasks: BTreeMap<String, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for e in &report.timeline.events {
+        match &e.kind {
+            EventKind::AttemptScheduled { vertex, task, .. } => {
+                if !by_vertex.contains_key(vertex) {
+                    order.push(vertex.clone());
+                    by_vertex.insert(
+                        vertex.clone(),
+                        VertexProgress {
+                            vertex: vertex.clone(),
+                            ..VertexProgress::default()
+                        },
+                    );
+                }
+                tasks.entry(vertex.clone()).or_default().insert(*task);
+            }
+            EventKind::AttemptLaunched { vertex, .. } if e.ts_ms <= ts_ms => {
+                if let Some(p) = by_vertex.get_mut(vertex) {
+                    p.running += 1;
+                }
+            }
+            EventKind::AttemptFinished { vertex, status, .. } if e.ts_ms <= ts_ms => {
+                if let Some(p) = by_vertex.get_mut(vertex) {
+                    // Terminal events may close attempts killed before
+                    // launch; only decrement what was counted running.
+                    p.running = p.running.saturating_sub(1);
+                    match status.as_str() {
+                        "succeeded" => p.succeeded += 1,
+                        "failed" => p.failed += 1,
+                        _ => p.killed += 1,
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    order
+        .into_iter()
+        .map(|v| {
+            let mut p = by_vertex.remove(&v).expect("vertex recorded");
+            p.total_tasks = tasks.get(&p.vertex).map(|t| t.len() as u64).unwrap_or(0);
+            p
+        })
+        .collect()
+}
+
+/// Render progress rows as ASCII bars: fill tracks succeeded tasks over
+/// the vertex's final parallelism.
+pub fn render_progress(rows: &[VertexProgress], width: usize) -> String {
+    let width = width.max(4);
+    let name_w = rows
+        .iter()
+        .map(|r| r.vertex.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    for r in rows {
+        let total = r.total_tasks.max(1);
+        let filled = ((r.succeeded.min(total) as usize) * width) / total as usize;
+        let mut bar = String::with_capacity(width);
+        for i in 0..width {
+            bar.push(if i < filled { '#' } else { '.' });
+        }
+        let _ = writeln!(
+            out,
+            "  {:<name_w$} [{bar}] {}/{} done, {} running, {} failed, {} killed",
+            r.vertex, r.succeeded, r.total_tasks, r.running, r.failed, r.killed
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Straggler detection (histogram-based, over finished reports)
+// ---------------------------------------------------------------------------
+
+/// Minimum succeeded attempts a vertex needs before outliers are flagged.
+pub const STRAGGLER_MIN_SAMPLES: u64 = 4;
+
+/// Duration multiple of the vertex median beyond which an attempt is
+/// flagged.
+pub const STRAGGLER_FACTOR: u64 = 2;
+
+/// One flagged outlier attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StragglerFlag {
+    /// Vertex name.
+    pub vertex: String,
+    /// Task index.
+    pub task: u64,
+    /// Attempt number.
+    pub attempt: u64,
+    /// The attempt's execution span, ms.
+    pub duration_ms: u64,
+    /// The vertex's median duration (histogram bucket upper bound), ms.
+    pub vertex_p50_ms: u64,
+    /// Flagging threshold that was exceeded, ms.
+    pub threshold_ms: u64,
+}
+
+impl StragglerFlag {
+    pub(crate) fn to_json(&self) -> String {
+        Obj::new()
+            .str("vertex", &self.vertex)
+            .num("task", self.task)
+            .num("attempt", self.attempt)
+            .num("duration_ms", self.duration_ms)
+            .num("vertex_p50_ms", self.vertex_p50_ms)
+            .num("threshold_ms", self.threshold_ms)
+            .finish()
+    }
+}
+
+/// Flag succeeded attempts whose duration exceeds
+/// [`STRAGGLER_FACTOR`] × the vertex's histogram median, for vertices
+/// with at least [`STRAGGLER_MIN_SAMPLES`] succeeded attempts. Flags come
+/// out in the report's attempt order, so the annotation is deterministic.
+pub fn detect_stragglers(report: &RunReport) -> Vec<StragglerFlag> {
+    let mut per_vertex: BTreeMap<&str, Histogram> = BTreeMap::new();
+    for a in &report.attempts {
+        if a.status == "succeeded" {
+            per_vertex
+                .entry(a.vertex.as_str())
+                .or_default()
+                .record(a.end_ms.saturating_sub(a.start_ms));
+        }
+    }
+    let mut flags = Vec::new();
+    for a in &report.attempts {
+        if a.status != "succeeded" {
+            continue;
+        }
+        let Some(h) = per_vertex.get(a.vertex.as_str()) else {
+            continue;
+        };
+        if h.count() < STRAGGLER_MIN_SAMPLES {
+            continue;
+        }
+        let p50 = h.p50().max(1);
+        let threshold = p50.saturating_mul(STRAGGLER_FACTOR);
+        let duration = a.end_ms.saturating_sub(a.start_ms);
+        if duration > threshold {
+            flags.push(StragglerFlag {
+                vertex: a.vertex.clone(),
+                task: a.task,
+                attempt: a.attempt,
+                duration_ms: duration,
+                vertex_p50_ms: p50,
+                threshold_ms: threshold,
+            });
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_report::AttemptSpan;
+
+    #[test]
+    fn bucket_boundaries_cover_the_u64_line() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v={v} i={i}");
+        }
+        // Buckets tile without gaps or overlap.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_lower(i), bucket_upper(i - 1).saturating_add(1));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_samples() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000, 5000] {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() >= 5000, "p99 at least the max sample's bucket low");
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 6116);
+        assert_eq!(h.quantile(100), bucket_upper(bucket_index(5000)));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_and_delta_are_inverse() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(100);
+        let base = a.clone();
+        a.record(7);
+        a.record(0);
+        let delta = a.delta_since(&base);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 7);
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn histogram_json_is_deterministic_and_sparse() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(j, h.to_json());
+        assert_eq!(
+            j,
+            "{\"count\":3,\"sum\":6,\"p50\":3,\"p95\":3,\"p99\":3,\"buckets\":[[0,1],[3,2]]}"
+        );
+    }
+
+    #[test]
+    fn registry_rolls_up_task_to_vertex_dag_app() {
+        let mut r = MetricsRegistry::new();
+        let mut c = Counters::new();
+        c.add("BYTES_READ", 10);
+        r.record_task_counters("dagA", "map", &c);
+        r.record_task_counters("dagA", "reduce", &c);
+        r.record_task_counters("dagB", "map", &c);
+        assert_eq!(r.app.counters.get("BYTES_READ"), 30);
+        assert_eq!(r.dag("dagA").unwrap().scope.counters.get("BYTES_READ"), 20);
+        assert_eq!(
+            r.dag("dagA").unwrap().vertices["map"]
+                .counters
+                .get("BYTES_READ"),
+            10
+        );
+        r.record_value("dagA", Some("map"), metric_names::ATTEMPT_DURATION_MS, 40);
+        assert_eq!(
+            r.app.histograms[metric_names::ATTEMPT_DURATION_MS].count(),
+            1
+        );
+        assert_eq!(
+            r.dag("dagA").unwrap().vertices["map"].histograms[metric_names::ATTEMPT_DURATION_MS]
+                .count(),
+            1
+        );
+        assert!(r.dag("dagB").unwrap().vertices["map"].histograms.is_empty());
+    }
+
+    #[test]
+    fn registry_json_and_prometheus_are_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.begin_dag("dagB");
+            r.begin_dag("dagA");
+            let mut c = Counters::new();
+            c.add("RECORDS_IN", 3);
+            r.record_task_counters("dagA", "v1", &c);
+            r.record_value("dagA", Some("v1"), metric_names::SPILL_SIZE_BYTES, 4096);
+            r.add_dag_counter("dagB", metric_names::POOL_JOBS_SUBMITTED, 2);
+            r
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        assert!(a.to_json().starts_with("{\"app\":"));
+        let prom = a.to_prometheus();
+        assert!(prom.contains("# TYPE tez_counter_total counter"));
+        assert!(prom.contains("# TYPE tez_spill_size_bytes histogram"));
+        assert!(prom.contains(
+            "tez_counter_total{scope=\"vertex\",dag=\"dagA\",vertex=\"v1\",counter=\"RECORDS_IN\"} 3"
+        ));
+        assert!(prom.contains("tez_spill_size_bytes_bucket{scope=\"app\",le=\"8191\"}"));
+        assert!(prom.contains("tez_spill_size_bytes_count{scope=\"app\"} 1"));
+        // Every histogram family closes with +Inf at the total count.
+        assert!(prom.contains("tez_spill_size_bytes_bucket{scope=\"app\",le=\"+Inf\"} 1"));
+    }
+
+    fn span(vertex: &str, task: u64, start: u64, end: u64, status: &str) -> AttemptSpan {
+        AttemptSpan {
+            vertex: vertex.into(),
+            task,
+            attempt: 0,
+            container: 1,
+            start_ms: start,
+            end_ms: end,
+            status: status.into(),
+            speculative: false,
+        }
+    }
+
+    #[test]
+    fn stragglers_need_min_samples_and_exceed_threshold() {
+        // Three quick tasks + one slow: not enough samples to flag yet.
+        let mut report = RunReport {
+            attempts: vec![
+                span("map", 0, 0, 10, "succeeded"),
+                span("map", 1, 0, 10, "succeeded"),
+                span("map", 2, 0, 10, "succeeded"),
+            ],
+            ..RunReport::default()
+        };
+        assert!(detect_stragglers(&report).is_empty());
+        report.attempts.push(span("map", 3, 0, 200, "succeeded"));
+        let flags = detect_stragglers(&report);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].task, 3);
+        assert_eq!(flags[0].duration_ms, 200);
+        assert!(flags[0].threshold_ms < 200);
+        // Failed attempts never count as stragglers or samples.
+        report.attempts.push(span("map", 4, 0, 900, "failed"));
+        assert_eq!(detect_stragglers(&report).len(), 1);
+    }
+
+    #[test]
+    fn progress_counts_attempt_states_over_time() {
+        use crate::timeline::{EventKind, Timeline};
+        let mut t = Timeline::new();
+        let sched = |v: &str, task| EventKind::AttemptScheduled {
+            vertex: v.into(),
+            task,
+            attempt: 0,
+            speculative: false,
+        };
+        let launch = |v: &str, task| EventKind::AttemptLaunched {
+            vertex: v.into(),
+            task,
+            attempt: 0,
+            container: 1,
+            launch_ms: 0,
+            backoff_ms: 0,
+            fetch_ms: 0,
+        };
+        let finish = |v: &str, task, status: &str| EventKind::AttemptFinished {
+            vertex: v.into(),
+            task,
+            attempt: 0,
+            container: 1,
+            status: status.into(),
+        };
+        t.record(0, 1, sched("map", 0));
+        t.record(0, 1, sched("map", 1));
+        t.record(5, 1, launch("map", 0));
+        t.record(5, 1, launch("map", 1));
+        t.record(50, 1, finish("map", 0, "succeeded"));
+        t.record(60, 1, sched("reduce", 0));
+        t.record(70, 1, launch("reduce", 0));
+        t.record(90, 1, finish("map", 1, "failed"));
+        t.record(120, 1, finish("reduce", 0, "succeeded"));
+        let report = RunReport {
+            timeline: t,
+            ..RunReport::default()
+        };
+        let mid = progress_at(&report, 80);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid[0].vertex, "map");
+        assert_eq!(mid[0].total_tasks, 2);
+        assert_eq!(mid[0].succeeded, 1);
+        assert_eq!(mid[0].running, 1);
+        assert_eq!(mid[1].vertex, "reduce");
+        assert_eq!(mid[1].running, 1);
+        let done = progress_at(&report, 200);
+        assert_eq!(done[0].failed, 1);
+        assert_eq!(done[0].running, 0);
+        assert_eq!(done[1].succeeded, 1);
+        let text = render_progress(&done, 10);
+        assert!(text.contains("map"));
+        assert!(text.contains("1/2 done"));
+    }
+}

@@ -171,6 +171,9 @@ pub struct RunReport {
     pub attempts: Vec<AttemptSpan>,
     /// Counter rollup across all task attempts.
     pub counters: Counters,
+    /// Per-vertex counter rollups, keyed by vertex name: the aggregation
+    /// level between the raw per-task bags and the DAG-wide rollup above.
+    pub vertex_counters: BTreeMap<String, Counters>,
     /// Structured event log for this DAG's slice of the run (plus
     /// cluster-global events such as node failures). See
     /// [`crate::timeline`].
@@ -215,6 +218,13 @@ impl RunReport {
             .iter()
             .filter(|a| a.speculative && a.status != "succeeded")
             .collect()
+    }
+
+    /// Histogram-based per-vertex outlier attempts (see
+    /// [`crate::metrics::detect_stragglers`]). Like `critical_path`, this
+    /// is derived from the attempts at call time, never stored.
+    pub fn stragglers(&self) -> Vec<crate::metrics::StragglerFlag> {
+        crate::metrics::detect_stragglers(self)
     }
 }
 
@@ -282,17 +292,33 @@ fn counters_json(c: &Counters) -> String {
     out
 }
 
+fn vertex_counters_json(vc: &BTreeMap<String, Counters>) -> String {
+    let mut out = String::from("{");
+    for (i, (vertex, c)) in vc.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        esc(&mut out, vertex);
+        out.push(':');
+        out.push_str(&counters_json(c));
+    }
+    out.push('}');
+    out
+}
+
 impl RunReport {
     /// Serialize to deterministic JSON: fixed field order, sorted counter
     /// keys, integers only. Same-seed runs produce byte-identical output.
-    /// The `critical_path` field is *derived* — recomputed from attempts
-    /// and timeline at serialization time, so it never drifts from them —
-    /// and is therefore ignored by [`RunReport::from_json`].
+    /// The `critical_path` and `stragglers` fields are *derived* —
+    /// recomputed from attempts and timeline at serialization time, so
+    /// they never drift from them — and are therefore ignored by
+    /// [`RunReport::from_json`].
     pub fn to_json(&self) -> String {
         let cp = self
             .critical_path()
             .map(|c| c.to_json())
             .unwrap_or_else(|| String::from("{}"));
+        let stragglers = array(self.stragglers().iter().map(|s| s.to_json()));
         Obj::new()
             .str("dag", &self.dag)
             .str("status", &self.status)
@@ -304,10 +330,15 @@ impl RunReport {
             .raw("attempts", &array(self.attempts.iter().map(attempt_json)))
             .raw("counters", &counters_json(&self.counters))
             .raw(
+                "vertex_counters",
+                &vertex_counters_json(&self.vertex_counters),
+            )
+            .raw(
                 "timeline",
                 &array(self.timeline.events.iter().map(event_json)),
             )
             .raw("critical_path", &cp)
+            .raw("stragglers", &stragglers)
             .finish()
     }
 }
@@ -319,8 +350,9 @@ impl RunReport {
 
 impl RunReport {
     /// Parse a document produced by [`RunReport::to_json`]. The derived
-    /// `critical_path` field is ignored; it is recomputed on the next
-    /// [`RunReport::to_json`], so round-trips stay byte-identical.
+    /// `critical_path` and `stragglers` fields are ignored; they are
+    /// recomputed on the next [`RunReport::to_json`], so round-trips stay
+    /// byte-identical.
     pub fn from_json(text: &str) -> Result<RunReport, String> {
         let mut p = Parser::new(text);
         let root = p.document()?;
@@ -389,6 +421,21 @@ impl RunReport {
                 _ => return Err(format!("counter {k:?} is not a number")),
             }
         }
+        // Documents from before vertex counters existed parse to an empty
+        // map, like the timeline below.
+        let mut vertex_counters = BTreeMap::new();
+        if let Some(v) = root.get("vertex_counters") {
+            for (vertex, bag) in as_obj(v, "vertex_counters")? {
+                let mut c = Counters::new();
+                for (k, v) in as_obj(&bag, "vertex counter bag")? {
+                    match v {
+                        JVal::Num(n) => c.add(&k, n),
+                        _ => return Err(format!("vertex counter {k:?} is not a number")),
+                    }
+                }
+                vertex_counters.insert(vertex, c);
+            }
+        }
         // Documents from before the timeline existed parse to an empty one.
         let timeline = match root.get("timeline") {
             Some(JVal::Arr(items)) => Timeline::from_events(
@@ -411,6 +458,7 @@ impl RunReport {
             edges,
             attempts,
             counters,
+            vertex_counters,
             timeline,
         })
     }
@@ -469,6 +517,19 @@ impl RunReport {
         for (k, v) in self.counters.iter() {
             let _ = writeln!(out, "    {k:>24} = {v}");
         }
+        for (vertex, c) in &self.vertex_counters {
+            let _ = writeln!(out, "  vertex {vertex}:");
+            for (k, v) in c.iter() {
+                let _ = writeln!(out, "    {k:>24} = {v}");
+            }
+        }
+        for s in self.stragglers() {
+            let _ = writeln!(
+                out,
+                "  straggler : {} task {} attempt {} ran {} ms (vertex p50 {} ms, threshold {} ms)",
+                s.vertex, s.task, s.attempt, s.duration_ms, s.vertex_p50_ms, s.threshold_ms
+            );
+        }
         out
     }
 }
@@ -520,6 +581,10 @@ mod tests {
         let mut counters = Counters::new();
         counters.add("BYTES_READ", 4096);
         counters.add("FETCH_RETRIES", 2);
+        let mut vertex_counters = BTreeMap::new();
+        let mut vc = Counters::new();
+        vc.add("BYTES_READ", 4096);
+        vertex_counters.insert("tokenizer \"quoted\"\n".to_string(), vc);
         let mut timeline = Timeline::new();
         timeline.record(
             10,
@@ -582,6 +647,7 @@ mod tests {
                 speculative: false,
             }],
             counters,
+            vertex_counters,
             timeline,
         }
     }
@@ -673,5 +739,46 @@ mod tests {
         assert!(t.contains("containers"));
         assert!(t.contains("tokenizer -> summer"));
         assert!(t.contains("FETCH_RETRIES"));
+        assert!(t.contains("vertex tokenizer"));
+    }
+
+    #[test]
+    fn vertex_counters_round_trip_and_old_docs_default_empty() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"vertex_counters\":{"));
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.vertex_counters, r.vertex_counters);
+        // A pre-vertex-counters document (field stripped) still parses.
+        let stripped = json.replace(
+            &format!(
+                ",\"vertex_counters\":{}",
+                super::vertex_counters_json(&r.vertex_counters)
+            ),
+            "",
+        );
+        assert_ne!(stripped, json);
+        let old = RunReport::from_json(&stripped).unwrap();
+        assert!(old.vertex_counters.is_empty());
+    }
+
+    #[test]
+    fn stragglers_are_serialized_but_derived() {
+        let mut r = sample();
+        let quick = |task: u64, end: u64| AttemptSpan {
+            vertex: "v".into(),
+            task,
+            attempt: 0,
+            container: 1,
+            start_ms: 0,
+            end_ms: end,
+            status: "succeeded".into(),
+            speculative: false,
+        };
+        r.attempts = vec![quick(0, 10), quick(1, 10), quick(2, 10), quick(3, 400)];
+        let json = r.to_json();
+        assert!(json.contains("\"stragglers\":[{\"vertex\":\"v\",\"task\":3"));
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.to_json(), json, "derived field re-derives identically");
     }
 }

@@ -273,6 +273,7 @@ pub struct ShuffledMergedKvInput {
     locators: Vec<ShardLocator>,
     src_vertex: String,
     shards: Vec<Bytes>,
+    fetched: u64,
     bytes: u64,
     remote: u64,
     records: u64,
@@ -285,6 +286,7 @@ impl ShuffledMergedKvInput {
             locators: shards_of(spec)?,
             src_vertex: spec.name.clone(),
             shards: Vec::new(),
+            fetched: 0,
             bytes: 0,
             remote: 0,
             records: 0,
@@ -295,6 +297,9 @@ impl ShuffledMergedKvInput {
 impl LogicalInput for ShuffledMergedKvInput {
     fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError> {
         let (shards, bytes, remote, records) = fetch_all(&self.locators, env, &self.src_vertex)?;
+        // Counted here: reader() drains `shards`, so the length is only
+        // trustworthy at fetch time.
+        self.fetched = shards.len() as u64;
         self.shards = shards;
         self.bytes = bytes;
         self.remote = remote;
@@ -321,6 +326,10 @@ impl LogicalInput for ShuffledMergedKvInput {
     fn remote_bytes(&self) -> u64 {
         self.remote
     }
+
+    fn shards_fetched(&self) -> u64 {
+        self.fetched
+    }
 }
 
 /// Flat concatenated input: broadcast and one-to-one consumer side.
@@ -328,6 +337,7 @@ pub struct UnorderedKvInput {
     locators: Vec<ShardLocator>,
     src_vertex: String,
     shards: Vec<Bytes>,
+    fetched: u64,
     bytes: u64,
     remote: u64,
     records: u64,
@@ -340,6 +350,7 @@ impl UnorderedKvInput {
             locators: shards_of(spec)?,
             src_vertex: spec.name.clone(),
             shards: Vec::new(),
+            fetched: 0,
             bytes: 0,
             remote: 0,
             records: 0,
@@ -368,6 +379,9 @@ impl tez_runtime::KvReader for ChainedCursor {
 impl LogicalInput for UnorderedKvInput {
     fn start(&mut self, env: &mut TaskEnv<'_>) -> Result<(), TaskError> {
         let (shards, bytes, remote, records) = fetch_all(&self.locators, env, &self.src_vertex)?;
+        // Counted here: reader() drains `shards`, so the length is only
+        // trustworthy at fetch time.
+        self.fetched = shards.len() as u64;
         self.shards = shards;
         self.bytes = bytes;
         self.remote = remote;
@@ -396,6 +410,10 @@ impl LogicalInput for UnorderedKvInput {
 
     fn remote_bytes(&self) -> u64 {
         self.remote
+    }
+
+    fn shards_fetched(&self) -> u64 {
+        self.fetched
     }
 }
 

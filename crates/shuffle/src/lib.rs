@@ -38,5 +38,7 @@ pub use io::{
     ShuffledMergedKvInput, SplitPayload, UnorderedKvInput, UnorderedKvOutput,
 };
 pub use merge::{GroupedRunReader, MergingCursor};
-pub use service::{DataService, FetchRetry, FetchRetryPolicy, RetryingFetcher, SharedDataService};
+pub use service::{
+    DataService, FetchRetry, FetchRetryPolicy, FetchSample, RetryingFetcher, SharedDataService,
+};
 pub use sorter::{Combiner, ExternalSorter, Partitioner};

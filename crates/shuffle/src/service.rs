@@ -223,6 +223,27 @@ pub struct RetryingFetcher {
     retries: AtomicU64,
     backoff_ms: AtomicU64,
     log: Mutex<Vec<FetchRetry>>,
+    samples: Mutex<Vec<FetchSample>>,
+}
+
+/// One successful shard fetch, as seen by a [`RetryingFetcher`]. The
+/// orchestrator converts these into shuffle-fetch-latency histogram
+/// samples (backoff plus the cost model's simulated remote-read time), so
+/// everything here is deterministic: no wall-clock timing is recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchSample {
+    /// Output id of the fetched shard.
+    pub output_id: u64,
+    /// Partition index within that output.
+    pub partition: u32,
+    /// Shard payload size, bytes.
+    pub bytes: u64,
+    /// Retries this fetch needed (excludes the first attempt).
+    pub retries: u64,
+    /// Backoff accumulated before success, in simulated ms.
+    pub backoff_ms: u64,
+    /// Whether the shard came from another node.
+    pub remote: bool,
 }
 
 /// One logical fetch that needed retries, as seen by a [`RetryingFetcher`].
@@ -251,6 +272,7 @@ impl RetryingFetcher {
             retries: AtomicU64::new(0),
             backoff_ms: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
+            samples: Mutex::new(Vec::new()),
         }
     }
 
@@ -269,6 +291,12 @@ impl RetryingFetcher {
     /// retried appear.
     pub fn retry_log(&self) -> Vec<FetchRetry> {
         self.log.lock().clone()
+    }
+
+    /// One record per *successful* shard fetch, in fetch order — the raw
+    /// feed for the shuffle-fetch-latency histogram.
+    pub fn fetch_samples(&self) -> Vec<FetchSample> {
+        self.samples.lock().clone()
     }
 }
 
@@ -303,6 +331,14 @@ impl DataFetcher for RetryingFetcher {
             match self.service.fetch_from(self.node, locator, token) {
                 Ok(shard) => {
                     record(retries, backoff, true);
+                    self.samples.lock().push(FetchSample {
+                        output_id: locator.output_id,
+                        partition: locator.partition,
+                        bytes: shard.data.len() as u64,
+                        retries,
+                        backoff_ms: backoff,
+                        remote: shard.remote,
+                    });
                     return Ok(shard);
                 }
                 Err(e) => last_err = Some(e),
@@ -457,6 +493,43 @@ mod tests {
         let err = f.fetch(&locs[0], TOKEN).unwrap_err();
         assert!(err.reason.contains("not found"));
         assert_eq!(f.retries(), 2);
+    }
+
+    #[test]
+    fn fetch_samples_record_every_success_with_retry_context() {
+        let s = service();
+        let oid = s.new_output_id();
+        let locs = s.publish(1, oid, vec![part(b"abcd", 2), part(b"xy", 1)]);
+        s.inject_transient_failures(1);
+        let f = RetryingFetcher::new(s.clone(), 1, FetchRetryPolicy::default());
+        f.fetch(&locs[0], TOKEN).unwrap();
+        f.fetch(&locs[1], TOKEN).unwrap();
+        let samples = f.fetch_samples();
+        assert_eq!(
+            samples,
+            vec![
+                FetchSample {
+                    output_id: oid,
+                    partition: 0,
+                    bytes: 4,
+                    retries: 1,
+                    backoff_ms: 100,
+                    remote: false,
+                },
+                FetchSample {
+                    output_id: oid,
+                    partition: 1,
+                    bytes: 2,
+                    retries: 0,
+                    backoff_ms: 0,
+                    remote: false,
+                },
+            ]
+        );
+        // Failed fetches leave no sample.
+        s.drop_node(1);
+        assert!(f.fetch(&locs[0], TOKEN).is_err());
+        assert_eq!(f.fetch_samples().len(), 2);
     }
 
     #[test]

@@ -208,6 +208,14 @@ impl<'a> AppContext<'a> {
         self.inner.rm.scheduler_stats(self.app)
     }
 
+    /// Queue-wait distribution recorded for this app so far (one sample
+    /// per container placement, ms). Like [`AppContext::scheduler_stats`],
+    /// apps snapshot this per DAG and diff with
+    /// [`tez_runtime::Histogram::delta_since`].
+    pub fn queue_wait_histogram(&self) -> tez_runtime::Histogram {
+        self.inner.rm.queue_wait_histogram(self.app)
+    }
+
     /// Append a typed event to the run's timeline, stamped with the
     /// current simulated time and this app's id.
     pub fn record_event(&mut self, kind: tez_runtime::timeline::EventKind) {

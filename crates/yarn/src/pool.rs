@@ -7,6 +7,7 @@
 //! wall-clock overlap — so same-seed runs stay byte-identical at any
 //! worker count.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -18,6 +19,7 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     threads: Vec<JoinHandle<()>>,
     workers: usize,
+    submitted: AtomicU64,
 }
 
 /// Handle to a submitted job's result. [`TaskHandle::join`] blocks until
@@ -64,12 +66,21 @@ impl WorkerPool {
             tx: Some(tx),
             threads,
             workers,
+            submitted: AtomicU64::new(0),
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Total jobs handed to the pool since creation. Submission happens on
+    /// the single-threaded control plane, so the count is deterministic —
+    /// identical at any worker count — and safe to export in run metrics
+    /// (unlike the worker count itself).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
     }
 
     /// Submit a job; returns a handle to its result. Panics inside the job
@@ -79,6 +90,7 @@ impl WorkerPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
         let job: Job = Box::new(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
@@ -157,6 +169,20 @@ mod tests {
         pool.submit(move || c.load(Ordering::SeqCst)).join();
         drop(pool);
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn jobs_submitted_counts_every_submission() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.jobs_submitted(), 0);
+        let handles: Vec<_> = (0..5u64).map(|i| pool.submit(move || i)).collect();
+        assert_eq!(pool.jobs_submitted(), 5);
+        for h in handles {
+            h.join();
+        }
+        // Discarded handles still count: submission, not completion.
+        let _ = pool.submit(|| 1u64);
+        assert_eq!(pool.jobs_submitted(), 6);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::types::{AppId, Container, ContainerId, NodeId, RequestId, Resource, SimTime};
 use std::collections::{BTreeMap, HashMap};
+use tez_runtime::metrics::Histogram;
 use tez_runtime::run_report::{Locality, SchedulerStats};
 
 /// One scheduler queue.
@@ -115,6 +116,11 @@ struct RmApp {
     finished: bool,
     /// Scheduler decisions made for this app (run-report observability).
     stats: SchedulerStats,
+    /// Queue-wait distribution (request creation to placement, ms) — the
+    /// histogram companion of `stats.total_wait_ms`/`max_wait_ms`. App-
+    /// lifetime accumulator; per-DAG slices come from
+    /// [`Histogram::delta_since`].
+    wait_hist: Histogram,
 }
 
 /// Container bookkeeping.
@@ -222,6 +228,7 @@ impl Rm {
                 used_memory: 0,
                 finished: false,
                 stats: SchedulerStats::default(),
+                wait_hist: Histogram::new(),
             },
         );
     }
@@ -420,6 +427,15 @@ impl Rm {
             .unwrap_or_default()
     }
 
+    /// Queue-wait distribution recorded so far for `app` (one sample per
+    /// placement, ms). Empty for unknown apps.
+    pub fn queue_wait_histogram(&self, app: AppId) -> Histogram {
+        self.apps
+            .get(&app)
+            .map(|a| a.wait_hist.clone())
+            .unwrap_or_default()
+    }
+
     fn allocate_to(
         &mut self,
         app_id: AppId,
@@ -435,6 +451,7 @@ impl Rm {
         let p = app.pending.remove(&key).expect("pending exists");
         let waited_ms = now.since(p.created);
         app.stats.record_placement(locality, waited_ms, relaxed);
+        app.wait_hist.record(waited_ms);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         let st = &mut self.nodes[node.0 as usize];

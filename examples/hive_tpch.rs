@@ -47,6 +47,33 @@ fn main() {
         None => println!("no succeeded attempts to analyze"),
     }
 
+    header("vertex progress (tez, mid-run snapshot)");
+    let mid_ms = (rr.submitted_ms + rr.finished_ms) / 2;
+    print!(
+        "{}",
+        tez_runtime::render_progress(&tez_runtime::progress_at(rr, mid_ms), 30)
+    );
+
+    // The ATS-style history store answers entity queries over the run:
+    // here, every vertex of this DAG with its related task attempts.
+    header("history query (tez)");
+    let history = tez_runtime::HistoryStore::from_reports([rr]);
+    let vertices = history
+        .query()
+        .entity_type(tez_runtime::entity_types::VERTEX)
+        .filter("dag", &rr.dag)
+        .run();
+    for v in vertices {
+        let attempts = v
+            .related(tez_runtime::entity_types::ATTEMPT)
+            .map(|s| s.len())
+            .unwrap_or(0);
+        println!(
+            "{}: {} related attempts, [{} ms, {} ms]",
+            v.entity_id, attempts, v.start_time_ms, v.end_time_ms
+        );
+    }
+
     header("backends");
     println!(
         "tez: one DAG,      {:>8.1}s",

@@ -136,14 +136,39 @@ fn main() {
         None => println!("no succeeded attempts to analyze"),
     }
 
-    // 4. Optionally export run artifacts (CI uploads these): the full run
-    //    report JSON and a Chrome trace openable in Perfetto.
+    // 4. Per-vertex progress, reconstructed from the timeline: a snapshot
+    //    mid-run (tasks still in flight) and at completion.
+    header("vertex progress");
+    let mid_ms = (rr.submitted_ms + rr.finished_ms) / 2;
+    println!("at t={mid_ms} ms:");
+    print!(
+        "{}",
+        tez_runtime::render_progress(&tez_runtime::progress_at(rr, mid_ms), 30)
+    );
+    println!("at t={} ms (finish):", rr.finished_ms);
+    print!(
+        "{}",
+        tez_runtime::render_progress(&tez_runtime::progress_at(rr, rr.finished_ms), 30)
+    );
+
+    // 5. Optionally export run artifacts (CI uploads these): the full run
+    //    report JSON, a Chrome trace openable in Perfetto, the metrics
+    //    registry (JSON + Prometheus text exposition), and the ATS-style
+    //    history entity store.
     if let Ok(dir) = std::env::var("TEZ_ARTIFACTS_DIR") {
         std::fs::create_dir_all(&dir).expect("create artifacts dir");
         let report_path = format!("{dir}/quickstart-run-report.json");
         std::fs::write(&report_path, rr.to_json()).expect("write run report");
         let trace_path = format!("{dir}/quickstart-chrome-trace.json");
         std::fs::write(&trace_path, tez_runtime::chrome_trace(&[rr])).expect("write chrome trace");
-        println!("artifacts: {report_path}, {trace_path}");
+        let metrics_path = format!("{dir}/quickstart-metrics.json");
+        std::fs::write(&metrics_path, run.metrics.to_json()).expect("write metrics");
+        let prom_path = format!("{dir}/quickstart-metrics.prom");
+        std::fs::write(&prom_path, run.metrics.to_prometheus()).expect("write prometheus");
+        let history_path = format!("{dir}/quickstart-history.json");
+        std::fs::write(&history_path, run.history().to_json()).expect("write history");
+        println!(
+            "artifacts: {report_path}, {trace_path}, {metrics_path}, {prom_path}, {history_path}"
+        );
     }
 }

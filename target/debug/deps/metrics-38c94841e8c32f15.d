@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics-38c94841e8c32f15.d: tests/tests/metrics.rs
+
+/root/repo/target/debug/deps/metrics-38c94841e8c32f15: tests/tests/metrics.rs
+
+tests/tests/metrics.rs:

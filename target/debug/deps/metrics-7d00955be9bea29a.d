@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics-7d00955be9bea29a.d: tests/tests/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics-7d00955be9bea29a.rmeta: tests/tests/metrics.rs Cargo.toml
+
+tests/tests/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

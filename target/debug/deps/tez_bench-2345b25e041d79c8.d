@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tez_bench-2345b25e041d79c8.d: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libtez_bench-2345b25e041d79c8.rmeta: crates/bench/src/lib.rs crates/bench/src/figs.rs crates/bench/src/load.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figs.rs:
+crates/bench/src/load.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tez_core-a0202d4e4a553286.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs
+
+/root/repo/target/debug/deps/libtez_core-a0202d4e4a553286.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/edge_managers.rs crates/core/src/executor.rs crates/core/src/initializers.rs crates/core/src/objreg.rs crates/core/src/report.rs crates/core/src/vertex_managers.rs crates/core/src/am.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/edge_managers.rs:
+crates/core/src/executor.rs:
+crates/core/src/initializers.rs:
+crates/core/src/objreg.rs:
+crates/core/src/report.rs:
+crates/core/src/vertex_managers.rs:
+crates/core/src/am.rs:

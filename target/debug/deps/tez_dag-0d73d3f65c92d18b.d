@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tez_dag-0d73d3f65c92d18b.d: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs
+
+/root/repo/target/debug/deps/libtez_dag-0d73d3f65c92d18b.rmeta: crates/dag/src/lib.rs crates/dag/src/builder.rs crates/dag/src/edge.rs crates/dag/src/error.rs crates/dag/src/expand.rs crates/dag/src/graph.rs crates/dag/src/payload.rs crates/dag/src/vertex.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/builder.rs:
+crates/dag/src/edge.rs:
+crates/dag/src/error.rs:
+crates/dag/src/expand.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/payload.rs:
+crates/dag/src/vertex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tez_examples-d282ee3e8147e311.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libtez_examples-d282ee3e8147e311.rmeta: examples/lib.rs
+
+examples/lib.rs:

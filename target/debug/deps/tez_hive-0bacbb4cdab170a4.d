@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tez_hive-0bacbb4cdab170a4.d: crates/hive/src/lib.rs crates/hive/src/catalog.rs crates/hive/src/compile_mr.rs crates/hive/src/compile_tez.rs crates/hive/src/engine.rs crates/hive/src/expr.rs crates/hive/src/physical.rs crates/hive/src/plan.rs crates/hive/src/query.rs crates/hive/src/tpcds.rs crates/hive/src/tpch.rs crates/hive/src/types.rs
+
+/root/repo/target/debug/deps/libtez_hive-0bacbb4cdab170a4.rmeta: crates/hive/src/lib.rs crates/hive/src/catalog.rs crates/hive/src/compile_mr.rs crates/hive/src/compile_tez.rs crates/hive/src/engine.rs crates/hive/src/expr.rs crates/hive/src/physical.rs crates/hive/src/plan.rs crates/hive/src/query.rs crates/hive/src/tpcds.rs crates/hive/src/tpch.rs crates/hive/src/types.rs
+
+crates/hive/src/lib.rs:
+crates/hive/src/catalog.rs:
+crates/hive/src/compile_mr.rs:
+crates/hive/src/compile_tez.rs:
+crates/hive/src/engine.rs:
+crates/hive/src/expr.rs:
+crates/hive/src/physical.rs:
+crates/hive/src/plan.rs:
+crates/hive/src/query.rs:
+crates/hive/src/tpcds.rs:
+crates/hive/src/tpch.rs:
+crates/hive/src/types.rs:

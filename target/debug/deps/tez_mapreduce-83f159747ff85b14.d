@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tez_mapreduce-83f159747ff85b14.d: crates/mapreduce/src/lib.rs
+
+/root/repo/target/debug/deps/libtez_mapreduce-83f159747ff85b14.rmeta: crates/mapreduce/src/lib.rs
+
+crates/mapreduce/src/lib.rs:

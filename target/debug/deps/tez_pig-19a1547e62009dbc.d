@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_pig-19a1547e62009dbc.d: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+/root/repo/target/debug/deps/libtez_pig-19a1547e62009dbc.rmeta: crates/pig/src/lib.rs crates/pig/src/compile.rs crates/pig/src/engine.rs crates/pig/src/kmeans.rs crates/pig/src/script.rs crates/pig/src/workloads.rs
+
+crates/pig/src/lib.rs:
+crates/pig/src/compile.rs:
+crates/pig/src/engine.rs:
+crates/pig/src/kmeans.rs:
+crates/pig/src/script.rs:
+crates/pig/src/workloads.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tez_runtime-110c3c86bf15cdf6.d: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
+/root/repo/target/debug/deps/tez_runtime-110c3c86bf15cdf6.d: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
 
-/root/repo/target/debug/deps/tez_runtime-110c3c86bf15cdf6: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
+/root/repo/target/debug/deps/tez_runtime-110c3c86bf15cdf6: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/committer.rs:
@@ -8,10 +8,12 @@ crates/runtime/src/counters.rs:
 crates/runtime/src/env.rs:
 crates/runtime/src/error.rs:
 crates/runtime/src/events.rs:
+crates/runtime/src/history.rs:
 crates/runtime/src/initializer.rs:
 crates/runtime/src/io.rs:
 crates/runtime/src/json.rs:
 crates/runtime/src/kv.rs:
+crates/runtime/src/metrics.rs:
 crates/runtime/src/registry.rs:
 crates/runtime/src/run_report.rs:
 crates/runtime/src/timeline.rs:

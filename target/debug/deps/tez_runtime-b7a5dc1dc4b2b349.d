@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/tez_runtime-b7a5dc1dc4b2b349.d: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs Cargo.toml
+/root/repo/target/debug/deps/tez_runtime-b7a5dc1dc4b2b349.d: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtez_runtime-b7a5dc1dc4b2b349.rmeta: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs Cargo.toml
+/root/repo/target/debug/deps/libtez_runtime-b7a5dc1dc4b2b349.rmeta: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs Cargo.toml
 
 crates/runtime/src/lib.rs:
 crates/runtime/src/committer.rs:
@@ -8,15 +8,17 @@ crates/runtime/src/counters.rs:
 crates/runtime/src/env.rs:
 crates/runtime/src/error.rs:
 crates/runtime/src/events.rs:
+crates/runtime/src/history.rs:
 crates/runtime/src/initializer.rs:
 crates/runtime/src/io.rs:
 crates/runtime/src/json.rs:
 crates/runtime/src/kv.rs:
+crates/runtime/src/metrics.rs:
 crates/runtime/src/registry.rs:
 crates/runtime/src/run_report.rs:
 crates/runtime/src/timeline.rs:
 crates/runtime/src/vertex_manager.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/tez_runtime-bc476f8ecf111b21.d: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
+
+/root/repo/target/debug/deps/libtez_runtime-bc476f8ecf111b21.rmeta: crates/runtime/src/lib.rs crates/runtime/src/committer.rs crates/runtime/src/counters.rs crates/runtime/src/env.rs crates/runtime/src/error.rs crates/runtime/src/events.rs crates/runtime/src/history.rs crates/runtime/src/initializer.rs crates/runtime/src/io.rs crates/runtime/src/json.rs crates/runtime/src/kv.rs crates/runtime/src/metrics.rs crates/runtime/src/registry.rs crates/runtime/src/run_report.rs crates/runtime/src/timeline.rs crates/runtime/src/vertex_manager.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/committer.rs:
+crates/runtime/src/counters.rs:
+crates/runtime/src/env.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/events.rs:
+crates/runtime/src/history.rs:
+crates/runtime/src/initializer.rs:
+crates/runtime/src/io.rs:
+crates/runtime/src/json.rs:
+crates/runtime/src/kv.rs:
+crates/runtime/src/metrics.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/run_report.rs:
+crates/runtime/src/timeline.rs:
+crates/runtime/src/vertex_manager.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tez_shuffle-2efc74301c29a0e8.d: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+/root/repo/target/debug/deps/libtez_shuffle-2efc74301c29a0e8.rmeta: crates/shuffle/src/lib.rs crates/shuffle/src/codec.rs crates/shuffle/src/io.rs crates/shuffle/src/merge.rs crates/shuffle/src/service.rs crates/shuffle/src/sorter.rs
+
+crates/shuffle/src/lib.rs:
+crates/shuffle/src/codec.rs:
+crates/shuffle/src/io.rs:
+crates/shuffle/src/merge.rs:
+crates/shuffle/src/service.rs:
+crates/shuffle/src/sorter.rs:

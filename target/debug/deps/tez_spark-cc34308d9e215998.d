@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tez_spark-cc34308d9e215998.d: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+/root/repo/target/debug/deps/libtez_spark-cc34308d9e215998.rmeta: crates/spark/src/lib.rs crates/spark/src/compile.rs crates/spark/src/rdd.rs crates/spark/src/tenancy.rs
+
+crates/spark/src/lib.rs:
+crates/spark/src/compile.rs:
+crates/spark/src/rdd.rs:
+crates/spark/src/tenancy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tez_yarn-3e05de2436d54305.d: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+
+/root/repo/target/debug/deps/libtez_yarn-3e05de2436d54305.rmeta: crates/yarn/src/lib.rs crates/yarn/src/app.rs crates/yarn/src/cost.rs crates/yarn/src/fault.rs crates/yarn/src/hdfs.rs crates/yarn/src/pool.rs crates/yarn/src/rm.rs crates/yarn/src/sim.rs crates/yarn/src/trace.rs crates/yarn/src/types.rs
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/app.rs:
+crates/yarn/src/cost.rs:
+crates/yarn/src/fault.rs:
+crates/yarn/src/hdfs.rs:
+crates/yarn/src/pool.rs:
+crates/yarn/src/rm.rs:
+crates/yarn/src/sim.rs:
+crates/yarn/src/trace.rs:
+crates/yarn/src/types.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["proptest",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"proptest/struct.TestCaseError.html\" title=\"struct proptest::TestCaseError\">TestCaseError</a>",0]]],["tez_dag",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"tez_dag/error/enum.DagError.html\" title=\"enum tez_dag::error::DagError\">DagError</a>",0]]],["tez_runtime",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"tez_runtime/error/enum.TaskError.html\" title=\"enum tez_runtime::error::TaskError\">TaskError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[286,276,291]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_core",[["impl EdgeManagerPlugin for <a class=\"struct\" href=\"tez_core/edge_managers/struct.GroupedScatterGatherEdgeManager.html\" title=\"struct tez_core::edge_managers::GroupedScatterGatherEdgeManager\">GroupedScatterGatherEdgeManager</a>",0]]],["tez_dag",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[253,15]}

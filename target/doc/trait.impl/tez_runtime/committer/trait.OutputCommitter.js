@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_shuffle",[["impl OutputCommitter for <a class=\"struct\" href=\"tez_shuffle/io/struct.DfsCommitter.html\" title=\"struct tez_shuffle::io::DfsCommitter\">DfsCommitter</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[181]}

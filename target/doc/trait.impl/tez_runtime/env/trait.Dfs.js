@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_runtime",[]],["tez_yarn",[["impl Dfs for <a class=\"struct\" href=\"tez_yarn/hdfs/struct.SimHdfs.html\" title=\"struct tez_yarn::hdfs::SimHdfs\">SimHdfs</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[18,150]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_core",[["impl ObjectRegistry for <a class=\"struct\" href=\"tez_core/objreg/struct.ContainerObjectRegistry.html\" title=\"struct tez_core::objreg::ContainerObjectRegistry\">ContainerObjectRegistry</a>",0]]],["tez_runtime",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[212,19]}

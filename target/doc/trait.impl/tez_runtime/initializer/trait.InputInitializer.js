@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_core",[["impl InputInitializer for <a class=\"struct\" href=\"tez_core/initializers/struct.HdfsSplitInitializer.html\" title=\"struct tez_core::initializers::HdfsSplitInitializer\">HdfsSplitInitializer</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[217]}

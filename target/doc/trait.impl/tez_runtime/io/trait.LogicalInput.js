@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_shuffle",[["impl LogicalInput for <a class=\"struct\" href=\"tez_shuffle/io/struct.DfsInput.html\" title=\"struct tez_shuffle::io::DfsInput\">DfsInput</a>",0],["impl LogicalInput for <a class=\"struct\" href=\"tez_shuffle/io/struct.ShuffledMergedKvInput.html\" title=\"struct tez_shuffle::io::ShuffledMergedKvInput\">ShuffledMergedKvInput</a>",0],["impl LogicalInput for <a class=\"struct\" href=\"tez_shuffle/io/struct.UnorderedKvInput.html\" title=\"struct tez_shuffle::io::UnorderedKvInput\">UnorderedKvInput</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[527]}

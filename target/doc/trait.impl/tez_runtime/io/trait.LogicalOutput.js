@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_shuffle",[["impl LogicalOutput for <a class=\"struct\" href=\"tez_shuffle/io/struct.DfsOutput.html\" title=\"struct tez_shuffle::io::DfsOutput\">DfsOutput</a>",0],["impl LogicalOutput for <a class=\"struct\" href=\"tez_shuffle/io/struct.OrderedPartitionedKvOutput.html\" title=\"struct tez_shuffle::io::OrderedPartitionedKvOutput\">OrderedPartitionedKvOutput</a>",0],["impl LogicalOutput for <a class=\"struct\" href=\"tez_shuffle/io/struct.UnorderedKvOutput.html\" title=\"struct tez_shuffle::io::UnorderedKvOutput\">UnorderedKvOutput</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[551]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["quickstart",[["impl Processor for <a class=\"struct\" href=\"quickstart/struct.SumProcessor.html\" title=\"struct quickstart::SumProcessor\">SumProcessor</a>",0],["impl Processor for <a class=\"struct\" href=\"quickstart/struct.TokenProcessor.html\" title=\"struct quickstart::TokenProcessor\">TokenProcessor</a>",0]]],["tez_hive",[["impl Processor for <a class=\"struct\" href=\"tez_hive/physical/struct.HiveStageProcessor.html\" title=\"struct tez_hive::physical::HiveStageProcessor\">HiveStageProcessor</a>",0]]],["tez_mapreduce",[["impl Processor for <a class=\"struct\" href=\"tez_mapreduce/struct.MapProcessor.html\" title=\"struct tez_mapreduce::MapProcessor\">MapProcessor</a>",0],["impl Processor for <a class=\"struct\" href=\"tez_mapreduce/struct.ReduceProcessor.html\" title=\"struct tez_mapreduce::ReduceProcessor\">ReduceProcessor</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[320,197,339]}

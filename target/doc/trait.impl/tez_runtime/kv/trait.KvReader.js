@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_runtime",[]],["tez_shuffle",[["impl KvReader for <a class=\"struct\" href=\"tez_shuffle/merge/struct.MergingCursor.html\" title=\"struct tez_shuffle::merge::MergingCursor\">MergingCursor</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[18,184]}

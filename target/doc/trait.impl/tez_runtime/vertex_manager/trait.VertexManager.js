@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_core",[["impl VertexManager for <a class=\"struct\" href=\"tez_core/vertex_managers/struct.ImmediateStartVertexManager.html\" title=\"struct tez_core::vertex_managers::ImmediateStartVertexManager\">ImmediateStartVertexManager</a>",0],["impl VertexManager for <a class=\"struct\" href=\"tez_core/vertex_managers/struct.OneToOneVertexManager.html\" title=\"struct tez_core::vertex_managers::OneToOneVertexManager\">OneToOneVertexManager</a>",0],["impl VertexManager for <a class=\"struct\" href=\"tez_core/vertex_managers/struct.RootInputVertexManager.html\" title=\"struct tez_core::vertex_managers::RootInputVertexManager\">RootInputVertexManager</a>",0],["impl VertexManager for <a class=\"struct\" href=\"tez_core/vertex_managers/struct.ShuffleVertexManager.html\" title=\"struct tez_core::vertex_managers::ShuffleVertexManager\">ShuffleVertexManager</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[868]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["tez_bench",[["impl YarnApp for <a class=\"struct\" href=\"tez_bench/load/struct.BackgroundLoad.html\" title=\"struct tez_bench::load::BackgroundLoad\">BackgroundLoad</a>",0]]],["tez_core",[["impl YarnApp for <a class=\"struct\" href=\"tez_core/struct.DagAppMaster.html\" title=\"struct tez_core::DagAppMaster\">DagAppMaster</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[177,158]}

@@ -8,7 +8,7 @@ use tez_bench::{
 
 #[test]
 fn fig7_cross_dag_container_reuse() {
-    let (gantt, reports) = fig7_session_trace();
+    let (gantt, reports, _) = fig7_session_trace();
     assert!(reports.iter().all(|r| r.status.is_success()));
     assert!(gantt.lines().any(|l| l.contains('A') && l.contains('B')));
     // The second DAG rides on warm containers.

@@ -1,0 +1,248 @@
+//! Observability artifacts are part of the deterministic surface.
+//!
+//! The metrics registry (JSON + Prometheus exposition) and the ATS-style
+//! history store must be byte-identical across worker counts and across
+//! same-seed reruns, the histogram math must satisfy its bucket/quantile
+//! invariants for arbitrary inputs, and a history query over a Figure-7
+//! style session must return every vertex, attempt and container with
+//! correct related-entity links.
+
+use proptest::prelude::*;
+use tez_core::{standard_registry, TezClient, TezConfig, TezRun};
+use tez_runtime::metrics::{bucket_index, bucket_lower, bucket_upper, HISTOGRAM_BUCKETS};
+use tez_runtime::{entity_types, metric_names, Histogram};
+use tez_yarn::ClusterSpec;
+
+/// The two-DAG pre-warmed session of Figure 7 (same shape as the
+/// `workers.rs` trace test), returning the full run.
+fn session_run(workers: usize) -> TezRun {
+    let engine = tez_hive::HiveEngine::new(tez_hive::tpcds::generate(1_000, 8, 7));
+    let q = tez_hive::tpcds::queries(&engine.catalog)
+        .into_iter()
+        .find(|(n, _)| *n == "q52")
+        .unwrap()
+        .1;
+    let opts = tez_hive::HiveOpts {
+        byte_scale: 100_000.0,
+        reducers: 4,
+        ..tez_hive::HiveOpts::default()
+    };
+    let config = TezConfig {
+        session: true,
+        prewarm_containers: 2,
+        byte_scale: opts.byte_scale,
+        min_split_bytes: 8 << 20,
+        max_split_bytes: 64 << 20,
+        workers: Some(workers),
+        ..TezConfig::default()
+    };
+    let mut registry = standard_registry();
+    let popts = tez_hive::physical::PhysicalOpts {
+        reducers: opts.reducers,
+        broadcast_joins: true,
+        dpp: false,
+    };
+    let sp = tez_hive::physical::build_stages(&q.plan, &engine.catalog, &popts);
+    let dags = ["dagA", "dagB"]
+        .into_iter()
+        .map(|name| {
+            tez_hive::compile_tez::build_tez_dag(
+                name,
+                &sp,
+                &engine.catalog,
+                &mut registry,
+                &format!("/results/{name}"),
+                &config,
+            )
+        })
+        .collect();
+    let client = TezClient::new(ClusterSpec::homogeneous(1, 4096, 4))
+        .with_cost(tez_bench::figs::bench_cost());
+    let scale = opts.byte_scale;
+    let run = client.run_session(dags, registry, config, |hdfs| {
+        hdfs.set_stat_scale(scale);
+        engine.catalog.load_hdfs(hdfs, scale);
+    });
+    assert_eq!(run.reports.len(), 2);
+    run
+}
+
+/// (metrics JSON, history JSON, Prometheus exposition) of one run.
+fn observability_artifacts(run: &TezRun) -> (String, String, String) {
+    (
+        run.metrics.to_json(),
+        run.history().to_json(),
+        run.metrics.to_prometheus(),
+    )
+}
+
+#[test]
+fn metrics_history_prometheus_byte_identical_across_worker_counts_and_reruns() {
+    let one = observability_artifacts(&session_run(1));
+    // Same-seed rerun at the same worker count.
+    let again = observability_artifacts(&session_run(1));
+    assert_eq!(one, again, "same-seed rerun diverged");
+    for workers in [2, 4] {
+        let multi = observability_artifacts(&session_run(workers));
+        assert_eq!(one.0, multi.0, "metrics JSON diverged at {workers} workers");
+        assert_eq!(one.1, multi.1, "history JSON diverged at {workers} workers");
+        assert_eq!(
+            one.2, multi.2,
+            "Prometheus exposition diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn session_metrics_cover_every_declared_histogram() {
+    let run = session_run(2);
+    for dag in ["dagA", "dagB"] {
+        let dm = run.metrics.dag(dag).expect("dag metrics");
+        for name in [
+            metric_names::ATTEMPT_DURATION_MS,
+            metric_names::SHUFFLE_FETCH_LATENCY_MS,
+        ] {
+            let h = dm.scope.histograms.get(name).unwrap_or_else(|| {
+                panic!("{dag}: missing histogram {name}");
+            });
+            assert!(!h.is_empty(), "{dag}: empty histogram {name}");
+            assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        }
+        // Control-plane driven pool metric is a counter, not a histogram.
+        assert!(
+            dm.scope.counters.get(metric_names::POOL_JOBS_SUBMITTED) > 0,
+            "{dag}: no pool submissions attributed"
+        );
+    }
+    // Queue wait is attributed per DAG: the first DAG pays for its
+    // allocations; the second rides warm containers, so only the app-level
+    // rollup is guaranteed to carry samples for the session.
+    let a = run.metrics.dag("dagA").unwrap();
+    assert!(a.scope.histograms.contains_key(metric_names::QUEUE_WAIT_MS));
+    assert!(run
+        .metrics
+        .app
+        .histograms
+        .contains_key(metric_names::QUEUE_WAIT_MS));
+}
+
+/// The acceptance query: for a Figure-7 DAG the history store returns its
+/// vertices, attempts and containers, all cross-linked.
+#[test]
+fn history_query_links_vertices_attempts_and_containers() {
+    let run = session_run(1);
+    let history = run.history();
+    for dag in ["dagA", "dagB"] {
+        let d = history.entity(entity_types::DAG, dag).expect("dag entity");
+        let vertices = history
+            .query()
+            .entity_type(entity_types::VERTEX)
+            .filter("dag", dag)
+            .run();
+        assert!(!vertices.is_empty(), "{dag}: no vertex entities");
+        let related_vertices = d.related(entity_types::VERTEX).expect("dag→vertex links");
+        for v in &vertices {
+            // DAG ↔ vertex.
+            assert!(related_vertices.contains(&v.entity_id));
+            // Vertex → attempts, every one queryable and linked back to a
+            // container the DAG also knows about.
+            let attempts = v.related(entity_types::ATTEMPT).expect("vertex→attempts");
+            assert!(!attempts.is_empty(), "{}: no attempts", v.entity_id);
+            let mut with_container = 0usize;
+            for aid in attempts {
+                let a = history
+                    .entity(entity_types::ATTEMPT, aid)
+                    .expect("attempt entity");
+                assert!(a.has_filter("dag", dag));
+                // Speculative losers killed while still waiting for a
+                // container legitimately never link to one.
+                let Some(containers) = a.related(entity_types::CONTAINER) else {
+                    assert!(
+                        a.has_filter("status", "killed"),
+                        "{}: only killed attempts may lack a container",
+                        a.entity_id
+                    );
+                    continue;
+                };
+                with_container += 1;
+                for cid in containers {
+                    let c = history
+                        .entity(entity_types::CONTAINER, cid)
+                        .expect("container entity");
+                    // Container ↔ attempt and DAG → container.
+                    assert!(c
+                        .related(entity_types::ATTEMPT)
+                        .is_some_and(|s| s.contains(aid)));
+                    assert!(d
+                        .related(entity_types::CONTAINER)
+                        .is_some_and(|s| s.contains(cid)));
+                }
+            }
+            assert!(
+                with_container > 0,
+                "{}: no attempt ever reached a container",
+                v.entity_id
+            );
+        }
+    }
+    // Windowed queries respect start-time bounds.
+    let all = history.query().entity_type(entity_types::ATTEMPT).run();
+    let min_start = all.iter().map(|e| e.start_time_ms).min().unwrap();
+    let windowed = history
+        .query()
+        .entity_type(entity_types::ATTEMPT)
+        .window(min_start + 1, u64::MAX)
+        .run();
+    assert!(windowed.len() < all.len());
+}
+
+proptest! {
+    /// Every value lands in exactly the bucket whose [lower, upper] range
+    /// contains it, and bucket ranges tile the u64 domain.
+    #[test]
+    fn histogram_buckets_cover_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v);
+        prop_assert!(v <= bucket_upper(i));
+        if i > 0 {
+            prop_assert_eq!(bucket_upper(i - 1) + 1, bucket_lower(i));
+        }
+    }
+
+    /// Quantiles are monotone in the percentile and bounded by the data's
+    /// bucket range.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        let max_upper = values.iter().map(|&v| bucket_upper(bucket_index(v))).max().unwrap();
+        prop_assert!(p99 <= max_upper);
+    }
+
+    /// Merging histograms equals recording the concatenated samples, and
+    /// `delta_since` inverts `merge`. Values are bounded so the saturating
+    /// sum stays exact — saturation intentionally loses the information
+    /// `delta_since` would need.
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        a in proptest::collection::vec(0u64..(1 << 40), 0..100),
+        b in proptest::collection::vec(0u64..(1 << 40), 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut all = Histogram::new();
+        for &v in a.iter().chain(&b) { all.record(v); }
+        prop_assert_eq!(merged.to_json(), all.to_json());
+        prop_assert_eq!(merged.delta_since(&ha).to_json(), hb.to_json());
+    }
+}

@@ -227,7 +227,7 @@ fn timestamps_are_monotonic_per_entity() {
 
 #[test]
 fn fig7_session_names_a_dominant_phase() {
-    let (_, reports) = tez_bench::fig7_session_trace();
+    let (_, reports, _) = tez_bench::fig7_session_trace();
     assert_eq!(reports.len(), 2);
     const PHASES: [&str; 6] = [
         "scheduler_wait",
